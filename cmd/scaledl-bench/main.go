@@ -1,0 +1,120 @@
+// Command scaledl-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	scaledl-bench -list
+//	scaledl-bench -exp table3
+//	scaledl-bench -exp all -scale 0.5
+//	scaledl-bench -exp table4 -csv out
+//
+// Each experiment prints its tables as aligned text; -csv additionally
+// writes one CSV file per table into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"scaledl/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID to run (or \"all\")")
+		list  = flag.Bool("list", false, "list available experiments")
+		seed  = flag.Int64("seed", 1, "random seed")
+		scale = flag.Float64("scale", 1.0, "budget scale factor (0.1 = quick smoke, 1 = default)")
+		csv   = flag.String("csv", "", "directory to write per-table CSV files into")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range harness.List() {
+			fmt.Printf("  %-8s  %-55s  [%s]\n", e.ID, e.Title, e.PaperRef)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "scaledl-bench: pass -exp <id> or -list (see -help)")
+		os.Exit(2)
+	}
+
+	opts := harness.Options{Seed: *seed, Scale: *scale}
+	var reports []*harness.Report
+	if *exp == "all" {
+		rs, err := harness.RunAll(opts)
+		if err != nil {
+			fatal(err)
+		}
+		reports = rs
+	} else {
+		e, err := harness.Get(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := e.Run(opts)
+		if err != nil {
+			fatal(err)
+		}
+		reports = []*harness.Report{r}
+	}
+
+	for _, r := range reports {
+		r.Format(os.Stdout)
+		fmt.Println()
+		if *csv != "" {
+			if err := writeCSV(*csv, r); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, r *harness.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range r.Tables {
+		name := fmt.Sprintf("%s_%d_%s.csv", r.ID, i, slug(t.Title))
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", filepath.Join(dir, name))
+	}
+	return nil
+}
+
+func slug(s string) string {
+	s = strings.ToLower(s)
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		case r == ' ' || r == '-' || r == '/':
+			sb.WriteByte('-')
+		}
+	}
+	out := strings.Trim(sb.String(), "-")
+	if len(out) > 40 {
+		out = out[:40]
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scaledl-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// mnist_methods compares the paper's EASGD family against the existing
+// methods it improves on (the Figure 6/8 story): same data, same simulated
+// hardware, same hyperparameters — each method reports the simulated time
+// it needs to reach a common test accuracy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"scaledl"
+)
+
+func main() {
+	train, test := scaledl.SyntheticMNIST(7, 2048, 512)
+	def := scaledl.TinyCNN(scaledl.Shape{C: 1, H: 28, W: 28}, 10)
+	const target = 0.93
+
+	type row struct {
+		method string
+		time   float64
+		acc    float64
+	}
+	var rows []row
+
+	for _, m := range []string{
+		// existing methods
+		"async-sgd", "hogwild-sgd", "original-easgd",
+		// the paper's methods
+		"async-easgd", "hogwild-easgd", "sync-easgd3",
+	} {
+		iters := 400 // parameter-server interactions (1 batch each)
+		if m == "sync-easgd3" {
+			iters = 100 // synchronous rounds (4 batches each)
+		}
+		// η=0.08 is the regime the paper studies: asynchronous SGD sits near
+		// its staleness-amplified stability edge while elastic averaging
+		// stays smooth (all methods share the same hyperparameters).
+		cfg := scaledl.Config{
+			Def: def, Train: train, Test: test,
+			Workers: 4, Batch: 16, LR: 0.08,
+			Iterations: iters, Seed: 7,
+			Platform:  scaledl.DefaultGPUPlatform(true),
+			EvalEvery: 10,
+			TargetAcc: target,
+		}
+		if m == "original-easgd" {
+			// The legacy implementation ships per-layer pageable transfers.
+			cfg.Platform = scaledl.DefaultGPUPlatform(false)
+		}
+		res, err := scaledl.Train(m, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tt := res.SimTime
+		for _, pt := range res.Curve {
+			if pt.TestAcc >= target {
+				tt = pt.SimTime
+				break
+			}
+		}
+		rows = append(rows, row{m, tt, res.FinalAcc})
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].time < rows[j].time })
+	fmt.Printf("time to reach %.2f test accuracy (4 simulated GPUs, equal hyperparameters):\n\n", target)
+	fmt.Printf("%-16s %-14s %-10s\n", "method", "sim-time (s)", "final acc")
+	for i, r := range rows {
+		marker := ""
+		if i == 0 {
+			marker = "  <- fastest"
+		}
+		fmt.Printf("%-16s %-14.4f %-10.3f%s\n", r.method, r.time, r.acc, marker)
+	}
+	fmt.Println("\npaper: Sync EASGD and Hogwild EASGD are essentially tied fastest;")
+	fmt.Println("       every EASGD variant beats its existing counterpart (Figs 6, 8).")
+}

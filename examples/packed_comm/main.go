@@ -1,0 +1,60 @@
+// packed_comm demonstrates the paper's §5.2 single-layer (packed)
+// communication (Figure 10): allocating all layers in one contiguous buffer
+// and sending one message per exchange instead of one per layer. The win
+// has two parts — (P-1) fewer latency terms and contiguous memory access —
+// and grows with layer count and interconnect latency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scaledl"
+)
+
+func main() {
+	train, test := scaledl.SyntheticMNIST(5, 2048, 512)
+	// A deeper network (8 parameter layers) makes per-layer latency visible.
+	def := scaledl.NetDef{
+		Name: "deep-demo", In: scaledl.Shape{C: 1, H: 28, W: 28}, Classes: 10,
+		Specs: []scaledl.LayerSpec{
+			{Kind: "conv", Filters: 6, Kernel: 3, Stride: 1, Pad: 1},
+			{Kind: "relu"},
+			{Kind: "conv", Filters: 6, Kernel: 3, Stride: 1, Pad: 1},
+			{Kind: "relu"},
+			{Kind: "maxpool", Kernel: 2, Stride: 2},
+			{Kind: "conv", Filters: 12, Kernel: 3, Stride: 1, Pad: 1},
+			{Kind: "relu"},
+			{Kind: "maxpool", Kernel: 2, Stride: 2},
+			{Kind: "dense", Units: 48},
+			{Kind: "relu"},
+			{Kind: "dense", Units: 10},
+		},
+	}
+
+	fmt.Println("Sync SGD, 4 simulated GPUs, same seed — only the message plan differs:")
+	fmt.Println()
+	var times [2]float64
+	for i, packed := range []bool{false, true} {
+		cfg := scaledl.Config{
+			Def: def, Train: train, Test: test,
+			Workers: 4, Batch: 32, LR: 0.05,
+			Iterations: 100, Seed: 5,
+			Platform:  scaledl.DefaultGPUPlatform(packed),
+			EvalEvery: 25,
+		}
+		res, err := scaledl.Train("sync-sgd", cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		times[i] = res.SimTime
+		name := "per-layer"
+		if packed {
+			name = "packed"
+		}
+		fmt.Printf("%-10s  sim-time %.4fs  accuracy %.3f  comm share %.0f%%\n",
+			name, res.SimTime, res.FinalAcc, res.Breakdown.CommRatio()*100)
+	}
+	fmt.Printf("\npacked layout speedup at equal iterations: %.2fx\n", times[0]/times[1])
+	fmt.Println("(paper Figure 10: the packed curve reaches each accuracy earlier)")
+}

@@ -1,0 +1,45 @@
+// Quickstart: train one model with the paper's best method (Sync EASGD3,
+// the "Communication-Efficient EASGD") on four simulated GPUs, and print
+// the accuracy trajectory and the §6.1.1 time breakdown.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scaledl"
+)
+
+func main() {
+	// Synthetic MNIST-shaped data (the real dataset is substituted per
+	// DESIGN.md; geometry and learnability match).
+	train, test := scaledl.SyntheticMNIST(1, 2048, 512)
+
+	cfg := scaledl.Config{
+		Def:        scaledl.TinyCNN(scaledl.Shape{C: 1, H: 28, W: 28}, 10),
+		Train:      train,
+		Test:       test,
+		Workers:    4,    // four GPUs behind one PCIe switch
+		Batch:      32,   // per-GPU minibatch
+		LR:         0.05, // η
+		Iterations: 100,  // synchronous rounds (4 batches each)
+		Seed:       1,
+		Platform:   scaledl.DefaultGPUPlatform(true), // packed §5.2 layout
+		EvalEvery:  10,
+	}
+
+	res, err := scaledl.Train("sync-easgd3", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Sync EASGD3 on 4 simulated GPUs (MNIST-regime):")
+	for _, pt := range res.Curve {
+		fmt.Printf("  round %3d  sim %.4fs  loss %.4f  accuracy %.3f\n",
+			pt.Iter, pt.SimTime, pt.Loss, pt.TestAcc)
+	}
+	fmt.Printf("\nfinal accuracy %.3f in %.4f simulated seconds (%d samples)\n",
+		res.FinalAcc, res.SimTime, res.Samples)
+	fmt.Printf("communication share of iteration time: %.0f%% (paper: 14%% for Sync EASGD3)\n",
+		res.Breakdown.CommRatio()*100)
+}

@@ -1,0 +1,42 @@
+// weak_scaling reproduces the shape of the paper's Table 4: weak-scaling
+// efficiency of ImageNet training (GoogleNet and VGG-19 cost tables) on a
+// simulated Cori KNL cluster, from 68 to 4352 cores, for our packed
+// tree-allreduce-with-overlap implementation. VGG's 575 MB model scales
+// visibly worse than GoogleNet's 27 MB — exactly the paper's contrast.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scaledl"
+)
+
+func main() {
+	fmt.Println("weak-scaling efficiency (Communication-Efficient EASGD on simulated Cori KNL):")
+	fmt.Println()
+	fmt.Printf("%-8s %-22s %-22s\n", "cores", "googlenet (27 MB)", "vgg19 (575 MB)")
+	for _, nodes := range []int{1, 2, 4, 8, 16, 32, 64} {
+		gn, err := scaledl.WeakScalingEfficiency("googlenet", nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vgg, err := scaledl.WeakScalingEfficiency("vgg19", nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %-22s %-22s\n", nodes*68,
+			fmt.Sprintf("%.1f%%", gn*100), fmt.Sprintf("%.1f%%", vgg*100))
+	}
+	fmt.Println()
+	fmt.Println("paper at 2176 cores: GoogleNet 92.3% (Intel Caffe 87%), VGG 78.5% (Intel Caffe 62%)")
+	fmt.Println("run `scaledl-bench -exp table4` for the full table with the Intel Caffe baseline")
+
+	// The model sizes driving the difference, from the exact-dimension
+	// cost tables.
+	gn := scaledl.GoogleNetCost()
+	vgg := scaledl.VGG19Cost()
+	fmt.Printf("\nmodel sizes: %s %.0f MB (%d params), %s %.0f MB (%d params)\n",
+		gn.Name, float64(gn.ParamBytes())/(1<<20), gn.TotalParams(),
+		vgg.Name, float64(vgg.ParamBytes())/(1<<20), vgg.TotalParams())
+}

@@ -1,0 +1,227 @@
+// Package comm is the MPI/NCCL stand-in: collective communication cost
+// models under the α-β model, the actual float32 data movement they imply,
+// packed-versus-per-layer message planning (the paper's §5.2), and simulated
+// point-to-point mailboxes for the asynchronous algorithms.
+//
+// The paper's central communication claim is that replacing the round-robin
+// (linear, Θ(P)) exchange with a tree reduction costs Θ(log P)(α + |W|β)
+// instead of Θ(P)(α + |W|β); these are exactly LinearReduceTime and
+// TreeReduceTime below.
+package comm
+
+import (
+	"math"
+	"math/bits"
+
+	"scaledl/internal/sim"
+	"scaledl/internal/tensor"
+)
+
+// Transferer is any channel with an n-byte transfer cost; hw.Link and
+// hw.SaturatingLink satisfy it.
+type Transferer interface {
+	Time(n int64) float64
+}
+
+// rounds returns ceil(log2(p)), the depth of a binomial tree over p nodes.
+func rounds(p int) int {
+	if p <= 1 {
+		return 0
+	}
+	return bits.Len(uint(p - 1))
+}
+
+// LinearReduceTime is the cost of the round-robin exchange the original
+// EASGD uses: the master interacts with the P workers one at a time,
+// (P−1 transfers for a reduction rooted at one of them): Θ(P)(α + nβ).
+func LinearReduceTime(l Transferer, n int64, p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(p-1) * l.Time(n)
+}
+
+// LinearBroadcastTime mirrors LinearReduceTime for the downstream direction.
+func LinearBroadcastTime(l Transferer, n int64, p int) float64 {
+	return LinearReduceTime(l, n, p)
+}
+
+// TreeReduceTime is the cost of a binomial-tree reduction over p nodes:
+// ceil(log2 P) rounds, each moving the full n bytes in parallel pairs —
+// Θ(log P)(α + nβ), the paper's replacement for round-robin.
+func TreeReduceTime(l Transferer, n int64, p int) float64 {
+	return float64(rounds(p)) * l.Time(n)
+}
+
+// TreeBroadcastTime is the cost of a binomial-tree broadcast (same shape).
+func TreeBroadcastTime(l Transferer, n int64, p int) float64 {
+	return TreeReduceTime(l, n, p)
+}
+
+// TreeAllReduceTime is reduce-to-root plus broadcast-from-root, the
+// composite Sync EASGD performs every iteration (steps 2-3 of §5.1).
+func TreeAllReduceTime(l Transferer, n int64, p int) float64 {
+	return TreeReduceTime(l, n, p) + TreeBroadcastTime(l, n, p)
+}
+
+// RingAllReduceTime is the bandwidth-optimal ring allreduce cost,
+// 2(P−1)(α + (n/P)β); included as the ablation alternative to the tree
+// (better for huge n, worse for small n because of its 2(P−1) latency term).
+func RingAllReduceTime(l Transferer, n int64, p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	chunk := n / int64(p)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return 2 * float64(p-1) * l.Time(chunk)
+}
+
+// HierarchicalAllReduceTime is a two-level allreduce: each node first
+// combines its local workers over the fast intra-node link (tree over
+// perNode parties), one leader per node runs the inter-node allreduce over
+// the fabric (tree over nodes), then the result fans back out locally.
+// This is how multi-GPU multi-node systems (the paper's 16-node × 2-K80
+// cluster) avoid putting every GPU on the fabric.
+func HierarchicalAllReduceTime(intra, inter Transferer, n int64, nodes, perNode int) float64 {
+	if nodes < 1 || perNode < 1 {
+		panic("comm: hierarchical allreduce needs nodes, perNode >= 1")
+	}
+	local := TreeReduceTime(intra, n, perNode) + TreeBroadcastTime(intra, n, perNode)
+	fabric := TreeAllReduceTime(inter, n, nodes)
+	return local + fabric
+}
+
+// ReduceSum accumulates src vectors into dst elementwise, in slice order
+// (deterministic summation). dst must be pre-initialized (typically to the
+// first contribution or zeros).
+func ReduceSum(dst []float32, srcs ...[]float32) {
+	for _, s := range srcs {
+		tensor.AXPY(1, s, dst)
+	}
+}
+
+// Average overwrites dst with the elementwise mean of the srcs.
+func Average(dst []float32, srcs ...[]float32) {
+	if len(srcs) == 0 {
+		panic("comm: Average of nothing")
+	}
+	copy(dst, srcs[0])
+	for _, s := range srcs[1:] {
+		tensor.AXPY(1, s, dst)
+	}
+	tensor.Scale(1/float32(len(srcs)), dst)
+}
+
+// Plan describes how a model's parameters travel: as one packed message
+// (the §5.2 contiguous layout) or as one message per layer (the layout of
+// conventional frameworks the paper improves on).
+type Plan struct {
+	// LayerBytes holds the per-layer parameter sizes in bytes.
+	LayerBytes []int64
+	// Packed selects the single-message plan.
+	Packed bool
+	// GatherBW, when nonzero, charges the per-layer plan a staging pass at
+	// this bandwidth for gathering/scattering noncontiguous layer buffers
+	// (the paper's "continuous memory access has a higher cache-hit ratio"
+	// effect). The packed plan never pays it.
+	GatherBW float64
+}
+
+// TotalBytes sums the plan's payload.
+func (p Plan) TotalBytes() int64 {
+	var n int64
+	for _, b := range p.LayerBytes {
+		n += b
+	}
+	return n
+}
+
+// TransferTime is the cost of moving the whole model once across l.
+func (p Plan) TransferTime(l Transferer) float64 {
+	if p.Packed {
+		return l.Time(p.TotalBytes())
+	}
+	var t float64
+	for _, b := range p.LayerBytes {
+		t += l.Time(b)
+	}
+	if p.GatherBW > 0 {
+		t += float64(p.TotalBytes()) / p.GatherBW
+	}
+	return t
+}
+
+// AllReduceTime is the cost of a tree allreduce of the whole model under
+// this plan: the packed plan runs one tree over the packed buffer; the
+// per-layer plan runs one tree per layer (how layer-at-a-time frameworks
+// communicate), paying the latency term once per layer per round.
+func (p Plan) AllReduceTime(l Transferer, parties int) float64 {
+	if p.Packed {
+		return TreeAllReduceTime(l, p.TotalBytes(), parties)
+	}
+	var t float64
+	for _, b := range p.LayerBytes {
+		t += TreeAllReduceTime(l, b, parties)
+	}
+	if p.GatherBW > 0 {
+		t += float64(p.TotalBytes()) / p.GatherBW
+	}
+	return t
+}
+
+// Mailbox is a simulated point-to-point channel: senders pay the link
+// transfer time, then the message becomes available to the receiver. It is
+// the building block of the parameter-server (Async/Hogwild) algorithms.
+type Mailbox struct {
+	q    *sim.Queue
+	link Transferer
+}
+
+// NewMailbox creates a mailbox whose transfers cost time on l.
+func NewMailbox(env *sim.Env, name string, l Transferer) *Mailbox {
+	return &Mailbox{q: sim.NewQueue(env, name), link: l}
+}
+
+// Send blocks p for the transfer time of bytes, then delivers v.
+func (m *Mailbox) Send(p *sim.Proc, v any, bytes int64) {
+	p.Delay(m.link.Time(bytes))
+	m.q.Send(v)
+}
+
+// SendAsync delivers v after only the link latency-free enqueue (models a
+// DMA posted by hardware while the caller continues); use for overlapped
+// transfers where another process accounts the time.
+func (m *Mailbox) SendAsync(v any) {
+	m.q.Send(v)
+}
+
+// Recv blocks p until a message is available.
+func (m *Mailbox) Recv(p *sim.Proc) any { return p.Recv(m.q) }
+
+// TryRecv returns a message if one is pending.
+func (m *Mailbox) TryRecv() (any, bool) { return m.q.TryRecv() }
+
+// Len returns the number of queued messages.
+func (m *Mailbox) Len() int { return m.q.Len() }
+
+// CrossoverBytes returns the message size above which a ring allreduce
+// beats a tree allreduce on link l for p parties, found by bisection; the
+// ablation experiment reports it. Returns math.MaxInt64 if the ring never
+// wins below 1 GiB.
+func CrossoverBytes(l Transferer, p int) int64 {
+	lo, hi := int64(1), int64(1)<<30
+	if RingAllReduceTime(l, hi, p) >= TreeAllReduceTime(l, hi, p) {
+		return math.MaxInt64
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if RingAllReduceTime(l, mid, p) < TreeAllReduceTime(l, mid, p) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

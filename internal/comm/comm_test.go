@@ -1,0 +1,306 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"scaledl/internal/hw"
+	"scaledl/internal/sim"
+	"scaledl/internal/tensor"
+)
+
+var testLink = hw.Link{Name: "test", Alpha: 1e-6, Beta: 1e-9}
+
+func TestRounds(t *testing.T) {
+	cases := []struct{ p, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {64, 6}, {1000, 10},
+	}
+	for _, c := range cases {
+		if got := rounds(c.p); got != c.want {
+			t.Errorf("rounds(%d) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestLinearVsTreeScaling(t *testing.T) {
+	n := int64(1 << 20)
+	// Exact formulas: linear is (P-1)·T, tree is ceil(log2 P)·T.
+	unit := testLink.Time(n)
+	for _, p := range []int{2, 4, 8, 16, 64} {
+		lin := LinearReduceTime(testLink, n, p)
+		tree := TreeReduceTime(testLink, n, p)
+		if math.Abs(lin-float64(p-1)*unit) > 1e-12 {
+			t.Errorf("linear P=%d: %v", p, lin)
+		}
+		wantTree := float64(rounds(p)) * unit
+		if math.Abs(tree-wantTree) > 1e-12 {
+			t.Errorf("tree P=%d: %v want %v", p, tree, wantTree)
+		}
+	}
+	// The paper's headline: Θ(log P) ≪ Θ(P). At P=64 the ratio must be
+	// (P-1)/log2(P) = 10.5×.
+	ratio := LinearReduceTime(testLink, n, 64) / TreeReduceTime(testLink, n, 64)
+	if math.Abs(ratio-63.0/6.0) > 1e-9 {
+		t.Errorf("linear/tree ratio at P=64: %v", ratio)
+	}
+}
+
+func TestDegenerateSingleParty(t *testing.T) {
+	if LinearReduceTime(testLink, 100, 1) != 0 {
+		t.Error("P=1 linear reduce should be free")
+	}
+	if TreeReduceTime(testLink, 100, 1) != 0 {
+		t.Error("P=1 tree reduce should be free")
+	}
+	if RingAllReduceTime(testLink, 100, 1) != 0 {
+		t.Error("P=1 ring should be free")
+	}
+}
+
+// Property: tree time never exceeds linear time, for any size and party count.
+func TestTreeNeverSlowerThanLinearProperty(t *testing.T) {
+	f := func(nRaw uint32, pRaw uint8) bool {
+		n := int64(nRaw) + 1
+		p := int(pRaw%200) + 1
+		return TreeReduceTime(testLink, n, p) <= LinearReduceTime(testLink, n, p)+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingBeatsTreeOnLargeMessages(t *testing.T) {
+	p := 16
+	small := int64(1 << 10)
+	big := int64(256 << 20)
+	if RingAllReduceTime(testLink, small, p) < TreeAllReduceTime(testLink, small, p) {
+		t.Error("ring should lose on small (latency-bound) messages")
+	}
+	if RingAllReduceTime(testLink, big, p) > TreeAllReduceTime(testLink, big, p) {
+		t.Error("ring should win on large (bandwidth-bound) messages")
+	}
+	cross := CrossoverBytes(testLink, p)
+	if cross <= small || cross >= big {
+		t.Errorf("crossover %d outside (%d, %d)", cross, small, big)
+	}
+	// At the crossover, ring wins; just below, tree wins.
+	if RingAllReduceTime(testLink, cross, p) >= TreeAllReduceTime(testLink, cross, p) {
+		t.Error("ring does not win at the crossover point")
+	}
+	if RingAllReduceTime(testLink, cross-1, p) < TreeAllReduceTime(testLink, cross-1, p) {
+		t.Error("ring wins below the crossover point")
+	}
+}
+
+func TestReduceSumDeterministicOrder(t *testing.T) {
+	g := tensor.NewRNG(1)
+	n := 100
+	srcs := make([][]float32, 5)
+	for i := range srcs {
+		srcs[i] = make([]float32, n)
+		g.FillNormal(srcs[i], 0, 1)
+	}
+	run := func() []float32 {
+		dst := make([]float32, n)
+		ReduceSum(dst, srcs...)
+		return dst
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ReduceSum nondeterministic")
+		}
+	}
+	// Correctness against float64 reference.
+	for i := 0; i < n; i++ {
+		var want float64
+		for _, s := range srcs {
+			want += float64(s[i])
+		}
+		if math.Abs(want-float64(a[i])) > 1e-4 {
+			t.Fatalf("ReduceSum[%d] = %v, want %v", i, a[i], want)
+		}
+	}
+}
+
+func TestAverage(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{3, 4, 5}
+	dst := make([]float32, 3)
+	Average(dst, a, b)
+	for i, want := range []float32{2, 3, 4} {
+		if dst[i] != want {
+			t.Fatalf("Average = %v", dst)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Average() of nothing did not panic")
+		}
+	}()
+	Average(dst)
+}
+
+func TestPlanPackedBeatsPerLayer(t *testing.T) {
+	// LeNet-like sizes: a few small layers and one big one.
+	sizes := []int64{2080, 100200, 1602000, 20040}
+	packed := Plan{LayerBytes: sizes, Packed: true}
+	perLayer := Plan{LayerBytes: sizes, Packed: false}
+	if packed.TotalBytes() != perLayer.TotalBytes() {
+		t.Fatal("plans disagree on payload")
+	}
+	pt := packed.TransferTime(testLink)
+	ut := perLayer.TransferTime(testLink)
+	if pt >= ut {
+		t.Errorf("packed %v not faster than per-layer %v", pt, ut)
+	}
+	// The difference is exactly (k-1) α with no gather penalty.
+	want := float64(len(sizes)-1) * testLink.Alpha
+	if math.Abs((ut-pt)-want) > 1e-12 {
+		t.Errorf("latency gap %v, want %v", ut-pt, want)
+	}
+}
+
+func TestPlanGatherPenaltyOnlyUnpacked(t *testing.T) {
+	sizes := []int64{1 << 20, 1 << 20}
+	gatherBW := 5e9
+	packed := Plan{LayerBytes: sizes, Packed: true, GatherBW: gatherBW}
+	unpacked := Plan{LayerBytes: sizes, Packed: false, GatherBW: gatherBW}
+	basePacked := Plan{LayerBytes: sizes, Packed: true}
+	baseUnpacked := Plan{LayerBytes: sizes, Packed: false}
+	if packed.TransferTime(testLink) != basePacked.TransferTime(testLink) {
+		t.Error("packed plan charged a gather penalty")
+	}
+	penalty := unpacked.TransferTime(testLink) - baseUnpacked.TransferTime(testLink)
+	want := float64(2<<20) / gatherBW
+	if math.Abs(penalty-want) > 1e-12 {
+		t.Errorf("gather penalty %v, want %v", penalty, want)
+	}
+}
+
+func TestPlanAllReducePerLayerPaysLatencyPerLayer(t *testing.T) {
+	sizes := []int64{1000, 1000, 1000, 1000}
+	p := 8
+	packed := Plan{LayerBytes: sizes, Packed: true}
+	unpacked := Plan{LayerBytes: sizes, Packed: false}
+	pt := packed.AllReduceTime(testLink, p)
+	ut := unpacked.AllReduceTime(testLink, p)
+	if pt >= ut {
+		t.Errorf("packed allreduce %v not faster than per-layer %v", pt, ut)
+	}
+	// Per-layer pays 2·log2(8)·α per extra layer: 3 extra layers × 6 α.
+	want := float64(len(sizes)-1) * 2 * 3 * testLink.Alpha
+	if math.Abs((ut-pt)-want) > 1e-12 {
+		t.Errorf("allreduce latency gap %v, want %v", ut-pt, want)
+	}
+}
+
+// Property: packed plans are never slower, for random layer splits.
+func TestPackedPlanNeverSlowerProperty(t *testing.T) {
+	f := func(sizesRaw []uint16, parties uint8) bool {
+		if len(sizesRaw) == 0 || len(sizesRaw) > 40 {
+			return true
+		}
+		sizes := make([]int64, len(sizesRaw))
+		for i, s := range sizesRaw {
+			sizes[i] = int64(s) + 1
+		}
+		p := int(parties%30) + 2
+		packed := Plan{LayerBytes: sizes, Packed: true}
+		unpacked := Plan{LayerBytes: sizes, Packed: false}
+		return packed.TransferTime(testLink) <= unpacked.TransferTime(testLink)+1e-15 &&
+			packed.AllReduceTime(testLink, p) <= unpacked.AllReduceTime(testLink, p)+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchicalAllReduceBeatsFlatOnFabric(t *testing.T) {
+	// 16 nodes × 4 GPUs: a flat 64-party tree over the slow fabric pays
+	// log2(64) fabric waves; the hierarchical version pays log2(4) fast
+	// local waves plus log2(16) fabric waves.
+	intra := hw.GPUPeer
+	inter := hw.Link{Name: "fabric", Alpha: 1.5e-6, Beta: 1e-9}
+	n := int64(4 << 20)
+	flat := TreeAllReduceTime(inter, n, 64)
+	hier := HierarchicalAllReduceTime(intra, inter, n, 16, 4)
+	if hier >= flat {
+		t.Errorf("hierarchical %v not faster than flat-over-fabric %v", hier, flat)
+	}
+	// Degenerate cases.
+	if got := HierarchicalAllReduceTime(intra, inter, n, 1, 1); got != 0 {
+		t.Errorf("1×1 hierarchy should be free, got %v", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("0 nodes did not panic")
+			}
+		}()
+		HierarchicalAllReduceTime(intra, inter, n, 0, 4)
+	}()
+}
+
+func TestMailboxTransferTiming(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	mb := NewMailbox(env, "mb", testLink)
+	var recvAt float64
+	env.Spawn("sender", func(p *sim.Proc) {
+		mb.Send(p, "weights", 1<<20) // ≈ 1.05 ms on the test link
+	})
+	env.Spawn("receiver", func(p *sim.Proc) {
+		msg := mb.Recv(p)
+		if msg.(string) != "weights" {
+			t.Errorf("got %v", msg)
+		}
+		recvAt = p.Now()
+	})
+	env.Run()
+	want := testLink.Time(1 << 20)
+	if math.Abs(recvAt-want) > 1e-12 {
+		t.Errorf("received at %v, want %v", recvAt, want)
+	}
+}
+
+func TestMailboxFCFSOrder(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	mb := NewMailbox(env, "mb", testLink)
+	var got []int
+	for i := 0; i < 3; i++ {
+		id := i
+		env.Spawn("w", func(p *sim.Proc) {
+			p.Delay(float64(3 - id)) // w2 sends first, then w1, then w0
+			mb.Send(p, id, 0)
+		})
+	}
+	env.Spawn("master", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Recv(p).(int))
+		}
+	})
+	env.Run()
+	if got[0] != 2 || got[1] != 1 || got[2] != 0 {
+		t.Errorf("FCFS order broken: %v", got)
+	}
+}
+
+func TestMailboxTryRecvAndLen(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	mb := NewMailbox(env, "mb", testLink)
+	if _, ok := mb.TryRecv(); ok {
+		t.Error("TryRecv on empty mailbox")
+	}
+	mb.SendAsync(7)
+	if mb.Len() != 1 {
+		t.Errorf("Len = %d", mb.Len())
+	}
+	v, ok := mb.TryRecv()
+	if !ok || v.(int) != 7 {
+		t.Errorf("TryRecv = %v %v", v, ok)
+	}
+}

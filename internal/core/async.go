@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"scaledl/internal/sim"
+)
+
+// The six asynchronous methods share two skeletons.
+//
+// SGD-style (Async SGD, Async MSGD, Hogwild SGD — the existing methods of
+// §3.1/§3.2): the worker downloads W̄, computes a gradient on it, and ships
+// the gradient; the master folds the gradient into W̄ and replies with the
+// new W̄. The worker is idle during the round trip because its next gradient
+// needs the fresh weights.
+//
+// EASGD-style (Async EASGD, Async MEASGD, Hogwild EASGD — the paper's
+// methods of §5.1): the worker keeps local weights, ships them, and
+// computes its next gradient *during* the round trip (steps (1)-(2) of
+// §5.1 overlap); the master applies Equation (2) and replies with W̄, which
+// the worker folds in via Equation (1) (or (5)-(6) with momentum).
+//
+// The lock-free (Hogwild) variants differ only at the master: instead of a
+// FIFO critical section serializing updates, every arrival is served by a
+// concurrent handler that reads a center snapshot at service start and
+// commits additively — the deterministic model of componentwise-atomic
+// lock-free updates (§3.2, §5.1, convergence proof referenced by the paper).
+
+// AsyncSGD is the parameter-server baseline (Dean et al.), FCFS with a
+// master-side lock.
+func AsyncSGD(cfg Config) (Result, error) {
+	return runAsync(cfg, "async-sgd", asyncOpts{})
+}
+
+// AsyncMSGD is Async SGD with momentum applied at the master (Equations
+// (3)-(4)).
+func AsyncMSGD(cfg Config) (Result, error) {
+	return runAsync(cfg, "async-msgd", asyncOpts{momentum: true})
+}
+
+// HogwildSGD removes the master lock from Async SGD (§3.2).
+func HogwildSGD(cfg Config) (Result, error) {
+	return runAsync(cfg, "hogwild-sgd", asyncOpts{lockFree: true})
+}
+
+// AsyncEASGD replaces Original EASGD's round-robin rule with
+// first-come-first-served parameter-server scheduling (§5.1).
+func AsyncEASGD(cfg Config) (Result, error) {
+	return runAsync(cfg, "async-easgd", asyncOpts{elastic: true})
+}
+
+// AsyncMEASGD adds momentum to Async EASGD's local update (Equations
+// (5)-(6)).
+func AsyncMEASGD(cfg Config) (Result, error) {
+	return runAsync(cfg, "async-measgd", asyncOpts{elastic: true, momentum: true})
+}
+
+// HogwildEASGD removes the master lock from Async EASGD: the master
+// processes multiple local weights concurrently with lock-free elastic
+// updates (§5.1), one of the paper's two headline algorithms.
+func HogwildEASGD(cfg Config) (Result, error) {
+	return runAsync(cfg, "hogwild-easgd", asyncOpts{elastic: true, lockFree: true})
+}
+
+type asyncOpts struct {
+	elastic  bool // EASGD-style worker/master rules
+	momentum bool
+	lockFree bool
+}
+
+// psRequest travels worker→master. For SGD-style methods payload is the
+// gradient; for EASGD-style it is the worker's local weights.
+type psRequest struct {
+	from    int
+	payload []float32
+	reply   *sim.Queue
+}
+
+// psReply travels master→worker.
+type psReply struct {
+	center []float32 // snapshot of W̄ after the update
+	stop   bool
+}
+
+func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
+	rc, err := newRunContext(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg = rc.cfg // validated copy with defaults applied
+	env := sim.NewEnv()
+	defer env.Close()
+
+	inbox := sim.NewQueue(env, "ps-inbox")
+	var velocity []float32
+	if opt.momentum && !opt.elastic {
+		velocity = make([]float32, len(rc.center)) // master-side momentum
+	}
+
+	// Master: FIFO service. Locked variants hold the critical section for
+	// update+reply; the lock-free variants dispatch a concurrent handler per
+	// request, so service times overlap.
+	dispatched := 0
+	env.Spawn("master", func(p *sim.Proc) {
+		stopsSent := 0
+		for stopsSent < cfg.Workers {
+			req := p.Recv(inbox).(psRequest)
+			if dispatched >= cfg.Iterations || rc.stopped {
+				req.reply.Send(psReply{stop: true})
+				stopsSent++
+				continue
+			}
+			dispatched++
+			if opt.lockFree {
+				r := req
+				env.Spawn(fmt.Sprintf("handler-%d", dispatched), func(h *sim.Proc) {
+					serveOne(h, rc, cfg, opt, r, velocity)
+				})
+			} else {
+				serveOne(p, rc, cfg, opt, req, velocity)
+			}
+		}
+	})
+
+	for i := 0; i < cfg.Workers; i++ {
+		w := rc.workers[i]
+		replyQ := sim.NewQueue(env, fmt.Sprintf("reply%d", i))
+		env.Spawn(fmt.Sprintf("worker%d", i), func(p *sim.Proc) {
+			for {
+				// Minibatch copy to the device.
+				p.Delay(rc.dataXfer)
+				if opt.elastic {
+					// Ship local weights, then overlap the gradient with the
+					// round trip (§5.1 steps (1)-(2)).
+					snap := append([]float32(nil), w.net.Params...)
+					p.Delay(rc.hostXfer)
+					inbox.Send(psRequest{from: i, payload: snap, reply: replyQ})
+					w.computeGradient()
+					p.Delay(w.computeTime)
+					rep := p.Recv(replyQ).(psReply)
+					if rep.stop {
+						return
+					}
+					if opt.momentum {
+						w.momentumElasticLocal(cfg.LR, cfg.Momentum, cfg.Rho, rep.center)
+					} else {
+						w.elasticLocal(cfg.LR, cfg.Rho, rep.center)
+					}
+					p.Delay(rc.workerUpdate)
+				} else {
+					// Gradient on the freshly fetched weights, then wait.
+					w.computeGradient()
+					p.Delay(w.computeTime)
+					p.Delay(rc.hostXfer)
+					inbox.Send(psRequest{from: i, payload: w.net.Grads, reply: replyQ})
+					rep := p.Recv(replyQ).(psReply)
+					if rep.stop {
+						return
+					}
+					copy(w.net.Params, rep.center)
+				}
+				rc.samples += int64(cfg.Batch)
+			}
+		})
+	}
+
+	end := env.Run()
+	return rc.finish(name, end), nil
+}
+
+// serveOne performs one master-side service: the update rule, then the
+// reply transfer back to the worker. In locked mode it runs inside the
+// master's loop (serializing); in lock-free mode it runs in its own process.
+func serveOne(p *sim.Proc, rc *runContext, cfg Config, opt asyncOpts, req psRequest, velocity []float32) {
+	if opt.elastic {
+		// Equation (2) for one arrival. The center snapshot is taken at
+		// service start; with the lock this equals the live center, without
+		// it concurrent handlers read stale snapshots — the Hogwild race.
+		snap := append([]float32(nil), rc.center...)
+		p.Delay(rc.masterUpdate)
+		rc.bd.Add(CatCPUUpdate, rc.masterUpdate)
+		centerElasticUpdate(rc.center, req.payload, snap, cfg.LR, cfg.Rho)
+	} else {
+		p.Delay(rc.masterUpdate)
+		rc.bd.Add(CatCPUUpdate, rc.masterUpdate)
+		if opt.momentum {
+			for i := range rc.center {
+				velocity[i] = cfg.Momentum*velocity[i] - cfg.LR*req.payload[i]
+				rc.center[i] += velocity[i]
+			}
+		} else {
+			centerSGDUpdate(rc.center, req.payload, cfg.LR)
+		}
+	}
+	rc.updates++
+	if cfg.EvalEvery > 0 && rc.updates%int64(cfg.EvalEvery) == 0 {
+		rc.recordPoint(int(rc.updates), p.Now(), rc.workers[req.from].lastLoss)
+	}
+	// Reply transfer occupies the lock in the locked variants; in Hogwild it
+	// is a concurrent DMA.
+	p.Delay(rc.hostXfer)
+	rc.bd.Add(CatCPUGPUParam, rc.hostXfer)
+	req.reply.Send(psReply{center: append([]float32(nil), rc.center...)})
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"scaledl/internal/quant"
+)
+
+func TestCompressedSyncSGDStillLearns(t *testing.T) {
+	// The §3.4 extension: quantized gradients with error feedback must not
+	// break convergence, and 1-bit transmission must cut the allreduce time.
+	results := map[quant.Scheme]Result{}
+	for _, scheme := range []quant.Scheme{quant.None, quant.Uniform8, quant.OneBit} {
+		cfg := testConfig(t, 60, true)
+		cfg.Compression = scheme
+		res, err := SyncSGD(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if res.FinalAcc < 0.5 {
+			t.Errorf("%v: accuracy %.3f too low", scheme, res.FinalAcc)
+		}
+		results[scheme] = res
+	}
+	if results[quant.OneBit].SimTime >= results[quant.None].SimTime {
+		t.Errorf("1-bit run (%v) not faster than fp32 (%v)", results[quant.OneBit].SimTime, results[quant.None].SimTime)
+	}
+	if results[quant.Uniform8].SimTime >= results[quant.None].SimTime {
+		t.Errorf("uint8 run (%v) not faster than fp32 (%v)", results[quant.Uniform8].SimTime, results[quant.None].SimTime)
+	}
+}
+
+func TestCompressedRunsAreDeterministic(t *testing.T) {
+	run := func() Result {
+		cfg := testConfig(t, 25, true)
+		cfg.Compression = quant.OneBit
+		res, err := SyncSGD(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.FinalAcc != b.FinalAcc || a.SimTime != b.SimTime || a.FinalLoss != b.FinalLoss {
+		t.Error("compressed runs nondeterministic")
+	}
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"scaledl/internal/data"
+	"scaledl/internal/nn"
+)
+
+// testConfig builds a small but real training setup: 4 simulated GPUs on
+// the default platform, TinyCNN on a learnable 4-class synthetic set.
+func testConfig(t *testing.T, iters int, packed bool) Config {
+	t.Helper()
+	spec := data.Spec{Name: "toy", Channels: 1, Height: 12, Width: 12, Classes: 4}
+	train, test := data.Synthetic(data.Config{Spec: spec, TrainN: 512, TestN: 256, Seed: 99})
+	train.Normalize()
+	test.Normalize()
+	return Config{
+		Def:        nn.TinyCNN(nn.Shape{C: 1, H: 12, W: 12}, 4),
+		Train:      train,
+		Test:       test,
+		Workers:    4,
+		Batch:      8,
+		LR:         0.05,
+		Momentum:   0.9,
+		Iterations: iters,
+		Seed:       7,
+		Platform:   DefaultGPUPlatform(packed),
+	}
+}
+
+func TestAllMethodsRunAndLearn(t *testing.T) {
+	for _, name := range MethodNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig(t, 60, true)
+			if name == "original-easgd" || name == "original-easgd*" {
+				cfg.Iterations = 200 // round-robin does 1 batch per iteration
+				cfg.Platform = DefaultGPUPlatform(false)
+			}
+			if name == "async-msgd" || name == "async-measgd" {
+				// Momentum amplifies the effective step ~1/(1-µ); the same η
+				// that plain SGD uses diverges (the instability Figure 6.2
+				// reports for Async MSGD). Use a stable step for this test.
+				cfg.LR = 0.01
+			}
+			res, err := Methods[name](cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if res.Method != name {
+				t.Errorf("method name %q", res.Method)
+			}
+			if res.SimTime <= 0 {
+				t.Errorf("sim time %v", res.SimTime)
+			}
+			if res.Samples <= 0 {
+				t.Errorf("no samples consumed")
+			}
+			if res.FinalAcc < 0.5 {
+				t.Errorf("%s: final accuracy %.3f, should beat 0.5 on separable 4-class data", name, res.FinalAcc)
+			}
+			if res.ErrorRate() != 1-res.FinalAcc {
+				t.Errorf("ErrorRate inconsistent")
+			}
+		})
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	// The paper's claim: Sync EASGD is deterministic and reproducible. Our
+	// simulator makes every method reproducible; verify bit-equality of the
+	// full result for a representative subset.
+	for _, name := range []string{"sync-easgd3", "hogwild-easgd", "original-easgd", "async-sgd"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg1 := testConfig(t, 30, true)
+			cfg2 := testConfig(t, 30, true)
+			r1, err1 := Methods[name](cfg1)
+			r2, err2 := Methods[name](cfg2)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if r1.SimTime != r2.SimTime {
+				t.Errorf("sim times differ: %v vs %v", r1.SimTime, r2.SimTime)
+			}
+			if r1.FinalAcc != r2.FinalAcc {
+				t.Errorf("accuracies differ: %v vs %v", r1.FinalAcc, r2.FinalAcc)
+			}
+			if r1.FinalLoss != r2.FinalLoss {
+				t.Errorf("losses differ: %v vs %v", r1.FinalLoss, r2.FinalLoss)
+			}
+		})
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfg1 := testConfig(t, 20, true)
+	cfg2 := testConfig(t, 20, true)
+	cfg2.Seed = 8
+	r1, _ := SyncEASGD3(cfg1)
+	r2, _ := SyncEASGD3(cfg2)
+	if r1.FinalLoss == r2.FinalLoss {
+		t.Error("different seeds produced identical losses")
+	}
+}
+
+// The paper's Table 3 structure: Sync EASGD variants process the same
+// number of samples far faster than round-robin EASGD, and the co-design
+// steps are ordered EASGD* ≥ EASGD > Sync1 > Sync2 ≥ Sync3 in time.
+func TestSyncBeatsRoundRobinPerSample(t *testing.T) {
+	g := 4
+	rounds := 25
+	// Equal sample budgets: round-robin does 1 batch/iter, sync does G.
+	rrCfg := testConfig(t, rounds*g, false) // legacy per-layer platform
+	serial, err := OriginalEASGDSerial(rrCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrCfg2 := testConfig(t, rounds*g, false)
+	pipelined, err := OriginalEASGD(rrCfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := map[string]float64{"original-easgd*": serial.SimTime, "original-easgd": pipelined.SimTime}
+	for _, name := range []string{"sync-easgd1", "sync-easgd2", "sync-easgd3"} {
+		cfg := testConfig(t, rounds, true)
+		res, err := Methods[name](cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Samples != serial.Samples {
+			t.Fatalf("%s consumed %d samples, round-robin %d — not comparable", name, res.Samples, serial.Samples)
+		}
+		times[name] = res.SimTime
+	}
+	if !(times["original-easgd"] <= times["original-easgd*"]) {
+		t.Errorf("pipelined EASGD (%v) should not be slower than serial (%v)", times["original-easgd"], times["original-easgd*"])
+	}
+	if !(times["sync-easgd1"] < times["original-easgd"]) {
+		t.Errorf("sync1 (%v) should beat round-robin (%v)", times["sync-easgd1"], times["original-easgd"])
+	}
+	if !(times["sync-easgd2"] < times["sync-easgd1"]) {
+		t.Errorf("sync2 (%v) should beat sync1 (%v)", times["sync-easgd2"], times["sync-easgd1"])
+	}
+	if !(times["sync-easgd3"] <= times["sync-easgd2"]) {
+		t.Errorf("sync3 (%v) should not be slower than sync2 (%v)", times["sync-easgd3"], times["sync-easgd2"])
+	}
+	speedup := times["original-easgd"] / times["sync-easgd3"]
+	if speedup < 2 {
+		t.Errorf("sync3 speedup over round-robin %.2f×; paper reports ≈5.3× (≥2 required)", speedup)
+	}
+	t.Logf("per-sample-equal times: %v (sync3 speedup %.1f×)", times, speedup)
+}
+
+func TestHogwildFasterThanLockedThroughput(t *testing.T) {
+	// Same number of master updates; the lock-free master should finish in
+	// less simulated time because services overlap.
+	locked, err := AsyncEASGD(testConfig(t, 80, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := HogwildEASGD(testConfig(t, 80, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.SimTime >= locked.SimTime {
+		t.Errorf("hogwild %.4fs not faster than locked %.4fs", free.SimTime, locked.SimTime)
+	}
+}
+
+func TestAsyncEASGDOverlapBeatsAsyncSGD(t *testing.T) {
+	// EASGD workers overlap gradient computation with the round trip, so for
+	// the same update budget the run finishes sooner.
+	sgd, err := AsyncSGD(testConfig(t, 80, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	easgd, err := AsyncEASGD(testConfig(t, 80, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if easgd.SimTime >= sgd.SimTime {
+		t.Errorf("async-easgd %.4fs not faster than async-sgd %.4fs", easgd.SimTime, sgd.SimTime)
+	}
+}
+
+func TestBreakdownSumsToWallForCoordinatedMethods(t *testing.T) {
+	// For the round-robin and sync algorithms the breakdown uses exposed
+	// (critical-path) accounting from the coordinator, so the category sum
+	// must equal the simulated wall time.
+	for _, name := range []string{"original-easgd*", "sync-easgd1", "sync-easgd2", "sync-easgd3", "sync-sgd"} {
+		cfg := testConfig(t, 20, true)
+		if name == "original-easgd*" {
+			cfg.Platform = DefaultGPUPlatform(false)
+			cfg.Iterations = 80
+		}
+		res, err := Methods[name](cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := res.Breakdown.Total()
+		if rel := math.Abs(sum-res.SimTime) / res.SimTime; rel > 0.02 {
+			t.Errorf("%s: breakdown sum %.5f vs wall %.5f (rel %.3f)", name, sum, res.SimTime, rel)
+		}
+	}
+}
+
+// realisticConfig is a LeNet-regime setup: 28×28 inputs and batch 32 put
+// per-iteration compute in the hundreds of microseconds, the regime where
+// Table 3's comm-versus-compute shares are meaningful. (The toy 12×12 config
+// is latency-dominated, which is physically right for toy models but not
+// the paper's operating point.)
+func realisticConfig(t *testing.T, iters int, packed bool) Config {
+	t.Helper()
+	spec := data.Spec{Name: "mnistish", Channels: 1, Height: 28, Width: 28, Classes: 10}
+	train, test := data.Synthetic(data.Config{Spec: spec, TrainN: 512, TestN: 128, Seed: 5})
+	train.Normalize()
+	test.Normalize()
+	return Config{
+		Def:        nn.TinyCNN(nn.Shape{C: 1, H: 28, W: 28}, 10),
+		Train:      train,
+		Test:       test,
+		Workers:    4,
+		Batch:      32,
+		LR:         0.05,
+		Iterations: iters,
+		Seed:       3,
+		Platform:   DefaultGPUPlatform(packed),
+	}
+}
+
+func TestCommRatioDropsAcrossCodesign(t *testing.T) {
+	// Table 3's headline: communication share falls from ~87% (original) to
+	// ~14% (sync3).
+	rrCfg := realisticConfig(t, 40, false)
+	rr, err := OriginalEASGD(rrCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := SyncEASGD3(realisticConfig(t, 10, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Breakdown.CommRatio() < 0.5 {
+		t.Errorf("original EASGD comm ratio %.2f, expected communication-dominated (>0.5)", rr.Breakdown.CommRatio())
+	}
+	if s3.Breakdown.CommRatio() > 0.5 {
+		t.Errorf("sync EASGD3 comm ratio %.2f, expected compute-dominated (<0.5)", s3.Breakdown.CommRatio())
+	}
+	if s3.Breakdown.CommRatio() >= rr.Breakdown.CommRatio() {
+		t.Errorf("comm ratio did not drop: %.2f -> %.2f", rr.Breakdown.CommRatio(), s3.Breakdown.CommRatio())
+	}
+}
+
+func TestCurveRecording(t *testing.T) {
+	cfg := testConfig(t, 30, true)
+	cfg.EvalEvery = 10
+	res, err := SyncEASGD3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != 3 {
+		t.Fatalf("curve has %d points, want 3", len(res.Curve))
+	}
+	prevT := -1.0
+	for _, pt := range res.Curve {
+		if pt.SimTime <= prevT {
+			t.Errorf("curve times not increasing: %v", res.Curve)
+		}
+		prevT = pt.SimTime
+		if pt.TestAcc < 0 || pt.TestAcc > 1 {
+			t.Errorf("accuracy %v out of range", pt.TestAcc)
+		}
+	}
+	if res.Curve[len(res.Curve)-1].Iter != 30 {
+		t.Errorf("last point iter %d", res.Curve[len(res.Curve)-1].Iter)
+	}
+}
+
+func TestSingleWorkerDegenerateCase(t *testing.T) {
+	for _, name := range []string{"sync-easgd3", "async-easgd", "hogwild-sgd", "original-easgd"} {
+		cfg := testConfig(t, 15, true)
+		cfg.Workers = 1
+		res, err := Methods[name](cfg)
+		if err != nil {
+			t.Fatalf("%s with 1 worker: %v", name, err)
+		}
+		if res.SimTime <= 0 {
+			t.Errorf("%s: no time elapsed", name)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := testConfig(t, 10, true)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no-train", func(c *Config) { c.Train = nil }},
+		{"zero-workers", func(c *Config) { c.Workers = 0 }},
+		{"zero-batch", func(c *Config) { c.Batch = 0 }},
+		{"zero-iters", func(c *Config) { c.Iterations = 0 }},
+		{"bad-lr", func(c *Config) { c.LR = 0 }},
+		{"shape-mismatch", func(c *Config) { c.Def = nn.TinyCNN(nn.Shape{C: 3, H: 12, W: 12}, 4) }},
+	}
+	for _, c := range cases {
+		cfg := base
+		c.mutate(&cfg)
+		if _, err := SyncEASGD3(cfg); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestRhoDefaultFollowsEASGDGuidance(t *testing.T) {
+	cfg := testConfig(t, 10, true)
+	cfg.Rho = 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// η·ρ should equal 0.9/P.
+	got := float64(cfg.LR * cfg.Rho)
+	want := 0.9 / float64(cfg.Workers)
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("η·ρ = %v, want %v", got, want)
+	}
+}
+
+func TestElasticUpdateMovesCenterTowardWorkers(t *testing.T) {
+	// Equation (2) property: if all workers sit at the same point X, the
+	// center moves strictly toward X and never overshoots (for ηρP < 1).
+	n := 32
+	center := make([]float32, n)
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = 1
+	}
+	var lr, rho float32 = 0.05, 2 // ηρ = 0.1
+	for step := 0; step < 100; step++ {
+		before := append([]float32(nil), center...)
+		centerElasticUpdate(center, x, center, lr, rho)
+		for i := range center {
+			if (center[i]-before[i])*(x[i]-before[i]) < 0 {
+				t.Fatalf("center moved away from worker at %d", i)
+			}
+			if center[i] > x[i] {
+				t.Fatalf("center overshot worker at %d: %v", i, center[i])
+			}
+		}
+	}
+	if center[0] < 0.99 {
+		t.Errorf("center should converge to worker position, got %v", center[0])
+	}
+}
+
+func TestBreakdownNegativePanics(t *testing.T) {
+	var b Breakdown
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative breakdown time did not panic")
+		}
+	}()
+	b.Add(CatCPUUpdate, -1)
+}
+
+func TestCategoryStrings(t *testing.T) {
+	if len(Categories()) != 6 {
+		t.Fatalf("want 6 categories")
+	}
+	for _, c := range Categories() {
+		if c.String() == "" {
+			t.Errorf("category %d has empty name", c)
+		}
+	}
+	if Category(99).String() == "" {
+		t.Error("unknown category should still print")
+	}
+}
+
+func TestMethodRegistryComplete(t *testing.T) {
+	if len(Methods) != len(MethodNames()) {
+		t.Errorf("registry has %d methods, names list %d", len(Methods), len(MethodNames()))
+	}
+	for _, n := range MethodNames() {
+		if Methods[n] == nil {
+			t.Errorf("method %q missing from registry", n)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"scaledl/internal/comm"
+	"scaledl/internal/hw"
+	"scaledl/internal/mpi"
+	"scaledl/internal/sim"
+	"scaledl/internal/tensor"
+)
+
+// KNLClusterConfig configures Algorithm 4 of the paper: Communication-
+// Efficient EASGD on a KNL cluster. Unlike the coordinator-style Sync
+// EASGD implementations (which charge collective costs analytically), this
+// runs one simulated MPI rank process per node, with the broadcast and
+// tree reduction executed as real message waves over the fabric — the
+// closest structural analogue of the paper's MPI code.
+type KNLClusterConfig struct {
+	// Config supplies the workload, hyperparameters and budget. The
+	// Platform's Worker device models one KNL node; parameter traffic uses
+	// Fabric below rather than the platform links.
+	Config
+	// Fabric is the interconnect between nodes (e.g. Cori's Aries).
+	Fabric comm.Transferer
+}
+
+// KNLClusterEASGD runs Algorithm 4: every KNL node holds a local weight
+// and a full data copy; each iteration all nodes compute gradients in
+// parallel, node 1 broadcasts the center weight W̄ while a binomial tree
+// reduces ΣW_j to it, every node applies Equation (1) and the master
+// applies Equation (2).
+func KNLClusterEASGD(kcfg KNLClusterConfig) (Result, error) {
+	rc, err := newRunContext(kcfg.Config)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := rc.cfg
+	if kcfg.Fabric == nil {
+		kcfg.Fabric = hw.Aries
+	}
+	env := sim.NewEnv()
+	defer env.Close()
+
+	world := mpi.NewWorld(env, cfg.Workers, kcfg.Fabric)
+	n := len(rc.center)
+
+	world.Spawn("knl", func(r *mpi.Rank) {
+		w := rc.workers[r.ID()]
+		sum := make([]float32, n)
+		centerBuf := make([]float32, n)
+		if r.ID() == 0 {
+			copy(centerBuf, rc.center)
+		}
+		for t := 0; t < cfg.Iterations; t++ {
+			if rc.stopped {
+				break
+			}
+			// Line 10: each node samples b from its local copy (local
+			// memory, negligible on the fabric timeline) and computes the
+			// gradient for real.
+			roundLoss := w.computeGradient()
+			r.Proc().Delay(w.computeTime)
+
+			// Line 12: KNL1 broadcasts W̄_t (real message tree).
+			r.Bcast(0, 2*t, centerBuf)
+			// Line 13: tree-reduce ΣW_j^t to KNL1 (pre-update weights).
+			copy(sum, w.net.Params)
+			r.Reduce(0, 2*t+1, sum)
+
+			// Line 14: every node applies Equation (1) with W̄_t.
+			w.elasticLocal(cfg.LR, cfg.Rho, centerBuf)
+			r.Proc().Delay(rc.workerUpdate)
+
+			// Line 15: KNL1 applies Equation (2) with the reduced sum.
+			if r.ID() == 0 {
+				a := cfg.LR * cfg.Rho
+				pf := float32(cfg.Workers)
+				for i := range centerBuf {
+					centerBuf[i] += a * (sum[i] - pf*centerBuf[i])
+				}
+				r.Proc().Delay(rc.masterUpdate)
+				copy(rc.center, centerBuf)
+				rc.updates++
+				rc.samples += int64(cfg.Batch * cfg.Workers)
+				if cfg.EvalEvery > 0 && (t+1)%cfg.EvalEvery == 0 {
+					rc.recordPoint(t+1, r.Now(), roundLoss)
+				}
+			}
+		}
+	})
+
+	end := env.Run()
+	res := rc.finish("knl-cluster-easgd", end)
+	return res, nil
+}
+
+// KNLClusterWeakScaling runs the Algorithm 4 rank program in cost-only
+// mode (no real math) to measure per-iteration time at a given node count
+// for an arbitrary model size — the executable counterpart of Table 4's
+// analytic model. It returns the simulated seconds per iteration.
+func KNLClusterWeakScaling(nodes int, paramBytes int64, computePerIter float64, fabric comm.Transferer, iters int) (float64, error) {
+	if nodes < 1 || iters < 1 {
+		return 0, fmt.Errorf("core: nodes and iters must be >= 1")
+	}
+	env := sim.NewEnv()
+	defer env.Close()
+	world := mpi.NewWorld(env, nodes, fabric)
+	world.Spawn("ws", func(r *mpi.Rank) {
+		for t := 0; t < iters; t++ {
+			r.Proc().Delay(computePerIter)
+			r.BcastBytes(0, 2*t, paramBytes)
+			r.ReduceBytes(0, 2*t+1, paramBytes)
+		}
+	})
+	end := env.Run()
+	return end / float64(iters), nil
+}
+
+// Elastic center drift: a diagnostic used by tests and examples — the L2
+// distance between the center and the mean of the local weights, which
+// elastic averaging keeps bounded.
+func CenterDrift(center []float32, locals ...[]float32) float64 {
+	if len(locals) == 0 {
+		return 0
+	}
+	mean := make([]float32, len(center))
+	comm.Average(mean, locals...)
+	tensor.Sub(mean, mean, center)
+	return tensor.Norm2(mean)
+}

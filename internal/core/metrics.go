@@ -1,0 +1,129 @@
+// Package core implements the paper's contribution: the EASGD algorithm
+// family redesigned for HPC systems (Async EASGD, Async MEASGD, Hogwild
+// EASGD, Sync EASGD1/2/3) together with the baselines they are measured
+// against (Original round-robin EASGD, Async SGD, Async MSGD, Hogwild SGD,
+// Sync SGD). Every algorithm runs as a set of processes inside the
+// deterministic simulator of internal/sim: gradient mathematics is executed
+// for real (so accuracy curves are genuine) while time is charged by the
+// hardware models of internal/hw (so the time axis reflects the paper's
+// platforms rather than this machine).
+package core
+
+import "fmt"
+
+// Category is one of the time-consuming parts of §6.1.1 of the paper
+// (parts 1-2, data I/O and initialization, are ignored there and here).
+type Category int
+
+const (
+	// CatGPUGPUParam is GPU↔GPU parameter communication (part 3).
+	CatGPUGPUParam Category = iota
+	// CatCPUGPUData is CPU→GPU minibatch copying (part 4).
+	CatCPUGPUData
+	// CatCPUGPUParam is CPU↔GPU parameter communication (part 5).
+	CatCPUGPUParam
+	// CatForwardBackward is forward and backward propagation (part 6).
+	CatForwardBackward
+	// CatGPUUpdate is the worker-side weight update (part 7).
+	CatGPUUpdate
+	// CatCPUUpdate is the master-side center-weight update (part 8).
+	CatCPUUpdate
+
+	numCategories
+)
+
+// String returns the Table 3 column name for the category.
+func (c Category) String() string {
+	switch c {
+	case CatGPUGPUParam:
+		return "gpu-gpu para"
+	case CatCPUGPUData:
+		return "cpu-gpu data"
+	case CatCPUGPUParam:
+		return "cpu-gpu para"
+	case CatForwardBackward:
+		return "for/backward"
+	case CatGPUUpdate:
+		return "gpu update"
+	case CatCPUUpdate:
+		return "cpu update"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Categories lists all breakdown categories in Table 3 column order.
+func Categories() []Category {
+	cs := make([]Category, numCategories)
+	for i := range cs {
+		cs[i] = Category(i)
+	}
+	return cs
+}
+
+// Breakdown accumulates exposed (critical-path) time per category, as seen
+// from the coordinating process, so the parts sum to the simulated wall
+// time just as the paper's Table 3 percentages sum to 100%.
+type Breakdown struct {
+	Times [numCategories]float64
+}
+
+// Add charges d seconds to category c.
+func (b *Breakdown) Add(c Category, d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("core: negative time %v for %v", d, c))
+	}
+	b.Times[c] += d
+}
+
+// Total returns the sum over categories.
+func (b Breakdown) Total() float64 {
+	var s float64
+	for _, t := range b.Times {
+		s += t
+	}
+	return s
+}
+
+// Share returns category c's fraction of the total (0 when empty).
+func (b Breakdown) Share(c Category) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b.Times[c] / t
+}
+
+// CommRatio is the paper's "comm ratio": the share of time spent in the
+// three communication categories (parts 3-5).
+func (b Breakdown) CommRatio() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return (b.Times[CatGPUGPUParam] + b.Times[CatCPUGPUData] + b.Times[CatCPUGPUParam]) / t
+}
+
+// Point is one sample of a training trajectory.
+type Point struct {
+	Iter    int     // master iterations (or rounds) completed
+	SimTime float64 // simulated seconds
+	Loss    float64 // training loss at the probe
+	TestAcc float64 // center-weight accuracy on the test set
+}
+
+// Result is the outcome of one simulated distributed training run.
+type Result struct {
+	Method     string
+	Workers    int
+	Iterations int
+	SimTime    float64 // simulated wall-clock seconds
+	Breakdown  Breakdown
+	FinalAcc   float64
+	FinalLoss  float64
+	Curve      []Point
+	Samples    int64 // total training samples consumed
+}
+
+// ErrorRate returns 1 − FinalAcc, the quantity Figure 8 plots (log10).
+func (r Result) ErrorRate() float64 { return 1 - r.FinalAcc }

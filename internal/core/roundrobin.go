@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"scaledl/internal/sim"
+)
+
+// OriginalEASGDSerial is Algorithm 1 of the paper with no overlap (the
+// "Original EASGD*" row of Table 3): per iteration the master interacts
+// with exactly one GPU, and every step — data copy, center-weight download,
+// forward/backward, local-weight upload, both updates — sits on the
+// master's critical path. Communication is ordered by rank (round-robin),
+// so only one GPU computes at a time.
+func OriginalEASGDSerial(cfg Config) (Result, error) {
+	return runRoundRobin(cfg, "original-easgd*", false)
+}
+
+// OriginalEASGD is Algorithm 1 as deployed (the "Original EASGD" row):
+// identical round-robin schedule, but the j-th GPU's forward/backward
+// overlaps with the master's parameter exchange for neighbouring
+// iterations, hiding most of the compute behind communication. It remains
+// Θ(P) per sweep, the inefficiency the paper's Sync EASGD removes.
+func OriginalEASGD(cfg Config) (Result, error) {
+	return runRoundRobin(cfg, "original-easgd", true)
+}
+
+// rrDone is the completion message a worker posts after its local step.
+type rrDone struct {
+	weights []float32 // snapshot of W_j after backprop, before Eq. (1)
+	loss    float64
+}
+
+func runRoundRobin(cfg Config, name string, overlap bool) (Result, error) {
+	rc, err := newRunContext(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg = rc.cfg // validated copy with defaults applied
+	env := sim.NewEnv()
+	defer env.Close()
+
+	g := cfg.Workers
+	// Per-worker command and completion queues.
+	cmd := make([]*sim.Queue, g)
+	done := make([]*sim.Queue, g)
+	for j := 0; j < g; j++ {
+		cmd[j] = sim.NewQueue(env, fmt.Sprintf("cmd%d", j))
+		done[j] = sim.NewQueue(env, fmt.Sprintf("done%d", j))
+	}
+
+	// Workers: wait for a center-weight copy, run one real minibatch
+	// forward/backward, post the pre-update weights, then apply Eq. (1)
+	// locally. Worker time runs concurrently with the master's pipeline.
+	for j := 0; j < g; j++ {
+		w := rc.workers[j]
+		dq, cq := done[j], cmd[j]
+		env.Spawn(fmt.Sprintf("gpu%d", j), func(p *sim.Proc) {
+			for {
+				m := p.Recv(cq)
+				center, ok := m.([]float32)
+				if !ok {
+					return // stop sentinel
+				}
+				loss := w.computeGradient()
+				p.Delay(w.computeTime)
+				snap := append([]float32(nil), w.net.Params...)
+				dq.Send(rrDone{weights: snap, loss: loss})
+				w.elasticLocal(cfg.LR, cfg.Rho, center)
+				p.Delay(rc.workerUpdate)
+			}
+		})
+	}
+
+	// Master: the round-robin loop of Algorithm 1. With overlap enabled the
+	// completion of worker j is collected just before j's next turn, G
+	// iterations later, so its compute hides behind the other workers'
+	// parameter exchanges.
+	pending := make([]bool, g)
+	env.Spawn("master", func(p *sim.Proc) {
+		collect := func(j int) {
+			t0 := p.Now()
+			m := p.Recv(done[j]).(rrDone)
+			rc.bd.Add(CatForwardBackward, p.Now()-t0) // exposed compute = wait time
+			// Upload W_j to the CPU (line 12).
+			p.Delay(rc.hostXfer)
+			rc.bd.Add(CatCPUGPUParam, rc.hostXfer)
+			// Line 14: W̄ ← W̄ + ηρ(W_j − W̄) with the pre-update W_j.
+			centerElasticUpdate(rc.center, m.weights, rc.center, cfg.LR, cfg.Rho)
+			p.Delay(rc.masterUpdate)
+			rc.bd.Add(CatCPUUpdate, rc.masterUpdate)
+			rc.updates++
+			pending[j] = false
+		}
+		for t := 0; t < cfg.Iterations && !rc.stopped; t++ {
+			j := t % g
+			if pending[j] {
+				collect(j)
+			}
+			// Lines 8-9: pick b samples, async copy to GPU j.
+			p.Delay(rc.dataXfer)
+			rc.bd.Add(CatCPUGPUData, rc.dataXfer)
+			// Line 10: send W̄ down.
+			p.Delay(rc.hostXfer)
+			rc.bd.Add(CatCPUGPUParam, rc.hostXfer)
+			cmd[j].Send(append([]float32(nil), rc.center...))
+			rc.samples += int64(cfg.Batch)
+			if !overlap {
+				collect(j)
+			} else {
+				pending[j] = true
+			}
+			if cfg.EvalEvery > 0 && (t+1)%cfg.EvalEvery == 0 {
+				rc.recordPoint(t+1, p.Now(), rc.workers[j].lastLoss)
+			}
+		}
+		for j := 0; j < g; j++ {
+			if pending[j] {
+				collect(j)
+			}
+			cmd[j].Send(nil) // stop
+		}
+	})
+
+	end := env.Run()
+	return rc.finish(name, end), nil
+}

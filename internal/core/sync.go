@@ -1,0 +1,252 @@
+package core
+
+import (
+	"scaledl/internal/comm"
+	"scaledl/internal/quant"
+	"scaledl/internal/sim"
+)
+
+// The synchronous family. Each round, all P workers compute gradients in
+// parallel on their own replicas and data; the center weight is combined by
+// tree collectives in Θ(log P)(α + |W|β) instead of the round-robin's
+// Θ(P)(α + |W|β). The three Sync EASGD versions are the paper's §6.1
+// co-design steps:
+//
+//	Sync EASGD1 (Algorithm 2): center on the CPU; packed pinned transfers and
+//	  a tree reduction replace P ordered exchanges.
+//	Sync EASGD2 (Algorithm 3): center moves to GPU1; parameter traffic rides
+//	  GPU↔GPU peer DMA through the PCIe switch, removing host staging.
+//	Sync EASGD3 (Algorithm 3 + overlap): the broadcast of W̄ hides under the
+//	  data copy + forward/backward; the reduction stays exposed. This is the
+//	  paper's "Communication-Efficient EASGD".
+//
+// SyncSGD is classic synchronous data parallelism (gradient allreduce),
+// used by Figure 10's packed-vs-unpacked comparison.
+
+// SyncEASGD1 runs Algorithm 2 (tree reduction, CPU-resident center).
+func SyncEASGD1(cfg Config) (Result, error) {
+	return runSyncEASGD(cfg, "sync-easgd1", syncOpts{master: masterCPU})
+}
+
+// SyncEASGD2 runs Algorithm 3 (GPU-resident center, peer DMA).
+func SyncEASGD2(cfg Config) (Result, error) {
+	return runSyncEASGD(cfg, "sync-easgd2", syncOpts{master: masterGPU})
+}
+
+// SyncEASGD3 runs Algorithm 3 with communication/computation overlap — the
+// paper's Communication-Efficient EASGD and its best method.
+func SyncEASGD3(cfg Config) (Result, error) {
+	return runSyncEASGD(cfg, "sync-easgd3", syncOpts{master: masterGPU, overlap: true})
+}
+
+// SyncEASGD is an alias for SyncEASGD3; Figures 6.4 and 8 plot "Sync
+// EASGD" meaning the EASGD3 implementation (§5.1).
+func SyncEASGD(cfg Config) (Result, error) { return SyncEASGD3(cfg) }
+
+type masterKind int
+
+const (
+	masterCPU masterKind = iota
+	masterGPU
+)
+
+type syncOpts struct {
+	master  masterKind
+	overlap bool
+}
+
+func runSyncEASGD(cfg Config, name string, opt syncOpts) (Result, error) {
+	rc, err := newRunContext(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg = rc.cfg // validated copy with defaults applied
+	env := sim.NewEnv()
+	defer env.Close()
+
+	paramLink := cfg.Platform.PeerParam
+	paramCat := CatGPUGPUParam
+	if opt.master == masterCPU {
+		paramLink = cfg.Platform.HostParam
+		paramCat = CatCPUGPUParam
+	}
+	bcastCost := treePlanTime(rc.plan, paramLink, cfg.Workers)
+	reduceCost := treePlanTime(rc.plan, paramLink, cfg.Workers)
+
+	sum := make([]float32, len(rc.center))
+
+	env.Spawn("coordinator", func(p *sim.Proc) {
+		for t := 0; t < cfg.Iterations && !rc.stopped; t++ {
+			// Lines 7-9: CPU picks b samples per GPU and posts the copies as
+			// concurrent async DMAs (Algorithm 2 line 9), so the exposed
+			// data phase is one transfer, not G.
+			dataPhase := rc.dataXfer
+			p.Delay(dataPhase)
+			rc.bd.Add(CatCPUGPUData, dataPhase)
+
+			// Line 10: forward/backward on all GPUs in parallel (real math
+			// per replica; one parallel delay since workers are homogeneous).
+			var roundLoss float64
+			for _, w := range rc.workers {
+				roundLoss += w.computeGradient()
+			}
+			roundLoss /= float64(cfg.Workers)
+			p.Delay(rc.workers[0].computeTime)
+			rc.bd.Add(CatForwardBackward, rc.workers[0].computeTime)
+			rc.samples += int64(cfg.Batch * cfg.Workers)
+
+			// Lines 11-12: broadcast W̄_t; tree-reduce ΣW_j. Under overlap
+			// (Sync EASGD3) the broadcast hides beneath data+compute and only
+			// its excess is exposed; the reduction is always exposed.
+			if opt.overlap {
+				exposed := bcastCost - (dataPhase + rc.workers[0].computeTime)
+				if exposed > 0 {
+					p.Delay(exposed)
+					rc.bd.Add(paramCat, exposed)
+				}
+			} else {
+				p.Delay(bcastCost)
+				rc.bd.Add(paramCat, bcastCost)
+			}
+			p.Delay(reduceCost)
+			rc.bd.Add(paramCat, reduceCost)
+
+			// Gather ΣW_j^t of the pre-update local weights.
+			for i := range sum {
+				sum[i] = 0
+			}
+			for _, w := range rc.workers {
+				comm.ReduceSum(sum, w.net.Params)
+			}
+
+			// Line 13: every worker applies Equation (1) with W̄_t.
+			for _, w := range rc.workers {
+				w.elasticLocal(cfg.LR, cfg.Rho, rc.center)
+			}
+			// Line 14: the master applies Equation (2):
+			// W̄ ← W̄ + ηρ(ΣW_j − P·W̄).
+			a := cfg.LR * cfg.Rho
+			pf := float32(cfg.Workers)
+			for i := range rc.center {
+				rc.center[i] += a * (sum[i] - pf*rc.center[i])
+			}
+			rc.updates++
+
+			// Steps (4) and (5) overlap (§5.1): the exposed cost is the
+			// worker update plus any master-update excess. With a GPU master
+			// both run on GPUs and the excess is zero.
+			p.Delay(rc.workerUpdate)
+			rc.bd.Add(CatGPUUpdate, rc.workerUpdate)
+			mu := rc.masterUpdate
+			if opt.master == masterGPU {
+				mu = rc.workerUpdate
+			}
+			if mu > rc.workerUpdate {
+				excess := mu - rc.workerUpdate
+				p.Delay(excess)
+				rc.bd.Add(CatCPUUpdate, excess)
+			}
+
+			if cfg.EvalEvery > 0 && (t+1)%cfg.EvalEvery == 0 {
+				rc.recordPoint(t+1, p.Now(), roundLoss)
+			}
+		}
+	})
+
+	end := env.Run()
+	return rc.finish(name, end), nil
+}
+
+// SyncSGD is synchronous data-parallel SGD: gradients are tree-allreduced
+// and all replicas take the same averaged step. The center weight is the
+// (identical) replica weight. Figure 10 runs it with packed and per-layer
+// plans to isolate the §5.2 effect.
+func SyncSGD(cfg Config) (Result, error) {
+	rc, err := newRunContext(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg = rc.cfg // validated copy with defaults applied
+	env := sim.NewEnv()
+	defer env.Close()
+
+	allreduce := rc.plan.AllReduceTime(cfg.Platform.HostParam, cfg.Workers)
+	// Low-precision gradients (§3.4 extension): the allreduce moves the
+	// compressed representation, and each worker's quantization error is
+	// carried by per-worker error feedback into its next gradient.
+	var quantizers []*quant.Quantizer
+	if cfg.Compression != quant.None {
+		wire := quant.WireBytes(cfg.Compression, len(rc.center))
+		allreduce = comm.TreeAllReduceTime(cfg.Platform.HostParam, wire, cfg.Workers)
+		quantizers = make([]*quant.Quantizer, cfg.Workers)
+		for i := range quantizers {
+			quantizers[i] = quant.New(cfg.Compression, len(rc.center))
+		}
+	}
+	sum := make([]float32, len(rc.center))
+
+	env.Spawn("coordinator", func(p *sim.Proc) {
+		for t := 0; t < cfg.Iterations && !rc.stopped; t++ {
+			dataPhase := rc.dataXfer // concurrent async DMAs to all workers
+			p.Delay(dataPhase)
+			rc.bd.Add(CatCPUGPUData, dataPhase)
+
+			var roundLoss float64
+			for _, w := range rc.workers {
+				roundLoss += w.computeGradient()
+			}
+			roundLoss /= float64(cfg.Workers)
+			p.Delay(rc.workers[0].computeTime)
+			rc.bd.Add(CatForwardBackward, rc.workers[0].computeTime)
+			rc.samples += int64(cfg.Batch * cfg.Workers)
+
+			p.Delay(allreduce)
+			rc.bd.Add(CatCPUGPUParam, allreduce)
+
+			for i := range sum {
+				sum[i] = 0
+			}
+			for wi, w := range rc.workers {
+				if quantizers != nil {
+					quantizers[wi].Apply(w.net.Grads, w.net.Grads)
+				}
+				comm.ReduceSum(sum, w.net.Grads)
+			}
+			step := cfg.LR / float32(cfg.Workers)
+			for _, w := range rc.workers {
+				for i, g := range sum {
+					w.net.Params[i] -= step * g
+				}
+			}
+			copy(rc.center, rc.workers[0].net.Params)
+			rc.updates++
+
+			p.Delay(rc.workerUpdate)
+			rc.bd.Add(CatGPUUpdate, rc.workerUpdate)
+
+			if cfg.EvalEvery > 0 && (t+1)%cfg.EvalEvery == 0 {
+				rc.recordPoint(t+1, p.Now(), roundLoss)
+			}
+		}
+	})
+
+	end := env.Run()
+	return rc.finish("sync-sgd", end), nil
+}
+
+// treePlanTime is the cost of one tree collective (broadcast or reduce)
+// over the plan: packed plans run ceil(log2 P) rounds of one message; per-
+// layer plans run a tree per layer, paying latency per layer per round.
+func treePlanTime(p comm.Plan, l comm.Transferer, parties int) float64 {
+	if p.Packed {
+		return comm.TreeBroadcastTime(l, p.TotalBytes(), parties)
+	}
+	var t float64
+	for _, b := range p.LayerBytes {
+		t += comm.TreeBroadcastTime(l, b, parties)
+	}
+	if p.GatherBW > 0 {
+		t += float64(p.TotalBytes()) / p.GatherBW
+	}
+	return t
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"scaledl/internal/comm"
+	"scaledl/internal/data"
+	"scaledl/internal/nn"
+	"scaledl/internal/tensor"
+)
+
+// worker is the per-device training state shared by all algorithms: a full
+// replica of the network (data parallelism), a private batch sampler, and
+// an optional momentum buffer.
+type worker struct {
+	id        int
+	net       *nn.Net
+	sampler   *data.Sampler
+	batch     *data.Batch
+	batchSize int
+	velocity  []float32 // momentum buffer (lazily used)
+
+	computeTime float64 // modeled seconds per forward+backward of one batch
+	dataBytes   int64   // bytes of one minibatch copy
+	lastLoss    float64
+}
+
+// runContext bundles everything an algorithm run needs: workers, timing
+// constants derived from the platform, the center weight, and bookkeeping.
+type runContext struct {
+	cfg     Config
+	workers []*worker
+	center  []float32 // W̄, the center (global) weight
+	probe   *nn.Net   // scratch net used for accuracy probes
+	plan    comm.Plan
+
+	paramBytes int64
+	// Modeled cost of one whole-model transfer over each path.
+	hostXfer float64 // CPU↔GPU, one direction
+	peerXfer float64 // GPU↔GPU, one direction
+	dataXfer float64 // one minibatch CPU→GPU
+	// Modeled cost of the elementwise updates.
+	workerUpdate float64 // Eq. (1) on the worker device
+	masterUpdate float64 // Eq. (2) on the master device
+
+	updates int64 // master-side updates performed
+	samples int64 // training samples consumed
+	stopped bool  // TargetAcc reached
+	curve   []Point
+	bd      Breakdown
+}
+
+// newRunContext validates cfg, builds P workers with private seeds, and
+// precomputes the platform's per-operation costs. Callers must use rc.cfg
+// from here on: Validate fills in defaults (such as ρ) that the caller's
+// copy does not have.
+func newRunContext(cfg Config) (*runContext, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rc := &runContext{cfg: cfg}
+	base := tensor.NewRNG(cfg.Seed)
+	// One shared initial model, copied to every worker (Algorithms 1-4:
+	// initialize W once, copy to all).
+	init := cfg.Def.Build(base.Int63())
+	rc.center = append([]float32(nil), init.Params...)
+	rc.probe = cfg.Def.Build(0)
+	rc.paramBytes = init.ParamBytes()
+	rc.plan = cfg.Platform.plan(init.LayerParamSizes())
+
+	flopsPerBatch := init.TrainFLOPsPerSample() * int64(cfg.Batch)
+	// Activations + weights streamed per batch, a rough working-set touch.
+	bytesTouched := init.ParamBytes()*3 + int64(cfg.Batch)*int64(cfg.Def.In.Dim())*4
+
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{
+			id:        i,
+			net:       cfg.Def.Build(base.Int63()),
+			sampler:   data.NewSampler(cfg.Train, base.Int63()),
+			batchSize: cfg.Batch,
+		}
+		w.net.CopyParamsFrom(init)
+		w.computeTime = cfg.Platform.Worker.ComputeTime(flopsPerBatch, bytesTouched)
+		w.dataBytes = int64(cfg.Batch) * cfg.Train.Spec.SampleBytes()
+		rc.workers = append(rc.workers, w)
+	}
+
+	rc.hostXfer = rc.plan.TransferTime(cfg.Platform.HostParam)
+	rc.peerXfer = rc.plan.TransferTime(cfg.Platform.PeerParam)
+	rc.dataXfer = cfg.Platform.Data.Time(rc.workers[0].dataBytes)
+	// Elementwise updates stream ~3 vectors of the model (read W, read
+	// other, write W): 2 flops and 12 bytes per parameter.
+	n := int64(len(rc.center))
+	rc.workerUpdate = cfg.Platform.Worker.ComputeTime(2*n, 12*n)
+	rc.masterUpdate = cfg.Platform.Master.ComputeTime(2*n, 12*n)
+	return rc, nil
+}
+
+// computeGradient runs one real minibatch forward+backward on the worker's
+// replica, leaving the gradient in w.net.Grads. Returns the batch loss.
+func (w *worker) computeGradient() float64 {
+	w.batch = w.sampler.Next(w.batchSize, w.batch)
+	w.net.ZeroGrad()
+	loss, _ := w.net.LossAndGrad(w.batch.X, w.batch.Labels, w.batch.B)
+	w.lastLoss = loss
+	return loss
+}
+
+// sgdLocal applies plain SGD to the worker replica: W ← W − η·G.
+func (w *worker) sgdLocal(lr float32) { w.net.SGDStep(lr) }
+
+// elasticLocal applies the paper's Equation (1):
+// W_i ← W_i − η(∆W_i + ρ(W_i − W̄)).
+func (w *worker) elasticLocal(lr, rho float32, center []float32) {
+	p := w.net.Params
+	g := w.net.Grads
+	for i := range p {
+		p[i] -= lr * (g[i] + rho*(p[i]-center[i]))
+	}
+}
+
+// momentumElasticLocal applies Equations (5) and (6):
+// V ← µV − η∆W;  W ← W + V − ηρ(W − W̄).
+func (w *worker) momentumElasticLocal(lr, mu, rho float32, center []float32) {
+	w.ensureVelocity()
+	p := w.net.Params
+	g := w.net.Grads
+	v := w.velocity
+	for i := range p {
+		v[i] = mu*v[i] - lr*g[i]
+		p[i] += v[i] - lr*rho*(p[i]-center[i])
+	}
+}
+
+// momentumLocal applies Equations (3) and (4): V ← µV − η∆W; W ← W + V.
+func (w *worker) momentumLocal(lr, mu float32) {
+	w.ensureVelocity()
+	p := w.net.Params
+	g := w.net.Grads
+	v := w.velocity
+	for i := range p {
+		v[i] = mu*v[i] - lr*g[i]
+		p[i] += v[i]
+	}
+}
+
+func (w *worker) ensureVelocity() {
+	if w.velocity == nil {
+		w.velocity = make([]float32, len(w.net.Params))
+	}
+}
+
+// centerElasticUpdate applies the paper's Equation (2) for one worker
+// contribution: W̄ ← W̄ + ηρ(W_i − W̄), reading W_i from wParams and the
+// center snapshot from snap (which may alias center for the locked
+// algorithms; Hogwild passes an older snapshot to model the race).
+func centerElasticUpdate(center, wParams, snap []float32, lr, rho float32) {
+	a := lr * rho
+	for i := range center {
+		center[i] += a * (wParams[i] - snap[i])
+	}
+}
+
+// centerSGDUpdate applies W̄ ← W̄ − η·∆W.
+func centerSGDUpdate(center, grad []float32, lr float32) {
+	tensor.AXPY(-lr, grad, center)
+}
+
+// recordPoint probes test accuracy with the current center weights and
+// reports whether the run's accuracy target has been met.
+func (rc *runContext) recordPoint(iter int, simTime float64, loss float64) (stop bool) {
+	if rc.cfg.EvalEvery <= 0 {
+		return false
+	}
+	acc := rc.evalCenter()
+	rc.curve = append(rc.curve, Point{
+		Iter:    iter,
+		SimTime: simTime,
+		Loss:    loss,
+		TestAcc: acc,
+	})
+	if rc.cfg.TargetAcc > 0 && acc >= rc.cfg.TargetAcc {
+		rc.stopped = true
+	}
+	return rc.stopped
+}
+
+// evalCenter evaluates the center weight on the test set (0 if none).
+func (rc *runContext) evalCenter() float64 {
+	if rc.cfg.Test == nil || rc.cfg.Test.Len() == 0 {
+		return 0
+	}
+	copy(rc.probe.Params, rc.center)
+	return rc.probe.Evaluate(rc.cfg.Test.Images, rc.cfg.Test.Labels, rc.cfg.EvalBatch)
+}
+
+// finish assembles the Result common to all algorithms.
+func (rc *runContext) finish(method string, simTime float64) Result {
+	var lastLoss float64
+	for _, w := range rc.workers {
+		lastLoss += w.lastLoss
+	}
+	lastLoss /= float64(len(rc.workers))
+	return Result{
+		Method:     method,
+		Workers:    rc.cfg.Workers,
+		Iterations: rc.cfg.Iterations,
+		SimTime:    simTime,
+		Breakdown:  rc.bd,
+		FinalAcc:   rc.evalCenter(),
+		FinalLoss:  lastLoss,
+		Curve:      rc.curve,
+		Samples:    rc.samples,
+	}
+}

@@ -1,0 +1,318 @@
+// Package data provides the datasets used by the paper's evaluation. The
+// paper trains on MNIST, CIFAR-10 and ImageNet (ILSVRC-2012); this offline
+// reproduction substitutes seeded synthetic prototype datasets with matching
+// shapes and class counts. Each class k has a smoothed random prototype
+// image; a sample is the prototype plus Gaussian pixel noise, so the
+// classification task is learnable and accuracy-versus-iteration curves have
+// the same qualitative behaviour as on the real benchmarks. ImageNet-scale
+// workloads are represented only by their Spec (the paper likewise reports
+// time, not accuracy, at that scale).
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"scaledl/internal/tensor"
+)
+
+// Spec describes a dataset's geometry: it is everything the cost models and
+// network builders need even when no pixels are materialized.
+type Spec struct {
+	Name     string
+	Channels int
+	Height   int
+	Width    int
+	Classes  int
+	Train    int // number of training images
+	Test     int // number of test images
+}
+
+// SampleBytes returns the size in bytes of one float32 sample.
+func (s Spec) SampleBytes() int64 {
+	return int64(s.Channels) * int64(s.Height) * int64(s.Width) * 4
+}
+
+// TrainBytes returns the total float32 byte size of the training set; this
+// drives the MCDRAM-fit rule of the paper's §6.2 (one CIFAR copy = 687 MB in
+// the paper's accounting).
+func (s Spec) TrainBytes() int64 { return s.SampleBytes() * int64(s.Train) }
+
+// SampleDim returns elements per sample.
+func (s Spec) SampleDim() int { return s.Channels * s.Height * s.Width }
+
+// Standard benchmark geometries from Table 1 of the paper.
+var (
+	// MNISTSpec matches Table 1: 60k train / 10k test, 28×28, 10 classes.
+	MNISTSpec = Spec{Name: "mnist", Channels: 1, Height: 28, Width: 28, Classes: 10, Train: 60000, Test: 10000}
+	// CIFARSpec matches Table 1: 50k train / 10k test, 3×32×32, 10 classes.
+	CIFARSpec = Spec{Name: "cifar", Channels: 3, Height: 32, Width: 32, Classes: 10, Train: 50000, Test: 10000}
+	// ImageNetSpec matches Table 1: 1.2M train, 3×256×256, 1000 classes.
+	ImageNetSpec = Spec{Name: "imagenet", Channels: 3, Height: 256, Width: 256, Classes: 1000, Train: 1200000, Test: 150000}
+)
+
+// Dataset is an in-memory labeled image set. Images are stored as one
+// contiguous float32 block (n × C·H·W row-major), which mirrors the packed
+// memory layout the paper advocates and keeps batch copies cache-friendly.
+type Dataset struct {
+	Spec   Spec
+	Images []float32 // len = n * SampleDim
+	Labels []int     // len = n
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Labels) }
+
+// Sample returns a view of image i (no copy).
+func (d *Dataset) Sample(i int) []float32 {
+	dim := d.Spec.SampleDim()
+	return d.Images[i*dim : (i+1)*dim]
+}
+
+// Config controls synthetic dataset generation.
+type Config struct {
+	Spec       Spec
+	TrainN     int     // overrides Spec.Train when > 0 (scaled-down runs)
+	TestN      int     // overrides Spec.Test when > 0
+	Noise      float64 // pixel noise stddev relative to prototype contrast
+	Smoothing  int     // box-blur passes applied to prototypes
+	Seed       int64
+	Difficulty float64 // 0..1, fraction of prototype replaced with a second class (label noise in feature space)
+}
+
+// Synthetic generates a learnable prototype dataset. Train and test sets are
+// drawn from the same distribution with disjoint RNG streams.
+func Synthetic(cfg Config) (train, test *Dataset) {
+	if cfg.Noise == 0 {
+		cfg.Noise = 0.35
+	}
+	if cfg.Smoothing == 0 {
+		cfg.Smoothing = 2
+	}
+	trainN := cfg.TrainN
+	if trainN <= 0 {
+		trainN = cfg.Spec.Train
+	}
+	testN := cfg.TestN
+	if testN <= 0 {
+		testN = cfg.Spec.Test
+	}
+	g := tensor.NewRNG(cfg.Seed)
+	protos := makePrototypes(g, cfg.Spec, cfg.Smoothing)
+	train = sampleFromPrototypes(g.Fork(), cfg.Spec, protos, trainN, cfg.Noise, cfg.Difficulty)
+	test = sampleFromPrototypes(g.Fork(), cfg.Spec, protos, testN, cfg.Noise, cfg.Difficulty)
+	return train, test
+}
+
+func makePrototypes(g *tensor.RNG, spec Spec, smoothing int) [][]float32 {
+	dim := spec.SampleDim()
+	protos := make([][]float32, spec.Classes)
+	for k := range protos {
+		p := make([]float32, dim)
+		g.FillNormal(p, 0, 1)
+		for s := 0; s < smoothing; s++ {
+			boxBlur(p, spec.Channels, spec.Height, spec.Width)
+		}
+		// Re-normalize after blurring so class contrast stays comparable.
+		normalizeInPlace(p)
+		protos[k] = p
+	}
+	return protos
+}
+
+func sampleFromPrototypes(g *tensor.RNG, spec Spec, protos [][]float32, n int, noise, difficulty float64) *Dataset {
+	dim := spec.SampleDim()
+	d := &Dataset{
+		Spec:   spec,
+		Images: make([]float32, n*dim),
+		Labels: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		k := g.Intn(spec.Classes)
+		d.Labels[i] = k
+		img := d.Images[i*dim : (i+1)*dim]
+		proto := protos[k]
+		mix := float32(0)
+		var other []float32
+		if difficulty > 0 && g.Float64() < difficulty {
+			other = protos[g.Intn(spec.Classes)]
+			mix = 0.3
+		}
+		for j := range img {
+			v := proto[j]
+			if other != nil {
+				v = (1-mix)*v + mix*other[j]
+			}
+			img[j] = v + float32(noise)*float32(g.NormFloat64())
+		}
+	}
+	return d
+}
+
+// boxBlur applies one pass of a 3×3 box blur per channel (reflect-free: the
+// border keeps partial sums normalized by actual tap count).
+func boxBlur(img []float32, c, h, w int) {
+	tmp := make([]float32, h*w)
+	for ch := 0; ch < c; ch++ {
+		plane := img[ch*h*w : (ch+1)*h*w]
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				var s float32
+				var cnt float32
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						yy, xx := y+dy, x+dx
+						if yy < 0 || yy >= h || xx < 0 || xx >= w {
+							continue
+						}
+						s += plane[yy*w+xx]
+						cnt++
+					}
+				}
+				tmp[y*w+x] = s / cnt
+			}
+		}
+		copy(plane, tmp)
+	}
+}
+
+func normalizeInPlace(x []float32) {
+	var mean float64
+	for _, v := range x {
+		mean += float64(v)
+	}
+	mean /= float64(len(x))
+	var vari float64
+	for _, v := range x {
+		d := float64(v) - mean
+		vari += d * d
+	}
+	std := math.Sqrt(vari/float64(len(x))) + 1e-8
+	for i, v := range x {
+		x[i] = float32((float64(v) - mean) / std)
+	}
+}
+
+// Normalize standardizes the whole dataset to mean 0 and stddev 1 per pixel
+// position, matching line 1 of the paper's Algorithms 1-4 ("Normalize X on
+// CPU by standard deviation: E(X)=0 and σ(X)=1").
+func (d *Dataset) Normalize() {
+	dim := d.Spec.SampleDim()
+	n := d.Len()
+	if n == 0 {
+		return
+	}
+	for j := 0; j < dim; j++ {
+		var mean float64
+		for i := 0; i < n; i++ {
+			mean += float64(d.Images[i*dim+j])
+		}
+		mean /= float64(n)
+		var vari float64
+		for i := 0; i < n; i++ {
+			v := float64(d.Images[i*dim+j]) - mean
+			vari += v * v
+		}
+		std := math.Sqrt(vari/float64(n)) + 1e-8
+		for i := 0; i < n; i++ {
+			d.Images[i*dim+j] = float32((float64(d.Images[i*dim+j]) - mean) / std)
+		}
+	}
+}
+
+// NormalizeWith applies an externally computed per-pixel mean/std (e.g. the
+// training set's statistics applied to the test set).
+func (d *Dataset) NormalizeWith(mean, std []float32) {
+	dim := d.Spec.SampleDim()
+	if len(mean) != dim || len(std) != dim {
+		panic(fmt.Sprintf("data: NormalizeWith stats of dim %d/%d for sample dim %d", len(mean), len(std), dim))
+	}
+	for i := 0; i < d.Len(); i++ {
+		img := d.Sample(i)
+		for j := range img {
+			img[j] = (img[j] - mean[j]) / std[j]
+		}
+	}
+}
+
+// Stats returns the per-pixel mean and stddev of the dataset.
+func (d *Dataset) Stats() (mean, std []float32) {
+	dim := d.Spec.SampleDim()
+	n := d.Len()
+	mean = make([]float32, dim)
+	std = make([]float32, dim)
+	for j := 0; j < dim; j++ {
+		var m float64
+		for i := 0; i < n; i++ {
+			m += float64(d.Images[i*dim+j])
+		}
+		m /= float64(n)
+		var vari float64
+		for i := 0; i < n; i++ {
+			v := float64(d.Images[i*dim+j]) - m
+			vari += v * v
+		}
+		mean[j] = float32(m)
+		std[j] = float32(math.Sqrt(vari/float64(n)) + 1e-8)
+	}
+	return mean, std
+}
+
+// Batch is a minibatch view materialized into contiguous buffers, ready for
+// a forward pass.
+type Batch struct {
+	X      []float32 // b × SampleDim
+	Labels []int     // b
+	B      int
+	Dim    int
+}
+
+// Sampler draws random minibatches with replacement, matching the paper's
+// "randomly picks b samples at each iteration". Each Sampler owns a private
+// RNG stream so simulated workers sample independently yet reproducibly.
+type Sampler struct {
+	d   *Dataset
+	g   *tensor.RNG
+	dim int
+}
+
+// NewSampler creates a seeded sampler over d.
+func NewSampler(d *Dataset, seed int64) *Sampler {
+	return &Sampler{d: d, g: tensor.NewRNG(seed), dim: d.Spec.SampleDim()}
+}
+
+// Next fills (or allocates) a batch of size b.
+func (s *Sampler) Next(b int, reuse *Batch) *Batch {
+	if b <= 0 {
+		panic("data: batch size must be positive")
+	}
+	bt := reuse
+	if bt == nil || bt.B != b {
+		bt = &Batch{X: make([]float32, b*s.dim), Labels: make([]int, b), B: b, Dim: s.dim}
+	}
+	n := s.d.Len()
+	for i := 0; i < b; i++ {
+		idx := s.g.Intn(n)
+		copy(bt.X[i*s.dim:(i+1)*s.dim], s.d.Sample(idx))
+		bt.Labels[i] = s.d.Labels[idx]
+	}
+	return bt
+}
+
+// Shard returns the i-th of p contiguous shards of the dataset (data
+// parallelism partitioning, Figure 4.1 of the paper). Shard shares backing
+// storage with d.
+func (d *Dataset) Shard(i, p int) *Dataset {
+	if p <= 0 || i < 0 || i >= p {
+		panic(fmt.Sprintf("data: invalid shard %d of %d", i, p))
+	}
+	n := d.Len()
+	lo := i * n / p
+	hi := (i + 1) * n / p
+	dim := d.Spec.SampleDim()
+	return &Dataset{
+		Spec:   d.Spec,
+		Images: d.Images[lo*dim : hi*dim],
+		Labels: d.Labels[lo:hi],
+	}
+}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"fmt"
+
+	"scaledl/internal/core"
+)
+
+// RunFig13 reproduces Figure 13: the benefit of using more machines and
+// more data under weak scaling. Each KNL node holds one copy of the CIFAR
+// workload and contributes a batch of 64 per round (Algorithm 4 /
+// Communication-Efficient EASGD); with more nodes the run (1) reaches a
+// target loss/accuracy in less time (the paper's horizontal line) and
+// (2) reaches a better accuracy within a fixed time budget (the vertical
+// line).
+func RunFig13(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{ID: "fig13", Title: "Weak-scaling benefit: more machines and more data", PaperRef: "Figure 13"}
+	curveT := r.NewTable("objective loss / accuracy vs simulated time", "Nodes", "round", "time(s)", "loss", "accuracy")
+
+	nodes := []int{1, 2, 4, 8}
+	results := map[int]core.Result{}
+	for _, p := range nodes {
+		train, test, def := cifarWorkload(o)
+		cfg := core.Config{
+			Def:        def,
+			Train:      train,
+			Test:       test,
+			Workers:    p,
+			Batch:      8,
+			LR:         0.05,
+			Iterations: o.scaled(200),
+			Seed:       o.Seed,
+			Platform:   knlClusterPlatform(),
+			EvalEvery:  5,
+		}
+		res, err := core.SyncEASGD3(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("nodes=%d: %w", p, err)
+		}
+		results[p] = res
+		for _, pt := range res.Curve {
+			curveT.AddRow(fmt.Sprintf("%d", p), fmt.Sprintf("%d", pt.Iter),
+				fmt.Sprintf("%.4f", pt.SimTime), fmt.Sprintf("%.4f", pt.Loss), fmt.Sprintf("%.3f", pt.TestAcc))
+		}
+	}
+
+	// Horizontal cut: time to a common accuracy.
+	target := 0.75
+	t2 := r.NewTable(fmt.Sprintf("time to accuracy %.2f (horizontal line)", target), "Nodes", "time(s)")
+	for _, p := range nodes {
+		tt := timeToAcc(results[p], target)
+		cell := "not reached"
+		if tt > 0 {
+			cell = fmt.Sprintf("%.4f", tt)
+		}
+		t2.AddRow(fmt.Sprintf("%d", p), cell)
+	}
+
+	// Vertical cut: best accuracy within an early single-node time budget
+	// (a quarter of the single-node run, before it converges).
+	var budget float64
+	if res, ok := results[1]; ok && len(res.Curve) > 0 {
+		budget = res.Curve[len(res.Curve)/4].SimTime
+	}
+	t3 := r.NewTable(fmt.Sprintf("accuracy within %.4fs (vertical line)", budget), "Nodes", "accuracy")
+	for _, p := range nodes {
+		best := 0.0
+		for _, pt := range results[p].Curve {
+			if pt.SimTime <= budget && pt.TestAcc > best {
+				best = pt.TestAcc
+			}
+		}
+		t3.AddRow(fmt.Sprintf("%d", p), fmt.Sprintf("%.3f", best))
+	}
+	r.AddNote("paper: more machines+data give the target accuracy sooner and a higher accuracy in fixed time; each node holds one data copy, batch 64 per node")
+	return r, nil
+}

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+
+	"scaledl/internal/comm"
+	"scaledl/internal/hw"
+)
+
+// RunTable2 reproduces Table 2: the α-β parameters of the three InfiniBand
+// generations, plus derived transfer times that demonstrate the paper's
+// observation that "β is much smaller than α, which is the major
+// communication overhead" for the message sizes per-layer communication
+// produces.
+func RunTable2(o Options) (*Report, error) {
+	r := &Report{ID: "table2", Title: "InfiniBand performance under the α-β model", PaperRef: "Table 2"}
+
+	t := r.NewTable("α-β parameters", "Network", "alpha (latency)", "beta (1/bandwidth)")
+	links := []hw.Link{hw.MellanoxFDR, hw.IntelQDR, hw.Intel10GbE}
+	for _, l := range links {
+		t.AddRow(l.Name, fmt.Sprintf("%.1e s", l.Alpha), fmt.Sprintf("%.1e s/B", l.Beta))
+	}
+
+	// Derived: transfer time per message size, showing the latency-bound
+	// regime for small (per-layer) messages and the bandwidth-bound regime
+	// for packed models.
+	sizes := []int64{1 << 10, 64 << 10, 1 << 20, 16 << 20, 256 << 20}
+	cols := []string{"Message"}
+	for _, l := range links {
+		cols = append(cols, l.Name)
+	}
+	t2 := r.NewTable("transfer time by message size", cols...)
+	for _, n := range sizes {
+		row := []string{byteSize(n)}
+		for _, l := range links {
+			row = append(row, fmt.Sprintf("%.3g ms", l.Time(n)*1e3))
+		}
+		t2.AddRow(row...)
+	}
+
+	// α share of a 64 KiB (typical layer) message on each network.
+	t3 := r.NewTable("latency share of a 64 KiB per-layer message", "Network", "alpha share")
+	for _, l := range links {
+		share := l.Alpha / l.Time(64<<10)
+		t3.AddRow(l.Name, fmt.Sprintf("%.0f%%", share*100))
+	}
+
+	// Tree vs round-robin reduction of a LeNet-sized model (1.7 MB), the
+	// Θ(log P) vs Θ(P) claim, on the FDR network.
+	t4 := r.NewTable("reduce of 1.7MB model on FDR IB: round-robin Θ(P) vs tree Θ(log P)",
+		"P", "round-robin (ms)", "tree (ms)", "speedup")
+	for _, p := range []int{4, 16, 64, 256} {
+		lin := comm.LinearReduceTime(hw.MellanoxFDR, 431080*4, p)
+		tree := comm.TreeReduceTime(hw.MellanoxFDR, 431080*4, p)
+		t4.AddRow(fmt.Sprintf("%d", p), fmt.Sprintf("%.3f", lin*1e3),
+			fmt.Sprintf("%.3f", tree*1e3), fmt.Sprintf("%.1fx", lin/tree))
+	}
+	r.AddNote("paper: β ≪ α makes one packed message cheaper than per-layer messages (§5.2)")
+	return r, nil
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%d MiB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%d KiB", n>>10)
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

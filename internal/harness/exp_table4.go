@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"fmt"
+
+	"scaledl/internal/comm"
+	"scaledl/internal/hw"
+	"scaledl/internal/nn"
+)
+
+// Table 4 is the paper's large-scale result: weak scaling of ImageNet
+// training on Cori's KNL partition, GoogleNet for 300 iterations and VGG
+// for 80, from 68 to 4352 cores (1 to 64 nodes), against Intel Caffe.
+// The paper does not report accuracy here — only time — so this experiment
+// is a pure cost-model evaluation over the exact-dimension GoogleNet and
+// VGG-19 layer tables.
+//
+// Model (calibration recorded in EXPERIMENTS.md):
+//   - compute/iter: batch 256 × 3×fwdFLOPs / (6 TFLOPS × eff); eff is per
+//     model (GoogleNet 0.08, VGG 0.30 — small inception kernels utilize KNL
+//     far worse than VGG's large 3×3 GEMMs), landing within 1% of the
+//     paper's single-node times (1533 s and 1318 s).
+//   - our implementation: packed tree allreduce on Aries, 40% hidden by
+//     compute overlap (§5.2 + Algorithm 4's overlap).
+//   - Intel Caffe baseline: same allreduce volume with a 1.2× less
+//     bandwidth-efficient collective, no overlap, plus a 2 GB/s
+//     gather/scatter staging pass for its non-contiguous layer buffers.
+type wsWorkload struct {
+	model    nn.ModelCost
+	iters    int
+	batch    int
+	eff      float64
+	paperEff map[int]float64 // cores -> paper-reported efficiency (ours)
+	caffeEff map[int]float64 // cores -> paper-reported Intel Caffe efficiency
+}
+
+const (
+	wsOverlapHidden = 0.4  // fraction of allreduce our implementation hides
+	wsCaffeFactor   = 1.2  // Caffe collective bandwidth inefficiency
+	wsCaffeStageBW  = 2e9  // Caffe gather/scatter staging bandwidth
+	wsKNLFlops      = 6e12 // KNL 7250 single-precision peak
+)
+
+func wsWorkloads() []wsWorkload {
+	return []wsWorkload{
+		{
+			model: nn.GoogleNetCost(), iters: 300, batch: 256, eff: 0.08,
+			paperEff: map[int]float64{68: 1, 136: .964, 272: .953, 544: .934, 1088: .940, 2176: .923, 4352: .916},
+			caffeEff: map[int]float64{2176: .87},
+		},
+		{
+			model: nn.VGG19Cost(), iters: 80, batch: 256, eff: 0.30,
+			paperEff: map[int]float64{68: 1, 136: .915, 272: .890, 544: .865, 1088: .807, 2176: .785, 4352: .802},
+			caffeEff: map[int]float64{2176: .62},
+		},
+	}
+}
+
+// wsComputePerIter is the per-iteration compute time of one node.
+func wsComputePerIter(w wsWorkload) float64 {
+	flops := float64(w.model.TrainFLOPsPerSample()) * float64(w.batch)
+	return flops / (wsKNLFlops * w.eff)
+}
+
+// wsOurOverhead is the exposed per-iteration communication of our
+// Communication-Efficient EASGD at the given node count.
+func wsOurOverhead(w wsWorkload, nodes int) float64 {
+	ar := comm.TreeAllReduceTime(hw.Aries, w.model.ParamBytes(), nodes)
+	return ar * (1 - wsOverlapHidden)
+}
+
+// wsCaffeOverhead is the per-iteration communication of the Intel Caffe
+// baseline at the given node count.
+func wsCaffeOverhead(w wsWorkload, nodes int) float64 {
+	ar := comm.TreeAllReduceTime(hw.Aries, w.model.ParamBytes(), nodes)
+	staging := 2 * float64(w.model.ParamBytes()) / wsCaffeStageBW
+	if nodes == 1 {
+		return 0
+	}
+	return ar*wsCaffeFactor + staging
+}
+
+// RunTable4 reproduces Table 4 plus the Intel Caffe comparison rows of
+// §7.1.
+func RunTable4(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{ID: "table4", Title: "Weak scaling for ImageNet", PaperRef: "Table 4 / §7.1"}
+	nodes := []int{1, 2, 4, 8, 16, 32, 64}
+
+	for _, w := range wsWorkloads() {
+		comp := wsComputePerIter(w)
+		t := r.NewTable(
+			fmt.Sprintf("%s (%d iterations, batch %d/node, |W| = %.0f MB)",
+				w.model.Name, w.iters, w.batch, float64(w.model.ParamBytes())/(1<<20)),
+			"cores", "time(s)", "efficiency", "paper eff", "caffe time(s)", "caffe eff", "paper caffe")
+		t1 := float64(w.iters) * comp
+		for _, n := range nodes {
+			cores := n * 68
+			perIter := comp + wsOurOverhead(w, n)
+			total := float64(w.iters) * perIter
+			eff := t1 / total
+			caffeTotal := float64(w.iters) * (comp + wsCaffeOverhead(w, n))
+			caffeEff := t1 / caffeTotal
+			paperCell := "-"
+			if v, ok := w.paperEff[cores]; ok {
+				paperCell = pct(v)
+			}
+			paperCaffe := "-"
+			if v, ok := w.caffeEff[cores]; ok {
+				paperCaffe = pct(v)
+			}
+			t.AddRow(fmt.Sprintf("%d", cores), fmt.Sprintf("%.0f", total), pct(eff), paperCell,
+				fmt.Sprintf("%.0f", caffeTotal), pct(caffeEff), paperCaffe)
+		}
+	}
+	r.AddNote("paper single-node times: GoogleNet 1533s/300 iters, VGG 1318s/80 iters")
+	r.AddNote("paper at 2176 cores: GoogleNet ours 92.3%% vs Caffe 87%%; VGG ours 78.5%% vs Caffe 62%%")
+	return r, nil
+}
+
+// WeakScalingEfficiency exposes the model for tests and the public API:
+// it returns our implementation's efficiency for the named model at the
+// given node count.
+func WeakScalingEfficiency(model string, nodes int) (float64, error) {
+	for _, w := range wsWorkloads() {
+		if w.model.Name == model {
+			comp := wsComputePerIter(w)
+			return comp / (comp + wsOurOverhead(w, nodes)), nil
+		}
+	}
+	return 0, fmt.Errorf("harness: unknown weak-scaling model %q", model)
+}

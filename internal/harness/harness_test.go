@@ -1,0 +1,339 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCompleteAndSorted(t *testing.T) {
+	want := []string{"ablation", "batch", "fig10", "fig11", "fig12", "fig13",
+		"fig6.1", "fig6.2", "fig6.3", "fig6.4", "fig8", "knlmodes", "lowprec",
+		"table2", "table3", "table4"}
+	got := List()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %q, want %q", i, e.ID, want[i])
+		}
+		if e.Run == nil || e.Title == "" || e.PaperRef == "" {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("Get of unknown experiment did not error")
+	}
+	if e, err := Get("table2"); err != nil || e.ID != "table2" {
+		t.Errorf("Get(table2) = %v, %v", e.ID, err)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	r := &Report{ID: "x", Title: "T", PaperRef: "ref"}
+	tb := r.NewTable("demo", "a", "bb")
+	tb.AddRow("1", "2")
+	tb.AddRowf(3.5, 42)
+	out := r.String()
+	for _, want := range []string{"=== x — T (ref) ===", "demo", "a", "bb", "3.500", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted report missing %q:\n%s", want, out)
+		}
+	}
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "a,bb\n1,2\n") {
+		t.Errorf("CSV output wrong: %q", sb.String())
+	}
+	if tb.Cell(0, 1) != "2" {
+		t.Errorf("Cell(0,1) = %q", tb.Cell(0, 1))
+	}
+}
+
+func TestTableAddRowPanicsOnArity(t *testing.T) {
+	tb := &Table{Title: "x", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row did not panic")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestOptionsDefaultsAndScaling(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Seed != 1 || o.Scale != 1 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	o.Scale = 0.1
+	if got := o.scaled(100); got != 10 {
+		t.Errorf("scaled(100) at 0.1 = %d", got)
+	}
+	if got := o.scaled(1); got != 1 {
+		t.Errorf("scaled must floor at 1, got %d", got)
+	}
+}
+
+func TestTable2ReportValues(t *testing.T) {
+	r, err := RunTable2(Options{Seed: 1, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.String()
+	// The paper's exact Table 2 constants must appear.
+	for _, want := range []string{"7.0e-07 s", "1.2e-06 s", "7.2e-06 s", "2.0e-10", "3.0e-10", "9.0e-10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 missing %q", want)
+		}
+	}
+}
+
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percent cell %q", cell)
+	}
+	return v
+}
+
+func TestTable4WeakScalingShape(t *testing.T) {
+	r, err := RunTable4(Options{Seed: 1, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 2 {
+		t.Fatalf("want 2 tables (GoogleNet, VGG), got %d", len(r.Tables))
+	}
+	for ti, tb := range r.Tables {
+		name := []string{"googlenet", "vgg19"}[ti]
+		prevEff := 101.0
+		for ri := range tb.Rows {
+			eff := parsePct(t, tb.Cell(ri, 2))
+			caffe := parsePct(t, tb.Cell(ri, 5))
+			if eff > prevEff+1e-9 {
+				t.Errorf("%s: efficiency increased at row %d", name, ri)
+			}
+			prevEff = eff
+			if caffe > eff {
+				t.Errorf("%s row %d: caffe %v beats ours %v", name, ri, caffe, eff)
+			}
+		}
+	}
+	// Paper landing zones at 2176 cores (row index 5): GoogleNet ≈92.3%,
+	// VGG ≈78.5%, Caffe 87%/62%.
+	gn := parsePct(t, r.Tables[0].Cell(5, 2))
+	if gn < 88 || gn > 96 {
+		t.Errorf("GoogleNet efficiency at 2176 cores = %v%%, paper 92.3%%", gn)
+	}
+	vgg := parsePct(t, r.Tables[1].Cell(5, 2))
+	if vgg < 72 || vgg > 85 {
+		t.Errorf("VGG efficiency at 2176 cores = %v%%, paper 78.5%%", vgg)
+	}
+	gnCaffe := parsePct(t, r.Tables[0].Cell(5, 5))
+	if gnCaffe < 80 || gnCaffe > 91 {
+		t.Errorf("GoogleNet Caffe efficiency = %v%%, paper 87%%", gnCaffe)
+	}
+	vggCaffe := parsePct(t, r.Tables[1].Cell(5, 5))
+	if vggCaffe < 55 || vggCaffe > 70 {
+		t.Errorf("VGG Caffe efficiency = %v%%, paper 62%%", vggCaffe)
+	}
+	// VGG (575 MB) must scale worse than GoogleNet (27 MB).
+	if vgg >= gn {
+		t.Errorf("VGG efficiency %v should be below GoogleNet %v", vgg, gn)
+	}
+}
+
+func TestWeakScalingEfficiencyAPI(t *testing.T) {
+	eff, err := WeakScalingEfficiency("googlenet", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff < 0.85 || eff > 1 {
+		t.Errorf("efficiency %v out of range", eff)
+	}
+	if _, err := WeakScalingEfficiency("resnet", 4); err == nil {
+		t.Error("unknown model did not error")
+	}
+}
+
+func TestFig12PartitioningShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	r, err := RunFig12(Options{Seed: 1, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := r.Tables[0]
+	// Rows: P = 1, 4, 8, 16, 32. Speedup at 16 parts lands near the paper's
+	// 3.3×; the 32-part row spills MCDRAM and collapses.
+	sp := func(ri int) float64 {
+		cell := tb.Cell(ri, 5)
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+		if err != nil {
+			t.Fatalf("bad speedup cell %q", cell)
+		}
+		return v
+	}
+	s4, s8, s16, s32 := sp(1), sp(2), sp(3), sp(4)
+	if !(s4 > 1.2 && s8 >= s4 && s16 >= s8) {
+		t.Errorf("speedups not increasing to 16 parts: %v %v %v", s4, s8, s16)
+	}
+	if s16 < 2 || s16 > 5.5 {
+		t.Errorf("16-part speedup %v; paper 3.3x", s16)
+	}
+	if s32 >= s16 {
+		t.Errorf("32 parts (%vx) should collapse after MCDRAM spill vs 16 (%vx)", s32, s16)
+	}
+	if tb.Cell(4, 1) != "false" {
+		t.Error("32-part row should not fit MCDRAM")
+	}
+}
+
+func TestTable3BreakdownShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	rows, err := runTable3Methods(Options{Seed: 1, Scale: 1}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]table3Row{}
+	for _, row := range rows {
+		byName[row.name] = row
+		if !row.reached {
+			t.Errorf("%s never reached the target accuracy", row.name)
+		}
+	}
+	rr := byName["original-easgd"]
+	s3 := byName["sync-easgd3"]
+	if rr.res.Breakdown.CommRatio() < 0.6 {
+		t.Errorf("round-robin comm ratio %.2f, expected >0.6 (paper 87%%)", rr.res.Breakdown.CommRatio())
+	}
+	if s3.res.Breakdown.CommRatio() > 0.4 {
+		t.Errorf("sync3 comm ratio %.2f, expected <0.4 (paper 14%%)", s3.res.Breakdown.CommRatio())
+	}
+	speedup := rr.timeTo / s3.timeTo
+	if speedup < 2.5 {
+		t.Errorf("sync3 speedup %.1fx over round-robin; paper 5.3x (≥2.5 required)", speedup)
+	}
+	// Co-design chain ordering at equal accuracy.
+	if !(byName["sync-easgd1"].timeTo >= byName["sync-easgd2"].timeTo &&
+		byName["sync-easgd2"].timeTo >= byName["sync-easgd3"].timeTo) {
+		t.Errorf("co-design chain not monotone: %v %v %v",
+			byName["sync-easgd1"].timeTo, byName["sync-easgd2"].timeTo, byName["sync-easgd3"].timeTo)
+	}
+}
+
+func TestFig13MoreNodesReachTargetSooner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	r, err := RunFig13(Options{Seed: 1, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 2 is the horizontal cut: time to target accuracy per node count.
+	// The figure's claim is that more machines+data beat one machine; exact
+	// ordering between adjacent large counts can tie within probe
+	// granularity, so allow 15% slack there but insist multi-node beats
+	// single-node outright.
+	tb := r.Tables[1]
+	times := make([]float64, len(tb.Rows))
+	for ri := range tb.Rows {
+		cell := tb.Cell(ri, 1)
+		if cell == "not reached" {
+			t.Fatalf("nodes=%s never reached the target", tb.Cell(ri, 0))
+		}
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[ri] = v
+	}
+	for ri := 1; ri < len(times); ri++ {
+		if times[ri] >= times[0] {
+			t.Errorf("row %d (%s nodes): %v not faster than single node %v", ri, tb.Cell(ri, 0), times[ri], times[0])
+		}
+		if times[ri] > times[ri-1]*1.15 {
+			t.Errorf("row %d regressed more than 15%% over previous: %v vs %v", ri, times[ri], times[ri-1])
+		}
+	}
+}
+
+func TestFig10PackedFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	r, err := RunFig10(Options{Seed: 1, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := r.Tables[1]
+	per, _ := strconv.ParseFloat(sum.Cell(0, 2), 64)
+	packed, _ := strconv.ParseFloat(sum.Cell(1, 2), 64)
+	if packed >= per {
+		t.Errorf("packed (%v) not faster than per-layer (%v)", packed, per)
+	}
+}
+
+func TestFig6PanelsOursBeatBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	// The paper's Figure 6 claim: each of our methods reaches a common
+	// accuracy no later than its existing counterpart on equal hardware and
+	// hyperparameters. Check the two sharpest panels.
+	for _, panel := range []struct {
+		id, ours, baseline string
+	}{
+		{"fig6.1", "async-easgd", "async-sgd"},
+		{"fig6.3", "hogwild-easgd", "hogwild-sgd"},
+	} {
+		run := runFig6Panel(panel.id, panel.ours, panel.baseline)
+		r, err := run(Options{Seed: 1, Scale: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", panel.id, err)
+		}
+		// The "time to accuracy" table has baseline then ours.
+		tb := r.Tables[1]
+		base, ours := tb.Cell(0, 1), tb.Cell(1, 1)
+		if ours == "not reached" {
+			t.Errorf("%s: %s never reached the panel target", panel.id, panel.ours)
+			continue
+		}
+		if base == "not reached" {
+			continue // baseline diverged — an even stronger win
+		}
+		bv, _ := strconv.ParseFloat(base, 64)
+		ov, _ := strconv.ParseFloat(ours, 64)
+		if ov > bv {
+			t.Errorf("%s: %s (%v) slower than %s (%v)", panel.id, panel.ours, ov, panel.baseline, bv)
+		}
+	}
+}
+
+func TestRunAllAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	reports, err := RunAll(Options{Seed: 1, Scale: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(List()) {
+		t.Errorf("got %d reports for %d experiments", len(reports), len(List()))
+	}
+	for _, r := range reports {
+		if len(r.Tables) == 0 {
+			t.Errorf("%s produced no tables", r.ID)
+		}
+		if r.String() == "" {
+			t.Errorf("%s renders empty", r.ID)
+		}
+	}
+}

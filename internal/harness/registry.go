@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one regenerable artifact of the paper.
+type Experiment struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Run      func(Options) (*Report, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("harness: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+func init() {
+	register(Experiment{ID: "table2", Title: "InfiniBand performance under the α-β model", PaperRef: "Table 2", Run: RunTable2})
+	register(Experiment{ID: "table3", Title: "Breakdown of time for EASGD variants", PaperRef: "Table 3", Run: RunTable3})
+	register(Experiment{ID: "fig11", Title: "Breakdown of time for EASGD variants (chart data)", PaperRef: "Figure 11", Run: RunFig11})
+	register(Experiment{ID: "fig6.1", Title: "Async EASGD vs Async SGD", PaperRef: "Figure 6.1", Run: runFig6Panel("fig6.1", "async-easgd", "async-sgd")})
+	register(Experiment{ID: "fig6.2", Title: "Async MEASGD vs Async MSGD", PaperRef: "Figure 6.2", Run: runFig6Panel("fig6.2", "async-measgd", "async-msgd")})
+	register(Experiment{ID: "fig6.3", Title: "Hogwild EASGD vs Hogwild SGD", PaperRef: "Figure 6.3", Run: runFig6Panel("fig6.3", "hogwild-easgd", "hogwild-sgd")})
+	register(Experiment{ID: "fig6.4", Title: "Sync EASGD vs Original EASGD", PaperRef: "Figure 6.4", Run: runFig6Panel("fig6.4", "sync-easgd3", "original-easgd")})
+	register(Experiment{ID: "fig8", Title: "Overall comparison (log10 error rate vs time)", PaperRef: "Figure 8", Run: RunFig8})
+	register(Experiment{ID: "fig10", Title: "Packed single-layer vs per-layer communication", PaperRef: "Figure 10", Run: RunFig10})
+	register(Experiment{ID: "fig12", Title: "KNL chip partitioning", PaperRef: "Figure 12", Run: RunFig12})
+	register(Experiment{ID: "fig13", Title: "Weak-scaling benefit: more machines and more data", PaperRef: "Figure 13", Run: RunFig13})
+	register(Experiment{ID: "table4", Title: "Weak scaling for ImageNet (GoogleNet/VGG vs Intel Caffe)", PaperRef: "Table 4", Run: RunTable4})
+	register(Experiment{ID: "batch", Title: "Impact of batch size", PaperRef: "Section 7.2", Run: RunBatchImpact})
+	register(Experiment{ID: "ablation", Title: "Co-design ablation (tree, placement, overlap, collectives)", PaperRef: "Section 6.1", Run: RunAblation})
+	register(Experiment{ID: "lowprec", Title: "Low-precision gradient communication", PaperRef: "Section 3.4 (future work)", Run: RunLowPrecision})
+	register(Experiment{ID: "knlmodes", Title: "MCDRAM and cluster-mode ablation", PaperRef: "Sections 2.1, 6.2", Run: RunKNLModes})
+}
+
+// List returns all experiments ordered by ID.
+func List() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get looks an experiment up by ID.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("harness: unknown experiment %q (use one of %v)", id, ids())
+	}
+	return e, nil
+}
+
+func ids() []string {
+	var out []string
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll(o Options) ([]*Report, error) {
+	var out []*Report
+	for _, e := range List() {
+		r, err := e.Run(o)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

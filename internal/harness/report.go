@@ -1,0 +1,193 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation: Table 2 (α-β network constants), Table 3 / Figure 11 (time
+// breakdown of the EASGD variants), Table 4 (ImageNet weak scaling vs Intel
+// Caffe), Figures 6 and 8 (accuracy-versus-time method comparisons),
+// Figure 10 (packed single-layer communication), Figure 12 (KNL chip
+// partitioning) and Figure 13 (weak-scaling benefit), plus the §7.2
+// batch-size study and a co-design ablation. Each experiment produces a
+// Report of formatted tables; cmd/scaledl-bench prints them and
+// bench_test.go wraps them as benchmarks.
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Options controls experiment execution.
+type Options struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Scale multiplies iteration budgets and dataset sizes: 1.0 reproduces
+	// the default (seconds-scale) runs, smaller values give quick smoke
+	// runs, larger values sharpen the curves. Default 1.0.
+	Scale float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// scaled returns max(1, round(n·Scale)).
+func (o Options) scaled(n int) int {
+	v := int(float64(n)*o.Scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Report is one experiment's output.
+type Report struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Tables   []*Table
+	Notes    []string
+}
+
+// AddNote appends a free-form note rendered after the tables.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// NewTable creates a table, registers it on the report and returns it.
+func (r *Report) NewTable(title string, columns ...string) *Table {
+	t := &Table{Title: title, Columns: columns}
+	r.Tables = append(r.Tables, t)
+	return t
+}
+
+// Format renders the report as aligned text.
+func (r *Report) Format(w io.Writer) {
+	fmt.Fprintf(w, "=== %s — %s (%s) ===\n", r.ID, r.Title, r.PaperRef)
+	for _, t := range r.Tables {
+		fmt.Fprintln(w)
+		t.Format(w)
+	}
+	if len(r.Notes) > 0 {
+		fmt.Fprintln(w)
+		for _, n := range r.Notes {
+			fmt.Fprintf(w, "note: %s\n", n)
+		}
+	}
+}
+
+// String renders the report to a string.
+func (r *Report) String() string {
+	var sb strings.Builder
+	r.Format(&sb)
+	return sb.String()
+}
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; the cell count must match the column count.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("harness: row of %d cells for %d columns in %q", len(cells), len(t.Columns), t.Title))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row built from formatted values.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case int64:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(row...)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "-- %s --\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// WriteCSV emits the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Cell returns the cell at (row, col) for tests and post-processing.
+func (t *Table) Cell(row, col int) string { return t.Rows[row][col] }

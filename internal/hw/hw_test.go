@@ -1,0 +1,257 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinkTime(t *testing.T) {
+	l := Link{Name: "test", Alpha: 1e-6, Beta: 1e-9}
+	if got := l.Time(0); got != 1e-6 {
+		t.Errorf("zero-byte time %v, want alpha", got)
+	}
+	if got := l.Time(1000); math.Abs(got-2e-6) > 1e-15 {
+		t.Errorf("1000B time %v, want 2µs", got)
+	}
+	if bw := l.Bandwidth(); math.Abs(bw-1e9) > 1 {
+		t.Errorf("bandwidth %v", bw)
+	}
+}
+
+func TestLinkNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size did not panic")
+		}
+	}()
+	MellanoxFDR.Time(-1)
+}
+
+func TestTable2Constants(t *testing.T) {
+	// The exact values of the paper's Table 2.
+	cases := []struct {
+		l     Link
+		alpha float64
+		beta  float64
+	}{
+		{MellanoxFDR, 0.7e-6, 0.2e-9},
+		{IntelQDR, 1.2e-6, 0.3e-9},
+		{Intel10GbE, 7.2e-6, 0.9e-9},
+	}
+	for _, c := range cases {
+		if c.l.Alpha != c.alpha || c.l.Beta != c.beta {
+			t.Errorf("%s: α=%v β=%v, want α=%v β=%v", c.l.Name, c.l.Alpha, c.l.Beta, c.alpha, c.beta)
+		}
+	}
+	// Ordering the paper relies on: FDR < QDR < 10GbE in both α and β.
+	if !(MellanoxFDR.Alpha < IntelQDR.Alpha && IntelQDR.Alpha < Intel10GbE.Alpha) {
+		t.Error("latency ordering broken")
+	}
+	if !(MellanoxFDR.Beta < IntelQDR.Beta && IntelQDR.Beta < Intel10GbE.Beta) {
+		t.Error("bandwidth ordering broken")
+	}
+}
+
+// Property: for every Table 2 link, small messages are latency-bound
+// (α dominates) and large messages bandwidth-bound — the fact §5.2's packed
+// communication exploits.
+func TestAlphaDominatesSmallMessages(t *testing.T) {
+	for _, l := range []Link{MellanoxFDR, IntelQDR, Intel10GbE} {
+		small := l.Time(64)
+		if small > 2*l.Alpha {
+			t.Errorf("%s: 64B message time %v not latency-dominated (α=%v)", l.Name, small, l.Alpha)
+		}
+		big := l.Time(100 << 20)
+		if big < 10*l.Alpha {
+			t.Errorf("%s: 100MB message %v not bandwidth-dominated", l.Name, big)
+		}
+	}
+}
+
+// Property: sending one packed n-byte message is never slower than sending
+// the same bytes as k messages — the packing theorem behind Figure 10.
+func TestPackingNeverSlowerProperty(t *testing.T) {
+	f := func(nRaw uint32, kRaw uint8) bool {
+		n := int64(nRaw%10_000_000) + 1
+		k := int64(kRaw%30) + 1
+		for _, l := range []Link{MellanoxFDR, IntelQDR, Intel10GbE, PCIeUnpinned, PCIePinned} {
+			packed := l.Time(n)
+			var split float64
+			per := n / k
+			rem := n - per*(k-1)
+			for i := int64(0); i < k-1; i++ {
+				split += l.Time(per)
+			}
+			split += l.Time(rem)
+			if packed > split+1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaturatingLinkMonotonicBandwidth(t *testing.T) {
+	sizes := []int64{1 << 10, 1 << 16, 1 << 20, 1 << 24, 1 << 28}
+	prev := 0.0
+	for _, n := range sizes {
+		bw := Aries.EffectiveBandwidth(n)
+		if bw <= prev {
+			t.Errorf("Aries effective bandwidth not increasing at %d: %v <= %v", n, bw, prev)
+		}
+		prev = bw
+	}
+	if prev > Aries.BWMax {
+		t.Errorf("effective bandwidth %v exceeds asymptote %v", prev, Aries.BWMax)
+	}
+	if got := Aries.Time(0); got != Aries.Alpha {
+		t.Errorf("zero-byte saturating time %v", got)
+	}
+}
+
+func TestDeviceComputeTime(t *testing.T) {
+	d := Device{Name: "d", PeakFLOPS: 1e12, Eff: 0.5, MemBW: 100e9}
+	// FLOP-bound: 5e9 flops at 0.5e12 effective = 10ms.
+	if got := d.ComputeTime(5e9, 0); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("flop-bound time %v", got)
+	}
+	// Memory-bound: 10 GB at 100 GB/s = 100ms > flop time.
+	if got := d.ComputeTime(5e9, 10e9); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("memory-bound time %v", got)
+	}
+}
+
+func TestBatchEfficiencyMonotonic(t *testing.T) {
+	prev := 0.0
+	for _, b := range []int{1, 16, 64, 256, 1024, 4096} {
+		e := BatchEfficiency(b)
+		if e <= prev || e > 1 {
+			t.Errorf("BatchEfficiency(%d) = %v not in (prev, 1]", b, e)
+		}
+		prev = e
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("BatchEfficiency(0) did not panic")
+			}
+		}()
+		BatchEfficiency(0)
+	}()
+}
+
+func TestKNLEffectiveBWModes(t *testing.T) {
+	k := NewKNL7250(0.1)
+	small := int64(1 << 30)  // 1 GB fits MCDRAM
+	huge := int64(100 << 30) // 100 GB spills to DDR
+
+	k.MCMode = MCDRAMFlat
+	if bw := k.EffectiveBW(small); bw != k.MCDRAMBW {
+		t.Errorf("flat fit bw %v, want %v", bw, k.MCDRAMBW)
+	}
+	k.MCMode = MCDRAMCache
+	if bw := k.EffectiveBW(small); bw >= k.MCDRAMBW || bw < k.DDRBW {
+		t.Errorf("cache fit bw %v out of (DDR, MCDRAM)", bw)
+	}
+	spill := k.EffectiveBW(huge)
+	if spill >= k.EffectiveBW(small) {
+		t.Error("spilled working set should see lower bandwidth")
+	}
+	if spill < k.DDRBW*0.9 {
+		t.Errorf("spill bw %v below DDR %v", spill, k.DDRBW)
+	}
+	// Hybrid halves the MCDRAM capacity: an 10 GB set fits in 16 but not 8.
+	k.MCMode = MCDRAMHybrid
+	ten := int64(10 << 30)
+	if k.EffectiveBW(ten) >= k.MCDRAMBW {
+		t.Error("hybrid mode should spill a 10GB set")
+	}
+}
+
+func TestKNLEffectiveBWMonotonicInFootprint(t *testing.T) {
+	k := NewKNL7250(0.1)
+	prev := math.Inf(1)
+	for _, fp := range []int64{1 << 30, 8 << 30, 16 << 30, 32 << 30, 128 << 30} {
+		bw := k.EffectiveBW(fp)
+		if bw > prev {
+			t.Errorf("bandwidth increased with footprint at %d", fp)
+		}
+		prev = bw
+	}
+}
+
+func TestKNLComputeTimeScalesWithCores(t *testing.T) {
+	k := NewKNL7250(0.1)
+	full := k.ComputeTime(1e12, 0, 0, 68)
+	quarter := k.ComputeTime(1e12, 0, 0, 17)
+	if math.Abs(quarter/full-4) > 1e-9 {
+		t.Errorf("17-core time %v not 4× the 68-core %v", quarter, full)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("coresUsed=0 did not panic")
+			}
+		}()
+		k.ComputeTime(1, 0, 0, 0)
+	}()
+}
+
+func TestKNLClusterModeBandwidthOrdering(t *testing.T) {
+	// A2A's chip-wide tag lookups cost sustained bandwidth; SNC-4 with
+	// NUMA-pinned software beats quadrant.
+	mk := func(m ClusterMode) float64 {
+		k := NewKNL7250(0.1)
+		k.CLMode = m
+		return k.EffectiveBW(1 << 30)
+	}
+	a2a, quad, snc := mk(ClusterAll2All), mk(ClusterQuadrant), mk(ClusterSNC4)
+	if !(a2a < quad && quad < snc) {
+		t.Errorf("bandwidth ordering wrong: a2a=%v quad=%v snc=%v", a2a, quad, snc)
+	}
+}
+
+func TestKNLClusterModeLatency(t *testing.T) {
+	k := NewKNL7250(0.1)
+	k.CLMode = ClusterAll2All
+	a2a := k.OnChipLink().Alpha
+	k.CLMode = ClusterQuadrant
+	quad := k.OnChipLink().Alpha
+	k.CLMode = ClusterSNC4
+	snc := k.OnChipLink().Alpha
+	if !(snc < quad && quad < a2a) {
+		t.Errorf("mesh latency ordering wrong: snc=%v quad=%v a2a=%v", snc, quad, a2a)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if MCDRAMCache.String() != "cache" || MCDRAMFlat.String() != "flat" || MCDRAMHybrid.String() != "hybrid" {
+		t.Error("MCDRAM mode strings wrong")
+	}
+	if ClusterAll2All.String() != "all-to-all" || ClusterSNC4.String() != "snc-4" {
+		t.Error("cluster mode strings wrong")
+	}
+	if MCDRAMMode(9).String() == "" || ClusterMode(9).String() == "" {
+		t.Error("unknown modes should still print")
+	}
+}
+
+// Paper §6.2 accounting: "MCDRAM can hold at most 16 copies of weight and
+// data" for AlexNet (249 MB) + one CIFAR copy (687 MB):
+// 16 × 936 MB ≈ 15 GB ≤ 16 GB, but 32 copies do not fit. This bounds
+// Figure 12 at 16 partitions.
+func TestMCDRAMFitRuleFigure12(t *testing.T) {
+	k := NewKNL7250(0.1)
+	copyBytes := int64(249+687) << 20
+	fits := func(parts int64) bool { return parts*copyBytes <= k.MCDRAM }
+	if !fits(16) {
+		t.Error("16 copies should fit in MCDRAM (paper: works for P ≤ 16)")
+	}
+	if fits(32) {
+		t.Error("32 copies should not fit")
+	}
+}

@@ -1,0 +1,175 @@
+package hw
+
+import "fmt"
+
+// MCDRAMMode is the configuration of KNL's 16 GB on-package MCDRAM
+// (paper §2.1 and Figure 2).
+type MCDRAMMode int
+
+const (
+	// MCDRAMCache uses MCDRAM as a last-level cache in front of DDR4.
+	MCDRAMCache MCDRAMMode = iota
+	// MCDRAMFlat exposes MCDRAM as explicitly allocatable memory.
+	MCDRAMFlat
+	// MCDRAMHybrid splits MCDRAM: half cache, half flat.
+	MCDRAMHybrid
+)
+
+func (m MCDRAMMode) String() string {
+	switch m {
+	case MCDRAMCache:
+		return "cache"
+	case MCDRAMFlat:
+		return "flat"
+	case MCDRAMHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("MCDRAMMode(%d)", int(m))
+	}
+}
+
+// ClusterMode is KNL's on-chip cache-coherence clustering (paper §2.1):
+// all-to-all, quadrant/hemisphere, or sub-NUMA SNC-4/2.
+type ClusterMode int
+
+const (
+	// ClusterAll2All distributes addresses uniformly over all tag directories.
+	ClusterAll2All ClusterMode = iota
+	// ClusterQuadrant keeps a memory controller's addresses in its quadrant.
+	ClusterQuadrant
+	// ClusterSNC4 exposes the four quadrants as NUMA nodes so software can
+	// pin threads next to their data — the mode §6.2's partitioning exploits.
+	ClusterSNC4
+)
+
+func (m ClusterMode) String() string {
+	switch m {
+	case ClusterAll2All:
+		return "all-to-all"
+	case ClusterQuadrant:
+		return "quadrant"
+	case ClusterSNC4:
+		return "snc-4"
+	default:
+		return fmt.Sprintf("ClusterMode(%d)", int(m))
+	}
+}
+
+// meshLatencyFactor scales on-chip communication latency per cluster mode:
+// all-to-all pays cross-chip tag-directory lookups on every miss, quadrant
+// keeps them local, SNC-4 additionally keeps software NUMA-local.
+func (m ClusterMode) meshLatencyFactor() float64 {
+	switch m {
+	case ClusterAll2All:
+		return 1.5
+	case ClusterQuadrant:
+		return 1.0
+	case ClusterSNC4:
+		return 0.8
+	default:
+		return 1.0
+	}
+}
+
+// bandwidthFactor scales sustained memory bandwidth per cluster mode: the
+// longer coherence paths of all-to-all mode cost throughput on every miss,
+// while SNC-4 with NUMA-pinned software shortens them below quadrant mode.
+func (m ClusterMode) bandwidthFactor() float64 {
+	switch m {
+	case ClusterAll2All:
+		return 0.85
+	case ClusterQuadrant:
+		return 1.0
+	case ClusterSNC4:
+		return 1.06
+	default:
+		return 1.0
+	}
+}
+
+// KNLChip models one Xeon Phi 7250 node of Cori: 68 cores at 1.4 GHz,
+// 6 SP TFLOPS peak, 16 GB MCDRAM at 475 GB/s measured STREAM (paper §2.1),
+// 384 GB DDR4 at 90 GB/s.
+type KNLChip struct {
+	Cores     int
+	PeakFLOPS float64
+	Eff       float64 // achieved fraction of peak for the workload
+	MCDRAM    int64
+	MCDRAMBW  float64
+	DDR       int64
+	DDRBW     float64
+	MCMode    MCDRAMMode
+	CLMode    ClusterMode
+}
+
+// NewKNL7250 returns the paper's KNL node with the given workload efficiency.
+func NewKNL7250(eff float64) KNLChip {
+	return KNLChip{
+		Cores:     68,
+		PeakFLOPS: 6e12,
+		Eff:       eff,
+		MCDRAM:    16 << 30,
+		MCDRAMBW:  475e9,
+		DDR:       384 << 30,
+		DDRBW:     90e9,
+		MCMode:    MCDRAMCache,
+		CLMode:    ClusterQuadrant,
+	}
+}
+
+// EffectiveBW returns the memory bandwidth available to a working set of
+// the given footprint under the chip's MCDRAM mode. Fitting in MCDRAM gets
+// near-STREAM bandwidth; spilling blends toward DDR in proportion to the
+// overflow (cache mode still catches the hot fraction).
+func (k KNLChip) EffectiveBW(footprint int64) float64 {
+	if footprint < 0 {
+		panic("hw: negative footprint")
+	}
+	capMC := k.MCDRAM
+	bwMC := k.MCDRAMBW
+	switch k.MCMode {
+	case MCDRAMCache:
+		bwMC = k.MCDRAMBW * 0.85 // cache mode runs below flat-mode STREAM
+	case MCDRAMHybrid:
+		capMC = k.MCDRAM / 2
+	}
+	cl := k.CLMode.bandwidthFactor()
+	if footprint <= capMC {
+		return bwMC * cl
+	}
+	// Weighted harmonic blend: the fitting fraction streams from MCDRAM,
+	// the overflow from DDR.
+	fit := float64(capMC) / float64(footprint)
+	return cl / (fit/bwMC + (1-fit)/k.DDRBW)
+}
+
+// ComputeTime charges a compute phase on coresUsed of the chip's cores, as
+// the larger of the FLOP time and the memory-streaming time of the phase's
+// working set (roofline). bytesTouched is the bytes streamed per phase and
+// footprint the resident working set that determines which memory level
+// serves it.
+func (k KNLChip) ComputeTime(flops, bytesTouched, footprint int64, coresUsed int) float64 {
+	if coresUsed <= 0 || coresUsed > k.Cores {
+		panic(fmt.Sprintf("hw: coresUsed %d of %d", coresUsed, k.Cores))
+	}
+	frac := float64(coresUsed) / float64(k.Cores)
+	t := float64(flops) / (k.PeakFLOPS * k.Eff * frac)
+	// A core subset also gets a proportional share of bandwidth, but a
+	// single quadrant can still draw ~1/2 of chip bandwidth, so share decays
+	// slower than core fraction.
+	bwShare := frac + (1-frac)*0.3
+	if bt := float64(bytesTouched) / (k.EffectiveBW(footprint) * bwShare); bt > t {
+		t = bt
+	}
+	return t
+}
+
+// OnChipLink returns the mesh link between chip partitions, with latency
+// scaled by the cluster mode.
+func (k KNLChip) OnChipLink() Link {
+	return Link{
+		Name:  "KNL mesh (" + k.CLMode.String() + ")",
+		Alpha: KNLOnChip.Alpha * k.CLMode.meshLatencyFactor(),
+		Beta:  KNLOnChip.Beta,
+	}
+}

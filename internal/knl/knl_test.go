@@ -1,0 +1,231 @@
+package knl
+
+import (
+	"math"
+	"testing"
+
+	"scaledl/internal/data"
+	"scaledl/internal/hw"
+	"scaledl/internal/nn"
+)
+
+func testCfg(t *testing.T, parts, rounds int) Config {
+	t.Helper()
+	spec := data.Spec{Name: "cifarish", Channels: 1, Height: 12, Width: 12, Classes: 4}
+	train, test := data.Synthetic(data.Config{Spec: spec, TrainN: 512, TestN: 256, Seed: 31})
+	train.Normalize()
+	test.Normalize()
+	return Config{
+		Chip:   hw.NewKNL7250(0.1),
+		Parts:  parts,
+		Def:    nn.TinyCNN(nn.Shape{C: 1, H: 12, W: 12}, 4),
+		Train:  train,
+		Test:   test,
+		Batch:  8,
+		LR:     0.05,
+		Rounds: rounds,
+		Seed:   5,
+	}
+}
+
+// paperCfg overlays the Figure 12 workload footprints (AlexNet 249 MB,
+// CIFAR copy 687 MB, AlexNet-scale FLOPs) on the executed toy network.
+func paperCfg(t *testing.T, parts, rounds int) Config {
+	cfg := testCfg(t, parts, rounds)
+	cfg.WeightBytes = 249 << 20
+	cfg.DataCopyBytes = 687 << 20
+	cfg.FLOPsPerSample = 360e6 // ≈3× AlexNet-on-CIFAR forward FLOPs
+	return cfg
+}
+
+func TestPerRoundCostComponents(t *testing.T) {
+	c, err := PerRoundCost(paperCfg(t, 4, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Arithmetic <= 0 || c.Sync <= 0 || c.Reduce <= 0 || c.Memory <= 0 {
+		t.Errorf("nonpositive component: %+v", c)
+	}
+	if c.Total() < c.Arithmetic+c.Sync {
+		t.Error("total below compute phases")
+	}
+	if !c.FitsMCDRAM {
+		t.Error("4×(249MB+687MB) should fit 16GB MCDRAM")
+	}
+}
+
+func TestCoreScalingSaturation(t *testing.T) {
+	// The whole-chip (P=1) arithmetic must run far below 68-core linear
+	// scaling, while a 16-way partition's groups run near-linearly — the
+	// §6.2 mechanism. Per-round arithmetic therefore grows much slower than
+	// the P× it would under perfect scaling.
+	c1, _ := PerRoundCost(paperCfg(t, 1, 10))
+	c16, _ := PerRoundCost(paperCfg(t, 16, 10))
+	ratio := c16.Arithmetic / c1.Arithmetic
+	if ratio >= 8 {
+		t.Errorf("P=16 arithmetic %.1f× P=1; saturation should keep it well under the 16× of linear scaling", ratio)
+	}
+	if ratio <= 1 {
+		t.Errorf("P=16 per-round arithmetic should still exceed P=1 (ratio %.2f)", ratio)
+	}
+}
+
+func TestSyncCostDropsWithPartitioning(t *testing.T) {
+	// The whole-chip run pays the chip-spanning per-layer sync; partitioned
+	// groups pay proportionally less — the §6.2 mechanism.
+	c1, _ := PerRoundCost(testCfg(t, 1, 10))
+	c16, _ := PerRoundCost(testCfg(t, 16, 10))
+	if c16.Sync >= c1.Sync {
+		t.Errorf("sync cost did not drop: P=1 %v, P=16 %v", c1.Sync, c16.Sync)
+	}
+	// Arithmetic per round rises with P (fewer cores per group).
+	if c16.Arithmetic <= c1.Arithmetic {
+		t.Errorf("per-group arithmetic should rise with P: %v vs %v", c1.Arithmetic, c16.Arithmetic)
+	}
+}
+
+func TestMCDRAMSpillRaisesMemoryCost(t *testing.T) {
+	fit := paperCfg(t, 16, 10)
+	cFit, _ := PerRoundCost(fit)
+	spill := paperCfg(t, 32, 10)
+	cSpill, _ := PerRoundCost(spill)
+	if !cFit.FitsMCDRAM {
+		t.Fatal("P=16 should fit (paper: works for P ≤ 16)")
+	}
+	if cSpill.FitsMCDRAM {
+		t.Fatal("P=32 should spill (32×(249MB+687MB) ≫ 16GB)")
+	}
+	if cSpill.BW >= cFit.BW {
+		t.Errorf("spilled bandwidth %v not below fitting %v", cSpill.BW, cFit.BW)
+	}
+}
+
+func TestMaxPartsFittingMCDRAM(t *testing.T) {
+	chip := hw.NewKNL7250(0.1)
+	// Paper: AlexNet 249 MB + CIFAR 687 MB → 16 copies fit, 32 do not
+	// (paper says "MCDRAM can hold at most 16 copies", its Figure 12 limit).
+	got := MaxPartsFittingMCDRAM(chip, 249<<20, 687<<20)
+	if got != 16 {
+		t.Errorf("max fitting parts = %d, paper says 16", got)
+	}
+	// A tiny model is capped by the core count.
+	if got := MaxPartsFittingMCDRAM(chip, 1<<20, 1<<20); got != 64 {
+		t.Errorf("tiny model should cap at 64 (power of two ≤ 68 cores), got %d", got)
+	}
+}
+
+func TestRunLearnsAndIsDeterministic(t *testing.T) {
+	r1, err := Run(testCfg(t, 4, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ReachedAcc < 0.8 {
+		t.Errorf("accuracy %.3f after 60 rounds on separable data", r1.ReachedAcc)
+	}
+	if r1.SimTime <= 0 || r1.Samples != int64(4*8*60) {
+		t.Errorf("bookkeeping wrong: %+v", r1)
+	}
+	r2, err := Run(testCfg(t, 4, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ReachedAcc != r2.ReachedAcc || r1.SimTime != r2.SimTime {
+		t.Error("same-seed runs differ")
+	}
+}
+
+func TestTargetAccStopsEarly(t *testing.T) {
+	cfg := testCfg(t, 8, 400)
+	cfg.TargetAcc = 0.7
+	cfg.EvalEvery = 5
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TimeToTarget == 0 {
+		t.Fatal("target accuracy never reached")
+	}
+	if r.Rounds >= 400 {
+		t.Error("run did not stop early")
+	}
+	if math.Abs(r.TimeToTarget-float64(r.Rounds)*r.Cost.Total()) > 1e-9 {
+		t.Error("TimeToTarget inconsistent with rounds × per-round cost")
+	}
+}
+
+func TestPartitioningSpeedsUpTimeToTarget(t *testing.T) {
+	// Figure 12's shape: with a fixed total batch split across groups (so
+	// SGD semantics are identical), more partitions reach the target
+	// accuracy sooner because small groups escape the chip-wide strong-
+	// scaling saturation (until the MCDRAM limit).
+	target := 0.70
+	totalBatch := 32
+	var prevTime float64
+	for _, p := range []int{1, 4, 16} {
+		cfg := testCfg(t, p, 600)
+		cfg.Batch = totalBatch / p
+		cfg.TargetAcc = target
+		cfg.EvalEvery = 5
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TimeToTarget == 0 {
+			t.Fatalf("P=%d never reached %.2f (acc %.3f)", p, target, r.ReachedAcc)
+		}
+		if prevTime > 0 && r.TimeToTarget >= prevTime {
+			t.Errorf("P=%d time-to-target %v not faster than previous %v", p, r.TimeToTarget, prevTime)
+		}
+		prevTime = r.TimeToTarget
+	}
+}
+
+func TestSweep(t *testing.T) {
+	rs, err := Sweep(testCfg(t, 1, 20), []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 || rs[0].Parts != 1 || rs[2].Parts != 4 {
+		t.Errorf("sweep results wrong: %+v", rs)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Parts = 0 },
+		func(c *Config) { c.Parts = 1000 },
+		func(c *Config) { c.Train = nil },
+		func(c *Config) { c.Batch = 0 },
+		func(c *Config) { c.Rounds = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := testCfg(t, 1, 10)
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSpeedupToTarget(t *testing.T) {
+	a := Result{TimeToTarget: 10}
+	b := Result{TimeToTarget: 2}
+	if s := SpeedupToTarget(a, b); s != 5 {
+		t.Errorf("speedup %v", s)
+	}
+	if !math.IsNaN(SpeedupToTarget(a, Result{})) {
+		t.Error("unreached target should give NaN")
+	}
+}
+
+func TestClusterModeAffectsReduce(t *testing.T) {
+	cfgA := testCfg(t, 8, 10)
+	cfgA.Chip.CLMode = hw.ClusterAll2All
+	cfgS := testCfg(t, 8, 10)
+	cfgS.Chip.CLMode = hw.ClusterSNC4
+	a, _ := PerRoundCost(cfgA)
+	s, _ := PerRoundCost(cfgS)
+	if s.Reduce >= a.Reduce {
+		t.Errorf("SNC-4 reduce %v not cheaper than all-to-all %v", s.Reduce, a.Reduce)
+	}
+}

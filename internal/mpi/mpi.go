@@ -1,0 +1,272 @@
+// Package mpi is a rank-based message-passing runtime on top of the
+// discrete-event simulator — the stand-in for the MPI library the paper's
+// KNL-cluster code uses. Unlike the closed-form cost functions in
+// internal/comm (which coordinator-style algorithms charge analytically),
+// this package executes collectives as real message exchanges between
+// simulated rank processes: a binomial-tree broadcast really sends
+// log₂(P) waves of point-to-point messages, each paying the link's α-β
+// cost, and the data really moves. Algorithms written against it (such as
+// Algorithm 4, Communication-Efficient EASGD on a KNL cluster) therefore
+// get both the timing and the data semantics of their MPI originals.
+package mpi
+
+import (
+	"fmt"
+
+	"scaledl/internal/comm"
+	"scaledl/internal/sim"
+	"scaledl/internal/tensor"
+)
+
+// World is a communicator over P ranks.
+type World struct {
+	env   *sim.Env
+	size  int
+	link  comm.Transferer
+	boxes [][]*sim.Queue // boxes[dst][src] is the queue src→dst
+}
+
+// NewWorld creates a communicator with the given link model. Every ordered
+// rank pair gets its own mailbox, so matching is by (source, destination)
+// exactly as in MPI point-to-point semantics.
+func NewWorld(env *sim.Env, size int, link comm.Transferer) *World {
+	if size < 1 {
+		panic("mpi: world size must be >= 1")
+	}
+	w := &World{env: env, size: size, link: link, boxes: make([][]*sim.Queue, size)}
+	for dst := 0; dst < size; dst++ {
+		w.boxes[dst] = make([]*sim.Queue, size)
+		for src := 0; src < size; src++ {
+			w.boxes[dst][src] = sim.NewQueue(env, fmt.Sprintf("mpi-%d<-%d", dst, src))
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Rank is one process's endpoint into the world.
+type Rank struct {
+	w  *World
+	id int
+	p  *sim.Proc
+}
+
+// Spawn starts one goroutine-process per rank running body(rank). It
+// returns after registering the processes; drive them with env.Run.
+func (w *World) Spawn(name string, body func(r *Rank)) {
+	for i := 0; i < w.size; i++ {
+		id := i
+		w.env.Spawn(fmt.Sprintf("%s-rank%d", name, id), func(p *sim.Proc) {
+			body(&Rank{w: w, id: id, p: p})
+		})
+	}
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Proc exposes the underlying simulated process (for Delay etc.).
+func (r *Rank) Proc() *sim.Proc { return r.p }
+
+// Now returns the current simulated time.
+func (r *Rank) Now() float64 { return r.p.Now() }
+
+// message is what travels between ranks.
+type message struct {
+	tag  int
+	data []float32
+}
+
+// Send transmits data to rank dst with the given tag. The sender blocks for
+// the link transfer time of len(data) float32s; the payload is copied so
+// the sender may reuse its buffer immediately (MPI buffered-send
+// semantics).
+func (r *Rank) Send(dst, tag int, data []float32) {
+	if dst < 0 || dst >= r.w.size {
+		panic(fmt.Sprintf("mpi: send to rank %d of %d", dst, r.w.size))
+	}
+	if dst == r.id {
+		panic("mpi: send to self")
+	}
+	r.p.Delay(r.w.link.Time(int64(len(data)) * 4))
+	r.w.boxes[dst][r.id].Send(message{tag: tag, data: append([]float32(nil), data...)})
+}
+
+// Recv blocks until a message with the given tag arrives from src and
+// returns its payload. Out-of-order tags from the same source are an error
+// (the algorithms here use strictly matched phases, like the paper's).
+func (r *Rank) Recv(src, tag int) []float32 {
+	m := r.p.Recv(r.w.boxes[r.id][src]).(message)
+	if m.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", r.id, tag, src, m.tag))
+	}
+	return m.data
+}
+
+// Collective tags are spaced so phases never collide.
+const (
+	tagReduce = 1 << 20
+	tagBcast  = 2 << 20
+	tagGather = 3 << 20
+)
+
+// Reduce performs a binomial-tree sum-reduction to root. Every rank calls
+// it with its contribution in buf; on the root, buf holds the elementwise
+// sum afterwards (deterministic combine order: children are merged in
+// increasing round order). Other ranks' buffers are unchanged. round
+// identifies the collective instance (use the iteration number).
+func (r *Rank) Reduce(root, round int, buf []float32) {
+	if r.w.size == 1 {
+		return
+	}
+	// Rotate ranks so the root acts as virtual rank 0.
+	vr := (r.id - root + r.w.size) % r.w.size
+	tag := tagReduce + round
+	for step := 1; step < r.w.size; step <<= 1 {
+		if vr&step != 0 {
+			// Send to the partner below and exit the tree.
+			partner := ((vr - step) + r.w.size) % r.w.size
+			r.Send((partner+root)%r.w.size, tag, buf)
+			return
+		}
+		partner := vr + step
+		if partner < r.w.size {
+			data := r.Recv((partner+root)%r.w.size, tag)
+			tensor.AXPY(1, data, buf)
+		}
+	}
+}
+
+// Bcast distributes the root's buf to every rank's buf via a binomial tree
+// (the classic MPICH algorithm: each rank receives once from the partner at
+// its lowest set bit, then forwards to all lower-bit partners).
+func (r *Rank) Bcast(root, round int, buf []float32) {
+	if r.w.size == 1 {
+		return
+	}
+	vr := (r.id - root + r.w.size) % r.w.size
+	tag := tagBcast + round
+	mask := 1
+	for mask < r.w.size {
+		if vr&mask != 0 {
+			src := vr - mask
+			data := r.Recv((src+root)%r.w.size, tag)
+			copy(buf, data)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask >= 1 {
+		if partner := vr + mask; partner < r.w.size {
+			r.Send((partner+root)%r.w.size, tag, buf)
+		}
+		mask >>= 1
+	}
+}
+
+// AllReduce is Reduce to rank 0 followed by Bcast from rank 0: the
+// composite Sync EASGD / Algorithm 4 performs every iteration.
+func (r *Rank) AllReduce(round int, buf []float32) {
+	r.Reduce(0, round, buf)
+	r.Bcast(0, round, buf)
+}
+
+// Gather collects every rank's buf at the root, which receives them in
+// rank order into parts (len = world size; the root's own contribution is
+// copied). Non-root ranks send directly (linear gather, as small control
+// payloads use).
+func (r *Rank) Gather(root, round int, buf []float32, parts [][]float32) {
+	tag := tagGather + round
+	if r.id != root {
+		r.Send(root, tag, buf)
+		return
+	}
+	for src := 0; src < r.w.size; src++ {
+		if src == root {
+			parts[src] = append(parts[src][:0], buf...)
+			continue
+		}
+		parts[src] = append(parts[src][:0], r.Recv(src, tag)...)
+	}
+}
+
+// Barrier synchronizes all ranks via a zero-byte allreduce.
+func (r *Rank) Barrier(round int) {
+	z := []float32{0}
+	r.AllReduce(round, z)
+}
+
+// ---- size-only variants ----
+//
+// Cost-only experiments (Table 4 scale: 575 MB models × dozens of ranks)
+// must not materialize payloads; these walk the same trees and charge the
+// same α-β costs while moving no data.
+
+// SendBytes transmits a size-only message.
+func (r *Rank) SendBytes(dst, tag int, nbytes int64) {
+	if dst < 0 || dst >= r.w.size || dst == r.id {
+		panic(fmt.Sprintf("mpi: SendBytes to rank %d from %d of %d", dst, r.id, r.w.size))
+	}
+	r.p.Delay(r.w.link.Time(nbytes))
+	r.w.boxes[dst][r.id].Send(message{tag: tag})
+}
+
+// RecvBytes receives a size-only message.
+func (r *Rank) RecvBytes(src, tag int) {
+	m := r.p.Recv(r.w.boxes[r.id][src]).(message)
+	if m.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", r.id, tag, src, m.tag))
+	}
+}
+
+// ReduceBytes walks the binomial reduction tree with size-only messages.
+func (r *Rank) ReduceBytes(root, round int, nbytes int64) {
+	if r.w.size == 1 {
+		return
+	}
+	vr := (r.id - root + r.w.size) % r.w.size
+	tag := tagReduce + round
+	for step := 1; step < r.w.size; step <<= 1 {
+		if vr&step != 0 {
+			partner := ((vr - step) + r.w.size) % r.w.size
+			r.SendBytes((partner+root)%r.w.size, tag, nbytes)
+			return
+		}
+		if partner := vr + step; partner < r.w.size {
+			r.RecvBytes((partner+root)%r.w.size, tag)
+		}
+	}
+}
+
+// BcastBytes walks the binomial broadcast tree with size-only messages.
+func (r *Rank) BcastBytes(root, round int, nbytes int64) {
+	if r.w.size == 1 {
+		return
+	}
+	vr := (r.id - root + r.w.size) % r.w.size
+	tag := tagBcast + round
+	mask := 1
+	for mask < r.w.size {
+		if vr&mask != 0 {
+			r.RecvBytes(((vr-mask)+root)%r.w.size, tag)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask >= 1 {
+		if partner := vr + mask; partner < r.w.size {
+			r.SendBytes((partner+root)%r.w.size, tag, nbytes)
+		}
+		mask >>= 1
+	}
+}
+
+// AllReduceBytes is ReduceBytes + BcastBytes.
+func (r *Rank) AllReduceBytes(round int, nbytes int64) {
+	r.ReduceBytes(0, round, nbytes)
+	r.BcastBytes(0, round, nbytes)
+}

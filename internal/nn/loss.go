@@ -1,0 +1,74 @@
+package nn
+
+import "math"
+
+// SoftmaxXent combines a softmax with cross-entropy loss against integer
+// class labels, returning the mean loss over the batch and the gradient with
+// respect to the logits ((softmax − onehot)/b).
+type SoftmaxXent struct {
+	probs []float32
+	grad  []float32
+}
+
+// Forward computes the mean cross-entropy loss and the number of correctly
+// argmax-classified samples. logits is b × classes.
+func (s *SoftmaxXent) Forward(logits []float32, labels []int, classes int) (loss float64, correct int) {
+	b := len(labels)
+	if len(logits) != b*classes {
+		panic("nn: softmax logits size mismatch")
+	}
+	if cap(s.probs) < len(logits) {
+		s.probs = make([]float32, len(logits))
+		s.grad = make([]float32, len(logits))
+	}
+	s.probs = s.probs[:len(logits)]
+	s.grad = s.grad[:len(logits)]
+	var total float64
+	for i := 0; i < b; i++ {
+		row := logits[i*classes : (i+1)*classes]
+		probs := s.probs[i*classes : (i+1)*classes]
+		maxV := row[0]
+		argmax := 0
+		for j, v := range row {
+			if v > maxV {
+				maxV = v
+				argmax = j
+			}
+		}
+		if argmax == labels[i] {
+			correct++
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxV))
+			probs[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1.0 / sum)
+		for j := range probs {
+			probs[j] *= inv
+		}
+		p := float64(probs[labels[i]])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total += -math.Log(p)
+	}
+	// Gradient of mean loss w.r.t. logits.
+	invB := float32(1.0 / float64(b))
+	copy(s.grad, s.probs)
+	for i := 0; i < b; i++ {
+		s.grad[i*classes+labels[i]] -= 1
+	}
+	for j := range s.grad {
+		s.grad[j] *= invB
+	}
+	return total / float64(b), correct
+}
+
+// Grad returns the logits gradient from the most recent Forward. The slice
+// is reused across calls.
+func (s *SoftmaxXent) Grad() []float32 { return s.grad }
+
+// Probs returns the softmax probabilities from the most recent Forward.
+func (s *SoftmaxXent) Probs() []float32 { return s.probs }

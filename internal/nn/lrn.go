@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"scaledl/internal/tensor"
+)
+
+// LRN is AlexNet's local response normalization across channels:
+//
+//	y_i = x_i / (k + (alpha/n) * Σ_{j∈window(i)} x_j²)^beta
+//
+// with the sum over a window of n adjacent channels at the same spatial
+// position.
+type LRN struct {
+	in          Shape
+	n           int
+	alpha, beta float64
+	k           float64
+	outBuf      []float32
+	dxBuf       []float32
+	denom       []float32 // (k + α/n·Σx²) per activation
+	lastX       []float32
+	lastB       int
+}
+
+// NewLRN creates an LRN layer with the standard AlexNet constants when zero
+// values are passed (n=5, alpha=1e-4, beta=0.75, k=2... Caffe uses k=1).
+func NewLRN(in Shape, n int, alpha, beta, k float64) *LRN {
+	if n <= 0 {
+		n = 5
+	}
+	if alpha == 0 {
+		alpha = 1e-4
+	}
+	if beta == 0 {
+		beta = 0.75
+	}
+	if k == 0 {
+		k = 1
+	}
+	return &LRN{in: in, n: n, alpha: alpha, beta: beta, k: k}
+}
+
+func (l *LRN) Name() string                 { return fmt.Sprintf("lrn%d", l.n) }
+func (l *LRN) OutShape() Shape              { return l.in }
+func (l *LRN) ParamCount() int              { return 0 }
+func (l *LRN) Bind(params, grads []float32) {}
+func (l *LRN) Init(g *tensor.RNG)           {}
+
+func (l *LRN) Forward(x []float32, b int, train bool) []float32 {
+	dim := l.in.Dim()
+	if len(x) != b*dim {
+		panic("nn: lrn forward size mismatch")
+	}
+	out := buf(&l.outBuf, len(x))
+	den := buf(&l.denom, len(x))
+	c, spatial := l.in.C, l.in.H*l.in.W
+	half := l.n / 2
+	scale := l.alpha / float64(l.n)
+	for i := 0; i < b; i++ {
+		base := i * dim
+		for s := 0; s < spatial; s++ {
+			for ch := 0; ch < c; ch++ {
+				lo := ch - half
+				hi := ch + half
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= c {
+					hi = c - 1
+				}
+				var ss float64
+				for j := lo; j <= hi; j++ {
+					v := float64(x[base+j*spatial+s])
+					ss += v * v
+				}
+				d := l.k + scale*ss
+				den[base+ch*spatial+s] = float32(d)
+				out[base+ch*spatial+s] = x[base+ch*spatial+s] * float32(math.Pow(d, -l.beta))
+			}
+		}
+	}
+	if train {
+		l.lastX, l.lastB = x, b
+	}
+	return out
+}
+
+func (l *LRN) Backward(dy []float32, b int) []float32 {
+	if l.lastB != b {
+		panic("nn: lrn Backward batch mismatch with Forward")
+	}
+	dim := l.in.Dim()
+	dx := buf(&l.dxBuf, len(dy))
+	c, spatial := l.in.C, l.in.H*l.in.W
+	half := l.n / 2
+	scale := l.alpha / float64(l.n)
+	for i := 0; i < b; i++ {
+		base := i * dim
+		for s := 0; s < spatial; s++ {
+			// dx_i = dy_i·d_i^-β − 2αβ/n · x_i · Σ_{j: i∈window(j)} dy_j·y_j/d_j
+			// where y_j = x_j·d_j^-β, so dy_j·y_j/d_j = dy_j·x_j·d_j^{-β-1}.
+			for ch := 0; ch < c; ch++ {
+				idx := base + ch*spatial + s
+				d := float64(l.denom[idx])
+				grad := float64(dy[idx]) * math.Pow(d, -l.beta)
+				var cross float64
+				lo := ch - half
+				hi := ch + half
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= c {
+					hi = c - 1
+				}
+				for j := lo; j <= hi; j++ {
+					jdx := base + j*spatial + s
+					dj := float64(l.denom[jdx])
+					cross += float64(dy[jdx]) * float64(l.lastX[jdx]) * math.Pow(dj, -l.beta-1)
+				}
+				grad -= 2 * scale * l.beta * float64(l.lastX[idx]) * cross
+				dx[idx] = float32(grad)
+			}
+		}
+	}
+	return dx
+}
+
+func (l *LRN) FwdFLOPsPerSample() int64 {
+	return int64(l.in.Dim()) * int64(2*l.n+4)
+}

@@ -1,0 +1,247 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"scaledl/internal/data"
+	"scaledl/internal/tensor"
+)
+
+func TestPackedLayoutContiguity(t *testing.T) {
+	def := LeNet(Shape{C: 1, H: 28, W: 28}, 10)
+	net := def.Build(1)
+	// Offsets must be monotone and cover the whole packed buffer.
+	if net.Offsets[0] != 0 || net.Offsets[len(net.Offsets)-1] != len(net.Params) {
+		t.Fatalf("offsets %v do not span params (%d)", net.Offsets, len(net.Params))
+	}
+	for i := 1; i < len(net.Offsets); i++ {
+		if net.Offsets[i] < net.Offsets[i-1] {
+			t.Fatalf("offsets not monotone: %v", net.Offsets)
+		}
+	}
+	// Writing via a layer view must land inside the packed buffer: mutate the
+	// conv1 weights through the packed buffer and check a forward changes.
+	x := make([]float32, 28*28)
+	for i := range x {
+		x[i] = 1
+	}
+	y1 := append([]float32(nil), net.Forward(x, 1, false)...)
+	net.Params[0] += 10
+	y2 := net.Forward(x, 1, false)
+	same := true
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("mutating packed buffer did not affect layer output; views not aliased")
+	}
+}
+
+func TestLeNetParamCount(t *testing.T) {
+	def := LeNet(Shape{C: 1, H: 28, W: 28}, 10)
+	net := def.Build(1)
+	// Classic Caffe LeNet: 431,080 parameters.
+	if net.ParamCount() != 431080 {
+		t.Errorf("LeNet params = %d, want 431080", net.ParamCount())
+	}
+	if net.ParamBytes() != 431080*4 {
+		t.Errorf("LeNet bytes = %d", net.ParamBytes())
+	}
+}
+
+func TestZooCostTables(t *testing.T) {
+	cases := []struct {
+		m        ModelCost
+		wantLo   int64
+		wantHi   int64
+		paperRef string
+	}{
+		{AlexNetCost(), 60_000_000, 62_000_000, "AlexNet ≈ 61M params (paper: 249 MB)"},
+		{VGG19Cost(), 143_000_000, 144_500_000, "VGG-19 ≈ 143.7M params (paper: 575 MB)"},
+		{GoogleNetCost(), 6_000_000, 8_000_000, "GoogleNet ≈ 7M params"},
+		{LeNetCost(), 431_080, 431_080, "LeNet exactly 431,080"},
+	}
+	for _, c := range cases {
+		got := c.m.TotalParams()
+		if got < c.wantLo || got > c.wantHi {
+			t.Errorf("%s: params = %d, want in [%d, %d] (%s)", c.m.Name, got, c.wantLo, c.wantHi, c.paperRef)
+		}
+		if c.m.FwdFLOPsPerSample() <= 0 {
+			t.Errorf("%s: nonpositive FLOPs", c.m.Name)
+		}
+	}
+	// Paper quotes VGG-19 at 575 MB.
+	mb := float64(VGG19Cost().ParamBytes()) / (1 << 20)
+	if mb < 540 || mb < 0 || mb > 580 {
+		t.Errorf("VGG-19 size %.1f MB, paper says ≈575 MB", mb)
+	}
+	// AlexNet ≈ 244 MB float32 (paper rounds to 249 MB).
+	mb = float64(AlexNetCost().ParamBytes()) / (1 << 20)
+	if mb < 230 || mb > 260 {
+		t.Errorf("AlexNet size %.1f MB, paper says ≈249 MB", mb)
+	}
+}
+
+func TestNetCostMatchesNet(t *testing.T) {
+	def := LeNet(Shape{C: 1, H: 28, W: 28}, 10)
+	net := def.Build(1)
+	cost := net.Cost()
+	if cost.TotalParams() != int64(net.ParamCount()) {
+		t.Errorf("Cost params %d != net %d", cost.TotalParams(), net.ParamCount())
+	}
+	if cost.FwdFLOPsPerSample() != net.FwdFLOPsPerSample() {
+		t.Errorf("Cost FLOPs %d != net %d", cost.FwdFLOPsPerSample(), net.FwdFLOPsPerSample())
+	}
+	ref := LeNetCost()
+	if cost.TotalParams() != ref.TotalParams() {
+		t.Errorf("instantiated LeNet params %d != table %d", cost.TotalParams(), ref.TotalParams())
+	}
+}
+
+func TestLayerParamSizesSumToTotal(t *testing.T) {
+	def := LeNet(Shape{C: 1, H: 28, W: 28}, 10)
+	net := def.Build(1)
+	sum := 0
+	for _, s := range net.LayerParamSizes() {
+		sum += s
+	}
+	if sum != net.ParamCount() {
+		t.Errorf("per-layer sizes sum %d != total %d", sum, net.ParamCount())
+	}
+}
+
+func TestBuildPanicsOnShapeMismatch(t *testing.T) {
+	def := NetDef{Name: "bad", In: Shape{C: 1, H: 4, W: 4}, Classes: 10,
+		Specs: []LayerSpec{{Kind: "dense", Units: 7}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched classes did not panic")
+		}
+	}()
+	def.Build(1)
+}
+
+func TestBuildPanicsOnUnknownKind(t *testing.T) {
+	def := NetDef{Name: "bad", In: Shape{C: 1, H: 4, W: 4}, Classes: 10,
+		Specs: []LayerSpec{{Kind: "wat"}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind did not panic")
+		}
+	}()
+	def.Build(1)
+}
+
+func TestDeterministicBuildAndTraining(t *testing.T) {
+	spec := data.Spec{Name: "toy", Channels: 1, Height: 12, Width: 12, Classes: 4}
+	train, _ := data.Synthetic(data.Config{Spec: spec, TrainN: 128, TestN: 32, Seed: 5})
+	def := TinyCNN(Shape{C: 1, H: 12, W: 12}, 4)
+
+	run := func() []float32 {
+		net := def.Build(99)
+		s := data.NewSampler(train, 7)
+		var batch *data.Batch
+		for i := 0; i < 10; i++ {
+			batch = s.Next(8, batch)
+			net.ZeroGrad()
+			net.LossAndGrad(batch.X, batch.Labels, 8)
+			net.SGDStep(0.05)
+		}
+		return append([]float32(nil), net.Params...)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("training nondeterministic at param %d", i)
+		}
+	}
+}
+
+func TestSGDTrainingLearnsSynthetic(t *testing.T) {
+	spec := data.Spec{Name: "toy", Channels: 1, Height: 12, Width: 12, Classes: 4}
+	train, test := data.Synthetic(data.Config{Spec: spec, TrainN: 512, TestN: 256, Seed: 21})
+	train.Normalize()
+	test.Normalize()
+	def := TinyCNN(Shape{C: 1, H: 12, W: 12}, 4)
+	net := def.Build(3)
+	s := data.NewSampler(train, 11)
+	var batch *data.Batch
+	var loss0, lossN float64
+	for i := 0; i < 150; i++ {
+		batch = s.Next(16, batch)
+		net.ZeroGrad()
+		l, _ := net.LossAndGrad(batch.X, batch.Labels, 16)
+		if i == 0 {
+			loss0 = l
+		}
+		lossN = l
+		net.SGDStep(0.05)
+	}
+	if lossN >= loss0 {
+		t.Errorf("loss did not decrease: %.4f -> %.4f", loss0, lossN)
+	}
+	acc := net.Evaluate(test.Images, test.Labels, 64)
+	if acc < 0.8 {
+		t.Errorf("test accuracy %.3f after 150 iters; expected > 0.8 on separable data", acc)
+	}
+}
+
+func TestCopyParamsFrom(t *testing.T) {
+	def := TinyCNN(Shape{C: 1, H: 8, W: 8}, 3)
+	a := def.Build(1)
+	b := def.Build(2)
+	b.CopyParamsFrom(a)
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			t.Fatal("CopyParamsFrom incomplete")
+		}
+	}
+}
+
+func TestSoftmaxXentGradientSumsToZero(t *testing.T) {
+	// Softmax-xent gradient rows must sum to zero (probabilities sum to 1,
+	// one-hot subtracts 1).
+	var s SoftmaxXent
+	g := tensor.NewRNG(4)
+	logits := make([]float32, 6*5)
+	g.FillNormal(logits, 0, 2)
+	labels := []int{0, 1, 2, 3, 4, 0}
+	loss, _ := s.Forward(logits, labels, 5)
+	if loss <= 0 {
+		t.Errorf("loss %v", loss)
+	}
+	grad := s.Grad()
+	for i := 0; i < 6; i++ {
+		var sum float64
+		for j := 0; j < 5; j++ {
+			sum += float64(grad[i*5+j])
+		}
+		if math.Abs(sum) > 1e-5 {
+			t.Errorf("row %d gradient sum %v", i, sum)
+		}
+	}
+}
+
+func TestSoftmaxXentPerfectPrediction(t *testing.T) {
+	var s SoftmaxXent
+	logits := []float32{100, 0, 0, 0, 100, 0}
+	loss, correct := s.Forward(logits, []int{0, 1}, 3)
+	if correct != 2 {
+		t.Errorf("correct = %d", correct)
+	}
+	if loss > 1e-6 {
+		t.Errorf("loss %v for perfect prediction", loss)
+	}
+}
+
+func TestEvaluateEmptySet(t *testing.T) {
+	def := TinyCNN(Shape{C: 1, H: 8, W: 8}, 3)
+	net := def.Build(1)
+	if acc := net.Evaluate(nil, nil, 16); acc != 0 {
+		t.Errorf("empty Evaluate = %v", acc)
+	}
+}

@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"scaledl/internal/data"
+	"scaledl/internal/tensor"
+)
+
+func TestParallelConcatShapes(t *testing.T) {
+	def := NetDef{
+		Name: "par", In: Shape{C: 2, H: 8, W: 8}, Classes: 3,
+		Specs: []LayerSpec{
+			{Kind: "parallel", Branches: [][]LayerSpec{
+				{{Kind: "conv", Filters: 3, Kernel: 1, Stride: 1}},
+				{{Kind: "conv", Filters: 5, Kernel: 3, Stride: 1, Pad: 1}},
+			}},
+			{Kind: "globalavgpool"},
+			{Kind: "dense", Units: 3},
+		},
+	}
+	net := def.Build(1)
+	// Parallel output channels: 3 + 5 = 8; spatial preserved.
+	par := net.Layers[0]
+	if got := par.OutShape(); got.C != 8 || got.H != 8 || got.W != 8 {
+		t.Fatalf("parallel out shape %v", got)
+	}
+	x := make([]float32, 2*64)
+	tensor.NewRNG(2).FillNormal(x, 0, 1)
+	out := net.Forward(x, 1, false)
+	if len(out) != 3 {
+		t.Fatalf("final output %d", len(out))
+	}
+}
+
+func TestParallelConcatOrder(t *testing.T) {
+	// Two identity-ish 1×1 conv branches with hand-set weights: branch 0
+	// multiplies by 2, branch 1 by 3; the concatenated output must hold
+	// branch 0's channels first.
+	par := NewParallel(Shape{C: 1, H: 2, W: 2}, [][]Layer{
+		{NewConv2D(Shape{C: 1, H: 2, W: 2}, 1, 1, 1, 0)},
+		{NewConv2D(Shape{C: 1, H: 2, W: 2}, 1, 1, 1, 0)},
+	})
+	params := make([]float32, par.ParamCount())
+	grads := make([]float32, par.ParamCount())
+	par.Bind(params, grads)
+	params[0] = 2 // branch 0 weight (w then bias)
+	params[2] = 3 // branch 1 weight
+	x := []float32{1, 2, 3, 4}
+	out := par.Forward(x, 1, true)
+	want := []float32{2, 4, 6, 8, 3, 6, 9, 12}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("concat out %v, want %v", out, want)
+		}
+	}
+	// Backward: dx sums branch contributions: dy of ones → 2+3 = 5 per px.
+	dy := []float32{1, 1, 1, 1, 1, 1, 1, 1}
+	dx := par.Backward(dy, 1)
+	for i, v := range dx {
+		if v != 5 {
+			t.Fatalf("dx[%d] = %v, want 5", i, v)
+		}
+	}
+}
+
+func TestParallelMismatchedSpatialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched branch spatial dims did not panic")
+		}
+	}()
+	NewParallel(Shape{C: 1, H: 8, W: 8}, [][]Layer{
+		{NewConv2D(Shape{C: 1, H: 8, W: 8}, 1, 1, 1, 0)},
+		{NewPool2D(Shape{C: 1, H: 8, W: 8}, MaxPool, 2, 2)},
+	})
+}
+
+func TestGradCheckInception(t *testing.T) {
+	// Full numerical gradient check through an inception module (smooth
+	// activations for finite-difference stability: replace relu with tanh).
+	inc := Inception(2, 2, 3, 2, 2, 2)
+	for i := range inc.Branches {
+		for j := range inc.Branches[i] {
+			if inc.Branches[i][j].Kind == "relu" {
+				inc.Branches[i][j].Kind = "tanh"
+			}
+		}
+	}
+	def := NetDef{
+		Name: "gc-inception", In: Shape{C: 2, H: 6, W: 6}, Classes: 3,
+		Specs: []LayerSpec{
+			inc,
+			{Kind: "globalavgpool"},
+			{Kind: "dense", Units: 3},
+		},
+	}
+	numericalGradCheck(t, def, 2, 0.06)
+}
+
+func TestPaddedMaxPoolPreservesSpatial(t *testing.T) {
+	l := NewPool2DPad(Shape{C: 1, H: 4, W: 4}, MaxPool, 3, 1, 1)
+	if got := l.OutShape(); got.H != 4 || got.W != 4 {
+		t.Fatalf("padded pool out %v, want 4x4", got)
+	}
+	x := []float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}
+	out := l.Forward(x, 1, true)
+	// Corner (0,0) window covers {1,2,5,6} → 6; center (1,1) covers 1..11 → 11.
+	if out[0] != 6 {
+		t.Errorf("corner max %v, want 6", out[0])
+	}
+	if out[5] != 11 {
+		t.Errorf("center max %v, want 11", out[5])
+	}
+	// Backward routes to valid argmax positions only.
+	dy := make([]float32, 16)
+	for i := range dy {
+		dy[i] = 1
+	}
+	dx := l.Backward(dy, 1)
+	var sum float32
+	for _, v := range dx {
+		sum += v
+	}
+	if sum != 16 {
+		t.Errorf("gradient mass %v, want 16", sum)
+	}
+}
+
+func TestPaddedAvgPoolCountsActualTaps(t *testing.T) {
+	l := NewPool2DPad(Shape{C: 1, H: 2, W: 2}, AvgPool, 3, 1, 1)
+	x := []float32{4, 8, 12, 16}
+	out := l.Forward(x, 1, true)
+	// Every 3×3 window clipped to the 2×2 image covers all four pixels →
+	// mean 10 everywhere.
+	for i, v := range out {
+		if v != 10 {
+			t.Fatalf("avg[%d] = %v, want 10", i, v)
+		}
+	}
+}
+
+func TestMiniGoogleNetTrains(t *testing.T) {
+	spec := data.Spec{Name: "toy", Channels: 3, Height: 16, Width: 16, Classes: 4}
+	train, test := data.Synthetic(data.Config{Spec: spec, TrainN: 256, TestN: 128, Seed: 9})
+	train.Normalize()
+	test.Normalize()
+	def := MiniGoogleNet(Shape{C: 3, H: 16, W: 16}, 4)
+	net := def.Build(3)
+	if net.ParamCount() == 0 {
+		t.Fatal("no parameters")
+	}
+	s := data.NewSampler(train, 4)
+	var batch *data.Batch
+	for i := 0; i < 120; i++ {
+		batch = s.Next(16, batch)
+		net.ZeroGrad()
+		net.LossAndGrad(batch.X, batch.Labels, 16)
+		net.SGDStep(0.05)
+	}
+	if acc := net.Evaluate(test.Images, test.Labels, 64); acc < 0.7 {
+		t.Errorf("mini-googlenet accuracy %.3f after 120 iters", acc)
+	}
+}
+
+func TestMiniGoogleNetSerializationRoundTrip(t *testing.T) {
+	// Inception definitions must survive Save/Load (nested Branches).
+	def := MiniGoogleNet(Shape{C: 3, H: 16, W: 16}, 4)
+	net := def.Build(7)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ParamCount() != net.ParamCount() {
+		t.Fatalf("params %d vs %d", got.ParamCount(), net.ParamCount())
+	}
+	for i := range net.Params {
+		if got.Params[i] != net.Params[i] {
+			t.Fatal("params differ after round trip")
+		}
+	}
+}

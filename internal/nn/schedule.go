@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// LRSchedule maps an iteration number to a learning rate. The paper's §7.2
+// observes that batch size, learning rate and momentum must be retuned
+// together; these schedules are the standard tools for that retuning
+// (linear scaling with warmup became the canon for the large-batch regime
+// the paper's weak-scaling pushes into).
+type LRSchedule interface {
+	// At returns the learning rate for iteration t (0-based).
+	At(t int) float32
+}
+
+// ConstantLR is a fixed learning rate.
+type ConstantLR float32
+
+// At implements LRSchedule.
+func (c ConstantLR) At(int) float32 { return float32(c) }
+
+// StepDecay multiplies the base rate by Gamma every StepSize iterations
+// (Caffe's "step" policy, used by the paper-era ImageNet recipes).
+type StepDecay struct {
+	Base     float32
+	Gamma    float64
+	StepSize int
+}
+
+// At implements LRSchedule.
+func (s StepDecay) At(t int) float32 {
+	if s.StepSize <= 0 {
+		return s.Base
+	}
+	return s.Base * float32(math.Pow(s.Gamma, float64(t/s.StepSize)))
+}
+
+// PolyDecay is Caffe's "poly" policy: base·(1−t/max)^power.
+type PolyDecay struct {
+	Base    float32
+	MaxIter int
+	Power   float64
+}
+
+// At implements LRSchedule.
+func (p PolyDecay) At(t int) float32 {
+	if p.MaxIter <= 0 {
+		return p.Base
+	}
+	frac := 1 - float64(t)/float64(p.MaxIter)
+	if frac < 0 {
+		frac = 0
+	}
+	return p.Base * float32(math.Pow(frac, p.Power))
+}
+
+// Warmup ramps linearly from Base/Div to Base over WarmupIters, then
+// delegates to After — the gradual-warmup recipe that makes the linearly
+// scaled rates of large effective batches trainable.
+type Warmup struct {
+	Base        float32
+	Div         float32 // starting divisor (e.g. 10)
+	WarmupIters int
+	After       LRSchedule
+}
+
+// At implements LRSchedule.
+func (w Warmup) At(t int) float32 {
+	if w.WarmupIters > 0 && t < w.WarmupIters {
+		start := w.Base / maxf(w.Div, 1)
+		frac := float32(t) / float32(w.WarmupIters)
+		return start + (w.Base-start)*frac
+	}
+	if w.After != nil {
+		return w.After.At(t - w.WarmupIters)
+	}
+	return w.Base
+}
+
+func maxf(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// LinearScaledLR applies the linear scaling rule for an effective batch
+// grown by factor k over the reference batch: η' = k·η (the retuning §7.2
+// prescribes when batch size changes).
+func LinearScaledLR(baseLR float32, refBatch, batch int) (float32, error) {
+	if refBatch <= 0 || batch <= 0 {
+		return 0, fmt.Errorf("nn: batches must be positive, got %d and %d", refBatch, batch)
+	}
+	return baseLR * float32(batch) / float32(refBatch), nil
+}
+
+// SqrtScaledLR applies the square-root scaling rule, the conservative
+// alternative for very large batches: η' = √k·η.
+func SqrtScaledLR(baseLR float32, refBatch, batch int) (float32, error) {
+	if refBatch <= 0 || batch <= 0 {
+		return 0, fmt.Errorf("nn: batches must be positive, got %d and %d", refBatch, batch)
+	}
+	return baseLR * float32(math.Sqrt(float64(batch)/float64(refBatch))), nil
+}

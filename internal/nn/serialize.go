@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialization: a Net is stored as a JSON header (its NetDef, so the
+// architecture travels with the weights) followed by the packed float32
+// parameter buffer in little-endian order. The packed §5.2 layout makes
+// the payload a single contiguous write.
+
+// serializedHeader is the on-disk header.
+type serializedHeader struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	Def     NetDef `json:"def"`
+	Params  int    `json:"params"`
+}
+
+const (
+	serializeMagic   = "scaledl-net"
+	serializeVersion = 1
+)
+
+// Save writes the network definition and parameters to w.
+func (n *Net) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := serializedHeader{
+		Magic:   serializeMagic,
+		Version: serializeVersion,
+		Def:     n.Def,
+		Params:  len(n.Params),
+	}
+	hj, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("nn: marshal header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(hj))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(hj); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	for _, v := range n.Params {
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a network saved with Save, rebuilding the architecture from
+// the stored definition and restoring the parameters.
+func Load(r io.Reader) (*Net, error) {
+	br := bufio.NewReader(r)
+	var hlen uint32
+	if err := binary.Read(br, binary.LittleEndian, &hlen); err != nil {
+		return nil, fmt.Errorf("nn: read header length: %w", err)
+	}
+	if hlen == 0 || hlen > 1<<20 {
+		return nil, fmt.Errorf("nn: implausible header length %d", hlen)
+	}
+	hj := make([]byte, hlen)
+	if _, err := io.ReadFull(br, hj); err != nil {
+		return nil, fmt.Errorf("nn: read header: %w", err)
+	}
+	var hdr serializedHeader
+	if err := json.Unmarshal(hj, &hdr); err != nil {
+		return nil, fmt.Errorf("nn: decode header: %w", err)
+	}
+	if hdr.Magic != serializeMagic {
+		return nil, fmt.Errorf("nn: bad magic %q", hdr.Magic)
+	}
+	if hdr.Version != serializeVersion {
+		return nil, fmt.Errorf("nn: unsupported version %d", hdr.Version)
+	}
+	net := hdr.Def.Build(0)
+	if len(net.Params) != hdr.Params {
+		return nil, fmt.Errorf("nn: definition rebuilds to %d params, file has %d", len(net.Params), hdr.Params)
+	}
+	buf := make([]byte, 4)
+	for i := range net.Params {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("nn: read param %d: %w", i, err)
+		}
+		net.Params[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+	}
+	return net, nil
+}

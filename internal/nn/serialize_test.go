@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	def := TinyCNN(Shape{C: 1, H: 12, W: 12}, 4)
+	net := def.Build(42)
+	// Train-ish perturbation so params are not just the init.
+	for i := range net.Params {
+		net.Params[i] += float32(i%7) * 0.01
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Def.Name != def.Name || got.ParamCount() != net.ParamCount() {
+		t.Fatalf("definition mismatch: %+v", got.Def)
+	}
+	for i := range net.Params {
+		if got.Params[i] != net.Params[i] {
+			t.Fatalf("param %d: %v != %v", i, got.Params[i], net.Params[i])
+		}
+	}
+	// The loaded network must be functional: same forward output.
+	x := make([]float32, 144)
+	for i := range x {
+		x[i] = float32(i) / 144
+	}
+	a := net.Forward(x, 1, false)
+	b := got.Forward(x, 1, false)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("forward mismatch at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short", []byte{1, 2}},
+		{"huge-header", []byte{0xff, 0xff, 0xff, 0xff, 0, 0}},
+		{"not-json", append([]byte{5, 0, 0, 0}, []byte("hello")...)},
+	}
+	for _, c := range cases {
+		if _, err := Load(bytes.NewReader(c.data)); err == nil {
+			t.Errorf("%s: Load accepted garbage", c.name)
+		}
+	}
+}
+
+func TestLoadRejectsWrongMagicAndVersion(t *testing.T) {
+	def := TinyCNN(Shape{C: 1, H: 8, W: 8}, 3)
+	net := def.Build(1)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the magic inside the JSON header.
+	data := buf.Bytes()
+	s := string(data)
+	s = strings.Replace(s, "scaledl-net", "scaledl-NOT", 1)
+	if _, err := Load(strings.NewReader(s)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("wrong magic accepted: %v", err)
+	}
+}
+
+func TestLoadRejectsTruncatedParams(t *testing.T) {
+	def := TinyCNN(Shape{C: 1, H: 8, W: 8}, 3)
+	net := def.Build(1)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	if ConstantLR(0.1).At(500) != 0.1 {
+		t.Error("constant schedule moved")
+	}
+	sd := StepDecay{Base: 0.1, Gamma: 0.1, StepSize: 100}
+	if sd.At(0) != 0.1 {
+		t.Errorf("step at 0: %v", sd.At(0))
+	}
+	if got := sd.At(100); math.Abs(float64(got)-0.01) > 1e-9 {
+		t.Errorf("step at 100: %v", got)
+	}
+	if got := sd.At(250); math.Abs(float64(got)-0.001) > 1e-9 {
+		t.Errorf("step at 250: %v", got)
+	}
+	pd := PolyDecay{Base: 0.1, MaxIter: 100, Power: 1}
+	if got := pd.At(50); math.Abs(float64(got)-0.05) > 1e-7 {
+		t.Errorf("poly at 50: %v", got)
+	}
+	if pd.At(200) != 0 {
+		t.Errorf("poly past max: %v", pd.At(200))
+	}
+}
+
+func TestWarmupRampsThenDelegates(t *testing.T) {
+	w := Warmup{Base: 0.4, Div: 10, WarmupIters: 100, After: ConstantLR(0.4)}
+	if got := w.At(0); math.Abs(float64(got)-0.04) > 1e-6 {
+		t.Errorf("warmup start %v, want base/10", got)
+	}
+	mid := w.At(50)
+	if mid <= w.At(0) || mid >= 0.4 {
+		t.Errorf("warmup mid %v not between start and base", mid)
+	}
+	if got := w.At(100); got != 0.4 {
+		t.Errorf("post-warmup %v", got)
+	}
+	if got := w.At(5000); got != 0.4 {
+		t.Errorf("late %v", got)
+	}
+	prev := float32(0)
+	for tt := 0; tt < 100; tt += 10 {
+		v := w.At(tt)
+		if v < prev {
+			t.Fatalf("warmup not monotone at %d", tt)
+		}
+		prev = v
+	}
+}
+
+func TestLRScalingRules(t *testing.T) {
+	lin, err := LinearScaledLR(0.1, 64, 1024)
+	if err != nil || math.Abs(float64(lin)-1.6) > 1e-6 {
+		t.Errorf("linear scaling: %v, %v", lin, err)
+	}
+	sqrt, err := SqrtScaledLR(0.1, 64, 1024)
+	if err != nil || math.Abs(float64(sqrt)-0.4) > 1e-6 {
+		t.Errorf("sqrt scaling: %v, %v", sqrt, err)
+	}
+	if _, err := LinearScaledLR(0.1, 0, 64); err == nil {
+		t.Error("zero ref batch accepted")
+	}
+	if _, err := SqrtScaledLR(0.1, 64, 0); err == nil {
+		t.Error("zero batch accepted")
+	}
+}

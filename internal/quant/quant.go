@@ -1,0 +1,190 @@
+// Package quant implements low-precision gradient compression — the
+// direction the paper explicitly defers ("low-precision representation …
+// we reserve this for future study", §3.4, citing 1-bit SGD and QNN). Two
+// schemes are provided:
+//
+//   - OneBit: Seide et al.'s 1-bit SGD. Each gradient element is replaced
+//     by one of two per-vector reconstruction levels (the mean of the
+//     positive and of the negative entries) chosen by sign, and the
+//     quantization error is fed back into the next step's gradient
+//     (error feedback), which is what makes the scheme converge.
+//   - Uniform8: linear 8-bit quantization between the vector's min and max.
+//
+// Apply returns the wire size of the compressed message, so the simulated
+// communication layer charges 1/32 (OneBit) or 1/4 (Uniform8) of the
+// float32 volume, while the *reconstructed* values carry the real
+// quantization error into the training mathematics.
+package quant
+
+import "fmt"
+
+// Scheme selects a compression method.
+type Scheme int
+
+const (
+	// None transmits raw float32 values.
+	None Scheme = iota
+	// OneBit is sign quantization with two reconstruction levels and error
+	// feedback.
+	OneBit
+	// Uniform8 is linear 8-bit quantization.
+	Uniform8
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case None:
+		return "fp32"
+	case OneBit:
+		return "1-bit"
+	case Uniform8:
+		return "uint8"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme converts a name to a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "", "fp32", "none":
+		return None, nil
+	case "1-bit", "onebit":
+		return OneBit, nil
+	case "uint8", "uniform8":
+		return Uniform8, nil
+	default:
+		return None, fmt.Errorf("quant: unknown scheme %q", name)
+	}
+}
+
+// Quantizer applies a scheme to successive gradient vectors of a fixed
+// length, carrying error-feedback state between calls (one Quantizer per
+// worker, like one residual buffer per GPU in 1-bit SGD).
+type Quantizer struct {
+	scheme   Scheme
+	residual []float32 // error feedback for OneBit
+}
+
+// New creates a quantizer for vectors of length n.
+func New(scheme Scheme, n int) *Quantizer {
+	q := &Quantizer{scheme: scheme}
+	if scheme == OneBit {
+		q.residual = make([]float32, n)
+	}
+	return q
+}
+
+// Scheme returns the configured scheme.
+func (q *Quantizer) Scheme() Scheme { return q.scheme }
+
+// Apply compresses v and writes the receiver-side reconstruction into out
+// (out may alias v). It returns the wire size in bytes of the compressed
+// representation.
+func (q *Quantizer) Apply(v []float32, out []float32) int64 {
+	if len(out) != len(v) {
+		panic("quant: Apply length mismatch")
+	}
+	switch q.scheme {
+	case None:
+		copy(out, v)
+		return int64(len(v)) * 4
+	case OneBit:
+		return q.oneBit(v, out)
+	case Uniform8:
+		return uniform8(v, out)
+	default:
+		panic(fmt.Sprintf("quant: bad scheme %d", q.scheme))
+	}
+}
+
+// WireBytes returns the compressed size for an n-element vector without
+// compressing anything (for cost-only planning).
+func WireBytes(s Scheme, n int) int64 {
+	switch s {
+	case None:
+		return int64(n) * 4
+	case OneBit:
+		// 1 bit per element plus two float32 reconstruction levels.
+		return int64((n+7)/8) + 8
+	case Uniform8:
+		// 1 byte per element plus min and scale.
+		return int64(n) + 8
+	default:
+		panic(fmt.Sprintf("quant: bad scheme %d", s))
+	}
+}
+
+func (q *Quantizer) oneBit(v, out []float32) int64 {
+	if len(v) != len(q.residual) {
+		panic(fmt.Sprintf("quant: vector length %d does not match quantizer length %d", len(v), len(q.residual)))
+	}
+	// Compensated gradient: g = v + residual.
+	var posSum, negSum float64
+	var posN, negN int
+	for i, x := range v {
+		g := x + q.residual[i]
+		if g >= 0 {
+			posSum += float64(g)
+			posN++
+		} else {
+			negSum += float64(g)
+			negN++
+		}
+	}
+	var posLevel, negLevel float32
+	if posN > 0 {
+		posLevel = float32(posSum / float64(posN))
+	}
+	if negN > 0 {
+		negLevel = float32(negSum / float64(negN))
+	}
+	for i, x := range v {
+		g := x + q.residual[i]
+		var r float32
+		if g >= 0 {
+			r = posLevel
+		} else {
+			r = negLevel
+		}
+		q.residual[i] = g - r // error feedback
+		out[i] = r
+	}
+	return WireBytes(OneBit, len(v))
+}
+
+func uniform8(v, out []float32) int64 {
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	scale := (hi - lo) / 255
+	if scale == 0 {
+		for i := range out {
+			out[i] = lo
+		}
+		return WireBytes(Uniform8, len(v))
+	}
+	inv := 1 / scale
+	for i, x := range v {
+		level := int32((x-lo)*inv + 0.5)
+		if level < 0 {
+			level = 0
+		} else if level > 255 {
+			level = 255
+		}
+		out[i] = lo + float32(level)*scale
+	}
+	return WireBytes(Uniform8, len(v))
+}
+
+// CompressionRatio returns the float32-to-wire size ratio for n elements.
+func CompressionRatio(s Scheme, n int) float64 {
+	return float64(4*n) / float64(WireBytes(s, n))
+}

@@ -1,0 +1,186 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"scaledl/internal/tensor"
+)
+
+func TestSchemeStringsAndParse(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Scheme
+	}{{"", None}, {"fp32", None}, {"none", None}, {"1-bit", OneBit}, {"onebit", OneBit}, {"uint8", Uniform8}, {"uniform8", Uniform8}} {
+		got, err := ParseScheme(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseScheme(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseScheme("fp64"); err == nil {
+		t.Error("unknown scheme parsed")
+	}
+	if OneBit.String() != "1-bit" || None.String() != "fp32" || Uniform8.String() != "uint8" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(9).String() == "" {
+		t.Error("unknown scheme should still print")
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	n := 1000
+	if got := WireBytes(None, n); got != 4000 {
+		t.Errorf("fp32 wire %d", got)
+	}
+	if got := WireBytes(OneBit, n); got != 125+8 {
+		t.Errorf("1-bit wire %d", got)
+	}
+	if got := WireBytes(Uniform8, n); got != 1008 {
+		t.Errorf("uint8 wire %d", got)
+	}
+	if r := CompressionRatio(OneBit, n); r < 25 || r > 32 {
+		t.Errorf("1-bit ratio %v, want ≈30", r)
+	}
+}
+
+func TestNoneIsIdentity(t *testing.T) {
+	q := New(None, 4)
+	v := []float32{1, -2, 3, -4}
+	out := make([]float32, 4)
+	if bytes := q.Apply(v, out); bytes != 16 {
+		t.Errorf("wire %d", bytes)
+	}
+	for i := range v {
+		if out[i] != v[i] {
+			t.Fatalf("None modified values: %v", out)
+		}
+	}
+}
+
+func TestUniform8BoundedError(t *testing.T) {
+	g := tensor.NewRNG(1)
+	v := make([]float32, 4096)
+	g.FillNormal(v, 0, 3)
+	out := make([]float32, len(v))
+	New(Uniform8, len(v)).Apply(v, out)
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	maxErr := float64(hi-lo) / 255 / 2 * 1.01
+	for i := range v {
+		if math.Abs(float64(v[i]-out[i])) > maxErr {
+			t.Fatalf("uint8 error %v at %d exceeds half-step %v", v[i]-out[i], i, maxErr)
+		}
+	}
+}
+
+func TestUniform8ConstantVector(t *testing.T) {
+	v := []float32{5, 5, 5}
+	out := make([]float32, 3)
+	New(Uniform8, 3).Apply(v, out)
+	for _, x := range out {
+		if x != 5 {
+			t.Fatalf("constant vector reconstructed as %v", out)
+		}
+	}
+}
+
+func TestOneBitTwoLevels(t *testing.T) {
+	v := []float32{1, 2, 3, -1, -3}
+	out := make([]float32, len(v))
+	New(OneBit, len(v)).Apply(v, out)
+	// Positives map to mean(1,2,3)=2, negatives to mean(-1,-3)=-2.
+	want := []float32{2, 2, 2, -2, -2}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("one-bit out %v, want %v", out, want)
+		}
+	}
+}
+
+// The defining property of error feedback: the cumulative transmitted
+// signal tracks the cumulative true signal; the residual never grows
+// without bound, so no gradient information is permanently lost.
+func TestOneBitErrorFeedbackConservation(t *testing.T) {
+	g := tensor.NewRNG(7)
+	n := 256
+	q := New(OneBit, n)
+	v := make([]float32, n)
+	out := make([]float32, n)
+	var sumTrue, sumSent []float64
+	sumTrue = make([]float64, n)
+	sumSent = make([]float64, n)
+	for step := 0; step < 200; step++ {
+		g.FillNormal(v, 0.1, 1) // biased gradients, like a real descent
+		q.Apply(v, out)
+		for i := range v {
+			sumTrue[i] += float64(v[i])
+			sumSent[i] += float64(out[i])
+		}
+	}
+	// Σ sent = Σ true − residual_T (exactly, by construction).
+	for i := range sumTrue {
+		diff := sumTrue[i] - sumSent[i]
+		if math.Abs(diff-float64(q.residual[i])) > 1e-3 {
+			t.Fatalf("conservation broken at %d: gap %v vs residual %v", i, diff, q.residual[i])
+		}
+	}
+	// Residuals stay bounded (order of one quantization step).
+	if norm := tensor.Norm2(q.residual); norm > 10*math.Sqrt(float64(n)) {
+		t.Errorf("residual norm %v grew unboundedly", norm)
+	}
+}
+
+// Property: Apply never changes the input slice when out != v, and the
+// wire size matches WireBytes for every scheme and length.
+func TestApplyContractProperty(t *testing.T) {
+	f := func(seed int64, schemeRaw uint8) bool {
+		scheme := Scheme(schemeRaw % 3)
+		g := tensor.NewRNG(seed)
+		n := 1 + g.Intn(500)
+		q := New(scheme, n)
+		v := make([]float32, n)
+		g.FillNormal(v, 0, 1)
+		orig := append([]float32(nil), v...)
+		out := make([]float32, n)
+		bytes := q.Apply(v, out)
+		if bytes != WireBytes(scheme, n) {
+			return false
+		}
+		for i := range v {
+			if v[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyAliasedInPlace(t *testing.T) {
+	v := []float32{1, -1, 2, -2}
+	New(OneBit, 4).Apply(v, v)
+	if v[0] != 1.5 || v[1] != -1.5 {
+		t.Errorf("in-place apply wrong: %v", v)
+	}
+}
+
+func TestApplyLengthMismatchPanics(t *testing.T) {
+	q := New(OneBit, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	q.Apply(make([]float32, 3), make([]float32, 3))
+}

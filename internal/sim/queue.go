@@ -1,0 +1,138 @@
+package sim
+
+// Queue is an unbounded FIFO message queue between processes, the simulated
+// analogue of a Go channel. Senders never block; receivers block until a
+// message is available. Waiting receivers are served in arrival order, which
+// is exactly the first-come-first-served discipline of the paper's
+// parameter-server (Async SGD) master.
+type Queue struct {
+	env     *Env
+	name    string
+	items   []any
+	waiters []*Proc
+}
+
+// NewQueue creates a queue bound to env.
+func NewQueue(env *Env, name string) *Queue {
+	return &Queue{env: env, name: name}
+}
+
+// Len returns the number of queued messages.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Send enqueues v and wakes the longest-waiting receiver, if any. It may be
+// called from any process without blocking.
+func (q *Queue) Send(v any) {
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.env.schedule(q.env.now, w)
+	}
+}
+
+// Recv blocks p until a message is available and returns it.
+func (p *Proc) Recv(q *Queue) any {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.block()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// TryRecv returns (message, true) if one is queued, or (nil, false) without
+// blocking.
+func (q *Queue) TryRecv() (any, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Resource is a counted resource with FIFO admission, the simulated
+// analogue of a semaphore. Capacity 1 models the master-side lock that
+// Async SGD holds during weight updates and Hogwild removes.
+type Resource struct {
+	env      *Env
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+}
+
+// NewResource creates a resource with the given capacity (≥1).
+func NewResource(env *Env, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{env: env, name: name, capacity: capacity}
+}
+
+// InUse returns the number of currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire blocks p until a unit is free, then takes it.
+func (p *Proc) Acquire(r *Resource) {
+	for r.inUse >= r.capacity {
+		r.waiters = append(r.waiters, p)
+		p.block()
+	}
+	r.inUse++
+}
+
+// Release returns a unit and wakes the longest-waiting acquirer.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release of idle resource " + r.name)
+	}
+	r.inUse--
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.env.schedule(r.env.now, w)
+	}
+}
+
+// Barrier blocks a fixed set of n processes until all have arrived, the
+// simulated analogue of MPI_Barrier — the synchronization point of every
+// Sync EASGD iteration.
+type Barrier struct {
+	env     *Env
+	name    string
+	n       int
+	arrived int
+	gen     int
+	waiters []*Proc
+}
+
+// NewBarrier creates a barrier for n parties.
+func NewBarrier(env *Env, name string, n int) *Barrier {
+	if n < 1 {
+		panic("sim: barrier size must be >= 1")
+	}
+	return &Barrier{env: env, name: name, n: n}
+}
+
+// Wait blocks p until all n parties have called Wait for the current
+// generation; the barrier then resets for reuse.
+func (p *Proc) Wait(b *Barrier) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		for _, w := range b.waiters {
+			b.env.schedule(b.env.now, w)
+		}
+		b.waiters = b.waiters[:0]
+		return
+	}
+	gen := b.gen
+	b.waiters = append(b.waiters, p)
+	for b.gen == gen {
+		p.block()
+	}
+}

@@ -1,0 +1,206 @@
+// Package sim is a deterministic discrete-event simulation kernel. Simulated
+// entities (GPU workers, parameter-server masters, KNL nodes) run as
+// goroutine-backed processes that advance a shared virtual clock by calling
+// Delay and block on each other through Queues, Resources and Barriers.
+//
+// Exactly one process executes at any instant and the event heap breaks
+// timestamp ties by schedule order, so a simulation is a pure function of
+// its inputs: the same seeds produce bit-identical traces. This is what
+// makes the paper's determinism claims (Sync EASGD is "deterministic and
+// reproducible") testable, and what lets Hogwild's lock-free races be
+// modeled reproducibly.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// errAbort is panicked inside process goroutines woken by Close so they
+// unwind and exit; the process wrapper recovers it.
+type abortSignal struct{}
+
+// Proc is a simulated process. All blocking operations must be called from
+// the process's own goroutine.
+type Proc struct {
+	env  *Env
+	name string
+	done bool
+	err  any // non-nil if the process panicked with a real error
+
+	resume chan struct{}
+}
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// Create with NewEnv, add processes with Spawn, then call Run.
+type Env struct {
+	now    float64
+	seq    int64
+	events eventHeap
+	yield  chan struct{}
+	procs  []*Proc
+	alive  int
+	closed bool
+}
+
+type event struct {
+	at  float64
+	seq int64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewEnv creates an empty simulation environment at time 0.
+func NewEnv() *Env {
+	return &Env{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Env) Now() float64 { return e.now }
+
+// Spawn registers a new process whose body starts executing at the current
+// simulated time. It may be called before Run or from inside a running
+// process.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	if e.closed {
+		panic("sim: Spawn on closed Env")
+	}
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	e.alive++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSignal); !ok {
+					p.err = r
+				}
+			}
+			p.done = true
+			e.yield <- struct{}{}
+		}()
+		if e.closed {
+			panic(abortSignal{})
+		}
+		fn(p)
+	}()
+	e.schedule(e.now, p)
+	return p
+}
+
+// schedule enqueues a wake-up for p at time at.
+func (e *Env) schedule(at float64, p *Proc) {
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, p: p})
+}
+
+// Run executes events until none remain. It returns the final simulated
+// time. If a process panicked, Run re-panics with its value. Processes that
+// remain blocked on Queues or Resources when the event heap drains are left
+// suspended; use Close to reap them.
+func (e *Env) Run() float64 {
+	return e.RunUntil(-1)
+}
+
+// RunUntil executes events until the heap is empty or the next event is
+// later than horizon (horizon < 0 means no limit). The clock never exceeds
+// the last executed event's time.
+func (e *Env) RunUntil(horizon float64) float64 {
+	if e.closed {
+		panic("sim: Run on closed Env")
+	}
+	for e.events.Len() > 0 {
+		ev := e.events[0]
+		if horizon >= 0 && ev.at > horizon {
+			break
+		}
+		heap.Pop(&e.events)
+		if ev.p.done {
+			continue // stale wake-up for a finished process
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, ev.at))
+		}
+		e.now = ev.at
+		ev.p.resume <- struct{}{}
+		<-e.yield
+		if ev.p.err != nil {
+			panic(ev.p.err)
+		}
+	}
+	return e.now
+}
+
+// Close wakes every still-blocked process with an abort so its goroutine
+// exits, then marks the environment unusable. Call it when a simulation is
+// abandoned early (or defensively after Run) to avoid leaking goroutines.
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	// Drain pending wake-ups first: resuming a proc that also has a stale
+	// event would double-resume it.
+	e.events = nil
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		p.resume <- struct{}{}
+		<-e.yield
+	}
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() float64 { return p.env.now }
+
+// block suspends the process until the scheduler resumes it. All blocking
+// primitives funnel through here so Close-aborts are handled uniformly.
+func (p *Proc) block() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+	if p.env.closed {
+		panic(abortSignal{})
+	}
+}
+
+// Delay advances the process by d simulated seconds. Negative delays panic.
+func (p *Proc) Delay(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v in %s", d, p.name))
+	}
+	p.env.schedule(p.env.now+d, p)
+	p.block()
+}
+
+// Yield reschedules the process at the current time behind any other events
+// already queued for this instant, giving cooperative round-robin among
+// same-time processes.
+func (p *Proc) Yield() {
+	p.env.schedule(p.env.now, p)
+	p.block()
+}

@@ -1,0 +1,384 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleProcessDelays(t *testing.T) {
+	env := NewEnv()
+	var ticks []float64
+	env.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Delay(1.5)
+			ticks = append(ticks, p.Now())
+		}
+	})
+	end := env.Run()
+	if end != 4.5 {
+		t.Errorf("end time %v, want 4.5", end)
+	}
+	want := []float64{1.5, 3.0, 4.5}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestEventOrderingAcrossProcesses(t *testing.T) {
+	env := NewEnv()
+	var order []string
+	for _, c := range []struct {
+		name string
+		d    float64
+	}{{"b", 2}, {"a", 1}, {"c", 3}} {
+		c := c
+		env.Spawn(c.name, func(p *Proc) {
+			p.Delay(c.d)
+			order = append(order, p.Name())
+		})
+	}
+	env.Run()
+	if fmt.Sprint(order) != "[a b c]" {
+		t.Errorf("order %v", order)
+	}
+}
+
+func TestTieBreakIsSpawnOrderDeterministic(t *testing.T) {
+	run := func() []string {
+		env := NewEnv()
+		var order []string
+		for i := 0; i < 8; i++ {
+			name := fmt.Sprintf("p%d", i)
+			env.Spawn(name, func(p *Proc) {
+				p.Delay(1) // all wake at the same instant
+				order = append(order, p.Name())
+			})
+		}
+		env.Run()
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tie-broken order nondeterministic: %v vs %v", a, b)
+		}
+	}
+	// Equal-time events run in schedule order.
+	for i := range a {
+		if a[i] != fmt.Sprintf("p%d", i) {
+			t.Fatalf("equal-time order not FIFO: %v", a)
+		}
+	}
+}
+
+func TestZeroDelayAndYield(t *testing.T) {
+	env := NewEnv()
+	var order []string
+	env.Spawn("x", func(p *Proc) {
+		order = append(order, "x1")
+		p.Yield()
+		order = append(order, "x2")
+	})
+	env.Spawn("y", func(p *Proc) {
+		order = append(order, "y1")
+		p.Delay(0)
+		order = append(order, "y2")
+	})
+	env.Run()
+	if fmt.Sprint(order) != "[x1 y1 x2 y2]" {
+		t.Errorf("order %v", order)
+	}
+	if env.Now() != 0 {
+		t.Errorf("time advanced to %v on zero delays", env.Now())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	env := NewEnv()
+	env.Spawn("bad", func(p *Proc) { p.Delay(-1) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not propagate panic through Run")
+		}
+	}()
+	env.Run()
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	env := NewEnv()
+	env.Spawn("boom", func(p *Proc) { panic("kaboom") })
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("got %v", r)
+		}
+	}()
+	env.Run()
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	env := NewEnv()
+	var childTime float64
+	env.Spawn("parent", func(p *Proc) {
+		p.Delay(2)
+		p.Env().Spawn("child", func(c *Proc) {
+			c.Delay(3)
+			childTime = c.Now()
+		})
+	})
+	env.Run()
+	if childTime != 5 {
+		t.Errorf("child finished at %v, want 5", childTime)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	env := NewEnv()
+	count := 0
+	env.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Delay(1)
+			count++
+		}
+	})
+	end := env.RunUntil(10)
+	if end != 10 || count != 10 {
+		t.Errorf("end=%v count=%d, want 10/10", end, count)
+	}
+	defer env.Close()
+}
+
+func TestQueueFIFO(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue(env, "q")
+	var got []int
+	env.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Delay(1)
+			q.Send(i)
+		}
+	})
+	env.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, p.Recv(q).(int))
+		}
+	})
+	env.Run()
+	if fmt.Sprint(got) != "[0 1 2 3 4]" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestQueueMultipleWaitersServedInOrder(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue(env, "q")
+	var served []string
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("w%d", i)
+		env.Spawn(name, func(p *Proc) {
+			p.Recv(q)
+			served = append(served, p.Name())
+		})
+	}
+	env.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Delay(1)
+			q.Send(i)
+		}
+	})
+	env.Run()
+	if fmt.Sprint(served) != "[w0 w1 w2]" {
+		t.Errorf("served %v", served)
+	}
+}
+
+func TestQueueTryRecv(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue(env, "q")
+	if _, ok := q.TryRecv(); ok {
+		t.Fatal("TryRecv on empty queue returned ok")
+	}
+	q.Send(42)
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	v, ok := q.TryRecv()
+	if !ok || v.(int) != 42 {
+		t.Fatalf("TryRecv = %v, %v", v, ok)
+	}
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	env := NewEnv()
+	r := NewResource(env, "lock", 1)
+	var trace []string
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("p%d", i)
+		env.Spawn(name, func(p *Proc) {
+			p.Acquire(r)
+			trace = append(trace, p.Name()+"+")
+			p.Delay(1)
+			trace = append(trace, p.Name()+"-")
+			r.Release()
+		})
+	}
+	env.Run()
+	want := "[p0+ p0- p1+ p1- p2+ p2-]"
+	if fmt.Sprint(trace) != want {
+		t.Errorf("trace %v, want %v", trace, want)
+	}
+	if env.Now() != 3 {
+		t.Errorf("serialized critical sections should take 3s, got %v", env.Now())
+	}
+}
+
+func TestResourceCapacityAllowsOverlap(t *testing.T) {
+	env := NewEnv()
+	r := NewResource(env, "pool", 2)
+	for i := 0; i < 4; i++ {
+		env.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Acquire(r)
+			p.Delay(1)
+			r.Release()
+		})
+	}
+	if end := env.Run(); end != 2 {
+		t.Errorf("capacity-2 pool of 4 unit jobs should take 2s, got %v", end)
+	}
+}
+
+func TestResourceReleaseIdlePanics(t *testing.T) {
+	env := NewEnv()
+	r := NewResource(env, "r", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release of idle resource did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	env := NewEnv()
+	b := NewBarrier(env, "b", 3)
+	var after []float64
+	for i := 0; i < 3; i++ {
+		d := float64(i + 1)
+		env.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Delay(d)
+			p.Wait(b)
+			after = append(after, p.Now())
+		})
+	}
+	env.Run()
+	for _, ts := range after {
+		if ts != 3 {
+			t.Errorf("process crossed barrier at %v, want 3", ts)
+		}
+	}
+}
+
+func TestBarrierReusableAcrossGenerations(t *testing.T) {
+	env := NewEnv()
+	b := NewBarrier(env, "b", 2)
+	var times []float64
+	for i := 0; i < 2; i++ {
+		d := float64(i + 1)
+		env.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for round := 0; round < 3; round++ {
+				p.Delay(d)
+				p.Wait(b)
+				if p.Name() == "p0" {
+					times = append(times, p.Now())
+				}
+			}
+		})
+	}
+	env.Run()
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("round %d crossed at %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestCloseReapsBlockedProcesses(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue(env, "never")
+	env.Spawn("stuck", func(p *Proc) {
+		p.Recv(q) // never satisfied
+		t.Error("stuck process ran past Recv")
+	})
+	env.Run()
+	env.Close()
+	// Close is idempotent.
+	env.Close()
+}
+
+func TestSpawnAfterClosePanics(t *testing.T) {
+	env := NewEnv()
+	env.Run()
+	env.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Spawn after Close did not panic")
+		}
+	}()
+	env.Spawn("late", func(p *Proc) {})
+}
+
+// Property: for any set of delays, Run finishes at the maximum delay and
+// every process observes its own delay exactly.
+func TestRunEndsAtMaxDelayProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 50 {
+			return true
+		}
+		env := NewEnv()
+		defer env.Close()
+		maxD := 0.0
+		ok := true
+		for _, r := range raw {
+			d := float64(r) / 100
+			if d > maxD {
+				maxD = d
+			}
+			env.Spawn("p", func(p *Proc) {
+				p.Delay(d)
+				if p.Now() != d {
+					ok = false
+				}
+			})
+		}
+		return env.Run() == maxD && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a capacity-c resource with n unit-time jobs takes ceil(n/c).
+func TestResourceMakespanProperty(t *testing.T) {
+	f := func(nRaw, cRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		c := int(cRaw%5) + 1
+		env := NewEnv()
+		defer env.Close()
+		r := NewResource(env, "r", c)
+		for i := 0; i < n; i++ {
+			env.Spawn("p", func(p *Proc) {
+				p.Acquire(r)
+				p.Delay(1)
+				r.Release()
+			})
+		}
+		want := float64((n + c - 1) / c)
+		return env.Run() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,225 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gemmParallelThreshold is the output-element count above which MatMul
+// fans work out across OS threads. Below it, goroutine fan-out costs more
+// than it saves on the small matrices LeNet produces.
+const gemmParallelThreshold = 64 * 1024
+
+// blockK is the K-dimension blocking factor for the inner GEMM kernel.
+const blockK = 64
+
+// MatMul computes C = A·B for row-major matrices. A is m×k, B is k×n, and C
+// must be m×n. The row partitioning across workers is fixed by row index, so
+// the result is bit-deterministic regardless of scheduling or GOMAXPROCS:
+// each output row is produced by exactly one worker with a fixed summation
+// order.
+func MatMul(c, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMul inner dimension mismatch")
+	}
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: MatMul output shape mismatch")
+	}
+	gemm(c.Data, a.Data, b.Data, m, n, k, false)
+}
+
+// MatMulAdd computes C += A·B (accumulating into C).
+func MatMulAdd(c, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMulAdd inner dimension mismatch")
+	}
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: MatMulAdd output shape mismatch")
+	}
+	gemm(c.Data, a.Data, b.Data, m, n, k, true)
+}
+
+// MatMulTransA computes C = Aᵀ·B where A is k×m (so Aᵀ is m×k), B is k×n.
+func MatMulTransA(c, a, b *Tensor) {
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMulTransA inner dimension mismatch")
+	}
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: MatMulTransA output shape mismatch")
+	}
+	// Compute row i of C as sum over t of A[t][i] * B[t][:]. Deterministic
+	// row partitioning as in gemm.
+	rows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c.Data[i*n : (i+1)*n]
+			for j := range ci {
+				ci[j] = 0
+			}
+			for t := 0; t < k; t++ {
+				av := a.Data[t*m+i]
+				if av == 0 {
+					continue
+				}
+				bt := b.Data[t*n : (t+1)*n]
+				for j, bv := range bt {
+					ci[j] += av * bv
+				}
+			}
+		}
+	}
+	parallelRows(m, m*n, rows)
+}
+
+// MatMulAdd2TransB computes C += A·Bᵀ where A is m×k and B is n×k,
+// accumulating into C. This is the convolution weight-gradient kernel
+// (dW += dy·colsᵀ); it runs serially because callers accumulate per-chunk
+// partials in parallel around it.
+func MatMulAdd2TransB(c, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMulAdd2TransB inner dimension mismatch")
+	}
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: MatMulAdd2TransB output shape mismatch")
+	}
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		ci := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			var s float32
+			for t, av := range ai {
+				s += av * bj[t]
+			}
+			ci[j] += s
+		}
+	}
+}
+
+// MatMulTransB computes C = A·Bᵀ where A is m×k and B is n×k.
+func MatMulTransB(c, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMulTransB inner dimension mismatch")
+	}
+	if c.Shape[0] != m || c.Shape[1] != n {
+		panic("tensor: MatMulTransB output shape mismatch")
+	}
+	rows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			ci := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b.Data[j*k : (j+1)*k]
+				var s float32
+				for t, av := range ai {
+					s += av * bj[t]
+				}
+				ci[j] = s
+			}
+		}
+	}
+	parallelRows(m, m*n, rows)
+}
+
+// gemm is the shared row-major kernel: C (m×n) = A (m×k) · B (k×n), with
+// optional accumulation. It blocks over K so the active B panel stays in
+// cache, and vector-izes the inner loop over columns of B.
+func gemm(c, a, b []float32, m, n, k int, acc bool) {
+	rows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : (i+1)*n]
+			if !acc {
+				for j := range ci {
+					ci[j] = 0
+				}
+			}
+			for t0 := 0; t0 < k; t0 += blockK {
+				t1 := t0 + blockK
+				if t1 > k {
+					t1 = k
+				}
+				for t := t0; t < t1; t++ {
+					av := a[i*k+t]
+					if av == 0 {
+						continue
+					}
+					bt := b[t*n : (t+1)*n]
+					for j, bv := range bt {
+						ci[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+	parallelRows(m, m*n, rows)
+}
+
+// parallelRows splits [0,m) across workers when the output is big enough.
+// Each worker handles a contiguous, statically assigned row range, so float
+// summation order per output element never depends on scheduling.
+func parallelRows(m, outElems int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if outElems < gemmParallelThreshold || workers < 2 || m < 2 {
+		f(0, m)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= m {
+			break
+		}
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatVec computes y = A·x for a row-major m×n matrix A.
+func MatVec(y []float32, a *Tensor, x []float32) {
+	m, n := a.Shape[0], a.Shape[1]
+	if len(x) != n || len(y) != m {
+		panic("tensor: MatVec shape mismatch")
+	}
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*n : (i+1)*n]
+		var s float32
+		for j, v := range ai {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// Transpose writes Aᵀ into dst. A is m×n, dst must be n×m.
+func Transpose(dst, a *Tensor) {
+	m, n := a.Shape[0], a.Shape[1]
+	if dst.Shape[0] != n || dst.Shape[1] != m {
+		panic("tensor: Transpose shape mismatch")
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			dst.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMatMul is the reference implementation GEMM is checked against.
+func naiveMatMul(c, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for t := 0; t < k; t++ {
+				s += a.Data[i*k+t] * b.Data[t*n+j]
+			}
+			c.Data[i*n+j] = s
+		}
+	}
+}
+
+func randMat(g *RNG, m, n int) *Tensor {
+	t := New(m, n)
+	g.FillNormal(t.Data, 0, 1)
+	return t
+}
+
+func maxAbsDiff(a, b []float32) float64 {
+	var d float64
+	for i := range a {
+		if v := math.Abs(float64(a[i] - b[i])); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	g := NewRNG(1)
+	cases := [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {7, 1, 9}, {16, 64, 16}, {33, 17, 29}}
+	for _, c := range cases {
+		m, k, n := c[0], c[1], c[2]
+		a := randMat(g, m, k)
+		b := randMat(g, k, n)
+		got := New(m, n)
+		want := New(m, n)
+		MatMul(got, a, b)
+		naiveMatMul(want, a, b)
+		if d := maxAbsDiff(got.Data, want.Data); d > 1e-3 {
+			t.Errorf("MatMul %dx%dx%d diff %v", m, k, n, d)
+		}
+	}
+}
+
+func TestMatMulLargeParallelMatchesNaive(t *testing.T) {
+	g := NewRNG(2)
+	// Big enough to cross gemmParallelThreshold and exercise the parallel path.
+	m, k, n := 300, 64, 300
+	a := randMat(g, m, k)
+	b := randMat(g, k, n)
+	got := New(m, n)
+	want := New(m, n)
+	MatMul(got, a, b)
+	naiveMatMul(want, a, b)
+	if d := maxAbsDiff(got.Data, want.Data); d > 1e-2 {
+		t.Errorf("parallel MatMul diff %v", d)
+	}
+}
+
+func TestMatMulDeterministicAcrossRuns(t *testing.T) {
+	g := NewRNG(3)
+	m, k, n := 280, 70, 280
+	a := randMat(g, m, k)
+	b := randMat(g, k, n)
+	c1 := New(m, n)
+	c2 := New(m, n)
+	MatMul(c1, a, b)
+	MatMul(c2, a, b)
+	for i := range c1.Data {
+		if c1.Data[i] != c2.Data[i] {
+			t.Fatalf("MatMul nondeterministic at %d: %v vs %v", i, c1.Data[i], c2.Data[i])
+		}
+	}
+}
+
+func TestMatMulAddAccumulates(t *testing.T) {
+	g := NewRNG(4)
+	a := randMat(g, 3, 5)
+	b := randMat(g, 5, 2)
+	c := New(3, 2)
+	c.Fill(1)
+	want := New(3, 2)
+	naiveMatMul(want, a, b)
+	MatMulAdd(c, a, b)
+	for i := range c.Data {
+		if math.Abs(float64(c.Data[i]-(want.Data[i]+1))) > 1e-4 {
+			t.Fatalf("MatMulAdd wrong at %d", i)
+		}
+	}
+}
+
+func TestMatMulTransA(t *testing.T) {
+	g := NewRNG(5)
+	// A is k×m; compute C = Aᵀ·B.
+	k, m, n := 6, 4, 3
+	a := randMat(g, k, m)
+	b := randMat(g, k, n)
+	got := New(m, n)
+	MatMulTransA(got, a, b)
+	at := New(m, k)
+	Transpose(at, a)
+	want := New(m, n)
+	naiveMatMul(want, at, b)
+	if d := maxAbsDiff(got.Data, want.Data); d > 1e-4 {
+		t.Errorf("MatMulTransA diff %v", d)
+	}
+}
+
+func TestMatMulTransB(t *testing.T) {
+	g := NewRNG(6)
+	m, k, n := 4, 6, 3
+	a := randMat(g, m, k)
+	b := randMat(g, n, k)
+	got := New(m, n)
+	MatMulTransB(got, a, b)
+	bt := New(k, n)
+	Transpose(bt, b)
+	want := New(m, n)
+	naiveMatMul(want, a, bt)
+	if d := maxAbsDiff(got.Data, want.Data); d > 1e-4 {
+		t.Errorf("MatMulTransB diff %v", d)
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	bad := []func(){
+		func() { MatMul(New(2, 2), New(2, 3), New(4, 2)) },
+		func() { MatMul(New(3, 2), New(2, 3), New(3, 2)) },
+		func() { MatMulTransA(New(2, 2), New(3, 2), New(4, 2)) },
+		func() { MatMulTransB(New(2, 2), New(2, 3), New(2, 4)) },
+	}
+	for i, f := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := Wrap([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	x := []float32{1, 0, -1}
+	y := make([]float32, 2)
+	MatVec(y, a, x)
+	if y[0] != -2 || y[1] != -2 {
+		t.Errorf("MatVec got %v", y)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		m := 1 + g.Intn(20)
+		n := 1 + g.Intn(20)
+		a := randMat(g, m, n)
+		at := New(n, m)
+		back := New(m, n)
+		Transpose(at, a)
+		Transpose(back, at)
+		for i := range a.Data {
+			if a.Data[i] != back.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ for random shapes.
+func TestMatMulTransposeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		m := 1 + g.Intn(12)
+		k := 1 + g.Intn(12)
+		n := 1 + g.Intn(12)
+		a := randMat(g, m, k)
+		b := randMat(g, k, n)
+		ab := New(m, n)
+		MatMul(ab, a, b)
+		abT := New(n, m)
+		Transpose(abT, ab)
+		at := New(k, m)
+		bt := New(n, k)
+		Transpose(at, a)
+		Transpose(bt, b)
+		btat := New(n, m)
+		MatMul(btat, bt, at)
+		return maxAbsDiff(abT.Data, btat.Data) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	g := NewRNG(7)
+	a := randMat(g, 128, 128)
+	bb := randMat(g, 128, 128)
+	c := New(128, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(c, a, bb)
+	}
+}
+
+func BenchmarkMatMul512(b *testing.B) {
+	g := NewRNG(8)
+	a := randMat(g, 512, 512)
+	bb := randMat(g, 512, 512)
+	c := New(512, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(c, a, bb)
+	}
+}

@@ -1,0 +1,84 @@
+package tensor
+
+// Im2col unrolls an input image into a matrix of receptive-field columns so
+// that convolution becomes a single GEMM, exactly as cuDNN's GEMM-based
+// algorithm does. The input is a single image in CHW layout (channels c,
+// height h, width w); the output is a (c*kh*kw) × (oh*ow) row-major matrix
+// where oh/ow are the output spatial dims for the given kernel, stride and
+// zero padding.
+func Im2col(dst []float32, src []float32, c, h, w, kh, kw, stride, pad int) {
+	oh := OutDim(h, kh, stride, pad)
+	ow := OutDim(w, kw, stride, pad)
+	if len(dst) != c*kh*kw*oh*ow {
+		panic("tensor: Im2col dst size mismatch")
+	}
+	idx := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							dst[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowBase := base + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							dst[idx] = 0
+						} else {
+							dst[idx] = src[rowBase+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2im is the adjoint of Im2col: it scatters (accumulates) the column
+// matrix back into an image, which is the gradient path of the GEMM-based
+// convolution. dst must be pre-zeroed by the caller when accumulation across
+// several images is not wanted.
+func Col2im(dst []float32, src []float32, c, h, w, kh, kw, stride, pad int) {
+	oh := OutDim(h, kh, stride, pad)
+	ow := OutDim(w, kw, stride, pad)
+	if len(src) != c*kh*kw*oh*ow {
+		panic("tensor: Col2im src size mismatch")
+	}
+	idx := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						idx += ow
+						continue
+					}
+					rowBase := base + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kx - pad
+						if ix >= 0 && ix < w {
+							dst[rowBase+ix] += src[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// OutDim returns the output spatial size of a convolution or pooling window:
+// floor((in + 2*pad - kernel)/stride) + 1.
+func OutDim(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}

@@ -1,0 +1,194 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// naiveConvSingle computes a direct convolution of one CHW image with one
+// filter, used as the reference for the im2col+GEMM path.
+func naiveConvSingle(src []float32, c, h, w int, filter []float32, kh, kw, stride, pad int) []float32 {
+	oh := OutDim(h, kh, stride, pad)
+	ow := OutDim(w, kw, stride, pad)
+	out := make([]float32, oh*ow)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			var s float32
+			for ch := 0; ch < c; ch++ {
+				for ky := 0; ky < kh; ky++ {
+					for kx := 0; kx < kw; kx++ {
+						iy := oy*stride + ky - pad
+						ix := ox*stride + kx - pad
+						if iy < 0 || iy >= h || ix < 0 || ix >= w {
+							continue
+						}
+						s += src[ch*h*w+iy*w+ix] * filter[ch*kh*kw+ky*kw+kx]
+					}
+				}
+			}
+			out[oy*ow+ox] = s
+		}
+	}
+	return out
+}
+
+func TestOutDim(t *testing.T) {
+	cases := []struct {
+		in, k, s, p, want int
+	}{
+		{28, 5, 1, 0, 24},
+		{28, 5, 1, 2, 28},
+		{32, 3, 1, 1, 32},
+		{24, 2, 2, 0, 12},
+		{227, 11, 4, 0, 55},
+	}
+	for _, c := range cases {
+		if got := OutDim(c.in, c.k, c.s, c.p); got != c.want {
+			t.Errorf("OutDim(%d,%d,%d,%d) = %d, want %d", c.in, c.k, c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestIm2colGEMMEqualsDirectConv(t *testing.T) {
+	g := NewRNG(11)
+	cases := []struct {
+		c, h, w, kh, kw, stride, pad int
+	}{
+		{1, 6, 6, 3, 3, 1, 0},
+		{2, 8, 8, 3, 3, 1, 1},
+		{3, 7, 9, 5, 3, 2, 2},
+		{1, 5, 5, 5, 5, 1, 0},
+		{4, 10, 10, 3, 3, 2, 1},
+	}
+	for _, tc := range cases {
+		src := make([]float32, tc.c*tc.h*tc.w)
+		g.FillNormal(src, 0, 1)
+		filter := make([]float32, tc.c*tc.kh*tc.kw)
+		g.FillNormal(filter, 0, 1)
+		oh := OutDim(tc.h, tc.kh, tc.stride, tc.pad)
+		ow := OutDim(tc.w, tc.kw, tc.stride, tc.pad)
+		cols := make([]float32, tc.c*tc.kh*tc.kw*oh*ow)
+		Im2col(cols, src, tc.c, tc.h, tc.w, tc.kh, tc.kw, tc.stride, tc.pad)
+
+		fm := Wrap(filter, 1, tc.c*tc.kh*tc.kw)
+		cm := Wrap(cols, tc.c*tc.kh*tc.kw, oh*ow)
+		out := New(1, oh*ow)
+		MatMul(out, fm, cm)
+
+		want := naiveConvSingle(src, tc.c, tc.h, tc.w, filter, tc.kh, tc.kw, tc.stride, tc.pad)
+		for i := range want {
+			if math.Abs(float64(out.Data[i]-want[i])) > 1e-3 {
+				t.Errorf("case %+v: mismatch at %d: got %v want %v", tc, i, out.Data[i], want[i])
+				break
+			}
+		}
+	}
+}
+
+// Property: Col2im is the adjoint of Im2col, i.e. <Im2col(x), y> == <x, Col2im(y)>
+// for all x, y. This is exactly the condition for the convolution backward
+// pass to compute correct input gradients.
+func TestCol2imAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		c := 1 + g.Intn(3)
+		h := 4 + g.Intn(5)
+		w := 4 + g.Intn(5)
+		kh := 1 + g.Intn(3)
+		kw := 1 + g.Intn(3)
+		stride := 1 + g.Intn(2)
+		pad := g.Intn(2)
+		oh := OutDim(h, kh, stride, pad)
+		ow := OutDim(w, kw, stride, pad)
+		if oh <= 0 || ow <= 0 {
+			return true
+		}
+		x := make([]float32, c*h*w)
+		y := make([]float32, c*kh*kw*oh*ow)
+		g.FillNormal(x, 0, 1)
+		g.FillNormal(y, 0, 1)
+
+		cx := make([]float32, len(y))
+		Im2col(cx, x, c, h, w, kh, kw, stride, pad)
+		lhs := float64(Dot(cx, y))
+
+		ay := make([]float32, len(x))
+		Col2im(ay, y, c, h, w, kh, kw, stride, pad)
+		rhs := float64(Dot(x, ay))
+
+		return math.Abs(lhs-rhs) < 1e-2*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIm2colZeroPadding(t *testing.T) {
+	// A 1x1 image with 3x3 kernel and pad 1: the center column holds the
+	// pixel, all others are zero-padding.
+	src := []float32{42}
+	cols := make([]float32, 9)
+	Im2col(cols, src, 1, 1, 1, 3, 3, 1, 1)
+	for i, v := range cols {
+		if i == 4 {
+			if v != 42 {
+				t.Errorf("center tap = %v, want 42", v)
+			}
+		} else if v != 0 {
+			t.Errorf("pad tap %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestIm2colSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Im2col with wrong dst size did not panic")
+		}
+	}()
+	Im2col(make([]float32, 3), make([]float32, 16), 1, 4, 4, 2, 2, 1, 0)
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(99)
+	b := NewRNG(99)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestXavierFillRange(t *testing.T) {
+	g := NewRNG(5)
+	x := make([]float32, 10000)
+	fanIn, fanOut := 100, 200
+	g.XavierFill(x, fanIn, fanOut)
+	bound := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	var sum float64
+	for _, v := range x {
+		if float64(v) < -bound || float64(v) >= bound {
+			t.Fatalf("Xavier value %v outside [-%v, %v)", v, bound, bound)
+		}
+		sum += float64(v)
+	}
+	if mean := sum / float64(len(x)); math.Abs(mean) > bound/10 {
+		t.Errorf("Xavier mean %v too far from 0", mean)
+	}
+}
+
+func TestForkIndependentStreams(t *testing.T) {
+	p := NewRNG(7)
+	c1 := p.Fork()
+	c2 := p.Fork()
+	same := 0
+	for i := 0; i < 50; i++ {
+		if c1.Int63() == c2.Int63() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("forked streams look correlated: %d/50 equal draws", same)
+	}
+}

@@ -1,0 +1,67 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a seeded random source for weight filling and sampling. Every
+// stochastic component in this repository draws from an explicitly seeded
+// RNG so that whole distributed-training runs replay bit-identically; the
+// paper's Sync EASGD determinism claim is testable only because of this.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent child generator. Children produced from the
+// same parent state and label sequence are reproducible, which lets each
+// simulated worker own a private stream.
+func (g *RNG) Fork() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+// Int63 returns a non-negative 63-bit random integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Intn returns a uniform integer in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Float32 returns a uniform float32 in [0, 1).
+func (g *RNG) Float32() float32 { return g.r.Float32() }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// NormFloat64 returns a standard-normal float64.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// FillUniform fills x with uniform values in [lo, hi).
+func (g *RNG) FillUniform(x []float32, lo, hi float32) {
+	span := hi - lo
+	for i := range x {
+		x[i] = lo + span*g.r.Float32()
+	}
+}
+
+// FillNormal fills x with Gaussian values of the given mean and stddev.
+func (g *RNG) FillNormal(x []float32, mean, std float32) {
+	for i := range x {
+		x[i] = mean + std*float32(g.r.NormFloat64())
+	}
+}
+
+// XavierFill initializes a weight tensor with the Xavier/Glorot uniform
+// scheme used by the paper (Algorithm 1 line 2: "random and Xavier weight
+// filling"): U(-a, a) with a = sqrt(6/(fanIn+fanOut)).
+func (g *RNG) XavierFill(x []float32, fanIn, fanOut int) {
+	a := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	g.FillUniform(x, -a, a)
+}

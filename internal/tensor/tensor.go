@@ -1,0 +1,226 @@
+// Package tensor implements the dense float32 tensor and BLAS-like kernels
+// that every other package in this repository builds on. It is the stand-in
+// for the cuBLAS/cuDNN/MKL substrate used by the paper: shapes are dense and
+// row-major, kernels are written for clarity first and cache behaviour
+// second, and the row-partitioned parallel GEMM is bit-deterministic for a
+// fixed partitioning so that distributed-training runs are reproducible.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major float32 tensor. The zero value is an empty
+// tensor; use New or Wrap to create usable ones. Data may alias other
+// tensors (views are used heavily by the packed parameter layout of
+// internal/nn, which is the paper's §5.2 single-buffer optimization).
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, Volume(shape))}
+}
+
+// Wrap creates a tensor view over an existing buffer. The buffer length must
+// equal the shape volume; Wrap panics otherwise because a silent mismatch
+// would corrupt adjacent parameters in a packed layout.
+func Wrap(data []float32, shape ...int) *Tensor {
+	if len(data) != Volume(shape) {
+		panic(fmt.Sprintf("tensor: wrap %v over buffer of %d elements", shape, len(data)))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Volume returns the number of elements implied by shape. An empty shape has
+// volume 1 (a scalar).
+func Volume(shape []int) int {
+	v := 1
+	for _, s := range shape {
+		v *= s
+	}
+	return v
+}
+
+// Len returns the number of elements in the tensor.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Reshape returns a view of t with a new shape of equal volume.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	if Volume(shape) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: reshape %v to %v", t.Shape, shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// CopyFrom copies src's data into t. Shapes must have equal volume.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(src.Data) != len(t.Data) {
+		panic("tensor: CopyFrom volume mismatch")
+	}
+	copy(t.Data, src.Data)
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// At returns the element at the given row-major indices.
+func (t *Tensor) At(idx ...int) float32 { return t.Data[t.offset(idx)] }
+
+// Set stores v at the given row-major indices.
+func (t *Tensor) Set(v float32, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: %d indices for rank-%d tensor", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range for axis %d (size %d)", ix, i, t.Shape[i]))
+		}
+		off = off*t.Shape[i] + ix
+	}
+	return off
+}
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer with a compact shape/summary form.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v(n=%d)", t.Shape, len(t.Data))
+}
+
+// ---- Elementwise and vector kernels ----
+//
+// These operate on raw slices as well as tensors so the distributed
+// algorithms in internal/core can work directly on packed weight buffers.
+
+// AXPY computes y += alpha*x elementwise. Slices must have equal length.
+func AXPY(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("tensor: AXPY length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Add computes dst = a + b elementwise.
+func Add(dst, a, b []float32) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("tensor: Add length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub computes dst = a - b elementwise.
+func Sub(dst, a, b []float32) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("tensor: Sub length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float32
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x, accumulating in float64 for
+// stability on long weight vectors.
+func Norm2(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of all elements of x (float64 accumulator).
+func Sum(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v)
+	}
+	return s
+}
+
+// MaxIndex returns the index of the maximum element of x (first wins ties).
+// It returns -1 for an empty slice.
+func MaxIndex(x []float32) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Clamp limits every element of x to [lo, hi].
+func Clamp(x []float32, lo, hi float32) {
+	for i, v := range x {
+		if v < lo {
+			x[i] = lo
+		} else if v > hi {
+			x[i] = hi
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndVolume(t *testing.T) {
+	cases := []struct {
+		shape []int
+		want  int
+	}{
+		{[]int{}, 1},
+		{[]int{5}, 5},
+		{[]int{2, 3}, 6},
+		{[]int{4, 1, 7}, 28},
+		{[]int{0, 9}, 0},
+	}
+	for _, c := range cases {
+		if got := Volume(c.shape); got != c.want {
+			t.Errorf("Volume(%v) = %d, want %d", c.shape, got, c.want)
+		}
+		tn := New(c.shape...)
+		if tn.Len() != c.want {
+			t.Errorf("New(%v).Len() = %d, want %d", c.shape, tn.Len(), c.want)
+		}
+	}
+}
+
+func TestWrapPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Wrap with wrong volume did not panic")
+		}
+	}()
+	Wrap(make([]float32, 5), 2, 3)
+}
+
+func TestWrapAliases(t *testing.T) {
+	buf := make([]float32, 6)
+	v := Wrap(buf, 2, 3)
+	v.Set(7, 1, 2)
+	if buf[5] != 7 {
+		t.Fatalf("view write not visible in backing buffer: %v", buf)
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	tn := New(3, 4, 5)
+	want := float32(0)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 5; k++ {
+				tn.Set(want, i, j, k)
+				want++
+			}
+		}
+	}
+	for i, v := range tn.Data {
+		if v != float32(i) {
+			t.Fatalf("row-major order broken at %d: got %v", i, v)
+		}
+	}
+	if got := tn.At(2, 3, 4); got != float32(len(tn.Data)-1) {
+		t.Errorf("At(last) = %v", got)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	tn := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range At did not panic")
+		}
+	}()
+	tn.At(0, 2)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := New(2, 6)
+	b := a.Reshape(3, 4)
+	b.Set(9, 2, 3)
+	if a.Data[11] != 9 {
+		t.Fatal("Reshape does not share backing data")
+	}
+	if b.Dim(0) != 3 || b.Dim(1) != 4 {
+		t.Fatalf("Reshape shape wrong: %v", b.Shape)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(4)
+	a.Fill(1)
+	b := a.Clone()
+	b.Data[0] = 5
+	if a.Data[0] != 1 {
+		t.Fatal("Clone shares data with original")
+	}
+}
+
+func TestCopyFromAndZeroAndFill(t *testing.T) {
+	a := New(3)
+	a.Fill(2.5)
+	b := New(3)
+	b.CopyFrom(a)
+	for _, v := range b.Data {
+		if v != 2.5 {
+			t.Fatalf("CopyFrom wrong: %v", b.Data)
+		}
+	}
+	b.Zero()
+	for _, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("Zero wrong: %v", b.Data)
+		}
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	if !SameShape(New(2, 3), New(2, 3)) {
+		t.Error("equal shapes reported different")
+	}
+	if SameShape(New(2, 3), New(3, 2)) {
+		t.Error("different shapes reported same")
+	}
+	if SameShape(New(6), New(2, 3)) {
+		t.Error("different ranks reported same")
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	x := []float32{1, 2, 3}
+	y := []float32{10, 20, 30}
+	AXPY(2, x, y)
+	want := []float32{12, 24, 36}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("AXPY got %v, want %v", y, want)
+		}
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a := []float32{1, -2, 3}
+	b := []float32{4, 5, -6}
+	dst := make([]float32, 3)
+	Add(dst, a, b)
+	if dst[0] != 5 || dst[1] != 3 || dst[2] != -3 {
+		t.Errorf("Add got %v", dst)
+	}
+	Sub(dst, a, b)
+	if dst[0] != -3 || dst[1] != -7 || dst[2] != 9 {
+		t.Errorf("Sub got %v", dst)
+	}
+	if got := Dot(a, b); got != 4-10-18 {
+		t.Errorf("Dot got %v", got)
+	}
+	Scale(0.5, a)
+	if a[0] != 0.5 || a[1] != -1 || a[2] != 1.5 {
+		t.Errorf("Scale got %v", a)
+	}
+}
+
+func TestNorm2AndSum(t *testing.T) {
+	x := []float32{3, 4}
+	if got := Norm2(x); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Norm2 got %v", got)
+	}
+	if got := Sum(x); got != 7 {
+		t.Errorf("Sum got %v", got)
+	}
+}
+
+func TestMaxIndex(t *testing.T) {
+	cases := []struct {
+		in   []float32
+		want int
+	}{
+		{nil, -1},
+		{[]float32{1}, 0},
+		{[]float32{1, 3, 2}, 1},
+		{[]float32{5, 5, 5}, 0}, // first wins ties
+		{[]float32{-4, -1, -9}, 1},
+	}
+	for _, c := range cases {
+		if got := MaxIndex(c.in); got != c.want {
+			t.Errorf("MaxIndex(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	x := []float32{-5, 0.5, 9}
+	Clamp(x, -1, 1)
+	if x[0] != -1 || x[1] != 0.5 || x[2] != 1 {
+		t.Errorf("Clamp got %v", x)
+	}
+}
+
+// Property: AXPY then AXPY with -alpha restores the original vector (up to
+// float32 rounding, exact here because same magnitudes cancel).
+func TestAXPYInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		n := 1 + g.Intn(256)
+		x := make([]float32, n)
+		y := make([]float32, n)
+		g.FillNormal(x, 0, 1)
+		g.FillNormal(y, 0, 1)
+		orig := append([]float32(nil), y...)
+		AXPY(3, x, y)
+		AXPY(-3, x, y)
+		for i := range y {
+			if math.Abs(float64(y[i]-orig[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dot is symmetric and bilinear in its first argument.
+func TestDotBilinearProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		n := 1 + g.Intn(128)
+		a := make([]float32, n)
+		b := make([]float32, n)
+		c := make([]float32, n)
+		g.FillNormal(a, 0, 1)
+		g.FillNormal(b, 0, 1)
+		g.FillNormal(c, 0, 1)
+		if math.Abs(float64(Dot(a, b)-Dot(b, a))) > 1e-3 {
+			return false
+		}
+		sum := make([]float32, n)
+		Add(sum, a, b)
+		lhs := float64(Dot(sum, c))
+		rhs := float64(Dot(a, c)) + float64(Dot(b, c))
+		return math.Abs(lhs-rhs) < 1e-2*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,227 @@
+package scaledl
+
+import (
+	"fmt"
+	"io"
+
+	"scaledl/internal/core"
+	"scaledl/internal/data"
+	"scaledl/internal/harness"
+	"scaledl/internal/hw"
+	"scaledl/internal/knl"
+	"scaledl/internal/nn"
+	"scaledl/internal/quant"
+)
+
+// Core distributed-training types, re-exported from the implementation.
+type (
+	// Config describes one distributed training run (workers, batch size,
+	// learning rate, elastic force ρ, iteration budget, platform, …).
+	Config = core.Config
+	// Result is the outcome: simulated time, time breakdown, accuracy
+	// trajectory.
+	Result = core.Result
+	// Platform is the simulated hardware (devices, links, message plan).
+	Platform = core.Platform
+	// Breakdown is exposed time per §6.1.1 category.
+	Breakdown = core.Breakdown
+	// Category indexes the breakdown (communication and computation parts).
+	Category = core.Category
+	// Point is one sample of a training trajectory.
+	Point = core.Point
+
+	// NetDef is a reusable network definition; Shape a CHW activation shape.
+	NetDef = nn.NetDef
+	// LayerSpec declares one layer of a NetDef.
+	LayerSpec = nn.LayerSpec
+	// Shape is a channels×height×width activation geometry.
+	Shape = nn.Shape
+	// ModelCost is the cost-table view of a model (params, FLOPs per layer).
+	ModelCost = nn.ModelCost
+
+	// Dataset is an in-memory labeled image set; Spec its geometry.
+	Dataset = data.Dataset
+	// Spec describes dataset geometry (channels, size, classes, counts).
+	Spec = data.Spec
+
+	// KNLConfig configures the §6.2 chip-partitioning runtime.
+	KNLConfig = knl.Config
+	// KNLResult is a partitioned-chip run outcome.
+	KNLResult = knl.Result
+
+	// Experiment is a regenerable paper artifact; Report its output.
+	Experiment = harness.Experiment
+	// Report is a formatted experiment result.
+	Report = harness.Report
+	// Options controls experiment execution (seed, scale).
+	Options = harness.Options
+)
+
+// Train runs the named distributed algorithm. Method names follow the
+// paper: "original-easgd*", "original-easgd", "async-sgd", "async-msgd",
+// "hogwild-sgd", "sync-sgd", "async-easgd", "async-measgd",
+// "hogwild-easgd", "sync-easgd1", "sync-easgd2", "sync-easgd3".
+func Train(method string, cfg Config) (Result, error) {
+	run, ok := core.Methods[method]
+	if !ok {
+		return Result{}, fmt.Errorf("scaledl: unknown method %q (one of %v)", method, core.MethodNames())
+	}
+	return run(cfg)
+}
+
+// Methods lists the available training methods in the paper's order.
+func Methods() []string { return core.MethodNames() }
+
+// DefaultGPUPlatform returns the paper's 4-GPU node model; packed selects
+// the §5.2 single-buffer communication layout.
+func DefaultGPUPlatform(packed bool) Platform { return core.DefaultGPUPlatform(packed) }
+
+// Model zoo.
+
+// LeNet is the classic Caffe LeNet (431,080 parameters) the paper trains on
+// MNIST.
+func LeNet(in Shape, classes int) NetDef { return nn.LeNet(in, classes) }
+
+// TinyCNN is the scaled-down convnet used by the fast experiments.
+func TinyCNN(in Shape, classes int) NetDef { return nn.TinyCNN(in, classes) }
+
+// CIFARQuick is the Caffe cifar10_quick-style network.
+func CIFARQuick(in Shape, classes int) NetDef { return nn.CIFARQuick(in, classes) }
+
+// MiniGoogleNet is a small executable inception network (real parallel
+// branches with channel concatenation), the runnable counterpart of the
+// GoogleNetCost table.
+func MiniGoogleNet(in Shape, classes int) NetDef { return nn.MiniGoogleNet(in, classes) }
+
+// Inception builds one GoogleNet inception module spec (1×1, 1×1→3×3,
+// 1×1→5×5 and pool→1×1 branches) for use inside a NetDef.
+func Inception(c1, r3, c3, r5, c5, pp int) LayerSpec { return nn.Inception(c1, r3, c3, r5, c5, pp) }
+
+// AlexNetCost, VGG19Cost and GoogleNetCost return the exact-dimension cost
+// tables of the paper's ImageNet models.
+func AlexNetCost() ModelCost   { return nn.AlexNetCost() }
+func VGG19Cost() ModelCost     { return nn.VGG19Cost() }
+func GoogleNetCost() ModelCost { return nn.GoogleNetCost() }
+
+// Datasets. The paper's Table 1 geometries with synthetic, learnable,
+// seeded content (see DESIGN.md for the substitution rationale).
+
+// SyntheticMNIST returns normalized train/test sets with MNIST geometry
+// (1×28×28, 10 classes).
+func SyntheticMNIST(seed int64, trainN, testN int) (train, test *Dataset) {
+	return syntheticPair(data.MNISTSpec, seed, trainN, testN, 1.5)
+}
+
+// SyntheticCIFAR returns normalized train/test sets with CIFAR geometry
+// (3×32×32, 10 classes).
+func SyntheticCIFAR(seed int64, trainN, testN int) (train, test *Dataset) {
+	return syntheticPair(data.CIFARSpec, seed, trainN, testN, 1.2)
+}
+
+// Synthetic generates a dataset with arbitrary geometry and noise.
+func Synthetic(spec Spec, seed int64, trainN, testN int, noise float64) (train, test *Dataset) {
+	return syntheticPair(spec, seed, trainN, testN, noise)
+}
+
+func syntheticPair(spec Spec, seed int64, trainN, testN int, noise float64) (train, test *Dataset) {
+	train, test = data.Synthetic(data.Config{
+		Spec: spec, Seed: seed, TrainN: trainN, TestN: testN, Noise: noise,
+	})
+	train.Normalize()
+	test.Normalize()
+	return train, test
+}
+
+// KNL chip partitioning (§6.2).
+
+// RunKNLPartition executes a partitioned-chip training run (Figure 12's
+// engine).
+func RunKNLPartition(cfg KNLConfig) (KNLResult, error) { return knl.Run(cfg) }
+
+// NewKNL7250 returns the paper's KNL node model with the given workload
+// efficiency.
+func NewKNL7250(eff float64) hw.KNLChip { return hw.NewKNL7250(eff) }
+
+// MaxKNLPartsFittingMCDRAM applies the paper's MCDRAM fit rule ("at most 16
+// copies of weight and data" for AlexNet+CIFAR).
+func MaxKNLPartsFittingMCDRAM(weightBytes, dataCopyBytes int64) int {
+	return knl.MaxPartsFittingMCDRAM(hw.NewKNL7250(0.1), weightBytes, dataCopyBytes)
+}
+
+// Experiments: every table and figure of the paper's evaluation.
+
+// Experiments lists the regenerable artifacts (table2, table3, table4,
+// fig6.1-fig6.4, fig8, fig10-fig13, batch, ablation).
+func Experiments() []Experiment { return harness.List() }
+
+// RunExperiment executes one experiment by ID.
+func RunExperiment(id string, o Options) (*Report, error) {
+	e, err := harness.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(o)
+}
+
+// RunAllExperiments executes every experiment in ID order.
+func RunAllExperiments(o Options) ([]*Report, error) { return harness.RunAll(o) }
+
+// WeakScalingEfficiency returns the Table 4 model's efficiency for
+// "googlenet" or "vgg19" at the given node count (68 cores per node).
+func WeakScalingEfficiency(model string, nodes int) (float64, error) {
+	return harness.WeakScalingEfficiency(model, nodes)
+}
+
+// Extensions beyond the paper's evaluation.
+
+// CompressionScheme selects low-precision gradient transmission for
+// Config.Compression (§3.4's future-work direction): quant.None,
+// quant.OneBit (1-bit SGD with error feedback) or quant.Uniform8.
+type CompressionScheme = quant.Scheme
+
+// Compression schemes.
+const (
+	CompressNone   = quant.None
+	CompressOneBit = quant.OneBit
+	CompressUint8  = quant.Uniform8
+)
+
+// KNLClusterConfig configures Algorithm 4 run as a real rank program over
+// the simulated MPI runtime (internal/mpi).
+type KNLClusterConfig = core.KNLClusterConfig
+
+// TrainKNLCluster runs Algorithm 4 (Communication-Efficient EASGD on a
+// KNL cluster) with real message-passing collectives between simulated
+// rank processes.
+func TrainKNLCluster(cfg KNLClusterConfig) (Result, error) {
+	return core.KNLClusterEASGD(cfg)
+}
+
+// SaveNet serializes a trained network (architecture + packed parameters).
+func SaveNet(n *nn.Net, w io.Writer) error { return n.Save(w) }
+
+// LoadNet restores a network saved with SaveNet.
+func LoadNet(r io.Reader) (*nn.Net, error) { return nn.Load(r) }
+
+// LRSchedule and the schedule types support the §7.2 retuning rules.
+type (
+	// LRSchedule maps iteration → learning rate.
+	LRSchedule = nn.LRSchedule
+	// Warmup ramps linearly to the base rate, then delegates.
+	Warmup = nn.Warmup
+	// StepDecay is Caffe's "step" policy.
+	StepDecay = nn.StepDecay
+	// PolyDecay is Caffe's "poly" policy.
+	PolyDecay = nn.PolyDecay
+)
+
+// LinearScaledLR and SqrtScaledLR apply the batch-size scaling rules §7.2
+// alludes to.
+func LinearScaledLR(baseLR float32, refBatch, batch int) (float32, error) {
+	return nn.LinearScaledLR(baseLR, refBatch, batch)
+}
+
+// SqrtScaledLR is the conservative square-root scaling rule.
+func SqrtScaledLR(baseLR float32, refBatch, batch int) (float32, error) {
+	return nn.SqrtScaledLR(baseLR, refBatch, batch)
+}

@@ -1,0 +1,171 @@
+package scaledl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrainViaFacade(t *testing.T) {
+	train, test := SyntheticMNIST(1, 512, 128)
+	cfg := Config{
+		Def:        TinyCNN(Shape{C: 1, H: 28, W: 28}, 10),
+		Train:      train,
+		Test:       test,
+		Workers:    4,
+		Batch:      16,
+		LR:         0.05,
+		Iterations: 40,
+		Seed:       1,
+		Platform:   DefaultGPUPlatform(true),
+		EvalEvery:  10,
+	}
+	res, err := Train("sync-easgd3", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAcc < 0.5 {
+		t.Errorf("accuracy %.3f too low", res.FinalAcc)
+	}
+	if res.SimTime <= 0 || len(res.Curve) == 0 {
+		t.Errorf("result incomplete: %+v", res)
+	}
+}
+
+func TestTrainUnknownMethod(t *testing.T) {
+	_, err := Train("sgd-9000", Config{})
+	if err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMethodsList(t *testing.T) {
+	ms := Methods()
+	if len(ms) != 12 {
+		t.Fatalf("want 12 methods, got %d", len(ms))
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		seen[m] = true
+	}
+	for _, want := range []string{"original-easgd", "hogwild-easgd", "sync-easgd3", "async-measgd"} {
+		if !seen[want] {
+			t.Errorf("missing method %q", want)
+		}
+	}
+}
+
+func TestModelZooFacade(t *testing.T) {
+	if n := LeNet(Shape{C: 1, H: 28, W: 28}, 10).Build(1).ParamCount(); n != 431080 {
+		t.Errorf("LeNet params %d", n)
+	}
+	if p := VGG19Cost().TotalParams(); p < 143_000_000 {
+		t.Errorf("VGG19 params %d", p)
+	}
+	if p := GoogleNetCost().TotalParams(); p > 8_000_000 {
+		t.Errorf("GoogleNet params %d", p)
+	}
+	if p := AlexNetCost().TotalParams(); p < 60_000_000 {
+		t.Errorf("AlexNet params %d", p)
+	}
+}
+
+func TestSyntheticDatasets(t *testing.T) {
+	train, test := SyntheticCIFAR(2, 256, 64)
+	if train.Spec.SampleDim() != 3*32*32 || test.Len() != 64 {
+		t.Errorf("CIFAR geometry wrong: %+v", train.Spec)
+	}
+	spec := Spec{Name: "custom", Channels: 2, Height: 8, Width: 8, Classes: 3}
+	tr, te := Synthetic(spec, 3, 100, 20, 0.5)
+	if tr.Len() != 100 || te.Len() != 20 {
+		t.Errorf("custom synthetic sizes wrong")
+	}
+}
+
+func TestKNLFacade(t *testing.T) {
+	if got := MaxKNLPartsFittingMCDRAM(249<<20, 687<<20); got != 16 {
+		t.Errorf("MCDRAM fit = %d, paper says 16", got)
+	}
+	train, test := SyntheticCIFAR(1, 256, 64)
+	res, err := RunKNLPartition(KNLConfig{
+		Chip:   NewKNL7250(0.1),
+		Parts:  4,
+		Def:    TinyCNN(Shape{C: 3, H: 32, W: 32}, 10),
+		Train:  train,
+		Test:   test,
+		Batch:  8,
+		LR:     0.05,
+		Rounds: 10,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimTime <= 0 || res.Rounds != 10 {
+		t.Errorf("KNL run incomplete: %+v", res)
+	}
+}
+
+func TestExtensionsFacade(t *testing.T) {
+	// Save/Load round trip through the facade.
+	net := TinyCNN(Shape{C: 1, H: 8, W: 8}, 3).Build(5)
+	var buf strings.Builder
+	if err := SaveNet(net, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNet(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ParamCount() != net.ParamCount() {
+		t.Error("loaded model differs")
+	}
+
+	// Compression through the facade.
+	train, test := SyntheticMNIST(1, 256, 64)
+	cfg := Config{
+		Def: TinyCNN(Shape{C: 1, H: 28, W: 28}, 10), Train: train, Test: test,
+		Workers: 2, Batch: 8, LR: 0.05, Iterations: 10, Seed: 1,
+		Platform: DefaultGPUPlatform(true), Compression: CompressOneBit,
+	}
+	if _, err := Train("sync-sgd", cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Algorithm 4 rank program through the facade.
+	cfg.Compression = CompressNone
+	if _, err := TrainKNLCluster(KNLClusterConfig{Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+
+	// LR schedules.
+	w := Warmup{Base: 0.4, Div: 10, WarmupIters: 10}
+	if w.At(10) != 0.4 {
+		t.Error("warmup facade broken")
+	}
+	if lr, err := LinearScaledLR(0.1, 32, 64); err != nil || lr != 0.2 {
+		t.Errorf("linear scaling: %v, %v", lr, err)
+	}
+	if lr, err := SqrtScaledLR(0.1, 64, 64); err != nil || lr != 0.1 {
+		t.Errorf("sqrt scaling: %v, %v", lr, err)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	if len(Experiments()) != 16 {
+		t.Errorf("want 16 experiments, got %d", len(Experiments()))
+	}
+	rep, err := RunExperiment("table2", Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) == 0 {
+		t.Error("table2 empty")
+	}
+	if _, err := RunExperiment("nope", Options{}); err == nil {
+		t.Error("unknown experiment did not error")
+	}
+	eff, err := WeakScalingEfficiency("vgg19", 32)
+	if err != nil || eff <= 0 || eff >= 1 {
+		t.Errorf("vgg19 efficiency %v, %v", eff, err)
+	}
+}
