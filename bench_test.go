@@ -26,6 +26,9 @@ var benchOptions = Options{Seed: 1, Scale: 0.5}
 
 func runExperimentBench(b *testing.B, id string, metric func(*Report) (string, float64)) {
 	b.Helper()
+	if testing.Short() {
+		b.Skipf("experiment %s trains real models; skipped in -short mode", id)
+	}
 	for i := 0; i < b.N; i++ {
 		rep, err := RunExperiment(id, benchOptions)
 		if err != nil {

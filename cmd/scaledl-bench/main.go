@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"scaledl/internal/harness"
+	"scaledl/internal/par"
 )
 
 func main() {
@@ -28,8 +29,10 @@ func main() {
 		seed  = flag.Int64("seed", 1, "random seed")
 		scale = flag.Float64("scale", 1.0, "budget scale factor (0.1 = quick smoke, 1 = default)")
 		csv   = flag.String("csv", "", "directory to write per-table CSV files into")
+		width = flag.Int("width", 0, "worker-pool width for real math (0 = GOMAXPROCS); results are deterministic per width")
 	)
 	flag.Parse()
+	par.SetWidth(*width)
 
 	if *list {
 		fmt.Println("available experiments:")

@@ -50,6 +50,33 @@
 //     paper's evaluation (Tables 2-4, Figures 6, 8, 10-13) plus a batch-size
 //     study and a co-design ablation.
 //
+// # Execution model
+//
+// Virtual time and real work are scheduled by two separate engines:
+//
+//   - internal/sim is a deterministic discrete-event kernel. Simulated
+//     entities (GPU workers, parameter-server masters, KNL ranks) run as
+//     goroutine-backed processes; exactly one executes at any virtual
+//     instant, so the *timeline* of a run is a pure function of its inputs.
+//   - internal/par is a process-wide bounded work pool (width = GOMAXPROCS
+//     by default) that the *real* mathematics runs on. The paper's workers
+//     are embarrassingly parallel between reductions, and the
+//     implementation exploits that literally: the synchronous algorithms
+//     fan their P gradient computations out with par.For; the
+//     process-per-worker algorithms (async, round-robin, KNL cluster)
+//     start each gradient with par.Submit, yield virtual time, and join
+//     before the result is used, so the replicas' forward/backward passes
+//     genuinely overlap on the host; the convolution batch fan-out and the
+//     GEMM row fan-out schedule on the same pool, so nested parallelism
+//     (worker × conv-chunk × GEMM-row) degrades to inline execution
+//     instead of oversubscribing the machine.
+//
+// Parallel execution never changes results: work is assigned to fixed
+// index ranges, every unit writes only index-distinct state, and all
+// floating-point reductions (gradient sums, loss averages, partial-dW
+// merges) happen in fixed slice order after the join. A run's Result is
+// bit-identical to serial execution (par.SetSerial) at the same width.
+//
 // # Quick start
 //
 //	train, test := scaledl.SyntheticMNIST(1, 2048, 512)

@@ -1,0 +1,3 @@
+module scaledl
+
+go 1.24

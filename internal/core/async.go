@@ -69,9 +69,15 @@ type asyncOpts struct {
 }
 
 // psRequest travels worker→master. For SGD-style methods payload is the
-// gradient; for EASGD-style it is the worker's local weights.
+// gradient; for EASGD-style it is the worker's local weights. loss is the
+// batch loss of the round that produced the payload (0 for an EASGD
+// worker's first request, which ships the initial weights before any
+// batch): carrying it in the message keeps the master's loss telemetry
+// deterministic while the worker's next gradient is in flight on the par
+// pool.
 type psRequest struct {
 	from    int
+	loss    float64
 	payload []float32
 	reply   *sim.Queue
 }
@@ -131,12 +137,16 @@ func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
 				p.Delay(rc.dataXfer)
 				if opt.elastic {
 					// Ship local weights, then overlap the gradient with the
-					// round trip (§5.1 steps (1)-(2)).
+					// round trip (§5.1 steps (1)-(2)). The overlap is real as
+					// well as simulated: the forward/backward runs on the par
+					// pool while this process waits out the round trip, so
+					// other workers' gradients execute concurrently with it.
 					snap := append([]float32(nil), w.net.Params...)
 					p.Delay(rc.hostXfer)
-					inbox.Send(psRequest{from: i, payload: snap, reply: replyQ})
-					w.computeGradient()
+					inbox.Send(psRequest{from: i, loss: w.lastLoss, payload: snap, reply: replyQ})
+					join := w.beginGradient()
 					p.Delay(w.computeTime)
+					join()
 					rep := p.Recv(replyQ).(psReply)
 					if rep.stop {
 						return
@@ -148,11 +158,15 @@ func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
 					}
 					p.Delay(rc.workerUpdate)
 				} else {
-					// Gradient on the freshly fetched weights, then wait.
-					w.computeGradient()
+					// Gradient on the freshly fetched weights, then wait. The
+					// math overlaps (in real time) with the other workers'
+					// in-flight gradients via the par pool; the join lands
+					// before the gradient is shipped.
+					join := w.beginGradient()
 					p.Delay(w.computeTime)
+					loss := join()
 					p.Delay(rc.hostXfer)
-					inbox.Send(psRequest{from: i, payload: w.net.Grads, reply: replyQ})
+					inbox.Send(psRequest{from: i, loss: loss, payload: w.net.Grads, reply: replyQ})
 					rep := p.Recv(replyQ).(psReply)
 					if rep.stop {
 						return
@@ -194,7 +208,7 @@ func serveOne(p *sim.Proc, rc *runContext, cfg Config, opt asyncOpts, req psRequ
 	}
 	rc.updates++
 	if cfg.EvalEvery > 0 && rc.updates%int64(cfg.EvalEvery) == 0 {
-		rc.recordPoint(int(rc.updates), p.Now(), rc.workers[req.from].lastLoss)
+		rc.recordPoint(int(rc.updates), p.Now(), req.loss)
 	}
 	// Reply transfer occupies the lock in the locked variants; in Hogwild it
 	// is a concurrent DMA.

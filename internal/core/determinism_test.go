@@ -1,0 +1,96 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"scaledl/internal/hw"
+	"scaledl/internal/par"
+)
+
+// runSerialAndParallel runs fn twice at a fixed pool width of 4 — once with
+// every par fan-out forced inline (the bitwise reference) and once with the
+// pool live — and returns both results. Width is pinned so chunk layouts
+// and partial-merge orders are identical; the only variable is real
+// concurrency.
+func runSerialAndParallel(t *testing.T, fn func() (Result, error)) (serial, parallel Result) {
+	t.Helper()
+	par.SetWidth(4)
+	defer par.SetWidth(0)
+
+	par.SetSerial(true)
+	serial, err := fn()
+	par.SetSerial(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err = fn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serial, parallel
+}
+
+// TestParallelExecutionBitIdenticalToSerial is the contract of the par
+// fan-out: for every algorithm, running the per-worker gradient math on the
+// shared pool must produce a Result — loss curve, breakdown, accuracy,
+// final loss, simulated time — bit-identical to inline execution, because
+// work is assigned to fixed indices and all reductions happen in fixed
+// slice order after the join.
+func TestParallelExecutionBitIdenticalToSerial(t *testing.T) {
+	for _, name := range MethodNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			mk := func() (Result, error) {
+				cfg := testConfig(t, 20, true)
+				cfg.EvalEvery = 5
+				if name == "async-msgd" || name == "async-measgd" {
+					cfg.LR = 0.01
+				}
+				return Methods[name](cfg)
+			}
+			serial, parallel := runSerialAndParallel(t, mk)
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("parallel result differs from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+			}
+		})
+	}
+}
+
+// TestKNLClusterParallelBitIdenticalToSerial covers the rank-program
+// algorithm, whose gradient fan-out overlaps via Submit/join rather than a
+// single coordinator loop.
+func TestKNLClusterParallelBitIdenticalToSerial(t *testing.T) {
+	mk := func() (Result, error) {
+		cfg := testConfig(t, 20, true)
+		cfg.EvalEvery = 5
+		return KNLClusterEASGD(KNLClusterConfig{
+			Config: cfg,
+			Fabric: hw.Link{Name: "fabric", Alpha: 1.5e-6, Beta: 1 / 8e9},
+		})
+	}
+	serial, parallel := runSerialAndParallel(t, mk)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel result differs from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestRepeatedPoolRunsBitIdentical runs the same configuration twice with
+// the pool live: goroutine scheduling varies between runs, results must
+// not. (Dynamic index dispatch in par.For means *which* goroutine runs an
+// index is nondeterministic — this checks that it never matters.)
+func TestRepeatedPoolRunsBitIdentical(t *testing.T) {
+	par.SetWidth(4)
+	defer par.SetWidth(0)
+	var results []Result
+	for i := 0; i < 2; i++ {
+		res, err := SyncEASGD3(testConfig(t, 15, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Errorf("repeated pool runs differ: %+v vs %+v", results[0], results[1])
+	}
+}

@@ -58,9 +58,13 @@ func KNLClusterEASGD(kcfg KNLClusterConfig) (Result, error) {
 			}
 			// Line 10: each node samples b from its local copy (local
 			// memory, negligible on the fabric timeline) and computes the
-			// gradient for real.
-			roundLoss := w.computeGradient()
+			// gradient for real. The math runs on the par pool while this
+			// rank waits out its compute delay, so all P ranks' gradients
+			// overlap in real time exactly as the paper's nodes do; the
+			// join lands before the weights enter the collectives.
+			join := w.beginGradient()
 			r.Proc().Delay(w.computeTime)
+			roundLoss := join()
 
 			// Line 12: KNL1 broadcasts W̄_t (real message tree).
 			r.Bcast(0, 2*t, centerBuf)

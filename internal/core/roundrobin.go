@@ -51,7 +51,10 @@ func runRoundRobin(cfg Config, name string, overlap bool) (Result, error) {
 
 	// Workers: wait for a center-weight copy, run one real minibatch
 	// forward/backward, post the pre-update weights, then apply Eq. (1)
-	// locally. Worker time runs concurrently with the master's pipeline.
+	// locally. Worker time runs concurrently with the master's pipeline,
+	// and in the overlapped schedule several workers' compute windows
+	// coincide — their gradient math genuinely overlaps on the par pool
+	// while each simulated process waits out its compute delay.
 	for j := 0; j < g; j++ {
 		w := rc.workers[j]
 		dq, cq := done[j], cmd[j]
@@ -62,8 +65,9 @@ func runRoundRobin(cfg Config, name string, overlap bool) (Result, error) {
 				if !ok {
 					return // stop sentinel
 				}
-				loss := w.computeGradient()
+				join := w.beginGradient()
 				p.Delay(w.computeTime)
+				loss := join()
 				snap := append([]float32(nil), w.net.Params...)
 				dq.Send(rrDone{weights: snap, loss: loss})
 				w.elasticLocal(cfg.LR, cfg.Rho, center)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"scaledl/internal/comm"
+	"scaledl/internal/par"
 	"scaledl/internal/quant"
 	"scaledl/internal/sim"
 )
@@ -74,6 +75,7 @@ func runSyncEASGD(cfg Config, name string, opt syncOpts) (Result, error) {
 	reduceCost := treePlanTime(rc.plan, paramLink, cfg.Workers)
 
 	sum := make([]float32, len(rc.center))
+	losses := make([]float64, cfg.Workers)
 
 	env.Spawn("coordinator", func(p *sim.Proc) {
 		for t := 0; t < cfg.Iterations && !rc.stopped; t++ {
@@ -85,10 +87,12 @@ func runSyncEASGD(cfg Config, name string, opt syncOpts) (Result, error) {
 			rc.bd.Add(CatCPUGPUData, dataPhase)
 
 			// Line 10: forward/backward on all GPUs in parallel (real math
-			// per replica; one parallel delay since workers are homogeneous).
+			// per replica, fanned out across the par pool; one parallel
+			// delay since workers are homogeneous).
+			computeGradients(rc.workers, losses)
 			var roundLoss float64
-			for _, w := range rc.workers {
-				roundLoss += w.computeGradient()
+			for _, l := range losses {
+				roundLoss += l
 			}
 			roundLoss /= float64(cfg.Workers)
 			p.Delay(rc.workers[0].computeTime)
@@ -119,10 +123,12 @@ func runSyncEASGD(cfg Config, name string, opt syncOpts) (Result, error) {
 				comm.ReduceSum(sum, w.net.Params)
 			}
 
-			// Line 13: every worker applies Equation (1) with W̄_t.
-			for _, w := range rc.workers {
-				w.elasticLocal(cfg.LR, cfg.Rho, rc.center)
-			}
+			// Line 13: every worker applies Equation (1) with W̄_t. Each
+			// replica updates its own parameters against the read-only
+			// center, so the loop fans out like the gradient phase.
+			par.For(len(rc.workers), func(i int) {
+				rc.workers[i].elasticLocal(cfg.LR, cfg.Rho, rc.center)
+			})
 			// Line 14: the master applies Equation (2):
 			// W̄ ← W̄ + ηρ(ΣW_j − P·W̄).
 			a := cfg.LR * cfg.Rho
@@ -184,6 +190,7 @@ func SyncSGD(cfg Config) (Result, error) {
 		}
 	}
 	sum := make([]float32, len(rc.center))
+	losses := make([]float64, cfg.Workers)
 
 	env.Spawn("coordinator", func(p *sim.Proc) {
 		for t := 0; t < cfg.Iterations && !rc.stopped; t++ {
@@ -191,9 +198,10 @@ func SyncSGD(cfg Config) (Result, error) {
 			p.Delay(dataPhase)
 			rc.bd.Add(CatCPUGPUData, dataPhase)
 
+			computeGradients(rc.workers, losses)
 			var roundLoss float64
-			for _, w := range rc.workers {
-				roundLoss += w.computeGradient()
+			for _, l := range losses {
+				roundLoss += l
 			}
 			roundLoss /= float64(cfg.Workers)
 			p.Delay(rc.workers[0].computeTime)
@@ -212,12 +220,15 @@ func SyncSGD(cfg Config) (Result, error) {
 				}
 				comm.ReduceSum(sum, w.net.Grads)
 			}
+			// Every replica takes the same averaged step; each writes only
+			// its own parameters, reading the shared gradient sum.
 			step := cfg.LR / float32(cfg.Workers)
-			for _, w := range rc.workers {
+			par.For(len(rc.workers), func(wi int) {
+				w := rc.workers[wi]
 				for i, g := range sum {
 					w.net.Params[i] -= step * g
 				}
-			}
+			})
 			copy(rc.center, rc.workers[0].net.Params)
 			rc.updates++
 

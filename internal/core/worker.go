@@ -4,6 +4,7 @@ import (
 	"scaledl/internal/comm"
 	"scaledl/internal/data"
 	"scaledl/internal/nn"
+	"scaledl/internal/par"
 	"scaledl/internal/tensor"
 )
 
@@ -97,11 +98,52 @@ func newRunContext(cfg Config) (*runContext, error) {
 // computeGradient runs one real minibatch forward+backward on the worker's
 // replica, leaving the gradient in w.net.Grads. Returns the batch loss.
 func (w *worker) computeGradient() float64 {
+	loss := w.gradientMath()
+	w.lastLoss = loss
+	return loss
+}
+
+// gradientMath is the raw forward+backward; it touches only worker-owned
+// state (net, sampler, batch) and defers the lastLoss commit to the caller,
+// so it may run on a par pool goroutine while the owning simulated process
+// is suspended.
+func (w *worker) gradientMath() float64 {
 	w.batch = w.sampler.Next(w.batchSize, w.batch)
 	w.net.ZeroGrad()
 	loss, _ := w.net.LossAndGrad(w.batch.X, w.batch.Labels, w.batch.B)
-	w.lastLoss = loss
 	return loss
+}
+
+// beginGradient starts the worker's forward/backward on the shared par pool
+// and returns a join function. The algorithms whose workers are separate
+// simulated processes (async, round-robin, KNL cluster) call it, then yield
+// virtual time (p.Delay(w.computeTime)) — during which their peers start
+// their own gradients, so the real math of up to par.Width() workers
+// overlaps — and invoke the join before the gradient or loss is used. The
+// join commits w.lastLoss and returns the batch loss; until then no other
+// simulated process may read this worker's state (none does: workers own
+// their nets and samplers, and masters see only explicit message payloads).
+func (w *worker) beginGradient() func() float64 {
+	var loss float64
+	h := par.Submit(func() { loss = w.gradientMath() })
+	return func() float64 {
+		h.Wait()
+		w.lastLoss = loss
+		return loss
+	}
+}
+
+// computeGradients fans one gradient step for every worker out across the
+// shared par pool and returns the per-worker losses in index order — the
+// paper's "all P workers compute in parallel" phase of the synchronous
+// algorithms. Each worker touches only its own replica and sampler, so the
+// fan-out is race-free by construction, and callers combine the returned
+// losses (and the workers' gradients) in fixed slice order after the join,
+// keeping results bit-identical to serial execution.
+func computeGradients(workers []*worker, losses []float64) {
+	par.For(len(workers), func(i int) {
+		losses[i] = workers[i].computeGradient()
+	})
 }
 
 // sgdLocal applies plain SGD to the worker replica: W ← W − η·G.

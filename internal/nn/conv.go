@@ -2,17 +2,16 @@ package nn
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	"scaledl/internal/par"
 	"scaledl/internal/tensor"
 )
 
 // Conv2D is a 2-D convolution implemented with im2col + GEMM, the same
 // strategy as cuDNN's GEMM algorithm that the paper's GPU code relied on.
-// Forward and backward parallelize across the batch dimension with a fixed
-// chunk assignment and a fixed-order partial-gradient merge, so results are
-// bit-deterministic for a given GOMAXPROCS.
+// Forward and backward parallelize across the batch dimension on the shared
+// par pool with a fixed chunk assignment and a fixed-order partial-gradient
+// merge, so results are bit-deterministic for a given par.Width().
 type Conv2D struct {
 	name            string
 	in, out         Shape
@@ -82,28 +81,6 @@ func (l *Conv2D) colSize() int {
 	return l.in.C * l.kernel * l.kernel * l.out.H * l.out.W
 }
 
-// sampleChunks splits a batch into contiguous worker chunks; the chunking
-// depends only on (b, GOMAXPROCS), keeping runs reproducible.
-func sampleChunks(b int) [][2]int {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > b {
-		workers = b
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	chunk := (b + workers - 1) / workers
-	var out [][2]int
-	for lo := 0; lo < b; lo += chunk {
-		hi := lo + chunk
-		if hi > b {
-			hi = b
-		}
-		out = append(out, [2]int{lo, hi})
-	}
-	return out
-}
-
 func (l *Conv2D) Forward(x []float32, b int, train bool) []float32 {
 	inDim, outDim := l.in.Dim(), l.out.Dim()
 	if len(x) != b*inDim {
@@ -114,30 +91,25 @@ func (l *Conv2D) Forward(x []float32, b int, train bool) []float32 {
 	out := buf(&l.outBuf, b*outDim)
 	kcc := l.in.C * l.kernel * l.kernel
 	spatial := l.out.H * l.out.W
-	chunks := sampleChunks(b)
-	var wg sync.WaitGroup
-	for _, ch := range chunks {
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			wMat := tensor.Wrap(l.w, l.filters, kcc)
-			for i := lo; i < hi; i++ {
-				ci := cols[i*cs : (i+1)*cs]
-				tensor.Im2col(ci, x[i*inDim:(i+1)*inDim], l.in.C, l.in.H, l.in.W, l.kernel, l.kernel, l.stride, l.pad)
-				cm := tensor.Wrap(ci, kcc, spatial)
-				om := tensor.Wrap(out[i*outDim:(i+1)*outDim], l.filters, spatial)
-				tensor.MatMul(om, wMat, cm)
-				for f := 0; f < l.filters; f++ {
-					bias := l.b[f]
-					row := om.Data[f*spatial : (f+1)*spatial]
-					for j := range row {
-						row[j] += bias
-					}
+	chunks := par.ChunkRanges(b)
+	par.For(len(chunks), func(c int) {
+		lo, hi := chunks[c][0], chunks[c][1]
+		wMat := tensor.Wrap(l.w, l.filters, kcc)
+		for i := lo; i < hi; i++ {
+			ci := cols[i*cs : (i+1)*cs]
+			tensor.Im2col(ci, x[i*inDim:(i+1)*inDim], l.in.C, l.in.H, l.in.W, l.kernel, l.kernel, l.stride, l.pad)
+			cm := tensor.Wrap(ci, kcc, spatial)
+			om := tensor.Wrap(out[i*outDim:(i+1)*outDim], l.filters, spatial)
+			tensor.MatMul(om, wMat, cm)
+			for f := 0; f < l.filters; f++ {
+				bias := l.b[f]
+				row := om.Data[f*spatial : (f+1)*spatial]
+				for j := range row {
+					row[j] += bias
 				}
 			}
-		}(ch[0], ch[1])
-	}
-	wg.Wait()
+		}
+	})
 	if train {
 		l.lastX, l.lastB = x, b
 	}
@@ -156,46 +128,41 @@ func (l *Conv2D) Backward(dy []float32, b int) []float32 {
 	for i := range dx {
 		dx[i] = 0
 	}
-	chunks := sampleChunks(b)
+	chunks := par.ChunkRanges(b)
 	l.ensureScratch(len(chunks), kcc, cs)
-	var wg sync.WaitGroup
-	for w, ch := range chunks {
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			pdw := l.partialDW[w]
-			pdb := l.partialDB[w]
-			for i := range pdw {
-				pdw[i] = 0
-			}
-			for i := range pdb {
-				pdb[i] = 0
-			}
-			dcols := l.dcolsBuf[w]
-			wMat := tensor.Wrap(l.w, l.filters, kcc)
-			pdwMat := tensor.Wrap(pdw, l.filters, kcc)
-			for i := lo; i < hi; i++ {
-				dyi := tensor.Wrap(dy[i*outDim:(i+1)*outDim], l.filters, spatial)
-				ci := tensor.Wrap(l.cols[i*cs:(i+1)*cs], kcc, spatial)
-				// dW_chunk += dy · colsᵀ
-				tensor.MatMulAdd2TransB(pdwMat, dyi, ci)
-				// db_chunk += row sums of dy
-				for f := 0; f < l.filters; f++ {
-					var s float32
-					row := dyi.Data[f*spatial : (f+1)*spatial]
-					for _, v := range row {
-						s += v
-					}
-					pdb[f] += s
+	par.For(len(chunks), func(w int) {
+		lo, hi := chunks[w][0], chunks[w][1]
+		pdw := l.partialDW[w]
+		pdb := l.partialDB[w]
+		for i := range pdw {
+			pdw[i] = 0
+		}
+		for i := range pdb {
+			pdb[i] = 0
+		}
+		dcols := l.dcolsBuf[w]
+		wMat := tensor.Wrap(l.w, l.filters, kcc)
+		pdwMat := tensor.Wrap(pdw, l.filters, kcc)
+		for i := lo; i < hi; i++ {
+			dyi := tensor.Wrap(dy[i*outDim:(i+1)*outDim], l.filters, spatial)
+			ci := tensor.Wrap(l.cols[i*cs:(i+1)*cs], kcc, spatial)
+			// dW_chunk += dy · colsᵀ
+			tensor.MatMulAdd2TransB(pdwMat, dyi, ci)
+			// db_chunk += row sums of dy
+			for f := 0; f < l.filters; f++ {
+				var s float32
+				row := dyi.Data[f*spatial : (f+1)*spatial]
+				for _, v := range row {
+					s += v
 				}
-				// dcols = Wᵀ · dy ; dx += col2im(dcols)
-				dcm := tensor.Wrap(dcols, kcc, spatial)
-				tensor.MatMulTransA(dcm, wMat, dyi)
-				tensor.Col2im(dx[i*inDim:(i+1)*inDim], dcols, l.in.C, l.in.H, l.in.W, l.kernel, l.kernel, l.stride, l.pad)
+				pdb[f] += s
 			}
-		}(w, ch[0], ch[1])
-	}
-	wg.Wait()
+			// dcols = Wᵀ · dy ; dx += col2im(dcols)
+			dcm := tensor.Wrap(dcols, kcc, spatial)
+			tensor.MatMulTransA(dcm, wMat, dyi)
+			tensor.Col2im(dx[i*inDim:(i+1)*inDim], dcols, l.in.C, l.in.H, l.in.W, l.kernel, l.kernel, l.stride, l.pad)
+		}
+	})
 	// Merge partials in fixed chunk order: deterministic accumulation.
 	for w := range chunks {
 		tensor.AXPY(1, l.partialDW[w], l.dw)

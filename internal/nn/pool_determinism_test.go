@@ -1,0 +1,54 @@
+package nn
+
+import (
+	"testing"
+
+	"scaledl/internal/data"
+	"scaledl/internal/par"
+)
+
+// trainParams runs a short real training loop and returns the final
+// parameter vector. Used to compare pooled against inline execution of the
+// conv batch fan-out and the GEMM row fan-out at a fixed width.
+func trainParams(train *data.Dataset, def NetDef) []float32 {
+	net := def.Build(99)
+	s := data.NewSampler(train, 7)
+	var batch *data.Batch
+	for i := 0; i < 8; i++ {
+		batch = s.Next(8, batch)
+		net.ZeroGrad()
+		net.LossAndGrad(batch.X, batch.Labels, 8)
+		net.SGDStep(0.05)
+	}
+	return append([]float32(nil), net.Params...)
+}
+
+// TestPooledTrainingBitIdenticalToSerial pins the par width to 4 — so
+// conv/GEMM chunk layouts and partial-merge orders are fixed — and checks
+// that running the fan-outs on live pool goroutines produces bit-identical
+// parameters to inline execution. With -race this also exercises the
+// layer-level concurrency (nested worker × conv-chunk × GEMM-row fan-outs)
+// even on a single-core host, where the default width of 1 would keep
+// everything inline.
+func TestPooledTrainingBitIdenticalToSerial(t *testing.T) {
+	spec := data.Spec{Name: "toy", Channels: 1, Height: 12, Width: 12, Classes: 4}
+	train, _ := data.Synthetic(data.Config{Spec: spec, TrainN: 128, TestN: 32, Seed: 5})
+
+	for _, def := range []NetDef{
+		TinyCNN(Shape{C: 1, H: 12, W: 12}, 4),
+		MiniGoogleNet(Shape{C: 1, H: 12, W: 12}, 4), // inception: parallel branches
+	} {
+		par.SetWidth(4)
+		par.SetSerial(true)
+		serial := trainParams(train, def)
+		par.SetSerial(false)
+		pooled := trainParams(train, def)
+		par.SetWidth(0)
+		for i := range serial {
+			if serial[i] != pooled[i] {
+				t.Fatalf("%s: pooled training diverges from serial at param %d: %v vs %v",
+					def.Name, i, pooled[i], serial[i])
+			}
+		}
+	}
+}

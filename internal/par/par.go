@@ -1,0 +1,213 @@
+// Package par is the process-wide bounded-parallelism executor every real
+// (wall-clock) computation in this module runs on. The paper's central
+// observation is that data-parallel workers are embarrassingly parallel
+// between reductions: the P replicas' forward/backward passes are
+// independent, and only the parameter combine is ordered. The simulator in
+// internal/sim serializes *virtual* time, but nothing requires the real
+// gradient mathematics to run on one OS thread — so the core algorithms,
+// the convolution batch fan-out and the GEMM row fan-out all schedule their
+// work here, sharing one pool instead of each spawning unbounded goroutines
+// and oversubscribing the machine when nested (worker × conv-chunk ×
+// GEMM-row).
+//
+// # Execution model
+//
+// The pool has a fixed width W (GOMAXPROCS at startup unless overridden by
+// SetWidth). At most W goroutines execute work at once: a fan-out's calling
+// goroutine always participates, and up to W−1 helper slots are shared
+// globally. Acquiring a helper never blocks — when the pool is saturated
+// (for example a GEMM issued from inside a conv chunk that is itself inside
+// a worker fan-out) the work simply runs inline on the caller. This makes
+// nested fan-outs deadlock-free by construction and bounds total
+// concurrency at W regardless of nesting depth.
+//
+// # Determinism
+//
+// Parallelism here never changes results. Fan-outs assign work to fixed
+// index ranges (Ranges uses Width()-derived chunk boundaries, For
+// dispatches whole indices), every unit writes only index-distinct state,
+// and the join is a full barrier — so float summation order inside a unit
+// is fixed, and callers that merge per-unit partials do so in fixed index
+// order after the join. Results are therefore bit-identical to serial
+// execution (SetSerial) at the same width; across different widths the
+// chunk layout — and with it floating-point merge order — legitimately
+// differs.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pool holds the immutable state of one configuration; swapped atomically
+// by SetWidth so readers need no lock.
+type pool struct {
+	width   int
+	helpers chan struct{} // semaphore of width-1 helper slots
+}
+
+var current atomic.Pointer[pool]
+
+func init() {
+	SetWidth(0)
+}
+
+func newPool(width int) *pool {
+	if width < 1 {
+		width = 1
+	}
+	return &pool{width: width, helpers: make(chan struct{}, width-1)}
+}
+
+// SetWidth fixes the pool width to n; n <= 0 resets it to GOMAXPROCS.
+// Width determines both the concurrency bound and the chunk boundaries of
+// Ranges, so changing it changes floating-point merge orders in callers
+// that accumulate per-chunk partials (results are deterministic for a given
+// width). Intended for startup and tests; concurrent in-flight fan-outs
+// keep the pool they started with.
+func SetWidth(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	current.Store(newPool(n))
+}
+
+// Width returns the current pool width.
+func Width() int { return current.Load().width }
+
+// serial forces every fan-out inline while leaving Width() — and therefore
+// every chunk layout and floating-point merge order — untouched.
+var serial atomic.Bool
+
+// SetSerial toggles serial execution: when on, For, Ranges and Submit run
+// their work inline on the caller with identical index assignment and
+// ordering, so a serial run is the bitwise reference for a concurrent run
+// at the same width. Used by determinism tests.
+func SetSerial(on bool) { serial.Store(on) }
+
+// acquire takes a helper slot if one is free, without blocking.
+func (p *pool) acquire() bool {
+	select {
+	case p.helpers <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *pool) release() { <-p.helpers }
+
+// For runs fn(i) for every i in [0, n) and returns after all calls have
+// completed. Indices are dispatched dynamically to the caller plus up to
+// width-1 helpers; fn must therefore only write state owned by its index.
+// With width 1 (or a saturated pool) every call runs inline on the caller
+// in increasing index order.
+func For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	p := current.Load()
+	if n == 1 || p.width == 1 || serial.Load() {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for h := 0; h < n-1 && h < p.width-1; h++ {
+		if !p.acquire() {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer p.release()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// ChunkRanges splits [0, n) into the contiguous ranges a Ranges call would
+// fan out: up to Width() chunks of size ceil(n/chunks). The boundaries
+// depend only on (n, Width()), never on scheduling, so callers that keep
+// per-chunk state (partial-gradient buffers, scratch) can size and merge it
+// reproducibly.
+func ChunkRanges(n int) [][2]int {
+	w := Width()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	chunk := (n + w - 1) / w
+	var out [][2]int
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// Ranges partitions [0, n) into the fixed ChunkRanges chunks and runs
+// fn(lo, hi) for each on the pool. It is the fan-out primitive for
+// row-partitioned kernels (GEMM): each output row belongs to exactly one
+// chunk, so per-row summation order is schedule-independent.
+func Ranges(n int, fn func(lo, hi int)) {
+	chunks := ChunkRanges(n)
+	if len(chunks) == 1 {
+		fn(chunks[0][0], chunks[0][1])
+		return
+	}
+	For(len(chunks), func(c int) { fn(chunks[c][0], chunks[c][1]) })
+}
+
+// Handle is the join side of a Submit.
+type Handle struct {
+	done chan struct{} // nil when the task ran inline (already complete)
+}
+
+// Submit schedules fn on a helper slot and returns immediately; if no slot
+// is free it runs fn inline before returning. It exists for the simulator's
+// process-per-worker algorithms (async, round-robin, KNL cluster), where
+// each simulated process starts its own gradient computation, yields
+// virtual time to its peers — whose computations then genuinely overlap on
+// the pool — and joins before the result is used.
+func Submit(fn func()) *Handle {
+	p := current.Load()
+	if serial.Load() || !p.acquire() {
+		fn()
+		return &Handle{}
+	}
+	h := &Handle{done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		defer p.release()
+		fn()
+	}()
+	return h
+}
+
+// Wait blocks until the submitted task has completed. It is safe to call
+// multiple times.
+func (h *Handle) Wait() {
+	if h.done != nil {
+		<-h.done
+	}
+}

@@ -1,0 +1,182 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// withWidth runs f at a fixed pool width and restores the default after.
+func withWidth(t *testing.T, w int, f func()) {
+	t.Helper()
+	SetWidth(w)
+	defer SetWidth(0)
+	f()
+}
+
+func TestWidthDefaultsToGOMAXPROCS(t *testing.T) {
+	SetWidth(0)
+	if got := Width(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Width() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetWidth(3)
+	if Width() != 3 {
+		t.Errorf("Width() after SetWidth(3) = %d", Width())
+	}
+	SetWidth(-5)
+	if got := Width(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Width() after SetWidth(-5) = %d, want GOMAXPROCS", got)
+	}
+	SetWidth(0)
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 9} {
+		withWidth(t, w, func() {
+			for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+				counts := make([]int32, n)
+				For(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("width %d n %d: index %d ran %d times", w, n, i, c)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestForParallelWritesAreJoined(t *testing.T) {
+	// Index-distinct writes without atomics must be visible after the join.
+	withWidth(t, 4, func() {
+		out := make([]int, 512)
+		For(len(out), func(i int) { out[i] = i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("out[%d] = %d after join", i, v)
+			}
+		}
+	})
+}
+
+func TestChunkRangesFixedAndExhaustive(t *testing.T) {
+	withWidth(t, 4, func() {
+		for _, n := range []int{1, 2, 3, 4, 5, 17, 100} {
+			chunks := ChunkRanges(n)
+			if len(chunks) > 4 {
+				t.Fatalf("n=%d: %d chunks exceeds width", n, len(chunks))
+			}
+			next := 0
+			for _, ch := range chunks {
+				if ch[0] != next || ch[1] <= ch[0] {
+					t.Fatalf("n=%d: bad chunk %v (expected lo %d)", n, ch, next)
+				}
+				next = ch[1]
+			}
+			if next != n {
+				t.Fatalf("n=%d: chunks end at %d", n, next)
+			}
+		}
+	})
+}
+
+func TestRangesMatchesChunkRanges(t *testing.T) {
+	withWidth(t, 3, func() {
+		want := ChunkRanges(10)
+		var mu atomic.Int32
+		got := make([][2]int, len(want))
+		Ranges(10, func(lo, hi int) {
+			got[mu.Add(1)-1] = [2]int{lo, hi}
+		})
+		// Order of execution is not fixed; compare as a set.
+		seen := map[[2]int]bool{}
+		for _, g := range got {
+			seen[g] = true
+		}
+		for _, w := range want {
+			if !seen[w] {
+				t.Fatalf("range %v not executed (got %v)", w, got)
+			}
+		}
+	})
+}
+
+func TestNestedFanOutCompletesAndIsBounded(t *testing.T) {
+	// Nested For inside For must not deadlock and must keep concurrency
+	// at or below the width.
+	withWidth(t, 4, func() {
+		var active, peak atomic.Int32
+		enter := func() {
+			a := active.Add(1)
+			for {
+				p := peak.Load()
+				if a <= p || peak.CompareAndSwap(p, a) {
+					break
+				}
+			}
+		}
+		out := make([][]int, 16)
+		For(16, func(i int) {
+			enter()
+			defer active.Add(-1)
+			row := make([]int, 32)
+			For(32, func(j int) {
+				enter()
+				defer active.Add(-1)
+				row[j] = i + j
+			})
+			out[i] = row
+		})
+		if p := peak.Load(); p > 4 {
+			t.Errorf("peak concurrency %d exceeds width 4", p)
+		}
+		for i, row := range out {
+			for j, v := range row {
+				if v != i+j {
+					t.Fatalf("out[%d][%d] = %d", i, j, v)
+				}
+			}
+		}
+	})
+}
+
+func TestSubmitOverlapsAndJoins(t *testing.T) {
+	withWidth(t, 4, func() {
+		vals := make([]int, 8)
+		handles := make([]*Handle, 8)
+		for i := range handles {
+			i := i
+			handles[i] = Submit(func() { vals[i] = i + 1 })
+		}
+		for i, h := range handles {
+			h.Wait()
+			h.Wait() // idempotent
+			if vals[i] != i+1 {
+				t.Fatalf("vals[%d] = %d after Wait", i, vals[i])
+			}
+		}
+	})
+}
+
+func TestSubmitRunsInlineWhenSaturated(t *testing.T) {
+	withWidth(t, 1, func() {
+		ran := false
+		h := Submit(func() { ran = true })
+		if !ran {
+			t.Fatal("width-1 Submit did not run inline")
+		}
+		h.Wait()
+	})
+}
+
+func TestSerialWidthRunsInOrder(t *testing.T) {
+	withWidth(t, 1, func() {
+		var order []int
+		For(10, func(i int) { order = append(order, i) })
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("serial order %v", order)
+			}
+		}
+	})
+}

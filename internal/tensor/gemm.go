@@ -1,8 +1,7 @@
 package tensor
 
 import (
-	"runtime"
-	"sync"
+	"scaledl/internal/par"
 )
 
 // gemmParallelThreshold is the output-element count above which MatMul
@@ -163,36 +162,18 @@ func gemm(c, a, b []float32, m, n, k int, acc bool) {
 	parallelRows(m, m*n, rows)
 }
 
-// parallelRows splits [0,m) across workers when the output is big enough.
-// Each worker handles a contiguous, statically assigned row range, so float
-// summation order per output element never depends on scheduling.
+// parallelRows splits [0,m) across the shared par pool when the output is
+// big enough. Each chunk is a contiguous, statically assigned row range
+// (par.ChunkRanges), so float summation order per output element never
+// depends on scheduling; when this GEMM is itself issued from inside a pool
+// task (a conv chunk of a worker fan-out) the nested call runs inline
+// rather than oversubscribing the machine.
 func parallelRows(m, outElems int, f func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if outElems < gemmParallelThreshold || workers < 2 || m < 2 {
+	if outElems < gemmParallelThreshold || par.Width() < 2 || m < 2 {
 		f(0, m)
 		return
 	}
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= m {
-			break
-		}
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	par.Ranges(m, f)
 }
 
 // MatVec computes y = A·x for a row-major m×n matrix A.
