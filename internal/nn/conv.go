@@ -100,14 +100,9 @@ func (l *Conv2D) Forward(x []float32, b int, train bool) []float32 {
 			tensor.Im2col(ci, x[i*inDim:(i+1)*inDim], l.in.C, l.in.H, l.in.W, l.kernel, l.kernel, l.stride, l.pad)
 			cm := tensor.Wrap(ci, kcc, spatial)
 			om := tensor.Wrap(out[i*outDim:(i+1)*outDim], l.filters, spatial)
-			tensor.MatMul(om, wMat, cm)
-			for f := 0; f < l.filters; f++ {
-				bias := l.b[f]
-				row := om.Data[f*spatial : (f+1)*spatial]
-				for j := range row {
-					row[j] += bias
-				}
-			}
+			// Per-filter bias rides in the GEMM store epilogue instead of a
+			// second pass over the output.
+			tensor.MatMulBiasRow(om, wMat, cm, l.b)
 		}
 	})
 	if train {

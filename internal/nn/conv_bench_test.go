@@ -1,0 +1,40 @@
+package nn
+
+import (
+	"testing"
+
+	"scaledl/internal/tensor"
+)
+
+// LeNet conv2 geometry: the hottest layer of the training harness.
+func benchConv() (*Conv2D, []float32, int) {
+	in := Shape{C: 20, H: 12, W: 12}
+	l := NewConv2D(in, 50, 5, 1, 0)
+	params := make([]float32, l.ParamCount())
+	grads := make([]float32, l.ParamCount())
+	l.Bind(params, grads)
+	l.Init(tensor.NewRNG(31))
+	const b = 16
+	x := make([]float32, b*in.Dim())
+	tensor.NewRNG(32).FillNormal(x, 0, 1)
+	return l, x, b
+}
+
+func BenchmarkConv2DForward(b *testing.B) {
+	l, x, batch := benchConv()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x, batch, true)
+	}
+}
+
+func BenchmarkConv2DBackward(b *testing.B) {
+	l, x, batch := benchConv()
+	out := l.Forward(x, batch, true)
+	dy := make([]float32, len(out))
+	tensor.NewRNG(33).FillNormal(dy, 0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Backward(dy, batch)
+	}
+}

@@ -60,13 +60,8 @@ func (l *Dense) Forward(x []float32, b int, train bool) []float32 {
 	xm := tensor.Wrap(x, b, l.inDim)
 	wm := tensor.Wrap(l.w, l.units, l.inDim)
 	om := tensor.Wrap(out, b, l.units)
-	tensor.MatMulTransB(om, xm, wm) // (b×D)·(F×D)ᵀ = b×F
-	for i := 0; i < b; i++ {
-		row := out[i*l.units : (i+1)*l.units]
-		for j := range row {
-			row[j] += l.b[j]
-		}
-	}
+	// (b×D)·(F×D)ᵀ = b×F, with the per-unit bias fused into the GEMM store.
+	tensor.MatMulTransBBiasCol(om, xm, wm, l.b)
 	if train {
 		l.lastX, l.lastB = x, b
 	}
@@ -79,10 +74,9 @@ func (l *Dense) Backward(dy []float32, b int) []float32 {
 	}
 	dym := tensor.Wrap(dy, b, l.units)
 	xm := tensor.Wrap(l.lastX, b, l.inDim)
-	// dW += dYᵀ·X  (F×D)
-	tmp := tensor.New(l.units, l.inDim)
-	tensor.MatMulTransA(tmp, dym, xm)
-	tensor.AXPY(1, tmp.Data, l.dw)
+	// dW += dYᵀ·X (F×D), accumulated in-place by the engine — no temporary.
+	dwm := tensor.Wrap(l.dw, l.units, l.inDim)
+	tensor.MatMulAddTransA(dwm, dym, xm)
 	// db += column sums of dY
 	for i := 0; i < b; i++ {
 		row := dy[i*l.units : (i+1)*l.units]

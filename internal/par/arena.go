@@ -1,0 +1,49 @@
+package par
+
+import "sync"
+
+// Arena is a free list of reusable scratch buffers for pool tasks. Hot
+// kernels (the packed GEMM in internal/tensor) need packing buffers on every
+// call; allocating them would dominate small operations and churn the GC, and
+// a single global buffer would race when the same kernel runs concurrently on
+// several pool slots (for example one GEMM per conv chunk of a worker
+// fan-out). An Arena hands each concurrent caller its own slot: Get pops a
+// retained buffer (growing it if needed) and Put returns it. In steady state
+// the arena holds at most one buffer per concurrently-executing pool task —
+// bounded by the pool width W — so after warm-up Get/Put allocate nothing,
+// which is what keeps the packed GEMM at zero allocations per call.
+//
+// The zero value is ready to use. Buffers are returned with their previous
+// contents (callers must overwrite what they read), and a buffer must not be
+// used after Put.
+type Arena[T any] struct {
+	mu   sync.Mutex
+	free [][]T
+}
+
+// Get returns a scratch buffer of length n, reusing a retained one when its
+// capacity suffices. The contents are unspecified.
+func (a *Arena[T]) Get(n int) []T {
+	a.mu.Lock()
+	var buf []T
+	if last := len(a.free) - 1; last >= 0 {
+		buf = a.free[last]
+		a.free[last] = nil
+		a.free = a.free[:last]
+	}
+	a.mu.Unlock()
+	if cap(buf) < n {
+		buf = make([]T, n)
+	}
+	return buf[:n]
+}
+
+// Put returns buf to the arena for reuse. buf may be nil.
+func (a *Arena[T]) Put(buf []T) {
+	if cap(buf) == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.free = append(a.free, buf)
+	a.mu.Unlock()
+}

@@ -1,0 +1,79 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArenaReusesBuffers(t *testing.T) {
+	var a Arena[float32]
+	b1 := a.Get(100)
+	if len(b1) != 100 {
+		t.Fatalf("Get(100) returned len %d", len(b1))
+	}
+	a.Put(b1)
+	b2 := a.Get(50)
+	if len(b2) != 50 || cap(b2) < 100 {
+		t.Fatalf("Get(50) after Put should reuse the 100-cap buffer, got len %d cap %d", len(b2), cap(b2))
+	}
+	a.Put(b2)
+	b3 := a.Get(200)
+	if len(b3) != 200 {
+		t.Fatalf("Get(200) returned len %d", len(b3))
+	}
+}
+
+func TestArenaSteadyStateAllocFree(t *testing.T) {
+	var a Arena[float32]
+	a.Put(a.Get(256)) // warm up
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf := a.Get(256)
+		a.Put(buf)
+	}); allocs != 0 {
+		t.Errorf("steady-state Get/Put allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestArenaConcurrentDistinctBuffers checks that concurrent holders never
+// share a buffer — the property the packed GEMM relies on when several pool
+// tasks pack operands at once.
+func TestArenaConcurrentDistinctBuffers(t *testing.T) {
+	var a Arena[int]
+	const workers = 8
+	var mu sync.Mutex
+	live := make(map[*int]int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				buf := a.Get(64)
+				p := &buf[0]
+				mu.Lock()
+				if owner, ok := live[p]; ok {
+					t.Errorf("buffer shared between holders %d and %d", owner, id)
+				}
+				live[p] = id
+				mu.Unlock()
+				buf[0] = id
+				if buf[0] != id {
+					t.Errorf("buffer clobbered")
+				}
+				mu.Lock()
+				delete(live, p)
+				mu.Unlock()
+				a.Put(buf)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestArenaZeroValueAndNilPut(t *testing.T) {
+	var a Arena[byte]
+	a.Put(nil) // must be a no-op
+	if got := a.Get(8); len(got) != 8 {
+		t.Fatalf("Get(8) on zero-value arena returned len %d", len(got))
+	}
+}

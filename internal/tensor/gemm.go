@@ -4,203 +4,360 @@ import (
 	"scaledl/internal/par"
 )
 
-// gemmParallelThreshold is the output-element count above which MatMul
-// fans work out across OS threads. Below it, goroutine fan-out costs more
-// than it saves on the small matrices LeNet produces.
-const gemmParallelThreshold = 64 * 1024
+// This file is the packed, register-tiled GEMM engine. Every matrix-product
+// variant in the module — plain, accumulating, either-operand-transposed,
+// bias-fused — funnels into one blocked kernel (gemmRun) instead of five
+// ad-hoc loop nests: the transposed layouts are absorbed while packing the
+// operands (pack.go), so the gradient-path products run exactly as fast as
+// the forward one, and the bias add of the conv/dense layers rides along in
+// the store epilogue instead of a second pass over the output.
+//
+// # Determinism
+//
+// Every element of C is the k-ordered sum Σ_p A[i][p]·B[p][j]: the
+// micro-kernel accumulates p strictly in order inside a KC panel, and the
+// panels are applied in order by the serial pc loop. Parallel fan-out
+// partitions only the M dimension (static par.ChunkRanges tiles), so each
+// output element is produced entirely by one task with the same summation
+// order as a serial run — results are bit-identical across pool widths,
+// scheduling, and par.SetSerial, which is stronger than the per-width
+// contract the rest of the module needs.
 
-// blockK is the K-dimension blocking factor for the inner GEMM kernel.
-const blockK = 64
+// gemmParallelFlops is the multiply-accumulate count above which a single
+// GEMM fans its row tiles out across the par pool. Below it (every per-image
+// conv GEMM in the model zoo) goroutine dispatch costs more than it saves,
+// and the engine stays strictly allocation-free.
+const gemmParallelFlops = 1 << 21
+
+// gemmScratch recycles the packing buffers; see par.Arena. After warm-up the
+// hot path performs zero allocations per call (pinned by TestGEMMZeroAllocs).
+var gemmScratch par.Arena[float32]
+
+// gemmOp describes one C = α-less GEMM: C (m×n, row stride ldc) gains A·B
+// with A read through strides (rsA, csA) as a logical m×k matrix and B
+// through (rsB, csB) as a logical k×n one. acc accumulates into C instead of
+// overwriting; biasRow/biasCol (mutually exclusive, only with acc=false)
+// fold a per-row or per-column bias into the first store.
+type gemmOp struct {
+	c        []float32
+	ldc      int
+	a        []float32
+	rsA, csA int
+	b        []float32
+	rsB, csB int
+	m, n, k  int
+	acc      bool
+	biasRow  []float32
+	biasCol  []float32
+}
 
 // MatMul computes C = A·B for row-major matrices. A is m×k, B is k×n, and C
-// must be m×n. The row partitioning across workers is fixed by row index, so
-// the result is bit-deterministic regardless of scheduling or GOMAXPROCS:
-// each output row is produced by exactly one worker with a fixed summation
-// order.
+// must be m×n.
 func MatMul(c, a, b *Tensor) {
-	m, k := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
+	m, n, k := checkMatMul(c, a, b, false, false)
+	gemmRun(gemmOp{c: c.Data, ldc: n, a: a.Data, rsA: k, csA: 1, b: b.Data, rsB: n, csB: 1, m: m, n: n, k: k})
+}
+
+// MatMulAdd computes C += A·B (accumulating into C).
+func MatMulAdd(c, a, b *Tensor) {
+	m, n, k := checkMatMul(c, a, b, false, false)
+	gemmRun(gemmOp{c: c.Data, ldc: n, a: a.Data, rsA: k, csA: 1, b: b.Data, rsB: n, csB: 1, m: m, n: n, k: k, acc: true})
+}
+
+// MatMulBiasRow computes C = A·B + bias with bias broadcast along rows:
+// C[i][j] = (A·B)[i][j] + bias[i]. It is the conv-forward epilogue (one bias
+// per filter row) fused into the GEMM store.
+func MatMulBiasRow(c, a, b *Tensor, bias []float32) {
+	m, n, k := checkMatMul(c, a, b, false, false)
+	if len(bias) != m {
+		panic("tensor: MatMulBiasRow bias length mismatch")
+	}
+	gemmRun(gemmOp{c: c.Data, ldc: n, a: a.Data, rsA: k, csA: 1, b: b.Data, rsB: n, csB: 1, m: m, n: n, k: k, biasRow: bias})
+}
+
+// MatMulTransA computes C = Aᵀ·B where A is stored k×m (so Aᵀ is m×k) and B
+// is k×n. The transposition is absorbed at pack time.
+func MatMulTransA(c, a, b *Tensor) {
+	m, n, k := checkMatMul(c, a, b, true, false)
+	gemmRun(gemmOp{c: c.Data, ldc: n, a: a.Data, rsA: 1, csA: m, b: b.Data, rsB: n, csB: 1, m: m, n: n, k: k})
+}
+
+// MatMulAddTransA computes C += Aᵀ·B where A is stored k×m and B is k×n.
+// This is the dense-layer weight-gradient kernel (dW += dYᵀ·X) without any
+// temporary.
+func MatMulAddTransA(c, a, b *Tensor) {
+	m, n, k := checkMatMul(c, a, b, true, false)
+	gemmRun(gemmOp{c: c.Data, ldc: n, a: a.Data, rsA: 1, csA: m, b: b.Data, rsB: n, csB: 1, m: m, n: n, k: k, acc: true})
+}
+
+// MatMulTransB computes C = A·Bᵀ where A is m×k and B is stored n×k.
+func MatMulTransB(c, a, b *Tensor) {
+	m, n, k := checkMatMul(c, a, b, false, true)
+	gemmRun(gemmOp{c: c.Data, ldc: n, a: a.Data, rsA: k, csA: 1, b: b.Data, rsB: 1, csB: k, m: m, n: n, k: k})
+}
+
+// MatMulTransBBiasCol computes C = A·Bᵀ + bias with bias broadcast along
+// columns: C[i][j] = (A·Bᵀ)[i][j] + bias[j]. It is the dense-forward
+// epilogue (one bias per output unit) fused into the GEMM store.
+func MatMulTransBBiasCol(c, a, b *Tensor, bias []float32) {
+	m, n, k := checkMatMul(c, a, b, false, true)
+	if len(bias) != n {
+		panic("tensor: MatMulTransBBiasCol bias length mismatch")
+	}
+	gemmRun(gemmOp{c: c.Data, ldc: n, a: a.Data, rsA: k, csA: 1, b: b.Data, rsB: 1, csB: k, m: m, n: n, k: k, biasCol: bias})
+}
+
+// MatMulAdd2TransB computes C += A·Bᵀ where A is m×k and B is stored n×k,
+// accumulating into C. This is the convolution weight-gradient kernel
+// (dW += dy·colsᵀ).
+func MatMulAdd2TransB(c, a, b *Tensor) {
+	m, n, k := checkMatMul(c, a, b, false, true)
+	gemmRun(gemmOp{c: c.Data, ldc: n, a: a.Data, rsA: k, csA: 1, b: b.Data, rsB: 1, csB: k, m: m, n: n, k: k, acc: true})
+}
+
+// checkMatMul validates the operand shapes of a (possibly transposed)
+// product and returns the logical (m, n, k).
+func checkMatMul(c, a, b *Tensor, transA, transB bool) (m, n, k int) {
+	m, k = a.Shape[0], a.Shape[1]
+	if transA {
+		k, m = m, k
+	}
+	kb, n := b.Shape[0], b.Shape[1]
+	if transB {
+		n, kb = kb, n
+	}
+	if k != kb {
 		panic("tensor: MatMul inner dimension mismatch")
 	}
 	if c.Shape[0] != m || c.Shape[1] != n {
 		panic("tensor: MatMul output shape mismatch")
 	}
-	gemm(c.Data, a.Data, b.Data, m, n, k, false)
+	return m, n, k
 }
 
-// MatMulAdd computes C += A·B (accumulating into C).
-func MatMulAdd(c, a, b *Tensor) {
-	m, k := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic("tensor: MatMulAdd inner dimension mismatch")
+// gemmRun drives the blocked loops: jc over N in NC slabs, pc over K in KC
+// panels (B packed once per slab×panel), then the M dimension — fanned out
+// over the pool in static row-tile chunks when the product is big enough —
+// packs A in MC blocks and sweeps the micro-kernel.
+func gemmRun(op gemmOp) {
+	m, n, k := op.m, op.n, op.k
+	if m == 0 || n == 0 {
+		return
 	}
-	if c.Shape[0] != m || c.Shape[1] != n {
-		panic("tensor: MatMulAdd output shape mismatch")
+	if k == 0 {
+		gemmEpilogueOnly(op)
+		return
 	}
-	gemm(c.Data, a.Data, b.Data, m, n, k, true)
+	mTiles := (m + MR - 1) / MR
+	var chunks [][2]int
+	if par.Width() > 1 && mTiles >= 2 && m*n*k >= gemmParallelFlops {
+		chunks = par.ChunkRanges(mTiles)
+	}
+	nChunks := len(chunks)
+	if nChunks == 0 {
+		nChunks = 1
+	}
+	kcMax := k
+	if kcMax > KC {
+		kcMax = KC
+	}
+	ncMax := (n + NR - 1) / NR * NR
+	if ncMax > NC {
+		ncMax = NC
+	}
+	aMax := mTiles * MR
+	if aMax > MC {
+		aMax = MC
+	}
+	aMax *= kcMax
+	buf := gemmScratch.Get(ncMax*kcMax + nChunks*aMax)
+	bBuf := buf[:ncMax*kcMax]
+	aBufs := buf[ncMax*kcMax:]
+	for jc := 0; jc < n; jc += NC {
+		nc := n - jc
+		if nc > NC {
+			nc = NC
+		}
+		for pc := 0; pc < k; pc += KC {
+			kc := k - pc
+			if kc > KC {
+				kc = KC
+			}
+			packB(bBuf, op.b, op.rsB, op.csB, pc, jc, nc, kc)
+			first := pc == 0
+			if len(chunks) <= 1 {
+				gemmChunk(op, aBufs[:aMax], bBuf, jc, pc, nc, kc, 0, mTiles, first)
+			} else {
+				gemmFanOut(op, aBufs, aMax, bBuf, jc, pc, nc, kc, chunks, first)
+			}
+		}
+	}
+	gemmScratch.Put(buf)
 }
 
-// MatMulTransA computes C = Aᵀ·B where A is k×m (so Aᵀ is m×k), B is k×n.
-func MatMulTransA(c, a, b *Tensor) {
-	k, m := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic("tensor: MatMulTransA inner dimension mismatch")
+// gemmFanOut runs one (jc, pc) panel's row tiles across the pool. It lives
+// apart from gemmRun so the serial path never materializes the closure (that
+// would cost an allocation per call even when it isn't taken). Chunk
+// boundaries come from par.ChunkRanges, so tile ownership is static and each
+// chunk packs A into its own slice of the scratch buffer.
+func gemmFanOut(op gemmOp, aBufs []float32, aMax int, bBuf []float32, jc, pc, nc, kc int, chunks [][2]int, first bool) {
+	par.For(len(chunks), func(ci int) {
+		gemmChunk(op, aBufs[ci*aMax:][:aMax], bBuf, jc, pc, nc, kc, chunks[ci][0], chunks[ci][1], first)
+	})
+}
+
+// gemmChunk computes the row tiles [tileLo, tileHi) of one (jc, pc) panel:
+// for each MC block it packs A and sweeps the packed B panels with the
+// micro-kernel, storing each MR×NR register tile through storeTile.
+func gemmChunk(op gemmOp, aBuf, bBuf []float32, jc, pc, nc, kc, tileLo, tileHi int, first bool) {
+	rowEnd := tileHi * MR
+	if rowEnd > op.m {
+		rowEnd = op.m
 	}
-	if c.Shape[0] != m || c.Shape[1] != n {
-		panic("tensor: MatMulTransA output shape mismatch")
+	var tile [MR * NR]float32
+	for i0 := tileLo * MR; i0 < rowEnd; i0 += MC {
+		mc := rowEnd - i0
+		if mc > MC {
+			mc = MC
+		}
+		packA(aBuf, op.a, op.rsA, op.csA, i0, pc, mc, kc)
+		mcTiles := (mc + MR - 1) / MR
+		for jr := 0; jr < nc; jr += NR {
+			bp := bBuf[(jr/NR)*NR*kc:][:NR*kc]
+			nrv := nc - jr
+			if nrv > NR {
+				nrv = NR
+			}
+			for ti := 0; ti < mcTiles; ti++ {
+				microKernel(aBuf[ti*MR*kc:][:MR*kc], bp, kc, &tile)
+				row := i0 + ti*MR
+				mrv := op.m - row
+				if mrv > MR {
+					mrv = MR
+				}
+				storeTile(op, row, jc+jr, mrv, nrv, &tile, first)
+			}
+		}
 	}
-	// Compute row i of C as sum over t of A[t][i] * B[t][:]. Deterministic
-	// row partitioning as in gemm.
-	rows := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := c.Data[i*n : (i+1)*n]
+}
+
+// storeTile writes the valid mr×nr region of a register tile into C. The
+// first K panel overwrites (or seeds with the fused bias); later panels and
+// accumulate-mode ops add.
+func storeTile(op gemmOp, row, col, mr, nr int, t *[MR * NR]float32, first bool) {
+	acc := op.acc || !first
+	for i := 0; i < mr; i++ {
+		ci := op.c[(row+i)*op.ldc+col:][:nr]
+		ti := t[i*NR:][:nr]
+		switch {
+		case acc:
+			for j, v := range ti {
+				ci[j] += v
+			}
+		case op.biasRow != nil:
+			br := op.biasRow[row+i]
+			for j, v := range ti {
+				ci[j] = v + br
+			}
+		case op.biasCol != nil:
+			bc := op.biasCol[col:][:nr]
+			for j, v := range ti {
+				ci[j] = v + bc[j]
+			}
+		default:
+			copy(ci, ti)
+		}
+	}
+}
+
+// gemmEpilogueOnly handles the degenerate k = 0 product: the sum over an
+// empty K dimension is zero, so C is zeroed (or seeded with the bias) unless
+// the op accumulates, in which case it is untouched.
+func gemmEpilogueOnly(op gemmOp) {
+	if op.acc {
+		return
+	}
+	for i := 0; i < op.m; i++ {
+		ci := op.c[i*op.ldc:][:op.n]
+		switch {
+		case op.biasRow != nil:
+			br := op.biasRow[i]
+			for j := range ci {
+				ci[j] = br
+			}
+		case op.biasCol != nil:
+			copy(ci, op.biasCol[:op.n])
+		default:
 			for j := range ci {
 				ci[j] = 0
 			}
-			for t := 0; t < k; t++ {
-				av := a.Data[t*m+i]
-				if av == 0 {
-					continue
-				}
-				bt := b.Data[t*n : (t+1)*n]
-				for j, bv := range bt {
-					ci[j] += av * bv
-				}
-			}
-		}
-	}
-	parallelRows(m, m*n, rows)
-}
-
-// MatMulAdd2TransB computes C += A·Bᵀ where A is m×k and B is n×k,
-// accumulating into C. This is the convolution weight-gradient kernel
-// (dW += dy·colsᵀ); it runs serially because callers accumulate per-chunk
-// partials in parallel around it.
-func MatMulAdd2TransB(c, a, b *Tensor) {
-	m, k := a.Shape[0], a.Shape[1]
-	n, k2 := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic("tensor: MatMulAdd2TransB inner dimension mismatch")
-	}
-	if c.Shape[0] != m || c.Shape[1] != n {
-		panic("tensor: MatMulAdd2TransB output shape mismatch")
-	}
-	for i := 0; i < m; i++ {
-		ai := a.Data[i*k : (i+1)*k]
-		ci := c.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := b.Data[j*k : (j+1)*k]
-			var s float32
-			for t, av := range ai {
-				s += av * bj[t]
-			}
-			ci[j] += s
 		}
 	}
 }
 
-// MatMulTransB computes C = A·Bᵀ where A is m×k and B is n×k.
-func MatMulTransB(c, a, b *Tensor) {
-	m, k := a.Shape[0], a.Shape[1]
-	n, k2 := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic("tensor: MatMulTransB inner dimension mismatch")
-	}
-	if c.Shape[0] != m || c.Shape[1] != n {
-		panic("tensor: MatMulTransB output shape mismatch")
-	}
-	rows := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a.Data[i*k : (i+1)*k]
-			ci := c.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				bj := b.Data[j*k : (j+1)*k]
-				var s float32
-				for t, av := range ai {
-					s += av * bj[t]
-				}
-				ci[j] = s
-			}
-		}
-	}
-	parallelRows(m, m*n, rows)
-}
-
-// gemm is the shared row-major kernel: C (m×n) = A (m×k) · B (k×n), with
-// optional accumulation. It blocks over K so the active B panel stays in
-// cache, and vector-izes the inner loop over columns of B.
-func gemm(c, a, b []float32, m, n, k int, acc bool) {
-	rows := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := c[i*n : (i+1)*n]
-			if !acc {
-				for j := range ci {
-					ci[j] = 0
-				}
-			}
-			for t0 := 0; t0 < k; t0 += blockK {
-				t1 := t0 + blockK
-				if t1 > k {
-					t1 = k
-				}
-				for t := t0; t < t1; t++ {
-					av := a[i*k+t]
-					if av == 0 {
-						continue
-					}
-					bt := b[t*n : (t+1)*n]
-					for j, bv := range bt {
-						ci[j] += av * bv
-					}
-				}
-			}
-		}
-	}
-	parallelRows(m, m*n, rows)
-}
-
-// parallelRows splits [0,m) across the shared par pool when the output is
-// big enough. Each chunk is a contiguous, statically assigned row range
-// (par.ChunkRanges), so float summation order per output element never
-// depends on scheduling; when this GEMM is itself issued from inside a pool
-// task (a conv chunk of a worker fan-out) the nested call runs inline
-// rather than oversubscribing the machine.
-func parallelRows(m, outElems int, f func(lo, hi int)) {
-	if outElems < gemmParallelThreshold || par.Width() < 2 || m < 2 {
-		f(0, m)
-		return
-	}
-	par.Ranges(m, f)
-}
-
-// MatVec computes y = A·x for a row-major m×n matrix A.
+// MatVec computes y = A·x for a row-major m×n matrix A, using the shared
+// unrolled-accumulator dot product.
 func MatVec(y []float32, a *Tensor, x []float32) {
 	m, n := a.Shape[0], a.Shape[1]
 	if len(x) != n || len(y) != m {
 		panic("tensor: MatVec shape mismatch")
 	}
 	for i := 0; i < m; i++ {
-		ai := a.Data[i*n : (i+1)*n]
-		var s float32
-		for j, v := range ai {
-			s += v * x[j]
-		}
-		y[i] = s
+		y[i] = dotUnroll(a.Data[i*n:(i+1)*n], x)
 	}
 }
 
-// Transpose writes Aᵀ into dst. A is m×n, dst must be n×m.
+// transposeBlock is the square tile edge of the cache-blocked Transpose:
+// source and destination tiles (64×64 float32 = 16 KiB each) stay
+// cache-resident together, so the stride-m writes stop thrashing on large
+// matrices.
+const transposeBlock = 64
+
+// Transpose writes Aᵀ into dst. A is m×n, dst must be n×m. Within each cache
+// block it moves a four-row strip of the source per sweep, so every strided
+// destination step retires four contiguous writes instead of one. The strip
+// height is its own constant (it must match the r0..r3 unroll below), not
+// the register-tile height MR.
 func Transpose(dst, a *Tensor) {
+	const strip = 4
 	m, n := a.Shape[0], a.Shape[1]
 	if dst.Shape[0] != n || dst.Shape[1] != m {
 		panic("tensor: Transpose shape mismatch")
 	}
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			dst.Data[j*m+i] = a.Data[i*n+j]
+	d, s := dst.Data, a.Data
+	for ii := 0; ii < m; ii += transposeBlock {
+		iHi := ii + transposeBlock
+		if iHi > m {
+			iHi = m
+		}
+		for jj := 0; jj < n; jj += transposeBlock {
+			jHi := jj + transposeBlock
+			if jHi > n {
+				jHi = n
+			}
+			i := ii
+			for ; i+strip <= iHi; i += strip {
+				r0 := s[i*n : i*n+n]
+				r1 := s[(i+1)*n : (i+1)*n+n]
+				r2 := s[(i+2)*n : (i+2)*n+n]
+				r3 := s[(i+3)*n : (i+3)*n+n]
+				di := jj*m + i
+				for j := jj; j < jHi; j++ {
+					d[di] = r0[j]
+					d[di+1] = r1[j]
+					d[di+2] = r2[j]
+					d[di+3] = r3[j]
+					di += m
+				}
+			}
+			for ; i < iHi; i++ {
+				row := s[i*n+jj : i*n+jHi]
+				di := jj*m + i
+				for _, v := range row {
+					d[di] = v
+					di += m
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,147 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmark shapes mirror the GEMMs the conv and dense layers actually
+// issue: C = W·cols on the forward path, dcols = Wᵀ·dy and dW += dy·colsᵀ
+// on the backward path, plus the dense-layer C = X·Wᵀ. Dimensions are the
+// (m, n, k) of the logical product C(m×n) = A(m×k)·B(k×n).
+var gemmBenchShapes = []struct{ m, n, k int }{
+	{20, 500, 576},
+	{50, 500, 800},
+	{64, 500, 800},
+}
+
+func benchShapeName(m, n, k int) string { return fmt.Sprintf("%dx%dx%d", m, n, k) }
+
+func BenchmarkGEMM(b *testing.B) {
+	for _, s := range gemmBenchShapes {
+		g := NewRNG(21)
+		a := randMat(g, s.m, s.k)
+		bb := randMat(g, s.k, s.n)
+		c := New(s.m, s.n)
+		b.Run(benchShapeName(s.m, s.n, s.k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMul(c, a, bb)
+			}
+			reportGFLOPS(b, s.m, s.n, s.k)
+		})
+	}
+}
+
+// BenchmarkGEMMTransA is the conv input-gradient shape: dcols(k×n) = Wᵀ·dy
+// with W stored m-major — the engine absorbs the transposition at pack time.
+func BenchmarkGEMMTransA(b *testing.B) {
+	for _, s := range gemmBenchShapes {
+		g := NewRNG(22)
+		a := randMat(g, s.k, s.m) // stored k×m, logical Aᵀ is m×k
+		bb := randMat(g, s.k, s.n)
+		c := New(s.m, s.n)
+		b.Run(benchShapeName(s.m, s.n, s.k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulTransA(c, a, bb)
+			}
+			reportGFLOPS(b, s.m, s.n, s.k)
+		})
+	}
+}
+
+// BenchmarkGEMMTransB is the dense-forward shape: C = X·Wᵀ with W stored F×D.
+func BenchmarkGEMMTransB(b *testing.B) {
+	for _, s := range gemmBenchShapes {
+		g := NewRNG(23)
+		a := randMat(g, s.m, s.k)
+		bb := randMat(g, s.n, s.k) // stored n×k, logical Bᵀ is k×n
+		c := New(s.m, s.n)
+		b.Run(benchShapeName(s.m, s.n, s.k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulTransB(c, a, bb)
+			}
+			reportGFLOPS(b, s.m, s.n, s.k)
+		})
+	}
+}
+
+// BenchmarkGEMMAddTransB is the conv weight-gradient shape: dW += dy·colsᵀ.
+func BenchmarkGEMMAddTransB(b *testing.B) {
+	for _, s := range gemmBenchShapes {
+		g := NewRNG(24)
+		a := randMat(g, s.m, s.k)
+		bb := randMat(g, s.n, s.k)
+		c := New(s.m, s.n)
+		b.Run(benchShapeName(s.m, s.n, s.k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulAdd2TransB(c, a, bb)
+			}
+			reportGFLOPS(b, s.m, s.n, s.k)
+		})
+	}
+}
+
+func reportGFLOPS(b *testing.B, m, n, k int) {
+	flops := 2 * float64(m) * float64(n) * float64(k) * float64(b.N)
+	b.ReportMetric(flops/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func BenchmarkIm2col(b *testing.B) {
+	// LeNet conv2 geometry: 20 input channels, 12×12 spatial, 5×5 kernel.
+	c, h, w, kh, kw, stride, pad := 20, 12, 12, 5, 5, 1, 0
+	oh := OutDim(h, kh, stride, pad)
+	ow := OutDim(w, kw, stride, pad)
+	src := make([]float32, c*h*w)
+	NewRNG(25).FillNormal(src, 0, 1)
+	dst := make([]float32, c*kh*kw*oh*ow)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Im2col(dst, src, c, h, w, kh, kw, stride, pad)
+	}
+}
+
+func BenchmarkCol2im(b *testing.B) {
+	c, h, w, kh, kw, stride, pad := 20, 12, 12, 5, 5, 1, 0
+	oh := OutDim(h, kh, stride, pad)
+	ow := OutDim(w, kw, stride, pad)
+	src := make([]float32, c*kh*kw*oh*ow)
+	NewRNG(26).FillNormal(src, 0, 1)
+	dst := make([]float32, c*h*w)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Col2im(dst, src, c, h, w, kh, kw, stride, pad)
+	}
+}
+
+// benchSink defeats dead-code elimination: without it the compiler can
+// inline a kernel into the loop, prove the output is never read, and delete
+// the arithmetic being measured.
+var benchSink float32
+
+func BenchmarkTranspose(b *testing.B) {
+	g := NewRNG(27)
+	a := randMat(g, 500, 800)
+	dst := New(800, 500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Transpose(dst, a)
+		benchSink += dst.Data[0]
+	}
+}
+
+func BenchmarkMatVec(b *testing.B) {
+	g := NewRNG(28)
+	a := randMat(g, 500, 800)
+	x := make([]float32, 800)
+	y := make([]float32, 500)
+	g.FillNormal(x, 0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatVec(y, a, x)
+		benchSink += y[0]
+	}
+}

@@ -6,6 +6,12 @@ package tensor
 // height h, width w); the output is a (c*kh*kw) × (oh*ow) row-major matrix
 // where oh/ow are the output spatial dims for the given kernel, stride and
 // zero padding.
+//
+// These are the hottest loops after GEMM itself, so the per-element bounds
+// branch is hoisted out of the inner ox sweep: for a fixed kernel tap kx the
+// in-bounds output range [oxLo, oxHi) is known up front (colRange), the
+// padding prefix/suffix are plain zero fills, and the stride-1 interior —
+// every conv in the model zoo — collapses to a single copy.
 func Im2col(dst []float32, src []float32, c, h, w, kh, kw, stride, pad int) {
 	oh := OutDim(h, kh, stride, pad)
 	ow := OutDim(w, kw, stride, pad)
@@ -17,24 +23,32 @@ func Im2col(dst []float32, src []float32, c, h, w, kh, kw, stride, pad int) {
 		base := ch * h * w
 		for ky := 0; ky < kh; ky++ {
 			for kx := 0; kx < kw; kx++ {
+				oxLo, oxHi := colRange(ow, w, kx, stride, pad)
 				for oy := 0; oy < oh; oy++ {
+					row := dst[idx : idx+ow]
+					idx += ow
 					iy := oy*stride + ky - pad
-					if iy < 0 || iy >= h {
-						for ox := 0; ox < ow; ox++ {
-							dst[idx] = 0
-							idx++
+					if iy < 0 || iy >= h || oxLo == oxHi {
+						for ox := range row {
+							row[ox] = 0
 						}
 						continue
 					}
-					rowBase := base + iy*w
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*stride + kx - pad
-						if ix < 0 || ix >= w {
-							dst[idx] = 0
-						} else {
-							dst[idx] = src[rowBase+ix]
+					rowBase := base + iy*w + kx - pad
+					for ox := 0; ox < oxLo; ox++ {
+						row[ox] = 0
+					}
+					if stride == 1 {
+						copy(row[oxLo:oxHi], src[rowBase+oxLo:rowBase+oxHi])
+					} else {
+						ix := rowBase + oxLo*stride
+						for ox := oxLo; ox < oxHi; ox++ {
+							row[ox] = src[ix]
+							ix += stride
 						}
-						idx++
+					}
+					for ox := oxHi; ox < ow; ox++ {
+						row[ox] = 0
 					}
 				}
 			}
@@ -45,7 +59,8 @@ func Im2col(dst []float32, src []float32, c, h, w, kh, kw, stride, pad int) {
 // Col2im is the adjoint of Im2col: it scatters (accumulates) the column
 // matrix back into an image, which is the gradient path of the GEMM-based
 // convolution. dst must be pre-zeroed by the caller when accumulation across
-// several images is not wanted.
+// several images is not wanted. It uses the same hoisted [oxLo, oxHi) valid
+// range as Im2col; padding taps contribute nothing and are skipped outright.
 func Col2im(dst []float32, src []float32, c, h, w, kh, kw, stride, pad int) {
 	oh := OutDim(h, kh, stride, pad)
 	ow := OutDim(w, kw, stride, pad)
@@ -57,24 +72,72 @@ func Col2im(dst []float32, src []float32, c, h, w, kh, kw, stride, pad int) {
 		base := ch * h * w
 		for ky := 0; ky < kh; ky++ {
 			for kx := 0; kx < kw; kx++ {
+				oxLo, oxHi := colRange(ow, w, kx, stride, pad)
+				if oxLo == oxHi {
+					idx += oh * ow
+					continue
+				}
 				for oy := 0; oy < oh; oy++ {
+					row := src[idx : idx+ow]
+					idx += ow
 					iy := oy*stride + ky - pad
 					if iy < 0 || iy >= h {
-						idx += ow
 						continue
 					}
-					rowBase := base + iy*w
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*stride + kx - pad
-						if ix >= 0 && ix < w {
-							dst[rowBase+ix] += src[idx]
+					rowBase := base + iy*w + kx - pad
+					if stride == 1 {
+						out := dst[rowBase+oxLo : rowBase+oxHi]
+						in := row[oxLo:oxHi]
+						for j, v := range in {
+							out[j] += v
 						}
-						idx++
+					} else {
+						ix := rowBase + oxLo*stride
+						for ox := oxLo; ox < oxHi; ox++ {
+							dst[ix] += row[ox]
+							ix += stride
+						}
 					}
 				}
 			}
 		}
 	}
+}
+
+// colRange returns the half-open output range [oxLo, oxHi) ⊆ [0, ow) for
+// which the input column ix = ox*stride + kx - pad lies inside [0, w); the
+// complement is zero padding. Hoisting this out of the ox loop removes the
+// per-element branch of the naive form.
+func colRange(ow, w, kx, stride, pad int) (oxLo, oxHi int) {
+	oxLo = ceilDiv(pad-kx, stride)
+	if oxLo < 0 {
+		oxLo = 0
+	}
+	oxHi = floorDiv(w-1-kx+pad, stride) + 1
+	if oxHi > ow {
+		oxHi = ow
+	}
+	if oxHi < oxLo {
+		oxHi = oxLo
+	}
+	if oxLo > ow {
+		oxLo, oxHi = ow, ow
+	}
+	return oxLo, oxHi
+}
+
+// floorDiv returns ⌊a/b⌋ for b > 0 (Go's / truncates toward zero).
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && a < 0 {
+		q--
+	}
+	return q
+}
+
+// ceilDiv returns ⌈a/b⌉ for b > 0.
+func ceilDiv(a, b int) int {
+	return floorDiv(a+b-1, b)
 }
 
 // OutDim returns the output spatial size of a convolution or pooling window:

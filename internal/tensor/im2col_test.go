@@ -60,6 +60,10 @@ func TestIm2colGEMMEqualsDirectConv(t *testing.T) {
 		{3, 7, 9, 5, 3, 2, 2},
 		{1, 5, 5, 5, 5, 1, 0},
 		{4, 10, 10, 3, 3, 2, 1},
+		{1, 5, 2, 1, 4, 1, 2},  // kernel wider than the image: taps fully in padding
+		{2, 9, 7, 3, 5, 2, 3},  // stride 2 with large padding
+		{1, 1, 1, 3, 3, 1, 1},  // single pixel
+		{2, 6, 11, 3, 3, 3, 1}, // stride 3
 	}
 	for _, tc := range cases {
 		src := make([]float32, tc.c*tc.h*tc.w)
@@ -120,6 +124,69 @@ func TestCol2imAdjointProperty(t *testing.T) {
 		return math.Abs(lhs-rhs) < 1e-2*(1+math.Abs(rhs))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// naiveIm2col is the per-element reference with the bounds branch in the
+// inner loop — the layout contract the hoisted implementation must preserve.
+func naiveIm2col(dst []float32, src []float32, c, h, w, kh, kw, stride, pad int) {
+	oh := OutDim(h, kh, stride, pad)
+	ow := OutDim(w, kw, stride, pad)
+	idx := 0
+	for ch := 0; ch < c; ch++ {
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kx - pad
+						if iy < 0 || iy >= h || ix < 0 || ix >= w {
+							dst[idx] = 0
+						} else {
+							dst[idx] = src[ch*h*w+iy*w+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: the hoisted Im2col produces exactly the naive per-element layout
+// for randomized geometries, including ones where whole taps fall in padding.
+func TestIm2colMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		c := 1 + g.Intn(3)
+		h := 1 + g.Intn(9)
+		w := 1 + g.Intn(9)
+		kh := 1 + g.Intn(4)
+		kw := 1 + g.Intn(4)
+		stride := 1 + g.Intn(3)
+		pad := g.Intn(4)
+		if OutDim(h, kh, stride, pad) <= 0 || OutDim(w, kw, stride, pad) <= 0 {
+			return true
+		}
+		src := make([]float32, c*h*w)
+		g.FillNormal(src, 0, 1)
+		n := c * kh * kw * OutDim(h, kh, stride, pad) * OutDim(w, kw, stride, pad)
+		got := make([]float32, n)
+		want := make([]float32, n)
+		for i := range got {
+			got[i] = -999 // poison: every slot must be written
+		}
+		Im2col(got, src, c, h, w, kh, kw, stride, pad)
+		naiveIm2col(want, src, c, h, w, kh, kw, stride, pad)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
 	}
 }

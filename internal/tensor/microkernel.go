@@ -1,0 +1,100 @@
+package tensor
+
+// Blocking parameters of the packed GEMM engine, following the BLIS/GotoBLAS
+// hierarchy the paper's KNL kernels are built on (You, Buluç & Demmel §4:
+// cache blocking plus vectorization is what lifts single-node efficiency
+// toward peak). The five loops around the micro-kernel partition C into
+// NC-wide column slabs, the K dimension into KC-deep panels, and the M
+// dimension into MC-tall blocks; inside a block the micro-kernel computes one
+// MR×NR register tile per call from packed operand panels:
+//
+//	packed A panel: MR rows  × KC depth, laid out p-major (MR floats per k)
+//	packed B panel: KC depth × NR cols, laid out p-major (NR floats per k)
+//
+// MR×NR is sized to the register file (4×8 float32 = eight 4-wide SSE
+// accumulators on amd64), KC so one MR×KC A panel plus one KC×NR B panel sit
+// in L1 (4·256·4B + 256·8·4B = 12 KiB), MC so the packed MC×KC A block stays
+// L2-resident (128 KiB), and NC bounds the packed B slab. This mirrors the
+// paper's MCDRAM/L2 blocking discussion at CPU-cache scale.
+const (
+	// MR is the register-tile height: rows of C produced per micro-kernel call.
+	MR = 4
+	// NR is the register-tile width: columns of C produced per micro-kernel call.
+	NR = 8
+	// MC is the M-dimension cache block: rows of A packed per L2-resident block.
+	MC = 128
+	// KC is the K-dimension cache block: depth of the packed A/B panels.
+	KC = 256
+	// NC is the N-dimension cache block: columns of B packed per slab.
+	NC = 1024
+)
+
+// microKernelGo is the portable register-tiled micro-kernel and the bitwise
+// reference for the amd64 assembly one: t[i*NR+j] = Σ_p ap[p*MR+i]·bp[p*NR+j].
+// It processes rows in pairs so the sixteen live accumulators of a strip fit
+// the register file without spilling; summation order over p is identical for
+// every lane, which is what makes the two implementations interchangeable
+// without perturbing the determinism contract.
+func microKernelGo(ap, bp []float32, kc int, t *[MR * NR]float32) {
+	if kc == 0 {
+		*t = [MR * NR]float32{}
+		return
+	}
+	for i := 0; i < MR; i += 2 {
+		var c00, c01, c02, c03, c04, c05, c06, c07 float32
+		var c10, c11, c12, c13, c14, c15, c16, c17 float32
+		ai, bi := i, 0
+		for p := 0; p < kc; p++ {
+			a1, a0 := ap[ai+1], ap[ai]
+			b7, b6, b5, b4 := bp[bi+7], bp[bi+6], bp[bi+5], bp[bi+4]
+			b3, b2, b1, b0 := bp[bi+3], bp[bi+2], bp[bi+1], bp[bi]
+			ai += MR
+			bi += NR
+			c00 += a0 * b0
+			c01 += a0 * b1
+			c02 += a0 * b2
+			c03 += a0 * b3
+			c04 += a0 * b4
+			c05 += a0 * b5
+			c06 += a0 * b6
+			c07 += a0 * b7
+			c10 += a1 * b0
+			c11 += a1 * b1
+			c12 += a1 * b2
+			c13 += a1 * b3
+			c14 += a1 * b4
+			c15 += a1 * b5
+			c16 += a1 * b6
+			c17 += a1 * b7
+		}
+		t[i*NR+0], t[i*NR+1], t[i*NR+2], t[i*NR+3] = c00, c01, c02, c03
+		t[i*NR+4], t[i*NR+5], t[i*NR+6], t[i*NR+7] = c04, c05, c06, c07
+		t[(i+1)*NR+0], t[(i+1)*NR+1], t[(i+1)*NR+2], t[(i+1)*NR+3] = c10, c11, c12, c13
+		t[(i+1)*NR+4], t[(i+1)*NR+5], t[(i+1)*NR+6], t[(i+1)*NR+7] = c14, c15, c16, c17
+	}
+}
+
+// dotUnroll is the unrolled-accumulator dot product shared by MatVec and the
+// small vector paths: four independent chains hide the floating-point add
+// latency that a single running sum serializes on. The final reduction order
+// ((s0+s1)+(s2+s3))+tail is fixed, so results are deterministic. The unroll
+// width is its own constant — it matches the add-latency×throughput product,
+// not the register-tile height MR.
+func dotUnroll(a, b []float32) float32 {
+	const lanes = 4
+	n := len(a)
+	b = b[:n]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+lanes <= n; i += lanes {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	var tail float32
+	for ; i < n; i++ {
+		tail += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3) + tail
+}

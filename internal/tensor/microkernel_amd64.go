@@ -1,0 +1,22 @@
+//go:build amd64
+
+package tensor
+
+// microKernelSSE is the SSE2 assembly register tile (microkernel_amd64.s).
+// Baseline SSE2 is architecturally guaranteed on amd64, so no feature
+// detection is needed.
+//
+//go:noescape
+func microKernelSSE(ap, bp *float32, kc int, t *[MR * NR]float32)
+
+// microKernel computes one MR×NR tile t from packed panels ap/bp (kc depth).
+// The assembly kernel performs the same unfused multiply-then-add per lane in
+// the same k order as microKernelGo, so results are bit-identical across the
+// two paths (TestMicroKernelAsmMatchesGo pins this).
+func microKernel(ap, bp []float32, kc int, t *[MR * NR]float32) {
+	if kc == 0 {
+		*t = [MR * NR]float32{}
+		return
+	}
+	microKernelSSE(&ap[0], &bp[0], kc, t)
+}

@@ -1,0 +1,88 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func microKernelSSE(ap, bp *float32, kc int, t *[32]float32)
+//
+// One MR×NR = 4×8 register tile of the packed GEMM:
+//
+//	t[i*8+j] = Σ_p ap[p*4+i] · bp[p*8+j]
+//
+// ap is a packed A panel (MR floats per k step), bp a packed B panel (NR
+// floats per k step); both are produced by pack.go with zero padding, so the
+// kernel always runs the full tile. The eight accumulator rows live in
+// X0–X7 (two 4-lane registers per C row); each k step broadcasts one A
+// element per row and multiplies it against the two B vectors. Only
+// baseline SSE2 instructions are used (MOVUPS/SHUFPS/MULPS/ADDPS), which
+// every amd64 (GOAMD64=v1) guarantees, and multiply and add are separate
+// instructions — the same unfused float32 arithmetic, in the same p order,
+// as the portable microKernelGo, so the two are bit-identical.
+TEXT ·microKernelSSE(SB), NOSPLIT, $0-32
+	MOVQ ap+0(FP), AX
+	MOVQ bp+8(FP), BX
+	MOVQ kc+16(FP), CX
+	MOVQ t+24(FP), DX
+
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+
+	TESTQ CX, CX
+	JZ    store
+
+loop:
+	MOVUPS (BX), X8     // B[p][0:4]
+	MOVUPS 16(BX), X9   // B[p][4:8]
+
+	MOVSS  (AX), X10    // broadcast A[p][0]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	ADDPS  X10, X0
+	MULPS  X9, X11
+	ADDPS  X11, X1
+
+	MOVSS  4(AX), X10   // broadcast A[p][1]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	ADDPS  X10, X2
+	MULPS  X9, X11
+	ADDPS  X11, X3
+
+	MOVSS  8(AX), X10   // broadcast A[p][2]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	ADDPS  X10, X4
+	MULPS  X9, X11
+	ADDPS  X11, X5
+
+	MOVSS  12(AX), X10  // broadcast A[p][3]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	ADDPS  X10, X6
+	MULPS  X9, X11
+	ADDPS  X11, X7
+
+	ADDQ $16, AX
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  loop
+
+store:
+	MOVUPS X0, (DX)
+	MOVUPS X1, 16(DX)
+	MOVUPS X2, 32(DX)
+	MOVUPS X3, 48(DX)
+	MOVUPS X4, 64(DX)
+	MOVUPS X5, 80(DX)
+	MOVUPS X6, 96(DX)
+	MOVUPS X7, 112(DX)
+	RET

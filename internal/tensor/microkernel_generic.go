@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package tensor
+
+// microKernel falls back to the portable register-tiled kernel on
+// architectures without an assembly implementation.
+func microKernel(ap, bp []float32, kc int, t *[MR * NR]float32) {
+	if kc == 0 {
+		*t = [MR * NR]float32{}
+		return
+	}
+	microKernelGo(ap, bp, kc, t)
+}

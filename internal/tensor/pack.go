@@ -1,0 +1,91 @@
+package tensor
+
+// Operand packing for the blocked GEMM engine. Both packers read the logical
+// operand through (rowStride, colStride) pairs, so a transposed view costs
+// nothing extra: MatMulTransA passes (1, m) instead of (k, 1) and the
+// transposition is absorbed while the panel is being laid out — the
+// micro-kernel only ever sees the one canonical panel format. Ragged edges
+// are zero-padded up to MR/NR so the micro-kernel always runs a full
+// register tile; the padding lanes contribute exact zeros and are simply not
+// stored back.
+
+// packA packs the mc×kc block of the logical m×k matrix A starting at
+// (i0, p0) into MR-row panels: dst[t*MR*kc + p*MR + i] holds logical
+// A[i0+t*MR+i][p0+p]. Element (i, p) of the logical matrix lives at
+// a[i*rs + p*cs]. Rows past mc are zero-filled.
+func packA(dst, a []float32, rs, cs, i0, p0, mc, kc int) {
+	for t := 0; t*MR < mc; t++ {
+		panel := dst[t*MR*kc:][: MR*kc : MR*kc]
+		rows := mc - t*MR
+		if rows > MR {
+			rows = MR
+		}
+		base := (i0+t*MR)*rs + p0*cs
+		if cs == 1 {
+			// Row-major source: each logical row is contiguous in p.
+			for i := 0; i < rows; i++ {
+				src := a[base+i*rs:][:kc]
+				for p, v := range src {
+					panel[p*MR+i] = v
+				}
+			}
+		} else {
+			// Transposed source (rs == 1): each k column is contiguous in i.
+			for p := 0; p < kc; p++ {
+				src := a[base+p*cs:][:rows]
+				for i, v := range src {
+					panel[p*MR+i] = v
+				}
+			}
+		}
+		for i := rows; i < MR; i++ {
+			for p := 0; p < kc; p++ {
+				panel[p*MR+i] = 0
+			}
+		}
+	}
+}
+
+// packB packs the kc×nc block of the logical k×n matrix B starting at
+// (p0, j0) into NR-column panels: dst[u*NR*kc + p*NR + j] holds logical
+// B[p0+p][j0+u*NR+j]. Element (p, j) lives at b[p*rs + j*cs]. Columns past
+// nc are zero-filled.
+func packB(dst, b []float32, rs, cs, p0, j0, nc, kc int) {
+	for u := 0; u*NR < nc; u++ {
+		panel := dst[u*NR*kc:][: NR*kc : NR*kc]
+		cols := nc - u*NR
+		if cols > NR {
+			cols = NR
+		}
+		base := p0*rs + (j0+u*NR)*cs
+		if cs == 1 {
+			// Row-major source: NR consecutive columns per k step.
+			if cols == NR {
+				for p := 0; p < kc; p++ {
+					copy(panel[p*NR:p*NR+NR], b[base+p*rs:][:NR])
+				}
+			} else {
+				for p := 0; p < kc; p++ {
+					row := panel[p*NR : p*NR+NR]
+					n := copy(row, b[base+p*rs:][:cols])
+					for j := n; j < NR; j++ {
+						row[j] = 0
+					}
+				}
+			}
+		} else {
+			// Transposed source (rs == 1): each column is contiguous in p.
+			for j := 0; j < cols; j++ {
+				src := b[base+j*cs:][:kc]
+				for p, v := range src {
+					panel[p*NR+j] = v
+				}
+			}
+			for j := cols; j < NR; j++ {
+				for p := 0; p < kc; p++ {
+					panel[p*NR+j] = 0
+				}
+			}
+		}
+	}
+}
