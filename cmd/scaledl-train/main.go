@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"os"
 
+	"scaledl/internal/comm"
 	"scaledl/internal/core"
 	"scaledl/internal/data"
 	"scaledl/internal/nn"
+	"scaledl/internal/quant"
 )
 
 func main() {
@@ -34,6 +36,8 @@ func main() {
 		trainN   = flag.Int("train", 2048, "synthetic training samples")
 		every    = flag.Int("eval-every", 10, "accuracy probe interval")
 		packed   = flag.Bool("packed", true, "use the §5.2 packed communication layout")
+		schedule = flag.String("schedule", "tree", "allreduce schedule for sync-sgd (tree|ring|rhd|chain|linear)")
+		compress = flag.String("compress", "", "wire compression: fp32 (default), 1-bit or uint8")
 	)
 	flag.Parse()
 
@@ -72,19 +76,29 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown method %q (use -list)", *method))
 	}
+	sched, err := comm.ParseSchedule(*schedule)
+	if err != nil {
+		fatal(err)
+	}
+	scheme, err := quant.ParseScheme(*compress)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := core.Config{
-		Def:        nn.TinyCNN(shape, spec.Classes),
-		Train:      train,
-		Test:       test,
-		Workers:    *workers,
-		Batch:      *batch,
-		LR:         float32(*lr),
-		Momentum:   float32(*momentum),
-		Rho:        float32(*rho),
-		Iterations: *iters,
-		Seed:       *seed,
-		Platform:   core.DefaultGPUPlatform(*packed),
-		EvalEvery:  *every,
+		Def:         nn.TinyCNN(shape, spec.Classes),
+		Train:       train,
+		Test:        test,
+		Workers:     *workers,
+		Batch:       *batch,
+		LR:          float32(*lr),
+		Momentum:    float32(*momentum),
+		Rho:         float32(*rho),
+		Iterations:  *iters,
+		Seed:        *seed,
+		Platform:    core.DefaultGPUPlatform(*packed),
+		EvalEvery:   *every,
+		Schedule:    sched,
+		Compression: scheme,
 	}
 	res, err := run(cfg)
 	if err != nil {
@@ -102,7 +116,8 @@ func main() {
 	for _, c := range core.Categories() {
 		fmt.Printf("%s %.0f%%  ", c, res.Breakdown.Share(c)*100)
 	}
-	fmt.Printf("(comm ratio %.0f%%)\n", res.Breakdown.CommRatio()*100)
+	fmt.Printf("(comm ratio %.0f%%, param traffic %.2f MB)\n",
+		res.Breakdown.CommRatio()*100, float64(res.Breakdown.ParamTraffic())/(1<<20))
 }
 
 func fatal(err error) {

@@ -48,8 +48,17 @@
 //   - a deterministic discrete-event simulator with α-β network models
 //     (Table 2's InfiniBand constants), GPU/PCIe and KNL/Aries hardware
 //     models, MCDRAM modes and cluster modes;
-//   - MPI/NCCL-style collectives: linear (round-robin), binomial-tree and
-//     ring variants, packed versus per-layer message plans;
+//   - a message-level collective engine (internal/comm): Broadcast,
+//     Reduce and AllReduce executed as simulated message waves of real
+//     float32 segments over a Topology (PCIe tree with a shared-switch
+//     resource, host links, fabric cliques, memory buses), under
+//     selectable schedules — binomial tree, ring, recursive
+//     halving/doubling, pipelined chain, linear — with packed versus
+//     per-layer message plans and per-message compressed wire sizes. The
+//     closed-form α-β cost functions remain as the analytic oracle: on
+//     contention-free topologies the simulated collectives match them to
+//     1e-9, and reduced values are bit-identical to comm.ReduceSum for
+//     every schedule;
 //   - all twelve distributed algorithms of the paper (the contributions and
 //     every baseline), running real gradient math under simulated time;
 //   - an experiment harness that regenerates every table and figure of the
@@ -61,9 +70,14 @@
 // Virtual time and real work are scheduled by two separate engines:
 //
 //   - internal/sim is a deterministic discrete-event kernel. Simulated
-//     entities (GPU workers, parameter-server masters, KNL ranks) run as
-//     goroutine-backed processes; exactly one executes at any virtual
-//     instant, so the *timeline* of a run is a pure function of its inputs.
+//     entities (GPU workers, parameter-server masters, KNL ranks, the
+//     collective engine's message waves) run as goroutine-backed
+//     processes; exactly one executes at any virtual instant, so the
+//     *timeline* of a run is a pure function of its inputs. Communication
+//     is simulated at message granularity: every collective hop pays its
+//     path's α-β cost and queues on shared segments, Sync EASGD3's
+//     broadcast genuinely runs (sim.Fork) beneath the data copy and
+//     forward/backward, and contention emerges from scheduling.
 //   - internal/par is a process-wide bounded work pool (width = GOMAXPROCS
 //     by default) that the *real* mathematics runs on. The paper's workers
 //     are embarrassingly parallel between reductions, and the

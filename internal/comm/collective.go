@@ -1,0 +1,794 @@
+package comm
+
+import (
+	"fmt"
+
+	"scaledl/internal/sim"
+	"scaledl/internal/tensor"
+)
+
+// This file is the message-level collective engine: Broadcast, Reduce and
+// AllReduce executed as actual simulated message exchanges between party
+// processes over a Topology, under a selectable schedule. Where the
+// closed-form functions in comm.go *predict* a collective's cost, the
+// engine *performs* it — every hop pays its path's α-β (and queues on
+// shared segments), real float32 segments move, and per-message wire sizes
+// flow through an optional WireFunc so gradient compression is charged
+// where the bytes travel.
+//
+// Two invariants tie the engine to the rest of the repo:
+//
+//  1. Analytic-oracle equality. Tree, linear, ring and
+//     recursive-halving/doubling collectives synchronize their message
+//     rounds (a free sim.Barrier per round — the bulk-synchronous
+//     assumption the α-β formulas make), so on a contention-free topology
+//     the simulated completion time equals TreeReduceTime /
+//     LinearReduceTime / RingAllReduceTime / RHDAllReduceTime exactly.
+//     The pipelined chain schedule is deliberately eager (no round
+//     barriers): its chunks overlap down the chain, which is the
+//     optimization the barriers would destroy.
+//  2. Ordered reduction. Messages carry the constituent contributions
+//     (rank-tagged segments) rather than eagerly-combined partial sums,
+//     and the final combine always runs in ascending party-rank order —
+//     so reduced values are bit-identical to comm.ReduceSum over the
+//     inputs in rank order, for every schedule, which keeps training
+//     results independent of the schedule choice. Wire cost still charges
+//     one partial-sum-sized payload per message, exactly like the real
+//     algorithm the timing models.
+
+// Schedule selects the message pattern of a collective.
+type Schedule int
+
+const (
+	// ScheduleTree is the binomial tree — the paper's Θ(log P) choice.
+	ScheduleTree Schedule = iota
+	// ScheduleRing is the bandwidth-optimal ring allreduce
+	// (reduce-scatter + allgather of P chunks).
+	ScheduleRing
+	// ScheduleRHD is recursive halving/doubling (power-of-two parties;
+	// other counts fall back to the tree, as MPI implementations do).
+	ScheduleRHD
+	// ScheduleChain is a chunked, pipelined chain: chunks stream down a
+	// line of parties with no round synchronization, overlapping hops.
+	ScheduleChain
+	// ScheduleLinear is the Θ(P) one-party-at-a-time exchange of the
+	// original round-robin EASGD — the baseline the paper replaces.
+	ScheduleLinear
+)
+
+// String names the schedule.
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleTree:
+		return "tree"
+	case ScheduleRing:
+		return "ring"
+	case ScheduleRHD:
+		return "rhd"
+	case ScheduleChain:
+		return "chain"
+	case ScheduleLinear:
+		return "linear"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// Schedules lists every schedule name accepted by ParseSchedule.
+func Schedules() []string { return []string{"tree", "ring", "rhd", "chain", "linear"} }
+
+// AnalyticAllReduceTime returns the closed-form α-β prediction for the
+// schedule's allreduce of n bytes over p parties, and whether one exists.
+// It is the single source of the schedule→oracle mapping; the pipelined
+// chain returns false — its chunk overlap is exactly what the formulas
+// cannot express.
+func (s Schedule) AnalyticAllReduceTime(l Transferer, n int64, p int) (float64, bool) {
+	switch s {
+	case ScheduleTree:
+		return TreeAllReduceTime(l, n, p), true
+	case ScheduleRing:
+		return RingAllReduceTime(l, n, p), true
+	case ScheduleRHD:
+		return RHDAllReduceTime(l, n, p), true
+	case ScheduleLinear:
+		return LinearReduceTime(l, n, p) + LinearBroadcastTime(l, n, p), true
+	default:
+		return 0, false
+	}
+}
+
+// ParseSchedule converts a name ("tree", "ring", "rhd", "chain", "linear")
+// to a Schedule; the empty string means tree.
+func ParseSchedule(name string) (Schedule, error) {
+	switch name {
+	case "", "tree":
+		return ScheduleTree, nil
+	case "ring":
+		return ScheduleRing, nil
+	case "rhd":
+		return ScheduleRHD, nil
+	case "chain":
+		return ScheduleChain, nil
+	case "linear":
+		return ScheduleLinear, nil
+	default:
+		return 0, fmt.Errorf("comm: unknown schedule %q (one of %v)", name, Schedules())
+	}
+}
+
+// Ranks returns the identity party list [0, 1, …, n−1] — the common case
+// of a communicator spanning a topology's first n nodes in node order.
+func Ranks(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// WireFunc maps a message's float32 element count to its wire size in
+// bytes. nil means raw fp32 (4 bytes per element); quant.WireBytes curried
+// over a Scheme charges compressed traffic.
+type WireFunc func(elems int) int64
+
+// CommConfig configures a Communicator.
+type CommConfig struct {
+	// Parties lists the topology node ids participating, in rank order.
+	Parties []int
+	// Plan is the message plan: packed single-segment or per-layer, with
+	// the gather staging penalty for unpacked layouts.
+	Plan Plan
+	// Schedule selects the allreduce message pattern (default tree).
+	Schedule Schedule
+	// ChunkElems is the chain schedule's pipeline granularity in elements
+	// (default 8192 ≈ 32 KB of fp32).
+	ChunkElems int
+	// Wire is the per-message wire-size model (nil = raw fp32).
+	Wire WireFunc
+}
+
+// Communicator runs collectives among a fixed set of parties over a
+// Topology. Collective calls are identified by a caller-chosen round
+// number; every party must issue the same sequence of collectives with
+// matching rounds (MPI semantics). Distinct rounds may be in flight
+// concurrently (e.g. an overlapped broadcast forked beside a reduction).
+type Communicator struct {
+	topo    *Topology
+	parties []int
+	plan    Plan
+	sched   Schedule
+	chunk   int
+	wire    WireFunc
+	bars    map[collKey]*sim.Barrier
+}
+
+// NewCommunicator creates a communicator. The plan's byte counts must be
+// multiples of 4 (float32 payloads).
+func NewCommunicator(t *Topology, cfg CommConfig) *Communicator {
+	if len(cfg.Parties) < 1 {
+		panic("comm: communicator needs at least one party")
+	}
+	for _, id := range cfg.Parties {
+		t.checkNode(id)
+	}
+	for _, b := range cfg.Plan.LayerBytes {
+		if b%4 != 0 {
+			panic(fmt.Sprintf("comm: plan segment of %d bytes is not whole float32s", b))
+		}
+	}
+	chunk := cfg.ChunkElems
+	if chunk <= 0 {
+		chunk = 8192
+	}
+	return &Communicator{
+		topo:    t,
+		parties: append([]int(nil), cfg.Parties...),
+		plan:    cfg.Plan,
+		sched:   cfg.Schedule,
+		chunk:   chunk,
+		wire:    cfg.Wire,
+		bars:    map[collKey]*sim.Barrier{},
+	}
+}
+
+// Size returns the number of parties.
+func (c *Communicator) Size() int { return len(c.parties) }
+
+// Plan returns the communicator's message plan.
+func (c *Communicator) Plan() Plan { return c.plan }
+
+// Schedule returns the configured allreduce schedule.
+func (c *Communicator) Schedule() Schedule { return c.sched }
+
+// BytesMoved reports the underlying topology's cumulative wire bytes.
+func (c *Communicator) BytesMoved() int64 { return c.topo.BytesMoved() }
+
+// Endpoint returns party rank's handle; collective methods are issued
+// through it from the party's own simulated process.
+func (c *Communicator) Endpoint(rank int) *Endpoint {
+	if rank < 0 || rank >= len(c.parties) {
+		panic(fmt.Sprintf("comm: endpoint %d of %d parties", rank, len(c.parties)))
+	}
+	return &Endpoint{c: c, rank: rank}
+}
+
+// Endpoint is one party's handle into a Communicator.
+type Endpoint struct {
+	c    *Communicator
+	rank int
+}
+
+// Rank returns the party rank.
+func (ep *Endpoint) Rank() int { return ep.rank }
+
+// phases keep concurrent collectives of the same round apart.
+const (
+	phReduce = iota
+	phBcast
+)
+
+// collKey identifies one message (or round barrier) of one collective.
+type collKey struct {
+	round, phase, seg, step, chunk int
+}
+
+// contrib is one party's (possibly quantizer-reconstructed) values for the
+// element range a reduce message covers, tagged with its origin rank so
+// the final combine can run in ascending rank order.
+type contrib struct {
+	rank int
+	vals []float32
+}
+
+// collMsg is the engine's wire format.
+type collMsg struct {
+	src      int
+	key      collKey
+	lo       int       // element offset of data within the segment (RHD allgather)
+	data     []float32 // broadcast / allgather payload (nil in size-only mode)
+	contribs []contrib // reduce payload, ascending rank order
+}
+
+func (c *Communicator) wireOf(elems int) int64 {
+	if c.wire != nil {
+		return c.wire(elems)
+	}
+	return int64(elems) * 4
+}
+
+// segments returns the plan's element ranges over the model vector.
+func (c *Communicator) segments() [][2]int {
+	var segs [][2]int
+	if c.plan.Packed || len(c.plan.LayerBytes) <= 1 {
+		segs = append(segs, [2]int{0, int(c.plan.TotalBytes() / 4)})
+		return segs
+	}
+	lo := 0
+	for _, b := range c.plan.LayerBytes {
+		hi := lo + int(b/4)
+		segs = append(segs, [2]int{lo, hi})
+		lo = hi
+	}
+	return segs
+}
+
+// stage charges the unpacked plan's gather/scatter staging pass (the cost
+// packed single-buffer layouts avoid — §5.2's second effect). Every party
+// stages concurrently, so one collective exposes exactly one staging time.
+func (c *Communicator) stage(p *sim.Proc) {
+	if !c.plan.Packed && c.plan.GatherBW > 0 && len(c.plan.LayerBytes) > 0 {
+		p.Delay(float64(c.plan.TotalBytes()) / c.plan.GatherBW)
+	}
+}
+
+// checkBuf validates a data-mode buffer against the plan.
+func (c *Communicator) checkBuf(buf []float32) {
+	if int64(len(buf))*4 != c.plan.TotalBytes() {
+		panic(fmt.Sprintf("comm: buffer of %d elements does not match plan of %d bytes",
+			len(buf), c.plan.TotalBytes()))
+	}
+}
+
+// send transmits m from party rank `from` to `to`, charging wireBytes.
+func (c *Communicator) send(p *sim.Proc, from, to int, m collMsg, wireBytes int64) {
+	m.src = from
+	c.topo.Send(p, c.parties[from], c.parties[to], 0, m, wireBytes)
+}
+
+// recv blocks until the message with the given key arrives from party
+// rank `from`.
+func (c *Communicator) recv(p *sim.Proc, at, from int, key collKey) collMsg {
+	raw := c.topo.RecvMatch(p, c.parties[at], func(msg Message) bool {
+		cm, ok := msg.Payload.(collMsg)
+		return ok && cm.src == from && cm.key == key
+	})
+	return raw.Payload.(collMsg)
+}
+
+// sync joins the round barrier identified by key; all parties pass it at
+// the same simulated instant (the bulk-synchronous round boundary of the
+// α-β model). Barriers are created lazily and deleted after use.
+func (c *Communicator) sync(p *sim.Proc, key collKey) {
+	b, ok := c.bars[key]
+	if !ok {
+		b = sim.NewBarrier(c.topo.env, "coll-round", len(c.parties))
+		c.bars[key] = b
+	}
+	p.Wait(b)
+	delete(c.bars, key)
+}
+
+// vrOf rotates rank so that root acts as virtual rank 0.
+func (c *Communicator) vrOf(rank, root int) int {
+	p := len(c.parties)
+	return (rank - root + p) % p
+}
+
+// realOf inverts vrOf.
+func (c *Communicator) realOf(vr, root int) int {
+	p := len(c.parties)
+	return (vr + root) % p
+}
+
+func snapshot(v []float32) []float32 { return append([]float32(nil), v...) }
+
+// mergeContribs merges two rank-sorted contribution lists.
+func mergeContribs(a, b []contrib) []contrib {
+	out := make([]contrib, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].rank < b[j].rank {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// orderedSum overwrites dst with the rank-ordered sum of the contributions
+// — the exact association order of ReduceSum over rank-ascending inputs.
+func orderedSum(dst []float32, list []contrib) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, cb := range list {
+		tensor.AXPY(1, cb.vals, dst)
+	}
+}
+
+// ---- public collectives ----
+
+// Broadcast distributes root's buf to every party's buf. The schedule is
+// the communicator's (ring and RHD, which are allreduce shapes, fall back
+// to the tree for a plain broadcast).
+func (ep *Endpoint) Broadcast(p *sim.Proc, round, root int, buf []float32) {
+	ep.c.checkBuf(buf)
+	ep.c.bcast(p, ep.rank, round, root, buf)
+}
+
+// BroadcastSize walks the same message schedule moving no data — for
+// cost-only experiments at sizes too large to materialize.
+func (ep *Endpoint) BroadcastSize(p *sim.Proc, round, root int) {
+	ep.c.bcast(p, ep.rank, round, root, nil)
+}
+
+// Reduce combines every party's buf contribution at root: root's buf
+// becomes the rank-ordered elementwise sum (bit-identical to ReduceSum
+// over the parties in rank order); other parties' bufs are unchanged.
+func (ep *Endpoint) Reduce(p *sim.Proc, round, root int, buf []float32) {
+	ep.c.checkBuf(buf)
+	ep.c.reduce(p, ep.rank, round, root, buf)
+}
+
+// ReduceSize is the size-only Reduce.
+func (ep *Endpoint) ReduceSize(p *sim.Proc, round, root int) {
+	ep.c.reduce(p, ep.rank, round, root, nil)
+}
+
+// AllReduce leaves every party's buf holding the rank-ordered sum of all
+// contributions, under the communicator's schedule.
+func (ep *Endpoint) AllReduce(p *sim.Proc, round int, buf []float32) {
+	ep.c.checkBuf(buf)
+	ep.c.allReduce(p, ep.rank, round, buf)
+}
+
+// AllReduceSize is the size-only AllReduce.
+func (ep *Endpoint) AllReduceSize(p *sim.Proc, round int) {
+	ep.c.allReduce(p, ep.rank, round, nil)
+}
+
+// ---- dispatch ----
+
+func (c *Communicator) bcast(p *sim.Proc, rank, round, root int, buf []float32) {
+	if len(c.parties) == 1 {
+		return
+	}
+	c.stage(p)
+	for si, seg := range c.segments() {
+		switch c.sched {
+		case ScheduleLinear:
+			c.linearBcast(p, rank, round, phBcast, si, root, buf, seg)
+		case ScheduleChain:
+			c.chainBcast(p, rank, round, phBcast, si, root, buf, seg)
+		default:
+			c.treeBcast(p, rank, round, phBcast, si, root, buf, seg)
+		}
+	}
+}
+
+func (c *Communicator) reduce(p *sim.Proc, rank, round, root int, buf []float32) {
+	if len(c.parties) == 1 {
+		return
+	}
+	c.stage(p)
+	for si, seg := range c.segments() {
+		switch c.sched {
+		case ScheduleLinear:
+			c.linearReduce(p, rank, round, phReduce, si, root, buf, seg)
+		case ScheduleChain:
+			c.chainReduce(p, rank, round, phReduce, si, root, buf, seg)
+		default:
+			c.treeReduce(p, rank, round, phReduce, si, root, buf, seg)
+		}
+	}
+}
+
+func (c *Communicator) allReduce(p *sim.Proc, rank, round int, buf []float32) {
+	if len(c.parties) == 1 {
+		return
+	}
+	c.stage(p)
+	pow2 := len(c.parties)&(len(c.parties)-1) == 0
+	for si, seg := range c.segments() {
+		switch {
+		case c.sched == ScheduleRing:
+			c.ringAllReduce(p, rank, round, si, buf, seg)
+		case c.sched == ScheduleRHD && pow2:
+			c.rhdAllReduce(p, rank, round, si, buf, seg)
+		case c.sched == ScheduleChain:
+			c.chainReduce(p, rank, round, phReduce, si, 0, buf, seg)
+			c.chainBcast(p, rank, round, phBcast, si, 0, buf, seg)
+		case c.sched == ScheduleLinear:
+			c.linearReduce(p, rank, round, phReduce, si, 0, buf, seg)
+			c.linearBcast(p, rank, round, phBcast, si, 0, buf, seg)
+		default: // tree, and RHD's non-power-of-two fallback
+			c.treeReduce(p, rank, round, phReduce, si, 0, buf, seg)
+			c.treeBcast(p, rank, round, phBcast, si, 0, buf, seg)
+		}
+	}
+}
+
+// ---- binomial tree ----
+
+// treeBcast runs the binomial broadcast: ceil(log2 P) synchronized rounds,
+// each pair moving the full segment — Θ(log P)(α + nβ).
+func (c *Communicator) treeBcast(p *sim.Proc, rank, round, phase, si, root int, buf []float32, seg [2]int) {
+	P := len(c.parties)
+	vr := c.vrOf(rank, root)
+	R := rounds(P)
+	elems := seg[1] - seg[0]
+	for r := 0; r < R; r++ {
+		mask := 1 << (R - 1 - r)
+		key := collKey{round, phase, si, r, 0}
+		switch {
+		case vr%(2*mask) == 0:
+			if partner := vr + mask; partner < P {
+				var data []float32
+				if buf != nil {
+					data = snapshot(buf[seg[0]:seg[1]])
+				}
+				c.send(p, rank, c.realOf(partner, root), collMsg{key: key, data: data}, c.wireOf(elems))
+			}
+		case vr%(2*mask) == mask:
+			m := c.recv(p, rank, c.realOf(vr-mask, root), key)
+			if buf != nil {
+				copy(buf[seg[0]:seg[1]], m.data)
+			}
+		}
+		c.sync(p, key)
+	}
+}
+
+// treeReduce runs the binomial reduction toward root, carrying
+// rank-ordered contribution lists so the final combine at root reproduces
+// ReduceSum's association order exactly.
+func (c *Communicator) treeReduce(p *sim.Proc, rank, round, phase, si, root int, buf []float32, seg [2]int) {
+	P := len(c.parties)
+	vr := c.vrOf(rank, root)
+	R := rounds(P)
+	elems := seg[1] - seg[0]
+	var list []contrib
+	if buf != nil {
+		list = []contrib{{rank: rank, vals: snapshot(buf[seg[0]:seg[1]])}}
+	}
+	sent := false
+	for r := 0; r < R; r++ {
+		mask := 1 << r
+		key := collKey{round, phase, si, r, 0}
+		if !sent {
+			if vr&mask != 0 {
+				c.send(p, rank, c.realOf(vr-mask, root), collMsg{key: key, contribs: list}, c.wireOf(elems))
+				sent = true
+			} else if partner := vr + mask; partner < P {
+				m := c.recv(p, rank, c.realOf(partner, root), key)
+				list = mergeContribs(list, m.contribs)
+			}
+		}
+		c.sync(p, key)
+	}
+	if vr == 0 && buf != nil {
+		orderedSum(buf[seg[0]:seg[1]], list)
+	}
+}
+
+// ---- linear (round-robin) ----
+
+// linearBcast sends the segment to one party per synchronized step —
+// Θ(P)(α + nβ), the baseline exchange.
+func (c *Communicator) linearBcast(p *sim.Proc, rank, round, phase, si, root int, buf []float32, seg [2]int) {
+	P := len(c.parties)
+	vr := c.vrOf(rank, root)
+	elems := seg[1] - seg[0]
+	for s := 1; s < P; s++ {
+		key := collKey{round, phase, si, s, 0}
+		if vr == 0 {
+			var data []float32
+			if buf != nil {
+				data = snapshot(buf[seg[0]:seg[1]])
+			}
+			c.send(p, rank, c.realOf(s, root), collMsg{key: key, data: data}, c.wireOf(elems))
+		} else if vr == s {
+			m := c.recv(p, rank, root, key)
+			if buf != nil {
+				copy(buf[seg[0]:seg[1]], m.data)
+			}
+		}
+		c.sync(p, key)
+	}
+}
+
+// linearReduce receives one party's contribution per synchronized step.
+func (c *Communicator) linearReduce(p *sim.Proc, rank, round, phase, si, root int, buf []float32, seg [2]int) {
+	P := len(c.parties)
+	vr := c.vrOf(rank, root)
+	elems := seg[1] - seg[0]
+	var list []contrib
+	if buf != nil {
+		list = []contrib{{rank: rank, vals: snapshot(buf[seg[0]:seg[1]])}}
+	}
+	for s := 1; s < P; s++ {
+		key := collKey{round, phase, si, s, 0}
+		if vr == s {
+			c.send(p, rank, root, collMsg{key: key, contribs: list}, c.wireOf(elems))
+		} else if vr == 0 {
+			m := c.recv(p, rank, c.realOf(s, root), key)
+			list = mergeContribs(list, m.contribs)
+		}
+		c.sync(p, key)
+	}
+	if vr == 0 && buf != nil {
+		orderedSum(buf[seg[0]:seg[1]], list)
+	}
+}
+
+// ---- ring allreduce ----
+
+// ringChunks splits the segment's elements into P contiguous chunks, the
+// first (elems mod P) of them one element larger.
+func ringChunks(seg [2]int, P int) [][2]int {
+	elems := seg[1] - seg[0]
+	base, rem := elems/P, elems%P
+	out := make([][2]int, P)
+	lo := seg[0]
+	for i := 0; i < P; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		out[i] = [2]int{lo, lo + sz}
+		lo += sz
+	}
+	return out
+}
+
+// ringAllReduce runs the bandwidth-optimal ring: P−1 reduce-scatter steps
+// carrying contribution lists, a local rank-ordered combine of the owned
+// chunk, then P−1 allgather steps distributing the sums. Every step is
+// synchronized, and all P chunks are in flight per step, so the step time
+// is the largest chunk's wire time — 2(P−1)(α + ceil(n/P)β) total.
+func (c *Communicator) ringAllReduce(p *sim.Proc, rank, round, si int, buf []float32, seg [2]int) {
+	P := len(c.parties)
+	chunks := ringChunks(seg, P)
+	next, prev := (rank+1)%P, (rank+P-1)%P
+	mod := func(x int) int { return ((x % P) + P) % P }
+
+	lists := make([][]contrib, P)
+	if buf != nil {
+		for i, ch := range chunks {
+			lists[i] = []contrib{{rank: rank, vals: snapshot(buf[ch[0]:ch[1]])}}
+		}
+	}
+	// Reduce-scatter: at step s, rank r forwards chunk (r−s)'s accumulated
+	// list to r+1 and receives chunk (r−1−s)'s from r−1; after P−1 steps
+	// rank r holds every contribution for chunk r.
+	for s := 1; s < P; s++ {
+		key := collKey{round, phReduce, si, s, 0}
+		cs := mod(rank - s)
+		cr := mod(rank - s - 1)
+		c.send(p, rank, next, collMsg{key: key, contribs: lists[cs]},
+			c.wireOf(chunks[cs][1]-chunks[cs][0]))
+		m := c.recv(p, rank, prev, key)
+		if buf != nil {
+			lists[cr] = mergeContribs(lists[cr], m.contribs)
+		}
+		c.sync(p, key)
+	}
+	if buf != nil {
+		own := chunks[rank]
+		orderedSum(buf[own[0]:own[1]], lists[rank])
+	}
+	// Allgather: summed chunks travel the ring once more.
+	for s := 1; s < P; s++ {
+		key := collKey{round, phBcast, si, s, 0}
+		cs := mod(rank - s + 1)
+		cr := mod(rank - s)
+		var data []float32
+		if buf != nil {
+			data = snapshot(buf[chunks[cs][0]:chunks[cs][1]])
+		}
+		c.send(p, rank, next, collMsg{key: key, data: data},
+			c.wireOf(chunks[cs][1]-chunks[cs][0]))
+		m := c.recv(p, rank, prev, key)
+		if buf != nil {
+			copy(buf[chunks[cr][0]:chunks[cr][1]], m.data)
+		}
+		c.sync(p, key)
+	}
+}
+
+// ---- recursive halving / doubling ----
+
+// rhdAllReduce (power-of-two parties): reduce-scatter by recursive
+// halving — partners exchange opposite halves of their current range, so
+// message sizes fall n/2, n/4, … n/P — then allgather by recursive
+// doubling, mirroring the sizes back up. Contribution lists ride the
+// halving so each element is still combined in ascending rank order.
+func (c *Communicator) rhdAllReduce(p *sim.Proc, rank, round, si int, buf []float32, seg [2]int) {
+	P := len(c.parties)
+	lo, hi := seg[0], seg[1]
+	var list []contrib
+	if buf != nil {
+		list = []contrib{{rank: rank, vals: snapshot(buf[lo:hi])}}
+	}
+	// restrict clips a contribution list to [nlo, nhi), given the list
+	// currently covers [lo, hi).
+	restrict := func(list []contrib, lo, nlo, nhi int) []contrib {
+		out := make([]contrib, len(list))
+		for i, cb := range list {
+			out[i] = contrib{rank: cb.rank, vals: cb.vals[nlo-lo : nhi-lo]}
+		}
+		return out
+	}
+
+	type span struct{ lo, hi int }
+	var trail []span // range at entry of each halving step, for the doubling phase
+	step := 0
+	for mask := P / 2; mask >= 1; mask >>= 1 {
+		partner := rank ^ mask
+		mid := lo + (hi-lo+1)/2
+		var keepLo, keepHi, sendLo, sendHi int
+		if rank&mask == 0 {
+			keepLo, keepHi, sendLo, sendHi = lo, mid, mid, hi
+		} else {
+			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
+		}
+		key := collKey{round, phReduce, si, step, 0}
+		var out []contrib
+		if buf != nil {
+			out = restrict(list, lo, sendLo, sendHi)
+		}
+		c.send(p, rank, partner, collMsg{key: key, contribs: out}, c.wireOf(sendHi-sendLo))
+		m := c.recv(p, rank, partner, key)
+		if buf != nil {
+			list = mergeContribs(restrict(list, lo, keepLo, keepHi), m.contribs)
+		}
+		trail = append(trail, span{lo, hi})
+		lo, hi = keepLo, keepHi
+		c.sync(p, key)
+		step++
+	}
+	if buf != nil {
+		orderedSum(buf[lo:hi], list)
+	}
+	// Doubling: walk the halving steps in reverse; each exchange restores
+	// the range the corresponding halving step split.
+	for j := 0; (1 << j) <= P/2; j++ {
+		partner := rank ^ (1 << j)
+		key := collKey{round, phBcast, si, step, 0}
+		var data []float32
+		if buf != nil {
+			data = snapshot(buf[lo:hi])
+		}
+		c.send(p, rank, partner, collMsg{key: key, lo: lo, data: data}, c.wireOf(hi-lo))
+		m := c.recv(p, rank, partner, key)
+		if buf != nil {
+			copy(buf[m.lo:m.lo+len(m.data)], m.data)
+		}
+		merged := trail[len(trail)-1-j]
+		lo, hi = merged.lo, merged.hi
+		c.sync(p, key)
+		step++
+	}
+}
+
+// ---- pipelined chain ----
+
+// chainChunks splits the segment into pipeline chunks of ChunkElems.
+func (c *Communicator) chainChunks(seg [2]int) [][2]int {
+	var out [][2]int
+	for lo := seg[0]; lo < seg[1]; lo += c.chunk {
+		hi := lo + c.chunk
+		if hi > seg[1] {
+			hi = seg[1]
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	if len(out) == 0 {
+		out = append(out, seg)
+	}
+	return out
+}
+
+// chainBcast streams chunks down the chain root→…→last with no round
+// synchronization: hop h forwards chunk k while hop h−1 is already
+// sending chunk k+1, so for C chunks the cost approaches
+// (P−2+C)(α + (n/C)β) instead of the tree's log2(P)(α + nβ) — the
+// pipelined variant large packed buffers want.
+func (c *Communicator) chainBcast(p *sim.Proc, rank, round, phase, si, root int, buf []float32, seg [2]int) {
+	P := len(c.parties)
+	vr := c.vrOf(rank, root)
+	for k, ch := range c.chainChunks(seg) {
+		key := collKey{round, phase, si, 0, k}
+		if vr > 0 {
+			m := c.recv(p, rank, c.realOf(vr-1, root), key)
+			if buf != nil {
+				copy(buf[ch[0]:ch[1]], m.data)
+			}
+		}
+		if vr < P-1 {
+			var data []float32
+			if buf != nil {
+				data = snapshot(buf[ch[0]:ch[1]])
+			}
+			c.send(p, rank, c.realOf(vr+1, root), collMsg{key: key, data: data}, c.wireOf(ch[1]-ch[0]))
+		}
+	}
+}
+
+// chainReduce streams contribution chunks up the chain last→…→root.
+func (c *Communicator) chainReduce(p *sim.Proc, rank, round, phase, si, root int, buf []float32, seg [2]int) {
+	P := len(c.parties)
+	vr := c.vrOf(rank, root)
+	for k, ch := range c.chainChunks(seg) {
+		key := collKey{round, phase, si, 0, k}
+		var list []contrib
+		if buf != nil {
+			list = []contrib{{rank: rank, vals: snapshot(buf[ch[0]:ch[1]])}}
+		}
+		if vr < P-1 {
+			m := c.recv(p, rank, c.realOf(vr+1, root), key)
+			if buf != nil {
+				list = mergeContribs(list, m.contribs)
+			}
+		}
+		if vr > 0 {
+			c.send(p, rank, c.realOf(vr-1, root), collMsg{key: key, contribs: list}, c.wireOf(ch[1]-ch[0]))
+		} else if buf != nil {
+			orderedSum(buf[ch[0]:ch[1]], list)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+
+	"scaledl/internal/hw"
+	"scaledl/internal/sim"
+)
+
+// Allreduce schedule microbenchmarks: each op simulates one full allreduce
+// of a 1M-element (4 MB) packed buffer over 8 parties on FDR InfiniBand.
+// ns/op measures the engine's real cost (how expensive simulating a
+// collective is); the sim_ms metric reports the simulated completion time
+// of the schedule itself — the number the paper's analysis is about. The
+// CI bench job records both next to the GEMM benchmarks; BENCH_comm.json
+// holds the checked-in baseline.
+func benchmarkAllReduce(b *testing.B, sched Schedule, parties, elems int) {
+	b.Helper()
+	inputs := make([][]float32, parties)
+	for i := range inputs {
+		inputs[i] = make([]float32, elems)
+		for j := range inputs[i] {
+			inputs[i][j] = float32(i + j)
+		}
+	}
+	ids := make([]int, parties)
+	for i := range ids {
+		ids[i] = i
+	}
+	var simTime float64
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		env := sim.NewEnv()
+		topo := NewUniform(env, parties, hw.MellanoxFDR)
+		c := NewCommunicator(topo, CommConfig{Parties: ids, Plan: packedPlan(elems), Schedule: sched})
+		bufs := make([][]float32, parties)
+		for i := range bufs {
+			bufs[i] = append([]float32(nil), inputs[i]...)
+		}
+		for r := 0; r < parties; r++ {
+			rank := r
+			env.Spawn(fmt.Sprintf("party%d", rank), func(p *sim.Proc) {
+				c.Endpoint(rank).AllReduce(p, 0, bufs[rank])
+			})
+		}
+		simTime = env.Run()
+		env.Close()
+	}
+	b.ReportMetric(simTime*1e3, "sim_ms")
+}
+
+func BenchmarkAllReduceTree(b *testing.B)  { benchmarkAllReduce(b, ScheduleTree, 8, 1<<20) }
+func BenchmarkAllReduceRing(b *testing.B)  { benchmarkAllReduce(b, ScheduleRing, 8, 1<<20) }
+func BenchmarkAllReduceRHD(b *testing.B)   { benchmarkAllReduce(b, ScheduleRHD, 8, 1<<20) }
+func BenchmarkAllReduceChain(b *testing.B) { benchmarkAllReduce(b, ScheduleChain, 8, 1<<20) }

@@ -1,0 +1,481 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"scaledl/internal/hw"
+	"scaledl/internal/par"
+	"scaledl/internal/quant"
+	"scaledl/internal/sim"
+	"scaledl/internal/tensor"
+)
+
+// packedPlan is a single-segment plan of n float32 elements.
+func packedPlan(elems int) Plan {
+	return Plan{LayerBytes: []int64{int64(elems) * 4}, Packed: true}
+}
+
+// randInputs builds P deterministic pseudo-random contribution vectors.
+func randInputs(p, elems int, seed int64) [][]float32 {
+	g := tensor.NewRNG(seed)
+	out := make([][]float32, p)
+	for i := range out {
+		out[i] = make([]float32, elems)
+		g.FillNormal(out[i], 0, 1)
+	}
+	return out
+}
+
+// runCollective spawns one process per party, runs body(rank) on each and
+// returns the simulated completion time.
+func runCollective(t *testing.T, topo *Topology, c *Communicator, body func(p *sim.Proc, rank int)) float64 {
+	t.Helper()
+	env := topo.Env()
+	for r := 0; r < c.Size(); r++ {
+		rank := r
+		env.Spawn(fmt.Sprintf("party%d", rank), func(p *sim.Proc) { body(p, rank) })
+	}
+	end := env.Run()
+	env.Close()
+	return end
+}
+
+// simAllReduce runs one allreduce over inputs and returns (end time, bufs).
+func simAllReduce(t *testing.T, sched Schedule, parties, elems int, inputs [][]float32) (float64, [][]float32) {
+	t.Helper()
+	env := sim.NewEnv()
+	topo := NewUniform(env, parties, testLink)
+	ids := make([]int, parties)
+	for i := range ids {
+		ids[i] = i
+	}
+	c := NewCommunicator(topo, CommConfig{Parties: ids, Plan: packedPlan(elems), Schedule: sched})
+	bufs := make([][]float32, parties)
+	for i := range bufs {
+		bufs[i] = append([]float32(nil), inputs[i]...)
+	}
+	end := runCollective(t, topo, c, func(p *sim.Proc, rank int) {
+		c.Endpoint(rank).AllReduce(p, 0, bufs[rank])
+	})
+	return end, bufs
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// The tentpole invariant: on a uniform contention-free topology the
+// simulated collectives complete at exactly the closed-form α-β times.
+func TestSimulatedAllReduceMatchesClosedForm(t *testing.T) {
+	cases := []struct {
+		sched   Schedule
+		oracle  func(l Transferer, n int64, p int) float64
+		parties []int
+	}{
+		{ScheduleTree, TreeAllReduceTime, []int{2, 3, 4, 5, 7, 8, 16}},
+		{ScheduleRing, RingAllReduceTime, []int{2, 3, 4, 5, 8}},
+		{ScheduleRHD, RHDAllReduceTime, []int{2, 4, 8, 16}},
+		{ScheduleLinear, func(l Transferer, n int64, p int) float64 {
+			return LinearReduceTime(l, n, p) + LinearBroadcastTime(l, n, p)
+		}, []int{2, 3, 4, 8}},
+	}
+	for _, c := range cases {
+		for _, p := range c.parties {
+			for _, elems := range []int{1, 17, 256, 4000, 65536} {
+				inputs := randInputs(p, elems, int64(p*elems+1))
+				end, _ := simAllReduce(t, c.sched, p, elems, inputs)
+				want := c.oracle(testLink, int64(elems)*4, p)
+				if relErr(end, want) > 1e-9 {
+					t.Errorf("%v P=%d elems=%d: simulated %v, closed-form %v",
+						c.sched, p, elems, end, want)
+				}
+			}
+		}
+	}
+}
+
+// RHD at a non-power-of-two party count falls back to the tree, in both
+// the engine and the oracle.
+func TestRHDFallsBackToTree(t *testing.T) {
+	p, elems := 6, 1024
+	inputs := randInputs(p, elems, 3)
+	end, _ := simAllReduce(t, ScheduleRHD, p, elems, inputs)
+	if want := RHDAllReduceTime(testLink, int64(elems)*4, p); relErr(end, want) > 1e-9 {
+		t.Errorf("fallback time %v, oracle %v", end, want)
+	}
+	if RHDAllReduceTime(testLink, 4096, 6) != TreeAllReduceTime(testLink, 4096, 6) {
+		t.Error("oracle fallback does not equal the tree formula")
+	}
+}
+
+// Simulated standalone Broadcast and Reduce match their oracles too.
+func TestSimulatedBcastReduceMatchClosedForm(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 8, 13} {
+		elems := 1000
+		env := sim.NewEnv()
+		topo := NewUniform(env, p, testLink)
+		ids := make([]int, p)
+		for i := range ids {
+			ids[i] = i
+		}
+		c := NewCommunicator(topo, CommConfig{Parties: ids, Plan: packedPlan(elems)})
+		end := runCollective(t, topo, c, func(pr *sim.Proc, rank int) {
+			c.Endpoint(rank).BroadcastSize(pr, 0, 0)
+			c.Endpoint(rank).ReduceSize(pr, 1, 0)
+		})
+		want := TreeBroadcastTime(testLink, int64(elems)*4, p) + TreeReduceTime(testLink, int64(elems)*4, p)
+		if relErr(end, want) > 1e-9 {
+			t.Errorf("P=%d: bcast+reduce %v, closed-form %v", p, end, want)
+		}
+	}
+}
+
+// The ordered-reduction invariant: every schedule's allreduce result is
+// bit-identical to ReduceSum over the contributions in rank order — the
+// schedule choice can never change training mathematics.
+func TestAllReduceBitIdenticalToReduceSum(t *testing.T) {
+	for _, sched := range []Schedule{ScheduleTree, ScheduleRing, ScheduleRHD, ScheduleChain, ScheduleLinear} {
+		for _, p := range []int{2, 3, 4, 5, 8} {
+			elems := 257
+			inputs := randInputs(p, elems, int64(p)*7)
+			_, bufs := simAllReduce(t, sched, p, elems, inputs)
+			want := make([]float32, elems)
+			ReduceSum(want, inputs...)
+			for rank, buf := range bufs {
+				for i := range want {
+					if buf[i] != want[i] {
+						t.Fatalf("%v P=%d rank %d: buf[%d]=%v, ReduceSum=%v (not bit-identical)",
+							sched, p, rank, i, buf[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Reduce leaves non-root buffers untouched and the root holds the
+// rank-ordered sum; Broadcast replicates the root's values.
+func TestReduceAndBroadcastData(t *testing.T) {
+	p, elems := 5, 64
+	inputs := randInputs(p, elems, 11)
+	env := sim.NewEnv()
+	topo := NewUniform(env, p, testLink)
+	ids := []int{0, 1, 2, 3, 4}
+	c := NewCommunicator(topo, CommConfig{Parties: ids, Plan: packedPlan(elems)})
+	bufs := make([][]float32, p)
+	for i := range bufs {
+		bufs[i] = append([]float32(nil), inputs[i]...)
+	}
+	runCollective(t, topo, c, func(pr *sim.Proc, rank int) {
+		c.Endpoint(rank).Reduce(pr, 0, 2, bufs[rank])
+		c.Endpoint(rank).Broadcast(pr, 1, 2, bufs[rank])
+	})
+	want := make([]float32, elems)
+	ReduceSum(want, inputs...)
+	for rank := range bufs {
+		if !reflect.DeepEqual(bufs[rank], want) {
+			t.Fatalf("rank %d: reduce+bcast result differs from ordered sum", rank)
+		}
+	}
+}
+
+// Per-layer plans pay one latency per layer per round plus the gather
+// staging pass — the simulated counterpart of Plan.AllReduceTime, which is
+// what makes Figure 10's packed-vs-unpacked gap emergent.
+func TestPerLayerPlanMatchesPlanOracle(t *testing.T) {
+	layers := []int64{2080 * 4, 25050 * 4, 400500 * 4, 5010 * 4}
+	for _, packed := range []bool{false, true} {
+		plan := Plan{LayerBytes: layers, Packed: packed, GatherBW: 6e9}
+		p := 4
+		env := sim.NewEnv()
+		topo := NewUniform(env, p, testLink)
+		c := NewCommunicator(topo, CommConfig{Parties: []int{0, 1, 2, 3}, Plan: plan})
+		end := runCollective(t, topo, c, func(pr *sim.Proc, rank int) {
+			c.Endpoint(rank).AllReduceSize(pr, 0)
+		})
+		want := plan.AllReduceTime(testLink, p)
+		if relErr(end, want) > 1e-9 {
+			t.Errorf("packed=%v: simulated %v, Plan.AllReduceTime %v", packed, end, want)
+		}
+	}
+}
+
+// Size-only collectives complete at exactly the data-carrying times.
+func TestSizeOnlyMatchesDataTime(t *testing.T) {
+	for _, sched := range []Schedule{ScheduleTree, ScheduleRing, ScheduleRHD, ScheduleChain} {
+		p, elems := 4, 3000
+		inputs := randInputs(p, elems, 5)
+		dataEnd, _ := simAllReduce(t, sched, p, elems, inputs)
+		env := sim.NewEnv()
+		topo := NewUniform(env, p, testLink)
+		c := NewCommunicator(topo, CommConfig{Parties: []int{0, 1, 2, 3}, Plan: packedPlan(elems), Schedule: sched})
+		sizeEnd := runCollective(t, topo, c, func(pr *sim.Proc, rank int) {
+			c.Endpoint(rank).AllReduceSize(pr, 0)
+		})
+		if dataEnd != sizeEnd {
+			t.Errorf("%v: data %v vs size-only %v", sched, dataEnd, sizeEnd)
+		}
+	}
+}
+
+// The pipelined chain overlaps chunk hops: for a bandwidth-dominated
+// message it beats both the synchronized linear chain it refines and the
+// tree, approaching n·β as chunks shrink.
+func TestChainPipeliningBeatsTreeOnLargeMessages(t *testing.T) {
+	p, elems := 8, 1<<20 // 4 MB
+	inputs := randInputs(p, elems, 9)
+	chainEnd, bufs := simAllReduce(t, ScheduleChain, p, elems, inputs)
+	treeEnd, _ := simAllReduce(t, ScheduleTree, p, elems, inputs)
+	linEnd, _ := simAllReduce(t, ScheduleLinear, p, elems, inputs)
+	if chainEnd >= treeEnd {
+		t.Errorf("pipelined chain (%v) not faster than tree (%v) on 4 MB", chainEnd, treeEnd)
+	}
+	if chainEnd >= linEnd {
+		t.Errorf("pipelined chain (%v) not faster than linear (%v)", chainEnd, linEnd)
+	}
+	want := make([]float32, elems)
+	ReduceSum(want, inputs...)
+	if !reflect.DeepEqual(bufs[p-1], want) {
+		t.Error("chain result differs from ordered sum")
+	}
+}
+
+// Contention emerges from shared segments: on a capacity-1 bus the tree's
+// "parallel" pair transfers serialize, so a reduce costs (P−1) transfers
+// instead of log2(P) waves.
+func TestBusContentionSerializesTree(t *testing.T) {
+	p, elems := 8, 1024
+	mk := func(cap_ int) float64 {
+		env := sim.NewEnv()
+		var topo *Topology
+		if cap_ == 0 {
+			topo = NewUniform(env, p, testLink)
+		} else {
+			topo = NewBus(env, p, testLink, cap_)
+		}
+		ids := make([]int, p)
+		for i := range ids {
+			ids[i] = i
+		}
+		c := NewCommunicator(topo, CommConfig{Parties: ids, Plan: packedPlan(elems)})
+		return runCollective(t, topo, c, func(pr *sim.Proc, rank int) {
+			c.Endpoint(rank).ReduceSize(pr, 0, 0)
+		})
+	}
+	free, bus := mk(0), mk(1)
+	unit := testLink.Time(int64(elems) * 4)
+	if relErr(free, 3*unit) > 1e-9 { // log2(8) waves
+		t.Errorf("contention-free reduce %v, want 3 waves (%v)", free, 3*unit)
+	}
+	if relErr(bus, 7*unit) > 1e-9 { // P-1 serialized transfers
+		t.Errorf("bus reduce %v, want 7 serialized transfers (%v)", bus, 7*unit)
+	}
+	// Intermediate capacity interpolates.
+	half := mk(2)
+	if !(half > free && half < bus) {
+		t.Errorf("capacity-2 reduce %v outside (%v, %v)", half, free, bus)
+	}
+}
+
+// The PCIe-tree topology routes GPU↔GPU traffic over peer DMA (or host
+// staging) and shares the switch when bounded.
+func TestPCIeTreeTopologyRouting(t *testing.T) {
+	env := sim.NewEnv()
+	topo := NewPCIeTree(env, PCIeConfig{GPUs: 4, Host: hw.PCIePinned, Peer: hw.GPUPeer})
+	if topo.Nodes() != 5 || topo.Host() != 4 {
+		t.Fatalf("nodes=%d host=%d", topo.Nodes(), topo.Host())
+	}
+	var gpuAt, hostAt float64
+	env.Spawn("gpu0", func(p *sim.Proc) {
+		topo.Send(p, 0, 1, 0, nil, 1<<20)
+		gpuAt = p.Now()
+		topo.Send(p, 0, topo.Host(), 1, nil, 1<<20)
+		hostAt = p.Now() - gpuAt
+	})
+	env.Run()
+	env.Close()
+	if relErr(gpuAt, hw.GPUPeer.Time(1<<20)) > 1e-9 {
+		t.Errorf("peer hop %v, want %v", gpuAt, hw.GPUPeer.Time(1<<20))
+	}
+	if relErr(hostAt, hw.PCIePinned.Time(1<<20)) > 1e-9 {
+		t.Errorf("host hop %v, want %v", hostAt, hw.PCIePinned.Time(1<<20))
+	}
+
+	// Host-staged GPU↔GPU (the Sync EASGD1 mode) rides the host link.
+	env2 := sim.NewEnv()
+	staged := NewPCIeTree(env2, PCIeConfig{GPUs: 4, Host: hw.PCIeUnpinned, Peer: hw.GPUPeer, HostStaged: true})
+	var at float64
+	env2.Spawn("gpu0", func(p *sim.Proc) {
+		staged.Send(p, 0, 1, 0, nil, 1<<20)
+		at = p.Now()
+	})
+	env2.Run()
+	env2.Close()
+	if relErr(at, hw.PCIeUnpinned.Time(1<<20)) > 1e-9 {
+		t.Errorf("staged hop %v, want %v", at, hw.PCIeUnpinned.Time(1<<20))
+	}
+}
+
+// A bounded switch makes collective rounds queue. Capacity 2 lets a 4-GPU
+// tree round (2 pair transfers) run in parallel; capacity 1 halves it.
+func TestSwitchConcurrencyContention(t *testing.T) {
+	mk := func(cap_ int) float64 {
+		env := sim.NewEnv()
+		topo := NewPCIeTree(env, PCIeConfig{GPUs: 4, Host: hw.PCIePinned, Peer: hw.GPUPeer, SwitchConcurrency: cap_})
+		c := NewCommunicator(topo, CommConfig{Parties: []int{0, 1, 2, 3}, Plan: packedPlan(1 << 18)})
+		return runCollective(t, topo, c, func(pr *sim.Proc, rank int) {
+			c.Endpoint(rank).AllReduceSize(pr, 0)
+		})
+	}
+	free, bounded := mk(2), mk(1)
+	if bounded <= free {
+		t.Errorf("capacity-1 switch (%v) not slower than capacity-2 (%v)", bounded, free)
+	}
+}
+
+// Per-message wire sizes flow through the WireFunc: with 1-bit compression
+// the allreduce completes at the closed-form time of the compressed bytes.
+func TestWireFuncChargesCompressedBytes(t *testing.T) {
+	p, elems := 4, 100000
+	env := sim.NewEnv()
+	topo := NewUniform(env, p, testLink)
+	wire := func(e int) int64 { return quant.WireBytes(quant.OneBit, e) }
+	c := NewCommunicator(topo, CommConfig{Parties: []int{0, 1, 2, 3}, Plan: packedPlan(elems), Wire: wire})
+	end := runCollective(t, topo, c, func(pr *sim.Proc, rank int) {
+		c.Endpoint(rank).AllReduceSize(pr, 0)
+	})
+	want := TreeAllReduceTime(testLink, quant.WireBytes(quant.OneBit, elems), p)
+	if relErr(end, want) > 1e-9 {
+		t.Errorf("compressed allreduce %v, closed-form over wire bytes %v", end, want)
+	}
+	full := TreeAllReduceTime(testLink, int64(elems)*4, p)
+	if end >= full/20 {
+		t.Errorf("1-bit allreduce %v not ≈32× cheaper than fp32 %v", end, full)
+	}
+}
+
+// Engine determinism: identical runs produce identical times and bits, and
+// the par pool's width/serial mode cannot leak into simulated collectives.
+func TestCollectiveDeterministicAcrossPoolWidths(t *testing.T) {
+	type outcome struct {
+		end  float64
+		bufs [][]float32
+	}
+	run := func() outcome {
+		inputs := randInputs(5, 1234, 77)
+		end, bufs := simAllReduce(t, ScheduleRing, 5, 1234, inputs)
+		return outcome{end, bufs}
+	}
+	base := run()
+	for _, width := range []int{1, 4} {
+		par.SetWidth(width)
+		got := run()
+		par.SetWidth(0)
+		if got.end != base.end || !reflect.DeepEqual(got.bufs, base.bufs) {
+			t.Fatalf("width %d changed the collective outcome", width)
+		}
+	}
+	par.SetSerial(true)
+	got := run()
+	par.SetSerial(false)
+	if got.end != base.end || !reflect.DeepEqual(got.bufs, base.bufs) {
+		t.Fatal("serial mode changed the collective outcome")
+	}
+}
+
+// Overlapped collectives on one communicator: a forked broadcast of round
+// t+1 runs concurrently with the reduce of round t, with selective receive
+// keeping the interleaved streams apart.
+func TestOverlappedCollectivesInterleave(t *testing.T) {
+	p, elems := 4, 512
+	inputs := randInputs(p, elems, 13)
+	center := randInputs(1, elems, 14)[0]
+	env := sim.NewEnv()
+	topo := NewUniform(env, p, testLink)
+	c := NewCommunicator(topo, CommConfig{Parties: []int{0, 1, 2, 3}, Plan: packedPlan(elems)})
+	sums := make([][]float32, p)
+	got := make([][]float32, p)
+	for rank := 0; rank < p; rank++ {
+		rank := rank
+		sums[rank] = append([]float32(nil), inputs[rank]...)
+		got[rank] = make([]float32, elems)
+		if rank == 0 {
+			copy(got[0], center)
+		}
+		env.Spawn(fmt.Sprintf("party%d", rank), func(pr *sim.Proc) {
+			bc := env.Fork(fmt.Sprintf("bcast%d", rank), func(bp *sim.Proc) {
+				c.Endpoint(rank).Broadcast(bp, 1, 0, got[rank])
+			})
+			c.Endpoint(rank).Reduce(pr, 0, 0, sums[rank])
+			bc.Wait(pr)
+		})
+	}
+	end := env.Run()
+	env.Close()
+	want := make([]float32, elems)
+	ReduceSum(want, inputs...)
+	if !reflect.DeepEqual(sums[0], want) {
+		t.Error("overlapped reduce result wrong")
+	}
+	for rank := range got {
+		if !reflect.DeepEqual(got[rank], center) {
+			t.Errorf("rank %d overlapped bcast result wrong", rank)
+		}
+	}
+	// Both collectives ran concurrently: the wall time is below their sum.
+	seq := TreeReduceTime(testLink, int64(elems)*4, p) + TreeBroadcastTime(testLink, int64(elems)*4, p)
+	if end >= seq {
+		t.Errorf("overlapped collectives took %v, not faster than sequential %v", end, seq)
+	}
+}
+
+func TestCommunicatorDegenerateAndValidation(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	topo := NewUniform(env, 1, testLink)
+	c := NewCommunicator(topo, CommConfig{Parties: []int{0}, Plan: packedPlan(8)})
+	buf := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	env.Spawn("solo", func(p *sim.Proc) {
+		c.Endpoint(0).AllReduce(p, 0, buf) // P=1: free no-op
+	})
+	if end := env.Run(); end != 0 {
+		t.Errorf("single-party allreduce took %v", end)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched buffer did not panic")
+			}
+		}()
+		c.Endpoint(0).AllReduce(nil, 1, []float32{1})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("non-float32 plan did not panic")
+			}
+		}()
+		NewCommunicator(topo, CommConfig{Parties: []int{0}, Plan: Plan{LayerBytes: []int64{7}}})
+	}()
+}
+
+func TestParseSchedule(t *testing.T) {
+	for _, name := range Schedules() {
+		s, err := ParseSchedule(name)
+		if err != nil || s.String() != name {
+			t.Errorf("ParseSchedule(%q) = %v, %v", name, s, err)
+		}
+	}
+	if s, err := ParseSchedule(""); err != nil || s != ScheduleTree {
+		t.Errorf("empty schedule should default to tree, got %v, %v", s, err)
+	}
+	if _, err := ParseSchedule("carrier-pigeon"); err == nil {
+		t.Error("unknown schedule did not error")
+	}
+}

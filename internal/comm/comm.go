@@ -1,19 +1,23 @@
-// Package comm is the MPI/NCCL stand-in: collective communication cost
-// models under the α-β model, the actual float32 data movement they imply,
-// packed-versus-per-layer message planning (the paper's §5.2), and simulated
-// point-to-point mailboxes for the asynchronous algorithms.
+// Package comm is the MPI/NCCL stand-in: a message-level collective engine
+// (Topology + Communicator, see topology.go and collective.go) that
+// executes broadcast/reduce/allreduce as actual simulated message
+// exchanges of real float32 segments, plus the closed-form α-β cost
+// functions below that serve as its analytic oracle.
 //
 // The paper's central communication claim is that replacing the round-robin
 // (linear, Θ(P)) exchange with a tree reduction costs Θ(log P)(α + |W|β)
 // instead of Θ(P)(α + |W|β); these are exactly LinearReduceTime and
-// TreeReduceTime below.
+// TreeReduceTime. The engine's round-synchronized schedules reproduce
+// these formulas to the last bit on contention-free topologies (the
+// property the collective tests pin), and diverge from them exactly where
+// the analytic model cannot follow: shared-segment contention, pipelined
+// chunk overlap, and per-message compressed wire sizes.
 package comm
 
 import (
 	"math"
 	"math/bits"
 
-	"scaledl/internal/sim"
 	"scaledl/internal/tensor"
 )
 
@@ -65,17 +69,40 @@ func TreeAllReduceTime(l Transferer, n int64, p int) float64 {
 }
 
 // RingAllReduceTime is the bandwidth-optimal ring allreduce cost,
-// 2(P−1)(α + (n/P)β); included as the ablation alternative to the tree
-// (better for huge n, worse for small n because of its 2(P−1) latency term).
+// 2(P−1)(α + chunk·β) with float32-element-granular chunks
+// (chunk = 4·ceil(ceil(n/4)/P) bytes, the largest chunk in flight per
+// synchronized step — exactly what the simulated ring pays); included as
+// the ablation alternative to the tree (better for huge n, worse for
+// small n because of its 2(P−1) latency term).
 func RingAllReduceTime(l Transferer, n int64, p int) float64 {
 	if p <= 1 {
 		return 0
 	}
-	chunk := n / int64(p)
-	if chunk < 1 {
-		chunk = 1
+	elems := (n + 3) / 4
+	chunkElems := (elems + int64(p) - 1) / int64(p)
+	return 2 * float64(p-1) * l.Time(4*chunkElems)
+}
+
+// RHDAllReduceTime is the recursive halving/doubling allreduce cost for a
+// power-of-two party count: log2(P) halving steps of sizes n/2, n/4, …,
+// n/P mirrored by log2(P) doubling steps — 2(log2(P)·α + n(1−1/P)β).
+// Sizes are float32-element-granular with ceil halving, matching the
+// simulated schedule's largest in-flight message per step. Non-power-of-
+// two counts fall back to the binomial tree, as the engine does.
+func RHDAllReduceTime(l Transferer, n int64, p int) float64 {
+	if p <= 1 {
+		return 0
 	}
-	return 2 * float64(p-1) * l.Time(chunk)
+	if p&(p-1) != 0 {
+		return TreeAllReduceTime(l, n, p)
+	}
+	elems := (n + 3) / 4
+	var t float64
+	for parts := p; parts > 1; parts >>= 1 {
+		elems = (elems + 1) / 2
+		t += 2 * l.Time(4*elems)
+	}
+	return t
 }
 
 // HierarchicalAllReduceTime is a two-level allreduce: each node first
@@ -170,41 +197,6 @@ func (p Plan) AllReduceTime(l Transferer, parties int) float64 {
 	}
 	return t
 }
-
-// Mailbox is a simulated point-to-point channel: senders pay the link
-// transfer time, then the message becomes available to the receiver. It is
-// the building block of the parameter-server (Async/Hogwild) algorithms.
-type Mailbox struct {
-	q    *sim.Queue
-	link Transferer
-}
-
-// NewMailbox creates a mailbox whose transfers cost time on l.
-func NewMailbox(env *sim.Env, name string, l Transferer) *Mailbox {
-	return &Mailbox{q: sim.NewQueue(env, name), link: l}
-}
-
-// Send blocks p for the transfer time of bytes, then delivers v.
-func (m *Mailbox) Send(p *sim.Proc, v any, bytes int64) {
-	p.Delay(m.link.Time(bytes))
-	m.q.Send(v)
-}
-
-// SendAsync delivers v after only the link latency-free enqueue (models a
-// DMA posted by hardware while the caller continues); use for overlapped
-// transfers where another process accounts the time.
-func (m *Mailbox) SendAsync(v any) {
-	m.q.Send(v)
-}
-
-// Recv blocks p until a message is available.
-func (m *Mailbox) Recv(p *sim.Proc) any { return p.Recv(m.q) }
-
-// TryRecv returns a message if one is pending.
-func (m *Mailbox) TryRecv() (any, bool) { return m.q.TryRecv() }
-
-// Len returns the number of queued messages.
-func (m *Mailbox) Len() int { return m.q.Len() }
 
 // CrossoverBytes returns the message size above which a ring allreduce
 // beats a tree allreduce on link l for p parties, found by bisection; the

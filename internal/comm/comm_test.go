@@ -243,18 +243,20 @@ func TestHierarchicalAllReduceBeatsFlatOnFabric(t *testing.T) {
 	}()
 }
 
-func TestMailboxTransferTiming(t *testing.T) {
+// TestTopologyPointToPointTiming replaces the old Mailbox tests: the
+// topology's point-to-point sends pay the link's α-β cost and deliver
+// in-order per source, FCFS across sources.
+func TestTopologyPointToPointTiming(t *testing.T) {
 	env := sim.NewEnv()
 	defer env.Close()
-	mb := NewMailbox(env, "mb", testLink)
+	topo := NewUniform(env, 2, testLink)
 	var recvAt float64
 	env.Spawn("sender", func(p *sim.Proc) {
-		mb.Send(p, "weights", 1<<20) // ≈ 1.05 ms on the test link
+		topo.Send(p, 0, 1, 7, "weights", 1<<20)
 	})
 	env.Spawn("receiver", func(p *sim.Proc) {
-		msg := mb.Recv(p)
-		if msg.(string) != "weights" {
-			t.Errorf("got %v", msg)
+		if got := topo.Recv(p, 1, 0, 7); got.(string) != "weights" {
+			t.Errorf("got %v", got)
 		}
 		recvAt = p.Now()
 	})
@@ -263,44 +265,30 @@ func TestMailboxTransferTiming(t *testing.T) {
 	if math.Abs(recvAt-want) > 1e-12 {
 		t.Errorf("received at %v, want %v", recvAt, want)
 	}
+	if topo.BytesMoved() != 1<<20 {
+		t.Errorf("BytesMoved = %d", topo.BytesMoved())
+	}
 }
 
-func TestMailboxFCFSOrder(t *testing.T) {
+func TestTopologyRecvAnyFCFS(t *testing.T) {
 	env := sim.NewEnv()
 	defer env.Close()
-	mb := NewMailbox(env, "mb", testLink)
+	topo := NewUniform(env, 4, testLink)
 	var got []int
 	for i := 0; i < 3; i++ {
 		id := i
 		env.Spawn("w", func(p *sim.Proc) {
-			p.Delay(float64(3 - id)) // w2 sends first, then w1, then w0
-			mb.Send(p, id, 0)
+			p.Delay(float64(3 - id)) // node 2 sends first, then 1, then 0
+			topo.Send(p, id, 3, 0, id, 0)
 		})
 	}
 	env.Spawn("master", func(p *sim.Proc) {
 		for i := 0; i < 3; i++ {
-			got = append(got, mb.Recv(p).(int))
+			got = append(got, topo.RecvAny(p, 3).Payload.(int))
 		}
 	})
 	env.Run()
 	if got[0] != 2 || got[1] != 1 || got[2] != 0 {
 		t.Errorf("FCFS order broken: %v", got)
-	}
-}
-
-func TestMailboxTryRecvAndLen(t *testing.T) {
-	env := sim.NewEnv()
-	defer env.Close()
-	mb := NewMailbox(env, "mb", testLink)
-	if _, ok := mb.TryRecv(); ok {
-		t.Error("TryRecv on empty mailbox")
-	}
-	mb.SendAsync(7)
-	if mb.Len() != 1 {
-		t.Errorf("Len = %d", mb.Len())
-	}
-	v, ok := mb.TryRecv()
-	if !ok || v.(int) != 7 {
-		t.Errorf("TryRecv = %v %v", v, ok)
 	}
 }

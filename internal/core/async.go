@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"scaledl/internal/comm"
+	"scaledl/internal/quant"
 	"scaledl/internal/sim"
 )
 
@@ -25,6 +27,13 @@ import (
 // concurrent handler that reads a center snapshot at service start and
 // commits additively — the deterministic model of componentwise-atomic
 // lock-free updates (§3.2, §5.1, convergence proof referenced by the paper).
+//
+// Parameter messages travel the simulated PCIe topology: each transfer is
+// a per-plan-segment message on the worker's host link, so per-layer plans
+// pay their per-message α here too, and gradient compression
+// (Config.Compression) shrinks each message's wire size — gradients ride
+// per-worker error-feedback quantizers, weight streams (the EASGD payloads
+// and every center reply) ride delta codecs.
 
 // AsyncSGD is the parameter-server baseline (Dean et al.), FCFS with a
 // master-side lock.
@@ -69,23 +78,61 @@ type asyncOpts struct {
 }
 
 // psRequest travels worker→master. For SGD-style methods payload is the
-// gradient; for EASGD-style it is the worker's local weights. loss is the
-// batch loss of the round that produced the payload (0 for an EASGD
-// worker's first request, which ships the initial weights before any
-// batch): carrying it in the message keeps the master's loss telemetry
-// deterministic while the worker's next gradient is in flight on the par
-// pool.
+// (possibly quantizer-reconstructed) gradient; for EASGD-style it is the
+// worker's local weights. loss is the batch loss of the round that produced
+// the payload (0 for an EASGD worker's first request, which ships the
+// initial weights before any batch): carrying it in the message keeps the
+// master's loss telemetry deterministic while the worker's next gradient is
+// in flight on the par pool.
 type psRequest struct {
 	from    int
 	loss    float64
 	payload []float32
-	reply   *sim.Queue
 }
 
 // psReply travels master→worker.
 type psReply struct {
-	center []float32 // snapshot of W̄ after the update
+	center []float32 // snapshot of W̄ after the update (codec reconstruction)
 	stop   bool
+}
+
+// Message tags on the parameter-server topology.
+const (
+	tagPSRequest = 1
+	tagPSReply   = 2
+)
+
+// psCodecs bundles the per-stream compression state of one
+// parameter-server-style run (async and round-robin): nil members mean
+// raw fp32. Gradient streams get plain error-feedback quantizers; weight
+// streams (EASGD payloads, center replies) get delta codecs.
+type psCodecs struct {
+	up   []*quant.Quantizer  // worker→master gradient streams (SGD-style)
+	upW  []*quant.DeltaCodec // worker→master weight streams (EASGD-style)
+	down []*quant.DeltaCodec // master→worker center streams
+}
+
+func newPSCodecs(cfg Config, n int, elastic bool) psCodecs {
+	var c psCodecs
+	if cfg.Compression == quant.None {
+		return c
+	}
+	c.down = make([]*quant.DeltaCodec, cfg.Workers)
+	for i := range c.down {
+		c.down[i] = quant.NewDeltaCodec(cfg.Compression, n)
+	}
+	if elastic {
+		c.upW = make([]*quant.DeltaCodec, cfg.Workers)
+		for i := range c.upW {
+			c.upW[i] = quant.NewDeltaCodec(cfg.Compression, n)
+		}
+	} else {
+		c.up = make([]*quant.Quantizer, cfg.Workers)
+		for i := range c.up {
+			c.up[i] = quant.New(cfg.Compression, n)
+		}
+	}
+	return c
 }
 
 func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
@@ -97,22 +144,25 @@ func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
 	env := sim.NewEnv()
 	defer env.Close()
 
-	inbox := sim.NewQueue(env, "ps-inbox")
+	topo := cfg.Platform.topology(env, cfg.Workers, false)
+	master := topo.Host()
+	codecs := newPSCodecs(cfg, len(rc.center), opt.elastic)
 	var velocity []float32
 	if opt.momentum && !opt.elastic {
 		velocity = make([]float32, len(rc.center)) // master-side momentum
 	}
 
-	// Master: FIFO service. Locked variants hold the critical section for
-	// update+reply; the lock-free variants dispatch a concurrent handler per
-	// request, so service times overlap.
+	// Master: FIFO service off the host inbox. Locked variants hold the
+	// critical section for update+reply; the lock-free variants dispatch a
+	// concurrent handler per request, so service times overlap.
 	dispatched := 0
 	env.Spawn("master", func(p *sim.Proc) {
 		stopsSent := 0
 		for stopsSent < cfg.Workers {
-			req := p.Recv(inbox).(psRequest)
+			req := topo.RecvAny(p, master).Payload.(psRequest)
 			if dispatched >= cfg.Iterations || rc.stopped {
-				req.reply.Send(psReply{stop: true})
+				// Stop sentinels are zero-size control messages.
+				topo.Send(p, master, req.from, tagPSReply, psReply{stop: true}, 0)
 				stopsSent++
 				continue
 			}
@@ -120,18 +170,23 @@ func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
 			if opt.lockFree {
 				r := req
 				env.Spawn(fmt.Sprintf("handler-%d", dispatched), func(h *sim.Proc) {
-					serveOne(h, rc, cfg, opt, r, velocity)
+					serveOne(h, rc, cfg, opt, topo, codecs, r, velocity)
 				})
 			} else {
-				serveOne(p, rc, cfg, opt, req, velocity)
+				serveOne(p, rc, cfg, opt, topo, codecs, req, velocity)
 			}
 		}
 	})
 
 	for i := 0; i < cfg.Workers; i++ {
+		i := i
 		w := rc.workers[i]
-		replyQ := sim.NewQueue(env, fmt.Sprintf("reply%d", i))
 		env.Spawn(fmt.Sprintf("worker%d", i), func(p *sim.Proc) {
+			ship := func(loss float64, payload []float32, wire int64) {
+				rc.bd.AddBytes(CatCPUGPUParam, wire)
+				topo.SendModel(p, i, master, tagPSRequest,
+					psRequest{from: i, loss: loss, payload: payload}, rc.plan, wire)
+			}
 			for {
 				// Minibatch copy to the device.
 				p.Delay(rc.dataXfer)
@@ -141,13 +196,18 @@ func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
 					// well as simulated: the forward/backward runs on the par
 					// pool while this process waits out the round trip, so
 					// other workers' gradients execute concurrently with it.
-					snap := append([]float32(nil), w.net.Params...)
-					p.Delay(rc.hostXfer)
-					inbox.Send(psRequest{from: i, loss: w.lastLoss, payload: snap, reply: replyQ})
+					snap := make([]float32, len(w.net.Params))
+					wire := int64(len(snap)) * 4
+					if codecs.upW != nil {
+						wire = codecs.upW[i].Encode(w.net.Params, snap)
+					} else {
+						copy(snap, w.net.Params)
+					}
+					ship(w.lastLoss, snap, wire)
 					join := w.beginGradient()
 					p.Delay(w.computeTime)
 					join()
-					rep := p.Recv(replyQ).(psReply)
+					rep := topo.Recv(p, i, master, tagPSReply).(psReply)
 					if rep.stop {
 						return
 					}
@@ -165,9 +225,12 @@ func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
 					join := w.beginGradient()
 					p.Delay(w.computeTime)
 					loss := join()
-					p.Delay(rc.hostXfer)
-					inbox.Send(psRequest{from: i, loss: loss, payload: w.net.Grads, reply: replyQ})
-					rep := p.Recv(replyQ).(psReply)
+					wire := int64(len(w.net.Grads)) * 4
+					if codecs.up != nil {
+						wire = codecs.up[i].Apply(w.net.Grads, w.net.Grads)
+					}
+					ship(loss, w.net.Grads, wire)
+					rep := topo.Recv(p, i, master, tagPSReply).(psReply)
 					if rep.stop {
 						return
 					}
@@ -185,7 +248,7 @@ func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
 // serveOne performs one master-side service: the update rule, then the
 // reply transfer back to the worker. In locked mode it runs inside the
 // master's loop (serializing); in lock-free mode it runs in its own process.
-func serveOne(p *sim.Proc, rc *runContext, cfg Config, opt asyncOpts, req psRequest, velocity []float32) {
+func serveOne(p *sim.Proc, rc *runContext, cfg Config, opt asyncOpts, topo *comm.Topology, codecs psCodecs, req psRequest, velocity []float32) {
 	if opt.elastic {
 		// Equation (2) for one arrival. The center snapshot is taken at
 		// service start; with the lock this equals the live center, without
@@ -210,9 +273,17 @@ func serveOne(p *sim.Proc, rc *runContext, cfg Config, opt asyncOpts, req psRequ
 	if cfg.EvalEvery > 0 && rc.updates%int64(cfg.EvalEvery) == 0 {
 		rc.recordPoint(int(rc.updates), p.Now(), req.loss)
 	}
-	// Reply transfer occupies the lock in the locked variants; in Hogwild it
-	// is a concurrent DMA.
-	p.Delay(rc.hostXfer)
-	rc.bd.Add(CatCPUGPUParam, rc.hostXfer)
-	req.reply.Send(psReply{center: append([]float32(nil), rc.center...)})
+	// The reply transfer occupies the lock in the locked variants; in
+	// Hogwild it is a concurrent DMA on the worker's own host link.
+	reply := make([]float32, len(rc.center))
+	wire := int64(len(reply)) * 4
+	if codecs.down != nil {
+		wire = codecs.down[req.from].Encode(rc.center, reply)
+	} else {
+		copy(reply, rc.center)
+	}
+	t0 := p.Now()
+	rc.bd.AddBytes(CatCPUGPUParam, wire)
+	topo.SendModel(p, topo.Host(), req.from, tagPSReply, psReply{center: reply}, rc.plan, wire)
+	rc.bd.Add(CatCPUGPUParam, p.Now()-t0)
 }

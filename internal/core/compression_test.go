@@ -30,6 +30,76 @@ func TestCompressedSyncSGDStillLearns(t *testing.T) {
 	}
 }
 
+// TestOneBitTrafficIsThirtySecondOfFP32 pins the wire-size accounting of
+// the simulated allreduce: every 1-bit message is n/8+8 bytes against 4n
+// raw, so the parameter-traffic breakdown of a OneBit run must be ~1/32 of
+// the fp32 run's (the +8-byte reconstruction header keeps it just under).
+func TestOneBitTrafficIsThirtySecondOfFP32(t *testing.T) {
+	traffic := func(scheme quant.Scheme) int64 {
+		cfg := testConfig(t, 25, true)
+		cfg.Compression = scheme
+		res, err := SyncSGD(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Breakdown.ParamTraffic() <= 0 {
+			t.Fatalf("%v: no parameter traffic recorded", scheme)
+		}
+		return res.Breakdown.ParamTraffic()
+	}
+	raw, onebit := traffic(quant.None), traffic(quant.OneBit)
+	ratio := float64(raw) / float64(onebit)
+	if ratio < 25 || ratio > 33 {
+		t.Errorf("fp32/1-bit traffic ratio %.1f, want ~32 (raw %d, 1-bit %d)", ratio, raw, onebit)
+	}
+	u8 := traffic(quant.Uniform8)
+	if r := float64(raw) / float64(u8); r < 3.5 || r > 4.1 {
+		t.Errorf("fp32/uint8 traffic ratio %.1f, want ~4", r)
+	}
+}
+
+// The asynchronous path now charges quantized wire sizes per message too:
+// weight streams are delta-encoded (raw key frame, then 1-bit deltas), so
+// traffic collapses after the first round trip and the run still learns.
+func TestAsyncCompressionCutsTrafficAndLearns(t *testing.T) {
+	run := func(scheme quant.Scheme) Result {
+		cfg := testConfig(t, 120, true)
+		cfg.Compression = scheme
+		res, err := AsyncEASGD(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	raw, onebit := run(quant.None), run(quant.OneBit)
+	ratio := float64(raw.Breakdown.ParamTraffic()) / float64(onebit.Breakdown.ParamTraffic())
+	// 8 key frames (one per directed stream) ride raw; the remaining ~232
+	// messages are 1/32 — the blended ratio must clear 8x.
+	if ratio < 8 {
+		t.Errorf("async fp32/1-bit traffic ratio %.1f, want > 8", ratio)
+	}
+	if onebit.SimTime >= raw.SimTime {
+		t.Errorf("1-bit async run (%v) not faster than fp32 (%v)", onebit.SimTime, raw.SimTime)
+	}
+	if onebit.FinalAcc < 0.5 {
+		t.Errorf("1-bit async accuracy %.3f too low", onebit.FinalAcc)
+	}
+	// Round-robin compresses both weight streams as well.
+	rrRaw, rrOne := Result{}, Result{}
+	for scheme, dst := range map[quant.Scheme]*Result{quant.None: &rrRaw, quant.OneBit: &rrOne} {
+		cfg := testConfig(t, 120, true)
+		cfg.Compression = scheme
+		res, err := OriginalEASGD(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		*dst = res
+	}
+	if r := float64(rrRaw.Breakdown.ParamTraffic()) / float64(rrOne.Breakdown.ParamTraffic()); r < 8 {
+		t.Errorf("round-robin fp32/1-bit traffic ratio %.1f, want > 8", r)
+	}
+}
+
 func TestCompressedRunsAreDeterministic(t *testing.T) {
 	run := func() Result {
 		cfg := testConfig(t, 25, true)

@@ -8,6 +8,7 @@ import (
 	"scaledl/internal/hw"
 	"scaledl/internal/nn"
 	"scaledl/internal/quant"
+	"scaledl/internal/sim"
 )
 
 // Platform is the simulated hardware a run executes on: the per-worker
@@ -32,6 +33,27 @@ type Platform struct {
 	// GatherBW, if nonzero, is the staging bandwidth penalty per-layer
 	// (unpacked) plans pay for noncontiguous memory access.
 	GatherBW float64
+	// SwitchConcurrency bounds how many parameter transfers the PCIe
+	// switch carries at once; 0 (the default) is unconstrained, matching
+	// the analytic model's assumption that a collective round's pair
+	// transfers never queue. Setting it below Workers/2 makes switch
+	// contention emerge in the simulated collectives.
+	SwitchConcurrency int
+}
+
+// topology builds the simulated message fabric for a run: the paper's
+// PCIe tree with the host as the extra node. hostStaged routes GPU↔GPU
+// exchanges through host staging (the transfer mode of Sync EASGD1 and
+// the data-parallel allreduce, whose parameter traffic rides HostParam);
+// otherwise they use peer DMA through the switch (Sync EASGD2/3).
+func (p Platform) topology(env *sim.Env, workers int, hostStaged bool) *comm.Topology {
+	return comm.NewPCIeTree(env, comm.PCIeConfig{
+		GPUs:              workers,
+		Host:              p.HostParam,
+		Peer:              p.PeerParam,
+		HostStaged:        hostStaged,
+		SwitchConcurrency: p.SwitchConcurrency,
+	})
 }
 
 // DefaultGPUPlatform models the paper's 4-GPU experiment node (Tesla M40s
@@ -97,12 +119,19 @@ type Config struct {
 	// comparisons are at equal accuracy, so experiments set a target and
 	// compare the stopping times.
 	TargetAcc float64
-	// Compression selects low-precision gradient transmission for the
-	// synchronous data-parallel path (SyncSGD) — the extension the paper
-	// defers to future work in §3.4. Quantization error enters the real
-	// training mathematics via error feedback; wire sizes shrink
-	// accordingly.
+	// Compression selects low-precision parameter transmission — the
+	// extension the paper defers to future work in §3.4. SyncSGD
+	// quantizes gradients per worker (1-bit SGD with error feedback);
+	// the asynchronous and round-robin algorithms, whose payloads are
+	// whole weights, delta-encode each directed stream (quant.DeltaCodec).
+	// Quantization error enters the real training mathematics; per-message
+	// wire sizes shrink accordingly in the simulated transfers.
 	Compression quant.Scheme
+	// Schedule selects the collective message pattern for the allreduce
+	// algorithms (SyncSGD, KNLClusterEASGD): tree (default), ring, rhd,
+	// chain or linear — see comm.ParseSchedule. The Sync EASGD family
+	// always uses the paper's binomial tree.
+	Schedule comm.Schedule
 }
 
 // Validate checks the configuration and applies documented defaults.

@@ -5,21 +5,20 @@ import (
 
 	"scaledl/internal/comm"
 	"scaledl/internal/hw"
-	"scaledl/internal/mpi"
 	"scaledl/internal/sim"
 	"scaledl/internal/tensor"
 )
 
 // KNLClusterConfig configures Algorithm 4 of the paper: Communication-
-// Efficient EASGD on a KNL cluster. Unlike the coordinator-style Sync
-// EASGD implementations (which charge collective costs analytically), this
-// runs one simulated MPI rank process per node, with the broadcast and
-// tree reduction executed as real message waves over the fabric — the
-// closest structural analogue of the paper's MPI code.
+// Efficient EASGD on a KNL cluster. One simulated process runs per node,
+// and the broadcast and tree reduction execute as real message waves over
+// the fabric through the collective engine — the closest structural
+// analogue of the paper's MPI code.
 type KNLClusterConfig struct {
 	// Config supplies the workload, hyperparameters and budget. The
 	// Platform's Worker device models one KNL node; parameter traffic uses
-	// Fabric below rather than the platform links.
+	// Fabric below rather than the platform links. Config.Schedule selects
+	// the collective pattern (tree by default).
 	Config
 	// Fabric is the interconnect between nodes (e.g. Cori's Aries).
 	Fabric comm.Transferer
@@ -42,81 +41,110 @@ func KNLClusterEASGD(kcfg KNLClusterConfig) (Result, error) {
 	env := sim.NewEnv()
 	defer env.Close()
 
-	world := mpi.NewWorld(env, cfg.Workers, kcfg.Fabric)
 	n := len(rc.center)
-
-	world.Spawn("knl", func(r *mpi.Rank) {
-		w := rc.workers[r.ID()]
-		sum := make([]float32, n)
-		centerBuf := make([]float32, n)
-		if r.ID() == 0 {
-			copy(centerBuf, rc.center)
-		}
-		for t := 0; t < cfg.Iterations; t++ {
-			if rc.stopped {
-				break
-			}
-			// Line 10: each node samples b from its local copy (local
-			// memory, negligible on the fabric timeline) and computes the
-			// gradient for real. The math runs on the par pool while this
-			// rank waits out its compute delay, so all P ranks' gradients
-			// overlap in real time exactly as the paper's nodes do; the
-			// join lands before the weights enter the collectives.
-			join := w.beginGradient()
-			r.Proc().Delay(w.computeTime)
-			roundLoss := join()
-
-			// Line 12: KNL1 broadcasts W̄_t (real message tree).
-			r.Bcast(0, 2*t, centerBuf)
-			// Line 13: tree-reduce ΣW_j^t to KNL1 (pre-update weights).
-			copy(sum, w.net.Params)
-			r.Reduce(0, 2*t+1, sum)
-
-			// Line 14: every node applies Equation (1) with W̄_t.
-			w.elasticLocal(cfg.LR, cfg.Rho, centerBuf)
-			r.Proc().Delay(rc.workerUpdate)
-
-			// Line 15: KNL1 applies Equation (2) with the reduced sum.
-			if r.ID() == 0 {
-				a := cfg.LR * cfg.Rho
-				pf := float32(cfg.Workers)
-				for i := range centerBuf {
-					centerBuf[i] += a * (sum[i] - pf*centerBuf[i])
-				}
-				r.Proc().Delay(rc.masterUpdate)
-				copy(rc.center, centerBuf)
-				rc.updates++
-				rc.samples += int64(cfg.Batch * cfg.Workers)
-				if cfg.EvalEvery > 0 && (t+1)%cfg.EvalEvery == 0 {
-					rc.recordPoint(t+1, r.Now(), roundLoss)
-				}
-			}
-		}
+	topo := comm.NewUniform(env, cfg.Workers, kcfg.Fabric)
+	parties := comm.Ranks(cfg.Workers)
+	cm := comm.NewCommunicator(topo, comm.CommConfig{
+		Parties:  parties,
+		Plan:     comm.Plan{LayerBytes: []int64{rc.paramBytes}, Packed: true},
+		Schedule: cfg.Schedule,
 	})
+	bar := sim.NewBarrier(env, "round", cfg.Workers)
+
+	for id := 0; id < cfg.Workers; id++ {
+		id := id
+		w := rc.workers[id]
+		ep := cm.Endpoint(id)
+		env.Spawn(fmt.Sprintf("knl-rank%d", id), func(p *sim.Proc) {
+			sum := make([]float32, n)
+			centerBuf := make([]float32, n)
+			if id == 0 {
+				copy(centerBuf, rc.center)
+			}
+			for t := 0; t < cfg.Iterations; t++ {
+				// Line 10: each node samples b from its local copy (local
+				// memory, negligible on the fabric timeline) and computes the
+				// gradient for real. The math runs on the par pool while this
+				// rank waits out its compute delay, so all P ranks' gradients
+				// overlap in real time exactly as the paper's nodes do; the
+				// join lands before the weights enter the collectives.
+				join := w.beginGradient()
+				p.Delay(w.computeTime)
+				roundLoss := join()
+
+				// Line 12: KNL1 broadcasts W̄_t (real message tree).
+				ep.Broadcast(p, 2*t, 0, centerBuf)
+				// Line 13: tree-reduce ΣW_j^t to KNL1 (pre-update weights;
+				// the engine combines contributions in rank order, so the
+				// sum is bit-identical to comm.ReduceSum).
+				copy(sum, w.net.Params)
+				ep.Reduce(p, 2*t+1, 0, sum)
+
+				// Line 14: every node applies Equation (1) with W̄_t.
+				w.elasticLocal(cfg.LR, cfg.Rho, centerBuf)
+				p.Delay(rc.workerUpdate)
+
+				// Line 15: KNL1 applies Equation (2) with the reduced sum.
+				if id == 0 {
+					a := cfg.LR * cfg.Rho
+					pf := float32(cfg.Workers)
+					for i := range centerBuf {
+						centerBuf[i] += a * (sum[i] - pf*centerBuf[i])
+					}
+					p.Delay(rc.masterUpdate)
+					copy(rc.center, centerBuf)
+					rc.updates++
+					rc.samples += int64(cfg.Batch * cfg.Workers)
+					rc.bd.AddBytes(CatGPUGPUParam, topo.BytesMoved()-rc.bd.Bytes[CatGPUGPUParam])
+					if cfg.EvalEvery > 0 && (t+1)%cfg.EvalEvery == 0 {
+						rc.recordPoint(t+1, p.Now(), roundLoss)
+					}
+				}
+				// Round barrier: free in simulated time (the next broadcast
+				// waits on rank 0 anyway), but it gives every rank a
+				// consistent view of the early-stop flag — no phantom
+				// gradient round after the target is reached.
+				p.Wait(bar)
+				if rc.stopped {
+					return
+				}
+			}
+		})
+	}
 
 	end := env.Run()
 	res := rc.finish("knl-cluster-easgd", end)
 	return res, nil
 }
 
-// KNLClusterWeakScaling runs the Algorithm 4 rank program in cost-only
-// mode (no real math) to measure per-iteration time at a given node count
-// for an arbitrary model size — the executable counterpart of Table 4's
-// analytic model. It returns the simulated seconds per iteration.
+// KNLClusterWeakScaling runs the Algorithm 4 rank program in size-only
+// mode (the same message waves, no payloads) to measure per-iteration time
+// at a given node count for an arbitrary model size — the executable
+// counterpart of Table 4's analytic model. It returns the simulated
+// seconds per iteration.
 func KNLClusterWeakScaling(nodes int, paramBytes int64, computePerIter float64, fabric comm.Transferer, iters int) (float64, error) {
 	if nodes < 1 || iters < 1 {
 		return 0, fmt.Errorf("core: nodes and iters must be >= 1")
 	}
 	env := sim.NewEnv()
 	defer env.Close()
-	world := mpi.NewWorld(env, nodes, fabric)
-	world.Spawn("ws", func(r *mpi.Rank) {
-		for t := 0; t < iters; t++ {
-			r.Proc().Delay(computePerIter)
-			r.BcastBytes(0, 2*t, paramBytes)
-			r.ReduceBytes(0, 2*t+1, paramBytes)
-		}
+	topo := comm.NewUniform(env, nodes, fabric)
+	parties := comm.Ranks(nodes)
+	cm := comm.NewCommunicator(topo, comm.CommConfig{
+		Parties: parties,
+		Plan:    comm.Plan{LayerBytes: []int64{paramBytes}, Packed: true},
 	})
+	for id := 0; id < nodes; id++ {
+		id := id
+		ep := cm.Endpoint(id)
+		env.Spawn(fmt.Sprintf("ws-rank%d", id), func(p *sim.Proc) {
+			for t := 0; t < iters; t++ {
+				p.Delay(computePerIter)
+				ep.BroadcastSize(p, 2*t, 0)
+				ep.ReduceSize(p, 2*t+1, 0)
+			}
+		})
+	}
 	end := env.Run()
 	return end / float64(iters), nil
 }

@@ -63,9 +63,13 @@ func Categories() []Category {
 
 // Breakdown accumulates exposed (critical-path) time per category, as seen
 // from the coordinating process, so the parts sum to the simulated wall
-// time just as the paper's Table 3 percentages sum to 100%.
+// time just as the paper's Table 3 percentages sum to 100%. Bytes counts
+// the wire traffic of each category — *all* bytes moved, including
+// transfers hidden under compute overlap, so compressed-gradient runs show
+// their full traffic reduction even where the time is already hidden.
 type Breakdown struct {
 	Times [numCategories]float64
+	Bytes [numCategories]int64
 }
 
 // Add charges d seconds to category c.
@@ -74,6 +78,20 @@ func (b *Breakdown) Add(c Category, d float64) {
 		panic(fmt.Sprintf("core: negative time %v for %v", d, c))
 	}
 	b.Times[c] += d
+}
+
+// AddBytes records n wire bytes against category c.
+func (b *Breakdown) AddBytes(c Category, n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("core: negative bytes %d for %v", n, c))
+	}
+	b.Bytes[c] += n
+}
+
+// ParamTraffic returns the wire bytes of the two parameter-communication
+// categories — the quantity gradient compression shrinks.
+func (b Breakdown) ParamTraffic() int64 {
+	return b.Bytes[CatGPUGPUParam] + b.Bytes[CatCPUGPUParam]
 }
 
 // Total returns the sum over categories.

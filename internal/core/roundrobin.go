@@ -21,15 +21,34 @@ func OriginalEASGDSerial(cfg Config) (Result, error) {
 // overlaps with the master's parameter exchange for neighbouring
 // iterations, hiding most of the compute behind communication. It remains
 // Θ(P) per sweep, the inefficiency the paper's Sync EASGD removes.
+//
+// Parameter traffic rides the simulated PCIe topology: the center download
+// is a per-plan-segment message wave on worker j's host link (per-layer
+// plans pay one α per layer — the pageable, unpacked mode the original
+// code used), and the upload is a master-driven pull with the same shape.
+// Config.Compression delta-encodes both weight streams per worker.
 func OriginalEASGD(cfg Config) (Result, error) {
 	return runRoundRobin(cfg, "original-easgd", true)
 }
 
-// rrDone is the completion message a worker posts after its local step.
-type rrDone struct {
-	weights []float32 // snapshot of W_j after backprop, before Eq. (1)
-	loss    float64
+// rrCmd travels master→worker: a center snapshot, or the stop sentinel.
+type rrCmd struct {
+	center []float32
+	stop   bool
 }
+
+// rrDone is the completion a worker posts after its local step: the
+// pre-update weight snapshot (codec reconstruction under compression) and
+// the wire size the master's pull will cost. The posting itself is a free
+// control signal — the upload's time is charged on the master's critical
+// path when it collects, exactly Algorithm 1's ordered exchange.
+type rrDone struct {
+	weights []float32
+	loss    float64
+	wire    int64
+}
+
+const tagRRCenter = 3
 
 func runRoundRobin(cfg Config, name string, overlap bool) (Result, error) {
 	rc, err := newRunContext(cfg)
@@ -41,36 +60,44 @@ func runRoundRobin(cfg Config, name string, overlap bool) (Result, error) {
 	defer env.Close()
 
 	g := cfg.Workers
-	// Per-worker command and completion queues.
-	cmd := make([]*sim.Queue, g)
+	topo := cfg.Platform.topology(env, g, true)
+	master := topo.Host()
 	done := make([]*sim.Queue, g)
 	for j := 0; j < g; j++ {
-		cmd[j] = sim.NewQueue(env, fmt.Sprintf("cmd%d", j))
 		done[j] = sim.NewQueue(env, fmt.Sprintf("done%d", j))
 	}
+	// Both directions carry weights, so the codec bundle is the EASGD-style
+	// (elastic) one: delta codecs per directed stream.
+	codecs := newPSCodecs(cfg, len(rc.center), true)
+	up, down := codecs.upW, codecs.down
 
-	// Workers: wait for a center-weight copy, run one real minibatch
+	// Workers: wait for a center-weight message, run one real minibatch
 	// forward/backward, post the pre-update weights, then apply Eq. (1)
 	// locally. Worker time runs concurrently with the master's pipeline,
 	// and in the overlapped schedule several workers' compute windows
 	// coincide — their gradient math genuinely overlaps on the par pool
 	// while each simulated process waits out its compute delay.
 	for j := 0; j < g; j++ {
+		j := j
 		w := rc.workers[j]
-		dq, cq := done[j], cmd[j]
 		env.Spawn(fmt.Sprintf("gpu%d", j), func(p *sim.Proc) {
 			for {
-				m := p.Recv(cq)
-				center, ok := m.([]float32)
-				if !ok {
-					return // stop sentinel
+				cmd := topo.Recv(p, j, master, tagRRCenter).(rrCmd)
+				if cmd.stop {
+					return
 				}
 				join := w.beginGradient()
 				p.Delay(w.computeTime)
 				loss := join()
-				snap := append([]float32(nil), w.net.Params...)
-				dq.Send(rrDone{weights: snap, loss: loss})
-				w.elasticLocal(cfg.LR, cfg.Rho, center)
+				snap := make([]float32, len(w.net.Params))
+				wire := int64(len(snap)) * 4
+				if up != nil {
+					wire = up[j].Encode(w.net.Params, snap)
+				} else {
+					copy(snap, w.net.Params)
+				}
+				done[j].Send(rrDone{weights: snap, loss: loss, wire: wire})
+				w.elasticLocal(cfg.LR, cfg.Rho, cmd.center)
 				p.Delay(rc.workerUpdate)
 			}
 		})
@@ -82,13 +109,29 @@ func runRoundRobin(cfg Config, name string, overlap bool) (Result, error) {
 	// parameter exchanges.
 	pending := make([]bool, g)
 	env.Spawn("master", func(p *sim.Proc) {
+		sendCenter := func(j int) {
+			center := make([]float32, len(rc.center))
+			wire := int64(len(center)) * 4
+			if down != nil {
+				wire = down[j].Encode(rc.center, center)
+			} else {
+				copy(center, rc.center)
+			}
+			t0 := p.Now()
+			rc.bd.AddBytes(CatCPUGPUParam, wire)
+			topo.SendModel(p, master, j, tagRRCenter, rrCmd{center: center}, rc.plan, wire)
+			rc.bd.Add(CatCPUGPUParam, p.Now()-t0)
+		}
 		collect := func(j int) {
 			t0 := p.Now()
 			m := p.Recv(done[j]).(rrDone)
 			rc.bd.Add(CatForwardBackward, p.Now()-t0) // exposed compute = wait time
-			// Upload W_j to the CPU (line 12).
-			p.Delay(rc.hostXfer)
-			rc.bd.Add(CatCPUGPUParam, rc.hostXfer)
+			// Upload W_j to the CPU (line 12): a master-driven pull over j's
+			// host link.
+			t1 := p.Now()
+			rc.bd.AddBytes(CatCPUGPUParam, m.wire)
+			topo.DelayModel(p, j, master, rc.plan, m.wire)
+			rc.bd.Add(CatCPUGPUParam, p.Now()-t1)
 			// Line 14: W̄ ← W̄ + ηρ(W_j − W̄) with the pre-update W_j.
 			centerElasticUpdate(rc.center, m.weights, rc.center, cfg.LR, cfg.Rho)
 			p.Delay(rc.masterUpdate)
@@ -105,9 +148,7 @@ func runRoundRobin(cfg Config, name string, overlap bool) (Result, error) {
 			p.Delay(rc.dataXfer)
 			rc.bd.Add(CatCPUGPUData, rc.dataXfer)
 			// Line 10: send W̄ down.
-			p.Delay(rc.hostXfer)
-			rc.bd.Add(CatCPUGPUParam, rc.hostXfer)
-			cmd[j].Send(append([]float32(nil), rc.center...))
+			sendCenter(j)
 			rc.samples += int64(cfg.Batch)
 			if !overlap {
 				collect(j)
@@ -122,7 +163,7 @@ func runRoundRobin(cfg Config, name string, overlap bool) (Result, error) {
 			if pending[j] {
 				collect(j)
 			}
-			cmd[j].Send(nil) // stop
+			topo.Send(p, master, j, tagRRCenter, rrCmd{stop: true}, 0)
 		}
 	})
 

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"scaledl/internal/comm"
+)
+
+// TestSyncSGDScheduleInvariantMath is the ordered-reduction guarantee at
+// the algorithm level: the allreduce schedule changes message timing, never
+// training mathematics. All schedules must produce bit-identical accuracy
+// and loss, with tree ≠ ring timing on the latency-dominated toy model.
+func TestSyncSGDScheduleInvariantMath(t *testing.T) {
+	times := map[comm.Schedule]float64{}
+	var ref Result
+	for i, sched := range []comm.Schedule{comm.ScheduleTree, comm.ScheduleRing, comm.ScheduleRHD, comm.ScheduleChain, comm.ScheduleLinear} {
+		cfg := testConfig(t, 30, true)
+		cfg.Schedule = sched
+		res, err := SyncSGD(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", sched, err)
+		}
+		if i == 0 {
+			ref = res
+		} else if res.FinalAcc != ref.FinalAcc || res.FinalLoss != ref.FinalLoss {
+			t.Errorf("%v: training result differs from tree (acc %v vs %v, loss %v vs %v)",
+				sched, res.FinalAcc, ref.FinalAcc, res.FinalLoss, ref.FinalLoss)
+		}
+		times[sched] = res.SimTime
+	}
+	// Latency-dominated small model: the tree's log2(P) rounds beat the
+	// ring's 2(P−1) steps and the linear exchange's Θ(P).
+	if !(times[comm.ScheduleTree] < times[comm.ScheduleRing]) {
+		t.Errorf("tree (%v) should beat ring (%v) on a small model", times[comm.ScheduleTree], times[comm.ScheduleRing])
+	}
+	if !(times[comm.ScheduleTree] < times[comm.ScheduleLinear]) {
+		t.Errorf("tree (%v) should beat linear (%v)", times[comm.ScheduleTree], times[comm.ScheduleLinear])
+	}
+}
+
+// KNL cluster runs honor the schedule too, with identical math. (Its
+// collectives are a rooted broadcast and reduce, so the applicable
+// alternatives are chain and linear; ring/RHD are allreduce shapes and
+// fall back to the tree.)
+func TestKNLClusterScheduleInvariantMath(t *testing.T) {
+	run := func(sched comm.Schedule) Result {
+		cfg := testConfig(t, 20, true)
+		cfg.Schedule = sched
+		res, err := KNLClusterEASGD(KNLClusterConfig{Config: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	tree, linear := run(comm.ScheduleTree), run(comm.ScheduleLinear)
+	if tree.FinalAcc != linear.FinalAcc || tree.FinalLoss != linear.FinalLoss {
+		t.Error("KNL cluster math depends on schedule")
+	}
+	if tree.SimTime >= linear.SimTime {
+		t.Errorf("tree (%v) should beat the linear schedule (%v)", tree.SimTime, linear.SimTime)
+	}
+}
+
+// The chain schedule's pipeline drain (root finishes its hops before the
+// tail of the line) must be attributed, so the breakdown still sums to the
+// simulated wall time.
+func TestChainScheduleBreakdownSumsToWall(t *testing.T) {
+	cfg := testConfig(t, 20, true)
+	cfg.Schedule = comm.ScheduleChain
+	res, err := SyncSGD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Breakdown.Total()
+	if rel := (res.SimTime - sum) / res.SimTime; rel > 0.02 || rel < -0.02 {
+		t.Errorf("chain breakdown sum %.6f vs wall %.6f (rel %.4f)", sum, res.SimTime, rel)
+	}
+}
+
+// Early stop ends the KNL cluster run at the probe that reached the
+// target: no rank burns a phantom gradient round past the stop flag.
+func TestKNLClusterEarlyStopEndsAtLastProbe(t *testing.T) {
+	cfg := testConfig(t, 400, true)
+	cfg.TargetAcc = 0.7
+	cfg.EvalEvery = 5
+	res, err := KNLClusterEASGD(KNLClusterConfig{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) == 0 {
+		t.Fatal("no curve points")
+	}
+	last := res.Curve[len(res.Curve)-1]
+	if last.Iter >= 400 {
+		t.Error("run did not stop early")
+	}
+	if res.SimTime != last.SimTime {
+		t.Errorf("SimTime %v extends past the stopping probe at %v (phantom round)", res.SimTime, last.SimTime)
+	}
+}
+
+// The switch-concurrency knob makes contention emerge in a full training
+// run: bounding the PCIe switch to one transfer slows Sync EASGD2's
+// collectives without changing its mathematics.
+func TestSwitchContentionSlowsSyncRun(t *testing.T) {
+	run := func(cap_ int) Result {
+		cfg := testConfig(t, 15, true)
+		cfg.Platform.SwitchConcurrency = cap_
+		res, err := SyncEASGD2(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	free, bounded := run(0), run(1)
+	if bounded.SimTime <= free.SimTime {
+		t.Errorf("capacity-1 switch (%v) not slower than unconstrained (%v)", bounded.SimTime, free.SimTime)
+	}
+	if free.FinalAcc != bounded.FinalAcc {
+		t.Error("switch contention changed training mathematics")
+	}
+}

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"fmt"
+
 	"scaledl/internal/comm"
-	"scaledl/internal/par"
 	"scaledl/internal/quant"
 	"scaledl/internal/sim"
 )
@@ -17,12 +18,23 @@ import (
 //	  a tree reduction replace P ordered exchanges.
 //	Sync EASGD2 (Algorithm 3): center moves to GPU1; parameter traffic rides
 //	  GPU↔GPU peer DMA through the PCIe switch, removing host staging.
-//	Sync EASGD3 (Algorithm 3 + overlap): the broadcast of W̄ hides under the
-//	  data copy + forward/backward; the reduction stays exposed. This is the
-//	  paper's "Communication-Efficient EASGD".
+//	Sync EASGD3 (Algorithm 3 + overlap): the broadcast of W̄ is forked so its
+//	  message waves run concurrently with the data copy + forward/backward;
+//	  only the excess is exposed at the join. This is the paper's
+//	  "Communication-Efficient EASGD".
+//
+// Every worker runs as its own simulated process, and the collectives are
+// executed by the message-level engine in internal/comm: a broadcast is
+// log2(P) synchronized waves of real point-to-point messages over the PCIe
+// topology, a reduction carries the workers' actual weight segments to the
+// root, and the packed-versus-per-layer gap (Figure 10) emerges from the
+// per-message α each layer of an unpacked plan pays. No collective is
+// charged as a precomputed scalar delay.
 //
 // SyncSGD is classic synchronous data parallelism (gradient allreduce),
-// used by Figure 10's packed-vs-unpacked comparison.
+// used by Figure 10's packed-vs-unpacked comparison; its allreduce
+// schedule (tree, ring, recursive halving/doubling, pipelined chain,
+// linear) is selected by Config.Schedule.
 
 // SyncEASGD1 runs Algorithm 2 (tree reduction, CPU-resident center).
 func SyncEASGD1(cfg Config) (Result, error) {
@@ -65,108 +77,142 @@ func runSyncEASGD(cfg Config, name string, opt syncOpts) (Result, error) {
 	env := sim.NewEnv()
 	defer env.Close()
 
-	paramLink := cfg.Platform.PeerParam
+	// Sync EASGD1 stages GPU↔GPU exchanges through the host (and keeps the
+	// center on the CPU); EASGD2/3 ride peer DMA through the PCIe switch.
+	staged := opt.master == masterCPU
 	paramCat := CatGPUGPUParam
-	if opt.master == masterCPU {
-		paramLink = cfg.Platform.HostParam
+	if staged {
 		paramCat = CatCPUGPUParam
 	}
-	bcastCost := treePlanTime(rc.plan, paramLink, cfg.Workers)
-	reduceCost := treePlanTime(rc.plan, paramLink, cfg.Workers)
+	topo := cfg.Platform.topology(env, cfg.Workers, staged)
+	parties := comm.Ranks(cfg.Workers)
+	cm := comm.NewCommunicator(topo, comm.CommConfig{Parties: parties, Plan: rc.plan})
 
-	sum := make([]float32, len(rc.center))
+	const root = 0
+	n := len(rc.center)
+	sum := make([]float32, n)
 	losses := make([]float64, cfg.Workers)
+	centerBufs := make([][]float32, cfg.Workers)
+	for i := range centerBufs {
+		centerBufs[i] = make([]float32, n)
+	}
+	bar := sim.NewBarrier(env, "iteration", cfg.Workers)
 
-	env.Spawn("coordinator", func(p *sim.Proc) {
-		for t := 0; t < cfg.Iterations && !rc.stopped; t++ {
-			// Lines 7-9: CPU picks b samples per GPU and posts the copies as
-			// concurrent async DMAs (Algorithm 2 line 9), so the exposed
-			// data phase is one transfer, not G.
-			dataPhase := rc.dataXfer
-			p.Delay(dataPhase)
-			rc.bd.Add(CatCPUGPUData, dataPhase)
-
-			// Line 10: forward/backward on all GPUs in parallel (real math
-			// per replica, fanned out across the par pool; one parallel
-			// delay since workers are homogeneous).
-			computeGradients(rc.workers, losses)
-			var roundLoss float64
-			for _, l := range losses {
-				roundLoss += l
-			}
-			roundLoss /= float64(cfg.Workers)
-			p.Delay(rc.workers[0].computeTime)
-			rc.bd.Add(CatForwardBackward, rc.workers[0].computeTime)
-			rc.samples += int64(cfg.Batch * cfg.Workers)
-
-			// Lines 11-12: broadcast W̄_t; tree-reduce ΣW_j. Under overlap
-			// (Sync EASGD3) the broadcast hides beneath data+compute and only
-			// its excess is exposed; the reduction is always exposed.
-			if opt.overlap {
-				exposed := bcastCost - (dataPhase + rc.workers[0].computeTime)
-				if exposed > 0 {
-					p.Delay(exposed)
-					rc.bd.Add(paramCat, exposed)
+	for i := 0; i < cfg.Workers; i++ {
+		i := i
+		w := rc.workers[i]
+		ep := cm.Endpoint(i)
+		env.Spawn(fmt.Sprintf("gpu%d", i), func(p *sim.Proc) {
+			for t := 0; t < cfg.Iterations; t++ {
+				t0 := p.Now()
+				if i == root {
+					// W̄_t was fixed by the master update of iteration t−1;
+					// the broadcast distributes it (lines 11 of Algorithm 2/3).
+					copy(centerBufs[root], rc.center)
 				}
-			} else {
-				p.Delay(bcastCost)
-				rc.bd.Add(paramCat, bcastCost)
-			}
-			p.Delay(reduceCost)
-			rc.bd.Add(paramCat, reduceCost)
+				// Under overlap (Sync EASGD3) the broadcast's message waves
+				// are forked to run beneath the data copy and
+				// forward/backward; the join exposes only the excess.
+				var bcast *sim.Completion
+				if opt.overlap {
+					bcast = env.Fork(fmt.Sprintf("bcast%d.%d", i, t), func(bp *sim.Proc) {
+						ep.Broadcast(bp, 2*t, root, centerBufs[i])
+					})
+				}
 
-			// Gather ΣW_j^t of the pre-update local weights.
-			for i := range sum {
-				sum[i] = 0
-			}
-			for _, w := range rc.workers {
-				comm.ReduceSum(sum, w.net.Params)
-			}
+				// Lines 7-9: the CPU posts the minibatch copies as concurrent
+				// async DMAs — each worker's data link carries its own copy.
+				p.Delay(rc.dataXfer)
+				// Line 10: forward/backward. The real math runs on the par
+				// pool while this process waits out its compute delay, so all
+				// P replicas' gradients overlap in wall-clock time too.
+				join := w.beginGradient()
+				p.Delay(w.computeTime)
+				losses[i] = join()
 
-			// Line 13: every worker applies Equation (1) with W̄_t. Each
-			// replica updates its own parameters against the read-only
-			// center, so the loop fans out like the gradient phase.
-			par.For(len(rc.workers), func(i int) {
-				rc.workers[i].elasticLocal(cfg.LR, cfg.Rho, rc.center)
-			})
-			// Line 14: the master applies Equation (2):
-			// W̄ ← W̄ + ηρ(ΣW_j − P·W̄).
-			a := cfg.LR * cfg.Rho
-			pf := float32(cfg.Workers)
-			for i := range rc.center {
-				rc.center[i] += a * (sum[i] - pf*rc.center[i])
-			}
-			rc.updates++
+				if opt.overlap {
+					bcast.Wait(p)
+				} else {
+					ep.Broadcast(p, 2*t, root, centerBufs[i])
+				}
+				if i == root {
+					d := p.Now() - t0
+					rc.bd.Add(CatCPUGPUData, rc.dataXfer)
+					rc.bd.Add(CatForwardBackward, w.computeTime)
+					if excess := d - rc.dataXfer - w.computeTime; excess > 0 {
+						rc.bd.Add(paramCat, excess)
+					}
+				}
 
-			// Steps (4) and (5) overlap (§5.1): the exposed cost is the
-			// worker update plus any master-update excess. With a GPU master
-			// both run on GPUs and the excess is zero.
-			p.Delay(rc.workerUpdate)
-			rc.bd.Add(CatGPUUpdate, rc.workerUpdate)
-			mu := rc.masterUpdate
-			if opt.master == masterGPU {
-				mu = rc.workerUpdate
-			}
-			if mu > rc.workerUpdate {
-				excess := mu - rc.workerUpdate
-				p.Delay(excess)
-				rc.bd.Add(CatCPUUpdate, excess)
-			}
+				// Line 12: tree-reduce ΣW_j^t of the pre-update local weights
+				// to the master's device.
+				tR := p.Now()
+				if i == root {
+					copy(sum, w.net.Params)
+					ep.Reduce(p, 2*t+1, root, sum)
+					rc.bd.Add(paramCat, p.Now()-tR)
+				} else {
+					ep.Reduce(p, 2*t+1, root, w.net.Params)
+				}
 
-			if cfg.EvalEvery > 0 && (t+1)%cfg.EvalEvery == 0 {
-				rc.recordPoint(t+1, p.Now(), roundLoss)
+				// Line 13: every worker applies Equation (1) with the W̄_t it
+				// received.
+				w.elasticLocal(cfg.LR, cfg.Rho, centerBufs[i])
+				p.Delay(rc.workerUpdate)
+
+				if i == root {
+					// Line 14: the master applies Equation (2):
+					// W̄ ← W̄ + ηρ(ΣW_j − P·W̄).
+					a := cfg.LR * cfg.Rho
+					pf := float32(cfg.Workers)
+					for k := range rc.center {
+						rc.center[k] += a * (sum[k] - pf*rc.center[k])
+					}
+					rc.updates++
+					rc.samples += int64(cfg.Batch * cfg.Workers)
+					rc.bd.Add(CatGPUUpdate, rc.workerUpdate)
+					// Steps (4) and (5) overlap (§5.1): with a GPU master both
+					// updates run on GPUs and the master's excess is zero; the
+					// CPU master exposes its slower update's excess.
+					if opt.master == masterCPU && rc.masterUpdate > rc.workerUpdate {
+						excess := rc.masterUpdate - rc.workerUpdate
+						p.Delay(excess)
+						rc.bd.Add(CatCPUUpdate, excess)
+					}
+					if cfg.EvalEvery > 0 && (t+1)%cfg.EvalEvery == 0 {
+						var roundLoss float64
+						for _, l := range losses {
+							roundLoss += l
+						}
+						roundLoss /= float64(cfg.Workers)
+						rc.recordPoint(t+1, p.Now(), roundLoss)
+					}
+				}
+				p.Wait(bar)
+				if i == root {
+					// Every worker has passed the barrier, so all of this
+					// iteration's sends (including any pipelined tail hops)
+					// have been charged; attribute the new wire traffic.
+					rc.bd.AddBytes(paramCat, topo.BytesMoved()-rc.bd.ParamTraffic())
+				}
+				if rc.stopped {
+					return
+				}
 			}
-		}
-	})
+		})
+	}
 
 	end := env.Run()
 	return rc.finish(name, end), nil
 }
 
-// SyncSGD is synchronous data-parallel SGD: gradients are tree-allreduced
-// and all replicas take the same averaged step. The center weight is the
-// (identical) replica weight. Figure 10 runs it with packed and per-layer
-// plans to isolate the §5.2 effect.
+// SyncSGD is synchronous data-parallel SGD: gradients are allreduced under
+// Config.Schedule (tree by default) and all replicas take the same
+// averaged step. The center weight is the (identical) replica weight.
+// Figure 10 runs it with packed and per-layer plans to isolate the §5.2
+// effect. Low-precision gradients (§3.4 extension) quantize per worker
+// with error feedback; the compressed wire size is charged on every
+// simulated message the schedule sends.
 func SyncSGD(cfg Config) (Result, error) {
 	rc, err := newRunContext(cfg)
 	if err != nil {
@@ -176,88 +222,100 @@ func SyncSGD(cfg Config) (Result, error) {
 	env := sim.NewEnv()
 	defer env.Close()
 
-	allreduce := rc.plan.AllReduceTime(cfg.Platform.HostParam, cfg.Workers)
-	// Low-precision gradients (§3.4 extension): the allreduce moves the
-	// compressed representation, and each worker's quantization error is
-	// carried by per-worker error feedback into its next gradient.
+	topo := cfg.Platform.topology(env, cfg.Workers, true)
+	parties := comm.Ranks(cfg.Workers)
+	plan := rc.plan
+	var wire comm.WireFunc
 	var quantizers []*quant.Quantizer
 	if cfg.Compression != quant.None {
-		wire := quant.WireBytes(cfg.Compression, len(rc.center))
-		allreduce = comm.TreeAllReduceTime(cfg.Platform.HostParam, wire, cfg.Workers)
+		// Compressed gradients travel as one packed message (the residual
+		// layout of 1-bit SGD); each message's wire size is the scheme's.
+		plan = comm.Plan{LayerBytes: []int64{rc.paramBytes}, Packed: true}
+		wire = func(elems int) int64 { return quant.WireBytes(cfg.Compression, elems) }
 		quantizers = make([]*quant.Quantizer, cfg.Workers)
 		for i := range quantizers {
 			quantizers[i] = quant.New(cfg.Compression, len(rc.center))
 		}
 	}
-	sum := make([]float32, len(rc.center))
-	losses := make([]float64, cfg.Workers)
-
-	env.Spawn("coordinator", func(p *sim.Proc) {
-		for t := 0; t < cfg.Iterations && !rc.stopped; t++ {
-			dataPhase := rc.dataXfer // concurrent async DMAs to all workers
-			p.Delay(dataPhase)
-			rc.bd.Add(CatCPUGPUData, dataPhase)
-
-			computeGradients(rc.workers, losses)
-			var roundLoss float64
-			for _, l := range losses {
-				roundLoss += l
-			}
-			roundLoss /= float64(cfg.Workers)
-			p.Delay(rc.workers[0].computeTime)
-			rc.bd.Add(CatForwardBackward, rc.workers[0].computeTime)
-			rc.samples += int64(cfg.Batch * cfg.Workers)
-
-			p.Delay(allreduce)
-			rc.bd.Add(CatCPUGPUParam, allreduce)
-
-			for i := range sum {
-				sum[i] = 0
-			}
-			for wi, w := range rc.workers {
-				if quantizers != nil {
-					quantizers[wi].Apply(w.net.Grads, w.net.Grads)
-				}
-				comm.ReduceSum(sum, w.net.Grads)
-			}
-			// Every replica takes the same averaged step; each writes only
-			// its own parameters, reading the shared gradient sum.
-			step := cfg.LR / float32(cfg.Workers)
-			par.For(len(rc.workers), func(wi int) {
-				w := rc.workers[wi]
-				for i, g := range sum {
-					w.net.Params[i] -= step * g
-				}
-			})
-			copy(rc.center, rc.workers[0].net.Params)
-			rc.updates++
-
-			p.Delay(rc.workerUpdate)
-			rc.bd.Add(CatGPUUpdate, rc.workerUpdate)
-
-			if cfg.EvalEvery > 0 && (t+1)%cfg.EvalEvery == 0 {
-				rc.recordPoint(t+1, p.Now(), roundLoss)
-			}
-		}
+	cm := comm.NewCommunicator(topo, comm.CommConfig{
+		Parties: parties, Plan: plan, Schedule: cfg.Schedule, Wire: wire,
 	})
+
+	const root = 0
+	losses := make([]float64, cfg.Workers)
+	gbufs := make([][]float32, cfg.Workers)
+	for i := range gbufs {
+		gbufs[i] = make([]float32, len(rc.center))
+	}
+	bar := sim.NewBarrier(env, "iteration", cfg.Workers)
+
+	for i := 0; i < cfg.Workers; i++ {
+		i := i
+		w := rc.workers[i]
+		ep := cm.Endpoint(i)
+		env.Spawn(fmt.Sprintf("gpu%d", i), func(p *sim.Proc) {
+			for t := 0; t < cfg.Iterations; t++ {
+				p.Delay(rc.dataXfer) // concurrent async DMAs to all workers
+				join := w.beginGradient()
+				p.Delay(w.computeTime)
+				losses[i] = join()
+
+				// The allreduce: real gradient segments move under the
+				// selected schedule; every worker ends with the rank-ordered
+				// sum, bit-identical to comm.ReduceSum.
+				if quantizers != nil {
+					quantizers[i].Apply(w.net.Grads, w.net.Grads)
+				}
+				copy(gbufs[i], w.net.Grads)
+				tA := p.Now()
+				ep.AllReduce(p, t, gbufs[i])
+				if i == root {
+					rc.bd.Add(CatCPUGPUData, rc.dataXfer)
+					rc.bd.Add(CatForwardBackward, w.computeTime)
+					rc.bd.Add(CatCPUGPUParam, p.Now()-tA)
+				}
+
+				// Every replica takes the same averaged step.
+				step := cfg.LR / float32(cfg.Workers)
+				for k, g := range gbufs[i] {
+					w.net.Params[k] -= step * g
+				}
+				p.Delay(rc.workerUpdate)
+
+				if i == root {
+					copy(rc.center, w.net.Params)
+					rc.updates++
+					rc.samples += int64(cfg.Batch * cfg.Workers)
+					rc.bd.Add(CatGPUUpdate, rc.workerUpdate)
+					if cfg.EvalEvery > 0 && (t+1)%cfg.EvalEvery == 0 {
+						var roundLoss float64
+						for _, l := range losses {
+							roundLoss += l
+						}
+						roundLoss /= float64(cfg.Workers)
+						rc.recordPoint(t+1, p.Now(), roundLoss)
+					}
+				}
+				tB := p.Now()
+				p.Wait(bar)
+				if i == root {
+					// The root's barrier wait is the pipeline drain: under
+					// the eager chain schedule rank 0 finishes its hops
+					// before the tail of the line does, and that exposed
+					// time is still communication. (Synchronized schedules
+					// release everyone together, so the wait is zero.)
+					rc.bd.Add(CatCPUGPUParam, p.Now()-tB)
+					// Post-barrier, every rank's sends — including the chain
+					// tail hops — have been charged.
+					rc.bd.AddBytes(CatCPUGPUParam, topo.BytesMoved()-rc.bd.ParamTraffic())
+				}
+				if rc.stopped {
+					return
+				}
+			}
+		})
+	}
 
 	end := env.Run()
 	return rc.finish("sync-sgd", end), nil
-}
-
-// treePlanTime is the cost of one tree collective (broadcast or reduce)
-// over the plan: packed plans run ceil(log2 P) rounds of one message; per-
-// layer plans run a tree per layer, paying latency per layer per round.
-func treePlanTime(p comm.Plan, l comm.Transferer, parties int) float64 {
-	if p.Packed {
-		return comm.TreeBroadcastTime(l, p.TotalBytes(), parties)
-	}
-	var t float64
-	for _, b := range p.LayerBytes {
-		t += comm.TreeBroadcastTime(l, b, parties)
-	}
-	if p.GatherBW > 0 {
-		t += float64(p.TotalBytes()) / p.GatherBW
-	}
-	return t
 }

@@ -34,10 +34,10 @@ type runContext struct {
 	plan    comm.Plan
 
 	paramBytes int64
-	// Modeled cost of one whole-model transfer over each path.
-	hostXfer float64 // CPU↔GPU, one direction
-	peerXfer float64 // GPU↔GPU, one direction
-	dataXfer float64 // one minibatch CPU→GPU
+	// Modeled cost of one minibatch CPU→GPU copy. Parameter transfers are
+	// not precomputed: they run as simulated messages over the comm
+	// topology, paying per-segment wire costs where the bytes move.
+	dataXfer float64
 	// Modeled cost of the elementwise updates.
 	workerUpdate float64 // Eq. (1) on the worker device
 	masterUpdate float64 // Eq. (2) on the master device
@@ -84,8 +84,6 @@ func newRunContext(cfg Config) (*runContext, error) {
 		rc.workers = append(rc.workers, w)
 	}
 
-	rc.hostXfer = rc.plan.TransferTime(cfg.Platform.HostParam)
-	rc.peerXfer = rc.plan.TransferTime(cfg.Platform.PeerParam)
 	rc.dataXfer = cfg.Platform.Data.Time(rc.workers[0].dataBytes)
 	// Elementwise updates stream ~3 vectors of the model (read W, read
 	// other, write W): 2 flops and 12 bytes per parameter.
@@ -93,14 +91,6 @@ func newRunContext(cfg Config) (*runContext, error) {
 	rc.workerUpdate = cfg.Platform.Worker.ComputeTime(2*n, 12*n)
 	rc.masterUpdate = cfg.Platform.Master.ComputeTime(2*n, 12*n)
 	return rc, nil
-}
-
-// computeGradient runs one real minibatch forward+backward on the worker's
-// replica, leaving the gradient in w.net.Grads. Returns the batch loss.
-func (w *worker) computeGradient() float64 {
-	loss := w.gradientMath()
-	w.lastLoss = loss
-	return loss
 }
 
 // gradientMath is the raw forward+backward; it touches only worker-owned
@@ -115,11 +105,11 @@ func (w *worker) gradientMath() float64 {
 }
 
 // beginGradient starts the worker's forward/backward on the shared par pool
-// and returns a join function. The algorithms whose workers are separate
-// simulated processes (async, round-robin, KNL cluster) call it, then yield
-// virtual time (p.Delay(w.computeTime)) — during which their peers start
-// their own gradients, so the real math of up to par.Width() workers
-// overlaps — and invoke the join before the gradient or loss is used. The
+// and returns a join function. Every algorithm runs its workers as separate
+// simulated processes; each calls this, then yields virtual time
+// (p.Delay(w.computeTime)) — during which its peers start their own
+// gradients, so the real math of up to par.Width() workers overlaps — and
+// invokes the join before the gradient or loss is used. The
 // join commits w.lastLoss and returns the batch loss; until then no other
 // simulated process may read this worker's state (none does: workers own
 // their nets and samplers, and masters see only explicit message payloads).
@@ -131,19 +121,6 @@ func (w *worker) beginGradient() func() float64 {
 		w.lastLoss = loss
 		return loss
 	}
-}
-
-// computeGradients fans one gradient step for every worker out across the
-// shared par pool and returns the per-worker losses in index order — the
-// paper's "all P workers compute in parallel" phase of the synchronous
-// algorithms. Each worker touches only its own replica and sampler, so the
-// fan-out is race-free by construction, and callers combine the returned
-// losses (and the workers' gradients) in fixed slice order after the join,
-// keeping results bit-identical to serial execution.
-func computeGradients(workers []*worker, losses []float64) {
-	par.For(len(workers), func(i int) {
-		losses[i] = workers[i].computeGradient()
-	})
 }
 
 // sgdLocal applies plain SGD to the worker replica: W ← W − η·G.

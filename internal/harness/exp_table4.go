@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 
-	"scaledl/internal/comm"
 	"scaledl/internal/hw"
 	"scaledl/internal/nn"
 )
@@ -63,20 +62,25 @@ func wsComputePerIter(w wsWorkload) float64 {
 }
 
 // wsOurOverhead is the exposed per-iteration communication of our
-// Communication-Efficient EASGD at the given node count.
+// Communication-Efficient EASGD at the given node count. The allreduce is
+// *simulated* — a size-only packed tree collective over the Aries fabric
+// through the message-level engine (which matches TreeAllReduceTime on the
+// contention-free fabric) — then partially hidden by the compute overlap.
 func wsOurOverhead(w wsWorkload, nodes int) float64 {
-	ar := comm.TreeAllReduceTime(hw.Aries, w.model.ParamBytes(), nodes)
+	ar := mustSimulateAllReduce("tree", hw.Aries, w.model.ParamBytes(), nodes)
 	return ar * (1 - wsOverlapHidden)
 }
 
 // wsCaffeOverhead is the per-iteration communication of the Intel Caffe
-// baseline at the given node count.
+// baseline at the given node count: the same simulated allreduce volume
+// with a less bandwidth-efficient collective, no overlap, plus the
+// gather/scatter staging its non-contiguous layer buffers pay.
 func wsCaffeOverhead(w wsWorkload, nodes int) float64 {
-	ar := comm.TreeAllReduceTime(hw.Aries, w.model.ParamBytes(), nodes)
-	staging := 2 * float64(w.model.ParamBytes()) / wsCaffeStageBW
 	if nodes == 1 {
 		return 0
 	}
+	ar := mustSimulateAllReduce("tree", hw.Aries, w.model.ParamBytes(), nodes)
+	staging := 2 * float64(w.model.ParamBytes()) / wsCaffeStageBW
 	return ar*wsCaffeFactor + staging
 }
 

@@ -33,6 +33,7 @@ import (
 	"scaledl/internal/data"
 	"scaledl/internal/hw"
 	"scaledl/internal/nn"
+	"scaledl/internal/sim"
 )
 
 // Config describes one partitioned-chip training run.
@@ -164,13 +165,30 @@ func (c *Config) defaults() error {
 	return nil
 }
 
-// bitsLen returns ceil(log2(p)) for p ≥ 1.
-func bitsLen(p int) int {
-	n := 0
-	for v := p - 1; v > 0; v >>= 1 {
-		n++
+// simulatedMeshReduce executes the partition gradient sum as a size-only
+// tree reduce on the collective engine: P group processes over a bus
+// topology (every transfer holds the shared memory-system segment), each
+// hop moving one replica's gradient volume at 2/bw seconds per byte
+// (read + write) behind the mesh's per-hop latency.
+func simulatedMeshReduce(parts int, weightBytes int64, meshAlpha, bw float64) float64 {
+	weightBytes = (weightBytes + 3) / 4 * 4 // whole float32s
+	env := sim.NewEnv()
+	defer env.Close()
+	link := hw.Link{Name: "knl-mesh", Alpha: meshAlpha, Beta: 2 / bw}
+	topo := comm.NewBus(env, parts, link, 1)
+	parties := comm.Ranks(parts)
+	cm := comm.NewCommunicator(topo, comm.CommConfig{
+		Parties: parties,
+		Plan:    comm.Plan{LayerBytes: []int64{weightBytes}, Packed: true},
+	})
+	for id := 0; id < parts; id++ {
+		id := id
+		ep := cm.Endpoint(id)
+		env.Spawn(fmt.Sprintf("group%d", id), func(p *sim.Proc) {
+			ep.ReduceSize(p, 0, 0)
+		})
 	}
-	return n
+	return env.Run()
 }
 
 // PerRoundCost evaluates the time model for one round under cfg.
@@ -203,16 +221,19 @@ func PerRoundCost(cfg Config) (RoundCost, error) {
 	}
 	rc.Sync = syncPerPass * float64(cfg.LayerPasses)
 
-	// (3) Gradient sum across groups. On a shared-memory chip the conquer
-	// step streams all P gradient buffers through the memory system (read
-	// P·W, write and re-read the sum), so its cost is bandwidth-bound
-	// rather than log-depth store-and-forward; the cluster-mode mesh
-	// latency enters per combining stage.
+	// (3) Gradient sum across groups, run as a simulated tree reduce over
+	// the on-chip mesh (internal/comm's collective engine). On a
+	// shared-memory chip the conquer step's transfers all stream through
+	// one memory system, so every path shares a capacity-1 bus segment:
+	// the tree's "parallel" waves serialize into P−1 combining
+	// transactions, each reading and writing one replica's gradients
+	// (2·W bytes at the footprint's effective bandwidth) plus the cluster
+	// mode's mesh latency — contention emerging from the simulation
+	// rather than a closed-form bandwidth formula.
 	if cfg.Parts > 1 {
-		link := chip.OnChipLink()
+		mesh := chip.OnChipLink()
 		footprintR := int64(cfg.Parts) * (cfg.WeightBytes + cfg.DataCopyBytes)
-		rc.Reduce = 2*float64(cfg.Parts)*float64(cfg.WeightBytes)/chip.EffectiveBW(footprintR) +
-			float64(bitsLen(cfg.Parts))*link.Alpha
+		rc.Reduce = simulatedMeshReduce(cfg.Parts, cfg.WeightBytes, mesh.Alpha, chip.EffectiveBW(footprintR))
 	}
 
 	// (4) Memory floor: the round streams each replica's weights (3 passes)

@@ -35,7 +35,9 @@
 package par
 
 import (
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -50,7 +52,18 @@ type pool struct {
 var current atomic.Pointer[pool]
 
 func init() {
-	SetWidth(0)
+	SetWidth(envWidth(os.Getenv("SCALEDL_PAR_WIDTH")))
+}
+
+// envWidth parses the SCALEDL_PAR_WIDTH override (used by CI to pin the
+// pool width for the race matrix); anything unparseable or < 1 falls back
+// to 0, i.e. GOMAXPROCS.
+func envWidth(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n
 }
 
 func newPool(width int) *pool {

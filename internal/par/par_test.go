@@ -180,3 +180,26 @@ func TestSerialWidthRunsInOrder(t *testing.T) {
 		}
 	})
 }
+
+func TestEnvWidthParsing(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want int
+	}{{"", 0}, {"0", 0}, {"-3", 0}, {"junk", 0}, {"1", 1}, {"4", 4}, {"16", 16}} {
+		if got := envWidth(c.in); got != c.want {
+			t.Errorf("envWidth(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEnvWidthAppliedViaSetWidth(t *testing.T) {
+	defer SetWidth(0)
+	SetWidth(envWidth("3"))
+	if Width() != 3 {
+		t.Errorf("width %d after env override, want 3", Width())
+	}
+	SetWidth(envWidth("nope"))
+	if Width() < 1 {
+		t.Errorf("fallback width %d", Width())
+	}
+}

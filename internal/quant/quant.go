@@ -188,3 +188,55 @@ func uniform8(v, out []float32) int64 {
 func CompressionRatio(s Scheme, n int) float64 {
 	return float64(4*n) / float64(WireBytes(s, n))
 }
+
+// DeltaCodec compresses a stream of whole-weight vectors (the payloads of
+// the asynchronous and round-robin algorithms, which ship weights rather
+// than gradients) by quantizing the *difference* from the receiver's last
+// reconstruction. Weight deltas are gradient-sized, so the same 1-bit /
+// 8-bit schemes that work on gradients work on them, and the underlying
+// Quantizer's error feedback keeps the reconstruction tracking the true
+// weights. The first message is a raw fp32 key frame that seeds both ends.
+//
+// One codec models one directed stream (sender plus receiver state, which
+// the simulation can share since both ends live in one address space);
+// use one codec per (sender, receiver) pair.
+type DeltaCodec struct {
+	q      *Quantizer
+	scheme Scheme
+	recon  []float32 // receiver-side reconstruction both ends track
+	delta  []float32 // scratch
+	primed bool
+}
+
+// NewDeltaCodec creates a codec for length-n vectors.
+func NewDeltaCodec(scheme Scheme, n int) *DeltaCodec {
+	return &DeltaCodec{q: New(scheme, n), scheme: scheme, recon: make([]float32, n), delta: make([]float32, n)}
+}
+
+// Encode compresses v against the stream state, writes the receiver-side
+// reconstruction into out (which may alias v) and returns the wire size of
+// the message. With Scheme None it degrades to a raw copy.
+func (c *DeltaCodec) Encode(v, out []float32) int64 {
+	if len(v) != len(c.recon) || len(out) != len(v) {
+		panic("quant: DeltaCodec length mismatch")
+	}
+	if c.scheme == None {
+		copy(out, v)
+		return int64(len(v)) * 4
+	}
+	if !c.primed {
+		copy(c.recon, v)
+		copy(out, v)
+		c.primed = true
+		return int64(len(v)) * 4 // key frame
+	}
+	for i, x := range v {
+		c.delta[i] = x - c.recon[i]
+	}
+	wire := c.q.Apply(c.delta, c.delta)
+	for i, d := range c.delta {
+		c.recon[i] += d
+	}
+	copy(out, c.recon)
+	return wire
+}

@@ -184,3 +184,70 @@ func TestApplyLengthMismatchPanics(t *testing.T) {
 	}()
 	q.Apply(make([]float32, 3), make([]float32, 3))
 }
+
+func TestDeltaCodecTracksWeightStream(t *testing.T) {
+	n := 2000
+	g := tensor.NewRNG(17)
+	w := make([]float32, n)
+	g.FillNormal(w, 0, 1)
+	codec := NewDeltaCodec(OneBit, n)
+	out := make([]float32, n)
+
+	// Key frame: raw fp32, exact.
+	if wire := codec.Encode(w, out); wire != int64(n)*4 {
+		t.Errorf("key frame wire %d, want %d", wire, n*4)
+	}
+	for i := range w {
+		if out[i] != w[i] {
+			t.Fatal("key frame not exact")
+		}
+	}
+
+	// Subsequent small steps: compressed wire, bounded tracking error.
+	step := make([]float32, n)
+	var wire int64
+	for it := 0; it < 50; it++ {
+		g.FillNormal(step, 0, 0.01)
+		for i := range w {
+			w[i] += step[i]
+		}
+		wire = codec.Encode(w, out)
+	}
+	if want := WireBytes(OneBit, n); wire != want {
+		t.Errorf("delta wire %d, want %d", wire, want)
+	}
+	var errSum, magSum float64
+	for i := range w {
+		errSum += math.Abs(float64(out[i] - w[i]))
+		magSum += math.Abs(float64(w[i]))
+	}
+	if errSum/magSum > 0.15 {
+		t.Errorf("reconstruction drift %.3f of signal magnitude", errSum/magSum)
+	}
+}
+
+func TestDeltaCodecNoneIsExactRawCopy(t *testing.T) {
+	codec := NewDeltaCodec(None, 4)
+	v := []float32{1, -2, 3, -4}
+	out := make([]float32, 4)
+	for i := 0; i < 3; i++ {
+		if wire := codec.Encode(v, out); wire != 16 {
+			t.Errorf("None wire %d", wire)
+		}
+		for j := range v {
+			if out[j] != v[j] {
+				t.Fatal("None codec not exact")
+			}
+		}
+	}
+}
+
+func TestDeltaCodecLengthMismatchPanics(t *testing.T) {
+	codec := NewDeltaCodec(OneBit, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	codec.Encode([]float32{1}, []float32{1})
+}

@@ -20,14 +20,20 @@ func NewQueue(env *Env, name string) *Queue {
 // Len returns the number of queued messages.
 func (q *Queue) Len() int { return len(q.items) }
 
-// Send enqueues v and wakes the longest-waiting receiver, if any. It may be
+// Send enqueues v and wakes every waiting receiver. All waiters are woken
+// (rather than only the first) because selective receivers (RecvMatch) may
+// decline the message; waiters resume in registration order — wake-ups are
+// scheduled at the current instant with increasing sequence numbers — so
+// plain Recv keeps its first-come-first-served discipline. Send may be
 // called from any process without blocking.
 func (q *Queue) Send(v any) {
 	q.items = append(q.items, v)
 	if len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		q.env.schedule(q.env.now, w)
+		ws := q.waiters
+		q.waiters = nil
+		for _, w := range ws {
+			q.env.schedule(q.env.now, w)
+		}
 	}
 }
 
@@ -42,6 +48,26 @@ func (p *Proc) Recv(q *Queue) any {
 	return v
 }
 
+// RecvMatch blocks p until a queued message satisfies match, removes it
+// (preserving the order of the others) and returns it. It is the selective
+// receive the collective engine uses to let one mailbox carry interleaved
+// message streams — e.g. a broadcast of iteration t+1 overlapping the
+// reduction of iteration t — without per-stream queues.
+func (p *Proc) RecvMatch(q *Queue, match func(v any) bool) any {
+	for {
+		for i, v := range q.items {
+			if match(v) {
+				copy(q.items[i:], q.items[i+1:])
+				q.items[len(q.items)-1] = nil
+				q.items = q.items[:len(q.items)-1]
+				return v
+			}
+		}
+		q.waiters = append(q.waiters, p)
+		p.block()
+	}
+}
+
 // TryRecv returns (message, true) if one is queued, or (nil, false) without
 // blocking.
 func (q *Queue) TryRecv() (any, bool) {
@@ -53,15 +79,30 @@ func (q *Queue) TryRecv() (any, bool) {
 	return v, true
 }
 
-// Resource is a counted resource with FIFO admission, the simulated
+// Resource is a counted resource with strict FIFO admission, the simulated
 // analogue of a semaphore. Capacity 1 models the master-side lock that
-// Async SGD holds during weight updates and Hogwild removes.
+// Async SGD holds during weight updates and Hogwild removes; capacity c
+// models a shared interconnect segment (a PCIe switch, a memory bus) that
+// admits c concurrent transfers.
+//
+// Fairness guarantee: Release hands the freed unit directly to the
+// longest-waiting acquirer, so a process that calls Acquire at the same
+// instant can never barge past a queued waiter. The collective engine
+// relies on this to keep contention outcomes deterministic and
+// arrival-ordered.
 type Resource struct {
 	env      *Env
 	name     string
 	capacity int
 	inUse    int
-	waiters  []*Proc
+	waiters  []*resWaiter
+}
+
+// resWaiter is one queued acquirer; granted marks a unit handed to it by
+// Release before it resumes.
+type resWaiter struct {
+	p       *Proc
+	granted bool
 }
 
 // NewResource creates a resource with the given capacity (≥1).
@@ -75,26 +116,36 @@ func NewResource(env *Env, name string, capacity int) *Resource {
 // InUse returns the number of currently held units.
 func (r *Resource) InUse() int { return r.inUse }
 
-// Acquire blocks p until a unit is free, then takes it.
+// Acquire blocks p until a unit is free, then takes it. Admission is strict
+// FIFO: if anyone is already queued, p queues behind them even when a unit
+// is technically free at this instant.
 func (p *Proc) Acquire(r *Resource) {
-	for r.inUse >= r.capacity {
-		r.waiters = append(r.waiters, p)
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.inUse++
+		return
+	}
+	w := &resWaiter{p: p}
+	r.waiters = append(r.waiters, w)
+	for !w.granted {
 		p.block()
 	}
-	r.inUse++
 }
 
-// Release returns a unit and wakes the longest-waiting acquirer.
+// Release returns a unit. If acquirers are queued, the unit is handed
+// directly to the longest-waiting one (inUse never dips, so a same-instant
+// Acquire cannot steal it); otherwise the unit becomes free.
 func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: Release of idle resource " + r.name)
 	}
-	r.inUse--
 	if len(r.waiters) > 0 {
 		w := r.waiters[0]
 		r.waiters = r.waiters[1:]
-		r.env.schedule(r.env.now, w)
+		w.granted = true
+		r.env.schedule(r.env.now, w.p)
+		return
 	}
+	r.inUse--
 }
 
 // Barrier blocks a fixed set of n processes until all have arrived, the

@@ -169,6 +169,37 @@ func (e *Env) Close() {
 	}
 }
 
+// Completion is the join handle returned by Fork.
+type Completion struct {
+	q    *Queue
+	done bool
+}
+
+// Wait blocks p until the forked process has finished. Calling it again
+// after completion returns immediately. Only one process may wait on a
+// Completion.
+func (c *Completion) Wait(p *Proc) {
+	if c.done {
+		return
+	}
+	p.Recv(c.q)
+	c.done = true
+}
+
+// Fork spawns fn as a new process starting at the current simulated time
+// and returns a Completion another process can Wait on. It is the
+// overlap primitive: Sync EASGD3 forks its broadcast so the message waves
+// run concurrently with the data copy and forward/backward, and the join
+// exposes only the excess.
+func (e *Env) Fork(name string, fn func(p *Proc)) *Completion {
+	c := &Completion{q: NewQueue(e, name+".done")}
+	e.Spawn(name, func(p *Proc) {
+		fn(p)
+		c.q.Send(struct{}{})
+	})
+	return c
+}
+
 // Name returns the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
 

@@ -330,6 +330,119 @@ func TestSpawnAfterClosePanics(t *testing.T) {
 	env.Spawn("late", func(p *Proc) {})
 }
 
+func TestRecvMatchSelective(t *testing.T) {
+	type tagged struct {
+		tag int
+		val string
+	}
+	env := NewEnv()
+	q := NewQueue(env, "q")
+	var got []string
+	env.Spawn("producer", func(p *Proc) {
+		q.Send(tagged{tag: 1, val: "first"})
+		q.Send(tagged{tag: 2, val: "second"})
+	})
+	env.Spawn("consumer", func(p *Proc) {
+		// Receive tag 2 first although tag 1 was enqueued earlier.
+		m2 := p.RecvMatch(q, func(v any) bool { return v.(tagged).tag == 2 }).(tagged)
+		m1 := p.RecvMatch(q, func(v any) bool { return v.(tagged).tag == 1 }).(tagged)
+		got = append(got, m2.val, m1.val)
+	})
+	env.Run()
+	if fmt.Sprint(got) != "[second first]" {
+		t.Errorf("selective receive order wrong: %v", got)
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue not drained: %d left", q.Len())
+	}
+}
+
+func TestRecvMatchInterleavedStreams(t *testing.T) {
+	// Two receivers on one mailbox, each matching its own tag; messages
+	// arrive interleaved and out of order relative to the receivers.
+	type tagged struct{ tag, seq int }
+	env := NewEnv()
+	q := NewQueue(env, "q")
+	var a, b []int
+	env.Spawn("recvA", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			m := p.RecvMatch(q, func(v any) bool { return v.(tagged).tag == 'a' }).(tagged)
+			a = append(a, m.seq)
+		}
+	})
+	env.Spawn("recvB", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			m := p.RecvMatch(q, func(v any) bool { return v.(tagged).tag == 'b' }).(tagged)
+			b = append(b, m.seq)
+		}
+	})
+	env.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Delay(1)
+			q.Send(tagged{tag: 'b', seq: i})
+			q.Send(tagged{tag: 'a', seq: i})
+		}
+	})
+	env.Run()
+	if fmt.Sprint(a) != "[0 1 2]" || fmt.Sprint(b) != "[0 1 2]" {
+		t.Errorf("per-stream order broken: a=%v b=%v", a, b)
+	}
+}
+
+func TestResourceFIFONoBarging(t *testing.T) {
+	// p1 queues at t=0.5 while p0 holds the unit until t=1. p2 calls
+	// Acquire at exactly t=1 — the release instant — and must not barge
+	// past the queued p1.
+	env := NewEnv()
+	r := NewResource(env, "lock", 1)
+	var order []string
+	use := func(p *Proc) {
+		p.Acquire(r)
+		order = append(order, p.Name())
+		p.Delay(1)
+		r.Release()
+	}
+	env.Spawn("p0", use)
+	env.Spawn("p1", func(p *Proc) { p.Delay(0.5); use(p) })
+	env.Spawn("p2", func(p *Proc) { p.Delay(1); use(p) })
+	env.Run()
+	if fmt.Sprint(order) != "[p0 p1 p2]" {
+		t.Errorf("admission order %v, want FIFO [p0 p1 p2]", order)
+	}
+	if env.Now() != 3 {
+		t.Errorf("end %v, want 3", env.Now())
+	}
+}
+
+func TestForkJoinExposesOnlyExcess(t *testing.T) {
+	env := NewEnv()
+	var joined float64
+	env.Spawn("main", func(p *Proc) {
+		c := p.Env().Fork("bg", func(bp *Proc) { bp.Delay(3) })
+		p.Delay(2) // overlapped foreground work
+		c.Wait(p)
+		joined = p.Now()
+		c.Wait(p) // idempotent
+	})
+	env.Run()
+	if joined != 3 {
+		t.Errorf("join at %v, want 3 (max of fork and foreground)", joined)
+	}
+
+	// The short-fork case: join returns at the foreground time.
+	env2 := NewEnv()
+	env2.Spawn("main", func(p *Proc) {
+		c := p.Env().Fork("bg", func(bp *Proc) { bp.Delay(1) })
+		p.Delay(2)
+		c.Wait(p)
+		joined = p.Now()
+	})
+	env2.Run()
+	if joined != 2 {
+		t.Errorf("join at %v, want 2", joined)
+	}
+}
+
 // Property: for any set of delays, Run finishes at the maximum delay and
 // every process observes its own delay exactly.
 func TestRunEndsAtMaxDelayProperty(t *testing.T) {

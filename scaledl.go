@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"scaledl/internal/comm"
 	"scaledl/internal/core"
 	"scaledl/internal/data"
 	"scaledl/internal/harness"
@@ -187,7 +188,7 @@ const (
 )
 
 // KNLClusterConfig configures Algorithm 4 run as a real rank program over
-// the simulated MPI runtime (internal/mpi).
+// the message-level collective engine (internal/comm).
 type KNLClusterConfig = core.KNLClusterConfig
 
 // TrainKNLCluster runs Algorithm 4 (Communication-Efficient EASGD on a
@@ -195,6 +196,45 @@ type KNLClusterConfig = core.KNLClusterConfig
 // rank processes.
 func TrainKNLCluster(cfg KNLClusterConfig) (Result, error) {
 	return core.KNLClusterEASGD(cfg)
+}
+
+// CollectiveSchedule selects the message pattern of the simulated
+// allreduce collectives for Config.Schedule: tree (default), ring,
+// recursive halving/doubling, pipelined chain, or the linear baseline.
+type CollectiveSchedule = comm.Schedule
+
+// ParseCollectiveSchedule converts a schedule name ("tree", "ring", "rhd",
+// "chain", "linear") for Config.Schedule.
+func ParseCollectiveSchedule(name string) (CollectiveSchedule, error) {
+	return comm.ParseSchedule(name)
+}
+
+// CollectiveSchedules lists the schedule names the engine implements.
+func CollectiveSchedules() []string { return comm.Schedules() }
+
+// SimulatedAllReduceTime executes one message-level allreduce of nBytes
+// over parties nodes on a contention-free α-β link under the named
+// schedule and returns the simulated seconds — the engine the training
+// algorithms communicate through, exposed for cost exploration.
+func SimulatedAllReduceTime(schedule string, nBytes int64, parties int, alpha, betaSecPerByte float64) (float64, error) {
+	link := hw.Link{Name: "custom", Alpha: alpha, Beta: betaSecPerByte}
+	return harness.SimulateAllReduce(schedule, link, nBytes, parties)
+}
+
+// AnalyticAllReduceTime returns the closed-form α-β prediction for the
+// named schedule — the analytic oracle the engine is verified against on
+// contention-free topologies. The pipelined chain has no closed form.
+func AnalyticAllReduceTime(schedule string, nBytes int64, parties int, alpha, betaSecPerByte float64) (float64, error) {
+	sched, err := comm.ParseSchedule(schedule)
+	if err != nil {
+		return 0, err
+	}
+	link := hw.Link{Name: "custom", Alpha: alpha, Beta: betaSecPerByte}
+	t, ok := sched.AnalyticAllReduceTime(link, nBytes, parties)
+	if !ok {
+		return 0, fmt.Errorf("scaledl: no closed form for schedule %q", schedule)
+	}
+	return t, nil
 }
 
 // SaveNet serializes a trained network (architecture + packed parameters).
