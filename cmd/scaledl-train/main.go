@@ -6,6 +6,7 @@
 //
 //	scaledl-train -method sync-easgd3 -workers 4 -batch 32 -iters 100
 //	scaledl-train -method hogwild-easgd -dataset cifar -iters 200
+//	scaledl-train -method sync-sgd -overlap -bucket 8192 -schedule ring
 //	scaledl-train -list
 package main
 
@@ -38,6 +39,8 @@ func main() {
 		packed   = flag.Bool("packed", true, "use the §5.2 packed communication layout")
 		schedule = flag.String("schedule", "tree", "allreduce schedule for sync-sgd (tree|ring|rhd|chain|linear)")
 		compress = flag.String("compress", "", "wire compression: fp32 (default), 1-bit or uint8")
+		overlap  = flag.Bool("overlap", false, "stream gradients: per-bucket communication launches as backward emits layers")
+		bucket   = flag.Int64("bucket", 0, "gradient bucket size in bytes for the streaming pipeline (0 = 1 MiB default)")
 	)
 	flag.Parse()
 
@@ -99,6 +102,8 @@ func main() {
 		EvalEvery:   *every,
 		Schedule:    sched,
 		Compression: scheme,
+		Overlap:     *overlap,
+		BucketBytes: *bucket,
 	}
 	res, err := run(cfg)
 	if err != nil {
@@ -116,8 +121,9 @@ func main() {
 	for _, c := range core.Categories() {
 		fmt.Printf("%s %.0f%%  ", c, res.Breakdown.Share(c)*100)
 	}
-	fmt.Printf("(comm ratio %.0f%%, param traffic %.2f MB)\n",
-		res.Breakdown.CommRatio()*100, float64(res.Breakdown.ParamTraffic())/(1<<20))
+	fmt.Printf("(comm ratio %.0f%%, param traffic %.2f MB, hidden comm %.5fs)\n",
+		res.Breakdown.CommRatio()*100, float64(res.Breakdown.ParamTraffic())/(1<<20),
+		res.Breakdown.HiddenComm)
 }
 
 func fatal(err error) {

@@ -59,11 +59,23 @@
 //     contention-free topologies the simulated collectives match them to
 //     1e-9, and reduced values are bit-identical to comm.ReduceSum for
 //     every schedule;
+//   - a layer-streaming backprop pipeline (the architecture of Poseidon's
+//     wait-free backprop and FireCaffe's per-layer reduction trees): the
+//     backward walk emits per-layer gradient-ready events
+//     (nn.Net.LossAndGradStream), a comm.Bucketizer coalesces ready layers
+//     into ~Config.BucketBytes buckets along plan-segment boundaries, and
+//     per-bucket Range collectives run as distinct in-flight rounds — so
+//     with Config.Overlap on, communication hides under the tail of
+//     backprop as a consequence of the dependency structure, with only the
+//     exposed share charged to the time breakdown (Breakdown.HiddenComm
+//     reports the hidden share) and gradient math bit-identical to the
+//     monolithic path;
 //   - all twelve distributed algorithms of the paper (the contributions and
 //     every baseline), running real gradient math under simulated time;
 //   - an experiment harness that regenerates every table and figure of the
 //     paper's evaluation (Tables 2-4, Figures 6, 8, 10-13) plus a batch-size
-//     study and a co-design ablation.
+//     study, a co-design ablation, and an overlap × bucket-size × schedule
+//     ablation of the streaming pipeline.
 //
 // # Execution model
 //
@@ -75,9 +87,11 @@
 //     processes; exactly one executes at any virtual instant, so the
 //     *timeline* of a run is a pure function of its inputs. Communication
 //     is simulated at message granularity: every collective hop pays its
-//     path's α-β cost and queues on shared segments, Sync EASGD3's
-//     broadcast genuinely runs (sim.Fork) beneath the data copy and
-//     forward/backward, and contention emerges from scheduling.
+//     path's α-β cost and queues on shared segments, the streaming
+//     pipeline's bucket collectives genuinely run (sim.Fork, bounded
+//     in-flight) beneath the backward walk — Sync EASGD3's overlap and
+//     Sync SGD's hidden allreduce are its consequences — and contention
+//     emerges from scheduling.
 //   - internal/par is a process-wide bounded work pool (width = GOMAXPROCS
 //     by default) that the *real* mathematics runs on. The paper's workers
 //     are embarrassingly parallel between reductions, and the

@@ -1,0 +1,67 @@
+// overlap_stream demonstrates the layer-streaming backprop pipeline: the
+// backward pass emits per-layer gradient-ready events, ready layers
+// coalesce into ~BucketBytes buckets, and each bucket's allreduce launches
+// the moment its last layer lands — so communication hides under the tail
+// of backprop. The program runs the same Sync SGD training with overlap off
+// and on across bucket sizes (the -overlap / -bucket knobs of
+// cmd/scaledl-train) and shows that the time falls while the training
+// mathematics stays bit-identical.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scaledl"
+)
+
+func main() {
+	train, test := scaledl.SyntheticMNIST(7, 2048, 512)
+	// LeNet: 1.72 MB of parameters, with the big dense block's gradient
+	// ready first in the backward walk — the shape streaming exploits.
+	def := scaledl.LeNet(scaledl.Shape{C: 1, H: 28, W: 28}, 10)
+
+	run := func(overlap bool, bucketBytes int64) scaledl.Result {
+		res, err := scaledl.Train("sync-sgd", scaledl.Config{
+			Def:         def,
+			Train:       train,
+			Test:        test,
+			Workers:     4,
+			Batch:       32,
+			LR:          0.01,
+			Iterations:  10,
+			Seed:        1,
+			Platform:    scaledl.DefaultGPUPlatform(true),
+			Overlap:     overlap,
+			BucketBytes: bucketBytes,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Println("Sync SGD on 4 simulated GPUs, LeNet, same seed — only the streaming knobs differ:")
+	fmt.Println()
+	fmt.Printf("%-22s %-12s %-14s %-14s %-10s\n", "configuration", "sim time(s)", "exposed comm", "hidden comm", "final loss")
+	base := run(false, 0)
+	print := func(name string, res scaledl.Result) {
+		exposed := res.Breakdown.Times[scaledl.CatCPUGPUParam]
+		fmt.Printf("%-22s %-12.5f %-14.5f %-14.5f %-10.5f\n",
+			name, res.SimTime, exposed, res.Breakdown.HiddenComm, res.FinalLoss)
+	}
+	print("monolithic (off)", base)
+	for _, bucket := range []int64{64 << 10, 256 << 10, 1 << 20} {
+		res := run(true, bucket)
+		print(fmt.Sprintf("overlap, %d KiB", bucket>>10), res)
+		if res.FinalLoss != base.FinalLoss {
+			log.Fatalf("streaming changed the training math: %v vs %v", res.FinalLoss, base.FinalLoss)
+		}
+	}
+	fmt.Println()
+	fmt.Println("The exposed communication collapses as buckets stream under the backward pass;")
+	fmt.Println("the hidden column is where it went. The final loss is bit-identical in every row:")
+	fmt.Println("bucketing changes when bytes move, never what is summed.")
+	fmt.Println()
+	fmt.Println("Same knobs on the CLI:  scaledl-train -method sync-sgd -overlap -bucket 65536")
+}

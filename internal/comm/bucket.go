@@ -1,0 +1,127 @@
+package comm
+
+import "fmt"
+
+// This file is the gradient-bucketing layer of the streaming communication
+// path. A backward pass emits per-layer gradient-ready events last layer
+// first (nn.GradEvent); communicating every layer separately would pay one
+// collective latency per layer (the Figure 10 failure mode), while waiting
+// for the whole model serializes communication behind computation. The
+// Bucketizer is the standard middle ground (Poseidon's wait-free backprop,
+// modern DDP buckets): coalesce ready layers into ~BucketBytes buckets, and
+// launch each bucket's collective the moment its last layer lands, so
+// bucket k's wire time hides under the tail of backprop (and under bucket
+// k+1's computation).
+//
+// Buckets respect the existing Plan segments: a bucket is a contiguous run
+// of whole plan segments (layers), never a partial one, so the packed
+// parameter layout's invariants — and the ordered-reduction bit-identity of
+// the collective engine — carry over unchanged: the concatenation of all
+// bucket ranges is exactly [0, TotalBytes/4), each element is reduced once,
+// in rank order, no matter how the buckets are drawn.
+
+// Bucket is one coalesced communication unit: a contiguous [Lo,Hi) element
+// range of the model vector covering the plan segments SegLo..SegHi
+// (inclusive). Buckets are numbered in emission (backward) order: bucket 0
+// holds the *last* layers — the first gradients backprop finishes — and the
+// final bucket ends at element 0.
+type Bucket struct {
+	ID           int
+	Lo, Hi       int // element range within the packed model vector
+	SegLo, SegHi int // plan segment (layer) index range, inclusive
+}
+
+// Elems returns the bucket's element count.
+func (b Bucket) Elems() int { return b.Hi - b.Lo }
+
+// Bytes returns the bucket's raw fp32 payload size.
+func (b Bucket) Bytes() int64 { return int64(b.Elems()) * 4 }
+
+// Bucketizer partitions a Plan's segments into ~bucketBytes buckets, walking
+// the segments in backward (descending) order and closing a bucket as soon
+// as it reaches bucketBytes. Degenerate sizes behave as documented:
+// bucketBytes smaller than every segment yields one bucket per segment
+// (buckets never split a segment); bucketBytes at least the plan's total —
+// or ≤ 0 — yields a single whole-model bucket, which is exactly the
+// monolithic path.
+type Bucketizer struct {
+	plan    Plan
+	buckets []Bucket
+	segOf   []int // plan segment index -> bucket ID
+}
+
+// NewBucketizer builds the bucket layout for a plan. The plan must have at
+// least one segment of whole float32s.
+func NewBucketizer(plan Plan, bucketBytes int64) *Bucketizer {
+	if len(plan.LayerBytes) == 0 {
+		panic("comm: bucketizer needs a plan with at least one segment")
+	}
+	// Element offsets of each segment.
+	offs := make([]int, len(plan.LayerBytes)+1)
+	for i, b := range plan.LayerBytes {
+		if b%4 != 0 {
+			panic(fmt.Sprintf("comm: plan segment of %d bytes is not whole float32s", b))
+		}
+		offs[i+1] = offs[i] + int(b/4)
+	}
+	bz := &Bucketizer{plan: plan, segOf: make([]int, len(plan.LayerBytes))}
+	if bucketBytes <= 0 {
+		bucketBytes = plan.TotalBytes()
+	}
+	hiSeg := len(plan.LayerBytes) - 1
+	var acc int64
+	for seg := hiSeg; seg >= 0; seg-- {
+		acc += plan.LayerBytes[seg]
+		if acc >= bucketBytes || seg == 0 {
+			id := len(bz.buckets)
+			bz.buckets = append(bz.buckets, Bucket{
+				ID: id, Lo: offs[seg], Hi: offs[hiSeg+1], SegLo: seg, SegHi: hiSeg,
+			})
+			for s := seg; s <= hiSeg; s++ {
+				bz.segOf[s] = id
+			}
+			hiSeg = seg - 1
+			acc = 0
+		}
+	}
+	return bz
+}
+
+// NumBuckets returns the bucket count.
+func (bz *Bucketizer) NumBuckets() int { return len(bz.buckets) }
+
+// Buckets returns the buckets in emission (backward) order.
+func (bz *Bucketizer) Buckets() []Bucket { return bz.buckets }
+
+// BucketOf returns the bucket holding plan segment seg.
+func (bz *Bucketizer) BucketOf(seg int) Bucket { return bz.buckets[bz.segOf[seg]] }
+
+// SubPlan returns the plan restricted to one bucket's segments, preserving
+// packing and the gather-staging bandwidth — the message plan of a
+// point-to-point transfer that moves just this bucket.
+func (bz *Bucketizer) SubPlan(b Bucket) Plan {
+	return Plan{
+		LayerBytes: bz.plan.LayerBytes[b.SegLo : b.SegHi+1],
+		Packed:     bz.plan.Packed,
+		GatherBW:   bz.plan.GatherBW,
+	}
+}
+
+// SplitWire divides a total wire size across the buckets pro rata to their
+// raw sizes (the last bucket absorbs rounding), mirroring planWire: an
+// uncompressed model splits into exactly the bucket byte counts, a
+// compressed stream shrinks every bucket by the same ratio.
+func (bz *Bucketizer) SplitWire(wireBytes int64) []int64 {
+	total := bz.plan.TotalBytes()
+	out := make([]int64, len(bz.buckets))
+	if total == 0 {
+		return out
+	}
+	var used int64
+	for i, b := range bz.buckets[:len(bz.buckets)-1] {
+		out[i] = wireBytes * b.Bytes() / total
+		used += out[i]
+	}
+	out[len(out)-1] = wireBytes - used
+	return out
+}

@@ -1,0 +1,305 @@
+package comm
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"scaledl/internal/sim"
+)
+
+// layeredPlan is a per-layer plan over the given element counts.
+func layeredPlan(elems ...int) Plan {
+	bytes := make([]int64, len(elems))
+	for i, e := range elems {
+		bytes[i] = int64(e) * 4
+	}
+	return Plan{LayerBytes: bytes, Packed: true}
+}
+
+// TestBucketizerLayout pins the coalescing rule: backward (descending)
+// segment order, buckets close at bucketBytes, segments never split, and
+// the bucket ranges tile the model vector exactly.
+func TestBucketizerLayout(t *testing.T) {
+	plan := layeredPlan(100, 300, 50, 600) // offsets 0,100,400,450,1050
+	cases := []struct {
+		bucketBytes int64
+		wantRanges  [][2]int // emission order: last layers first
+	}{
+		// Degenerate: smaller than every layer — one bucket per segment.
+		{4, [][2]int{{450, 1050}, {400, 450}, {100, 400}, {0, 100}}},
+		// Degenerate: larger than the whole model — single monolithic bucket.
+		{1 << 30, [][2]int{{0, 1050}}},
+		// Zero (and negative) mean monolithic too.
+		{0, [][2]int{{0, 1050}}},
+		// Exactly on a segment boundary: 600 elems = 2400 bytes closes the
+		// first bucket at layer 3 alone; the next closes at layers 1+2
+		// (300+50=350 elems=1400 bytes < 2400, so it keeps absorbing layer 0).
+		{2400, [][2]int{{450, 1050}, {0, 450}}},
+		// Mid-segment threshold: 160 bytes = 40 elems; every segment alone
+		// already exceeds it.
+		{160, [][2]int{{450, 1050}, {400, 450}, {100, 400}, {0, 100}}},
+	}
+	for _, c := range cases {
+		bz := NewBucketizer(plan, c.bucketBytes)
+		var got [][2]int
+		for _, b := range bz.Buckets() {
+			got = append(got, [2]int{b.Lo, b.Hi})
+		}
+		if !reflect.DeepEqual(got, c.wantRanges) {
+			t.Errorf("bucketBytes=%d: ranges %v, want %v", c.bucketBytes, got, c.wantRanges)
+		}
+		// Tiling: emission order is descending and contiguous from the top.
+		bs := bz.Buckets()
+		if bs[0].Hi != 1050 || bs[len(bs)-1].Lo != 0 {
+			t.Errorf("bucketBytes=%d: buckets do not span the model", c.bucketBytes)
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i].Hi != bs[i-1].Lo {
+				t.Errorf("bucketBytes=%d: gap between buckets %d and %d", c.bucketBytes, i-1, i)
+			}
+		}
+		// Segment mapping and sub-plans are consistent.
+		for seg := range plan.LayerBytes {
+			b := bz.BucketOf(seg)
+			if seg < b.SegLo || seg > b.SegHi {
+				t.Errorf("BucketOf(%d) returned bucket over segs [%d,%d]", seg, b.SegLo, b.SegHi)
+			}
+		}
+		for _, b := range bs {
+			if got, want := bz.SubPlan(b).TotalBytes(), b.Bytes(); got != want {
+				t.Errorf("SubPlan of bucket %d totals %d bytes, bucket says %d", b.ID, got, want)
+			}
+		}
+	}
+}
+
+// TestBucketizerSplitWire pins the pro-rata wire split: raw wire splits
+// into exactly the bucket sizes, compressed wire preserves the total.
+func TestBucketizerSplitWire(t *testing.T) {
+	plan := layeredPlan(100, 300, 600)
+	bz := NewBucketizer(plan, 1) // one bucket per segment
+	raw := bz.SplitWire(plan.TotalBytes())
+	if !reflect.DeepEqual(raw, []int64{2400, 1200, 400}) {
+		t.Errorf("raw wire split %v", raw)
+	}
+	comp := bz.SplitWire(101)
+	var sum int64
+	for _, w := range comp {
+		sum += w
+	}
+	if sum != 101 {
+		t.Errorf("compressed wire split %v does not sum to 101", comp)
+	}
+}
+
+// bucketedAllReduce runs one allreduce as overlapped per-bucket Range
+// collectives: every party forks one process per bucket, so multiple rounds
+// of the same communicator are in flight concurrently.
+func bucketedAllReduce(t *testing.T, sched Schedule, parties int, plan Plan, bucketBytes int64, inputs [][]float32) (float64, [][]float32) {
+	t.Helper()
+	env := sim.NewEnv()
+	topo := NewUniform(env, parties, testLink)
+	c := NewCommunicator(topo, CommConfig{Parties: Ranks(parties), Plan: plan, Schedule: sched})
+	bz := NewBucketizer(plan, bucketBytes)
+	bufs := make([][]float32, parties)
+	for i := range bufs {
+		bufs[i] = append([]float32(nil), inputs[i]...)
+	}
+	for r := 0; r < parties; r++ {
+		rank := r
+		env.Spawn(fmt.Sprintf("party%d", rank), func(p *sim.Proc) {
+			comps := make([]*sim.Completion, 0, bz.NumBuckets())
+			for _, bk := range bz.Buckets() {
+				bk := bk
+				comps = append(comps, env.Fork(fmt.Sprintf("b%d.%d", rank, bk.ID), func(bp *sim.Proc) {
+					c.Endpoint(rank).AllReduceRange(bp, bk.ID, bufs[rank], bk.Lo, bk.Hi)
+				}))
+			}
+			for _, cm := range comps {
+				cm.Wait(p)
+			}
+		})
+	}
+	end := env.Run()
+	env.Close()
+	return end, bufs
+}
+
+// The satellite invariant: bucketed, overlapped allreduce produces
+// bit-identical reduced gradients to the monolithic path for every schedule
+// and bucket size — including the degenerate sizes (smaller than one layer,
+// larger than the whole model, exactly on a segment boundary).
+func TestBucketedAllReduceBitIdenticalToMonolithic(t *testing.T) {
+	layers := []int{64, 7, 129, 256, 31} // offsets: boundary at 200*4=800 bytes nowhere round — use explicit cases
+	total := 0
+	for _, l := range layers {
+		total += l
+	}
+	plan := layeredPlan(layers...)
+	for _, sched := range []Schedule{ScheduleTree, ScheduleRing, ScheduleRHD, ScheduleChain, ScheduleLinear} {
+		for _, p := range []int{2, 3, 4, 8} {
+			inputs := randInputs(p, total, int64(p)*13+int64(sched))
+			monoEnd, mono := simAllReduce(t, sched, p, total, inputs)
+			// The ordered-reduction invariant extends to buckets: like the
+			// monolithic schedules (TestAllReduceBitIdenticalToReduceSum),
+			// every bucketed result must equal ReduceSum in rank order.
+			want := make([]float32, total)
+			ReduceSum(want, inputs...)
+			if !reflect.DeepEqual(mono[0], want) {
+				t.Fatalf("%v P=%d: monolithic reference differs from ReduceSum", sched, p)
+			}
+			for _, bucketBytes := range []int64{
+				1,                   // smaller than every layer: one bucket per layer
+				int64(total)*4 + 64, // larger than the whole model: monolithic bucket
+				int64(31+256) * 4,   // exactly the last-two-layers boundary
+				1024,                // mid-segment threshold
+			} {
+				end, bufs := bucketedAllReduce(t, sched, p, plan, bucketBytes, inputs)
+				for rank := range bufs {
+					if !reflect.DeepEqual(bufs[rank], mono[rank]) {
+						t.Fatalf("%v P=%d bucketBytes=%d rank %d: bucketed result differs from monolithic",
+							sched, p, bucketBytes, rank)
+					}
+				}
+				if end <= 0 {
+					t.Fatalf("%v P=%d bucketBytes=%d: no simulated time elapsed", sched, p, bucketBytes)
+				}
+				_ = monoEnd
+			}
+		}
+	}
+}
+
+// A single Range allreduce over [lo,hi) completes at exactly the analytic
+// oracle of the range's bytes — the Range entry points keep the
+// oracle-equality invariant of the monolithic collectives.
+func TestAllReduceRangeMatchesOracle(t *testing.T) {
+	plan := layeredPlan(1000, 2000, 3000)
+	lo, hi := 1000, 3000 // the middle segment
+	for _, sched := range []Schedule{ScheduleTree, ScheduleRing, ScheduleRHD, ScheduleLinear} {
+		p := 4
+		inputs := randInputs(p, 6000, int64(sched)+3)
+		env := sim.NewEnv()
+		topo := NewUniform(env, p, testLink)
+		c := NewCommunicator(topo, CommConfig{Parties: Ranks(p), Plan: plan, Schedule: sched})
+		bufs := make([][]float32, p)
+		for i := range bufs {
+			bufs[i] = append([]float32(nil), inputs[i]...)
+		}
+		end := runCollective(t, topo, c, func(pr *sim.Proc, rank int) {
+			c.Endpoint(rank).AllReduceRange(pr, 0, bufs[rank], lo, hi)
+		})
+		want, ok := sched.AnalyticAllReduceTime(testLink, int64(hi-lo)*4, p)
+		if !ok {
+			t.Fatalf("%v has no oracle", sched)
+		}
+		if relErr(end, want) > 1e-9 {
+			t.Errorf("%v: range allreduce %v, oracle %v", sched, end, want)
+		}
+		// Elements outside the range are untouched.
+		for rank := range bufs {
+			for i := 0; i < lo; i++ {
+				if bufs[rank][i] != inputs[rank][i] {
+					t.Fatalf("%v rank %d: element %d outside range changed", sched, rank, i)
+				}
+			}
+			for i := hi; i < 6000; i++ {
+				if bufs[rank][i] != inputs[rank][i] {
+					t.Fatalf("%v rank %d: element %d outside range changed", sched, rank, i)
+				}
+			}
+		}
+	}
+}
+
+// ReduceRange and BroadcastRange move only the range, with reduce results
+// bit-identical to ReduceSum over the range.
+func TestReduceBroadcastRange(t *testing.T) {
+	plan := layeredPlan(100, 200, 300)
+	p, total := 5, 600
+	lo, hi := 300, 600
+	inputs := randInputs(p, total, 21)
+	env := sim.NewEnv()
+	topo := NewUniform(env, p, testLink)
+	c := NewCommunicator(topo, CommConfig{Parties: Ranks(p), Plan: plan})
+	bufs := make([][]float32, p)
+	for i := range bufs {
+		bufs[i] = append([]float32(nil), inputs[i]...)
+	}
+	runCollective(t, topo, c, func(pr *sim.Proc, rank int) {
+		c.Endpoint(rank).ReduceRange(pr, 0, 1, bufs[rank], lo, hi)
+		c.Endpoint(rank).BroadcastRange(pr, 1, 1, bufs[rank], lo, hi)
+	})
+	want := make([]float32, hi-lo)
+	srcs := make([][]float32, p)
+	for i := range srcs {
+		srcs[i] = inputs[i][lo:hi]
+	}
+	ReduceSum(want, srcs...)
+	for rank := range bufs {
+		if !reflect.DeepEqual(bufs[rank][lo:hi], want) {
+			t.Fatalf("rank %d: reduce+bcast range differs from ordered sum", rank)
+		}
+		for i := 0; i < lo; i++ {
+			if bufs[rank][i] != inputs[rank][i] {
+				t.Fatalf("rank %d: element %d outside range changed", rank, i)
+			}
+		}
+	}
+}
+
+// Unpacked plans pay gather staging pro rata over buckets: the bucketed
+// staging total equals the monolithic pass.
+func TestRangeStagingProRata(t *testing.T) {
+	plan := Plan{LayerBytes: []int64{4000, 8000, 12000}, Packed: false, GatherBW: 1e6}
+	p := 2
+	run := func(body func(c *Communicator, pr *sim.Proc, rank int)) float64 {
+		env := sim.NewEnv()
+		topo := NewUniform(env, p, testLink)
+		c := NewCommunicator(topo, CommConfig{Parties: Ranks(p), Plan: plan})
+		return runCollective(t, topo, c, func(pr *sim.Proc, rank int) { body(c, pr, rank) })
+	}
+	bz := NewBucketizer(plan, 1)
+	whole := run(func(c *Communicator, pr *sim.Proc, rank int) {
+		buf := make([]float32, 6000)
+		c.Endpoint(rank).AllReduce(pr, 0, buf)
+	})
+	bucketed := run(func(c *Communicator, pr *sim.Proc, rank int) {
+		buf := make([]float32, 6000)
+		for _, bk := range bz.Buckets() {
+			c.Endpoint(rank).AllReduceRange(pr, bk.ID, buf, bk.Lo, bk.Hi)
+		}
+	})
+	// Sequentially-issued bucketed collectives pay the same staging and the
+	// same per-segment wire, so the end times agree to float tolerance.
+	if relErr(bucketed, whole) > 1e-9 {
+		t.Errorf("sequential bucketed allreduce %v, monolithic %v", bucketed, whole)
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	topo := NewUniform(env, 2, testLink)
+	c := NewCommunicator(topo, CommConfig{Parties: Ranks(2), Plan: layeredPlan(10)})
+	for _, rng := range [][2]int{{-1, 5}, {5, 3}, {0, 11}} {
+		rng := rng
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range %v did not panic", rng)
+				}
+			}()
+			c.Endpoint(0).AllReduceRange(nil, 0, nil, rng[0], rng[1])
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty-plan bucketizer did not panic")
+			}
+		}()
+		NewBucketizer(Plan{}, 4)
+	}()
+}

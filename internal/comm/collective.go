@@ -276,8 +276,15 @@ func (c *Communicator) segments() [][2]int {
 // packed single-buffer layouts avoid — §5.2's second effect). Every party
 // stages concurrently, so one collective exposes exactly one staging time.
 func (c *Communicator) stage(p *sim.Proc) {
+	c.stageBytes(p, c.plan.TotalBytes())
+}
+
+// stageBytes charges the gather/scatter staging for n bytes of an unpacked
+// plan — the Range collectives' pro-rata share of stage(), so bucketed
+// staging sums to exactly the monolithic pass.
+func (c *Communicator) stageBytes(p *sim.Proc, n int64) {
 	if !c.plan.Packed && c.plan.GatherBW > 0 && len(c.plan.LayerBytes) > 0 {
-		p.Delay(float64(c.plan.TotalBytes()) / c.plan.GatherBW)
+		p.Delay(float64(n) / c.plan.GatherBW)
 	}
 }
 
@@ -286,6 +293,17 @@ func (c *Communicator) checkBuf(buf []float32) {
 	if int64(len(buf))*4 != c.plan.TotalBytes() {
 		panic(fmt.Sprintf("comm: buffer of %d elements does not match plan of %d bytes",
 			len(buf), c.plan.TotalBytes()))
+	}
+}
+
+// checkRange validates a Range collective's buffer and element range. A nil
+// buf selects size-only mode.
+func (c *Communicator) checkRange(buf []float32, lo, hi int) {
+	if buf != nil {
+		c.checkBuf(buf)
+	}
+	if lo < 0 || hi < lo || int64(hi)*4 > c.plan.TotalBytes() {
+		panic(fmt.Sprintf("comm: range [%d,%d) outside plan of %d bytes", lo, hi, c.plan.TotalBytes()))
 	}
 }
 
@@ -401,6 +419,55 @@ func (ep *Endpoint) AllReduceSize(p *sim.Proc, round int) {
 	ep.c.allReduce(p, ep.rank, round, nil)
 }
 
+// ---- bucketed (range) collectives ----
+//
+// The Range entry points are the streaming path's collectives: each moves
+// one [lo,hi) element subrange of the model vector — typically one
+// Bucketizer bucket — as a single message segment under the communicator's
+// schedule. Distinct concurrent calls must use distinct round numbers;
+// selective receive and per-key round barriers keep any number of rounds in
+// flight apart, which is what lets bucket k+1's collective overlap bucket
+// k's wire time and the tail of backprop. A nil buf walks the schedule
+// size-only. Unpacked plans pay their gather staging pro rata to the
+// range's bytes, so the staging total over all buckets equals the
+// monolithic collective's.
+
+// AllReduceRange allreduces buf[lo:hi]: every party ends with the
+// rank-ordered sum of the range's contributions, bit-identical to the same
+// range of a monolithic AllReduce.
+func (ep *Endpoint) AllReduceRange(p *sim.Proc, round int, buf []float32, lo, hi int) {
+	ep.c.checkRange(buf, lo, hi)
+	c := ep.c
+	if len(c.parties) == 1 {
+		return
+	}
+	c.stageBytes(p, int64(hi-lo)*4)
+	c.allReduceSeg(p, ep.rank, round, 0, buf, [2]int{lo, hi})
+}
+
+// ReduceRange reduces buf[lo:hi] to root (rank-ordered sum at root, other
+// bufs unchanged).
+func (ep *Endpoint) ReduceRange(p *sim.Proc, round, root int, buf []float32, lo, hi int) {
+	ep.c.checkRange(buf, lo, hi)
+	c := ep.c
+	if len(c.parties) == 1 {
+		return
+	}
+	c.stageBytes(p, int64(hi-lo)*4)
+	c.reduceSeg(p, ep.rank, round, 0, root, buf, [2]int{lo, hi})
+}
+
+// BroadcastRange distributes root's buf[lo:hi] to every party.
+func (ep *Endpoint) BroadcastRange(p *sim.Proc, round, root int, buf []float32, lo, hi int) {
+	ep.c.checkRange(buf, lo, hi)
+	c := ep.c
+	if len(c.parties) == 1 {
+		return
+	}
+	c.stageBytes(p, int64(hi-lo)*4)
+	c.bcastSeg(p, ep.rank, round, 0, root, buf, [2]int{lo, hi})
+}
+
 // ---- dispatch ----
 
 func (c *Communicator) bcast(p *sim.Proc, rank, round, root int, buf []float32) {
@@ -409,14 +476,20 @@ func (c *Communicator) bcast(p *sim.Proc, rank, round, root int, buf []float32) 
 	}
 	c.stage(p)
 	for si, seg := range c.segments() {
-		switch c.sched {
-		case ScheduleLinear:
-			c.linearBcast(p, rank, round, phBcast, si, root, buf, seg)
-		case ScheduleChain:
-			c.chainBcast(p, rank, round, phBcast, si, root, buf, seg)
-		default:
-			c.treeBcast(p, rank, round, phBcast, si, root, buf, seg)
-		}
+		c.bcastSeg(p, rank, round, si, root, buf, seg)
+	}
+}
+
+// bcastSeg runs one segment's broadcast under the schedule (ring and RHD,
+// which are allreduce shapes, fall back to the tree).
+func (c *Communicator) bcastSeg(p *sim.Proc, rank, round, si, root int, buf []float32, seg [2]int) {
+	switch c.sched {
+	case ScheduleLinear:
+		c.linearBcast(p, rank, round, phBcast, si, root, buf, seg)
+	case ScheduleChain:
+		c.chainBcast(p, rank, round, phBcast, si, root, buf, seg)
+	default:
+		c.treeBcast(p, rank, round, phBcast, si, root, buf, seg)
 	}
 }
 
@@ -426,14 +499,19 @@ func (c *Communicator) reduce(p *sim.Proc, rank, round, root int, buf []float32)
 	}
 	c.stage(p)
 	for si, seg := range c.segments() {
-		switch c.sched {
-		case ScheduleLinear:
-			c.linearReduce(p, rank, round, phReduce, si, root, buf, seg)
-		case ScheduleChain:
-			c.chainReduce(p, rank, round, phReduce, si, root, buf, seg)
-		default:
-			c.treeReduce(p, rank, round, phReduce, si, root, buf, seg)
-		}
+		c.reduceSeg(p, rank, round, si, root, buf, seg)
+	}
+}
+
+// reduceSeg runs one segment's reduction toward root under the schedule.
+func (c *Communicator) reduceSeg(p *sim.Proc, rank, round, si, root int, buf []float32, seg [2]int) {
+	switch c.sched {
+	case ScheduleLinear:
+		c.linearReduce(p, rank, round, phReduce, si, root, buf, seg)
+	case ScheduleChain:
+		c.chainReduce(p, rank, round, phReduce, si, root, buf, seg)
+	default:
+		c.treeReduce(p, rank, round, phReduce, si, root, buf, seg)
 	}
 }
 
@@ -442,23 +520,28 @@ func (c *Communicator) allReduce(p *sim.Proc, rank, round int, buf []float32) {
 		return
 	}
 	c.stage(p)
-	pow2 := len(c.parties)&(len(c.parties)-1) == 0
 	for si, seg := range c.segments() {
-		switch {
-		case c.sched == ScheduleRing:
-			c.ringAllReduce(p, rank, round, si, buf, seg)
-		case c.sched == ScheduleRHD && pow2:
-			c.rhdAllReduce(p, rank, round, si, buf, seg)
-		case c.sched == ScheduleChain:
-			c.chainReduce(p, rank, round, phReduce, si, 0, buf, seg)
-			c.chainBcast(p, rank, round, phBcast, si, 0, buf, seg)
-		case c.sched == ScheduleLinear:
-			c.linearReduce(p, rank, round, phReduce, si, 0, buf, seg)
-			c.linearBcast(p, rank, round, phBcast, si, 0, buf, seg)
-		default: // tree, and RHD's non-power-of-two fallback
-			c.treeReduce(p, rank, round, phReduce, si, 0, buf, seg)
-			c.treeBcast(p, rank, round, phBcast, si, 0, buf, seg)
-		}
+		c.allReduceSeg(p, rank, round, si, buf, seg)
+	}
+}
+
+// allReduceSeg runs one segment's allreduce under the schedule.
+func (c *Communicator) allReduceSeg(p *sim.Proc, rank, round, si int, buf []float32, seg [2]int) {
+	pow2 := len(c.parties)&(len(c.parties)-1) == 0
+	switch {
+	case c.sched == ScheduleRing:
+		c.ringAllReduce(p, rank, round, si, buf, seg)
+	case c.sched == ScheduleRHD && pow2:
+		c.rhdAllReduce(p, rank, round, si, buf, seg)
+	case c.sched == ScheduleChain:
+		c.chainReduce(p, rank, round, phReduce, si, 0, buf, seg)
+		c.chainBcast(p, rank, round, phBcast, si, 0, buf, seg)
+	case c.sched == ScheduleLinear:
+		c.linearReduce(p, rank, round, phReduce, si, 0, buf, seg)
+		c.linearBcast(p, rank, round, phBcast, si, 0, buf, seg)
+	default: // tree, and RHD's non-power-of-two fallback
+		c.treeReduce(p, rank, round, phReduce, si, 0, buf, seg)
+		c.treeBcast(p, rank, round, phBcast, si, 0, buf, seg)
 	}
 }
 

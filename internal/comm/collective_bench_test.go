@@ -54,3 +54,62 @@ func BenchmarkAllReduceTree(b *testing.B)  { benchmarkAllReduce(b, ScheduleTree,
 func BenchmarkAllReduceRing(b *testing.B)  { benchmarkAllReduce(b, ScheduleRing, 8, 1<<20) }
 func BenchmarkAllReduceRHD(b *testing.B)   { benchmarkAllReduce(b, ScheduleRHD, 8, 1<<20) }
 func BenchmarkAllReduceChain(b *testing.B) { benchmarkAllReduce(b, ScheduleChain, 8, 1<<20) }
+
+// Bucketed-versus-monolithic allreduce: the same 4 MB tree allreduce run
+// monolithically and as overlapped per-bucket Range collectives (one forked
+// proc per bucket per party, every bucket a distinct in-flight round). The
+// sim_ms metric shows the simulated completion time; ns/op the engine's
+// real cost of simulating the extra message waves. BENCH_overlap.json holds
+// the checked-in baseline.
+func benchmarkBucketedAllReduce(b *testing.B, parties, elems, buckets int) {
+	b.Helper()
+	layer := elems / buckets
+	sizes := make([]int64, buckets)
+	for i := range sizes {
+		sizes[i] = int64(layer) * 4
+	}
+	sizes[buckets-1] += int64(elems-layer*buckets) * 4
+	plan := Plan{LayerBytes: sizes, Packed: true}
+	bz := NewBucketizer(plan, 1) // one bucket per segment
+	ids := Ranks(parties)
+	inputs := make([][]float32, parties)
+	for i := range inputs {
+		inputs[i] = make([]float32, elems)
+		for j := range inputs[i] {
+			inputs[i][j] = float32(i + j)
+		}
+	}
+	var simTime float64
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		env := sim.NewEnv()
+		topo := NewUniform(env, parties, hw.MellanoxFDR)
+		c := NewCommunicator(topo, CommConfig{Parties: ids, Plan: plan})
+		bufs := make([][]float32, parties)
+		for i := range bufs {
+			bufs[i] = append([]float32(nil), inputs[i]...)
+		}
+		for r := 0; r < parties; r++ {
+			rank := r
+			env.Spawn(fmt.Sprintf("party%d", rank), func(p *sim.Proc) {
+				var comps []*sim.Completion
+				for _, bk := range bz.Buckets() {
+					bk := bk
+					comps = append(comps, env.Fork(fmt.Sprintf("b%d.%d", rank, bk.ID), func(bp *sim.Proc) {
+						c.Endpoint(rank).AllReduceRange(bp, bk.ID, bufs[rank], bk.Lo, bk.Hi)
+					}))
+				}
+				for _, cm := range comps {
+					cm.Wait(p)
+				}
+			})
+		}
+		simTime = env.Run()
+		env.Close()
+	}
+	b.ReportMetric(simTime*1e3, "sim_ms")
+}
+
+func BenchmarkAllReduceBucketedMono(b *testing.B) { benchmarkBucketedAllReduce(b, 8, 1<<20, 1) }
+func BenchmarkAllReduceBucketed4(b *testing.B)    { benchmarkBucketedAllReduce(b, 8, 1<<20, 4) }
+func BenchmarkAllReduceBucketed16(b *testing.B)   { benchmarkBucketedAllReduce(b, 8, 1<<20, 16) }

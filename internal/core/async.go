@@ -112,6 +112,15 @@ type psCodecs struct {
 	down []*quant.DeltaCodec // master→worker center streams
 }
 
+// codecAt indexes a per-worker codec slice (delta codecs, quantizers),
+// tolerating the nil (uncompressed) bundle.
+func codecAt[T any](s []*T, i int) *T {
+	if s == nil {
+		return nil
+	}
+	return s[i]
+}
+
 func newPSCodecs(cfg Config, n int, elastic bool) psCodecs {
 	var c psCodecs
 	if cfg.Compression == quant.None {
@@ -147,6 +156,14 @@ func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
 	topo := cfg.Platform.topology(env, cfg.Workers, false)
 	master := topo.Host()
 	codecs := newPSCodecs(cfg, len(rc.center), opt.elastic)
+	// The streaming pipeline for SGD-style uploads (Config.Overlap): the
+	// worker pushes one parameter-server message per gradient bucket as its
+	// backward emits layers, so most of the upload's wire time hides under
+	// the tail of backprop. EASGD-style workers already overlap the whole
+	// round trip with their *next* gradient (§5.1 steps (1)-(2)) — their
+	// payload is weights, ready before compute starts — so they keep that
+	// stronger overlap untouched.
+	stream := rc.newStream(rc.plan)
 	var velocity []float32
 	if opt.momentum && !opt.elastic {
 		velocity = make([]float32, len(rc.center)) // master-side momentum
@@ -181,13 +198,19 @@ func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
 	for i := 0; i < cfg.Workers; i++ {
 		i := i
 		w := rc.workers[i]
+		var crew *bucketCrew
+		if cfg.Overlap && !opt.elastic {
+			// Capacity 1: a worker's host uplink is one DMA engine, so its
+			// bucket uploads stream back to back, not in parallel.
+			crew = newBucketCrew(env, fmt.Sprintf("worker%d", i), 1)
+		}
 		env.Spawn(fmt.Sprintf("worker%d", i), func(p *sim.Proc) {
 			ship := func(loss float64, payload []float32, wire int64) {
 				rc.bd.AddBytes(CatCPUGPUParam, wire)
 				topo.SendModel(p, i, master, tagPSRequest,
 					psRequest{from: i, loss: loss, payload: payload}, rc.plan, wire)
 			}
-			for {
+			for iter := 0; ; iter++ {
 				// Minibatch copy to the device.
 				p.Delay(rc.dataXfer)
 				if opt.elastic {
@@ -196,13 +219,7 @@ func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
 					// well as simulated: the forward/backward runs on the par
 					// pool while this process waits out the round trip, so
 					// other workers' gradients execute concurrently with it.
-					snap := make([]float32, len(w.net.Params))
-					wire := int64(len(snap)) * 4
-					if codecs.upW != nil {
-						wire = codecs.upW[i].Encode(w.net.Params, snap)
-					} else {
-						copy(snap, w.net.Params)
-					}
+					snap, wire := w.snapshotWeights(codecAt(codecs.upW, i))
 					ship(w.lastLoss, snap, wire)
 					join := w.beginGradient()
 					p.Delay(w.computeTime)
@@ -217,6 +234,37 @@ func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
 						w.elasticLocal(cfg.LR, cfg.Rho, rep.center)
 					}
 					p.Delay(rc.workerUpdate)
+				} else if cfg.Overlap {
+					// Streaming upload: per-bucket wire charges fork as the
+					// backward emits layers (one at a time — a worker's host
+					// uplink is a single DMA engine), then the logical request
+					// arrives as a zero-size control message whose bytes were
+					// already paid bucket by bucket.
+					prepared := false
+					var wires []int64
+					loss := stream.walk(p, w, func(b int, bk comm.Bucket) {
+						if !prepared {
+							wires = stream.bz.SplitWire(w.quantizeGrads(codecAt(codecs.up, i)))
+							prepared = true
+						}
+						sub := stream.bz.SubPlan(bk)
+						crew.fork(fmt.Sprintf("up%d.%d.%d", i, iter, b), func(bp *sim.Proc) {
+							rc.bd.AddBytes(CatCPUGPUParam, wires[b])
+							topo.DelayModel(bp, i, master, sub, wires[b])
+						})
+					})
+					// Upload seconds beyond the walk's end are exposed; the
+					// rest ran hidden beneath the backward.
+					tWalk := p.Now()
+					busy := crew.wait(p)
+					rc.bd.AddHidden(busy - (p.Now() - tWalk))
+					topo.Send(p, i, master, tagPSRequest,
+						psRequest{from: i, loss: loss, payload: w.net.Grads}, 0)
+					rep := topo.Recv(p, i, master, tagPSReply).(psReply)
+					if rep.stop {
+						return
+					}
+					copy(w.net.Params, rep.center)
 				} else {
 					// Gradient on the freshly fetched weights, then wait. The
 					// math overlaps (in real time) with the other workers'
@@ -225,11 +273,7 @@ func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
 					join := w.beginGradient()
 					p.Delay(w.computeTime)
 					loss := join()
-					wire := int64(len(w.net.Grads)) * 4
-					if codecs.up != nil {
-						wire = codecs.up[i].Apply(w.net.Grads, w.net.Grads)
-					}
-					ship(loss, w.net.Grads, wire)
+					ship(loss, w.net.Grads, w.quantizeGrads(codecAt(codecs.up, i)))
 					rep := topo.Recv(p, i, master, tagPSReply).(psReply)
 					if rep.stop {
 						return

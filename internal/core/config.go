@@ -132,7 +132,31 @@ type Config struct {
 	// chain or linear — see comm.ParseSchedule. The Sync EASGD family
 	// always uses the paper's binomial tree.
 	Schedule comm.Schedule
+	// Overlap enables the layer-streaming communication pipeline: the
+	// backward pass emits per-layer gradient-ready events (nn.GradEvent),
+	// ready layers coalesce into ~BucketBytes buckets (comm.Bucketizer),
+	// and each bucket's communication launches the moment its last layer
+	// lands — so wire time hides under the tail of backprop instead of
+	// serializing after it. SyncSGD runs per-bucket overlapped allreduces
+	// under Schedule; Async SGD-style workers and the round-robin master
+	// stream per-bucket parameter-server transfers; KNLClusterEASGD streams
+	// its center broadcast beneath compute. Gradient mathematics is
+	// bit-identical with Overlap on or off — streaming changes when bytes
+	// move, never what is summed. Sync EASGD3 always overlaps (that is its
+	// definition) and honors BucketBytes regardless of this flag.
+	Overlap bool
+	// BucketBytes is the gradient-bucket coalescing size of the streaming
+	// pipeline (default 1 MiB when 0). Buckets respect layer boundaries:
+	// sizes below the smallest layer degrade to one bucket per layer, sizes
+	// above the model total to the monolithic single bucket.
+	BucketBytes int64
 }
+
+// DefaultBucketBytes is the streaming pipeline's bucket coalescing default:
+// 1 MiB, small enough that several buckets fit in a paper-scale model (so
+// communication starts well before backprop ends), large enough to amortize
+// the per-collective latency α.
+const DefaultBucketBytes = 1 << 20
 
 // Validate checks the configuration and applies documented defaults.
 func (c *Config) Validate() error {
@@ -157,6 +181,12 @@ func (c *Config) Validate() error {
 	}
 	if c.EvalBatch == 0 {
 		c.EvalBatch = 256
+	}
+	if c.BucketBytes == 0 {
+		c.BucketBytes = DefaultBucketBytes
+	}
+	if c.BucketBytes < 0 {
+		return fmt.Errorf("core: bucket bytes must be positive, got %d", c.BucketBytes)
 	}
 	if c.Def.In.Dim() != c.Train.Spec.SampleDim() {
 		return fmt.Errorf("core: net input %v does not match dataset dim %d", c.Def.In, c.Train.Spec.SampleDim())

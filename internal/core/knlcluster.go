@@ -44,17 +44,29 @@ func KNLClusterEASGD(kcfg KNLClusterConfig) (Result, error) {
 	n := len(rc.center)
 	topo := comm.NewUniform(env, cfg.Workers, kcfg.Fabric)
 	parties := comm.Ranks(cfg.Workers)
+	// The plan keeps the per-layer segment structure under the packed
+	// single-message layout: monolithic collectives still move one message
+	// per hop (packed plans collapse to a single wire segment), while the
+	// streaming pipeline can coalesce layers into buckets along the same
+	// boundaries.
+	plan := comm.Plan{LayerBytes: rc.plan.LayerBytes, Packed: true}
 	cm := comm.NewCommunicator(topo, comm.CommConfig{
 		Parties:  parties,
-		Plan:     comm.Plan{LayerBytes: []int64{rc.paramBytes}, Packed: true},
+		Plan:     plan,
 		Schedule: cfg.Schedule,
 	})
+	stream := rc.newStream(plan)
+	nb := stream.bz.NumBuckets()
 	bar := sim.NewBarrier(env, "round", cfg.Workers)
 
 	for id := 0; id < cfg.Workers; id++ {
 		id := id
 		w := rc.workers[id]
 		ep := cm.Endpoint(id)
+		var crew *bucketCrew
+		if cfg.Overlap {
+			crew = newBucketCrew(env, fmt.Sprintf("knl-rank%d", id), maxInFlightBuckets)
+		}
 		env.Spawn(fmt.Sprintf("knl-rank%d", id), func(p *sim.Proc) {
 			sum := make([]float32, n)
 			centerBuf := make([]float32, n)
@@ -62,6 +74,17 @@ func KNLClusterEASGD(kcfg KNLClusterConfig) (Result, error) {
 				copy(centerBuf, rc.center)
 			}
 			for t := 0; t < cfg.Iterations; t++ {
+				t0 := p.Now()
+				// Under Config.Overlap, line 12's broadcast streams through
+				// the bucketed pipeline beneath line 10's compute: W̄_t was
+				// fixed by the previous iteration's master update, so its
+				// bucket waves can start immediately, and the join after
+				// compute exposes only the excess.
+				base := 2 * t // rounds: non-overlap bcast 2t, reduce 2t+1
+				if cfg.Overlap {
+					base = t * (nb + 1) // rounds: buckets base..base+nb−1, reduce base+nb
+					stream.forkBroadcasts(crew, fmt.Sprintf("bcast%d.%d", id, t), base, 0, ep, centerBuf)
+				}
 				// Line 10: each node samples b from its local copy (local
 				// memory, negligible on the fabric timeline) and computes the
 				// gradient for real. The math runs on the par pool while this
@@ -71,14 +94,37 @@ func KNLClusterEASGD(kcfg KNLClusterConfig) (Result, error) {
 				join := w.beginGradient()
 				p.Delay(w.computeTime)
 				roundLoss := join()
+				if id == 0 {
+					rc.bd.Add(CatForwardBackward, w.computeTime)
+				}
 
-				// Line 12: KNL1 broadcasts W̄_t (real message tree).
-				ep.Broadcast(p, 2*t, 0, centerBuf)
+				// The broadcast's exposed time is charged the same way in
+				// both modes (chargeOverlap with active=0 is the monolithic
+				// formula), so breakdowns stay comparable across the
+				// Overlap knob — overlap hides time, it never re-labels it.
+				reduceRound := base + 1
+				if cfg.Overlap {
+					busy := crew.wait(p)
+					if id == 0 {
+						rc.chargeOverlap(CatGPUGPUParam, p.Now()-t0, w.computeTime, busy)
+					}
+					reduceRound = base + nb
+				} else {
+					// Line 12: KNL1 broadcasts W̄_t (real message tree).
+					ep.Broadcast(p, base, 0, centerBuf)
+					if id == 0 {
+						rc.chargeOverlap(CatGPUGPUParam, p.Now()-t0, w.computeTime, 0)
+					}
+				}
 				// Line 13: tree-reduce ΣW_j^t to KNL1 (pre-update weights;
 				// the engine combines contributions in rank order, so the
 				// sum is bit-identical to comm.ReduceSum).
+				tR := p.Now()
 				copy(sum, w.net.Params)
-				ep.Reduce(p, 2*t+1, 0, sum)
+				ep.Reduce(p, reduceRound, 0, sum)
+				if id == 0 {
+					rc.bd.Add(CatGPUGPUParam, p.Now()-tR)
+				}
 
 				// Line 14: every node applies Equation (1) with W̄_t.
 				w.elasticLocal(cfg.LR, cfg.Rho, centerBuf)
@@ -86,12 +132,14 @@ func KNLClusterEASGD(kcfg KNLClusterConfig) (Result, error) {
 
 				// Line 15: KNL1 applies Equation (2) with the reduced sum.
 				if id == 0 {
+					rc.bd.Add(CatGPUUpdate, rc.workerUpdate)
 					a := cfg.LR * cfg.Rho
 					pf := float32(cfg.Workers)
 					for i := range centerBuf {
 						centerBuf[i] += a * (sum[i] - pf*centerBuf[i])
 					}
 					p.Delay(rc.masterUpdate)
+					rc.bd.Add(CatCPUUpdate, rc.masterUpdate)
 					copy(rc.center, centerBuf)
 					rc.updates++
 					rc.samples += int64(cfg.Batch * cfg.Workers)

@@ -70,6 +70,14 @@ func Categories() []Category {
 type Breakdown struct {
 	Times [numCategories]float64
 	Bytes [numCategories]int64
+	// HiddenComm is communication time that ran concurrently with (and was
+	// hidden under) computation or other work on the critical path — the
+	// streaming pipeline's overlapped bucket collectives, Sync EASGD3's
+	// broadcast waves. It is a diagnostic alongside the exposed accounting,
+	// NOT part of Total(): the Times categories alone sum to wall-clock,
+	// with only the *exposed* (non-hidden) communication charged to the
+	// comm categories.
+	HiddenComm float64
 }
 
 // Add charges d seconds to category c.
@@ -78,6 +86,15 @@ func (b *Breakdown) Add(c Category, d float64) {
 		panic(fmt.Sprintf("core: negative time %v for %v", d, c))
 	}
 	b.Times[c] += d
+}
+
+// AddHidden records d seconds of communication hidden under computation.
+// Negative values clamp to zero (a collective fully covered by its exposed
+// share hides nothing).
+func (b *Breakdown) AddHidden(d float64) {
+	if d > 0 {
+		b.HiddenComm += d
+	}
 }
 
 // AddBytes records n wire bytes against category c.

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"scaledl/internal/comm"
+	"scaledl/internal/data"
+	"scaledl/internal/nn"
+)
+
+// sameMath asserts two runs produced bit-identical training mathematics:
+// final loss/accuracy, sample counts and the whole probe trajectory
+// (ignoring the time axis, which overlap legitimately changes).
+func sameMath(t *testing.T, label string, a, b Result) {
+	t.Helper()
+	if a.FinalLoss != b.FinalLoss || a.FinalAcc != b.FinalAcc || a.Samples != b.Samples {
+		t.Errorf("%s: math differs: loss %v vs %v, acc %v vs %v, samples %d vs %d",
+			label, a.FinalLoss, b.FinalLoss, a.FinalAcc, b.FinalAcc, a.Samples, b.Samples)
+	}
+	if len(a.Curve) != len(b.Curve) {
+		t.Fatalf("%s: curve lengths differ: %d vs %d", label, len(a.Curve), len(b.Curve))
+	}
+	for i := range a.Curve {
+		if a.Curve[i].Loss != b.Curve[i].Loss || a.Curve[i].TestAcc != b.Curve[i].TestAcc {
+			t.Errorf("%s: curve point %d differs: %+v vs %+v", label, i, a.Curve[i], b.Curve[i])
+		}
+	}
+}
+
+// The acceptance criterion of the streaming refactor: with Overlap on,
+// SyncSGD's simulated step time at a paper-scale (compute-dominated,
+// LeNet-regime) configuration is measurably below compute + full allreduce,
+// while staying at least max(compute-side busy time, full allreduce) — the
+// overlap is emergent from the bucket pipeline, not asserted — and all
+// gradient math is bit-identical to the non-overlapped path.
+func TestOverlapEmergentStepTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains LeNet for real")
+	}
+	// LeNet at batch 32 is the paper's MNIST operating point: 1.72 MB of
+	// parameters make the allreduce bandwidth-dominated (its wire time
+	// dwarfs the per-round α), and conv compute dominates the step.
+	iters := 8
+	mk := func(overlap bool, bucketBytes int64) Result {
+		spec := data.Spec{Name: "mnistish", Channels: 1, Height: 28, Width: 28, Classes: 10}
+		train, test := data.Synthetic(data.Config{Spec: spec, TrainN: 256, TestN: 64, Seed: 5})
+		train.Normalize()
+		test.Normalize()
+		cfg := Config{
+			Def:         nn.LeNet(nn.Shape{C: 1, H: 28, W: 28}, 10),
+			Train:       train,
+			Test:        test,
+			Workers:     4,
+			Batch:       32,
+			LR:          0.01,
+			Iterations:  iters,
+			Seed:        3,
+			Platform:    DefaultGPUPlatform(true),
+			EvalEvery:   4,
+			Overlap:     overlap,
+			BucketBytes: bucketBytes,
+		}
+		res, err := SyncSGD(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off := mk(false, 0)
+	on := mk(true, 256<<10) // 256 KB buckets: the big dense block streams early
+
+	sameMath(t, "overlap on vs off", on, off)
+
+	fi := float64(iters)
+	// Per-iteration decomposition of the monolithic run: busy is the
+	// compute-side critical path (data copy + forward/backward + update),
+	// allreduce its fully exposed collective.
+	busy := (off.Breakdown.Times[CatCPUGPUData] + off.Breakdown.Times[CatForwardBackward] +
+		off.Breakdown.Times[CatGPUUpdate]) / fi
+	allreduce := off.Breakdown.Times[CatCPUGPUParam] / fi
+	stepOff := off.SimTime / fi
+	stepOn := on.SimTime / fi
+	if allreduce >= busy {
+		t.Fatalf("config not compute-dominated (allreduce %v >= busy %v); not the paper's regime", allreduce, busy)
+	}
+	if stepOn >= stepOff {
+		t.Errorf("overlap did not help: step %v vs monolithic %v", stepOn, stepOff)
+	}
+	// Measurably below compute + full allreduce…
+	if stepOn > busy+0.5*allreduce {
+		t.Errorf("step %v hides less than half the allreduce (busy %v, allreduce %v)", stepOn, busy, allreduce)
+	}
+	// …but no cheating: the step can never undercut the busy path or the
+	// full allreduce.
+	if lower := math.Max(busy, allreduce); stepOn < lower*(1-1e-9) {
+		t.Errorf("step %v below max(busy %v, allreduce %v) — overlap created time out of nothing", stepOn, busy, allreduce)
+	}
+	// The hidden share is reported, and categories still sum to wall.
+	if on.Breakdown.HiddenComm <= 0 {
+		t.Error("overlapped run reports no hidden communication")
+	}
+	if off.Breakdown.HiddenComm != 0 {
+		t.Errorf("monolithic run reports hidden communication %v", off.Breakdown.HiddenComm)
+	}
+	t.Logf("step: off %.6f on %.6f (busy %.6f, allreduce %.6f, hidden/iter %.6f)",
+		stepOff, stepOn, busy, allreduce, on.Breakdown.HiddenComm/fi)
+}
+
+// Degenerate bucket sizes through the full training stack: smaller than one
+// layer, larger than the whole model, and exactly on a layer boundary all
+// produce bit-identical math to the monolithic path, for every schedule.
+func TestOverlapDegenerateBucketSizes(t *testing.T) {
+	ref := func(sched comm.Schedule) Result {
+		cfg := testConfig(t, 15, true)
+		cfg.Schedule = sched
+		res, err := SyncSGD(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// TinyCNN(12×12): layer sizes 80, 1168, 1444 params ⇒ 320, 4672, 5776
+	// bytes. 5776 is exactly the last layer's boundary.
+	for _, sched := range []comm.Schedule{comm.ScheduleTree, comm.ScheduleRing, comm.ScheduleChain} {
+		base := ref(sched)
+		for _, bucketBytes := range []int64{4, 1 << 30, 5776, 4096} {
+			cfg := testConfig(t, 15, true)
+			cfg.Schedule = sched
+			cfg.Overlap = true
+			cfg.BucketBytes = bucketBytes
+			res, err := SyncSGD(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameMath(t, fmt.Sprintf("%v bucket=%d", sched, bucketBytes), res, base)
+			if res.SimTime <= 0 {
+				t.Errorf("%v bucket=%d: no simulated time", sched, bucketBytes)
+			}
+			// No time assertion here: per-layer buckets on this
+			// latency-dominated toy model honestly pay more collective α
+			// than one packed message — the regime where bucketing wins is
+			// pinned by TestOverlapEmergentStepTime.
+		}
+	}
+}
+
+// Every streamed algorithm family keeps its mathematics bit-identical with
+// Overlap on, and none gets slower.
+func TestOverlapInvariantMathAcrossFamilies(t *testing.T) {
+	for _, name := range []string{"sync-sgd", "async-sgd", "hogwild-sgd", "original-easgd", "original-easgd*", "sync-easgd3"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run := func(overlap bool) Result {
+				cfg := testConfig(t, 30, true)
+				cfg.EvalEvery = 10
+				cfg.Overlap = overlap
+				cfg.BucketBytes = 4096
+				if name == "original-easgd" || name == "original-easgd*" {
+					cfg.Platform = DefaultGPUPlatform(false)
+				}
+				res, err := Methods[name](cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			off, on := run(false), run(true)
+			sameMath(t, name, on, off)
+			// The coordinated families may not get slower even on this
+			// latency-dominated toy model (round-robin pulls pay one extra α
+			// per bucket on the master's critical path — allow that margin).
+			// The async parameter-server families trade per-bucket latency
+			// for hidden wire time, which only pays off when there is wire
+			// time to hide — TestAsyncStreamedUploadOverlaps pins their win
+			// in that regime.
+			switch name {
+			case "async-sgd", "hogwild-sgd":
+			default:
+				if on.SimTime > off.SimTime*1.01 {
+					t.Errorf("%s: overlapped %v slower than monolithic %v", name, on.SimTime, off.SimTime)
+				}
+			}
+		})
+	}
+}
+
+// The async SGD-style streamed upload wins where it should: with a
+// per-layer (unpacked) plan and a compute-heavy model, the per-bucket
+// messages hide under the tail of backprop, beating the monolithic
+// ship-after-compute by more than the request latency they add.
+func TestAsyncStreamedUploadOverlaps(t *testing.T) {
+	run := func(overlap bool) Result {
+		cfg := realisticConfig(t, 40, false) // per-layer pageable plan
+		cfg.Overlap = overlap
+		cfg.BucketBytes = 8 << 10 // several buckets per model, so layers stream
+		res, err := AsyncSGD(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off, on := run(false), run(true)
+	sameMath(t, "async-sgd streamed", on, off)
+	if on.SimTime >= off.SimTime {
+		t.Errorf("streamed upload did not overlap: %v vs monolithic %v", on.SimTime, off.SimTime)
+	}
+}
+
+// KNL cluster: the streamed center broadcast hides under compute, with
+// identical math and reported hidden communication.
+func TestKNLClusterOverlap(t *testing.T) {
+	run := func(overlap bool) Result {
+		cfg := testConfig(t, 20, true)
+		cfg.EvalEvery = 10
+		cfg.Overlap = overlap
+		cfg.BucketBytes = 4096
+		res, err := KNLClusterEASGD(KNLClusterConfig{Config: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off, on := run(false), run(true)
+	sameMath(t, "knl-cluster", on, off)
+	if on.SimTime >= off.SimTime {
+		t.Errorf("streamed broadcast did not hide: %v vs %v", on.SimTime, off.SimTime)
+	}
+	if on.Breakdown.HiddenComm <= 0 {
+		t.Error("no hidden communication reported")
+	}
+}
+
+// The satellite accounting invariant: with overlap on, only exposed comm is
+// charged to the categories, HiddenComm rides separately, and the category
+// sum still equals the simulated wall time for every coordinated algorithm.
+func TestOverlapBreakdownSumsToWall(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(cfg Config) (Result, error)
+	}{
+		{"sync-sgd", SyncSGD},
+		{"sync-sgd-ring", func(cfg Config) (Result, error) {
+			cfg.Schedule = comm.ScheduleRing
+			return SyncSGD(cfg)
+		}},
+		{"sync-easgd3", SyncEASGD3},
+		{"original-easgd*", OriginalEASGDSerial},
+		{"original-easgd", OriginalEASGD},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cfg := testConfig(t, 20, true)
+			cfg.Overlap = true
+			cfg.BucketBytes = 4096
+			if c.name == "original-easgd" || c.name == "original-easgd*" {
+				cfg.Platform = DefaultGPUPlatform(false)
+				cfg.Iterations = 80
+			}
+			res, err := c.run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := res.Breakdown.Total()
+			if rel := math.Abs(sum-res.SimTime) / res.SimTime; rel > 0.02 {
+				t.Errorf("%s: breakdown sum %.6f vs wall %.6f (rel %.4f)", c.name, sum, res.SimTime, rel)
+			}
+		})
+	}
+}
+
+// Overlapped runs stay deterministic: repeated runs are bit-identical
+// (Result-deep), like every other algorithm configuration.
+func TestOverlapDeterministicAcrossRuns(t *testing.T) {
+	mk := func() Result {
+		cfg := testConfig(t, 15, true)
+		cfg.Overlap = true
+		cfg.BucketBytes = 4096
+		cfg.EvalEvery = 5
+		res, err := SyncSGD(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("repeated overlapped runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// Overlapped runs are bit-identical between pooled and serial execution —
+// the streaming forks hand no new state to the par pool.
+func TestOverlapParallelBitIdenticalToSerial(t *testing.T) {
+	for _, name := range []string{"sync-sgd", "sync-easgd3", "async-sgd"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			mk := func() (Result, error) {
+				cfg := testConfig(t, 15, true)
+				cfg.Overlap = true
+				cfg.BucketBytes = 4096
+				cfg.EvalEvery = 5
+				return Methods[name](cfg)
+			}
+			serial, parallel := runSerialAndParallel(t, mk)
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("parallel overlapped result differs from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+			}
+		})
+	}
+}

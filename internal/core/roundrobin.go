@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"scaledl/internal/comm"
 	"scaledl/internal/sim"
 )
 
@@ -41,11 +42,16 @@ type rrCmd struct {
 // pre-update weight snapshot (codec reconstruction under compression) and
 // the wire size the master's pull will cost. The posting itself is a free
 // control signal — the upload's time is charged on the master's critical
-// path when it collects, exactly Algorithm 1's ordered exchange.
+// path when it collects, exactly Algorithm 1's ordered exchange. Under the
+// streaming pipeline (Config.Overlap) the worker posts one rrDone per
+// gradient bucket as its backward emits layers, the last one carrying the
+// weights and loss, so the master's pull of bucket k overlaps the compute
+// of the layers still ahead of bucket k+1.
 type rrDone struct {
-	weights []float32
+	weights []float32 // nil for all but the final bucket of a streamed step
 	loss    float64
 	wire    int64
+	bucket  int // bucket ID of a streamed completion (0 for monolithic)
 }
 
 const tagRRCenter = 3
@@ -70,6 +76,8 @@ func runRoundRobin(cfg Config, name string, overlap bool) (Result, error) {
 	// (elastic) one: delta codecs per directed stream.
 	codecs := newPSCodecs(cfg, len(rc.center), true)
 	up, down := codecs.upW, codecs.down
+	stream := rc.newStream(rc.plan)
+	nb := stream.bz.NumBuckets()
 
 	// Workers: wait for a center-weight message, run one real minibatch
 	// forward/backward, post the pre-update weights, then apply Eq. (1)
@@ -86,17 +94,37 @@ func runRoundRobin(cfg Config, name string, overlap bool) (Result, error) {
 				if cmd.stop {
 					return
 				}
-				join := w.beginGradient()
-				p.Delay(w.computeTime)
-				loss := join()
-				snap := make([]float32, len(w.net.Params))
-				wire := int64(len(snap)) * 4
-				if up != nil {
-					wire = up[j].Encode(w.net.Params, snap)
+				if cfg.Overlap {
+					// Streaming: post one free bucket completion per
+					// gradient-ready instant; the pre-update weight snapshot
+					// (identical to the monolithic one — Params do not change
+					// during compute) rides the final bucket.
+					var snap []float32
+					var wires []int64
+					prepared := false
+					emitted := 0
+					stream.walk(p, w, func(b int, bk comm.Bucket) {
+						if !prepared {
+							var wire int64
+							snap, wire = w.snapshotWeights(codecAt(up, j))
+							wires = stream.bz.SplitWire(wire)
+							prepared = true
+						}
+						d := rrDone{wire: wires[b], bucket: b}
+						if emitted++; emitted == nb {
+							// The last emission carries the snapshot + loss.
+							d.weights = snap
+							d.loss = w.lastLoss
+						}
+						done[j].Send(d)
+					})
 				} else {
-					copy(snap, w.net.Params)
+					join := w.beginGradient()
+					p.Delay(w.computeTime)
+					loss := join()
+					snap, wire := w.snapshotWeights(codecAt(up, j))
+					done[j].Send(rrDone{weights: snap, loss: loss, wire: wire})
 				}
-				done[j].Send(rrDone{weights: snap, loss: loss, wire: wire})
 				w.elasticLocal(cfg.LR, cfg.Rho, cmd.center)
 				p.Delay(rc.workerUpdate)
 			}
@@ -123,15 +151,35 @@ func runRoundRobin(cfg Config, name string, overlap bool) (Result, error) {
 			rc.bd.Add(CatCPUGPUParam, p.Now()-t0)
 		}
 		collect := func(j int) {
-			t0 := p.Now()
-			m := p.Recv(done[j]).(rrDone)
-			rc.bd.Add(CatForwardBackward, p.Now()-t0) // exposed compute = wait time
 			// Upload W_j to the CPU (line 12): a master-driven pull over j's
-			// host link.
-			t1 := p.Now()
-			rc.bd.AddBytes(CatCPUGPUParam, m.wire)
-			topo.DelayModel(p, j, master, rc.plan, m.wire)
-			rc.bd.Add(CatCPUGPUParam, p.Now()-t1)
+			// host link — per gradient bucket under the streaming pipeline
+			// (each pull starts the moment its bucket's layers are ready,
+			// overlapping the worker's remaining backward), in one piece
+			// otherwise. Exposed wait is compute, pull time is parameter
+			// communication, so the breakdown still sums to wall-clock.
+			var m rrDone
+			pull := func(bk rrDone, plan comm.Plan) {
+				rc.bd.AddBytes(CatCPUGPUParam, bk.wire)
+				t1 := p.Now()
+				topo.DelayModel(p, j, master, plan, bk.wire)
+				rc.bd.Add(CatCPUGPUParam, p.Now()-t1)
+			}
+			if cfg.Overlap {
+				for range stream.buckets {
+					t0 := p.Now()
+					mb := p.Recv(done[j]).(rrDone)
+					rc.bd.Add(CatForwardBackward, p.Now()-t0) // exposed compute = wait time
+					pull(mb, stream.bz.SubPlan(stream.buckets[mb.bucket]))
+					if mb.weights != nil {
+						m = mb
+					}
+				}
+			} else {
+				t0 := p.Now()
+				m = p.Recv(done[j]).(rrDone)
+				rc.bd.Add(CatForwardBackward, p.Now()-t0) // exposed compute = wait time
+				pull(m, rc.plan)
+			}
 			// Line 14: W̄ ← W̄ + ηρ(W_j − W̄) with the pre-update W_j.
 			centerElasticUpdate(rc.center, m.weights, rc.center, cfg.LR, cfg.Rho)
 			p.Delay(rc.masterUpdate)

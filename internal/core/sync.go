@@ -18,10 +18,12 @@ import (
 //	  a tree reduction replace P ordered exchanges.
 //	Sync EASGD2 (Algorithm 3): center moves to GPU1; parameter traffic rides
 //	  GPU↔GPU peer DMA through the PCIe switch, removing host staging.
-//	Sync EASGD3 (Algorithm 3 + overlap): the broadcast of W̄ is forked so its
-//	  message waves run concurrently with the data copy + forward/backward;
+//	Sync EASGD3 (Algorithm 3 + overlap): the broadcast of W̄ streams through
+//	  the bucketed pipeline (stream.go) — per-bucket message waves forked
+//	  beneath the data copy + forward/backward, bounded in-flight — and
 //	  only the excess is exposed at the join. This is the paper's
-//	  "Communication-Efficient EASGD".
+//	  "Communication-Efficient EASGD", with its overlap emerging from the
+//	  streaming machinery rather than a single hand-built fork.
 //
 // Every worker runs as its own simulated process, and the collectives are
 // executed by the message-level engine in internal/comm: a broadcast is
@@ -87,6 +89,8 @@ func runSyncEASGD(cfg Config, name string, opt syncOpts) (Result, error) {
 	topo := cfg.Platform.topology(env, cfg.Workers, staged)
 	parties := comm.Ranks(cfg.Workers)
 	cm := comm.NewCommunicator(topo, comm.CommConfig{Parties: parties, Plan: rc.plan})
+	stream := rc.newStream(rc.plan)
+	nb := stream.bz.NumBuckets()
 
 	const root = 0
 	n := len(rc.center)
@@ -102,6 +106,10 @@ func runSyncEASGD(cfg Config, name string, opt syncOpts) (Result, error) {
 		i := i
 		w := rc.workers[i]
 		ep := cm.Endpoint(i)
+		var crew *bucketCrew
+		if opt.overlap {
+			crew = newBucketCrew(env, fmt.Sprintf("gpu%d", i), maxInFlightBuckets)
+		}
 		env.Spawn(fmt.Sprintf("gpu%d", i), func(p *sim.Proc) {
 			for t := 0; t < cfg.Iterations; t++ {
 				t0 := p.Now()
@@ -110,14 +118,16 @@ func runSyncEASGD(cfg Config, name string, opt syncOpts) (Result, error) {
 					// the broadcast distributes it (lines 11 of Algorithm 2/3).
 					copy(centerBufs[root], rc.center)
 				}
-				// Under overlap (Sync EASGD3) the broadcast's message waves
-				// are forked to run beneath the data copy and
-				// forward/backward; the join exposes only the excess.
-				var bcast *sim.Completion
+				// Under overlap (Sync EASGD3) the broadcast streams through
+				// the bucketed pipeline: one forked message-wave process per
+				// ~BucketBytes bucket of W̄ (at most maxInFlightBuckets in
+				// flight), running beneath the data copy and forward/backward.
+				// The join exposes only the excess — overlap is the pipeline's
+				// consequence, not a hand-built max().
+				base := 2 * t // rounds: non-overlap bcast 2t, reduce 2t+1
 				if opt.overlap {
-					bcast = env.Fork(fmt.Sprintf("bcast%d.%d", i, t), func(bp *sim.Proc) {
-						ep.Broadcast(bp, 2*t, root, centerBufs[i])
-					})
+					base = t * (nb + 1) // rounds: buckets base..base+nb−1, reduce base+nb
+					stream.forkBroadcasts(crew, fmt.Sprintf("bcast%d.%d", i, t), base, root, ep, centerBufs[i])
 				}
 
 				// Lines 7-9: the CPU posts the minibatch copies as concurrent
@@ -130,29 +140,31 @@ func runSyncEASGD(cfg Config, name string, opt syncOpts) (Result, error) {
 				p.Delay(w.computeTime)
 				losses[i] = join()
 
+				var hidden float64
 				if opt.overlap {
-					bcast.Wait(p)
+					hidden = crew.wait(p)
 				} else {
-					ep.Broadcast(p, 2*t, root, centerBufs[i])
+					ep.Broadcast(p, base, root, centerBufs[i])
 				}
 				if i == root {
-					d := p.Now() - t0
 					rc.bd.Add(CatCPUGPUData, rc.dataXfer)
 					rc.bd.Add(CatForwardBackward, w.computeTime)
-					if excess := d - rc.dataXfer - w.computeTime; excess > 0 {
-						rc.bd.Add(paramCat, excess)
-					}
+					rc.chargeOverlap(paramCat, p.Now()-t0, rc.dataXfer+w.computeTime, hidden)
 				}
 
 				// Line 12: tree-reduce ΣW_j^t of the pre-update local weights
 				// to the master's device.
+				reduceRound := base + 1
+				if opt.overlap {
+					reduceRound = base + nb
+				}
 				tR := p.Now()
 				if i == root {
 					copy(sum, w.net.Params)
-					ep.Reduce(p, 2*t+1, root, sum)
+					ep.Reduce(p, reduceRound, root, sum)
 					rc.bd.Add(paramCat, p.Now()-tR)
 				} else {
-					ep.Reduce(p, 2*t+1, root, w.net.Params)
+					ep.Reduce(p, reduceRound, root, w.net.Params)
 				}
 
 				// Line 13: every worker applies Equation (1) with the W̄_t it
@@ -212,7 +224,11 @@ func runSyncEASGD(cfg Config, name string, opt syncOpts) (Result, error) {
 // Figure 10 runs it with packed and per-layer plans to isolate the §5.2
 // effect. Low-precision gradients (§3.4 extension) quantize per worker
 // with error feedback; the compressed wire size is charged on every
-// simulated message the schedule sends.
+// simulated message the schedule sends. With Config.Overlap the allreduce
+// streams: each ~BucketBytes bucket's collective forks at its
+// gradient-ready instant during the backward walk, so its wire time hides
+// under the remaining backprop — same schedule per bucket, reduced values
+// bit-identical to the monolithic path.
 func SyncSGD(cfg Config) (Result, error) {
 	rc, err := newRunContext(cfg)
 	if err != nil {
@@ -240,6 +256,8 @@ func SyncSGD(cfg Config) (Result, error) {
 	cm := comm.NewCommunicator(topo, comm.CommConfig{
 		Parties: parties, Plan: plan, Schedule: cfg.Schedule, Wire: wire,
 	})
+	stream := rc.newStream(plan)
+	nb := stream.bz.NumBuckets()
 
 	const root = 0
 	losses := make([]float64, cfg.Workers)
@@ -253,26 +271,65 @@ func SyncSGD(cfg Config) (Result, error) {
 		i := i
 		w := rc.workers[i]
 		ep := cm.Endpoint(i)
+		var crew *bucketCrew
+		if cfg.Overlap {
+			crew = newBucketCrew(env, fmt.Sprintf("gpu%d", i), maxInFlightBuckets)
+		}
 		env.Spawn(fmt.Sprintf("gpu%d", i), func(p *sim.Proc) {
 			for t := 0; t < cfg.Iterations; t++ {
+				t0 := p.Now()
 				p.Delay(rc.dataXfer) // concurrent async DMAs to all workers
-				join := w.beginGradient()
-				p.Delay(w.computeTime)
-				losses[i] = join()
 
-				// The allreduce: real gradient segments move under the
-				// selected schedule; every worker ends with the rank-ordered
-				// sum, bit-identical to comm.ReduceSum.
-				if quantizers != nil {
-					quantizers[i].Apply(w.net.Grads, w.net.Grads)
-				}
-				copy(gbufs[i], w.net.Grads)
-				tA := p.Now()
-				ep.AllReduce(p, t, gbufs[i])
-				if i == root {
-					rc.bd.Add(CatCPUGPUData, rc.dataXfer)
-					rc.bd.Add(CatForwardBackward, w.computeTime)
-					rc.bd.Add(CatCPUGPUParam, p.Now()-tA)
+				if cfg.Overlap {
+					// The streaming pipeline: the backward walk emits bucket-
+					// ready instants; each bucket's allreduce is forked the
+					// moment its last layer's gradient lands, so its message
+					// waves (same per-bucket schedule) run beneath the tail
+					// of backprop and beneath each other (bounded in-flight).
+					// The reduced values stay bit-identical to the monolithic
+					// allreduce: same elements, same rank-ordered sums.
+					prepared := false
+					losses[i] = stream.walk(p, w, func(b int, bk comm.Bucket) {
+						if !prepared {
+							// First emission: the pool join has landed, the
+							// full gradient is final; quantize (error
+							// feedback) and snapshot once, exactly as the
+							// monolithic path does after its compute delay.
+							if quantizers != nil {
+								quantizers[i].Apply(w.net.Grads, w.net.Grads)
+							}
+							copy(gbufs[i], w.net.Grads)
+							prepared = true
+						}
+						crew.fork(fmt.Sprintf("ar%d.%d.%d", i, t, b), func(bp *sim.Proc) {
+							ep.AllReduceRange(bp, t*nb+b, gbufs[i], bk.Lo, bk.Hi)
+						})
+					})
+					hidden := crew.wait(p)
+					if i == root {
+						rc.bd.Add(CatCPUGPUData, rc.dataXfer)
+						rc.bd.Add(CatForwardBackward, w.computeTime)
+						rc.chargeOverlap(CatCPUGPUParam, p.Now()-t0, rc.dataXfer+w.computeTime, hidden)
+					}
+				} else {
+					join := w.beginGradient()
+					p.Delay(w.computeTime)
+					losses[i] = join()
+
+					// The allreduce: real gradient segments move under the
+					// selected schedule; every worker ends with the rank-ordered
+					// sum, bit-identical to comm.ReduceSum.
+					if quantizers != nil {
+						quantizers[i].Apply(w.net.Grads, w.net.Grads)
+					}
+					copy(gbufs[i], w.net.Grads)
+					tA := p.Now()
+					ep.AllReduce(p, t, gbufs[i])
+					if i == root {
+						rc.bd.Add(CatCPUGPUData, rc.dataXfer)
+						rc.bd.Add(CatForwardBackward, w.computeTime)
+						rc.bd.Add(CatCPUGPUParam, p.Now()-tA)
+					}
 				}
 
 				// Every replica takes the same averaged step.

@@ -5,6 +5,7 @@ import (
 	"scaledl/internal/data"
 	"scaledl/internal/nn"
 	"scaledl/internal/par"
+	"scaledl/internal/quant"
 	"scaledl/internal/tensor"
 )
 
@@ -22,6 +23,12 @@ type worker struct {
 	computeTime float64 // modeled seconds per forward+backward of one batch
 	dataBytes   int64   // bytes of one minibatch copy
 	lastLoss    float64
+
+	// recordEvents makes gradientMath capture the backward walk's per-layer
+	// gradient-ready stream into events (reused across iterations) — set by
+	// streamPlan.walk, whose bucket launches replay the real emission order.
+	recordEvents bool
+	events       []nn.GradEvent
 }
 
 // runContext bundles everything an algorithm run needs: workers, timing
@@ -34,6 +41,12 @@ type runContext struct {
 	plan    comm.Plan
 
 	paramBytes int64
+	// layerFlops holds the per-layer forward FLOP counts of the model and
+	// paramLayers the nn layer index of each plan segment (the parameter
+	// layers, in order) — the inputs of the streaming pipeline's
+	// gradient-ready schedule (stream.go).
+	layerFlops  []int64
+	paramLayers []int
 	// Modeled cost of one minibatch CPU→GPU copy. Parameter transfers are
 	// not precomputed: they run as simulated messages over the comm
 	// topology, paying per-segment wire costs where the bytes move.
@@ -66,6 +79,12 @@ func newRunContext(cfg Config) (*runContext, error) {
 	rc.probe = cfg.Def.Build(0)
 	rc.paramBytes = init.ParamBytes()
 	rc.plan = cfg.Platform.plan(init.LayerParamSizes())
+	for i, l := range init.Layers {
+		rc.layerFlops = append(rc.layerFlops, l.FwdFLOPsPerSample())
+		if l.ParamCount() > 0 {
+			rc.paramLayers = append(rc.paramLayers, i)
+		}
+	}
 
 	flopsPerBatch := init.TrainFLOPsPerSample() * int64(cfg.Batch)
 	// Activations + weights streamed per batch, a rough working-set touch.
@@ -94,13 +113,23 @@ func newRunContext(cfg Config) (*runContext, error) {
 }
 
 // gradientMath is the raw forward+backward; it touches only worker-owned
-// state (net, sampler, batch) and defers the lastLoss commit to the caller,
-// so it may run on a par pool goroutine while the owning simulated process
-// is suspended.
+// state (net, sampler, batch, events) and defers the lastLoss commit to the
+// caller, so it may run on a par pool goroutine while the owning simulated
+// process is suspended. With recordEvents set it runs the streaming walk
+// and captures the real gradient-ready event sequence; the mathematics is
+// identical either way (LossAndGrad is the emit=nil wrapper).
 func (w *worker) gradientMath() float64 {
 	w.batch = w.sampler.Next(w.batchSize, w.batch)
 	w.net.ZeroGrad()
-	loss, _ := w.net.LossAndGrad(w.batch.X, w.batch.Labels, w.batch.B)
+	var loss float64
+	if w.recordEvents {
+		w.events = w.events[:0]
+		loss, _ = w.net.LossAndGradStream(w.batch.X, w.batch.Labels, w.batch.B, func(e nn.GradEvent) {
+			w.events = append(w.events, e)
+		})
+	} else {
+		loss, _ = w.net.LossAndGrad(w.batch.X, w.batch.Labels, w.batch.B)
+	}
 	return loss
 }
 
@@ -121,6 +150,33 @@ func (w *worker) beginGradient() func() float64 {
 		w.lastLoss = loss
 		return loss
 	}
+}
+
+// snapshotWeights returns a pre-update weight snapshot and its wire size:
+// the delta codec's reconstruction and compressed bytes when codec is
+// non-nil, a raw fp32 copy otherwise. It is the single payload-preparation
+// path of the weight-shipping algorithms (EASGD-style async, round-robin),
+// shared by their streamed and monolithic branches so the two can never
+// drift apart.
+func (w *worker) snapshotWeights(codec *quant.DeltaCodec) ([]float32, int64) {
+	snap := make([]float32, len(w.net.Params))
+	wire := int64(len(snap)) * 4
+	if codec != nil {
+		wire = codec.Encode(w.net.Params, snap)
+	} else {
+		copy(snap, w.net.Params)
+	}
+	return snap, wire
+}
+
+// quantizeGrads applies the error-feedback quantizer in place (when q is
+// non-nil) and returns the gradient payload's wire size — the shared
+// preparation step of the gradient-shipping paths.
+func (w *worker) quantizeGrads(q *quant.Quantizer) int64 {
+	if q != nil {
+		return q.Apply(w.net.Grads, w.net.Grads)
+	}
+	return int64(len(w.net.Grads)) * 4
 }
 
 // sgdLocal applies plain SGD to the worker replica: W ← W − η·G.

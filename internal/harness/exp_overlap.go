@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"fmt"
+
+	"scaledl/internal/comm"
+	"scaledl/internal/core"
+	"scaledl/internal/nn"
+)
+
+// nnLeNet returns the paper's LeNet at MNIST geometry.
+func nnLeNet() nn.NetDef { return nn.LeNet(nn.Shape{C: 1, H: 28, W: 28}, 10) }
+
+// RunOverlap ablates the layer-streaming communication pipeline: overlap
+// on/off × bucket size × allreduce schedule, on the MNIST-regime SyncSGD
+// workload. The paper's efficiency claim — communication hidden behind
+// computation (§5.1's overlap, EASGD3) — here falls out of the dependency
+// structure: the backward pass emits per-layer gradient-ready events,
+// ready layers coalesce into ~BucketBytes buckets, and each bucket's
+// allreduce launches the moment its last layer lands. The table reports
+// the step time, the exposed (critical-path) versus hidden communication,
+// and the resulting efficiency band (busy time / wall time): with overlap
+// on and buckets sized so the bulk of the model streams early, efficiency
+// approaches the compute bound; with overlap off it sits at
+// compute/(compute+allreduce). Gradient mathematics is bit-identical in
+// every row — streaming changes when bytes move, never what is summed.
+func RunOverlap(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:       "overlap",
+		Title:    "Layer-streaming backprop: hidden communication ablation",
+		PaperRef: "Section 5.1 (overlap); Poseidon/FireCaffe wait-free backprop",
+	}
+
+	iters := o.scaled(8)
+	run := func(overlap bool, bucketBytes int64, sched string) (core.Result, error) {
+		cfg := baseConfig(o, iters, true)
+		cfg.EvalEvery = 0
+		cfg.Overlap = overlap
+		cfg.BucketBytes = bucketBytes
+		s, err := comm.ParseSchedule(sched)
+		if err != nil {
+			return core.Result{}, err
+		}
+		cfg.Schedule = s
+		return core.SyncSGD(cfg)
+	}
+
+	t := r.NewTable("SyncSGD step time under streaming (4 workers, MNIST regime)",
+		"schedule", "bucket", "overlap", "step(µs)", "exposed comm(µs)", "hidden comm(µs)", "efficiency", "speedup")
+	var refLoss float64
+	first := true
+	for _, sched := range []string{"tree", "ring"} {
+		base, err := run(false, 0, sched)
+		if err != nil {
+			return nil, err
+		}
+		fi := float64(iters)
+		baseStep := base.SimTime / fi
+		busy := (base.Breakdown.Times[core.CatCPUGPUData] +
+			base.Breakdown.Times[core.CatForwardBackward] +
+			base.Breakdown.Times[core.CatGPUUpdate]) / fi
+		addRow := func(bucket, overlap string, res core.Result) {
+			step := res.SimTime / fi
+			exposed := res.Breakdown.Times[core.CatCPUGPUParam] / fi
+			hidden := res.Breakdown.HiddenComm / fi
+			t.AddRow(sched, bucket, overlap,
+				fmt.Sprintf("%.1f", step*1e6),
+				fmt.Sprintf("%.1f", exposed*1e6),
+				fmt.Sprintf("%.1f", hidden*1e6),
+				fmt.Sprintf("%.1f%%", busy/step*100),
+				fmt.Sprintf("%.2fx", baseStep/step))
+			if first {
+				refLoss = res.FinalLoss
+				first = false
+			} else if res.FinalLoss != refLoss {
+				t.AddRow(sched, bucket, "MATH DIVERGED", "", "", "", "", "")
+			}
+		}
+		addRow("-", "off", base)
+		for _, bucketBytes := range []int64{8 << 10, 32 << 10, 1 << 20} {
+			res, err := run(true, bucketBytes, sched)
+			if err != nil {
+				return nil, err
+			}
+			addRow(byteSize(bucketBytes), "on", res)
+		}
+	}
+	r.AddNote("efficiency = busy(data+compute+update) / step wall time; overlap on hides the bucketed allreduce under the tail of backprop, so efficiency climbs toward the compute bound — the paper's hidden-communication band — while FinalLoss stays bit-identical across every row")
+	r.AddNote("the 1 MiB default bucket exceeds this stand-in model (36 KB), degrading to a single bucket that can only launch at backward completion; small buckets stream layers but pay one collective latency α each — the trade real bucket-size tuning balances")
+
+	// Paper-scale section: LeNet's 1.72 MB of parameters make the allreduce
+	// bandwidth-dominated, the regime where streaming earns its keep — the
+	// big dense block's gradient is ready first (its backward share is
+	// tiny), so ~95% of its wire time rides under the conv backward.
+	lenetIters := o.scaled(6)
+	runLeNet := func(overlap bool, bucketBytes int64) (core.Result, error) {
+		train, test, _ := mnistWorkload(o)
+		cfg := core.Config{
+			Def:         nnLeNet(),
+			Train:       train,
+			Test:        test,
+			Workers:     4,
+			Batch:       32,
+			LR:          0.01,
+			Iterations:  lenetIters,
+			Seed:        o.Seed,
+			Platform:    gpuPlatform(true),
+			Overlap:     overlap,
+			BucketBytes: bucketBytes,
+		}
+		return core.SyncSGD(cfg)
+	}
+	t2 := r.NewTable("paper-scale model (LeNet, 1.72 MB, tree allreduce)",
+		"bucket", "overlap", "step(ms)", "exposed comm(ms)", "hidden comm(ms)", "efficiency", "speedup")
+	lBase, err := runLeNet(false, 0)
+	if err != nil {
+		return nil, err
+	}
+	li := float64(lenetIters)
+	lBusy := (lBase.Breakdown.Times[core.CatCPUGPUData] +
+		lBase.Breakdown.Times[core.CatForwardBackward] +
+		lBase.Breakdown.Times[core.CatGPUUpdate]) / li
+	addLeNet := func(bucket, overlap string, res core.Result) {
+		step := res.SimTime / li
+		t2.AddRow(bucket, overlap,
+			fmt.Sprintf("%.3f", step*1e3),
+			fmt.Sprintf("%.3f", res.Breakdown.Times[core.CatCPUGPUParam]/li*1e3),
+			fmt.Sprintf("%.3f", res.Breakdown.HiddenComm/li*1e3),
+			fmt.Sprintf("%.1f%%", lBusy/step*100),
+			fmt.Sprintf("%.2fx", lBase.SimTime/res.SimTime))
+	}
+	addLeNet("-", "off", lBase)
+	for _, bucketBytes := range []int64{64 << 10, 256 << 10} {
+		res, err := runLeNet(true, bucketBytes)
+		if err != nil {
+			return nil, err
+		}
+		addLeNet(byteSize(bucketBytes), "on", res)
+	}
+	return r, nil
+}

@@ -9,7 +9,7 @@ import (
 func TestRegistryCompleteAndSorted(t *testing.T) {
 	want := []string{"ablation", "batch", "fig10", "fig11", "fig12", "fig13",
 		"fig6.1", "fig6.2", "fig6.3", "fig6.4", "fig8", "knlmodes", "lowprec",
-		"table2", "table3", "table4"}
+		"overlap", "table2", "table3", "table4"}
 	got := List()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -261,6 +261,47 @@ func TestFig13MoreNodesReachTargetSooner(t *testing.T) {
 		}
 		if times[ri] > times[ri-1]*1.15 {
 			t.Errorf("row %d regressed more than 15%% over previous: %v vs %v", ri, times[ri], times[ri-1])
+		}
+	}
+}
+
+func TestOverlapExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	r, err := RunOverlap(Options{Seed: 1, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No row may flag diverged math: streaming never changes gradient sums.
+	for _, tb := range r.Tables {
+		for ri := range tb.Rows {
+			for _, cell := range tb.Rows[ri] {
+				if cell == "MATH DIVERGED" {
+					t.Fatalf("overlap ablation row %d reports diverged math", ri)
+				}
+			}
+		}
+	}
+	// Paper-scale table: overlap on must beat off (speedup > 1) and hide
+	// most of the allreduce (hidden > exposed), lifting efficiency.
+	tb := r.Tables[1]
+	offEff := parsePct(t, tb.Cell(0, 5))
+	for ri := 1; ri < len(tb.Rows); ri++ {
+		sp, err := strconv.ParseFloat(strings.TrimSuffix(tb.Cell(ri, 6), "x"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp <= 1.1 {
+			t.Errorf("row %d (bucket %s): speedup %v, want > 1.1x", ri, tb.Cell(ri, 0), sp)
+		}
+		exposed, _ := strconv.ParseFloat(tb.Cell(ri, 3), 64)
+		hidden, _ := strconv.ParseFloat(tb.Cell(ri, 4), 64)
+		if hidden <= exposed {
+			t.Errorf("row %d: hidden comm %v not above exposed %v", ri, hidden, exposed)
+		}
+		if eff := parsePct(t, tb.Cell(ri, 5)); eff <= offEff+10 {
+			t.Errorf("row %d: efficiency %v%% not a band above the %v%% baseline", ri, eff, offEff)
 		}
 	}
 }

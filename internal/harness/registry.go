@@ -38,6 +38,7 @@ func init() {
 	register(Experiment{ID: "batch", Title: "Impact of batch size", PaperRef: "Section 7.2", Run: RunBatchImpact})
 	register(Experiment{ID: "ablation", Title: "Co-design ablation (tree, placement, overlap, collectives)", PaperRef: "Section 6.1", Run: RunAblation})
 	register(Experiment{ID: "lowprec", Title: "Low-precision gradient communication", PaperRef: "Section 3.4 (future work)", Run: RunLowPrecision})
+	register(Experiment{ID: "overlap", Title: "Layer-streaming backprop: hidden communication ablation", PaperRef: "Section 5.1 (overlap)", Run: RunOverlap})
 	register(Experiment{ID: "knlmodes", Title: "MCDRAM and cluster-mode ablation", PaperRef: "Sections 2.1, 6.2", Run: RunKNLModes})
 }
 

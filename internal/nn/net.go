@@ -157,18 +157,45 @@ func (n *Net) Forward(x []float32, b int, train bool) []float32 {
 	return cur
 }
 
-// LossAndGrad computes gradients for one minibatch: a full forward, softmax
-// cross-entropy, and a full backward accumulating into Grads (which the
-// caller usually zeroes first). It returns the mean loss and the number of
-// correct argmax predictions.
-func (n *Net) LossAndGrad(x []float32, labels []int, b int) (loss float64, correct int) {
+// GradEvent announces that one layer's parameter gradients are final: the
+// backward walk has run the layer's Backward, and — because every layer
+// accumulates only into its own disjoint [Lo,Hi) view of the packed Grads
+// buffer — Grads[Lo:Hi] will not change again this minibatch. This is the
+// per-layer readiness signal wait-free backprop (Poseidon) keys on: the
+// communication of a layer's gradient can start the moment its event fires,
+// while earlier layers are still computing.
+type GradEvent struct {
+	Layer  int // index into Net.Layers; events fire in descending order
+	Lo, Hi int // the layer's element range within Grads ([Lo,Hi) = Offsets[Layer], Offsets[Layer+1])
+}
+
+// LossAndGradStream computes gradients for one minibatch exactly like
+// LossAndGrad, but emits a GradEvent after each layer's Backward — the
+// per-layer gradient-ready stream the overlapped (bucketed) communication
+// path consumes. Events fire last layer first, covering every layer
+// (parameter-free layers emit an empty range). A nil emit streams nowhere,
+// which is the monolithic path; the gradients are bit-identical either way
+// because the walk is the same code.
+func (n *Net) LossAndGradStream(x []float32, labels []int, b int, emit func(GradEvent)) (loss float64, correct int) {
 	logits := n.Forward(x, b, true)
 	loss, correct = n.loss.Forward(logits, labels, n.Def.Classes)
 	dy := n.loss.Grad()
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		dy = n.Layers[i].Backward(dy, b)
+		if emit != nil {
+			emit(GradEvent{Layer: i, Lo: n.Offsets[i], Hi: n.Offsets[i+1]})
+		}
 	}
 	return loss, correct
+}
+
+// LossAndGrad computes gradients for one minibatch: a full forward, softmax
+// cross-entropy, and a full backward accumulating into Grads (which the
+// caller usually zeroes first). It returns the mean loss and the number of
+// correct argmax predictions. It is the monolithic wrapper over
+// LossAndGradStream.
+func (n *Net) LossAndGrad(x []float32, labels []int, b int) (loss float64, correct int) {
+	return n.LossAndGradStream(x, labels, b, nil)
 }
 
 // Loss computes the loss of a batch without touching gradients.

@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"testing"
+
+	"scaledl/internal/tensor"
+)
+
+// streamBatch builds a deterministic batch for the given input shape.
+func streamBatch(def NetDef, b int, seed int64) (x []float32, labels []int) {
+	g := tensor.NewRNG(seed)
+	x = make([]float32, b*def.In.Dim())
+	g.FillNormal(x, 0, 1)
+	labels = make([]int, b)
+	for i := range labels {
+		labels[i] = int(g.Int63() % int64(def.Classes))
+	}
+	return x, labels
+}
+
+// The tentpole invariant on the nn side: the streaming backward is the same
+// walk as the monolithic one, so gradients, loss and correct count are
+// bit-identical, and the event stream announces each layer exactly once, in
+// descending order, with offsets matching the packed layout.
+func TestStreamingBackwardBitIdenticalToMonolithic(t *testing.T) {
+	for _, def := range []NetDef{
+		TinyCNN(Shape{C: 1, H: 12, W: 12}, 4),
+		LeNet(Shape{C: 1, H: 28, W: 28}, 10),
+		MiniGoogleNet(Shape{C: 3, H: 16, W: 16}, 10),
+	} {
+		def := def
+		t.Run(def.Name, func(t *testing.T) {
+			mono := def.Build(42)
+			stream := def.Build(42)
+			x, labels := streamBatch(def, 6, 7)
+
+			mono.ZeroGrad()
+			lossM, correctM := mono.LossAndGrad(x, labels, 6)
+
+			stream.ZeroGrad()
+			var events []GradEvent
+			lossS, correctS := stream.LossAndGradStream(x, labels, 6, func(e GradEvent) {
+				// The layer's gradient slice must already be final when its
+				// event fires: snapshot and compare after the walk.
+				events = append(events, e)
+			})
+
+			if lossM != lossS || correctM != correctS {
+				t.Fatalf("loss/correct differ: mono (%v, %d) vs stream (%v, %d)", lossM, correctM, lossS, correctS)
+			}
+			for i := range mono.Grads {
+				if mono.Grads[i] != stream.Grads[i] {
+					t.Fatalf("Grads[%d] differ: %v vs %v", i, mono.Grads[i], stream.Grads[i])
+				}
+			}
+			if len(events) != len(stream.Layers) {
+				t.Fatalf("%d events for %d layers", len(events), len(stream.Layers))
+			}
+			for k, e := range events {
+				wantLayer := len(stream.Layers) - 1 - k
+				if e.Layer != wantLayer {
+					t.Errorf("event %d announces layer %d, want %d (descending order)", k, e.Layer, wantLayer)
+				}
+				if e.Lo != stream.Offsets[e.Layer] || e.Hi != stream.Offsets[e.Layer+1] {
+					t.Errorf("event for layer %d has range [%d,%d), offsets say [%d,%d)",
+						e.Layer, e.Lo, e.Hi, stream.Offsets[e.Layer], stream.Offsets[e.Layer+1])
+				}
+			}
+		})
+	}
+}
+
+// A layer's gradient slice is final at emission time: capturing the slice
+// contents inside the callback and comparing after the full walk must show
+// no later mutation (layers own disjoint views of the packed buffer).
+func TestGradientSliceFinalAtEmission(t *testing.T) {
+	def := TinyCNN(Shape{C: 1, H: 12, W: 12}, 4)
+	n := def.Build(3)
+	x, labels := streamBatch(def, 4, 11)
+	n.ZeroGrad()
+	snaps := map[int][]float32{}
+	n.LossAndGradStream(x, labels, 4, func(e GradEvent) {
+		snaps[e.Layer] = append([]float32(nil), n.Grads[e.Lo:e.Hi]...)
+	})
+	for layer, snap := range snaps {
+		lo := n.Offsets[layer]
+		for i, v := range snap {
+			if n.Grads[lo+i] != v {
+				t.Fatalf("layer %d grad[%d] changed after its ready event: %v -> %v",
+					layer, i, v, n.Grads[lo+i])
+			}
+		}
+	}
+}

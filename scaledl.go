@@ -30,6 +30,10 @@ type (
 	Category = core.Category
 	// Point is one sample of a training trajectory.
 	Point = core.Point
+	// GradEvent is the per-layer gradient-ready notification the streaming
+	// backward walk emits (nn.Net.LossAndGradStream) — the dependency
+	// structure Config.Overlap's bucketed communication pipeline keys on.
+	GradEvent = nn.GradEvent
 
 	// NetDef is a reusable network definition; Shape a CHW activation shape.
 	NetDef = nn.NetDef
@@ -58,10 +62,32 @@ type (
 	Options = harness.Options
 )
 
+// Breakdown categories (the §6.1.1 parts), re-exported so results can be
+// inspected through the facade.
+const (
+	CatGPUGPUParam     = core.CatGPUGPUParam
+	CatCPUGPUData      = core.CatCPUGPUData
+	CatCPUGPUParam     = core.CatCPUGPUParam
+	CatForwardBackward = core.CatForwardBackward
+	CatGPUUpdate       = core.CatGPUUpdate
+	CatCPUUpdate       = core.CatCPUUpdate
+)
+
+// DefaultBucketBytes is the streaming pipeline's default gradient-bucket
+// size (Config.BucketBytes = 0 means this).
+const DefaultBucketBytes = core.DefaultBucketBytes
+
 // Train runs the named distributed algorithm. Method names follow the
 // paper: "original-easgd*", "original-easgd", "async-sgd", "async-msgd",
 // "hogwild-sgd", "sync-sgd", "async-easgd", "async-measgd",
 // "hogwild-easgd", "sync-easgd1", "sync-easgd2", "sync-easgd3".
+//
+// Config.Overlap turns on the layer-streaming communication pipeline for
+// the families that support it (SyncSGD's bucketed overlapped allreduce,
+// async SGD-style streamed uploads, the round-robin master's per-bucket
+// pulls, KNLClusterEASGD's streamed center broadcast); Config.BucketBytes
+// sets the bucket coalescing size. Sync EASGD3 always overlaps — the
+// paper's definition — through the same pipeline.
 func Train(method string, cfg Config) (Result, error) {
 	run, ok := core.Methods[method]
 	if !ok {

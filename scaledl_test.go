@@ -31,6 +31,46 @@ func TestTrainViaFacade(t *testing.T) {
 	}
 }
 
+func TestTrainOverlapViaFacade(t *testing.T) {
+	train, test := SyntheticMNIST(1, 512, 128)
+	mk := func(overlap bool) Config {
+		return Config{
+			Def:         TinyCNN(Shape{C: 1, H: 28, W: 28}, 10),
+			Train:       train,
+			Test:        test,
+			Workers:     4,
+			Batch:       16,
+			LR:          0.05,
+			Iterations:  30,
+			Seed:        1,
+			Platform:    DefaultGPUPlatform(true),
+			Overlap:     overlap,
+			BucketBytes: 8 << 10,
+		}
+	}
+	off, err := Train("sync-sgd", mk(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Train("sync-sgd", mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.FinalLoss != off.FinalLoss || on.FinalAcc != off.FinalAcc {
+		t.Errorf("streaming changed training math: loss %v vs %v, acc %v vs %v",
+			on.FinalLoss, off.FinalLoss, on.FinalAcc, off.FinalAcc)
+	}
+	if on.SimTime >= off.SimTime {
+		t.Errorf("overlap did not reduce simulated time: %v vs %v", on.SimTime, off.SimTime)
+	}
+	if on.Breakdown.HiddenComm <= 0 {
+		t.Error("no hidden communication reported through the facade")
+	}
+	if on.Breakdown.Times[CatForwardBackward] <= 0 {
+		t.Error("category constants not usable through the facade")
+	}
+}
+
 func TestTrainUnknownMethod(t *testing.T) {
 	_, err := Train("sgd-9000", Config{})
 	if err == nil || !strings.Contains(err.Error(), "unknown method") {
@@ -151,8 +191,8 @@ func TestExtensionsFacade(t *testing.T) {
 }
 
 func TestExperimentFacade(t *testing.T) {
-	if len(Experiments()) != 16 {
-		t.Errorf("want 16 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 17 {
+		t.Errorf("want 17 experiments, got %d", len(Experiments()))
 	}
 	rep, err := RunExperiment("table2", Options{Seed: 1})
 	if err != nil {
