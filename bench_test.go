@@ -157,6 +157,12 @@ func BenchmarkKNLModes(b *testing.B) {
 	runExperimentBench(b, "knlmodes", nil)
 }
 
+// BenchmarkHierCluster regenerates the hierarchical two-level cluster
+// study (collective sweep + hier-sync-sgd/easgd training).
+func BenchmarkHierCluster(b *testing.B) {
+	runExperimentBench(b, "hier", nil)
+}
+
 // ---- substrate micro-benchmarks ----
 
 // BenchmarkLeNetIteration measures one real LeNet forward+backward on a

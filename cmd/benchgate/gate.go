@@ -1,0 +1,314 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed `go test -bench` line: the benchmark name
+// (Benchmark prefix and -N GOMAXPROCS suffix stripped) and its metrics by
+// unit ("ns/op", "sim_ms", "GFLOPS", "allocs/op", …).
+type benchResult struct {
+	Name    string
+	Metrics map[string]float64
+}
+
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBenchFile extracts benchmark results from `go test -bench` output.
+func parseBenchFile(path string) (map[string]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+func parseBench(r io.Reader) (map[string]benchResult, error) {
+	out := map[string]benchResult{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		res := benchResult{Name: m[1], Metrics: map[string]float64{}}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad metric value %q", res.Name, fields[i])
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		out[res.Name] = res
+	}
+	return out, sc.Err()
+}
+
+// Gate row statuses.
+const (
+	statusOK       = "ok"
+	statusFail     = "FAIL"
+	statusImproved = "improved"
+	statusMissing  = "MISSING"
+	statusSkipped  = "-"
+)
+
+// gateRow is one gated comparison for the report table.
+type gateRow struct {
+	File, Name, Metric  string
+	Base, Fresh, Change float64 // Change: fractional delta, signed so that > 0 means regression
+	Status              string
+	Note                string
+}
+
+// simBaseline mirrors BENCH_comm.json / BENCH_overlap.json.
+type simBaseline struct {
+	Description string               `json:"description"`
+	Benchmarks  map[string]*simEntry `json:"benchmarks"`
+}
+
+type simEntry struct {
+	NsPerOp int64   `json:"ns_per_op"`
+	SimMS   float64 `json:"sim_ms"`
+}
+
+// gemmBaseline mirrors BENCH_gemm.json.
+type gemmBaseline struct {
+	Description string         `json:"description"`
+	Environment map[string]any `json:"environment,omitempty"`
+	Invariants  map[string]any `json:"invariants,omitempty"`
+	Benchmarks  []*gemmEntry   `json:"benchmarks"`
+	Notes       string         `json:"notes,omitempty"`
+}
+
+type gemmEntry struct {
+	Name      string  `json:"name"`
+	NsOp      int64   `json:"ns_op"`
+	GFLOPS    float64 `json:"gflops,omitempty"`
+	AllocsOp  *int64  `json:"allocs_op,omitempty"`
+	OldNsOp   int64   `json:"old_ns_op,omitempty"`
+	OldGFLOPS float64 `json:"old_gflops,omitempty"`
+	Speedup   float64 `json:"speedup,omitempty"`
+}
+
+// gemmBenchName maps a baseline entry name to its benchmark name: the part
+// before any parenthesized qualifier ("Conv2DForward (LeNet conv2, batch
+// 16)" ran as BenchmarkConv2DForward).
+func gemmBenchName(name string) string {
+	if i := strings.Index(name, " ("); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// gate compares fresh results against every baseline file present in dir
+// and returns the report rows, most severe first within each file. With
+// update set, the gated metrics (and ns/op) in the baselines are rewritten
+// from the fresh results instead.
+func gate(dir string, fresh map[string]benchResult, tol float64, update bool) ([]gateRow, error) {
+	var rows []gateRow
+
+	for _, simFile := range []string{"BENCH_comm.json", "BENCH_overlap.json"} {
+		path := filepath.Join(dir, simFile)
+		raw, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			continue
+		} else if err != nil {
+			return nil, err
+		}
+		var base simBaseline
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return nil, fmt.Errorf("%s: %w", simFile, err)
+		}
+		names := make([]string, 0, len(base.Benchmarks))
+		for name := range base.Benchmarks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		changed := false
+		for _, name := range names {
+			entry := base.Benchmarks[name]
+			short := strings.TrimPrefix(name, "Benchmark")
+			got, ok := fresh[short]
+			if !ok {
+				rows = append(rows, gateRow{File: simFile, Name: short, Metric: "sim_ms",
+					Base: entry.SimMS, Status: statusMissing, Note: "benchmark did not run"})
+				continue
+			}
+			simMS, ok := got.Metrics["sim_ms"]
+			if !ok {
+				rows = append(rows, gateRow{File: simFile, Name: short, Metric: "sim_ms",
+					Base: entry.SimMS, Status: statusMissing, Note: "no sim_ms metric reported"})
+				continue
+			}
+			if update {
+				entry.SimMS = simMS
+				if ns, ok := got.Metrics["ns/op"]; ok {
+					entry.NsPerOp = int64(ns)
+				}
+				changed = true
+				continue
+			}
+			rows = append(rows, compare(simFile, short, "sim_ms", entry.SimMS, simMS, tol, false))
+		}
+		if update && changed {
+			out, err := json.MarshalIndent(base, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	path := filepath.Join(dir, "BENCH_gemm.json")
+	raw, err := os.ReadFile(path)
+	if err == nil {
+		var base gemmBaseline
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return nil, fmt.Errorf("BENCH_gemm.json: %w", err)
+		}
+		changed := false
+		for _, entry := range base.Benchmarks {
+			if entry.GFLOPS == 0 {
+				// ns-only entries (MatMul, Im2col, Conv2D…) are host-speed
+				// measurements; reported for reference, never gated.
+				rows = append(rows, gateRow{File: "BENCH_gemm.json", Name: entry.Name,
+					Metric: "ns/op", Base: float64(entry.NsOp), Status: statusSkipped,
+					Note: "host-speed metric, not gated"})
+				continue
+			}
+			got, ok := fresh[gemmBenchName(entry.Name)]
+			if !ok {
+				rows = append(rows, gateRow{File: "BENCH_gemm.json", Name: entry.Name,
+					Metric: "GFLOPS", Base: entry.GFLOPS, Status: statusMissing, Note: "benchmark did not run"})
+				continue
+			}
+			gflops, ok := got.Metrics["GFLOPS"]
+			if !ok {
+				rows = append(rows, gateRow{File: "BENCH_gemm.json", Name: entry.Name,
+					Metric: "GFLOPS", Base: entry.GFLOPS, Status: statusMissing, Note: "no GFLOPS metric reported"})
+				continue
+			}
+			if update {
+				entry.GFLOPS = gflops
+				if ns, ok := got.Metrics["ns/op"]; ok {
+					entry.NsOp = int64(ns)
+				}
+				if al, ok := got.Metrics["allocs/op"]; ok {
+					v := int64(al)
+					entry.AllocsOp = &v
+				}
+				if entry.OldGFLOPS > 0 {
+					entry.Speedup = gflops / entry.OldGFLOPS
+				}
+				changed = true
+				continue
+			}
+			rows = append(rows, compare("BENCH_gemm.json", entry.Name, "GFLOPS", entry.GFLOPS, gflops, tol, true))
+		}
+		if update && changed {
+			out, err := json.MarshalIndent(base, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+				return nil, err
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	sort.SliceStable(rows, func(i, j int) bool { return severity(rows[i].Status) < severity(rows[j].Status) })
+	return rows, nil
+}
+
+func severity(status string) int {
+	switch status {
+	case statusFail:
+		return 0
+	case statusMissing:
+		return 1
+	case statusImproved:
+		return 2
+	case statusOK:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// compare gates one metric. higherBetter selects the direction (GFLOPS)
+// versus cost metrics (sim_ms).
+func compare(file, name, metric string, base, fresh, tol float64, higherBetter bool) gateRow {
+	row := gateRow{File: file, Name: name, Metric: metric, Base: base, Fresh: fresh}
+	if base <= 0 {
+		row.Status = statusSkipped
+		row.Note = "no baseline value"
+		return row
+	}
+	change := fresh/base - 1
+	if higherBetter {
+		change = -change // normalize: positive change = regression
+	}
+	row.Change = change
+	switch {
+	case change > tol:
+		row.Status = statusFail
+		row.Note = fmt.Sprintf("regressed %.1f%% (tolerance %.0f%%)", change*100, tol*100)
+	case change < -tol:
+		row.Status = statusImproved
+		row.Note = "faster than baseline — consider regenerating with -update"
+	default:
+		row.Status = statusOK
+	}
+	return row
+}
+
+func printTable(w io.Writer, rows []gateRow) {
+	fmt.Fprintf(w, "%-18s %-42s %-7s %12s %12s %8s  %-8s %s\n",
+		"baseline", "benchmark", "metric", "base", "fresh", "delta", "status", "note")
+	for _, r := range rows {
+		fresh, delta := "-", "-"
+		if r.Status != statusMissing && r.Status != statusSkipped {
+			fresh = fmt.Sprintf("%.4g", r.Fresh)
+			delta = fmt.Sprintf("%+.1f%%", r.Change*100)
+		}
+		fmt.Fprintf(w, "%-18s %-42s %-7s %12.4g %12s %8s  %-8s %s\n",
+			r.File, r.Name, r.Metric, r.Base, fresh, delta, r.Status, r.Note)
+	}
+}
+
+// writeMarkdown renders the rows as a GitHub job-summary table.
+func writeMarkdown(w io.Writer, rows []gateRow, tol float64) {
+	fmt.Fprintf(w, "## Benchmark gate (tolerance %.0f%%)\n\n", tol*100)
+	fmt.Fprintln(w, "| status | baseline | benchmark | metric | base | fresh | delta |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|")
+	for _, r := range rows {
+		fresh, delta := "—", "—"
+		if r.Status != statusMissing && r.Status != statusSkipped {
+			fresh = fmt.Sprintf("%.4g", r.Fresh)
+			delta = fmt.Sprintf("%+.1f%%", r.Change*100)
+		}
+		icon := map[string]string{
+			statusOK: "✅", statusFail: "❌", statusImproved: "🚀", statusMissing: "⚠️", statusSkipped: "➖",
+		}[r.Status]
+		fmt.Fprintf(w, "| %s %s | %s | %s | %s | %.4g | %s | %s |\n",
+			icon, r.Status, r.File, r.Name, r.Metric, r.Base, fresh, delta)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,79 @@
+// Command benchgate compares fresh `go test -bench` output against the
+// repository's checked-in benchmark baselines (BENCH_gemm.json,
+// BENCH_comm.json, BENCH_overlap.json) and fails on regressions, so CI
+// catches performance drift instead of silently uploading artifacts.
+//
+// Two metric families are gated:
+//
+//   - sim_ms — the *simulated* completion time a collective benchmark
+//     reports. It is a pure function of the cost models and schedules
+//     (deterministic across machines), so any drift beyond the tolerance is
+//     a real behavioral change, not runner noise.
+//   - GFLOPS — the packed GEMM engine's throughput. Host-dependent, gated
+//     with the same tolerance to catch order-of-magnitude regressions (a
+//     dropped SIMD path, an accidental copy); raise -tol on noisy runners.
+//
+// Raw ns/op is reported but never gated: it measures the CI container.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... ./... | tee bench.txt
+//	benchgate -bench bench.txt            # gate against ./BENCH_*.json
+//	benchgate -bench bench.txt -update    # rewrite baselines from fresh results
+//
+// With GITHUB_STEP_SUMMARY set, a markdown report is appended for the job
+// summary. Exit status 1 on any FAIL row.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		benchPath = flag.String("bench", "bench.txt", "go test -bench output to gate")
+		dir       = flag.String("dir", ".", "directory holding the BENCH_*.json baselines")
+		tol       = flag.Float64("tol", 0.15, "allowed fractional regression before failing")
+		update    = flag.Bool("update", false, "rewrite the baselines' gated metrics from the fresh results")
+	)
+	flag.Parse()
+
+	results, err := parseBenchFile(*benchPath)
+	if err != nil {
+		fatal(err)
+	}
+	rows, err := gate(*dir, results, *tol, *update)
+	if err != nil {
+		fatal(err)
+	}
+	printTable(os.Stdout, rows)
+	if summary := os.Getenv("GITHUB_STEP_SUMMARY"); summary != "" && !*update {
+		f, err := os.OpenFile(summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err == nil {
+			writeMarkdown(f, rows, *tol)
+			f.Close()
+		}
+	}
+	failed := 0
+	for _, r := range rows {
+		if r.Status == statusFail || r.Status == statusMissing {
+			failed++
+		}
+	}
+	if *update {
+		fmt.Println("baselines updated")
+		return
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed beyond %.0f%%\n", failed, *tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: all gated benchmarks within %.0f%% of baseline\n", *tol*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}

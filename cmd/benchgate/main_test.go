@@ -1,0 +1,199 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// writeTestBaselines populates dir with miniature copies of the three
+// checked-in baseline files.
+func writeTestBaselines(t *testing.T, dir string) {
+	t.Helper()
+	files := map[string]string{
+		"BENCH_comm.json": `{
+  "description": "test",
+  "benchmarks": {
+    "BenchmarkAllReduceTree": { "ns_per_op": 50000000, "sim_ms": 5.0 },
+    "BenchmarkAllReduceHier": { "ns_per_op": 300000,   "sim_ms": 3.4 }
+  }
+}`,
+		"BENCH_overlap.json": `{
+  "description": "test",
+  "benchmarks": {
+    "BenchmarkAllReduceBucketed4": { "ns_per_op": 33000000, "sim_ms": 1.25 }
+  }
+}`,
+		"BENCH_gemm.json": `{
+  "description": "test",
+  "benchmarks": [
+    { "name": "GEMM/20x500x576", "ns_op": 748799, "gflops": 15.0, "allocs_op": 0 },
+    { "name": "MatVec", "ns_op": 142653, "allocs_op": 0 },
+    { "name": "Conv2DForward (LeNet conv2, batch 16)", "ns_op": 3219204 }
+  ]
+}`,
+	}
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// benchText renders a fake `go test -bench` output with the given sim_ms
+// and GFLOPS values.
+func benchText(treeSimMS, hierSimMS, bucketSimMS, gflops float64) string {
+	var sb strings.Builder
+	sb.WriteString("goos: linux\ngoarch: amd64\npkg: scaledl/internal/comm\n")
+	w := func(name string, metrics string) {
+		sb.WriteString(name + "-1 \t 10\t " + metrics + "\n")
+	}
+	w("BenchmarkAllReduceTree", f(50000000)+" ns/op\t "+f(treeSimMS)+" sim_ms")
+	w("BenchmarkAllReduceHier", f(300000)+" ns/op\t "+f(hierSimMS)+" sim_ms")
+	w("BenchmarkAllReduceBucketed4", f(33000000)+" ns/op\t "+f(bucketSimMS)+" sim_ms")
+	w("BenchmarkGEMM/20x500x576", f(748799)+" ns/op\t "+f(gflops)+" GFLOPS\t 0 B/op\t 0 allocs/op")
+	return sb.String()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// runGate writes benchOut to a file and gates it against dir's baselines.
+func runGate(t *testing.T, dir, benchOut string, update bool) []gateRow {
+	t.Helper()
+	path := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(path, []byte(benchOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results, err := parseBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := gate(dir, results, 0.15, update)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func countStatus(rows []gateRow, status string) int {
+	n := 0
+	for _, r := range rows {
+		if r.Status == status {
+			n++
+		}
+	}
+	return n
+}
+
+// At baseline values the gate passes every gated metric and skips the
+// host-speed (ns-only) entries.
+func TestGatePassesAtBaseline(t *testing.T) {
+	dir := t.TempDir()
+	writeTestBaselines(t, dir)
+	rows := runGate(t, dir, benchText(5.0, 3.4, 1.25, 15.0), false)
+	if n := countStatus(rows, statusFail); n != 0 {
+		t.Errorf("%d FAIL rows at baseline: %+v", n, rows)
+	}
+	if n := countStatus(rows, statusOK); n != 4 {
+		t.Errorf("%d ok rows, want 4 gated metrics", n)
+	}
+	if n := countStatus(rows, statusSkipped); n != 2 {
+		t.Errorf("%d skipped rows, want 2 ns-only entries", n)
+	}
+}
+
+// Drift inside the 15% tolerance passes; a >15% sim_ms regression fails —
+// the injected-regression demonstration of the CI gate.
+func TestGateFailsOnInjectedSimRegression(t *testing.T) {
+	dir := t.TempDir()
+	writeTestBaselines(t, dir)
+	// +10% on one sim_ms: within tolerance.
+	rows := runGate(t, dir, benchText(5.5, 3.4, 1.25, 15.0), false)
+	if countStatus(rows, statusFail) != 0 {
+		t.Errorf("10%% drift flagged as regression: %+v", rows)
+	}
+	// +20% on one sim_ms: must fail.
+	rows = runGate(t, dir, benchText(6.0, 3.4, 1.25, 15.0), false)
+	if countStatus(rows, statusFail) != 1 {
+		t.Errorf("injected 20%% sim_ms regression not caught: %+v", rows)
+	}
+	if rows[0].Name != "AllReduceTree" || rows[0].Status != statusFail {
+		t.Errorf("FAIL row not sorted first: %+v", rows[0])
+	}
+}
+
+// A >15% GFLOPS drop fails; a GFLOPS gain is an improvement, not a failure.
+func TestGateFailsOnInjectedGFLOPSRegression(t *testing.T) {
+	dir := t.TempDir()
+	writeTestBaselines(t, dir)
+	rows := runGate(t, dir, benchText(5.0, 3.4, 1.25, 12.0), false) // -20%
+	if countStatus(rows, statusFail) != 1 {
+		t.Errorf("injected GFLOPS regression not caught: %+v", rows)
+	}
+	rows = runGate(t, dir, benchText(5.0, 3.4, 1.25, 30.0), false) // +100%
+	if countStatus(rows, statusFail) != 0 || countStatus(rows, statusImproved) != 1 {
+		t.Errorf("GFLOPS improvement misclassified: %+v", rows)
+	}
+}
+
+// A gated baseline whose benchmark never ran is a gate-integrity failure
+// (someone narrowed the -bench pattern).
+func TestGateFlagsMissingBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	writeTestBaselines(t, dir)
+	out := benchText(5.0, 3.4, 1.25, 15.0)
+	out = strings.ReplaceAll(out, "BenchmarkAllReduceHier", "BenchmarkSomethingElse")
+	rows := runGate(t, dir, out, false)
+	if countStatus(rows, statusMissing) != 1 {
+		t.Errorf("missing benchmark not flagged: %+v", rows)
+	}
+}
+
+// -update rewrites the gated metrics in place; a rerun against the fresh
+// values then passes.
+func TestGateUpdateRewritesBaselines(t *testing.T) {
+	dir := t.TempDir()
+	writeTestBaselines(t, dir)
+	out := benchText(6.5, 3.4, 1.25, 18.0)
+	if rows := runGate(t, dir, out, false); countStatus(rows, statusFail) != 1 {
+		t.Fatalf("expected one failure before update: %+v", rows)
+	}
+	runGate(t, dir, out, true)
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_comm.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base simBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if got := base.Benchmarks["BenchmarkAllReduceTree"].SimMS; got != 6.5 {
+		t.Errorf("sim_ms not rewritten: %v", got)
+	}
+	if rows := runGate(t, dir, out, false); countStatus(rows, statusFail) != 0 {
+		t.Errorf("gate still failing after -update: %+v", rows)
+	}
+}
+
+// The real checked-in baselines parse and every gated entry has a matching
+// benchmark name shape (guards against renames drifting past the gate).
+func TestRealBaselinesParse(t *testing.T) {
+	root := filepath.Join("..", "..")
+	results := map[string]benchResult{}
+	rows, err := gate(root, results, 0.15, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no fresh results, every gated metric must surface as MISSING —
+	// proving the baselines parse and are all actually gated.
+	missing := countStatus(rows, statusMissing)
+	if missing == 0 {
+		t.Error("no gated baselines found in checked-in BENCH_*.json")
+	}
+	if countStatus(rows, statusFail) != 0 {
+		t.Errorf("unexpected FAIL with empty fresh results: %+v", rows)
+	}
+}

@@ -7,6 +7,8 @@
 //	scaledl-train -method sync-easgd3 -workers 4 -batch 32 -iters 100
 //	scaledl-train -method hogwild-easgd -dataset cifar -iters 200
 //	scaledl-train -method sync-sgd -overlap -bucket 8192 -schedule ring
+//	scaledl-train -method hier-sync-sgd -nodes 4 -gpus-per-node 2 -hier-schedule rhd
+//	scaledl-train -method hier-sync-easgd -nodes 2 -gpus-per-node 4 -tau-local 2 -tau-global 8
 //	scaledl-train -list
 package main
 
@@ -41,6 +43,11 @@ func main() {
 		compress = flag.String("compress", "", "wire compression: fp32 (default), 1-bit or uint8")
 		overlap  = flag.Bool("overlap", false, "stream gradients: per-bucket communication launches as backward emits layers")
 		bucket   = flag.Int64("bucket", 0, "gradient bucket size in bytes for the streaming pipeline (0 = 1 MiB default)")
+		nodes    = flag.Int("nodes", 0, "machine count for the hierarchical methods (hier-sync-sgd, hier-sync-easgd)")
+		gpusPer  = flag.Int("gpus-per-node", 0, "GPUs per machine for the hierarchical methods (workers = nodes x gpus-per-node)")
+		hierSch  = flag.String("hier-schedule", "tree", "inter-node (fabric) schedule for the hierarchical methods (tree|ring|rhd|chain|linear)")
+		tauLocal = flag.Int("tau-local", 0, "hier-sync-easgd: node-group sync period in steps (0 = 1)")
+		tauGlob  = flag.Int("tau-global", 0, "hier-sync-easgd: global center sync period in steps (0 = 4x tau-local)")
 	)
 	flag.Parse()
 
@@ -83,27 +90,40 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	hierSched, err := comm.ParseSchedule(*hierSch)
+	if err != nil {
+		fatal(err)
+	}
 	scheme, err := quant.ParseScheme(*compress)
 	if err != nil {
 		fatal(err)
 	}
+	if *nodes > 0 && *gpusPer > 0 {
+		// The hierarchical cluster fixes the worker count.
+		*workers = *nodes * *gpusPer
+	}
 	cfg := core.Config{
-		Def:         nn.TinyCNN(shape, spec.Classes),
-		Train:       train,
-		Test:        test,
-		Workers:     *workers,
-		Batch:       *batch,
-		LR:          float32(*lr),
-		Momentum:    float32(*momentum),
-		Rho:         float32(*rho),
-		Iterations:  *iters,
-		Seed:        *seed,
-		Platform:    core.DefaultGPUPlatform(*packed),
-		EvalEvery:   *every,
-		Schedule:    sched,
-		Compression: scheme,
-		Overlap:     *overlap,
-		BucketBytes: *bucket,
+		Def:          nn.TinyCNN(shape, spec.Classes),
+		Train:        train,
+		Test:         test,
+		Workers:      *workers,
+		Batch:        *batch,
+		LR:           float32(*lr),
+		Momentum:     float32(*momentum),
+		Rho:          float32(*rho),
+		Iterations:   *iters,
+		Seed:         *seed,
+		Platform:     core.DefaultGPUPlatform(*packed),
+		EvalEvery:    *every,
+		Schedule:     sched,
+		Compression:  scheme,
+		Overlap:      *overlap,
+		BucketBytes:  *bucket,
+		Nodes:        *nodes,
+		GPUsPerNode:  *gpusPer,
+		HierSchedule: hierSched,
+		TauLocal:     *tauLocal,
+		TauGlobal:    *tauGlob,
 	}
 	res, err := run(cfg)
 	if err != nil {

@@ -59,6 +59,24 @@
 //     contention-free topologies the simulated collectives match them to
 //     1e-9, and reduced values are bit-identical to comm.ReduceSum for
 //     every schedule;
+//   - hierarchical two-level clusters (comm.NewMultiLevel): per-node
+//     sub-topologies (PCIe trees) composed under an inter-node fabric with
+//     an optional per-node NIC concurrency bound, and hierarchical
+//     collectives (comm.HierCommunicator) in the intra-reduce →
+//     leader-allreduce → intra-broadcast shape, with independently
+//     selectable schedules per level. Both engine invariants extend to the
+//     composition: completion matches the composed oracle
+//     (comm.HierAllReduceTime) on contention-free topologies, and the
+//     intra phase gathers global-rank-tagged contribution lists so
+//     HierAllReduce stays bit-identical to ReduceSum for every
+//     (intra, inter) schedule pair, including the bucketed Range variants
+//     the streaming pipeline uses. Config.Nodes/GPUsPerNode select the
+//     composed cluster for two training methods: "hier-sync-sgd" (the
+//     SyncSGD loop over a hierarchical endpoint — flat mathematics bit for
+//     bit, Config.HierSchedule picking the fabric schedule) and
+//     "hier-sync-easgd" (node-group elastic averaging, group syncs every
+//     Config.TauLocal steps and fabric center syncs every
+//     Config.TauGlobal);
 //   - a layer-streaming backprop pipeline (the architecture of Poseidon's
 //     wait-free backprop and FireCaffe's per-layer reduction trees): the
 //     backward walk emits per-layer gradient-ready events
@@ -71,11 +89,19 @@
 //     reports the hidden share) and gradient math bit-identical to the
 //     monolithic path;
 //   - all twelve distributed algorithms of the paper (the contributions and
-//     every baseline), running real gradient math under simulated time;
+//     every baseline) plus the hierarchical multi-node methods, running
+//     real gradient math under simulated time;
 //   - an experiment harness that regenerates every table and figure of the
 //     paper's evaluation (Tables 2-4, Figures 6, 8, 10-13) plus a batch-size
-//     study, a co-design ablation, and an overlap × bucket-size × schedule
-//     ablation of the streaming pipeline.
+//     study, a co-design ablation, an overlap × bucket-size × schedule
+//     ablation of the streaming pipeline, and a hierarchical-versus-flat
+//     collective and training sweep on composed PCIe+fabric clusters (the
+//     "hier" experiment);
+//   - a CI benchmark-regression gate (cmd/benchgate) comparing fresh
+//     microbenchmark runs against the checked-in BENCH_*.json baselines:
+//     deterministic simulated collective times (sim_ms) and GEMM GFLOPS
+//     are gated at 15%, so performance drift fails the pull request
+//     instead of landing silently.
 //
 // # Execution model
 //

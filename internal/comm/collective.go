@@ -97,6 +97,34 @@ func (s Schedule) AnalyticAllReduceTime(l Transferer, n int64, p int) (float64, 
 	}
 }
 
+// AnalyticReduceTime returns the closed-form α-β prediction of the
+// schedule's *reduce shape* over p parties — the pattern reduceSeg (and the
+// hierarchical intra-node gather) actually walks: ring and RHD, which are
+// allreduce shapes, fall back to the binomial tree exactly as the engine
+// does; the pipelined chain returns false.
+func (s Schedule) AnalyticReduceTime(l Transferer, n int64, p int) (float64, bool) {
+	switch s {
+	case ScheduleLinear:
+		return LinearReduceTime(l, n, p), true
+	case ScheduleChain:
+		return 0, false
+	default:
+		return TreeReduceTime(l, n, p), true
+	}
+}
+
+// AnalyticBroadcastTime mirrors AnalyticReduceTime for the broadcast shape.
+func (s Schedule) AnalyticBroadcastTime(l Transferer, n int64, p int) (float64, bool) {
+	switch s {
+	case ScheduleLinear:
+		return LinearBroadcastTime(l, n, p), true
+	case ScheduleChain:
+		return 0, false
+	default:
+		return TreeBroadcastTime(l, n, p), true
+	}
+}
+
 // ParseSchedule converts a name ("tree", "ring", "rhd", "chain", "linear")
 // to a Schedule; the empty string means tree.
 func ParseSchedule(name string) (Schedule, error) {
@@ -145,6 +173,19 @@ type CommConfig struct {
 	ChunkElems int
 	// Wire is the per-message wire-size model (nil = raw fp32).
 	Wire WireFunc
+	// Tag namespaces this communicator's messages on the topology.
+	// Communicators whose parties share topology nodes (the hierarchical
+	// composition: a leader belongs to its node's intra communicator AND
+	// the inter-node one) must use distinct tags so selective receive can
+	// keep their message streams apart. Default 0.
+	Tag int
+	// RankTags, when non-nil, relabels the rank carried inside reduce
+	// contributions (one tag per party, ascending). The hierarchical
+	// collectives tag intra-node contributions with *global* ranks so the
+	// final combine — which merges whole node groups — still runs in
+	// ascending global-rank order, bit-identical to a flat ReduceSum.
+	// nil means the identity (party rank), the flat communicator's order.
+	RankTags []int
 }
 
 // Communicator runs collectives among a fixed set of parties over a
@@ -159,6 +200,8 @@ type Communicator struct {
 	sched   Schedule
 	chunk   int
 	wire    WireFunc
+	tag     int
+	tags    []int
 	bars    map[collKey]*sim.Barrier
 }
 
@@ -180,6 +223,9 @@ func NewCommunicator(t *Topology, cfg CommConfig) *Communicator {
 	if chunk <= 0 {
 		chunk = 8192
 	}
+	if cfg.RankTags != nil && len(cfg.RankTags) != len(cfg.Parties) {
+		panic(fmt.Sprintf("comm: %d rank tags for %d parties", len(cfg.RankTags), len(cfg.Parties)))
+	}
 	return &Communicator{
 		topo:    t,
 		parties: append([]int(nil), cfg.Parties...),
@@ -187,8 +233,18 @@ func NewCommunicator(t *Topology, cfg CommConfig) *Communicator {
 		sched:   cfg.Schedule,
 		chunk:   chunk,
 		wire:    cfg.Wire,
+		tag:     cfg.Tag,
+		tags:    append([]int(nil), cfg.RankTags...),
 		bars:    map[collKey]*sim.Barrier{},
 	}
+}
+
+// tagOf returns the contribution tag of party rank (RankTags or identity).
+func (c *Communicator) tagOf(rank int) int {
+	if c.tags != nil {
+		return c.tags[rank]
+	}
+	return rank
 }
 
 // Size returns the number of parties.
@@ -257,14 +313,18 @@ func (c *Communicator) wireOf(elems int) int64 {
 }
 
 // segments returns the plan's element ranges over the model vector.
-func (c *Communicator) segments() [][2]int {
+func (c *Communicator) segments() [][2]int { return planSegments(c.plan) }
+
+// planSegments returns a plan's message-segment element ranges: one packed
+// whole-model range, or one range per layer.
+func planSegments(plan Plan) [][2]int {
 	var segs [][2]int
-	if c.plan.Packed || len(c.plan.LayerBytes) <= 1 {
-		segs = append(segs, [2]int{0, int(c.plan.TotalBytes() / 4)})
+	if plan.Packed || len(plan.LayerBytes) <= 1 {
+		segs = append(segs, [2]int{0, int(plan.TotalBytes() / 4)})
 		return segs
 	}
 	lo := 0
-	for _, b := range c.plan.LayerBytes {
+	for _, b := range plan.LayerBytes {
 		hi := lo + int(b/4)
 		segs = append(segs, [2]int{lo, hi})
 		lo = hi
@@ -310,15 +370,15 @@ func (c *Communicator) checkRange(buf []float32, lo, hi int) {
 // send transmits m from party rank `from` to `to`, charging wireBytes.
 func (c *Communicator) send(p *sim.Proc, from, to int, m collMsg, wireBytes int64) {
 	m.src = from
-	c.topo.Send(p, c.parties[from], c.parties[to], 0, m, wireBytes)
+	c.topo.Send(p, c.parties[from], c.parties[to], c.tag, m, wireBytes)
 }
 
 // recv blocks until the message with the given key arrives from party
-// rank `from`.
+// rank `from` on this communicator's tag.
 func (c *Communicator) recv(p *sim.Proc, at, from int, key collKey) collMsg {
 	raw := c.topo.RecvMatch(p, c.parties[at], func(msg Message) bool {
 		cm, ok := msg.Payload.(collMsg)
-		return ok && cm.src == from && cm.key == key
+		return ok && msg.Tag == c.tag && cm.src == from && cm.key == key
 	})
 	return raw.Payload.(collMsg)
 }
@@ -349,6 +409,28 @@ func (c *Communicator) realOf(vr, root int) int {
 }
 
 func snapshot(v []float32) []float32 { return append([]float32(nil), v...) }
+
+// selfContrib builds a party's initial contribution list for one segment:
+// its own tagged snapshot, or nil in size-only mode.
+func (c *Communicator) selfContrib(rank int, buf []float32, seg [2]int) []contrib {
+	if buf == nil {
+		return nil
+	}
+	return []contrib{{rank: c.tagOf(rank), vals: snapshot(buf[seg[0]:seg[1]])}}
+}
+
+// clipContribs restricts every contribution of a [seg]-covering list to the
+// subrange ch (no copying: the clipped values alias the originals).
+func clipContribs(list []contrib, seg, ch [2]int) []contrib {
+	if list == nil {
+		return nil
+	}
+	out := make([]contrib, len(list))
+	for i, cb := range list {
+		out[i] = contrib{rank: cb.rank, vals: cb.vals[ch[0]-seg[0] : ch[1]-seg[0]]}
+	}
+	return out
+}
 
 // mergeContribs merges two rank-sorted contribution lists.
 func mergeContribs(a, b []contrib) []contrib {
@@ -505,13 +587,29 @@ func (c *Communicator) reduce(p *sim.Proc, rank, round, root int, buf []float32)
 
 // reduceSeg runs one segment's reduction toward root under the schedule.
 func (c *Communicator) reduceSeg(p *sim.Proc, rank, round, si, root int, buf []float32, seg [2]int) {
+	self := c.selfContrib(rank, buf, seg)
+	list := c.gatherSeg(p, rank, round, phReduce, si, root, self, seg)
+	if rank == root && buf != nil {
+		orderedSum(buf[seg[0]:seg[1]], list)
+	}
+}
+
+// gatherSeg runs one segment's reduction-shaped gather toward root under the
+// schedule (ring and RHD, which are allreduce shapes, fall back to the tree):
+// the parties' contribution lists travel the reduce pattern unmerged with
+// partial sums — each message still charges one partial-sum-sized payload —
+// and root ends holding the full rank-sorted list (everyone else nil). It is
+// the half-collective the hierarchical composition needs: an intra-node
+// gather hands the node's contributions to its leader, who feeds them, still
+// rank-tagged, into the inter-node allreduce.
+func (c *Communicator) gatherSeg(p *sim.Proc, rank, round, phase, si, root int, self []contrib, seg [2]int) []contrib {
 	switch c.sched {
 	case ScheduleLinear:
-		c.linearReduce(p, rank, round, phReduce, si, root, buf, seg)
+		return c.linearGather(p, rank, round, phase, si, root, self, seg)
 	case ScheduleChain:
-		c.chainReduce(p, rank, round, phReduce, si, root, buf, seg)
+		return c.chainGather(p, rank, round, phase, si, root, self, seg)
 	default:
-		c.treeReduce(p, rank, round, phReduce, si, root, buf, seg)
+		return c.treeGather(p, rank, round, phase, si, root, self, seg)
 	}
 }
 
@@ -527,20 +625,41 @@ func (c *Communicator) allReduce(p *sim.Proc, rank, round int, buf []float32) {
 
 // allReduceSeg runs one segment's allreduce under the schedule.
 func (c *Communicator) allReduceSeg(p *sim.Proc, rank, round, si int, buf []float32, seg [2]int) {
+	c.allReduceListSeg(p, rank, round, si, c.selfContrib(rank, buf, seg), buf, seg)
+}
+
+// allReduceListSeg runs one segment's allreduce where each party's input is
+// a whole contribution *list* (self) rather than a single buffer snapshot:
+// every party's buf range ends holding the rank-ordered sum of the union of
+// all lists. With the default single-contribution self this is exactly the
+// flat allreduce; the hierarchical inter-node phase passes each leader its
+// node's gathered list, so the final combine still runs over every global
+// party in ascending tag order — the bit-identity invariant composes.
+// nil self and buf select size-only mode.
+func (c *Communicator) allReduceListSeg(p *sim.Proc, rank, round, si int, self []contrib, buf []float32, seg [2]int) {
 	pow2 := len(c.parties)&(len(c.parties)-1) == 0
 	switch {
 	case c.sched == ScheduleRing:
-		c.ringAllReduce(p, rank, round, si, buf, seg)
+		c.ringAllReduce(p, rank, round, si, self, buf, seg)
 	case c.sched == ScheduleRHD && pow2:
-		c.rhdAllReduce(p, rank, round, si, buf, seg)
+		c.rhdAllReduce(p, rank, round, si, self, buf, seg)
 	case c.sched == ScheduleChain:
-		c.chainReduce(p, rank, round, phReduce, si, 0, buf, seg)
+		list := c.chainGather(p, rank, round, phReduce, si, 0, self, seg)
+		if rank == 0 && buf != nil {
+			orderedSum(buf[seg[0]:seg[1]], list)
+		}
 		c.chainBcast(p, rank, round, phBcast, si, 0, buf, seg)
 	case c.sched == ScheduleLinear:
-		c.linearReduce(p, rank, round, phReduce, si, 0, buf, seg)
+		list := c.linearGather(p, rank, round, phReduce, si, 0, self, seg)
+		if rank == 0 && buf != nil {
+			orderedSum(buf[seg[0]:seg[1]], list)
+		}
 		c.linearBcast(p, rank, round, phBcast, si, 0, buf, seg)
 	default: // tree, and RHD's non-power-of-two fallback
-		c.treeReduce(p, rank, round, phReduce, si, 0, buf, seg)
+		list := c.treeGather(p, rank, round, phReduce, si, 0, self, seg)
+		if rank == 0 && buf != nil {
+			orderedSum(buf[seg[0]:seg[1]], list)
+		}
 		c.treeBcast(p, rank, round, phBcast, si, 0, buf, seg)
 	}
 }
@@ -576,18 +695,16 @@ func (c *Communicator) treeBcast(p *sim.Proc, rank, round, phase, si, root int, 
 	}
 }
 
-// treeReduce runs the binomial reduction toward root, carrying
-// rank-ordered contribution lists so the final combine at root reproduces
-// ReduceSum's association order exactly.
-func (c *Communicator) treeReduce(p *sim.Proc, rank, round, phase, si, root int, buf []float32, seg [2]int) {
+// treeGather runs the binomial reduction pattern toward root, carrying
+// rank-sorted contribution lists unmerged; root returns the full list (the
+// combine order of ReduceSum), everyone else nil. self is this party's
+// initial list (nil = size-only).
+func (c *Communicator) treeGather(p *sim.Proc, rank, round, phase, si, root int, self []contrib, seg [2]int) []contrib {
 	P := len(c.parties)
 	vr := c.vrOf(rank, root)
 	R := rounds(P)
 	elems := seg[1] - seg[0]
-	var list []contrib
-	if buf != nil {
-		list = []contrib{{rank: rank, vals: snapshot(buf[seg[0]:seg[1]])}}
-	}
+	list := self
 	sent := false
 	for r := 0; r < R; r++ {
 		mask := 1 << r
@@ -603,9 +720,10 @@ func (c *Communicator) treeReduce(p *sim.Proc, rank, round, phase, si, root int,
 		}
 		c.sync(p, key)
 	}
-	if vr == 0 && buf != nil {
-		orderedSum(buf[seg[0]:seg[1]], list)
+	if vr == 0 {
+		return list
 	}
+	return nil
 }
 
 // ---- linear (round-robin) ----
@@ -634,15 +752,13 @@ func (c *Communicator) linearBcast(p *sim.Proc, rank, round, phase, si, root int
 	}
 }
 
-// linearReduce receives one party's contribution per synchronized step.
-func (c *Communicator) linearReduce(p *sim.Proc, rank, round, phase, si, root int, buf []float32, seg [2]int) {
+// linearGather receives one party's contribution list per synchronized step;
+// root returns the merged list, everyone else nil.
+func (c *Communicator) linearGather(p *sim.Proc, rank, round, phase, si, root int, self []contrib, seg [2]int) []contrib {
 	P := len(c.parties)
 	vr := c.vrOf(rank, root)
 	elems := seg[1] - seg[0]
-	var list []contrib
-	if buf != nil {
-		list = []contrib{{rank: rank, vals: snapshot(buf[seg[0]:seg[1]])}}
-	}
+	list := self
 	for s := 1; s < P; s++ {
 		key := collKey{round, phase, si, s, 0}
 		if vr == s {
@@ -653,9 +769,10 @@ func (c *Communicator) linearReduce(p *sim.Proc, rank, round, phase, si, root in
 		}
 		c.sync(p, key)
 	}
-	if vr == 0 && buf != nil {
-		orderedSum(buf[seg[0]:seg[1]], list)
+	if vr == 0 {
+		return list
 	}
+	return nil
 }
 
 // ---- ring allreduce ----
@@ -682,17 +799,20 @@ func ringChunks(seg [2]int, P int) [][2]int {
 // carrying contribution lists, a local rank-ordered combine of the owned
 // chunk, then P−1 allgather steps distributing the sums. Every step is
 // synchronized, and all P chunks are in flight per step, so the step time
-// is the largest chunk's wire time — 2(P−1)(α + ceil(n/P)β) total.
-func (c *Communicator) ringAllReduce(p *sim.Proc, rank, round, si int, buf []float32, seg [2]int) {
+// is the largest chunk's wire time — 2(P−1)(α + ceil(n/P)β) total. self is
+// this party's initial contribution list (nil = size-only); the per-element
+// combine order is the tag order of the union of lists, so chunking never
+// changes the mathematics.
+func (c *Communicator) ringAllReduce(p *sim.Proc, rank, round, si int, self []contrib, buf []float32, seg [2]int) {
 	P := len(c.parties)
 	chunks := ringChunks(seg, P)
 	next, prev := (rank+1)%P, (rank+P-1)%P
 	mod := func(x int) int { return ((x % P) + P) % P }
 
 	lists := make([][]contrib, P)
-	if buf != nil {
+	if self != nil {
 		for i, ch := range chunks {
-			lists[i] = []contrib{{rank: rank, vals: snapshot(buf[ch[0]:ch[1]])}}
+			lists[i] = clipContribs(self, seg, ch)
 		}
 	}
 	// Reduce-scatter: at step s, rank r forwards chunk (r−s)'s accumulated
@@ -705,7 +825,7 @@ func (c *Communicator) ringAllReduce(p *sim.Proc, rank, round, si int, buf []flo
 		c.send(p, rank, next, collMsg{key: key, contribs: lists[cs]},
 			c.wireOf(chunks[cs][1]-chunks[cs][0]))
 		m := c.recv(p, rank, prev, key)
-		if buf != nil {
+		if self != nil {
 			lists[cr] = mergeContribs(lists[cr], m.contribs)
 		}
 		c.sync(p, key)
@@ -739,14 +859,12 @@ func (c *Communicator) ringAllReduce(p *sim.Proc, rank, round, si int, buf []flo
 // halving — partners exchange opposite halves of their current range, so
 // message sizes fall n/2, n/4, … n/P — then allgather by recursive
 // doubling, mirroring the sizes back up. Contribution lists ride the
-// halving so each element is still combined in ascending rank order.
-func (c *Communicator) rhdAllReduce(p *sim.Proc, rank, round, si int, buf []float32, seg [2]int) {
+// halving so each element is still combined in ascending tag order. self is
+// this party's initial contribution list (nil = size-only).
+func (c *Communicator) rhdAllReduce(p *sim.Proc, rank, round, si int, self []contrib, buf []float32, seg [2]int) {
 	P := len(c.parties)
 	lo, hi := seg[0], seg[1]
-	var list []contrib
-	if buf != nil {
-		list = []contrib{{rank: rank, vals: snapshot(buf[lo:hi])}}
-	}
+	list := self
 	// restrict clips a contribution list to [nlo, nhi), given the list
 	// currently covers [lo, hi).
 	restrict := func(list []contrib, lo, nlo, nhi int) []contrib {
@@ -771,12 +889,12 @@ func (c *Communicator) rhdAllReduce(p *sim.Proc, rank, round, si int, buf []floa
 		}
 		key := collKey{round, phReduce, si, step, 0}
 		var out []contrib
-		if buf != nil {
+		if self != nil {
 			out = restrict(list, lo, sendLo, sendHi)
 		}
 		c.send(p, rank, partner, collMsg{key: key, contribs: out}, c.wireOf(sendHi-sendLo))
 		m := c.recv(p, rank, partner, key)
-		if buf != nil {
+		if self != nil {
 			list = mergeContribs(restrict(list, lo, keepLo, keepHi), m.contribs)
 		}
 		trail = append(trail, span{lo, hi})
@@ -852,26 +970,35 @@ func (c *Communicator) chainBcast(p *sim.Proc, rank, round, phase, si, root int,
 	}
 }
 
-// chainReduce streams contribution chunks up the chain last→…→root.
-func (c *Communicator) chainReduce(p *sim.Proc, rank, round, phase, si, root int, buf []float32, seg [2]int) {
+// chainGather streams contribution chunks up the chain last→…→root with no
+// round synchronization; root reassembles the chunk streams into full-range
+// contributions and returns the merged list, everyone else nil. Every chunk
+// carries the same tag set (each party's self covers the whole segment), so
+// the reassembly just concatenates each tag's chunk pieces in order.
+func (c *Communicator) chainGather(p *sim.Proc, rank, round, phase, si, root int, self []contrib, seg [2]int) []contrib {
 	P := len(c.parties)
 	vr := c.vrOf(rank, root)
+	var assembled []contrib
 	for k, ch := range c.chainChunks(seg) {
 		key := collKey{round, phase, si, 0, k}
-		var list []contrib
-		if buf != nil {
-			list = []contrib{{rank: rank, vals: snapshot(buf[ch[0]:ch[1]])}}
-		}
+		list := clipContribs(self, seg, ch)
 		if vr < P-1 {
 			m := c.recv(p, rank, c.realOf(vr+1, root), key)
-			if buf != nil {
-				list = mergeContribs(list, m.contribs)
-			}
+			list = mergeContribs(list, m.contribs)
 		}
 		if vr > 0 {
 			c.send(p, rank, c.realOf(vr-1, root), collMsg{key: key, contribs: list}, c.wireOf(ch[1]-ch[0]))
-		} else if buf != nil {
-			orderedSum(buf[ch[0]:ch[1]], list)
+		} else if list != nil {
+			if assembled == nil {
+				assembled = make([]contrib, len(list))
+				for i, cb := range list {
+					assembled[i] = contrib{rank: cb.rank, vals: make([]float32, seg[1]-seg[0])}
+				}
+			}
+			for i, cb := range list {
+				copy(assembled[i].vals[ch[0]-seg[0]:ch[1]-seg[0]], cb.vals)
+			}
 		}
 	}
+	return assembled
 }

@@ -113,3 +113,46 @@ func benchmarkBucketedAllReduce(b *testing.B, parties, elems, buckets int) {
 func BenchmarkAllReduceBucketedMono(b *testing.B) { benchmarkBucketedAllReduce(b, 8, 1<<20, 1) }
 func BenchmarkAllReduceBucketed4(b *testing.B)    { benchmarkBucketedAllReduce(b, 8, 1<<20, 4) }
 func BenchmarkAllReduceBucketed16(b *testing.B)   { benchmarkBucketedAllReduce(b, 8, 1<<20, 16) }
+
+// Hierarchical allreduce microbenchmark: the same 4 MB payload over a
+// composed 4-node × 8-GPU cluster (PCIe peer DMA inside each node, FDR
+// InfiniBand between leaders; tree intra, recursive halving/doubling
+// inter). ns/op is the real cost of simulating the two-level message
+// waves; sim_ms the simulated completion time — compare against the flat
+// 8-party schedules above, which put every byte on one link. The composed
+// α-β oracle equality is pinned by TestHierAllReduceMatchesComposedOracle,
+// bit-identity by TestHierAllReduceBitIdenticalToReduceSum.
+func BenchmarkAllReduceHier(b *testing.B) {
+	const nodes, gpus, elems = 4, 8, 1 << 20
+	var simTime float64
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		env := sim.NewEnv()
+		ml := NewMultiLevel(env, MultiLevelConfig{
+			Nodes: nodes,
+			PerNode: func(env *sim.Env, node int) *Topology {
+				return NewUniform(env, gpus, hw.GPUPeer)
+			},
+			Fabric: hw.MellanoxFDR,
+		})
+		locals := make([]int, gpus)
+		for i := range locals {
+			locals[i] = i
+		}
+		hc := NewHierCommunicator(ml.Topology(), HierConfig{
+			Groups: ml.Groups(locals...),
+			Plan:   packedPlan(elems),
+			Intra:  ScheduleTree,
+			Inter:  ScheduleRHD,
+		})
+		for r := 0; r < hc.Size(); r++ {
+			rank := r
+			env.Spawn(fmt.Sprintf("party%d", rank), func(p *sim.Proc) {
+				hc.Endpoint(rank).AllReduceSize(p, 0)
+			})
+		}
+		simTime = env.Run()
+		env.Close()
+	}
+	b.ReportMetric(simTime*1e3, "sim_ms")
+}

@@ -110,14 +110,31 @@ func RHDAllReduceTime(l Transferer, n int64, p int) float64 {
 // perNode parties), one leader per node runs the inter-node allreduce over
 // the fabric (tree over nodes), then the result fans back out locally.
 // This is how multi-GPU multi-node systems (the paper's 16-node × 2-K80
-// cluster) avoid putting every GPU on the fabric.
+// cluster) avoid putting every GPU on the fabric. It is the tree/tree case
+// of HierAllReduceTime.
 func HierarchicalAllReduceTime(intra, inter Transferer, n int64, nodes, perNode int) float64 {
+	t, _ := HierAllReduceTime(intra, inter, n, nodes, perNode, ScheduleTree, ScheduleTree)
+	return t
+}
+
+// HierAllReduceTime is the composed closed-form oracle of the hierarchical
+// allreduce: intra-node reduce + inter-node allreduce among leaders +
+// intra-node broadcast, under the given schedule pair. It is what the
+// simulated HierAllReduce completes at exactly on contention-free composed
+// topologies (the extension of invariant 1 to two levels). The second
+// return is false when either level's schedule has no closed form (the
+// pipelined chain).
+func HierAllReduceTime(intra, inter Transferer, n int64, nodes, perNode int, intraSched, interSched Schedule) (float64, bool) {
 	if nodes < 1 || perNode < 1 {
 		panic("comm: hierarchical allreduce needs nodes, perNode >= 1")
 	}
-	local := TreeReduceTime(intra, n, perNode) + TreeBroadcastTime(intra, n, perNode)
-	fabric := TreeAllReduceTime(inter, n, nodes)
-	return local + fabric
+	red, ok1 := intraSched.AnalyticReduceTime(intra, n, perNode)
+	bc, ok2 := intraSched.AnalyticBroadcastTime(intra, n, perNode)
+	fabric, ok3 := interSched.AnalyticAllReduceTime(inter, n, nodes)
+	if !ok1 || !ok2 || !ok3 {
+		return 0, false
+	}
+	return red + fabric + bc, true
 }
 
 // ReduceSum accumulates src vectors into dst elementwise, in slice order

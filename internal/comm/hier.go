@@ -1,0 +1,377 @@
+package comm
+
+import (
+	"fmt"
+
+	"scaledl/internal/sim"
+)
+
+// This file is the hierarchical (two-level) collective layer: collectives
+// over nodes×GPUs parties on a composed topology (NewMultiLevel) that never
+// put every GPU on the fabric. HierAllReduce is the classic structure of
+// multi-node multi-GPU training (the paper's 16-node clusters, FireCaffe's
+// reduction trees, NCCL's intra/inter split):
+//
+//	intra-node reduce  → the node's contributions gather at its leader
+//	inter-node allreduce → leaders combine over the fabric (any schedule)
+//	intra-node broadcast → the result fans back out inside each node
+//
+// Both pinned engine invariants extend to the composition:
+//
+//  1. Composed-oracle equality. On contention-free topologies the
+//     hierarchical collectives complete at exactly
+//     intra-reduce + inter-allreduce + intra-broadcast of the closed-form
+//     α-β formulas (HierAllReduceTime), for every round-synchronized
+//     (intra, inter) schedule pair.
+//  2. Ordered reduction. The intra phase gathers rank-tagged contribution
+//     lists (tagged with *global* ranks) instead of partial sums, the
+//     inter phase carries whole lists through any schedule
+//     (allReduceListSeg), and the final combine runs in ascending global
+//     rank order — so HierAllReduce is bit-identical to ReduceSum over all
+//     parties in rank order, for EVERY (intra, inter) schedule pair,
+//     including the Range/bucketed variants the streaming pipeline uses.
+//     Wire cost still charges one partial-sum-sized payload per message,
+//     exactly like the real algorithm the timing models.
+
+// HierConfig configures a HierCommunicator.
+type HierConfig struct {
+	// Groups lists each node's party topology ids in local-rank order;
+	// global rank is position in the concatenation (MultiLevel.Groups
+	// builds this for a homogeneous cluster).
+	Groups [][]int
+	// Leader is the local rank of each group's fabric endpoint (default 0).
+	Leader int
+	// Plan is the shared message plan (same semantics as CommConfig.Plan).
+	Plan Plan
+	// Intra and Inter select the schedules of the two levels: Intra shapes
+	// the node-local reduce/broadcast (ring and RHD, allreduce shapes, fall
+	// back to the tree there, as in the flat engine), Inter the leader
+	// allreduce over the fabric.
+	Intra, Inter Schedule
+	// ChunkElems is the chain schedules' pipeline granularity.
+	ChunkElems int
+	// Wire is the per-message wire-size model (nil = raw fp32).
+	Wire WireFunc
+	// Tag namespaces the composed communicators' messages; the hier
+	// communicator uses Tag+1 (intra) and Tag+2 (inter), leaving Tag+0 for
+	// a flat communicator sharing the topology. Default 0.
+	Tag int
+}
+
+// HierCommunicator runs two-level collectives among nodes×group parties.
+// Round-number semantics match Communicator: every party issues the same
+// sequence with matching rounds, and distinct concurrent collectives
+// (e.g. overlapped buckets) use distinct rounds.
+type HierCommunicator struct {
+	plan    Plan
+	leader  int
+	intra   []*Communicator
+	inter   *Communicator
+	groupOf []int // global rank -> group index
+	localOf []int // global rank -> local rank within the group
+	rankOf  [][]int
+}
+
+// NewHierCommunicator composes intra-node communicators (one per group,
+// contributions tagged with global ranks) and an inter-node communicator
+// over the group leaders.
+func NewHierCommunicator(t *Topology, cfg HierConfig) *HierCommunicator {
+	if len(cfg.Groups) < 1 {
+		panic("comm: hierarchical communicator needs at least one group")
+	}
+	hc := &HierCommunicator{plan: cfg.Plan, leader: cfg.Leader}
+	var leaders, leaderTags []int
+	next := 0
+	for g, group := range cfg.Groups {
+		if len(group) < 1 {
+			panic(fmt.Sprintf("comm: group %d is empty", g))
+		}
+		if cfg.Leader < 0 || cfg.Leader >= len(group) {
+			panic(fmt.Sprintf("comm: leader rank %d outside group %d of %d", cfg.Leader, g, len(group)))
+		}
+		tags := make([]int, len(group))
+		ranks := make([]int, len(group))
+		for l := range group {
+			tags[l] = next
+			ranks[l] = next
+			hc.groupOf = append(hc.groupOf, g)
+			hc.localOf = append(hc.localOf, l)
+			next++
+		}
+		hc.rankOf = append(hc.rankOf, ranks)
+		hc.intra = append(hc.intra, NewCommunicator(t, CommConfig{
+			Parties:    group,
+			Plan:       cfg.Plan,
+			Schedule:   cfg.Intra,
+			ChunkElems: cfg.ChunkElems,
+			Wire:       cfg.Wire,
+			Tag:        cfg.Tag + 1,
+			RankTags:   tags,
+		}))
+		leaders = append(leaders, group[cfg.Leader])
+		leaderTags = append(leaderTags, ranks[cfg.Leader])
+	}
+	hc.inter = NewCommunicator(t, CommConfig{
+		Parties:    leaders,
+		Plan:       cfg.Plan,
+		Schedule:   cfg.Inter,
+		ChunkElems: cfg.ChunkElems,
+		Wire:       cfg.Wire,
+		Tag:        cfg.Tag + 2,
+		RankTags:   leaderTags,
+	})
+	return hc
+}
+
+// Size returns the total party count over all groups.
+func (hc *HierCommunicator) Size() int { return len(hc.groupOf) }
+
+// NumGroups returns the node-group count.
+func (hc *HierCommunicator) NumGroups() int { return len(hc.intra) }
+
+// Plan returns the shared message plan.
+func (hc *HierCommunicator) Plan() Plan { return hc.plan }
+
+// Intra returns group g's node-local communicator — the building block the
+// hierarchical EASGD algorithms drive directly for group-center syncs.
+func (hc *HierCommunicator) Intra(g int) *Communicator { return hc.intra[g] }
+
+// Inter returns the leader communicator over the fabric.
+func (hc *HierCommunicator) Inter() *Communicator { return hc.inter }
+
+// GroupOf returns the group index of a global rank.
+func (hc *HierCommunicator) GroupOf(rank int) int { return hc.groupOf[rank] }
+
+// LocalOf returns the local (within-group) rank of a global rank.
+func (hc *HierCommunicator) LocalOf(rank int) int { return hc.localOf[rank] }
+
+// IsLeader reports whether the global rank is its group's fabric leader.
+func (hc *HierCommunicator) IsLeader(rank int) bool { return hc.localOf[rank] == hc.leader }
+
+// LeaderRank returns the global rank of group g's leader.
+func (hc *HierCommunicator) LeaderRank(g int) int { return hc.rankOf[g][hc.leader] }
+
+// BytesMoved reports the underlying topology's cumulative wire bytes.
+func (hc *HierCommunicator) BytesMoved() int64 { return hc.inter.topo.BytesMoved() }
+
+// Endpoint returns global rank's handle.
+func (hc *HierCommunicator) Endpoint(rank int) *HierEndpoint {
+	if rank < 0 || rank >= hc.Size() {
+		panic(fmt.Sprintf("comm: endpoint %d of %d parties", rank, hc.Size()))
+	}
+	return &HierEndpoint{hc: hc, rank: rank}
+}
+
+// HierEndpoint is one party's handle into a HierCommunicator. It mirrors
+// Endpoint's collective surface (AllReduce / Broadcast / Reduce plus Size
+// and Range variants), so the streaming pipeline can drive hierarchical
+// collectives exactly as it drives flat ones.
+type HierEndpoint struct {
+	hc   *HierCommunicator
+	rank int
+}
+
+// Rank returns the global party rank.
+func (ep *HierEndpoint) Rank() int { return ep.rank }
+
+// phHand is the extra phase of the hierarchical root hand-off hops (a
+// non-leader root passing its payload to — or receiving the gathered list
+// from — its group's leader).
+const phHand = 2
+
+// stage charges the unpacked plan's gather staging for n bytes (every party
+// concurrently), mirroring Communicator.stageBytes.
+func (hc *HierCommunicator) stageBytes(p *sim.Proc, n int64) {
+	if !hc.plan.Packed && hc.plan.GatherBW > 0 && len(hc.plan.LayerBytes) > 0 {
+		p.Delay(float64(n) / hc.plan.GatherBW)
+	}
+}
+
+func (hc *HierCommunicator) checkBuf(buf []float32) {
+	if buf != nil && int64(len(buf))*4 != hc.plan.TotalBytes() {
+		panic(fmt.Sprintf("comm: buffer of %d elements does not match plan of %d bytes",
+			len(buf), hc.plan.TotalBytes()))
+	}
+}
+
+func (hc *HierCommunicator) checkRange(buf []float32, lo, hi int) {
+	hc.checkBuf(buf)
+	if lo < 0 || hi < lo || int64(hi)*4 > hc.plan.TotalBytes() {
+		panic(fmt.Sprintf("comm: range [%d,%d) outside plan of %d bytes", lo, hi, hc.plan.TotalBytes()))
+	}
+}
+
+// ---- public collectives ----
+
+// AllReduce leaves every party's buf holding the rank-ordered sum of all
+// parties' contributions — bit-identical to the flat engine's AllReduce
+// (and to ReduceSum in rank order) for every (intra, inter) schedule pair.
+func (ep *HierEndpoint) AllReduce(p *sim.Proc, round int, buf []float32) {
+	ep.hc.checkBuf(buf)
+	ep.hc.allReduce(p, ep.rank, round, buf)
+}
+
+// AllReduceSize walks the same message schedule moving no data.
+func (ep *HierEndpoint) AllReduceSize(p *sim.Proc, round int) {
+	ep.hc.allReduce(p, ep.rank, round, nil)
+}
+
+// AllReduceRange allreduces buf[lo:hi] as one segment — the streaming
+// pipeline's bucketed collective, hierarchical for free.
+func (ep *HierEndpoint) AllReduceRange(p *sim.Proc, round int, buf []float32, lo, hi int) {
+	ep.hc.checkRange(buf, lo, hi)
+	if ep.hc.Size() == 1 {
+		return
+	}
+	ep.hc.stageBytes(p, int64(hi-lo)*4)
+	ep.hc.allReduceSeg(p, ep.rank, round, 0, buf, [2]int{lo, hi})
+}
+
+// Broadcast distributes root's buf to every party: the root hands its
+// payload to its group leader (free when the root is a leader), leaders
+// broadcast over the fabric, and every group fans out locally.
+func (ep *HierEndpoint) Broadcast(p *sim.Proc, round, root int, buf []float32) {
+	ep.hc.checkBuf(buf)
+	ep.hc.bcast(p, ep.rank, round, root, buf)
+}
+
+// BroadcastSize is the size-only Broadcast.
+func (ep *HierEndpoint) BroadcastSize(p *sim.Proc, round, root int) {
+	ep.hc.bcast(p, ep.rank, round, root, nil)
+}
+
+// BroadcastRange distributes root's buf[lo:hi] as one segment.
+func (ep *HierEndpoint) BroadcastRange(p *sim.Proc, round, root int, buf []float32, lo, hi int) {
+	ep.hc.checkRange(buf, lo, hi)
+	if ep.hc.Size() == 1 {
+		return
+	}
+	ep.hc.stageBytes(p, int64(hi-lo)*4)
+	ep.hc.bcastSeg(p, ep.rank, round, 0, root, buf, [2]int{lo, hi})
+}
+
+// Reduce combines every party's contribution at root (rank-ordered sum,
+// bit-identical to ReduceSum; other bufs unchanged): intra gathers to the
+// leaders, leaders gather over the fabric to the root's leader, which hands
+// the assembled list to a non-leader root.
+func (ep *HierEndpoint) Reduce(p *sim.Proc, round, root int, buf []float32) {
+	ep.hc.checkBuf(buf)
+	ep.hc.reduce(p, ep.rank, round, root, buf)
+}
+
+// ReduceSize is the size-only Reduce.
+func (ep *HierEndpoint) ReduceSize(p *sim.Proc, round, root int) {
+	ep.hc.reduce(p, ep.rank, round, root, nil)
+}
+
+// ReduceRange reduces buf[lo:hi] to root as one segment.
+func (ep *HierEndpoint) ReduceRange(p *sim.Proc, round, root int, buf []float32, lo, hi int) {
+	ep.hc.checkRange(buf, lo, hi)
+	if ep.hc.Size() == 1 {
+		return
+	}
+	ep.hc.stageBytes(p, int64(hi-lo)*4)
+	ep.hc.reduceSeg(p, ep.rank, round, 0, root, buf, [2]int{lo, hi})
+}
+
+// ---- dispatch ----
+
+func (hc *HierCommunicator) allReduce(p *sim.Proc, rank, round int, buf []float32) {
+	if hc.Size() == 1 {
+		return
+	}
+	hc.stageBytes(p, hc.plan.TotalBytes())
+	for si, seg := range planSegments(hc.plan) {
+		hc.allReduceSeg(p, rank, round, si, buf, seg)
+	}
+}
+
+// allReduceSeg runs one segment's two-level allreduce: intra gather to the
+// leader, inter allreduce of the gathered lists among leaders, intra
+// broadcast of the combined range.
+func (hc *HierCommunicator) allReduceSeg(p *sim.Proc, rank, round, si int, buf []float32, seg [2]int) {
+	g, local := hc.groupOf[rank], hc.localOf[rank]
+	ic := hc.intra[g]
+	self := ic.selfContrib(local, buf, seg)
+	list := ic.gatherSeg(p, local, round, phReduce, si, hc.leader, self, seg)
+	if local == hc.leader {
+		hc.inter.allReduceListSeg(p, g, round, si, list, buf, seg)
+	}
+	ic.bcastSeg(p, local, round, si, hc.leader, buf, seg)
+}
+
+func (hc *HierCommunicator) bcast(p *sim.Proc, rank, round, root int, buf []float32) {
+	if hc.Size() == 1 {
+		return
+	}
+	hc.stageBytes(p, hc.plan.TotalBytes())
+	for si, seg := range planSegments(hc.plan) {
+		hc.bcastSeg(p, rank, round, si, root, buf, seg)
+	}
+}
+
+func (hc *HierCommunicator) bcastSeg(p *sim.Proc, rank, round, si, root int, buf []float32, seg [2]int) {
+	g, local := hc.groupOf[rank], hc.localOf[rank]
+	rg := hc.groupOf[root]
+	ic := hc.intra[g]
+	elems := seg[1] - seg[0]
+	// Hand-off: a non-leader root passes the segment to its group's leader.
+	if !hc.IsLeader(root) {
+		key := collKey{round, phHand, si, 0, 0}
+		switch rank {
+		case root:
+			var data []float32
+			if buf != nil {
+				data = snapshot(buf[seg[0]:seg[1]])
+			}
+			ic.send(p, local, hc.leader, collMsg{key: key, data: data}, ic.wireOf(elems))
+		case hc.LeaderRank(rg):
+			m := ic.recv(p, local, hc.localOf[root], key)
+			if buf != nil {
+				copy(buf[seg[0]:seg[1]], m.data)
+			}
+		}
+	}
+	// Leaders broadcast over the fabric from the root's group.
+	if local == hc.leader {
+		hc.inter.bcastSeg(p, g, round, si, rg, buf, seg)
+	}
+	// Every group fans out locally from its leader.
+	ic.bcastSeg(p, local, round, si, hc.leader, buf, seg)
+}
+
+func (hc *HierCommunicator) reduce(p *sim.Proc, rank, round, root int, buf []float32) {
+	if hc.Size() == 1 {
+		return
+	}
+	hc.stageBytes(p, hc.plan.TotalBytes())
+	for si, seg := range planSegments(hc.plan) {
+		hc.reduceSeg(p, rank, round, si, root, buf, seg)
+	}
+}
+
+func (hc *HierCommunicator) reduceSeg(p *sim.Proc, rank, round, si, root int, buf []float32, seg [2]int) {
+	g, local := hc.groupOf[rank], hc.localOf[rank]
+	rg := hc.groupOf[root]
+	ic := hc.intra[g]
+	self := ic.selfContrib(local, buf, seg)
+	list := ic.gatherSeg(p, local, round, phReduce, si, hc.leader, self, seg)
+	if local == hc.leader {
+		list = hc.inter.gatherSeg(p, g, round, phReduce, si, rg, list, seg)
+	}
+	// Hand-off: the root group's leader passes the assembled list to a
+	// non-leader root (one segment-sized wire message, like the real
+	// partial-sum hop it models).
+	if !hc.IsLeader(root) {
+		key := collKey{round, phHand, si, 1, 0} // step 1: distinct from the broadcast hand-off
+		switch rank {
+		case hc.LeaderRank(rg):
+			ic.send(p, local, hc.localOf[root], collMsg{key: key, contribs: list}, ic.wireOf(seg[1]-seg[0]))
+		case root:
+			list = ic.recv(p, local, hc.leader, key).contribs
+		}
+	}
+	if rank == root && buf != nil {
+		orderedSum(buf[seg[0]:seg[1]], list)
+	}
+}

@@ -1,0 +1,161 @@
+package comm
+
+import (
+	"fmt"
+
+	"scaledl/internal/sim"
+)
+
+// This file composes flat intra-node topologies into the two-level clusters
+// the paper runs on: multi-GPU nodes whose GPUs sit behind a PCIe tree,
+// joined by an Aries or InfiniBand fabric. Every topology the repo
+// simulated before this was flat — intra-node and inter-node bytes were
+// charged identically — whereas the paper's Fig. 12/13-style multi-node
+// efficiencies hinge on exactly that asymmetry. NewMultiLevel grafts one
+// sub-topology per node (built by any existing constructor: NewPCIeTree,
+// NewUniform, NewBus) under an inter-node α-β fabric, with an optional
+// per-node NIC concurrency bound so a node's concurrent fabric streams
+// contend for its single port — the effect that makes flat collectives
+// collapse at scale and hierarchical ones win (FireCaffe's reduction-tree
+// argument, Poseidon's hybrid intra/inter-node communication).
+
+// MultiLevelConfig describes a two-level cluster composition.
+type MultiLevelConfig struct {
+	// Nodes is the machine count; PerNode is invoked once per node to build
+	// its intra-node sub-topology on the shared environment. Every node's
+	// sub-topology must have the same size (homogeneous cluster).
+	Nodes   int
+	PerNode func(env *sim.Env, node int) *Topology
+	// Fabric is the inter-node link: every cross-node pair of sub-topology
+	// nodes is wired through it (the model charges the fabric end to end;
+	// the intra-node hops to reach the NIC are folded into its α).
+	Fabric Transferer
+	// Leader is the local rank that acts as each node's fabric endpoint in
+	// hierarchical collectives (default 0; metadata consumed by
+	// HierConfig/LeaderID, the fabric itself connects all pairs).
+	Leader int
+	// NICConcurrency bounds how many fabric transfers one node carries at
+	// once (its network port). 0 means unconstrained — the analytic model's
+	// assumption; 1 models the single-port nodes of the paper's clusters,
+	// making a flat collective's many concurrent per-GPU fabric streams
+	// serialize while a hierarchical one sends a single leader stream.
+	NICConcurrency int
+}
+
+// MultiLevel is a composed two-level topology: nodes×perNode sub-nodes with
+// intra-node paths taken from the per-node sub-topologies and cross-node
+// paths riding the fabric. The underlying flat Topology is exposed so both
+// flat communicators (every GPU on the fabric — the baseline) and
+// hierarchical ones (leaders only) can run on the same wires.
+type MultiLevel struct {
+	topo    *Topology
+	nodes   int
+	perNode int
+	leader  int
+}
+
+// NewMultiLevel builds the composed topology.
+func NewMultiLevel(env *sim.Env, cfg MultiLevelConfig) *MultiLevel {
+	if cfg.Nodes < 1 {
+		panic("comm: multi-level topology needs at least one node")
+	}
+	if cfg.PerNode == nil || cfg.Fabric == nil {
+		panic("comm: multi-level topology needs a PerNode builder and a Fabric link")
+	}
+	subs := make([]*Topology, cfg.Nodes)
+	for i := range subs {
+		subs[i] = cfg.PerNode(env, i)
+		if subs[i].Nodes() != subs[0].Nodes() {
+			panic(fmt.Sprintf("comm: per-node sub-topologies differ in size (%d vs %d)",
+				subs[i].Nodes(), subs[0].Nodes()))
+		}
+	}
+	k := subs[0].Nodes()
+	if cfg.Leader < 0 || cfg.Leader >= k {
+		panic(fmt.Sprintf("comm: leader rank %d outside sub-topology of %d", cfg.Leader, k))
+	}
+	t := NewTopology(env, cfg.Nodes*k)
+	// Graft each node's intra paths (links and shared segments carry over,
+	// so switch contention inside a node survives the composition).
+	for g, sub := range subs {
+		base := g * k
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				if pth := sub.paths[i][j]; pth.Link != nil {
+					t.paths[base+i][base+j] = pth
+				}
+			}
+		}
+	}
+	// Cross-node paths ride the fabric, through both endpoints' NICs when
+	// bounded. NICs are acquired in ascending node order — a global order
+	// over the shared segments — so concurrent transfers cannot deadlock.
+	var nics []*sim.Resource
+	if cfg.NICConcurrency > 0 {
+		nics = make([]*sim.Resource, cfg.Nodes)
+		for i := range nics {
+			nics[i] = sim.NewResource(env, fmt.Sprintf("nic%d", i), cfg.NICConcurrency)
+		}
+	}
+	for a := 0; a < cfg.Nodes; a++ {
+		for b := 0; b < cfg.Nodes; b++ {
+			if a == b {
+				continue
+			}
+			var via []*sim.Resource
+			if nics != nil {
+				lo, hi := a, b
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				via = []*sim.Resource{nics[lo], nics[hi]}
+			}
+			for i := 0; i < k; i++ {
+				for j := 0; j < k; j++ {
+					t.SetPath(a*k+i, b*k+j, cfg.Fabric, via...)
+				}
+			}
+		}
+	}
+	return &MultiLevel{topo: t, nodes: cfg.Nodes, perNode: k, leader: cfg.Leader}
+}
+
+// Topology returns the composed flat topology the collectives run on.
+func (m *MultiLevel) Topology() *Topology { return m.topo }
+
+// NodeCount returns the machine count (the number of sub-topologies).
+func (m *MultiLevel) NodeCount() int { return m.nodes }
+
+// PerNode returns the size of one node's sub-topology.
+func (m *MultiLevel) PerNode() int { return m.perNode }
+
+// GlobalID maps (node, local sub-topology rank) to the composed node id.
+func (m *MultiLevel) GlobalID(node, local int) int {
+	if node < 0 || node >= m.nodes || local < 0 || local >= m.perNode {
+		panic(fmt.Sprintf("comm: (%d,%d) outside %d nodes of %d", node, local, m.nodes, m.perNode))
+	}
+	return node*m.perNode + local
+}
+
+// LeaderID returns the composed node id of a node's fabric leader.
+func (m *MultiLevel) LeaderID(node int) int { return m.GlobalID(node, m.leader) }
+
+// Group maps a list of local ranks to one node's composed ids — the party
+// list of that node's intra communicator.
+func (m *MultiLevel) Group(node int, locals ...int) []int {
+	out := make([]int, len(locals))
+	for i, l := range locals {
+		out[i] = m.GlobalID(node, l)
+	}
+	return out
+}
+
+// Groups builds every node's party list from the same local ranks — the
+// Groups field of a HierConfig over a homogeneous cluster.
+func (m *MultiLevel) Groups(locals ...int) [][]int {
+	out := make([][]int, m.nodes)
+	for g := range out {
+		out[g] = m.Group(g, locals...)
+	}
+	return out
+}

@@ -39,6 +39,16 @@ type Platform struct {
 	// transfers never queue. Setting it below Workers/2 makes switch
 	// contention emerge in the simulated collectives.
 	SwitchConcurrency int
+	// Fabric joins nodes in hierarchical (Nodes × GPUsPerNode) runs: every
+	// cross-node transfer rides it instead of the intra-node links. nil
+	// defaults to Mellanox FDR InfiniBand (Table 2's fastest fabric).
+	Fabric comm.Transferer
+	// NICConcurrency bounds how many fabric transfers one node carries at
+	// once (its network port; 2 models one full-duplex port). 0 is
+	// unconstrained — the flat model's assumption that a collective's
+	// concurrent per-GPU fabric streams never queue, which is exactly the
+	// assumption the hierarchical collectives exist to drop.
+	NICConcurrency int
 }
 
 // topology builds the simulated message fabric for a run: the paper's
@@ -56,6 +66,30 @@ func (p Platform) topology(env *sim.Env, workers int, hostStaged bool) *comm.Top
 	})
 }
 
+// hierTopology composes the two-level cluster of the hierarchical
+// algorithms: one PCIe tree per node (the single-node topology above,
+// unchanged) under the platform's fabric, with the per-node NIC bound.
+func (p Platform) hierTopology(env *sim.Env, nodes, gpusPerNode int, hostStaged bool) *comm.MultiLevel {
+	fabric := p.Fabric
+	if fabric == nil {
+		fabric = hw.MellanoxFDR
+	}
+	return comm.NewMultiLevel(env, comm.MultiLevelConfig{
+		Nodes: nodes,
+		PerNode: func(env *sim.Env, node int) *comm.Topology {
+			return comm.NewPCIeTree(env, comm.PCIeConfig{
+				GPUs:              gpusPerNode,
+				Host:              p.HostParam,
+				Peer:              p.PeerParam,
+				HostStaged:        hostStaged,
+				SwitchConcurrency: p.SwitchConcurrency,
+			})
+		},
+		Fabric:         fabric,
+		NICConcurrency: p.NICConcurrency,
+	})
+}
+
 // DefaultGPUPlatform models the paper's 4-GPU experiment node (Tesla M40s
 // behind a 96-lane PCIe switch): pageable per-layer host transfers for the
 // legacy algorithms, pinned packed transfers plus peer-to-peer DMA for the
@@ -68,6 +102,10 @@ func DefaultGPUPlatform(packed bool) Platform {
 		Data:      hw.PCIePinned,
 		Packed:    packed,
 		GatherBW:  6e9,
+		// Multi-node runs join these nodes over FDR InfiniBand through one
+		// full-duplex port per node (the paper's 16-node GPU cluster).
+		Fabric:         hw.MellanoxFDR,
+		NICConcurrency: 2,
 	}
 	if packed {
 		p.HostParam = hw.PCIePinned
@@ -150,6 +188,27 @@ type Config struct {
 	// sizes below the smallest layer degrade to one bucket per layer, sizes
 	// above the model total to the monolithic single bucket.
 	BucketBytes int64
+	// Nodes and GPUsPerNode select the hierarchical two-level cluster of
+	// the hier methods (hier-sync-sgd, hier-sync-easgd): Nodes machines of
+	// GPUsPerNode workers each, composed as per-node PCIe trees under the
+	// platform's Fabric. Workers is then Nodes×GPUsPerNode (Validate fills
+	// it in when zero and rejects a mismatch). Both zero means flat — every
+	// other method ignores these.
+	Nodes       int
+	GPUsPerNode int
+	// HierSchedule selects the inter-node (fabric) collective schedule of
+	// the hierarchical methods; Schedule keeps selecting the intra-node
+	// one. Recursive halving/doubling among leaders is the strong default
+	// regime on saturating fabrics (see the hier harness experiment).
+	HierSchedule comm.Schedule
+	// TauLocal and TauGlobal pace hier-sync-easgd's node-group elastic
+	// averaging: workers run local SGD steps, every TauLocal-th step each
+	// node group syncs with its group center over the intra-node links, and
+	// every TauGlobal-th step the group centers sync with the replicated
+	// global center over the fabric. Defaults: TauLocal 1, TauGlobal
+	// 4·TauLocal. TauGlobal must be ≥ TauLocal; hier-sync-sgd ignores both.
+	TauLocal  int
+	TauGlobal int
 }
 
 // DefaultBucketBytes is the streaming pipeline's bucket coalescing default:
@@ -162,6 +221,25 @@ const DefaultBucketBytes = 1 << 20
 func (c *Config) Validate() error {
 	if c.Train == nil || c.Train.Len() == 0 {
 		return fmt.Errorf("core: config needs a non-empty training set")
+	}
+	if c.Nodes != 0 || c.GPUsPerNode != 0 {
+		if c.Nodes < 1 || c.GPUsPerNode < 1 {
+			return fmt.Errorf("core: hierarchical config needs both Nodes and GPUsPerNode >= 1, got %d x %d", c.Nodes, c.GPUsPerNode)
+		}
+		if c.Workers == 0 {
+			c.Workers = c.Nodes * c.GPUsPerNode
+		} else if c.Workers != c.Nodes*c.GPUsPerNode {
+			return fmt.Errorf("core: workers %d does not match nodes x gpus-per-node %d x %d", c.Workers, c.Nodes, c.GPUsPerNode)
+		}
+	}
+	if c.TauLocal == 0 {
+		c.TauLocal = 1
+	}
+	if c.TauGlobal == 0 {
+		c.TauGlobal = 4 * c.TauLocal
+	}
+	if c.TauLocal < 1 || c.TauGlobal < c.TauLocal {
+		return fmt.Errorf("core: need TauGlobal >= TauLocal >= 1, got %d / %d", c.TauLocal, c.TauGlobal)
 	}
 	if c.Workers < 1 {
 		return fmt.Errorf("core: workers must be >= 1, got %d", c.Workers)
@@ -222,14 +300,18 @@ var Methods = map[string]Runner{
 	"sync-easgd1":     SyncEASGD1,
 	"sync-easgd2":     SyncEASGD2,
 	"sync-easgd3":     SyncEASGD3,
+	"hier-sync-sgd":   HierSyncSGD,
+	"hier-sync-easgd": HierSyncEASGD,
 }
 
-// MethodNames lists the registry in the paper's presentation order.
+// MethodNames lists the registry in the paper's presentation order, with
+// the hierarchical multi-node extensions last.
 func MethodNames() []string {
 	return []string{
 		"original-easgd*", "original-easgd",
 		"async-sgd", "async-msgd", "hogwild-sgd", "sync-sgd",
 		"async-easgd", "async-measgd", "hogwild-easgd",
 		"sync-easgd1", "sync-easgd2", "sync-easgd3",
+		"hier-sync-sgd", "hier-sync-easgd",
 	}
 }

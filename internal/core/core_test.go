@@ -45,6 +45,11 @@ func TestAllMethodsRunAndLearn(t *testing.T) {
 				// reports for Async MSGD). Use a stable step for this test.
 				cfg.LR = 0.01
 			}
+			if name == "hier-sync-sgd" || name == "hier-sync-easgd" {
+				// The hierarchical methods train over a 2-node × 2-GPU
+				// composed cluster (same 4 workers as the flat runs).
+				cfg.Nodes, cfg.GPUsPerNode = 2, 2
+			}
 			res, err := Methods[name](cfg)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)

@@ -47,6 +47,9 @@ func TestParallelExecutionBitIdenticalToSerial(t *testing.T) {
 				if name == "async-msgd" || name == "async-measgd" {
 					cfg.LR = 0.01
 				}
+				if name == "hier-sync-sgd" || name == "hier-sync-easgd" {
+					cfg.Nodes, cfg.GPUsPerNode = 2, 2
+				}
 				return Methods[name](cfg)
 			}
 			serial, parallel := runSerialAndParallel(t, mk)

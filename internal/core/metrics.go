@@ -158,7 +158,13 @@ type Result struct {
 	FinalLoss  float64
 	Curve      []Point
 	Samples    int64 // total training samples consumed
+	// MasterUpdates counts center-weight updates performed (global-center
+	// syncs for the hierarchical EASGD, master iterations elsewhere).
+	MasterUpdates int64
 }
+
+// Updates returns the master-side update count.
+func (r Result) Updates() int64 { return r.MasterUpdates }
 
 // ErrorRate returns 1 − FinalAcc, the quantity Figure 8 plots (log10).
 func (r Result) ErrorRate() float64 { return 1 - r.FinalAcc }

@@ -218,6 +218,34 @@ func runSyncEASGD(cfg Config, name string, opt syncOpts) (Result, error) {
 	return rc.finish(name, end), nil
 }
 
+// gradAllReducer is the collective surface the data-parallel SGD loop
+// drives: a flat comm.Endpoint or a hierarchical comm.HierEndpoint — the
+// worker loop is identical either way, which is what makes the hierarchical
+// variant bit-identical to the flat one by construction.
+type gradAllReducer interface {
+	AllReduce(p *sim.Proc, round int, buf []float32)
+	AllReduceRange(p *sim.Proc, round int, buf []float32, lo, hi int)
+}
+
+// syncSGDWire prepares the gradient message plan of a data-parallel run:
+// the run plan, or the packed single-residual plan plus per-worker
+// error-feedback quantizers under Config.Compression.
+func (rc *runContext) syncSGDWire() (comm.Plan, comm.WireFunc, []*quant.Quantizer) {
+	cfg := rc.cfg
+	if cfg.Compression == quant.None {
+		return rc.plan, nil, nil
+	}
+	// Compressed gradients travel as one packed message (the residual
+	// layout of 1-bit SGD); each message's wire size is the scheme's.
+	plan := comm.Plan{LayerBytes: []int64{rc.paramBytes}, Packed: true}
+	wire := func(elems int) int64 { return quant.WireBytes(cfg.Compression, elems) }
+	quantizers := make([]*quant.Quantizer, cfg.Workers)
+	for i := range quantizers {
+		quantizers[i] = quant.New(cfg.Compression, len(rc.center))
+	}
+	return plan, wire, quantizers
+}
+
 // SyncSGD is synchronous data-parallel SGD: gradients are allreduced under
 // Config.Schedule (tree by default) and all replicas take the same
 // averaged step. The center weight is the (identical) replica weight.
@@ -239,23 +267,23 @@ func SyncSGD(cfg Config) (Result, error) {
 	defer env.Close()
 
 	topo := cfg.Platform.topology(env, cfg.Workers, true)
-	parties := comm.Ranks(cfg.Workers)
-	plan := rc.plan
-	var wire comm.WireFunc
-	var quantizers []*quant.Quantizer
-	if cfg.Compression != quant.None {
-		// Compressed gradients travel as one packed message (the residual
-		// layout of 1-bit SGD); each message's wire size is the scheme's.
-		plan = comm.Plan{LayerBytes: []int64{rc.paramBytes}, Packed: true}
-		wire = func(elems int) int64 { return quant.WireBytes(cfg.Compression, elems) }
-		quantizers = make([]*quant.Quantizer, cfg.Workers)
-		for i := range quantizers {
-			quantizers[i] = quant.New(cfg.Compression, len(rc.center))
-		}
-	}
+	plan, wire, quantizers := rc.syncSGDWire()
 	cm := comm.NewCommunicator(topo, comm.CommConfig{
-		Parties: parties, Plan: plan, Schedule: cfg.Schedule, Wire: wire,
+		Parties: comm.Ranks(cfg.Workers), Plan: plan, Schedule: cfg.Schedule, Wire: wire,
 	})
+	eps := make([]gradAllReducer, cfg.Workers)
+	for i := range eps {
+		eps[i] = cm.Endpoint(i)
+	}
+	end := rc.runSyncSGDWorkers(env, plan, eps, quantizers, topo.BytesMoved)
+	return rc.finish("sync-sgd", end), nil
+}
+
+// runSyncSGDWorkers spawns the data-parallel worker processes and runs the
+// iteration loop over the given collective endpoints (flat or
+// hierarchical), returning the simulated end time.
+func (rc *runContext) runSyncSGDWorkers(env *sim.Env, plan comm.Plan, eps []gradAllReducer, quantizers []*quant.Quantizer, bytesMoved func() int64) float64 {
+	cfg := rc.cfg
 	stream := rc.newStream(plan)
 	nb := stream.bz.NumBuckets()
 
@@ -270,7 +298,7 @@ func SyncSGD(cfg Config) (Result, error) {
 	for i := 0; i < cfg.Workers; i++ {
 		i := i
 		w := rc.workers[i]
-		ep := cm.Endpoint(i)
+		ep := eps[i]
 		var crew *bucketCrew
 		if cfg.Overlap {
 			crew = newBucketCrew(env, fmt.Sprintf("gpu%d", i), maxInFlightBuckets)
@@ -364,7 +392,7 @@ func SyncSGD(cfg Config) (Result, error) {
 					rc.bd.Add(CatCPUGPUParam, p.Now()-tB)
 					// Post-barrier, every rank's sends — including the chain
 					// tail hops — have been charged.
-					rc.bd.AddBytes(CatCPUGPUParam, topo.BytesMoved()-rc.bd.ParamTraffic())
+					rc.bd.AddBytes(CatCPUGPUParam, bytesMoved()-rc.bd.ParamTraffic())
 				}
 				if rc.stopped {
 					return
@@ -373,6 +401,5 @@ func SyncSGD(cfg Config) (Result, error) {
 		})
 	}
 
-	end := env.Run()
-	return rc.finish("sync-sgd", end), nil
+	return env.Run()
 }

@@ -275,14 +275,15 @@ func (rc *runContext) finish(method string, simTime float64) Result {
 	}
 	lastLoss /= float64(len(rc.workers))
 	return Result{
-		Method:     method,
-		Workers:    rc.cfg.Workers,
-		Iterations: rc.cfg.Iterations,
-		SimTime:    simTime,
-		Breakdown:  rc.bd,
-		FinalAcc:   rc.evalCenter(),
-		FinalLoss:  lastLoss,
-		Curve:      rc.curve,
-		Samples:    rc.samples,
+		Method:        method,
+		Workers:       rc.cfg.Workers,
+		Iterations:    rc.cfg.Iterations,
+		SimTime:       simTime,
+		Breakdown:     rc.bd,
+		FinalAcc:      rc.evalCenter(),
+		FinalLoss:     lastLoss,
+		Curve:         rc.curve,
+		Samples:       rc.samples,
+		MasterUpdates: rc.updates,
 	}
 }

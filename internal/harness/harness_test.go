@@ -4,12 +4,15 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"scaledl/internal/comm"
+	"scaledl/internal/nn"
 )
 
 func TestRegistryCompleteAndSorted(t *testing.T) {
 	want := []string{"ablation", "batch", "fig10", "fig11", "fig12", "fig13",
-		"fig6.1", "fig6.2", "fig6.3", "fig6.4", "fig8", "knlmodes", "lowprec",
-		"overlap", "table2", "table3", "table4"}
+		"fig6.1", "fig6.2", "fig6.3", "fig6.4", "fig8", "hier", "knlmodes",
+		"lowprec", "overlap", "table2", "table3", "table4"}
 	got := List()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -355,6 +358,51 @@ func TestFig6PanelsOursBeatBaselines(t *testing.T) {
 		if ov > bv {
 			t.Errorf("%s: %s (%v) slower than %s (%v)", panel.id, panel.ours, ov, panel.baseline, bv)
 		}
+	}
+}
+
+// The hier experiment's acceptance claim: at 4 nodes × 8 GPUs on the
+// composed PCIe+Aries cluster, the best hierarchical schedule pair beats
+// the best flat schedule in simulated time (and everything beats the
+// pre-composition flat-uniform pricing).
+func TestHierBeatsBestFlatAtFourByEight(t *testing.T) {
+	nBytes := nn.GoogleNetCost().ParamBytes()
+	bestHier, bestFlat := bestHierVsFlat(4, 8, nBytes)
+	if bestHier >= bestFlat {
+		t.Errorf("best hierarchical allreduce %.1f ms not faster than best flat %.1f ms at 4x8",
+			bestHier*1e3, bestFlat*1e3)
+	}
+	uniform := simulateFlatUniform(32, comm.ScheduleTree, nBytes)
+	if bestFlat >= uniform {
+		t.Errorf("composed flat %.1f ms not cheaper than flat-uniform pricing %.1f ms", bestFlat*1e3, uniform*1e3)
+	}
+	t.Logf("4x8 GoogleNet allreduce: hier %.1f ms, flat %.1f ms (%.2fx), flat-uniform %.1f ms",
+		bestHier*1e3, bestFlat*1e3, bestFlat/bestHier, uniform*1e3)
+}
+
+func TestHierExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	r, err := RunHier(Options{Seed: 1, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 3 {
+		t.Fatalf("hier experiment produced %d tables, want 3", len(r.Tables))
+	}
+	// No training row may report diverged mathematics.
+	for _, row := range r.Tables[1].Rows {
+		if row[len(row)-1] == "DIVERGED" {
+			t.Fatalf("hier-sync-sgd diverged from flat math: %v", row)
+		}
+	}
+	// τ table: rarer fabric syncs (later rows) must not cost more per step.
+	tb := r.Tables[2]
+	first, _ := strconv.ParseFloat(tb.Cell(0, 3), 64)
+	last, _ := strconv.ParseFloat(tb.Cell(len(tb.Rows)-1, 3), 64)
+	if last > first {
+		t.Errorf("τ_global pacing did not cut step time: first %v µs, last %v µs", first, last)
 	}
 }
 

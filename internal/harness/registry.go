@@ -40,6 +40,7 @@ func init() {
 	register(Experiment{ID: "lowprec", Title: "Low-precision gradient communication", PaperRef: "Section 3.4 (future work)", Run: RunLowPrecision})
 	register(Experiment{ID: "overlap", Title: "Layer-streaming backprop: hidden communication ablation", PaperRef: "Section 5.1 (overlap)", Run: RunOverlap})
 	register(Experiment{ID: "knlmodes", Title: "MCDRAM and cluster-mode ablation", PaperRef: "Sections 2.1, 6.2", Run: RunKNLModes})
+	register(Experiment{ID: "hier", Title: "Hierarchical two-level clusters (node-local + fabric collectives)", PaperRef: "Sections 6.2, 7.1; FireCaffe/Poseidon", Run: RunHier})
 }
 
 // List returns all experiments ordered by ID.

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden report files")
+
+// goldenReport builds a fixed report exercising every formatting path the
+// experiments rely on: table alignment and trailing-space trimming, the
+// formatFloat magnitude branches, AddRowf's type dispatch, notes, and CSV
+// escaping. Any drift in report.go's output lands here as a diff instead of
+// being eyeballed in CI logs.
+func goldenReport() *Report {
+	r := &Report{ID: "golden", Title: "Report formatting fixture", PaperRef: "testdata"}
+	t1 := r.NewTable("formatFloat magnitudes", "case", "value")
+	t1.AddRowf("zero", 0.0)
+	t1.AddRowf("large", 123456.789)
+	t1.AddRowf("thousand", 1000.0)
+	t1.AddRowf("tens", 42.125)
+	t1.AddRowf("unit", 1.23456)
+	t1.AddRowf("small", 0.012345)
+	t1.AddRowf("tiny", 0.00012345)
+	t1.AddRowf("negative", -3.5)
+	t2 := r.NewTable("AddRowf type dispatch", "string", "float32", "int", "int64", "other")
+	t2.AddRowf("s", float32(2.5), 7, int64(1<<40), struct{ X int }{9})
+	t2.AddRow("wide column forces realignment", "1", "2", "3", "4")
+	t3 := r.NewTable("", "untitled", "table")
+	t3.AddRow("a", "b")
+	r.AddNote("plain note")
+	r.AddNote("formatted note: %d experiments, %.3f scale", 18, 0.15)
+	return r
+}
+
+func goldenPath(name string) string { return filepath.Join("testdata", name) }
+
+// compareGolden checks got against the named golden file, rewriting the
+// file under -update.
+func compareGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := goldenPath(name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/harness -run Golden -update` to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file (run with -update to accept):\n%s", name, diffLines(string(want), got))
+	}
+}
+
+// diffLines renders a small line-by-line diff for golden mismatches.
+func diffLines(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var sb strings.Builder
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			fmt.Fprintf(&sb, "line %d:\n  want: %q\n  got:  %q\n", i+1, w, g)
+		}
+	}
+	return sb.String()
+}
+
+func TestReportFormatGolden(t *testing.T) {
+	compareGolden(t, "report_format.golden", goldenReport().String())
+}
+
+func TestReportCSVGolden(t *testing.T) {
+	var sb strings.Builder
+	for _, tb := range goldenReport().Tables {
+		if err := tb.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString("\n")
+	}
+	compareGolden(t, "report_csv.golden", sb.String())
+}

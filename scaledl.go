@@ -80,7 +80,12 @@ const DefaultBucketBytes = core.DefaultBucketBytes
 // Train runs the named distributed algorithm. Method names follow the
 // paper: "original-easgd*", "original-easgd", "async-sgd", "async-msgd",
 // "hogwild-sgd", "sync-sgd", "async-easgd", "async-measgd",
-// "hogwild-easgd", "sync-easgd1", "sync-easgd2", "sync-easgd3".
+// "hogwild-easgd", "sync-easgd1", "sync-easgd2", "sync-easgd3" — plus the
+// hierarchical multi-node extensions "hier-sync-sgd" and "hier-sync-easgd",
+// which train Config.Nodes × Config.GPUsPerNode workers on a composed
+// per-node-PCIe-trees-under-fabric topology (Config.HierSchedule selects
+// the inter-node collective schedule, Config.TauLocal/TauGlobal pace the
+// node-group elastic averaging of hier-sync-easgd).
 //
 // Config.Overlap turns on the layer-streaming communication pipeline for
 // the families that support it (SyncSGD's bucketed overlapped allreduce,
@@ -259,6 +264,32 @@ func AnalyticAllReduceTime(schedule string, nBytes int64, parties int, alpha, be
 	t, ok := sched.AnalyticAllReduceTime(link, nBytes, parties)
 	if !ok {
 		return 0, fmt.Errorf("scaledl: no closed form for schedule %q", schedule)
+	}
+	return t, nil
+}
+
+// AnalyticHierAllReduceTime returns the composed two-level oracle of the
+// hierarchical allreduce — intra-node reduce (intra schedule) + inter-node
+// allreduce among one leader per node (inter schedule) + intra-node
+// broadcast — on α-β links for the two levels. It is what the simulated
+// comm.HierAllReduce completes at exactly on contention-free composed
+// topologies. The pipelined chain has no closed form at either level.
+func AnalyticHierAllReduceTime(intraSchedule, interSchedule string, nBytes int64, nodes, gpusPerNode int,
+	intraAlpha, intraBeta, interAlpha, interBeta float64) (float64, error) {
+	intra, err := comm.ParseSchedule(intraSchedule)
+	if err != nil {
+		return 0, err
+	}
+	inter, err := comm.ParseSchedule(interSchedule)
+	if err != nil {
+		return 0, err
+	}
+	t, ok := comm.HierAllReduceTime(
+		hw.Link{Name: "intra", Alpha: intraAlpha, Beta: intraBeta},
+		hw.Link{Name: "inter", Alpha: interAlpha, Beta: interBeta},
+		nBytes, nodes, gpusPerNode, intra, inter)
+	if !ok {
+		return 0, fmt.Errorf("scaledl: no closed form for schedule pair %q/%q", intraSchedule, interSchedule)
 	}
 	return t, nil
 }

@@ -80,14 +80,14 @@ func TestTrainUnknownMethod(t *testing.T) {
 
 func TestMethodsList(t *testing.T) {
 	ms := Methods()
-	if len(ms) != 12 {
-		t.Fatalf("want 12 methods, got %d", len(ms))
+	if len(ms) != 14 {
+		t.Fatalf("want 14 methods, got %d", len(ms))
 	}
 	seen := map[string]bool{}
 	for _, m := range ms {
 		seen[m] = true
 	}
-	for _, want := range []string{"original-easgd", "hogwild-easgd", "sync-easgd3", "async-measgd"} {
+	for _, want := range []string{"original-easgd", "hogwild-easgd", "sync-easgd3", "async-measgd", "hier-sync-sgd", "hier-sync-easgd"} {
 		if !seen[want] {
 			t.Errorf("missing method %q", want)
 		}
@@ -190,9 +190,57 @@ func TestExtensionsFacade(t *testing.T) {
 	}
 }
 
+func TestHierFacade(t *testing.T) {
+	// Composed two-level oracle: tree/tree = intra reduce + inter allreduce
+	// + intra broadcast, assembled from the flat oracles.
+	intraA, intraB := 6e-6, 1.0/12e9
+	interA, interB := 0.7e-6, 0.2e-9
+	got, err := AnalyticHierAllReduceTime("tree", "tree", 1<<20, 4, 8, intraA, intraB, interA, interB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra := 2 * 3 * (intraA + (1<<20)*intraB) // reduce + bcast, log2(8) rounds each
+	inter := 2 * 2 * (interA + (1<<20)*interB) // tree allreduce over 4 leaders
+	if diff := got - (intra + inter); diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("composed oracle %v, want %v", got, intra+inter)
+	}
+	if _, err := AnalyticHierAllReduceTime("chain", "tree", 1<<20, 4, 8, intraA, intraB, interA, interB); err == nil {
+		t.Error("chain intra should have no closed form")
+	}
+	if _, err := AnalyticHierAllReduceTime("warp", "tree", 1, 1, 1, 0, 0, 0, 0); err == nil {
+		t.Error("unknown schedule accepted")
+	}
+
+	// Hierarchical training through the facade: bit-identical to flat.
+	train, test := SyntheticMNIST(1, 256, 64)
+	cfg := Config{
+		Def: TinyCNN(Shape{C: 1, H: 28, W: 28}, 10), Train: train, Test: test,
+		Batch: 8, LR: 0.05, Iterations: 8, Seed: 1,
+		Platform: DefaultGPUPlatform(true),
+	}
+	flatCfg := cfg
+	flatCfg.Workers = 4
+	flat, err := Train("sync-sgd", flatCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Nodes, cfg.GPUsPerNode = 2, 2
+	hier, err := Train("hier-sync-sgd", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.FinalLoss != flat.FinalLoss {
+		t.Errorf("hier-sync-sgd loss %v differs from flat %v", hier.FinalLoss, flat.FinalLoss)
+	}
+	cfg.TauLocal, cfg.TauGlobal = 2, 4
+	if _, err := Train("hier-sync-easgd", cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestExperimentFacade(t *testing.T) {
-	if len(Experiments()) != 17 {
-		t.Errorf("want 17 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 18 {
+		t.Errorf("want 18 experiments, got %d", len(Experiments()))
 	}
 	rep, err := RunExperiment("table2", Options{Seed: 1})
 	if err != nil {
