@@ -84,6 +84,31 @@ type simEntry struct {
 	SimMS   float64 `json:"sim_ms"`
 }
 
+// simKernelBaseline mirrors BENCH_sim.json: the event-kernel and
+// thousand-node collective baselines. Beyond sim_ms it gates three metric
+// kinds the other sim files don't:
+//
+//   - events_per_sec — kernel throughput, higher-better, gated with the
+//     shared tolerance (host-dependent but order-of-magnitude stable);
+//   - allocs_per_op — gated exactly: the steady-state hot path is
+//     allocation-free by construction, so any increase fails outright;
+//   - max_ns_per_op — an absolute real-time ceiling on the fresh ns/op
+//     (deliberately generous for runner noise). It encodes a contract —
+//     "a P=1024 sweep point stays under N ms of real CPU" — so -update
+//     never rewrites it.
+type simKernelBaseline struct {
+	Description string                     `json:"description"`
+	Benchmarks  map[string]*simKernelEntry `json:"benchmarks"`
+}
+
+type simKernelEntry struct {
+	NsPerOp      int64    `json:"ns_per_op"`
+	EventsPerSec float64  `json:"events_per_sec,omitempty"`
+	SimMS        float64  `json:"sim_ms,omitempty"`
+	AllocsPerOp  *float64 `json:"allocs_per_op,omitempty"`
+	MaxNsPerOp   int64    `json:"max_ns_per_op,omitempty"`
+}
+
 // gemmBaseline mirrors BENCH_gemm.json.
 type gemmBaseline struct {
 	Description string         `json:"description"`
@@ -174,6 +199,12 @@ func gate(dir string, fresh map[string]benchResult, tol float64, update bool) ([
 		}
 	}
 
+	simRows, err := gateSimKernel(dir, fresh, tol, update)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, simRows...)
+
 	path := filepath.Join(dir, "BENCH_gemm.json")
 	raw, err := os.ReadFile(path)
 	if err == nil {
@@ -234,6 +265,118 @@ func gate(dir string, fresh map[string]benchResult, tol float64, update bool) ([
 	}
 
 	sort.SliceStable(rows, func(i, j int) bool { return severity(rows[i].Status) < severity(rows[j].Status) })
+	return rows, nil
+}
+
+// gateSimKernel gates BENCH_sim.json. Each entry may pin several metrics at
+// once; every pinned metric produces its own row.
+func gateSimKernel(dir string, fresh map[string]benchResult, tol float64, update bool) ([]gateRow, error) {
+	const simFile = "BENCH_sim.json"
+	path := filepath.Join(dir, simFile)
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	} else if err != nil {
+		return nil, err
+	}
+	var base simKernelBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", simFile, err)
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var rows []gateRow
+	changed := false
+	for _, name := range names {
+		entry := base.Benchmarks[name]
+		short := strings.TrimPrefix(name, "Benchmark")
+		got, ok := fresh[short]
+		if !ok {
+			rows = append(rows, gateRow{File: simFile, Name: short, Metric: "ns/op",
+				Base: float64(entry.NsPerOp), Status: statusMissing, Note: "benchmark did not run"})
+			continue
+		}
+		if update {
+			if ns, ok := got.Metrics["ns/op"]; ok {
+				entry.NsPerOp = int64(ns)
+			}
+			if ev, ok := got.Metrics["events/sec"]; ok && entry.EventsPerSec > 0 {
+				entry.EventsPerSec = ev
+			}
+			if ms, ok := got.Metrics["sim_ms"]; ok && entry.SimMS > 0 {
+				entry.SimMS = ms
+			}
+			if al, ok := got.Metrics["allocs/op"]; ok && entry.AllocsPerOp != nil {
+				entry.AllocsPerOp = &al
+			}
+			// MaxNsPerOp is a contract, never a measurement: left untouched.
+			changed = true
+			continue
+		}
+		need := func(metric string, gateBase float64, do func(v float64) gateRow) {
+			v, ok := got.Metrics[metric]
+			if !ok {
+				rows = append(rows, gateRow{File: simFile, Name: short, Metric: metric,
+					Base: gateBase, Status: statusMissing, Note: "no " + metric + " metric reported"})
+				return
+			}
+			rows = append(rows, do(v))
+		}
+		if entry.SimMS > 0 {
+			need("sim_ms", entry.SimMS, func(v float64) gateRow {
+				return compare(simFile, short, "sim_ms", entry.SimMS, v, tol, false)
+			})
+		}
+		if entry.EventsPerSec > 0 {
+			need("events/sec", entry.EventsPerSec, func(v float64) gateRow {
+				return compare(simFile, short, "events/sec", entry.EventsPerSec, v, tol, true)
+			})
+		}
+		if entry.AllocsPerOp != nil {
+			need("allocs/op", *entry.AllocsPerOp, func(v float64) gateRow {
+				row := gateRow{File: simFile, Name: short, Metric: "allocs/op",
+					Base: *entry.AllocsPerOp, Fresh: v}
+				switch {
+				case v > *entry.AllocsPerOp:
+					row.Status = statusFail
+					row.Note = fmt.Sprintf("hot path allocates: %.0f allocs/op (baseline %.0f, gated exactly)",
+						v, *entry.AllocsPerOp)
+				case v < *entry.AllocsPerOp:
+					row.Status = statusImproved
+					row.Note = "fewer allocations than baseline — consider regenerating with -update"
+				default:
+					row.Status = statusOK
+				}
+				return row
+			})
+		}
+		if entry.MaxNsPerOp > 0 {
+			need("ns/op", float64(entry.MaxNsPerOp), func(v float64) gateRow {
+				row := gateRow{File: simFile, Name: short, Metric: "ns/op",
+					Base: float64(entry.MaxNsPerOp), Fresh: v, Change: v/float64(entry.MaxNsPerOp) - 1}
+				if v > float64(entry.MaxNsPerOp) {
+					row.Status = statusFail
+					row.Note = fmt.Sprintf("breached the absolute real-time ceiling of %d ns/op", entry.MaxNsPerOp)
+				} else {
+					row.Status = statusOK
+					row.Note = "absolute ceiling, not a relative gate"
+				}
+				return row
+			})
+		}
+	}
+	if update && changed {
+		out, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
 	return rows, nil
 }
 

@@ -35,6 +35,14 @@ func writeTestBaselines(t *testing.T, dir string) {
     { "name": "Conv2DForward (LeNet conv2, batch 16)", "ns_op": 3219204 }
   ]
 }`,
+		"BENCH_sim.json": `{
+  "description": "test",
+  "benchmarks": {
+    "BenchmarkSimThroughput":        { "ns_per_op": 250, "events_per_sec": 8000000 },
+    "BenchmarkSimSteadyStateAllocs": { "ns_per_op": 45, "allocs_per_op": 0 },
+    "BenchmarkAllReduceP1024":       { "ns_per_op": 6000000, "sim_ms": 5.2, "max_ns_per_op": 10000000 }
+  }
+}`,
 	}
 	for name, body := range files {
 		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
@@ -43,9 +51,21 @@ func writeTestBaselines(t *testing.T, dir string) {
 	}
 }
 
+// simVals are the BENCH_sim.json-gated metrics of a fake bench run.
+type simVals struct {
+	events, allocs, p1024Ns, p1024SimMS float64
+}
+
+// simAtBaseline passes every BENCH_sim.json gate.
+var simAtBaseline = simVals{events: 8000000, allocs: 0, p1024Ns: 6000000, p1024SimMS: 5.2}
+
 // benchText renders a fake `go test -bench` output with the given sim_ms
-// and GFLOPS values.
+// and GFLOPS values and the sim-kernel metrics at baseline.
 func benchText(treeSimMS, hierSimMS, bucketSimMS, gflops float64) string {
+	return benchTextSim(treeSimMS, hierSimMS, bucketSimMS, gflops, simAtBaseline)
+}
+
+func benchTextSim(treeSimMS, hierSimMS, bucketSimMS, gflops float64, s simVals) string {
 	var sb strings.Builder
 	sb.WriteString("goos: linux\ngoarch: amd64\npkg: scaledl/internal/comm\n")
 	w := func(name string, metrics string) {
@@ -55,6 +75,9 @@ func benchText(treeSimMS, hierSimMS, bucketSimMS, gflops float64) string {
 	w("BenchmarkAllReduceHier", f(300000)+" ns/op\t "+f(hierSimMS)+" sim_ms")
 	w("BenchmarkAllReduceBucketed4", f(33000000)+" ns/op\t "+f(bucketSimMS)+" sim_ms")
 	w("BenchmarkGEMM/20x500x576", f(748799)+" ns/op\t "+f(gflops)+" GFLOPS\t 0 B/op\t 0 allocs/op")
+	w("BenchmarkSimThroughput", f(250)+" ns/op\t "+f(s.events)+" events/sec\t 0 B/op\t 0 allocs/op")
+	w("BenchmarkSimSteadyStateAllocs", f(45)+" ns/op\t 0 B/op\t "+f(s.allocs)+" allocs/op")
+	w("BenchmarkAllReduceP1024", f(s.p1024Ns)+" ns/op\t "+f(s.p1024SimMS)+" sim_ms")
 	return sb.String()
 }
 
@@ -97,8 +120,10 @@ func TestGatePassesAtBaseline(t *testing.T) {
 	if n := countStatus(rows, statusFail); n != 0 {
 		t.Errorf("%d FAIL rows at baseline: %+v", n, rows)
 	}
-	if n := countStatus(rows, statusOK); n != 4 {
-		t.Errorf("%d ok rows, want 4 gated metrics", n)
+	// 4 sim_ms/GFLOPS gates + events/sec + allocs/op + P1024 sim_ms + P1024
+	// ns/op ceiling.
+	if n := countStatus(rows, statusOK); n != 8 {
+		t.Errorf("%d ok rows, want 8 gated metrics", n)
 	}
 	if n := countStatus(rows, statusSkipped); n != 2 {
 		t.Errorf("%d skipped rows, want 2 ns-only entries", n)
@@ -175,6 +200,72 @@ func TestGateUpdateRewritesBaselines(t *testing.T) {
 	}
 	if rows := runGate(t, dir, out, false); countStatus(rows, statusFail) != 0 {
 		t.Errorf("gate still failing after -update: %+v", rows)
+	}
+}
+
+// events/sec is a higher-better gate: a throughput drop beyond tolerance
+// fails, a gain is an improvement.
+func TestGateEventsPerSecHigherBetter(t *testing.T) {
+	dir := t.TempDir()
+	writeTestBaselines(t, dir)
+	s := simAtBaseline
+	s.events = 6000000 // -25%
+	rows := runGate(t, dir, benchTextSim(5.0, 3.4, 1.25, 15.0, s), false)
+	if countStatus(rows, statusFail) != 1 {
+		t.Errorf("events/sec regression not caught: %+v", rows)
+	}
+	s.events = 10000000 // +25%
+	rows = runGate(t, dir, benchTextSim(5.0, 3.4, 1.25, 15.0, s), false)
+	if countStatus(rows, statusFail) != 0 || countStatus(rows, statusImproved) != 1 {
+		t.Errorf("events/sec improvement misclassified: %+v", rows)
+	}
+}
+
+// allocs_per_op is gated exactly: one allocation on the steady-state hot
+// path fails regardless of tolerance.
+func TestGateFailsOnSingleAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	writeTestBaselines(t, dir)
+	s := simAtBaseline
+	s.allocs = 1
+	rows := runGate(t, dir, benchTextSim(5.0, 3.4, 1.25, 15.0, s), false)
+	if countStatus(rows, statusFail) != 1 {
+		t.Errorf("single-alloc regression not caught: %+v", rows)
+	}
+}
+
+// max_ns_per_op is an absolute ceiling: real CPU cost above it fails even
+// when the relative metrics pass, and -update never rewrites the ceiling.
+func TestGateCeilingIsAbsoluteAndSticky(t *testing.T) {
+	dir := t.TempDir()
+	writeTestBaselines(t, dir)
+	s := simAtBaseline
+	s.p1024Ns = 12000000 // over the 10 ms ceiling
+	rows := runGate(t, dir, benchTextSim(5.0, 3.4, 1.25, 15.0, s), false)
+	failed := false
+	for _, r := range rows {
+		if r.Status == statusFail && r.Metric == "ns/op" {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Errorf("ceiling breach not caught: %+v", rows)
+	}
+	runGate(t, dir, benchTextSim(5.0, 3.4, 1.25, 15.0, s), true)
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_sim.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base simKernelBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	entry := base.Benchmarks["BenchmarkAllReduceP1024"]
+	if entry.MaxNsPerOp != 10000000 {
+		t.Errorf("-update rewrote the ceiling: %d", entry.MaxNsPerOp)
+	}
+	if entry.NsPerOp != 12000000 {
+		t.Errorf("-update did not rewrite ns_per_op: %d", entry.NsPerOp)
 	}
 }
 

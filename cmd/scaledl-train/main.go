@@ -9,13 +9,22 @@
 //	scaledl-train -method sync-sgd -overlap -bucket 8192 -schedule ring
 //	scaledl-train -method hier-sync-sgd -nodes 4 -gpus-per-node 2 -hier-schedule rhd
 //	scaledl-train -method hier-sync-easgd -nodes 2 -gpus-per-node 4 -tau-local 2 -tau-global 8
+//	scaledl-train -method sync-easgd3 -straggler 1:4 -fail-at 50 -checkpoint-every 10
 //	scaledl-train -list
+//
+// The fault flags inject timing-only failures: -straggler slows one rank's
+// compute, -fail-at crashes a rank mid-run (it reloads the latest
+// checkpoint and replays), -checkpoint-every sets the periodic checkpoint
+// interval. The math is unchanged — only the simulated clock and the
+// breakdown (including the recovery category) move.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"scaledl/internal/comm"
 	"scaledl/internal/core"
@@ -48,6 +57,9 @@ func main() {
 		hierSch  = flag.String("hier-schedule", "tree", "inter-node (fabric) schedule for the hierarchical methods (tree|ring|rhd|chain|linear)")
 		tauLocal = flag.Int("tau-local", 0, "hier-sync-easgd: node-group sync period in steps (0 = 1)")
 		tauGlob  = flag.Int("tau-global", 0, "hier-sync-easgd: global center sync period in steps (0 = 4x tau-local)")
+		strag    = flag.String("straggler", "", "straggler injection: factor or rank:factor (e.g. 4 or 1:4) — that rank computes factor-times slower all run")
+		failAt   = flag.String("fail-at", "", "fail-stop injection: step or rank:step (e.g. 50 or 2:50) — the rank crashes at that step, reloads the latest checkpoint and replays")
+		ckpt     = flag.Int("checkpoint-every", 0, "periodic checkpoint interval in steps (0 = none; a failure then replays from step 1)")
 	)
 	flag.Parse()
 
@@ -102,6 +114,26 @@ func main() {
 		// The hierarchical cluster fixes the worker count.
 		*workers = *nodes * *gpusPer
 	}
+	var faults core.FaultPlan
+	if *strag != "" {
+		// A bare factor stragglers rank 1 (rank 0 coordinates in most
+		// methods, so slowing it tells a different story).
+		rank, factor, err := parseRankValue(*strag, 1)
+		if err != nil {
+			fatal(fmt.Errorf("-straggler: %w", err))
+		}
+		faults.StragglerFactor = factor
+		faults.StragglerRanks = []int{rank}
+	}
+	if *failAt != "" {
+		rank, step, err := parseRankValue(*failAt, 0)
+		if err != nil {
+			fatal(fmt.Errorf("-fail-at: %w", err))
+		}
+		faults.FailRank = rank
+		faults.FailAtStep = int(step)
+	}
+	faults.CheckpointEvery = *ckpt
 	cfg := core.Config{
 		Def:          nn.TinyCNN(shape, spec.Classes),
 		Train:        train,
@@ -124,6 +156,7 @@ func main() {
 		HierSchedule: hierSched,
 		TauLocal:     *tauLocal,
 		TauGlobal:    *tauGlob,
+		Faults:       faults,
 	}
 	res, err := run(cfg)
 	if err != nil {
@@ -144,6 +177,23 @@ func main() {
 	fmt.Printf("(comm ratio %.0f%%, param traffic %.2f MB, hidden comm %.5fs)\n",
 		res.Breakdown.CommRatio()*100, float64(res.Breakdown.ParamTraffic())/(1<<20),
 		res.Breakdown.HiddenComm)
+}
+
+// parseRankValue splits "rank:v" into its parts; a bare "v" uses defRank.
+func parseRankValue(s string, defRank int) (int, float64, error) {
+	rank := defRank
+	if i := strings.Index(s, ":"); i >= 0 {
+		r, err := strconv.Atoi(s[:i])
+		if err != nil || r < 0 {
+			return 0, 0, fmt.Errorf("bad rank %q (want rank:value)", s[:i])
+		}
+		rank, s = r, s[i+1:]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad value %q", s)
+	}
+	return rank, v, nil
 }
 
 func fatal(err error) {

@@ -203,6 +203,7 @@ type Communicator struct {
 	tag     int
 	tags    []int
 	bars    map[collKey]*sim.Barrier
+	msgPool []*collMsg
 }
 
 // NewCommunicator creates a communicator. The plan's byte counts must be
@@ -367,20 +368,45 @@ func (c *Communicator) checkRange(buf []float32, lo, hi int) {
 	}
 }
 
-// send transmits m from party rank `from` to `to`, charging wireBytes.
+// send transmits m from party rank `from` to `to`, charging wireBytes. The
+// wire format travels as a pooled *collMsg so the per-message payload box
+// is recycled instead of allocated (see Topology.msgPool for the same
+// treatment of the envelope).
 func (c *Communicator) send(p *sim.Proc, from, to int, m collMsg, wireBytes int64) {
 	m.src = from
-	c.topo.Send(p, c.parties[from], c.parties[to], c.tag, m, wireBytes)
+	cm := c.getMsg()
+	*cm = m
+	c.topo.Send(p, c.parties[from], c.parties[to], c.tag, cm, wireBytes)
 }
 
 // recv blocks until the message with the given key arrives from party
 // rank `from` on this communicator's tag.
 func (c *Communicator) recv(p *sim.Proc, at, from int, key collKey) collMsg {
 	raw := c.topo.RecvMatch(p, c.parties[at], func(msg Message) bool {
-		cm, ok := msg.Payload.(collMsg)
+		cm, ok := msg.Payload.(*collMsg)
 		return ok && msg.Tag == c.tag && cm.src == from && cm.key == key
 	})
-	return raw.Payload.(collMsg)
+	pm := raw.Payload.(*collMsg)
+	m := *pm
+	c.putMsg(pm)
+	return m
+}
+
+// getMsg takes a collMsg box from the communicator's free list.
+func (c *Communicator) getMsg() *collMsg {
+	if n := len(c.msgPool); n > 0 {
+		m := c.msgPool[n-1]
+		c.msgPool = c.msgPool[:n-1]
+		return m
+	}
+	return new(collMsg)
+}
+
+// putMsg returns a consumed box; the contribution and data slices it
+// referenced live on with the receiver, only the box is recycled.
+func (c *Communicator) putMsg(m *collMsg) {
+	*m = collMsg{}
+	c.msgPool = append(c.msgPool, m)
 }
 
 // sync joins the round barrier identified by key; all parties pass it at
@@ -394,6 +420,29 @@ func (c *Communicator) sync(p *sim.Proc, key collKey) {
 	}
 	p.Wait(b)
 	delete(c.bars, key)
+}
+
+// syncRounds arrives at the per-round barriers [from, to) of one phase in a
+// single batch, blocking until round to-1 releases. The tree schedules use
+// it for a party's idle run — the rounds after a gather leaf has sent, or
+// before a broadcast target receives — where repeated sync() calls would
+// wake the party once per round just to re-arrive. One phase shares one
+// generation barrier (step -1 keys it apart from per-step barriers); the
+// party that observes the final round released deletes it.
+func (c *Communicator) syncRounds(p *sim.Proc, key collKey, from, to, total int) {
+	if from >= to {
+		return
+	}
+	key.step = -1
+	b, ok := c.bars[key]
+	if !ok {
+		b = sim.NewBarrier(c.topo.env, "coll-phase", len(c.parties))
+		c.bars[key] = b
+	}
+	p.WaitMany(b, to-from)
+	if b.Gen() >= total {
+		delete(c.bars, key)
+	}
 }
 
 // vrOf rotates rank so that root acts as virtual rank 0.
@@ -673,26 +722,37 @@ func (c *Communicator) treeBcast(p *sim.Proc, rank, round, phase, si, root int, 
 	vr := c.vrOf(rank, root)
 	R := rounds(P)
 	elems := seg[1] - seg[0]
+	base := collKey{round, phase, si, 0, 0}
+	synced := 0 // rounds whose barrier this party has arrived at
 	for r := 0; r < R; r++ {
 		mask := 1 << (R - 1 - r)
 		key := collKey{round, phase, si, r, 0}
+		var acted bool
 		switch {
 		case vr%(2*mask) == 0:
 			if partner := vr + mask; partner < P {
+				c.syncRounds(p, base, synced, r, R)
 				var data []float32
 				if buf != nil {
 					data = snapshot(buf[seg[0]:seg[1]])
 				}
 				c.send(p, rank, c.realOf(partner, root), collMsg{key: key, data: data}, c.wireOf(elems))
+				acted = true
 			}
 		case vr%(2*mask) == mask:
+			c.syncRounds(p, base, synced, r, R)
 			m := c.recv(p, rank, c.realOf(vr-mask, root), key)
 			if buf != nil {
 				copy(buf[seg[0]:seg[1]], m.data)
 			}
+			acted = true
 		}
-		c.sync(p, key)
+		if acted {
+			c.syncRounds(p, base, r, r+1, R)
+			synced = r + 1
+		}
 	}
+	c.syncRounds(p, base, synced, R, R)
 }
 
 // treeGather runs the binomial reduction pattern toward root, carrying
@@ -704,22 +764,33 @@ func (c *Communicator) treeGather(p *sim.Proc, rank, round, phase, si, root int,
 	vr := c.vrOf(rank, root)
 	R := rounds(P)
 	elems := seg[1] - seg[0]
+	base := collKey{round, phase, si, 0, 0}
 	list := self
 	sent := false
+	synced := 0 // rounds whose barrier this party has arrived at
 	for r := 0; r < R; r++ {
 		mask := 1 << r
 		key := collKey{round, phase, si, r, 0}
 		if !sent {
+			var acted bool
 			if vr&mask != 0 {
+				c.syncRounds(p, base, synced, r, R)
 				c.send(p, rank, c.realOf(vr-mask, root), collMsg{key: key, contribs: list}, c.wireOf(elems))
 				sent = true
+				acted = true
 			} else if partner := vr + mask; partner < P {
+				c.syncRounds(p, base, synced, r, R)
 				m := c.recv(p, rank, c.realOf(partner, root), key)
 				list = mergeContribs(list, m.contribs)
+				acted = true
+			}
+			if acted {
+				c.syncRounds(p, base, r, r+1, R)
+				synced = r + 1
 			}
 		}
-		c.sync(p, key)
 	}
+	c.syncRounds(p, base, synced, R, R)
 	if vr == 0 {
 		return list
 	}

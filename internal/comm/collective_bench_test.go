@@ -122,8 +122,17 @@ func BenchmarkAllReduceBucketed16(b *testing.B)   { benchmarkBucketedAllReduce(b
 // 8-party schedules above, which put every byte on one link. The composed
 // α-β oracle equality is pinned by TestHierAllReduceMatchesComposedOracle,
 // bit-identity by TestHierAllReduceBitIdenticalToReduceSum.
-func BenchmarkAllReduceHier(b *testing.B) {
-	const nodes, gpus, elems = 4, 8, 1 << 20
+func BenchmarkAllReduceHier(b *testing.B) { benchmarkHierAllReduceSize(b, 4, 8, 1<<20) }
+
+// BenchmarkAllReduceP1024 is the thousand-node sweep workload the ROADMAP
+// asks to make routine: a size-only hierarchical allreduce over 32 nodes ×
+// 32 GPUs = 1024 parties. ns/op here is the real CPU cost of one sweep
+// point; the BENCH_sim.json gate pins it so kernel regressions that would
+// turn a P=1024 scaling curve back into minutes can't land silently.
+func BenchmarkAllReduceP1024(b *testing.B) { benchmarkHierAllReduceSize(b, 32, 32, 1<<20) }
+
+func benchmarkHierAllReduceSize(b *testing.B, nodes, gpus, elems int) {
+	b.Helper()
 	var simTime float64
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {

@@ -27,6 +27,27 @@ type Transferer interface {
 	Time(n int64) float64
 }
 
+// ScaleLink wraps base so every transfer takes factor times as long — the
+// degraded-segment model of the failure scenarios (a flapping NIC, a
+// congested switch, a PCIe link trained down to fewer lanes). factor must
+// be positive; values below 1 model a faster-than-nominal link.
+func ScaleLink(base Transferer, factor float64) Transferer {
+	if factor <= 0 {
+		panic("comm: link scale factor must be positive")
+	}
+	if factor == 1 {
+		return base
+	}
+	return scaledLink{base: base, factor: factor}
+}
+
+type scaledLink struct {
+	base   Transferer
+	factor float64
+}
+
+func (s scaledLink) Time(n int64) float64 { return s.base.Time(n) * s.factor }
+
 // rounds returns ceil(log2(p)), the depth of a binomial tree over p nodes.
 func rounds(p int) int {
 	if p <= 1 {

@@ -75,48 +75,48 @@ func NewMultiLevel(env *sim.Env, cfg MultiLevelConfig) *MultiLevel {
 		panic(fmt.Sprintf("comm: leader rank %d outside sub-topology of %d", cfg.Leader, k))
 	}
 	t := NewTopology(env, cfg.Nodes*k)
-	// Graft each node's intra paths (links and shared segments carry over,
-	// so switch contention inside a node survives the composition).
-	for g, sub := range subs {
-		base := g * k
-		for i := 0; i < k; i++ {
-			for j := 0; j < k; j++ {
-				if pth := sub.paths[i][j]; pth.Link != nil {
-					t.paths[base+i][base+j] = pth
-				}
-			}
-		}
-	}
-	// Cross-node paths ride the fabric, through both endpoints' NICs when
-	// bounded. NICs are acquired in ascending node order — a global order
-	// over the shared segments — so concurrent transfers cannot deadlock.
-	var nics []*sim.Resource
+	// Cross-node transfers ride the fabric, through both endpoints' NICs
+	// when bounded. NICs are acquired in ascending node order — a global
+	// order over the shared segments — so concurrent transfers cannot
+	// deadlock. Via pairs are built once per ordered node pair; the path
+	// rule below keeps construction O(nodes²) in machines rather than
+	// O(P²) in parties, which is what makes P=1024 clusters cheap.
+	var crossVia [][]*sim.Resource
 	if cfg.NICConcurrency > 0 {
-		nics = make([]*sim.Resource, cfg.Nodes)
+		nics := make([]*sim.Resource, cfg.Nodes)
 		for i := range nics {
 			nics[i] = sim.NewResource(env, fmt.Sprintf("nic%d", i), cfg.NICConcurrency)
 		}
-	}
-	for a := 0; a < cfg.Nodes; a++ {
-		for b := 0; b < cfg.Nodes; b++ {
-			if a == b {
-				continue
-			}
-			var via []*sim.Resource
-			if nics != nil {
+		crossVia = make([][]*sim.Resource, cfg.Nodes*cfg.Nodes)
+		for a := 0; a < cfg.Nodes; a++ {
+			for b := 0; b < cfg.Nodes; b++ {
+				if a == b {
+					continue
+				}
 				lo, hi := a, b
 				if lo > hi {
 					lo, hi = hi, lo
 				}
-				via = []*sim.Resource{nics[lo], nics[hi]}
-			}
-			for i := 0; i < k; i++ {
-				for j := 0; j < k; j++ {
-					t.SetPath(a*k+i, b*k+j, cfg.Fabric, via...)
-				}
+				crossVia[a*cfg.Nodes+b] = []*sim.Resource{nics[lo], nics[hi]}
 			}
 		}
 	}
+	// Intra-node pairs delegate to their node's sub-topology (links and
+	// shared segments carry over, so switch contention inside a node
+	// survives the composition); cross-node pairs take the fabric.
+	fabric := cfg.Fabric
+	nodes := cfg.Nodes
+	t.SetPathRule(func(src, dst int) Path {
+		a, b := src/k, dst/k
+		if a == b {
+			return subs[a].pathFor(src-a*k, dst-b*k)
+		}
+		var via []*sim.Resource
+		if crossVia != nil {
+			via = crossVia[a*nodes+b]
+		}
+		return Path{Link: fabric, Via: via}
+	})
 	return &MultiLevel{topo: t, nodes: cfg.Nodes, perNode: k, leader: cfg.Leader}
 }
 

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"fmt"
+	"strconv"
 
 	"scaledl/internal/sim"
 )
@@ -17,10 +18,39 @@ import (
 // what lets the collective engine be checked against the analytic cost
 // functions in this package.
 type Topology struct {
-	env   *sim.Env
+	env *sim.Env
+	n   int
+	// paths holds explicitly installed routes; rows are allocated lazily so
+	// a large rule-wired topology (NewUniform at P=1024, a multi-level
+	// cluster) never materializes its O(n²) path matrix.
 	paths [][]Path
+	// rule computes the route for pairs with no explicit entry. Regular
+	// fabrics (uniform cliques, composed clusters) are wired by rule in
+	// O(1), which is what makes thousand-party topologies cheap to build.
+	rule  func(src, dst int) Path
 	inbox []*sim.Queue
 	bytes int64
+	// msgPool recycles delivered Message boxes: inboxes store *Message so a
+	// send boxes a pooled pointer instead of allocating a fresh interface
+	// value per message (the simulation is single-threaded by construction,
+	// so a plain free list suffices).
+	msgPool []*Message
+}
+
+// getMsg takes a Message box from the pool.
+func (t *Topology) getMsg() *Message {
+	if n := len(t.msgPool); n > 0 {
+		m := t.msgPool[n-1]
+		t.msgPool = t.msgPool[:n-1]
+		return m
+	}
+	return new(Message)
+}
+
+// putMsg returns a consumed box to the pool.
+func (t *Topology) putMsg(m *Message) {
+	*m = Message{}
+	t.msgPool = append(t.msgPool, m)
 }
 
 // Path is one directed src→dst route: an α-β (or saturating) link plus the
@@ -40,15 +70,15 @@ type Message struct {
 	Payload  any
 }
 
-// NewTopology creates n nodes with no paths; wire them with SetPath.
+// NewTopology creates n nodes with no paths; wire them with SetPath and/or
+// SetPathRule.
 func NewTopology(env *sim.Env, n int) *Topology {
 	if n < 1 {
 		panic("comm: topology needs at least one node")
 	}
-	t := &Topology{env: env, paths: make([][]Path, n), inbox: make([]*sim.Queue, n)}
+	t := &Topology{env: env, n: n, paths: make([][]Path, n), inbox: make([]*sim.Queue, n)}
 	for i := 0; i < n; i++ {
-		t.paths[i] = make([]Path, n)
-		t.inbox[i] = sim.NewQueue(env, fmt.Sprintf("node%d", i))
+		t.inbox[i] = sim.NewQueue(env, "node"+strconv.Itoa(i))
 	}
 	return t
 }
@@ -57,22 +87,44 @@ func NewTopology(env *sim.Env, n int) *Topology {
 func (t *Topology) Env() *sim.Env { return t.env }
 
 // Nodes returns the number of nodes.
-func (t *Topology) Nodes() int { return len(t.paths) }
+func (t *Topology) Nodes() int { return t.n }
 
 // BytesMoved returns the cumulative wire bytes of every transfer so far;
 // algorithms sample deltas to attribute traffic to phases.
 func (t *Topology) BytesMoved() int64 { return t.bytes }
 
-// SetPath installs the directed route src→dst.
+// SetPath installs the directed route src→dst. Explicit routes override the
+// topology's path rule.
 func (t *Topology) SetPath(src, dst int, l Transferer, via ...*sim.Resource) {
 	t.checkNode(src)
 	t.checkNode(dst)
+	if t.paths[src] == nil {
+		t.paths[src] = make([]Path, t.n)
+	}
 	t.paths[src][dst] = Path{Link: l, Via: via}
 }
 
+// SetPathRule installs a fallback rule consulted for pairs without an
+// explicit SetPath entry; returning a Path with a nil Link means no route.
+// Rules keep regular large fabrics O(1) to construct. The rule must be
+// pure: the same pair always yields the same route.
+func (t *Topology) SetPathRule(rule func(src, dst int) Path) { t.rule = rule }
+
+// pathFor resolves the route src→dst: an explicit entry if present,
+// otherwise the path rule.
+func (t *Topology) pathFor(src, dst int) Path {
+	if row := t.paths[src]; row != nil && row[dst].Link != nil {
+		return row[dst]
+	}
+	if t.rule != nil {
+		return t.rule(src, dst)
+	}
+	return Path{}
+}
+
 func (t *Topology) checkNode(id int) {
-	if id < 0 || id >= len(t.paths) {
-		panic(fmt.Sprintf("comm: node %d outside topology of %d", id, len(t.paths)))
+	if id < 0 || id >= t.n {
+		panic(fmt.Sprintf("comm: node %d outside topology of %d", id, t.n))
 	}
 }
 
@@ -82,7 +134,7 @@ func (t *Topology) checkNode(id int) {
 func (t *Topology) occupy(p *sim.Proc, src, dst int, wireBytes int64) {
 	t.checkNode(src)
 	t.checkNode(dst)
-	path := t.paths[src][dst]
+	path := t.pathFor(src, dst)
 	if path.Link == nil {
 		panic(fmt.Sprintf("comm: no path %d->%d", src, dst))
 	}
@@ -102,7 +154,9 @@ func (t *Topology) occupy(p *sim.Proc, src, dst int, wireBytes int64) {
 // mutate a buffer after sending must pass a snapshot.
 func (t *Topology) Send(p *sim.Proc, src, dst, tag int, payload any, wireBytes int64) {
 	t.occupy(p, src, dst, wireBytes)
-	t.inbox[dst].Send(Message{Src: src, Tag: tag, Payload: payload})
+	m := t.getMsg()
+	*m = Message{Src: src, Tag: tag, Payload: payload}
+	t.inbox[dst].Send(m)
 }
 
 // Recv blocks until a message with the given source and tag arrives at
@@ -111,16 +165,21 @@ func (t *Topology) Send(p *sim.Proc, src, dst, tag int, payload any, wireBytes i
 func (t *Topology) Recv(p *sim.Proc, at, src, tag int) any {
 	t.checkNode(at)
 	m := p.RecvMatch(t.inbox[at], func(v any) bool {
-		msg := v.(Message)
+		msg := v.(*Message)
 		return msg.Src == src && msg.Tag == tag
-	}).(Message)
-	return m.Payload
+	}).(*Message)
+	payload := m.Payload
+	t.putMsg(m)
+	return payload
 }
 
 // RecvMatch blocks until a message at node `at` satisfies match.
 func (t *Topology) RecvMatch(p *sim.Proc, at int, match func(Message) bool) Message {
 	t.checkNode(at)
-	return p.RecvMatch(t.inbox[at], func(v any) bool { return match(v.(Message)) }).(Message)
+	m := p.RecvMatch(t.inbox[at], func(v any) bool { return match(*v.(*Message)) }).(*Message)
+	out := *m
+	t.putMsg(m)
+	return out
 }
 
 // RecvAny blocks until any message arrives at node `at` and returns it in
@@ -128,7 +187,10 @@ func (t *Topology) RecvMatch(p *sim.Proc, at int, match func(Message) bool) Mess
 // master.
 func (t *Topology) RecvAny(p *sim.Proc, at int) Message {
 	t.checkNode(at)
-	return p.Recv(t.inbox[at]).(Message)
+	m := p.Recv(t.inbox[at]).(*Message)
+	out := *m
+	t.putMsg(m)
+	return out
 }
 
 // DelayModel charges p one whole-model transfer src→dst under the plan
@@ -151,7 +213,9 @@ func (t *Topology) DelayModel(p *sim.Proc, src, dst int, plan Plan, wireBytes in
 // charged (= wireBytes).
 func (t *Topology) SendModel(p *sim.Proc, src, dst, tag int, payload any, plan Plan, wireBytes int64) int64 {
 	t.DelayModel(p, src, dst, plan, wireBytes)
-	t.inbox[dst].Send(Message{Src: src, Tag: tag, Payload: payload})
+	m := t.getMsg()
+	*m = Message{Src: src, Tag: tag, Payload: payload}
+	t.inbox[dst].Send(m)
 	return wireBytes
 }
 
@@ -181,13 +245,12 @@ func planWire(plan Plan, wireBytes int64) []int64 {
 // into the link model.
 func NewUniform(env *sim.Env, n int, l Transferer) *Topology {
 	t := NewTopology(env, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i != j {
-				t.SetPath(i, j, l)
-			}
+	t.SetPathRule(func(src, dst int) Path {
+		if src == dst {
+			return Path{}
 		}
-	}
+		return Path{Link: l}
+	})
 	return t
 }
 
@@ -201,14 +264,14 @@ func NewBus(env *sim.Env, n int, l Transferer, cap_ int) *Topology {
 		panic("comm: bus capacity must be >= 1")
 	}
 	bus := sim.NewResource(env, "bus", cap_)
+	via := []*sim.Resource{bus}
 	t := NewTopology(env, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i != j {
-				t.SetPath(i, j, l, bus)
-			}
+	t.SetPathRule(func(src, dst int) Path {
+		if src == dst {
+			return Path{}
 		}
-	}
+		return Path{Link: l, Via: via}
+	})
 	return t
 }
 
@@ -263,4 +326,4 @@ func NewPCIeTree(env *sim.Env, cfg PCIeConfig) *Topology {
 }
 
 // Host returns the host node id of a topology built by NewPCIeTree.
-func (t *Topology) Host() int { return len(t.paths) - 1 }
+func (t *Topology) Host() int { return t.n - 1 }

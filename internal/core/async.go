@@ -211,6 +211,7 @@ func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
 					psRequest{from: i, loss: loss, payload: payload}, rc.plan, wire)
 			}
 			for iter := 0; ; iter++ {
+				rc.injectFaults(p, i, iter+1)
 				// Minibatch copy to the device.
 				p.Delay(rc.dataXfer)
 				if opt.elastic {
@@ -222,7 +223,7 @@ func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
 					snap, wire := w.snapshotWeights(codecAt(codecs.upW, i))
 					ship(w.lastLoss, snap, wire)
 					join := w.beginGradient()
-					p.Delay(w.computeTime)
+					p.Delay(rc.computeDelay(i, iter+1))
 					join()
 					rep := topo.Recv(p, i, master, tagPSReply).(psReply)
 					if rep.stop {
@@ -242,7 +243,7 @@ func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
 					// already paid bucket by bucket.
 					prepared := false
 					var wires []int64
-					loss := stream.walk(p, w, func(b int, bk comm.Bucket) {
+					loss := stream.walk(p, w, rc.computeScale(i, iter+1), func(b int, bk comm.Bucket) {
 						if !prepared {
 							wires = stream.bz.SplitWire(w.quantizeGrads(codecAt(codecs.up, i)))
 							prepared = true
@@ -271,7 +272,7 @@ func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
 					// in-flight gradients via the par pool; the join lands
 					// before the gradient is shipped.
 					join := w.beginGradient()
-					p.Delay(w.computeTime)
+					p.Delay(rc.computeDelay(i, iter+1))
 					loss := join()
 					ship(loss, w.net.Grads, w.quantizeGrads(codecAt(codecs.up, i)))
 					rep := topo.Recv(p, i, master, tagPSReply).(psReply)

@@ -49,6 +49,26 @@ type Platform struct {
 	// concurrent per-GPU fabric streams never queue, which is exactly the
 	// assumption the hierarchical collectives exist to drop.
 	NICConcurrency int
+	// LinkScale degrades named platform segments for failure scenarios:
+	// every transfer on a listed segment takes factor times as long
+	// (comm.ScaleLink). Keys: "host" (HostParam), "peer" (PeerParam),
+	// "data" (the minibatch copy link) and "fabric" (the inter-node link).
+	// Absent keys and factor 1 leave a segment untouched; factors must be
+	// positive. Like every FaultPlan knob this is timing-only — the
+	// training mathematics is bit-identical to the undegraded run.
+	LinkScale map[string]float64
+}
+
+// linkScaleSegments are the segment names LinkScale accepts.
+var linkScaleSegments = map[string]bool{"host": true, "peer": true, "data": true, "fabric": true}
+
+// link applies any LinkScale degradation for segment name to l.
+func (p Platform) link(name string, l comm.Transferer) comm.Transferer {
+	f, ok := p.LinkScale[name]
+	if !ok || f == 1 || l == nil {
+		return l
+	}
+	return comm.ScaleLink(l, f)
 }
 
 // topology builds the simulated message fabric for a run: the paper's
@@ -59,8 +79,8 @@ type Platform struct {
 func (p Platform) topology(env *sim.Env, workers int, hostStaged bool) *comm.Topology {
 	return comm.NewPCIeTree(env, comm.PCIeConfig{
 		GPUs:              workers,
-		Host:              p.HostParam,
-		Peer:              p.PeerParam,
+		Host:              p.link("host", p.HostParam),
+		Peer:              p.link("peer", p.PeerParam),
 		HostStaged:        hostStaged,
 		SwitchConcurrency: p.SwitchConcurrency,
 	})
@@ -79,13 +99,13 @@ func (p Platform) hierTopology(env *sim.Env, nodes, gpusPerNode int, hostStaged 
 		PerNode: func(env *sim.Env, node int) *comm.Topology {
 			return comm.NewPCIeTree(env, comm.PCIeConfig{
 				GPUs:              gpusPerNode,
-				Host:              p.HostParam,
-				Peer:              p.PeerParam,
+				Host:              p.link("host", p.HostParam),
+				Peer:              p.link("peer", p.PeerParam),
 				HostStaged:        hostStaged,
 				SwitchConcurrency: p.SwitchConcurrency,
 			})
 		},
-		Fabric:         fabric,
+		Fabric:         p.link("fabric", fabric),
 		NICConcurrency: p.NICConcurrency,
 	})
 }
@@ -209,6 +229,12 @@ type Config struct {
 	// 4·TauLocal. TauGlobal must be ≥ TauLocal; hier-sync-sgd ignores both.
 	TauLocal  int
 	TauGlobal int
+	// Faults injects failure scenarios — heterogeneous worker speeds,
+	// stragglers, fail-stop with checkpoint/restart — into the run's timing
+	// (see FaultPlan). The zero value is the fault-free run of the paper.
+	// Link degradation is configured on Platform.LinkScale; both are
+	// timing-only and leave the training mathematics bit-identical.
+	Faults FaultPlan
 }
 
 // DefaultBucketBytes is the streaming pipeline's bucket coalescing default:
@@ -268,6 +294,17 @@ func (c *Config) Validate() error {
 	}
 	if c.Def.In.Dim() != c.Train.Spec.SampleDim() {
 		return fmt.Errorf("core: net input %v does not match dataset dim %d", c.Def.In, c.Train.Spec.SampleDim())
+	}
+	if err := c.Faults.validate(c.Workers); err != nil {
+		return err
+	}
+	for name, f := range c.Platform.LinkScale {
+		if !linkScaleSegments[name] {
+			return fmt.Errorf("core: unknown link-scale segment %q (want host, peer, data or fabric)", name)
+		}
+		if f <= 0 {
+			return fmt.Errorf("core: link-scale factor for %q must be positive, got %v", name, f)
+		}
 	}
 	return nil
 }

@@ -372,8 +372,8 @@ func TestBreakdownNegativePanics(t *testing.T) {
 }
 
 func TestCategoryStrings(t *testing.T) {
-	if len(Categories()) != 6 {
-		t.Fatalf("want 6 categories")
+	if len(Categories()) != 7 {
+		t.Fatalf("want 7 categories")
 	}
 	for _, c := range Categories() {
 		if c.String() == "" {

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"scaledl/internal/sim"
+)
+
+// FaultPlan opens the failure-scenario space around the paper's fault-free
+// runs: heterogeneous worker speeds, transient stragglers, degraded links
+// (Platform.LinkScale) and one fail-stop crash with checkpoint/restart
+// recovery. Every knob is timing-only — it scales simulated delays or
+// inserts stalls, never touches the gradient mathematics — so a faulty run
+// produces bit-identical losses, accuracies and curves to its fault-free
+// twin and differs exactly in where the simulated time goes. That is the
+// point: the four algorithm families (round-robin, asynchronous, tree-
+// synchronous, hierarchical) respond to the *same* fault with visibly
+// different wall-clock damage, which is the comparison the faults harness
+// experiment tabulates.
+//
+// Steps are counted per worker and 1-based: a worker's first iteration is
+// step 1. For synchronous families a step is a global round; for the
+// asynchronous and round-robin families it is that worker's own iteration
+// count, so the same plan stays meaningful across all of them.
+type FaultPlan struct {
+	// Heterogeneity makes the fleet non-uniform: worker i's compute time is
+	// scaled by Heterogeneity[i mod len]. Empty means homogeneous (all 1).
+	// Factors must be positive; {1, 1.15} models every other device running
+	// 15% slow — the silent thermal throttling of large clusters.
+	Heterogeneity []float64
+
+	// StragglerFactor > 0 multiplies the compute time of the ranks in
+	// StragglerRanks during steps [StragglerFrom, StragglerUntil). Steps are
+	// 1-based; StragglerFrom 0 means from the start and StragglerUntil 0
+	// means to the end. A factor of exactly 1 is the degenerate no-op the
+	// fault tests pin. Zero disables the straggler entirely.
+	StragglerFactor float64
+	StragglerRanks  []int
+	StragglerFrom   int
+	StragglerUntil  int
+
+	// FailAtStep > 0 injects one fail-stop: worker FailRank crashes at the
+	// start of that step and recovers by reloading the last checkpoint over
+	// the data link and replaying every step since — data copy, compute and
+	// local update per replayed step. With CheckpointEvery 0 there is no
+	// checkpoint and the replay reaches back to step 1 (restart from
+	// scratch). The recovered state is by construction identical to the
+	// pre-crash state, so only time is lost — the stall surfaces on the
+	// failed rank and, through collectives and barriers, as waiting on every
+	// rank synchronized with it.
+	FailRank   int
+	FailAtStep int
+
+	// CheckpointEvery > 0 makes every worker write a checkpoint (one model
+	// copy over the data link) after each CheckpointEvery-th step — the
+	// steady cost that buys a shorter replay after a crash.
+	CheckpointEvery int
+}
+
+// enabled reports whether any fault knob is active.
+func (f *FaultPlan) enabled() bool {
+	return len(f.Heterogeneity) > 0 || f.StragglerFactor != 0 ||
+		f.FailAtStep > 0 || f.CheckpointEvery > 0
+}
+
+// validate checks the plan against the run's worker count.
+func (f *FaultPlan) validate(workers int) error {
+	for i, h := range f.Heterogeneity {
+		if h <= 0 {
+			return fmt.Errorf("core: heterogeneity factor %d must be positive, got %v", i, h)
+		}
+	}
+	if f.StragglerFactor < 0 {
+		return fmt.Errorf("core: straggler factor must be >= 0, got %v", f.StragglerFactor)
+	}
+	for _, r := range f.StragglerRanks {
+		if r < 0 || r >= workers {
+			return fmt.Errorf("core: straggler rank %d outside 0..%d", r, workers-1)
+		}
+	}
+	if f.StragglerFrom < 0 || f.StragglerUntil < 0 {
+		return fmt.Errorf("core: straggler step window must be non-negative, got [%d, %d)", f.StragglerFrom, f.StragglerUntil)
+	}
+	if f.FailAtStep < 0 {
+		return fmt.Errorf("core: fail-at step must be >= 0, got %d", f.FailAtStep)
+	}
+	if f.FailAtStep > 0 && (f.FailRank < 0 || f.FailRank >= workers) {
+		return fmt.Errorf("core: fail rank %d outside 0..%d", f.FailRank, workers-1)
+	}
+	if f.CheckpointEvery < 0 {
+		return fmt.Errorf("core: checkpoint interval must be >= 0, got %d", f.CheckpointEvery)
+	}
+	return nil
+}
+
+// hetScale returns worker id's steady speed factor from the heterogeneity
+// profile.
+func (rc *runContext) hetScale(id int) float64 {
+	h := rc.cfg.Faults.Heterogeneity
+	if len(h) == 0 {
+		return 1
+	}
+	return h[id%len(h)]
+}
+
+// computeScale returns the factor on worker id's compute time at its step s
+// (1-based): the steady heterogeneity factor times the straggler factor when
+// id straggles during s.
+func (rc *runContext) computeScale(id, s int) float64 {
+	scale := rc.hetScale(id)
+	f := &rc.cfg.Faults
+	if f.StragglerFactor > 0 {
+		from := f.StragglerFrom
+		if from < 1 {
+			from = 1
+		}
+		if s >= from && (f.StragglerUntil <= 0 || s < f.StragglerUntil) {
+			for _, r := range f.StragglerRanks {
+				if r == id {
+					scale *= f.StragglerFactor
+					break
+				}
+			}
+		}
+	}
+	return scale
+}
+
+// computeDelay is worker id's modeled forward+backward time at step s with
+// all fault scaling applied.
+func (rc *runContext) computeDelay(id, s int) float64 {
+	return rc.workers[id].computeTime * rc.computeScale(id, s)
+}
+
+// faultStall returns the stall worker id pays at the start of step s:
+// the reload-plus-replay of a fail-stop at this step, plus the checkpoint
+// write committed at the end of the previous step (charged here so a step's
+// stall is a single delay at its start).
+func (rc *runContext) faultStall(id, s int) float64 {
+	f := &rc.cfg.Faults
+	var d float64
+	if f.CheckpointEvery > 0 && s > 1 && (s-1)%f.CheckpointEvery == 0 {
+		d += rc.ckptTime
+	}
+	if f.FailAtStep > 0 && s == f.FailAtStep && id == f.FailRank {
+		last := 0
+		if f.CheckpointEvery > 0 {
+			last = (s - 1) / f.CheckpointEvery * f.CheckpointEvery
+		}
+		replay := float64(s - 1 - last)
+		perStep := rc.dataXfer + rc.workers[id].computeTime*rc.hetScale(id) + rc.workerUpdate
+		d += rc.ckptTime + replay*perStep
+	}
+	return d
+}
+
+// injectFaults delays p by worker id's fault stall at step s, if any. The
+// stall is charged to CatRecovery from rank 0 only — the breakdown is the
+// coordinating rank's exposed-time accounting, and a remote rank's stall
+// already reaches rank 0 as collective or barrier wait. Runs whose
+// coordinator is not a worker (the round-robin master, which charges its
+// wait for every worker as exposed compute) clear chargeRecovery so the
+// stall is not counted twice; there it surfaces in the master's wait.
+func (rc *runContext) injectFaults(p *sim.Proc, id, s int) {
+	if !rc.faultsOn {
+		return
+	}
+	if d := rc.faultStall(id, s); d > 0 {
+		p.Delay(d)
+		if id == 0 && rc.chargeRecovery {
+			rc.bd.Add(CatRecovery, d)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"testing"
+)
+
+// identicalMath asserts the fault-free invariant of FaultPlan: faults are
+// timing-only, so losses, accuracies, sample counts and the curve's math
+// columns must be bit-identical between a faulty run and its clean twin.
+func identicalMath(t *testing.T, clean, faulty Result) {
+	t.Helper()
+	if clean.FinalLoss != faulty.FinalLoss {
+		t.Errorf("final loss changed: %v vs %v", clean.FinalLoss, faulty.FinalLoss)
+	}
+	if clean.FinalAcc != faulty.FinalAcc {
+		t.Errorf("final accuracy changed: %v vs %v", clean.FinalAcc, faulty.FinalAcc)
+	}
+	if clean.Samples != faulty.Samples {
+		t.Errorf("sample count changed: %d vs %d", clean.Samples, faulty.Samples)
+	}
+	if clean.MasterUpdates != faulty.MasterUpdates {
+		t.Errorf("update count changed: %d vs %d", clean.MasterUpdates, faulty.MasterUpdates)
+	}
+	if len(clean.Curve) != len(faulty.Curve) {
+		t.Fatalf("curve length changed: %d vs %d", len(clean.Curve), len(faulty.Curve))
+	}
+	for i := range clean.Curve {
+		if clean.Curve[i].Loss != faulty.Curve[i].Loss || clean.Curve[i].TestAcc != faulty.Curve[i].TestAcc {
+			t.Errorf("curve point %d math changed: %+v vs %+v", i, clean.Curve[i], faulty.Curve[i])
+		}
+	}
+}
+
+// identicalResult additionally pins the timing: the two runs must be
+// bit-identical in every respect, including SimTime and the breakdown.
+func identicalResult(t *testing.T, clean, faulty Result) {
+	t.Helper()
+	identicalMath(t, clean, faulty)
+	if clean.SimTime != faulty.SimTime {
+		t.Errorf("sim time changed: %v vs %v", clean.SimTime, faulty.SimTime)
+	}
+	if clean.Breakdown != faulty.Breakdown {
+		t.Errorf("breakdown changed:\n%+v\nvs\n%+v", clean.Breakdown, faulty.Breakdown)
+	}
+}
+
+// A straggler factor of exactly 1 scales nothing; the run must be a
+// bit-identical no-op even though the fault machinery is active.
+func TestStragglerFactorOneIsNoOp(t *testing.T) {
+	clean, err := SyncEASGD3(testConfig(t, 30, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, 30, true)
+	cfg.Faults = FaultPlan{StragglerFactor: 1, StragglerRanks: []int{1, 3}}
+	faulty, err := SyncEASGD3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalResult(t, clean, faulty)
+}
+
+// A fail-stop scheduled after the run's last step never fires; the Result
+// must not change in any way.
+func TestFailureAfterRunEndIsNoOp(t *testing.T) {
+	clean, err := SyncSGD(testConfig(t, 30, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, 30, true)
+	cfg.Faults = FaultPlan{FailRank: 2, FailAtStep: cfg.Iterations + 5}
+	faulty, err := SyncSGD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalResult(t, clean, faulty)
+}
+
+// Checkpoint/recovery is pure replay: the recovered run reaches exactly the
+// same mathematical state (losses, accuracy, curve) while paying strictly
+// more simulated time, and the coordinator's breakdown shows the recovery.
+func TestRecoveryRestoresMathExactly(t *testing.T) {
+	mk := func() Config {
+		cfg := testConfig(t, 30, true)
+		cfg.EvalEvery = 10
+		return cfg
+	}
+	clean, err := SyncEASGD3(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mk()
+	cfg.Faults = FaultPlan{FailRank: 0, FailAtStep: 11, CheckpointEvery: 4}
+	faulty, err := SyncEASGD3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalMath(t, clean, faulty)
+	if faulty.SimTime <= clean.SimTime {
+		t.Errorf("recovery did not cost time: %v vs clean %v", faulty.SimTime, clean.SimTime)
+	}
+	if got := faulty.Breakdown.Times[CatRecovery]; got <= 0 {
+		t.Errorf("recovery category not charged, got %v", got)
+	}
+	if clean.Breakdown.Times[CatRecovery] != 0 {
+		t.Errorf("clean run charged recovery: %v", clean.Breakdown.Times[CatRecovery])
+	}
+}
+
+// A crash with no checkpoints replays from step 1 — strictly more expensive
+// than the same crash with periodic checkpoints.
+func TestCheckpointsShortenRecovery(t *testing.T) {
+	run := func(every int) Result {
+		cfg := testConfig(t, 30, true)
+		cfg.Faults = FaultPlan{FailRank: 1, FailAtStep: 21, CheckpointEvery: every}
+		r, err := SyncEASGD2(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	scratch := run(0) // replay 20 steps
+	ckpt := run(5)    // replay 0 steps (checkpoint after step 20), 5 writes
+	if scratch.SimTime <= ckpt.SimTime {
+		t.Errorf("restart from scratch (%v) should cost more than checkpointed recovery (%v)",
+			scratch.SimTime, ckpt.SimTime)
+	}
+	identicalMath(t, scratch, ckpt)
+}
+
+// Link degradation slows the run without touching the math; factor 1 is a
+// bit-identical no-op.
+func TestLinkScaleDegradesTimeOnly(t *testing.T) {
+	clean, err := SyncEASGD1(testConfig(t, 20, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig(t, 20, true)
+	cfg.Platform.LinkScale = map[string]float64{"host": 1, "data": 1}
+	same, err := SyncEASGD1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalResult(t, clean, same)
+
+	cfg = testConfig(t, 20, true)
+	cfg.Platform.LinkScale = map[string]float64{"host": 4}
+	slow, err := SyncEASGD1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalMath(t, clean, slow)
+	if slow.SimTime <= clean.SimTime {
+		t.Errorf("degraded host link did not slow the run: %v vs %v", slow.SimTime, clean.SimTime)
+	}
+
+	cfg = testConfig(t, 20, true)
+	cfg.Platform.LinkScale = map[string]float64{"bogus": 2}
+	if _, err := SyncEASGD1(cfg); err == nil {
+		t.Error("unknown link-scale segment accepted")
+	}
+}
+
+// The same straggler observably degrades every algorithm family: round-robin,
+// asynchronous, tree-synchronous and hierarchical. Math stays bit-identical
+// for the families whose schedule is unaffected by timing (the synchronous
+// and round-robin ones); the asynchronous families may reorder service, so
+// only the slowdown is asserted there.
+func TestStragglerDegradesAllFamilies(t *testing.T) {
+	// The round-robin family is represented by its serial variant: in the
+	// overlapped one a straggler's compute hides behind the master's
+	// exchanges with the other workers (a correct emergent property, but
+	// not a timing observable at this scale).
+	families := []struct {
+		name      string
+		exactMath bool
+	}{
+		{"original-easgd*", true},
+		{"async-easgd", false},
+		{"sync-easgd3", true},
+		{"hier-sync-easgd", true},
+	}
+	for _, f := range families {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			mk := func() Config {
+				cfg := testConfig(t, 24, true)
+				if f.name == "hier-sync-easgd" {
+					cfg.Nodes, cfg.GPUsPerNode = 2, 2
+				}
+				return cfg
+			}
+			clean, err := Methods[f.name](mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := mk()
+			cfg.Faults = FaultPlan{StragglerFactor: 5, StragglerRanks: []int{1}}
+			slow, err := Methods[f.name](cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if slow.SimTime <= clean.SimTime {
+				t.Errorf("straggler did not slow %s: %v vs %v", f.name, slow.SimTime, clean.SimTime)
+			}
+			if f.exactMath {
+				identicalMath(t, clean, slow)
+			}
+		})
+	}
+}
+
+// Heterogeneity cycles the profile across ranks and slows synchronized runs
+// to the slowest device's pace.
+func TestHeterogeneitySlowsSynchronousRuns(t *testing.T) {
+	clean, err := SyncSGD(testConfig(t, 20, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, 20, true)
+	cfg.Faults = FaultPlan{Heterogeneity: []float64{1, 1.5}}
+	het, err := SyncSGD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalMath(t, clean, het)
+	if het.SimTime <= clean.SimTime {
+		t.Errorf("heterogeneous fleet not slower: %v vs %v", het.SimTime, clean.SimTime)
+	}
+}
+
+// The coordinated methods' exposed-time accounting must keep summing to
+// wall-clock with faults active — recovery is a first-class category, not a
+// leak.
+func TestFaultyBreakdownSumsToWall(t *testing.T) {
+	cfg := testConfig(t, 20, true)
+	cfg.Faults = FaultPlan{FailRank: 0, FailAtStep: 7, CheckpointEvery: 3, StragglerFactor: 2, StragglerRanks: []int{2}}
+	res, err := SyncEASGD3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Breakdown.Total()
+	if rel := (sum - res.SimTime) / res.SimTime; rel > 0.02 || rel < -0.02 {
+		t.Errorf("faulty breakdown sum %v vs wall %v (rel %.3f)", sum, res.SimTime, rel)
+	}
+}
+
+func TestFaultPlanValidation(t *testing.T) {
+	bad := []FaultPlan{
+		{Heterogeneity: []float64{1, 0}},
+		{StragglerFactor: -1},
+		{StragglerFactor: 2, StragglerRanks: []int{9}},
+		{StragglerFactor: 2, StragglerFrom: -1},
+		{FailAtStep: 3, FailRank: 7},
+		{FailAtStep: -2},
+		{CheckpointEvery: -1},
+	}
+	for i, f := range bad {
+		cfg := testConfig(t, 5, true)
+		cfg.Faults = f
+		if _, err := SyncSGD(cfg); err == nil {
+			t.Errorf("bad fault plan %d accepted: %+v", i, f)
+		}
+	}
+}

@@ -155,16 +155,18 @@ func HierSyncEASGD(cfg Config) (Result, error) {
 		env.Spawn(fmt.Sprintf("node%d.gpu%d", g, local), func(p *sim.Proc) {
 			for t := 0; t < cfg.Iterations; t++ {
 				s := t + 1
+				rc.injectFaults(p, r, s)
 				// Local step: minibatch copy, gradient, plain SGD.
 				p.Delay(rc.dataXfer)
 				join := w.beginGradient()
-				p.Delay(w.computeTime)
+				ct := rc.computeDelay(r, s)
+				p.Delay(ct)
 				losses[r] = join()
 				w.sgdLocal(cfg.LR)
 				p.Delay(rc.workerUpdate)
 				if r == 0 {
 					rc.bd.Add(CatCPUGPUData, rc.dataXfer)
-					rc.bd.Add(CatForwardBackward, w.computeTime)
+					rc.bd.Add(CatForwardBackward, ct)
 					rc.bd.Add(CatGPUUpdate, rc.workerUpdate)
 				}
 

@@ -74,6 +74,7 @@ func KNLClusterEASGD(kcfg KNLClusterConfig) (Result, error) {
 				copy(centerBuf, rc.center)
 			}
 			for t := 0; t < cfg.Iterations; t++ {
+				rc.injectFaults(p, id, t+1)
 				t0 := p.Now()
 				// Under Config.Overlap, line 12's broadcast streams through
 				// the bucketed pipeline beneath line 10's compute: W̄_t was
@@ -92,10 +93,11 @@ func KNLClusterEASGD(kcfg KNLClusterConfig) (Result, error) {
 				// overlap in real time exactly as the paper's nodes do; the
 				// join lands before the weights enter the collectives.
 				join := w.beginGradient()
-				p.Delay(w.computeTime)
+				ct := rc.computeDelay(id, t+1)
+				p.Delay(ct)
 				roundLoss := join()
 				if id == 0 {
-					rc.bd.Add(CatForwardBackward, w.computeTime)
+					rc.bd.Add(CatForwardBackward, ct)
 				}
 
 				// The broadcast's exposed time is charged the same way in
@@ -106,14 +108,14 @@ func KNLClusterEASGD(kcfg KNLClusterConfig) (Result, error) {
 				if cfg.Overlap {
 					busy := crew.wait(p)
 					if id == 0 {
-						rc.chargeOverlap(CatGPUGPUParam, p.Now()-t0, w.computeTime, busy)
+						rc.chargeOverlap(CatGPUGPUParam, p.Now()-t0, ct, busy)
 					}
 					reduceRound = base + nb
 				} else {
 					// Line 12: KNL1 broadcasts W̄_t (real message tree).
 					ep.Broadcast(p, base, 0, centerBuf)
 					if id == 0 {
-						rc.chargeOverlap(CatGPUGPUParam, p.Now()-t0, w.computeTime, 0)
+						rc.chargeOverlap(CatGPUGPUParam, p.Now()-t0, ct, 0)
 					}
 				}
 				// Line 13: tree-reduce ΣW_j^t to KNL1 (pre-update weights;

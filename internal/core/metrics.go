@@ -7,6 +7,15 @@
 // for real (so accuracy curves are genuine) while time is charged by the
 // hardware models of internal/hw (so the time axis reflects the paper's
 // platforms rather than this machine).
+//
+// Beyond the paper's fault-free runs, Config.Faults (FaultPlan) and
+// Platform.LinkScale open the failure-scenario space: per-worker compute
+// heterogeneity, straggler injection, degraded links on named segments,
+// and fail-stop with checkpoint/recovery. Every knob is timing-only — it
+// stretches delays or inserts stalls, never touches gradient math — so a
+// faulty run's losses, accuracies and curves are bit-identical to its
+// clean twin's for the deterministic schedules (pinned by faults_test.go),
+// and only the simulated clock and the breakdown (CatRecovery) move.
 package core
 
 import "fmt"
@@ -28,6 +37,14 @@ const (
 	CatGPUUpdate
 	// CatCPUUpdate is the master-side center-weight update (part 8).
 	CatCPUUpdate
+	// CatRecovery is fault-handling time: checkpoint writes and the
+	// reload-plus-replay stall after a fail-stop (FaultPlan). Not a Table 3
+	// column — the paper's runs are fault-free — but charged through the
+	// same exposed accounting so faulty runs still sum to wall time. It is
+	// charged from the coordinating rank's own stalls; a *remote* rank's
+	// stall reaches the coordinator as collective or barrier wait and lands
+	// in the category that wait is charged to.
+	CatRecovery
 
 	numCategories
 )
@@ -47,6 +64,8 @@ func (c Category) String() string {
 		return "gpu update"
 	case CatCPUUpdate:
 		return "cpu update"
+	case CatRecovery:
+		return "recovery"
 	default:
 		return fmt.Sprintf("Category(%d)", int(c))
 	}

@@ -62,6 +62,10 @@ func runRoundRobin(cfg Config, name string, overlap bool) (Result, error) {
 		return Result{}, err
 	}
 	cfg = rc.cfg // validated copy with defaults applied
+	// The master is the coordinator here and charges its wait for every
+	// worker's completion as exposed compute; a worker's fault stall already
+	// lands there, so it must not also be charged to CatRecovery.
+	rc.chargeRecovery = false
 	env := sim.NewEnv()
 	defer env.Close()
 
@@ -89,11 +93,12 @@ func runRoundRobin(cfg Config, name string, overlap bool) (Result, error) {
 		j := j
 		w := rc.workers[j]
 		env.Spawn(fmt.Sprintf("gpu%d", j), func(p *sim.Proc) {
-			for {
+			for step := 1; ; step++ {
 				cmd := topo.Recv(p, j, master, tagRRCenter).(rrCmd)
 				if cmd.stop {
 					return
 				}
+				rc.injectFaults(p, j, step)
 				if cfg.Overlap {
 					// Streaming: post one free bucket completion per
 					// gradient-ready instant; the pre-update weight snapshot
@@ -103,7 +108,7 @@ func runRoundRobin(cfg Config, name string, overlap bool) (Result, error) {
 					var wires []int64
 					prepared := false
 					emitted := 0
-					stream.walk(p, w, func(b int, bk comm.Bucket) {
+					stream.walk(p, w, rc.computeScale(j, step), func(b int, bk comm.Bucket) {
 						if !prepared {
 							var wire int64
 							snap, wire = w.snapshotWeights(codecAt(up, j))
@@ -120,7 +125,7 @@ func runRoundRobin(cfg Config, name string, overlap bool) (Result, error) {
 					})
 				} else {
 					join := w.beginGradient()
-					p.Delay(w.computeTime)
+					p.Delay(rc.computeDelay(j, step))
 					loss := join()
 					snap, wire := w.snapshotWeights(codecAt(up, j))
 					done[j].Send(rrDone{weights: snap, loss: loss, wire: wire})

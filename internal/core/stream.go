@@ -99,17 +99,22 @@ func (rc *runContext) newStream(plan comm.Plan) *streamPlan {
 // that completes a bucket triggers onBucket at that instant. The emission
 // order is therefore the real backward's, not a schedule derived on the
 // side; the instants land so the total delayed time is exactly computeTime.
-func (sp *streamPlan) walk(p *sim.Proc, w *worker, onBucket func(b int, bk comm.Bucket)) float64 {
+// scale stretches the whole walk uniformly (1 for nominal speed) — the
+// fault model's heterogeneity and straggler factors slow forward and
+// backward alike, so bucket-ready instants shift proportionally.
+func (sp *streamPlan) walk(p *sim.Proc, w *worker, scale float64, onBucket func(b int, bk comm.Bucket)) float64 {
+	compute := sp.compute * scale
+	fwd := sp.fwd * scale
 	w.recordEvents = !sp.wholeModel
 	join := w.beginGradient()
 	// Delay the forward share first: the yield lets every peer process
 	// submit its own gradient before this goroutine blocks in the join, so
 	// the replicas' real math still overlaps on the pool.
-	p.Delay(sp.fwd)
+	p.Delay(fwd)
 	loss := join()
-	now := sp.fwd
+	now := fwd
 	if sp.wholeModel {
-		p.Delay(sp.compute - now)
+		p.Delay(compute - now)
 		for b, bk := range sp.buckets {
 			onBucket(b, bk)
 		}
@@ -131,7 +136,7 @@ func (sp *streamPlan) walk(p *sim.Proc, w *worker, onBucket func(b int, bk comm.
 		if pending[b] == 0 {
 			// This event completed bucket b: its gradients are final at
 			// fwd + the backward shares of every layer emitted so far.
-			at := sp.compute * (1.0/3 + (2.0/3)*cum/sp.totalFlops)
+			at := compute * (1.0/3 + (2.0/3)*cum/sp.totalFlops)
 			if at > now {
 				p.Delay(at - now)
 				now = at
@@ -139,8 +144,8 @@ func (sp *streamPlan) walk(p *sim.Proc, w *worker, onBucket func(b int, bk comm.
 			onBucket(b, sp.buckets[b])
 		}
 	}
-	if sp.compute > now {
-		p.Delay(sp.compute - now)
+	if compute > now {
+		p.Delay(compute - now)
 	}
 	return loss
 }

@@ -112,6 +112,7 @@ func runSyncEASGD(cfg Config, name string, opt syncOpts) (Result, error) {
 		}
 		env.Spawn(fmt.Sprintf("gpu%d", i), func(p *sim.Proc) {
 			for t := 0; t < cfg.Iterations; t++ {
+				rc.injectFaults(p, i, t+1)
 				t0 := p.Now()
 				if i == root {
 					// W̄_t was fixed by the master update of iteration t−1;
@@ -137,7 +138,8 @@ func runSyncEASGD(cfg Config, name string, opt syncOpts) (Result, error) {
 				// pool while this process waits out its compute delay, so all
 				// P replicas' gradients overlap in wall-clock time too.
 				join := w.beginGradient()
-				p.Delay(w.computeTime)
+				ct := rc.computeDelay(i, t+1)
+				p.Delay(ct)
 				losses[i] = join()
 
 				var hidden float64
@@ -148,8 +150,8 @@ func runSyncEASGD(cfg Config, name string, opt syncOpts) (Result, error) {
 				}
 				if i == root {
 					rc.bd.Add(CatCPUGPUData, rc.dataXfer)
-					rc.bd.Add(CatForwardBackward, w.computeTime)
-					rc.chargeOverlap(paramCat, p.Now()-t0, rc.dataXfer+w.computeTime, hidden)
+					rc.bd.Add(CatForwardBackward, ct)
+					rc.chargeOverlap(paramCat, p.Now()-t0, rc.dataXfer+ct, hidden)
 				}
 
 				// Line 12: tree-reduce ΣW_j^t of the pre-update local weights
@@ -305,6 +307,7 @@ func (rc *runContext) runSyncSGDWorkers(env *sim.Env, plan comm.Plan, eps []grad
 		}
 		env.Spawn(fmt.Sprintf("gpu%d", i), func(p *sim.Proc) {
 			for t := 0; t < cfg.Iterations; t++ {
+				rc.injectFaults(p, i, t+1)
 				t0 := p.Now()
 				p.Delay(rc.dataXfer) // concurrent async DMAs to all workers
 
@@ -317,7 +320,8 @@ func (rc *runContext) runSyncSGDWorkers(env *sim.Env, plan comm.Plan, eps []grad
 					// The reduced values stay bit-identical to the monolithic
 					// allreduce: same elements, same rank-ordered sums.
 					prepared := false
-					losses[i] = stream.walk(p, w, func(b int, bk comm.Bucket) {
+					scale := rc.computeScale(i, t+1)
+					losses[i] = stream.walk(p, w, scale, func(b int, bk comm.Bucket) {
 						if !prepared {
 							// First emission: the pool join has landed, the
 							// full gradient is final; quantize (error
@@ -335,13 +339,15 @@ func (rc *runContext) runSyncSGDWorkers(env *sim.Env, plan comm.Plan, eps []grad
 					})
 					hidden := crew.wait(p)
 					if i == root {
+						ct := w.computeTime * scale
 						rc.bd.Add(CatCPUGPUData, rc.dataXfer)
-						rc.bd.Add(CatForwardBackward, w.computeTime)
-						rc.chargeOverlap(CatCPUGPUParam, p.Now()-t0, rc.dataXfer+w.computeTime, hidden)
+						rc.bd.Add(CatForwardBackward, ct)
+						rc.chargeOverlap(CatCPUGPUParam, p.Now()-t0, rc.dataXfer+ct, hidden)
 					}
 				} else {
 					join := w.beginGradient()
-					p.Delay(w.computeTime)
+					ct := rc.computeDelay(i, t+1)
+					p.Delay(ct)
 					losses[i] = join()
 
 					// The allreduce: real gradient segments move under the
@@ -355,7 +361,7 @@ func (rc *runContext) runSyncSGDWorkers(env *sim.Env, plan comm.Plan, eps []grad
 					ep.AllReduce(p, t, gbufs[i])
 					if i == root {
 						rc.bd.Add(CatCPUGPUData, rc.dataXfer)
-						rc.bd.Add(CatForwardBackward, w.computeTime)
+						rc.bd.Add(CatForwardBackward, ct)
 						rc.bd.Add(CatCPUGPUParam, p.Now()-tA)
 					}
 				}

@@ -55,6 +55,14 @@ type runContext struct {
 	workerUpdate float64 // Eq. (1) on the worker device
 	masterUpdate float64 // Eq. (2) on the master device
 
+	// faultsOn gates the per-step fault hooks; ckptTime is the modeled cost
+	// of writing or reloading one model checkpoint over the data link.
+	// chargeRecovery (default true) lets rank 0's fault stalls be charged
+	// to CatRecovery; master-coordinated runs clear it (see injectFaults).
+	faultsOn       bool
+	ckptTime       float64
+	chargeRecovery bool
+
 	updates int64 // master-side updates performed
 	samples int64 // training samples consumed
 	stopped bool  // TargetAcc reached
@@ -103,12 +111,18 @@ func newRunContext(cfg Config) (*runContext, error) {
 		rc.workers = append(rc.workers, w)
 	}
 
-	rc.dataXfer = cfg.Platform.Data.Time(rc.workers[0].dataBytes)
+	dataLink := cfg.Platform.link("data", cfg.Platform.Data)
+	rc.dataXfer = dataLink.Time(rc.workers[0].dataBytes)
 	// Elementwise updates stream ~3 vectors of the model (read W, read
 	// other, write W): 2 flops and 12 bytes per parameter.
 	n := int64(len(rc.center))
 	rc.workerUpdate = cfg.Platform.Worker.ComputeTime(2*n, 12*n)
 	rc.masterUpdate = cfg.Platform.Master.ComputeTime(2*n, 12*n)
+	rc.faultsOn = cfg.Faults.enabled()
+	rc.chargeRecovery = true
+	if rc.faultsOn {
+		rc.ckptTime = dataLink.Time(rc.paramBytes)
+	}
 	return rc, nil
 }
 

@@ -41,6 +41,8 @@ func init() {
 	register(Experiment{ID: "overlap", Title: "Layer-streaming backprop: hidden communication ablation", PaperRef: "Section 5.1 (overlap)", Run: RunOverlap})
 	register(Experiment{ID: "knlmodes", Title: "MCDRAM and cluster-mode ablation", PaperRef: "Sections 2.1, 6.2", Run: RunKNLModes})
 	register(Experiment{ID: "hier", Title: "Hierarchical two-level clusters (node-local + fabric collectives)", PaperRef: "Sections 6.2, 7.1; FireCaffe/Poseidon", Run: RunHier})
+	register(Experiment{ID: "scale", Title: "Thousand-node sweeps: collectives and weak scaling to P=1024", PaperRef: "Sections 6.2, 7.1; Table 4 (cluster scale)", Run: RunScale})
+	register(Experiment{ID: "faults", Title: "Failure scenarios: stragglers, degraded links, fail-stop recovery", PaperRef: "Section 7 (robustness discussion); model extension", Run: RunFaults})
 }
 
 // List returns all experiments ordered by ID.

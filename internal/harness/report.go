@@ -4,9 +4,12 @@
 // Caffe), Figures 6 and 8 (accuracy-versus-time method comparisons),
 // Figure 10 (packed single-layer communication), Figure 12 (KNL chip
 // partitioning) and Figure 13 (weak-scaling benefit), plus the §7.2
-// batch-size study and a co-design ablation. Each experiment produces a
-// Report of formatted tables; cmd/scaledl-bench prints them and
-// bench_test.go wraps them as benchmarks.
+// batch-size study, a co-design ablation, and two model extensions: the
+// "scale" thousand-node sweeps (size-only collectives and weak scaling to
+// P=1024) and the "faults" failure-scenario battery (stragglers, degraded
+// links, fail-stop recovery). Each experiment produces a Report of
+// formatted tables; cmd/scaledl-bench prints them and bench_test.go wraps
+// them as benchmarks.
 package harness
 
 import (

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+)
+
+// BenchmarkSimThroughput measures the bare event-kernel cost: a ring of
+// processes passing a token through queues, with each hop one Delay and one
+// Recv — two scheduler events per hop and no payload work. events/sec is
+// the headline metric the BENCH_sim.json gate pins; everything the comm
+// engine simulates is built from exactly these hops.
+func BenchmarkSimThroughput(b *testing.B) {
+	const procs = 64
+	hops := b.N
+	env := NewEnv()
+	qs := make([]*Queue, procs)
+	for i := range qs {
+		qs[i] = NewQueue(env, "q")
+	}
+	for i := 0; i < procs; i++ {
+		i := i
+		env.Spawn("p", func(p *Proc) {
+			for {
+				v := p.Recv(qs[i])
+				n := v.(int)
+				if n <= 0 {
+					if n == 0 {
+						qs[(i+1)%procs].Send(-1)
+					}
+					return
+				}
+				p.Delay(1e-6)
+				qs[(i+1)%procs].Send(n - 1)
+			}
+		})
+	}
+	b.ResetTimer()
+	qs[0].Send(hops)
+	env.Run()
+	b.StopTimer()
+	env.Close()
+	// Each hop is two events (queue wake-up + delay expiry).
+	b.ReportMetric(float64(2*hops)*float64(1e9)/float64(b.Elapsed().Nanoseconds()), "events/sec")
+}
+
+// BenchmarkSimSteadyStateAllocs reports allocations per event on the
+// kernel's hot path (ping-pong over a queue); the companion
+// TestSteadyStateZeroAllocs pins it at zero.
+func BenchmarkSimSteadyStateAllocs(b *testing.B) {
+	env := NewEnv()
+	q := NewQueue(env, "q")
+	env.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Delay(1e-6)
+		}
+		q.Send(struct{}{})
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	env.Run()
+	b.StopTimer()
+	env.Close()
+}

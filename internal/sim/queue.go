@@ -5,10 +5,15 @@ package sim
 // message is available. Waiting receivers are served in arrival order, which
 // is exactly the first-come-first-served discipline of the paper's
 // parameter-server (Async SGD) master.
+//
+// Storage is a head-indexed ring: consumed slots are nil'd and the backing
+// array is reused once drained, so a steady-state send/recv cycle does not
+// allocate.
 type Queue struct {
 	env     *Env
 	name    string
 	items   []any
+	head    int
 	waiters []*Proc
 }
 
@@ -18,7 +23,7 @@ func NewQueue(env *Env, name string) *Queue {
 }
 
 // Len returns the number of queued messages.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return len(q.items) - q.head }
 
 // Send enqueues v and wakes every waiting receiver. All waiters are woken
 // (rather than only the first) because selective receivers (RecvMatch) may
@@ -29,23 +34,42 @@ func (q *Queue) Len() int { return len(q.items) }
 func (q *Queue) Send(v any) {
 	q.items = append(q.items, v)
 	if len(q.waiters) > 0 {
+		// Exactly one process runs at a time, so the woken waiters cannot
+		// re-register (and overwrite the backing array) before this loop
+		// finishes; truncating instead of nil'ing keeps the capacity.
 		ws := q.waiters
-		q.waiters = nil
+		q.waiters = q.waiters[:0]
 		for _, w := range ws {
 			q.env.schedule(q.env.now, w)
 		}
 	}
 }
 
+// take removes and returns the item at absolute index i (≥ q.head).
+func (q *Queue) take(i int) any {
+	v := q.items[i]
+	if i == q.head {
+		q.items[i] = nil
+		q.head++
+	} else {
+		copy(q.items[i:], q.items[i+1:])
+		q.items[len(q.items)-1] = nil
+		q.items = q.items[:len(q.items)-1]
+	}
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
+
 // Recv blocks p until a message is available and returns it.
 func (p *Proc) Recv(q *Queue) any {
-	for len(q.items) == 0 {
+	for q.Len() == 0 {
 		q.waiters = append(q.waiters, p)
 		p.block()
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v
+	return q.take(q.head)
 }
 
 // RecvMatch blocks p until a queued message satisfies match, removes it
@@ -55,12 +79,9 @@ func (p *Proc) Recv(q *Queue) any {
 // reduction of iteration t — without per-stream queues.
 func (p *Proc) RecvMatch(q *Queue, match func(v any) bool) any {
 	for {
-		for i, v := range q.items {
-			if match(v) {
-				copy(q.items[i:], q.items[i+1:])
-				q.items[len(q.items)-1] = nil
-				q.items = q.items[:len(q.items)-1]
-				return v
+		for i := q.head; i < len(q.items); i++ {
+			if match(q.items[i]) {
+				return q.take(i)
 			}
 		}
 		q.waiters = append(q.waiters, p)
@@ -71,12 +92,10 @@ func (p *Proc) RecvMatch(q *Queue, match func(v any) bool) any {
 // TryRecv returns (message, true) if one is queued, or (nil, false) without
 // blocking.
 func (q *Queue) TryRecv() (any, bool) {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return nil, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.take(q.head), true
 }
 
 // Resource is a counted resource with strict FIFO admission, the simulated
@@ -95,14 +114,8 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  []*resWaiter
-}
-
-// resWaiter is one queued acquirer; granted marks a unit handed to it by
-// Release before it resumes.
-type resWaiter struct {
-	p       *Proc
-	granted bool
+	waiters  []*Proc
+	whead    int
 }
 
 // NewResource creates a resource with the given capacity (≥1).
@@ -118,17 +131,19 @@ func (r *Resource) InUse() int { return r.inUse }
 
 // Acquire blocks p until a unit is free, then takes it. Admission is strict
 // FIFO: if anyone is already queued, p queues behind them even when a unit
-// is technically free at this instant.
+// is technically free at this instant. A process waits on at most one
+// resource at a time, so the hand-off flag lives on the Proc itself and
+// queuing allocates nothing in steady state.
 func (p *Proc) Acquire(r *Resource) {
-	if r.inUse < r.capacity && len(r.waiters) == 0 {
+	if r.inUse < r.capacity && r.whead == len(r.waiters) {
 		r.inUse++
 		return
 	}
-	w := &resWaiter{p: p}
-	r.waiters = append(r.waiters, w)
-	for !w.granted {
+	r.waiters = append(r.waiters, p)
+	for !p.granted {
 		p.block()
 	}
+	p.granted = false
 }
 
 // Release returns a unit. If acquirers are queued, the unit is handed
@@ -138,11 +153,16 @@ func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: Release of idle resource " + r.name)
 	}
-	if len(r.waiters) > 0 {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
+	if r.whead < len(r.waiters) {
+		w := r.waiters[r.whead]
+		r.waiters[r.whead] = nil
+		r.whead++
+		if r.whead == len(r.waiters) {
+			r.waiters = r.waiters[:0]
+			r.whead = 0
+		}
 		w.granted = true
-		r.env.schedule(r.env.now, w.p)
+		r.env.schedule(r.env.now, w)
 		return
 	}
 	r.inUse--
@@ -150,14 +170,22 @@ func (r *Resource) Release() {
 
 // Barrier blocks a fixed set of n processes until all have arrived, the
 // simulated analogue of MPI_Barrier — the synchronization point of every
-// Sync EASGD iteration.
+// Sync EASGD iteration. Generations are numbered from 0; generation g
+// releases once every party has arrived for it (and g-1 has released).
 type Barrier struct {
 	env     *Env
 	name    string
 	n       int
-	arrived int
-	gen     int
-	waiters []*Proc
+	gen     int   // completed generations
+	pending []int // pending[i] = arrivals for generation gen+i
+	waiters []barrierWaiter
+}
+
+// barrierWaiter is one blocked party, to be woken when generation until-1
+// (the last one it arrived for) releases.
+type barrierWaiter struct {
+	p     *Proc
+	until int
 }
 
 // NewBarrier creates a barrier for n parties.
@@ -168,22 +196,58 @@ func NewBarrier(env *Env, name string, n int) *Barrier {
 	return &Barrier{env: env, name: name, n: n}
 }
 
+// Gen returns the number of completed generations.
+func (b *Barrier) Gen() int { return b.gen }
+
 // Wait blocks p until all n parties have called Wait for the current
 // generation; the barrier then resets for reuse.
-func (p *Proc) Wait(b *Barrier) {
-	b.arrived++
-	if b.arrived == b.n {
-		b.arrived = 0
-		b.gen++
-		for _, w := range b.waiters {
-			b.env.schedule(b.env.now, w)
-		}
-		b.waiters = b.waiters[:0]
+func (p *Proc) Wait(b *Barrier) { p.WaitMany(b, 1) }
+
+// WaitMany arrives for the next k consecutive generations at once and
+// blocks p until the last of them releases. A party that does nothing
+// between two barrier crossings would otherwise be woken at each one only
+// to re-arrive at the next instantly; batching its arrivals removes those
+// wake-ups without changing any release time — an idle party's arrival
+// instant is exactly the previous generation's release instant, so it is
+// never the arrival that completes a generation ahead of the active
+// parties. Waiters wake in arrival order, preserving the deterministic
+// same-instant event order of repeated single Waits.
+func (p *Proc) WaitMany(b *Barrier, k int) {
+	if k < 1 {
+		panic("sim: WaitMany of " + b.name + " needs k >= 1")
+	}
+	for len(b.pending) < k {
+		b.pending = append(b.pending, 0)
+	}
+	for i := 0; i < k; i++ {
+		b.pending[i]++
+	}
+	target := b.gen + k
+	b.release()
+	if b.gen >= target {
 		return
 	}
-	gen := b.gen
-	b.waiters = append(b.waiters, p)
-	for b.gen == gen {
+	b.waiters = append(b.waiters, barrierWaiter{p: p, until: target})
+	for b.gen < target {
 		p.block()
+	}
+}
+
+// release completes every generation whose arrivals are full, waking the
+// parties whose batch ends at it.
+func (b *Barrier) release() {
+	for len(b.pending) > 0 && b.pending[0] == b.n {
+		copy(b.pending, b.pending[1:])
+		b.pending = b.pending[:len(b.pending)-1]
+		b.gen++
+		kept := b.waiters[:0]
+		for _, w := range b.waiters {
+			if w.until <= b.gen {
+				b.env.schedule(b.env.now, w.p)
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		b.waiters = kept
 	}
 }

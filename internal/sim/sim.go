@@ -9,14 +9,23 @@
 // makes the paper's determinism claims (Sync EASGD is "deterministic and
 // reproducible") testable, and what lets Hogwild's lock-free races be
 // modeled reproducibly.
+//
+// The scheduler hands control directly from a blocking process to the next
+// runnable one: whichever goroutine holds the execution token pops the next
+// event itself and resumes its owner, so each event costs one goroutine
+// hand-off rather than a round-trip through a central loop. Wake-ups
+// scheduled for the current instant bypass the heap through a FIFO ready
+// ring, and the heap stores concrete event values — the steady-state event
+// path performs no allocations (pinned by TestSteadyStateZeroAllocs).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"runtime"
+	"sync"
 )
 
-// errAbort is panicked inside process goroutines woken by Close so they
+// abortSignal is panicked inside process goroutines woken by Close so they
 // unwind and exit; the process wrapper recovers it.
 type abortSignal struct{}
 
@@ -28,18 +37,36 @@ type Proc struct {
 	done bool
 	err  any // non-nil if the process panicked with a real error
 
+	granted bool // a Resource unit was handed to this proc by Release
+
+	// resume carries the execution token. Buffered so the holder can
+	// enqueue the token and park itself without a rendezvous.
 	resume chan struct{}
 }
 
 // Env is a simulation environment: a virtual clock plus an event queue.
 // Create with NewEnv, add processes with Spawn, then call Run.
 type Env struct {
-	now    float64
-	seq    int64
-	events eventHeap
-	yield  chan struct{}
+	now float64
+	seq int64
+
+	events eventHeap // future wake-ups, min (at, seq) first
+
+	// ready holds wake-ups scheduled for the current instant in seq order;
+	// they bypass the heap (a barrier release or queue broadcast wakes many
+	// processes at one instant, and each would otherwise pay a heap
+	// push+pop). Entries before readyAt have been consumed.
+	ready   []readyEntry
+	readyAt int
+
+	// driver receives the execution token when no event is runnable (heap
+	// drained or horizon reached) or a process failed, returning control to
+	// the Run caller.
+	driver  chan struct{}
+	failed  *Proc   // process whose panic Run must re-raise
+	horizon float64 // active RunUntil horizon, -1 for none
+
 	procs  []*Proc
-	alive  int
 	closed bool
 }
 
@@ -49,32 +76,98 @@ type event struct {
 	p   *Proc
 }
 
+type readyEntry struct {
+	seq int64
+	p   *Proc
+}
+
+// eventHeap is a concrete-typed binary min-heap ordered by (at, seq). It
+// deliberately does not implement container/heap: the interface's
+// any-typed Push/Pop box every event (one allocation each way), which
+// dominated the kernel's steady-state cost.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{}
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return top
 }
 
 // NewEnv creates an empty simulation environment at time 0.
 func NewEnv() *Env {
-	return &Env{yield: make(chan struct{})}
+	return &Env{driver: make(chan struct{}, 1), horizon: -1}
 }
 
 // Now returns the current simulated time in seconds.
 func (e *Env) Now() float64 { return e.now }
+
+// worker is a pooled goroutine that runs process bodies. Short simulations
+// spawn thousands of processes (one per simulated rank); recycling the
+// goroutines across Env instances amortizes both the spawn cost and —
+// more importantly — the stack growth each process pays on its first deep
+// call chain. A finalizer closes the task channel when the pool drops a
+// worker, so its goroutine exits instead of leaking.
+type worker struct {
+	tasks chan func()
+}
+
+var workerPool sync.Pool
+
+func init() {
+	workerPool.New = func() any {
+		w := &worker{tasks: make(chan func(), 1)}
+		go func() {
+			for fn := range w.tasks {
+				fn()
+				workerPool.Put(w)
+			}
+		}()
+		runtime.SetFinalizer(w, func(w *worker) { close(w.tasks) })
+		return w
+	}
+}
 
 // Spawn registers a new process whose body starts executing at the current
 // simulated time. It may be called before Run or from inside a running
@@ -83,33 +176,96 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 	if e.closed {
 		panic("sim: Spawn on closed Env")
 	}
-	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	p := &Proc{env: e, name: name, resume: make(chan struct{}, 1)}
 	e.procs = append(e.procs, p)
-	e.alive++
-	go func() {
+	w := workerPool.Get().(*worker)
+	w.tasks <- func() {
 		<-p.resume
 		defer func() {
+			p.done = true
 			if r := recover(); r != nil {
 				if _, ok := r.(abortSignal); !ok {
 					p.err = r
+					e.failed = p
 				}
+				// Aborting or failed: hand the token straight back to the
+				// driver (Close drives aborts; Run re-panics failures).
+				e.driver <- struct{}{}
+				return
 			}
-			p.done = true
-			e.yield <- struct{}{}
+			e.dispatch()
 		}()
 		if e.closed {
 			panic(abortSignal{})
 		}
 		fn(p)
-	}()
+	}
 	e.schedule(e.now, p)
 	return p
 }
 
-// schedule enqueues a wake-up for p at time at.
+// schedule enqueues a wake-up for p at time at. Wake-ups for the current
+// instant go to the ready ring; future ones to the heap.
 func (e *Env) schedule(at float64, p *Proc) {
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, p: p})
+	if at == e.now {
+		e.ready = append(e.ready, readyEntry{seq: e.seq, p: p})
+		return
+	}
+	e.events.push(event{at: at, seq: e.seq, p: p})
+}
+
+// next pops the earliest runnable wake-up in (at, seq) order, advancing the
+// clock, skipping stale entries for finished processes and stopping at the
+// active horizon. It returns nil when nothing is runnable.
+func (e *Env) next() *Proc {
+	for {
+		if e.readyAt < len(e.ready) {
+			if e.horizon >= 0 && e.now > e.horizon {
+				return nil
+			}
+			re := e.ready[e.readyAt]
+			// Heap events at the current instant with smaller seq were
+			// scheduled earlier and run first.
+			if len(e.events) == 0 || e.events[0].at > e.now || e.events[0].seq > re.seq {
+				e.readyAt++
+				if e.readyAt == len(e.ready) {
+					e.ready = e.ready[:0]
+					e.readyAt = 0
+				}
+				if re.p.done {
+					continue
+				}
+				return re.p
+			}
+		} else if len(e.events) == 0 {
+			return nil
+		}
+		ev := e.events[0]
+		if e.horizon >= 0 && ev.at > e.horizon {
+			return nil
+		}
+		e.events.pop()
+		if ev.p.done {
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, ev.at))
+		}
+		e.now = ev.at
+		return ev.p
+	}
+}
+
+// dispatch hands the execution token to the next runnable process, or back
+// to the driver when none remains. Called by a process that is blocking or
+// finishing, and by Run to start a chain.
+func (e *Env) dispatch() {
+	if p := e.next(); p != nil {
+		p.resume <- struct{}{}
+		return
+	}
+	e.driver <- struct{}{}
 }
 
 // Run executes events until none remain. It returns the final simulated
@@ -127,26 +283,26 @@ func (e *Env) RunUntil(horizon float64) float64 {
 	if e.closed {
 		panic("sim: Run on closed Env")
 	}
-	for e.events.Len() > 0 {
-		ev := e.events[0]
-		if horizon >= 0 && ev.at > horizon {
-			break
+	if horizon >= 0 {
+		e.horizon = horizon
+	} else {
+		e.horizon = -1
+	}
+	for {
+		p := e.next()
+		if p == nil {
+			e.horizon = -1
+			return e.now
 		}
-		heap.Pop(&e.events)
-		if ev.p.done {
-			continue // stale wake-up for a finished process
-		}
-		if ev.at < e.now {
-			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, ev.at))
-		}
-		e.now = ev.at
-		ev.p.resume <- struct{}{}
-		<-e.yield
-		if ev.p.err != nil {
-			panic(ev.p.err)
+		p.resume <- struct{}{}
+		<-e.driver
+		if e.failed != nil {
+			f := e.failed
+			e.failed = nil
+			e.horizon = -1
+			panic(f.err)
 		}
 	}
-	return e.now
 }
 
 // Close wakes every still-blocked process with an abort so its goroutine
@@ -160,12 +316,14 @@ func (e *Env) Close() {
 	// Drain pending wake-ups first: resuming a proc that also has a stale
 	// event would double-resume it.
 	e.events = nil
+	e.ready = nil
+	e.readyAt = 0
 	for _, p := range e.procs {
 		if p.done {
 			continue
 		}
 		p.resume <- struct{}{}
-		<-e.yield
+		<-e.driver
 	}
 }
 
@@ -209,10 +367,11 @@ func (p *Proc) Env() *Env { return p.env }
 // Now returns the current simulated time.
 func (p *Proc) Now() float64 { return p.env.now }
 
-// block suspends the process until the scheduler resumes it. All blocking
-// primitives funnel through here so Close-aborts are handled uniformly.
+// block suspends the process until the scheduler resumes it, handing the
+// execution token to the next runnable process. All blocking primitives
+// funnel through here so Close-aborts are handled uniformly.
 func (p *Proc) block() {
-	p.env.yield <- struct{}{}
+	p.env.dispatch()
 	<-p.resume
 	if p.env.closed {
 		panic(abortSignal{})

@@ -495,3 +495,48 @@ func TestResourceMakespanProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSteadyStateZeroAllocs pins the kernel's headline property (promised in
+// the package doc): once warmed up, the steady-state event path — Delay,
+// queue ping-pong, resource hand-off, barrier crossing — performs no
+// allocations. testing.AllocsPerRun includes its own warm-up invocation, and
+// the first RunUntil below additionally grows every slice (heap, ready ring,
+// waiter lists, queue storage) to its steady capacity. Zero-size payloads
+// (struct{}{}) convert to interfaces without allocating.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	env := NewEnv()
+	defer env.Close()
+	q1, q2 := NewQueue(env, "a"), NewQueue(env, "b")
+	res := NewResource(env, "r", 1)
+	bar := NewBarrier(env, "bar", 2)
+	env.Spawn("p1", func(p *Proc) {
+		for {
+			p.Delay(1)
+			q1.Send(struct{}{})
+			p.Recv(q2)
+			p.Acquire(res)
+			p.Delay(0.5)
+			res.Release()
+			p.Wait(bar)
+		}
+	})
+	env.Spawn("p2", func(p *Proc) {
+		for {
+			p.Recv(q1)
+			q2.Send(struct{}{})
+			p.Acquire(res)
+			p.Delay(0.25)
+			res.Release()
+			p.Wait(bar)
+		}
+	})
+	horizon := 1000.0
+	env.RunUntil(horizon)
+	allocs := testing.AllocsPerRun(20, func() {
+		horizon += 1000
+		env.RunUntil(horizon)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state event path allocates: %v allocs per 1000 simulated seconds", allocs)
+	}
+}
