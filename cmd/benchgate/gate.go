@@ -92,6 +92,12 @@ type simEntry struct {
 //     shared tolerance (host-dependent but order-of-magnitude stable);
 //   - allocs_per_op — gated exactly: the steady-state hot path is
 //     allocation-free by construction, so any increase fails outright;
+//   - events_per_op — the deterministic wake-up count of a simulated
+//     workload (sim.Env.Events), gated exactly: unlike ns/op it is a pure
+//     function of the simulation's inputs, so it pins scheduler *work*
+//     without runner noise — e.g. the fault-free-overhead contract of the
+//     chaos layer, where guarded-path machinery leaking into the fast
+//     path would add ack/timer events per message;
 //   - max_ns_per_op — an absolute real-time ceiling on the fresh ns/op
 //     (deliberately generous for runner noise). It encodes a contract —
 //     "a P=1024 sweep point stays under N ms of real CPU" — so -update
@@ -106,6 +112,7 @@ type simKernelEntry struct {
 	EventsPerSec float64  `json:"events_per_sec,omitempty"`
 	SimMS        float64  `json:"sim_ms,omitempty"`
 	AllocsPerOp  *float64 `json:"allocs_per_op,omitempty"`
+	EventsPerOp  *float64 `json:"events_per_op,omitempty"`
 	MaxNsPerOp   int64    `json:"max_ns_per_op,omitempty"`
 }
 
@@ -312,6 +319,9 @@ func gateSimKernel(dir string, fresh map[string]benchResult, tol float64, update
 			if al, ok := got.Metrics["allocs/op"]; ok && entry.AllocsPerOp != nil {
 				entry.AllocsPerOp = &al
 			}
+			if ev, ok := got.Metrics["events/op"]; ok && entry.EventsPerOp != nil {
+				entry.EventsPerOp = &ev
+			}
 			// MaxNsPerOp is a contract, never a measurement: left untouched.
 			changed = true
 			continue
@@ -347,6 +357,24 @@ func gateSimKernel(dir string, fresh map[string]benchResult, tol float64, update
 				case v < *entry.AllocsPerOp:
 					row.Status = statusImproved
 					row.Note = "fewer allocations than baseline — consider regenerating with -update"
+				default:
+					row.Status = statusOK
+				}
+				return row
+			})
+		}
+		if entry.EventsPerOp != nil {
+			need("events/op", *entry.EventsPerOp, func(v float64) gateRow {
+				row := gateRow{File: simFile, Name: short, Metric: "events/op",
+					Base: *entry.EventsPerOp, Fresh: v}
+				switch {
+				case v > *entry.EventsPerOp:
+					row.Status = statusFail
+					row.Note = fmt.Sprintf("scheduler work grew: %.0f events/op (baseline %.0f, gated exactly — deterministic)",
+						v, *entry.EventsPerOp)
+				case v < *entry.EventsPerOp:
+					row.Status = statusImproved
+					row.Note = "fewer events than baseline — consider regenerating with -update"
 				default:
 					row.Status = statusOK
 				}

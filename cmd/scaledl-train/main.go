@@ -10,13 +10,19 @@
 //	scaledl-train -method hier-sync-sgd -nodes 4 -gpus-per-node 2 -hier-schedule rhd
 //	scaledl-train -method hier-sync-easgd -nodes 2 -gpus-per-node 4 -tau-local 2 -tau-global 8
 //	scaledl-train -method sync-easgd3 -straggler 1:4 -fail-at 50 -checkpoint-every 10
+//	scaledl-train -method sync-sgd -loss 0.05 -bad-link 1:0:0:0.3 -fail-at 3:50 -fail-mode continue
+//	scaledl-train -method sync-sgd -partial-k 3 -straggler 1:40
 //	scaledl-train -list
 //
-// The fault flags inject timing-only failures: -straggler slows one rank's
-// compute, -fail-at crashes a rank mid-run (it reloads the latest
-// checkpoint and replays), -checkpoint-every sets the periodic checkpoint
-// interval. The math is unchanged — only the simulated clock and the
-// breakdown (including the recovery category) move.
+// The fault flags come in two tiers. The timing-only tier — -straggler
+// slows one rank's compute, -fail-at crashes a rank mid-run (it reloads the
+// latest checkpoint and replays), -checkpoint-every sets the periodic
+// checkpoint interval — never touches the math: only the simulated clock
+// and the breakdown (including the recovery category) move. The semantic
+// tier — -loss/-corrupt message rates, -bad-link for one bad cable,
+// -fail-mode continue for a fail-stop with no recovery, -partial-k for
+// deadline-based partial aggregation — can change what is computed, but
+// deterministically under -fault-seed (0 = the run seed).
 package main
 
 import (
@@ -60,6 +66,13 @@ func main() {
 		strag    = flag.String("straggler", "", "straggler injection: factor or rank:factor (e.g. 4 or 1:4) — that rank computes factor-times slower all run")
 		failAt   = flag.String("fail-at", "", "fail-stop injection: step or rank:step (e.g. 50 or 2:50) — the rank crashes at that step, reloads the latest checkpoint and replays")
 		ckpt     = flag.Int("checkpoint-every", 0, "periodic checkpoint interval in steps (0 = none; a failure then replays from step 1)")
+		failMode = flag.String("fail-mode", "", "what -fail-at means: recover (default; reload+replay, timing-only) or continue (the rank dies for good, survivors finish with P-1)")
+		loss     = flag.Float64("loss", 0, "per-attempt probability a message vanishes on the wire (guarded delivery retries; math unchanged)")
+		corrupt  = flag.Float64("corrupt", 0, "per-attempt probability a message arrives garbled (checksum detects, resend; math unchanged)")
+		badLinks = flag.String("bad-link", "", "extra per-link rates: from:to:loss[:corrupt], comma-separated (e.g. 1:0:0:0.3 for a corrupting cable into rank 0)")
+		fseed    = flag.Int64("fault-seed", 0, "seed of the deterministic fault plan (0 = the run seed)")
+		partialK = flag.Int("partial-k", 0, "sync-sgd partial aggregation: proceed once K live gradients arrived and the deadline passed (0 = off)")
+		partialD = flag.Float64("partial-deadline", 0, "partial-aggregation window as a multiple of one gradient's wire time (0 = 3)")
 	)
 	flag.Parse()
 
@@ -118,7 +131,7 @@ func main() {
 	if *strag != "" {
 		// A bare factor stragglers rank 1 (rank 0 coordinates in most
 		// methods, so slowing it tells a different story).
-		rank, factor, err := parseRankValue(*strag, 1)
+		rank, factor, err := parseStraggler(*strag)
 		if err != nil {
 			fatal(fmt.Errorf("-straggler: %w", err))
 		}
@@ -126,14 +139,27 @@ func main() {
 		faults.StragglerRanks = []int{rank}
 	}
 	if *failAt != "" {
-		rank, step, err := parseRankValue(*failAt, 0)
+		rank, step, err := parseFailAt(*failAt)
 		if err != nil {
 			fatal(fmt.Errorf("-fail-at: %w", err))
 		}
 		faults.FailRank = rank
-		faults.FailAtStep = int(step)
+		faults.FailAtStep = step
+	}
+	if *badLinks != "" {
+		bls, err := parseBadLinks(*badLinks)
+		if err != nil {
+			fatal(fmt.Errorf("-bad-link: %w", err))
+		}
+		faults.BadLinks = bls
 	}
 	faults.CheckpointEvery = *ckpt
+	faults.FailMode = *failMode
+	faults.LossRate = *loss
+	faults.CorruptRate = *corrupt
+	faults.FaultSeed = *fseed
+	faults.PartialK = *partialK
+	faults.PartialDeadline = *partialD
 	cfg := core.Config{
 		Def:          nn.TinyCNN(shape, spec.Classes),
 		Train:        train,
@@ -179,21 +205,82 @@ func main() {
 		res.Breakdown.HiddenComm)
 }
 
-// parseRankValue splits "rank:v" into its parts; a bare "v" uses defRank.
-func parseRankValue(s string, defRank int) (int, float64, error) {
-	rank := defRank
+// splitRank peels an optional leading "rank:" off a fault spec; a bare
+// value uses defRank. At most one colon is meaningful here — extra fields
+// surface as a bad-value error downstream.
+func splitRank(s string, defRank int) (int, string, error) {
 	if i := strings.Index(s, ":"); i >= 0 {
 		r, err := strconv.Atoi(s[:i])
 		if err != nil || r < 0 {
-			return 0, 0, fmt.Errorf("bad rank %q (want rank:value)", s[:i])
+			return 0, "", fmt.Errorf("bad rank %q (want rank:value)", s[:i])
 		}
-		rank, s = r, s[i+1:]
+		return r, s[i+1:], nil
 	}
-	v, err := strconv.ParseFloat(s, 64)
+	return defRank, s, nil
+}
+
+// parseStraggler parses "factor" or "rank:factor". The factor must be a
+// positive number: zero or negative compute scaling is a typo, not a
+// scenario.
+func parseStraggler(s string) (int, float64, error) {
+	rank, rest, err := splitRank(s, 1)
 	if err != nil {
-		return 0, 0, fmt.Errorf("bad value %q", s)
+		return 0, 0, err
 	}
-	return rank, v, nil
+	f, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad factor %q (want factor or rank:factor)", rest)
+	}
+	if f <= 0 {
+		return 0, 0, fmt.Errorf("factor must be positive, got %v", f)
+	}
+	return rank, f, nil
+}
+
+// parseFailAt parses "step" or "rank:step". The step must be a whole
+// number — "2.5" is rejected rather than silently truncated.
+func parseFailAt(s string) (int, int, error) {
+	rank, rest, err := splitRank(s, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	step, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad step %q (want a whole step number or rank:step)", rest)
+	}
+	if step < 0 {
+		return 0, 0, fmt.Errorf("step must be >= 0, got %d", step)
+	}
+	return rank, step, nil
+}
+
+// parseBadLinks parses a comma-separated list of "from:to:loss[:corrupt]"
+// directed-link specs.
+func parseBadLinks(s string) ([]core.BadLink, error) {
+	var out []core.BadLink
+	for _, spec := range strings.Split(s, ",") {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 && len(parts) != 4 {
+			return nil, fmt.Errorf("bad spec %q (want from:to:loss[:corrupt])", spec)
+		}
+		from, err1 := strconv.Atoi(parts[0])
+		to, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || from < 0 || to < 0 {
+			return nil, fmt.Errorf("bad link endpoints in %q", spec)
+		}
+		lr, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad loss rate in %q", spec)
+		}
+		bl := core.BadLink{From: from, To: to, Loss: lr}
+		if len(parts) == 4 {
+			if bl.Corrupt, err = strconv.ParseFloat(parts[3], 64); err != nil {
+				return nil, fmt.Errorf("bad corrupt rate in %q", spec)
+			}
+		}
+		out = append(out, bl)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

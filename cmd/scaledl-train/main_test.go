@@ -1,0 +1,83 @@
+package main
+
+import "testing"
+
+// The fault-spec parsers must reject malformed input with an error instead
+// of guessing: a float fail step used to be silently truncated to int, and
+// a zero straggler factor silently disabled the fault.
+
+func TestParseStraggler(t *testing.T) {
+	good := []struct {
+		in     string
+		rank   int
+		factor float64
+	}{
+		{"4", 1, 4}, // bare factor stragglers rank 1
+		{"1:4", 1, 4},
+		{"2:1.5", 2, 1.5},
+		{"0:10", 0, 10},
+	}
+	for _, c := range good {
+		rank, f, err := parseStraggler(c.in)
+		if err != nil {
+			t.Errorf("parseStraggler(%q): %v", c.in, err)
+			continue
+		}
+		if rank != c.rank || f != c.factor {
+			t.Errorf("parseStraggler(%q) = (%d, %v), want (%d, %v)", c.in, rank, f, c.rank, c.factor)
+		}
+	}
+	for _, in := range []string{"", "x", "1:", "1:x", "-1:4", "1:0", "1:-4", "0", "1:2:3", "1.5:4"} {
+		if _, _, err := parseStraggler(in); err == nil {
+			t.Errorf("parseStraggler(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseFailAt(t *testing.T) {
+	good := []struct {
+		in         string
+		rank, step int
+	}{
+		{"50", 0, 50}, // bare step fails rank 0
+		{"2:50", 2, 50},
+		{"0:1", 0, 1},
+	}
+	for _, c := range good {
+		rank, step, err := parseFailAt(c.in)
+		if err != nil {
+			t.Errorf("parseFailAt(%q): %v", c.in, err)
+			continue
+		}
+		if rank != c.rank || step != c.step {
+			t.Errorf("parseFailAt(%q) = (%d, %d), want (%d, %d)", c.in, rank, step, c.rank, c.step)
+		}
+	}
+	// "2.5" and "2:50.0" were previously truncated by int(ParseFloat(...)).
+	for _, in := range []string{"", "x", "2.5", "2:50.0", "2:", "2:x", "-1:50", "2:-5", "1:2:3"} {
+		if _, _, err := parseFailAt(in); err == nil {
+			t.Errorf("parseFailAt(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseBadLinks(t *testing.T) {
+	bls, err := parseBadLinks("1:0:0:0.3,2:3:0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bls) != 2 {
+		t.Fatalf("got %d links, want 2", len(bls))
+	}
+	if bls[0].From != 1 || bls[0].To != 0 || bls[0].Loss != 0 || bls[0].Corrupt != 0.3 {
+		t.Errorf("link 0 = %+v", bls[0])
+	}
+	if bls[1].From != 2 || bls[1].To != 3 || bls[1].Loss != 0.1 || bls[1].Corrupt != 0 {
+		t.Errorf("link 1 = %+v", bls[1])
+	}
+	for _, in := range []string{"", "1:0", "1:0:x", "1:0:0.1:y", "a:0:0.1", "1:b:0.1", "-1:0:0.1", "1:0:0.1:0.2:0.3", "1:0:0.1,,"} {
+		if _, err := parseBadLinks(in); err == nil {
+			t.Errorf("parseBadLinks(%q) accepted", in)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+
+	"scaledl/internal/sim"
+)
+
+// This file is the semantic fault layer of the message fabric: seeded
+// message loss and payload corruption, per-message acknowledgement with
+// timeout/retry/exponential backoff, cancellation of transfers to dead
+// nodes, and fail-stop node death. Unlike the timing-only knobs of PR 6
+// (stragglers, degraded links), these faults change *what happens* — a
+// message can vanish or arrive garbled — and the fabric recovers instead
+// of deadlocking: every lost or corrupt attempt is detected (by the
+// sender's ack timeout, or the receiver's checksum) and resent, with each
+// attempt's bytes charged to the wire so retry traffic is visible in
+// Breakdown.Bytes.
+//
+// Determinism contract: whether attempt a of message m on link src→dst is
+// lost or garbled is a pure function of (Chaos.Seed, src, dst, m, a) via
+// sim.Dice — never of event order — so two runs with the same seed and
+// configuration inject exactly the same faults and produce bit-identical
+// traces. With Chaos unset and no dead nodes, Send takes the exact pre-PR
+// fast path: fault-free runs are bit-identical to builds without this
+// layer.
+
+// Chaos configures seeded semantic fault injection on a Topology. Zero
+// rates with a non-nil Chaos still activate the acknowledgement protocol
+// (every delivery pays an AckBytes reverse-path message).
+type Chaos struct {
+	// Seed drives the deterministic fault plan (sim.Dice).
+	Seed int64
+	// Loss is the per-attempt probability a message vanishes on the wire.
+	Loss float64
+	// Corrupt is the per-attempt probability a message arrives garbled;
+	// the receiver's checksum rejects it and the sender's ack timeout
+	// triggers the resend. Payloads that carry no checksum (raw buffers)
+	// are dropped instead — the corruption is still detected, by the
+	// frame, just never delivered.
+	Corrupt float64
+	// MaxAttempts bounds retries per message (default 8); exhausting them
+	// panics — an undeliverable message under a survivor-aware collective
+	// is a configuration error, not a scenario.
+	MaxAttempts int
+	// Backoff is the exponential backoff base between attempts (default 2):
+	// attempt a waits (link+ack time) × Backoff^a before resending.
+	Backoff float64
+	// AckBytes is the acknowledgement's wire size (default 16).
+	AckBytes int64
+}
+
+// withDefaults fills the zero-value knobs.
+func (c Chaos) withDefaults() Chaos {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 2
+	}
+	if c.AckBytes <= 0 {
+		c.AckBytes = 16
+	}
+	return c
+}
+
+// ChaosStats counts the fault layer's activity on a topology.
+type ChaosStats struct {
+	Attempts    int64 // message send attempts, including retries
+	Losses      int64 // attempts dropped on the wire
+	Corruptions int64 // attempts delivered garbled and rejected by checksum
+	Cancelled   int64 // transfers cut short by the destination's death
+}
+
+// LossyLink wraps a Transferer with extra per-link loss and corruption
+// rates, added on top of the topology-wide Chaos rates for messages routed
+// over it — the "one bad cable" model. It must be the outermost wrapper on
+// the path's link (the fabric detects it by type), and it only takes
+// effect on a topology with Chaos set (the seeded plan and the retry
+// protocol live there).
+type LossyLink struct {
+	Base          Transferer
+	Loss, Corrupt float64
+}
+
+// Time returns the underlying link's transfer time.
+func (l LossyLink) Time(n int64) float64 { return l.Base.Time(n) }
+
+// WrapLossy replaces the installed src→dst route's link with a LossyLink
+// carrying the extra rates, keeping the route's shared segments — the
+// one-call way to degrade a single cable of a built topology.
+func (t *Topology) WrapLossy(src, dst int, loss, corrupt float64) {
+	t.checkNode(src)
+	t.checkNode(dst)
+	path := t.pathFor(src, dst)
+	if path.Link == nil {
+		panic(fmt.Sprintf("comm: no path %d->%d to wrap", src, dst))
+	}
+	t.SetPath(src, dst, LossyLink{Base: path.Link, Loss: loss, Corrupt: corrupt}, path.Via...)
+}
+
+// TransferTime returns the modeled wire time of n bytes on the src→dst
+// route's link, ignoring contention — the sizing primitive for timeouts
+// and deadlines.
+func (t *Topology) TransferTime(src, dst int, n int64) float64 {
+	t.checkNode(src)
+	t.checkNode(dst)
+	path := t.pathFor(src, dst)
+	if path.Link == nil {
+		panic(fmt.Sprintf("comm: no path %d->%d", src, dst))
+	}
+	return path.Link.Time(n)
+}
+
+// Sealed is a payload carrying an end-to-end checksum. The fault layer
+// seals payloads at first send, delivers corrupted attempts as garbled
+// deep copies (stale checksum), and receivers reject any payload whose
+// Verify fails — comm's collective messages implement it.
+type Sealed interface {
+	// Seal computes and stores the checksum over the current contents.
+	Seal()
+	// Verify reports whether the contents still match the checksum
+	// (unsealed payloads verify trivially).
+	Verify() bool
+	// Garble returns a corrupted deep copy with the stale checksum; the
+	// original is untouched so a retry resends pristine data.
+	Garble() any
+}
+
+// SetChaos installs (or, with nil, removes) seeded fault injection on the
+// topology. Call it before any traffic flows.
+func (t *Topology) SetChaos(c *Chaos) {
+	if c == nil {
+		t.chaos = nil
+		return
+	}
+	cc := c.withDefaults()
+	t.chaos = &cc
+	t.dice = sim.NewDice(cc.Seed)
+	if t.retryWait == nil {
+		t.retryWait = make([]float64, t.n)
+	}
+}
+
+// ChaosEnabled reports whether fault injection is active.
+func (t *Topology) ChaosEnabled() bool { return t.chaos != nil }
+
+// ChaosStats returns the fault layer's counters so far.
+func (t *Topology) ChaosStats() ChaosStats { return t.stats }
+
+// RetryWait returns the cumulative simulated seconds node has spent on
+// failed attempts and backoff waits as a *sender* — the retry time a clean
+// run would not pay. Coordinating ranks sample deltas to attribute it.
+func (t *Topology) RetryWait(node int) float64 {
+	if t.retryWait == nil {
+		return 0
+	}
+	return t.retryWait[node]
+}
+
+// MarkDead declares node fail-stopped: transfers to it currently in flight
+// are cancelled mid-wire (their shared segments released), future sends to
+// it are dropped without wire time, and its queued inbox is discarded.
+// Idempotent; there is no recovery.
+func (t *Topology) MarkDead(node int) {
+	t.checkNode(node)
+	if t.dead == nil {
+		t.dead = make([]bool, t.n)
+		t.deadSig = make([]*sim.Signal, t.n)
+	}
+	if t.dead[node] {
+		return
+	}
+	t.dead[node] = true
+	t.hasDead = true
+	t.deadSigFor(node).Fire()
+	t.inbox[node].Purge(func(v any) bool {
+		t.putMsg(v.(*Message))
+		return true
+	})
+}
+
+// IsDead reports whether node has been marked dead.
+func (t *Topology) IsDead(node int) bool { return t.dead != nil && t.dead[node] }
+
+// deadSigFor returns node's death signal, creating it on first use so
+// in-flight transfers can register against a node that is still alive.
+func (t *Topology) deadSigFor(node int) *sim.Signal {
+	if t.dead == nil {
+		t.dead = make([]bool, t.n)
+		t.deadSig = make([]*sim.Signal, t.n)
+	}
+	if t.deadSig[node] == nil {
+		t.deadSig[node] = sim.NewSignal(t.env, "dead")
+	}
+	return t.deadSig[node]
+}
+
+// occupyCancel is occupy with cancellation: the wire delay is interruptible
+// by cancel, and a cancelled transfer still releases every held segment —
+// no capacity leaks past a death. The attempt's bytes are charged either
+// way (the wire was reserved). Returns whether the transfer ran to
+// completion.
+func (t *Topology) occupyCancel(p *sim.Proc, src, dst int, wireBytes int64, cancel *sim.Signal) bool {
+	path := t.pathFor(src, dst)
+	if path.Link == nil {
+		panic(fmt.Sprintf("comm: no path %d->%d", src, dst))
+	}
+	for _, r := range path.Via {
+		p.Acquire(r)
+	}
+	interrupted := p.SleepInterruptible(path.Link.Time(wireBytes), cancel)
+	for i := len(path.Via) - 1; i >= 0; i-- {
+		path.Via[i].Release()
+	}
+	t.bytes += wireBytes
+	return !interrupted
+}
+
+// sendGuarded is the slow Send path, taken when chaos is set or any node
+// has died. It drops sends to dead destinations, cancels mid-flight on the
+// destination's death, and — under chaos — runs the seeded
+// loss/corruption plan with acknowledgement, timeout, exponential backoff
+// and bounded retries.
+func (t *Topology) sendGuarded(p *sim.Proc, src, dst, tag int, payload any, wireBytes int64) {
+	if t.IsDead(dst) {
+		return
+	}
+	cancel := t.deadSigFor(dst)
+	if t.chaos == nil {
+		// Fail-stop only: ordinary delivery, but cancellable.
+		if t.occupyCancel(p, src, dst, wireBytes, cancel) && !t.IsDead(dst) {
+			t.deliver(src, dst, tag, payload)
+		} else {
+			t.stats.Cancelled++
+		}
+		return
+	}
+	ch := t.chaos
+	loss, corrupt := ch.Loss, ch.Corrupt
+	path := t.pathFor(src, dst)
+	if path.Link == nil {
+		panic(fmt.Sprintf("comm: no path %d->%d", src, dst))
+	}
+	if ll, ok := path.Link.(LossyLink); ok {
+		loss += ll.Loss
+		corrupt += ll.Corrupt
+	}
+	sealed, _ := payload.(Sealed)
+	if sealed != nil {
+		sealed.Seal()
+	}
+	msgID := t.sendSeq
+	t.sendSeq++
+	rtt := path.Link.Time(wireBytes) + path.Link.Time(ch.AckBytes)
+	for attempt := 0; ; attempt++ {
+		t.stats.Attempts++
+		start := p.Now()
+		if !t.occupyCancel(p, src, dst, wireBytes, cancel) || t.IsDead(dst) {
+			t.stats.Cancelled++
+			return
+		}
+		roll := t.dice.Roll(int64(src), int64(dst), msgID, int64(attempt))
+		switch {
+		case roll < loss:
+			t.stats.Losses++
+		case roll < loss+corrupt:
+			if sealed != nil {
+				// Delivered garbled: the receiver's checksum rejects it,
+				// so no ack comes back and the timeout resends.
+				t.deliver(src, dst, tag, sealed.Garble())
+				t.stats.Corruptions++
+			} else {
+				// No end-to-end checksum to stale: the frame check drops
+				// it on arrival, indistinguishable from a loss.
+				t.stats.Losses++
+			}
+		default:
+			t.deliver(src, dst, tag, payload)
+			// The acknowledgement rides the reverse path (paid by the
+			// sender, which is waiting on it).
+			t.occupy(p, dst, src, ch.AckBytes)
+			return
+		}
+		// Failed attempt: the wire time was wasted and the sender waits
+		// out the ack window with exponential backoff before resending.
+		if attempt+1 >= ch.MaxAttempts {
+			panic(fmt.Sprintf("comm: message %d->%d undeliverable after %d attempts (loss %.2f, corrupt %.2f)",
+				src, dst, ch.MaxAttempts, loss, corrupt))
+		}
+		if p.SleepInterruptible(rtt*math.Pow(ch.Backoff, float64(attempt)), cancel) || t.IsDead(dst) {
+			t.stats.Cancelled++
+			return
+		}
+		t.retryWait[src] += p.Now() - start
+	}
+}
+
+// deliver places payload in dst's mailbox (no wire time; callers pay it).
+func (t *Topology) deliver(src, dst, tag int, payload any) {
+	m := t.getMsg()
+	*m = Message{Src: src, Tag: tag, Payload: payload}
+	t.inbox[dst].Send(m)
+}
+
+// rejectCorrupt reports whether a received payload fails its checksum and
+// must be ignored (chaos mode only).
+func (t *Topology) rejectCorrupt(payload any) bool {
+	if t.chaos == nil {
+		return false
+	}
+	s, ok := payload.(Sealed)
+	return ok && !s.Verify()
+}
+
+// purgeCorrupt sweeps node at's inbox, discarding payloads whose checksum
+// fails, so rejected deliveries cannot accumulate behind selective
+// receives.
+func (t *Topology) purgeCorrupt(at int) {
+	if t.chaos == nil {
+		return
+	}
+	t.inbox[at].Purge(func(v any) bool {
+		m := v.(*Message)
+		if t.rejectCorrupt(m.Payload) {
+			t.putMsg(m)
+			return true
+		}
+		return false
+	})
+}

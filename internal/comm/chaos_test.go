@@ -1,0 +1,400 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+
+	"scaledl/internal/sim"
+)
+
+// survivorAllReduce runs a P-party allreduce in which deadRank fail-stops
+// before the round: its process never shows up, every survivor calls
+// MarkDead then the collective through the ORIGINAL P-party endpoints.
+// Returns the survivors' buffers indexed by original rank (dead slot nil).
+func survivorAllReduce(t *testing.T, sched Schedule, parties, deadRank, elems int, inputs [][]float32) [][]float32 {
+	t.Helper()
+	env := sim.NewEnv()
+	topo := NewUniform(env, parties, testLink)
+	c := NewCommunicator(topo, CommConfig{Parties: Ranks(parties), Plan: packedPlan(elems), Schedule: sched})
+	bufs := make([][]float32, parties)
+	for r := 0; r < parties; r++ {
+		if r == deadRank {
+			continue
+		}
+		rank := r
+		bufs[rank] = append([]float32(nil), inputs[rank]...)
+		env.Spawn(fmt.Sprintf("party%d", rank), func(p *sim.Proc) {
+			ep := c.Endpoint(rank)
+			ep.MarkDead(deadRank)
+			ep.AllReduce(p, 1, bufs[rank])
+		})
+	}
+	env.Run()
+	env.Close()
+	if got := c.Live(); got != parties-1 {
+		t.Fatalf("Live() = %d after one death of %d parties", got, parties)
+	}
+	return bufs
+}
+
+// freshAllReduce runs the reference: a communicator built directly over the
+// live ranks (with their original ranks as contribution tags), on an
+// equally-sized topology.
+func freshAllReduce(t *testing.T, sched Schedule, parties, deadRank, elems int, inputs [][]float32) [][]float32 {
+	t.Helper()
+	env := sim.NewEnv()
+	topo := NewUniform(env, parties, testLink)
+	var live []int
+	for r := 0; r < parties; r++ {
+		if r != deadRank {
+			live = append(live, r)
+		}
+	}
+	c := NewCommunicator(topo, CommConfig{
+		Parties: live, Plan: packedPlan(elems), Schedule: sched, RankTags: live,
+	})
+	bufs := make([][]float32, parties)
+	for i, orig := range live {
+		bufs[orig] = append([]float32(nil), inputs[orig]...)
+		sub, origRank := i, orig
+		env.Spawn(fmt.Sprintf("party%d", origRank), func(p *sim.Proc) {
+			c.Endpoint(sub).AllReduce(p, 1, bufs[origRank])
+		})
+	}
+	env.Run()
+	env.Close()
+	return bufs
+}
+
+// The survivor invariant (satellite 3): for every schedule, a P-party
+// collective with one dead rank completes and is bit-identical to a fresh
+// (P−1)-party collective over the same live ranks. RHD gets a 9→8 case so
+// the survivor membership is the power of two that keeps it off the tree
+// fallback.
+func TestSurvivorAllReduceBitIdenticalToFresh(t *testing.T) {
+	cases := []struct {
+		sched         Schedule
+		parties, dead int
+	}{
+		{ScheduleTree, 5, 2},
+		{ScheduleRing, 5, 2},
+		{ScheduleChain, 5, 2},
+		{ScheduleLinear, 5, 2},
+		{ScheduleRHD, 5, 2}, // 4 live: pow2 RHD
+		{ScheduleRHD, 9, 4}, // 8 live
+		{ScheduleTree, 5, 4},
+		{ScheduleRing, 4, 1},
+	}
+	for _, tc := range cases {
+		elems := 97
+		inputs := randInputs(tc.parties, elems, int64(tc.parties)*31+int64(tc.dead))
+		got := survivorAllReduce(t, tc.sched, tc.parties, tc.dead, elems, inputs)
+		want := freshAllReduce(t, tc.sched, tc.parties, tc.dead, elems, inputs)
+		var liveIn [][]float32
+		for r, in := range inputs {
+			if r != tc.dead {
+				liveIn = append(liveIn, in)
+			}
+		}
+		sum := make([]float32, elems)
+		ReduceSum(sum, liveIn...)
+		for r := 0; r < tc.parties; r++ {
+			if r == tc.dead {
+				continue
+			}
+			for i := range sum {
+				if got[r][i] != want[r][i] || got[r][i] != sum[i] {
+					t.Fatalf("%v P=%d dead=%d rank %d elem %d: survivor %v, fresh %v, ReduceSum %v",
+						tc.sched, tc.parties, tc.dead, r, i, got[r][i], want[r][i], sum[i])
+				}
+			}
+		}
+	}
+}
+
+// Two stacked deaths: the delegation recurses and the result still matches
+// the rank-ordered sum of the remaining survivors; root-bearing collectives
+// remap their root through the live membership.
+func TestSurvivorStackedDeathsAndRootRemap(t *testing.T) {
+	parties, elems := 6, 64
+	inputs := randInputs(parties, elems, 77)
+	env := sim.NewEnv()
+	topo := NewUniform(env, parties, testLink)
+	c := NewCommunicator(topo, CommConfig{Parties: Ranks(parties), Plan: packedPlan(elems)})
+	bufs := make([][]float32, parties)
+	for r := 0; r < parties; r++ {
+		if r == 2 || r == 4 {
+			continue
+		}
+		rank := r
+		bufs[rank] = append([]float32(nil), inputs[rank]...)
+		env.Spawn(fmt.Sprintf("party%d", rank), func(p *sim.Proc) {
+			ep := c.Endpoint(rank)
+			ep.MarkDead(2)
+			ep.MarkDead(4)
+			ep.Reduce(p, 1, 0, bufs[rank])
+			ep.Broadcast(p, 2, 0, bufs[rank])
+		})
+	}
+	env.Run()
+	env.Close()
+	var liveIn [][]float32
+	for r, in := range inputs {
+		if r != 2 && r != 4 {
+			liveIn = append(liveIn, in)
+		}
+	}
+	sum := make([]float32, elems)
+	ReduceSum(sum, liveIn...)
+	for r := 0; r < parties; r++ {
+		if r == 2 || r == 4 {
+			continue
+		}
+		for i := range sum {
+			if bufs[r][i] != sum[i] {
+				t.Fatalf("rank %d elem %d: %v, want %v", r, i, bufs[r][i], sum[i])
+			}
+		}
+	}
+}
+
+// The hierarchical survivor invariant: a death inside one group (here the
+// group's LEADER) re-forms both levels over the live membership and the
+// result stays bit-identical to the survivors' rank-ordered sum.
+func TestHierSurvivorAllReduce(t *testing.T) {
+	nodes, perNode := 3, 2
+	parties := nodes * perNode
+	elems := 48
+	dead := 2 // group 1's leader (local 0)
+	inputs := randInputs(parties, elems, 55)
+	ml := uniformCluster(sim.NewEnv(), nodes, perNode, 0)
+	hc := hierComm(ml, packedPlan(elems), ScheduleTree, ScheduleTree)
+	bufs := make([][]float32, parties)
+	env := ml.Topology().Env()
+	for r := 0; r < parties; r++ {
+		if r == dead {
+			continue
+		}
+		rank := r
+		bufs[rank] = append([]float32(nil), inputs[rank]...)
+		env.Spawn(fmt.Sprintf("party%d", rank), func(p *sim.Proc) {
+			ep := hc.Endpoint(rank)
+			ep.MarkDead(dead)
+			ep.AllReduce(p, 1, bufs[rank])
+		})
+	}
+	env.Run()
+	env.Close()
+	if got := hc.Live(); got != parties-1 {
+		t.Fatalf("Live() = %d, want %d", got, parties-1)
+	}
+	var liveIn [][]float32
+	for r, in := range inputs {
+		if r != dead {
+			liveIn = append(liveIn, in)
+		}
+	}
+	sum := make([]float32, elems)
+	ReduceSum(sum, liveIn...)
+	for r := 0; r < parties; r++ {
+		if r == dead {
+			continue
+		}
+		for i := range sum {
+			if bufs[r][i] != sum[i] {
+				t.Fatalf("rank %d elem %d: %v, want %v", r, i, bufs[r][i], sum[i])
+			}
+		}
+	}
+}
+
+// chaosAllReduce runs one allreduce under the given chaos plan and returns
+// (wire bytes, buffers, stats, end time).
+func chaosAllReduce(t *testing.T, ch *Chaos, sched Schedule, parties, elems int, inputs [][]float32, badLink func(*Topology)) (int64, [][]float32, ChaosStats, float64) {
+	t.Helper()
+	env := sim.NewEnv()
+	topo := NewUniform(env, parties, testLink)
+	if badLink != nil {
+		badLink(topo)
+	}
+	topo.SetChaos(ch)
+	c := NewCommunicator(topo, CommConfig{Parties: Ranks(parties), Plan: packedPlan(elems), Schedule: sched})
+	bufs := make([][]float32, parties)
+	for i := range bufs {
+		bufs[i] = append([]float32(nil), inputs[i]...)
+	}
+	end := runCollective(t, topo, c, func(p *sim.Proc, rank int) {
+		c.Endpoint(rank).AllReduce(p, 0, bufs[rank])
+	})
+	return topo.BytesMoved(), bufs, topo.ChaosStats(), end
+}
+
+// Satellite 2 (comm half): retry traffic is charged to the wire — a lossy
+// run moves strictly more bytes than the identical clean run — and the
+// retries recover the exact clean result.
+func TestRetryTrafficChargedToWire(t *testing.T) {
+	parties, elems := 4, 129
+	inputs := randInputs(parties, elems, 11)
+	cleanBytes, cleanBufs, _, _ := chaosAllReduce(t, &Chaos{Seed: 5}, ScheduleTree, parties, elems, inputs, nil)
+	lossyBytes, lossyBufs, stats, _ := chaosAllReduce(t, &Chaos{Seed: 5, Loss: 0.3}, ScheduleTree, parties, elems, inputs, nil)
+	if stats.Losses == 0 {
+		t.Fatal("loss 0.3 injected no losses")
+	}
+	if lossyBytes <= cleanBytes {
+		t.Fatalf("lossy run moved %d bytes, clean (ack-only) run %d — retries not charged", lossyBytes, cleanBytes)
+	}
+	sum := make([]float32, elems)
+	ReduceSum(sum, inputs...)
+	for r := range lossyBufs {
+		for i := range sum {
+			if lossyBufs[r][i] != sum[i] || cleanBufs[r][i] != sum[i] {
+				t.Fatalf("rank %d elem %d: lossy %v clean %v want %v", r, i, lossyBufs[r][i], cleanBufs[r][i], sum[i])
+			}
+		}
+	}
+	// And against the no-chaos baseline: the ack protocol itself is extra wire.
+	_, plainBufs := simAllReduce(t, ScheduleTree, parties, elems, inputs)
+	for r := range plainBufs {
+		for i := range sum {
+			if plainBufs[r][i] != sum[i] {
+				t.Fatalf("fault-free baseline diverged at rank %d elem %d", r, i)
+			}
+		}
+	}
+}
+
+// Corrupted payloads are delivered garbled, detected by checksum, never
+// accepted by a receiver, and resent until the pristine copy lands — the
+// final result is still bit-identical to the clean sum.
+func TestCorruptionDetectedAndResent(t *testing.T) {
+	parties, elems := 4, 65
+	inputs := randInputs(parties, elems, 23)
+	_, bufs, stats, _ := chaosAllReduce(t, &Chaos{Seed: 9, Corrupt: 0.5, MaxAttempts: 16}, ScheduleTree, parties, elems, inputs, nil)
+	if stats.Corruptions == 0 {
+		t.Fatal("corrupt 0.4 injected no corruptions")
+	}
+	sum := make([]float32, elems)
+	ReduceSum(sum, inputs...)
+	for r := range bufs {
+		for i := range sum {
+			if bufs[r][i] != sum[i] {
+				t.Fatalf("rank %d elem %d: %v, want %v (corruption leaked into the result)", r, i, bufs[r][i], sum[i])
+			}
+		}
+	}
+}
+
+// A single LossyLink-wrapped path injects corruption with the global rates
+// at zero — the "one bad cable" model — and the collective still converges
+// to the clean sum.
+func TestLossyLinkSinglePath(t *testing.T) {
+	parties, elems := 4, 33
+	inputs := randInputs(parties, elems, 41)
+	bad := func(topo *Topology) {
+		topo.SetPath(1, 0, LossyLink{Base: testLink, Corrupt: 0.6})
+	}
+	_, bufs, stats, _ := chaosAllReduce(t, &Chaos{Seed: 3}, ScheduleTree, parties, elems, inputs, bad)
+	if stats.Corruptions == 0 {
+		t.Fatal("corrupted link 1->0 injected nothing")
+	}
+	sum := make([]float32, elems)
+	ReduceSum(sum, inputs...)
+	for r := range bufs {
+		for i := range sum {
+			if bufs[r][i] != sum[i] {
+				t.Fatalf("rank %d elem %d: %v, want %v", r, i, bufs[r][i], sum[i])
+			}
+		}
+	}
+}
+
+// The determinism contract: the same fault seed reproduces the run bit for
+// bit — values and completion time — and a different seed lands a
+// different fault plan (different timing).
+func TestChaosDeterministicAcrossRuns(t *testing.T) {
+	parties, elems := 4, 65
+	inputs := randInputs(parties, elems, 13)
+	ch := &Chaos{Seed: 21, Loss: 0.2, Corrupt: 0.1}
+	b1, bufs1, s1, end1 := chaosAllReduce(t, ch, ScheduleRing, parties, elems, inputs, nil)
+	b2, bufs2, s2, end2 := chaosAllReduce(t, ch, ScheduleRing, parties, elems, inputs, nil)
+	if b1 != b2 || s1 != s2 || end1 != end2 {
+		t.Fatalf("same seed: bytes %d/%d stats %+v/%+v end %v/%v", b1, b2, s1, s2, end1, end2)
+	}
+	for r := range bufs1 {
+		for i := range bufs1[r] {
+			if bufs1[r][i] != bufs2[r][i] {
+				t.Fatalf("same seed diverged at rank %d elem %d", r, i)
+			}
+		}
+	}
+	_, _, s3, end3 := chaosAllReduce(t, &Chaos{Seed: 22, Loss: 0.2, Corrupt: 0.1}, ScheduleRing, parties, elems, inputs, nil)
+	if s3 == s1 && end3 == end1 {
+		t.Fatal("seed 22 reproduced seed 21's entire fault plan")
+	}
+}
+
+// Satellite 2 (comm level): a guarded transfer to a node that dies
+// mid-flight is cancelled, releases its shared segment immediately, and the
+// sender moves on instead of retrying into a black hole.
+func TestDeadDestinationCancelsInFlight(t *testing.T) {
+	env := sim.NewEnv()
+	topo := NewTopology(env, 3)
+	seg := sim.NewResource(env, "switch", 1)
+	slow := LossyLink{Base: testLink} // zero extra rates, just a wrapped link
+	topo.SetPath(0, 1, slow, seg)
+	topo.SetPath(1, 0, testLink)
+	topo.SetChaos(&Chaos{Seed: 1})
+	const bytes = int64(1 << 30) // ~1.07 s on testLink: plenty of flight time
+	var sendDone, probeAt float64
+	env.Spawn("sender", func(p *sim.Proc) {
+		topo.Send(p, 0, 1, 0, "payload", bytes)
+		sendDone = p.Now()
+	})
+	env.Spawn("killer", func(p *sim.Proc) {
+		p.Delay(0.5)
+		topo.MarkDead(1)
+	})
+	env.Spawn("prober", func(p *sim.Proc) {
+		p.Delay(0.6)
+		p.Acquire(seg)
+		probeAt = p.Now()
+		seg.Release()
+	})
+	env.Run()
+	env.Close()
+	if sendDone != 0.5 {
+		t.Fatalf("cancelled send returned at t=%v, want 0.5", sendDone)
+	}
+	if probeAt != 0.6 {
+		t.Fatalf("segment re-acquired at t=%v, want 0.6 (cancellation leaked the segment)", probeAt)
+	}
+	if st := topo.ChaosStats(); st.Cancelled != 1 {
+		t.Fatalf("Cancelled = %d, want 1", st.Cancelled)
+	}
+	if seg.InUse() != 0 {
+		t.Fatalf("segment InUse = %d after cancellation", seg.InUse())
+	}
+}
+
+// Fault-free invariance: installing no chaos and killing no one leaves
+// Send on the exact original code path — byte counts and completion times
+// of a plain allreduce are unchanged (the <5% CPU gate in BENCH_sim.json
+// pins the host-side cost; this pins the simulated side).
+func TestFaultFreePathUnchanged(t *testing.T) {
+	parties, elems := 4, 257
+	inputs := randInputs(parties, elems, 3)
+	end, bufs := simAllReduce(t, ScheduleTree, parties, elems, inputs)
+	want := TreeAllReduceTime(testLink, int64(elems)*4, parties)
+	if relErr(end, want) > 1e-9 {
+		t.Fatalf("fault-free allreduce %v, oracle %v", end, want)
+	}
+	sum := make([]float32, elems)
+	ReduceSum(sum, inputs...)
+	for r := range bufs {
+		for i := range sum {
+			if bufs[r][i] != sum[i] {
+				t.Fatalf("rank %d elem %d diverged", r, i)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"fmt"
+	"math"
 
 	"scaledl/internal/sim"
 	"scaledl/internal/tensor"
@@ -204,6 +205,13 @@ type Communicator struct {
 	tags    []int
 	bars    map[collKey]*sim.Barrier
 	msgPool []*collMsg
+	// Survivor state (MarkDead). sub, once a party dies, is a fresh
+	// communicator over the live membership; every collective delegates to
+	// it with ranks remapped through liveOf, so schedules re-form over the
+	// survivors instead of deadlocking on the dead rank.
+	dead   map[int]bool
+	sub    *Communicator
+	liveOf []int // original rank -> sub rank, -1 for dead
 }
 
 // NewCommunicator creates a communicator. The plan's byte counts must be
@@ -248,8 +256,75 @@ func (c *Communicator) tagOf(rank int) int {
 	return rank
 }
 
-// Size returns the number of parties.
+// Size returns the number of parties the communicator was built over,
+// including any that have since died; see Live.
 func (c *Communicator) Size() int { return len(c.parties) }
+
+// Live returns the number of surviving parties.
+func (c *Communicator) Live() int { return len(c.parties) - len(c.dead) }
+
+// MarkDead declares party rank fail-stopped. The topology drops traffic to
+// its node (cancelling in-flight transfers), and every subsequent
+// collective runs over a fresh communicator spanning only the survivors —
+// tree, ring, RHD, chain and linear schedules all re-form over the live
+// membership, reduce contribution lists shrink to the survivors (results
+// are bit-identical to a fresh communicator built over the live parties
+// with their original rank tags), and collectives complete with P−1
+// parties instead of deadlocking. Callers must quiesce the dead rank's
+// in-progress collectives first: every party calls MarkDead between
+// collective rounds (it is idempotent), and from the next round on the
+// survivor schedule is in effect. Root death is unsupported.
+func (c *Communicator) MarkDead(rank int) {
+	if rank < 0 || rank >= len(c.parties) {
+		panic(fmt.Sprintf("comm: MarkDead rank %d of %d parties", rank, len(c.parties)))
+	}
+	if c.dead == nil {
+		c.dead = map[int]bool{}
+	}
+	if c.dead[rank] {
+		return
+	}
+	c.dead[rank] = true
+	c.topo.MarkDead(c.parties[rank])
+	if c.sub != nil {
+		c.sub.MarkDead(c.liveOf[rank])
+		return
+	}
+	if c.Live() < 1 {
+		panic("comm: every party of the communicator is dead")
+	}
+	live := make([]int, 0, c.Live())
+	liveTags := make([]int, 0, c.Live())
+	liveOf := make([]int, len(c.parties))
+	for r := range c.parties {
+		if c.dead[r] {
+			liveOf[r] = -1
+			continue
+		}
+		liveOf[r] = len(live)
+		live = append(live, c.parties[r])
+		liveTags = append(liveTags, c.tagOf(r))
+	}
+	c.liveOf = liveOf
+	c.sub = NewCommunicator(c.topo, CommConfig{
+		Parties:    live,
+		Plan:       c.plan,
+		Schedule:   c.sched,
+		ChunkElems: c.chunk,
+		Wire:       c.wire,
+		Tag:        c.tag, // rounds only move forward, so reuse is collision-free
+		RankTags:   liveTags,
+	})
+}
+
+// subRankOf maps an original rank to its survivor-communicator rank.
+func (c *Communicator) subRankOf(rank int) int {
+	sr := c.liveOf[rank]
+	if sr < 0 {
+		panic(fmt.Sprintf("comm: dead rank %d used in a collective", rank))
+	}
+	return sr
+}
 
 // Plan returns the communicator's message plan.
 func (c *Communicator) Plan() Plan { return c.plan }
@@ -278,6 +353,21 @@ type Endpoint struct {
 // Rank returns the party rank.
 func (ep *Endpoint) Rank() int { return ep.rank }
 
+// MarkDead declares party rank dead on the endpoint's communicator (see
+// Communicator.MarkDead); every surviving party must call it.
+func (ep *Endpoint) MarkDead(rank int) { ep.c.MarkDead(rank) }
+
+// delegate returns the survivor communicator's endpoint for this party, or
+// nil while every party is alive. Collective methods re-issue themselves
+// through it (recursively, if deaths have stacked) so the schedule always
+// spans exactly the live membership.
+func (ep *Endpoint) delegate() *Endpoint {
+	if ep.c.sub == nil {
+		return nil
+	}
+	return ep.c.sub.Endpoint(ep.c.subRankOf(ep.rank))
+}
+
 // phases keep concurrent collectives of the same round apart.
 const (
 	phReduce = iota
@@ -304,6 +394,98 @@ type collMsg struct {
 	lo       int       // element offset of data within the segment (RHD allgather)
 	data     []float32 // broadcast / allgather payload (nil in size-only mode)
 	contribs []contrib // reduce payload, ascending rank order
+	// Checksum state (chaos mode only; see the Sealed interface). sum is
+	// the sealed content hash; verdict memoizes Verify (0 unset, 1 ok,
+	// -1 bad); poison marks a payload with no flippable bits whose frame
+	// itself is corrupt.
+	sum     uint64
+	sealed  bool
+	poison  bool
+	verdict int8
+}
+
+// hash folds the message's semantic content — key, offset, data bits,
+// contribution ranks and bits — through FNV-1a.
+func (m *collMsg) hash() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		h ^= x
+		h *= 1099511628211
+	}
+	mix(uint64(m.key.round))
+	mix(uint64(m.key.phase))
+	mix(uint64(m.key.seg))
+	mix(uint64(m.key.step))
+	mix(uint64(m.key.chunk))
+	mix(uint64(m.lo))
+	for _, v := range m.data {
+		mix(uint64(math.Float32bits(v)))
+	}
+	for _, cb := range m.contribs {
+		mix(uint64(cb.rank))
+		for _, v := range cb.vals {
+			mix(uint64(math.Float32bits(v)))
+		}
+	}
+	return h
+}
+
+// Seal implements Sealed: it stamps the end-to-end checksum the receiver
+// verifies. Called by the chaos layer at first send; never on the
+// fault-free path.
+func (m *collMsg) Seal() {
+	m.sum = m.hash()
+	m.sealed = true
+	m.verdict = 0
+}
+
+// Verify implements Sealed, memoized — a rejected payload may be probed by
+// several blocked receivers before the purge sweeps it.
+func (m *collMsg) Verify() bool {
+	if m.poison {
+		return false
+	}
+	if !m.sealed {
+		return true
+	}
+	if m.verdict == 0 {
+		if m.hash() == m.sum {
+			m.verdict = 1
+		} else {
+			m.verdict = -1
+		}
+	}
+	return m.verdict == 1
+}
+
+// Garble implements Sealed: a corrupted deep copy carrying the stale
+// checksum. The flipped slice is fresh so the sender's pristine buffer
+// survives for the resend; payloads with no data bits (size-only mode)
+// are poisoned instead — the frame CRC catches those.
+func (m *collMsg) Garble() any {
+	g := &collMsg{src: m.src, key: m.key, lo: m.lo, sum: m.sum, sealed: m.sealed}
+	flip := func(v float32) float32 {
+		return math.Float32frombits(math.Float32bits(v) ^ 1)
+	}
+	switch {
+	case len(m.data) > 0:
+		g.data = append([]float32(nil), m.data...)
+		g.data[0] = flip(g.data[0])
+	case len(m.contribs) > 0:
+		g.contribs = append([]contrib(nil), m.contribs...)
+		for i := range g.contribs {
+			if vals := g.contribs[i].vals; len(vals) > 0 {
+				vals = append([]float32(nil), vals...)
+				vals[0] = flip(vals[0])
+				g.contribs[i].vals = vals
+				return g
+			}
+		}
+		g.poison = true
+	default:
+		g.poison = true
+	}
+	return g
 }
 
 func (c *Communicator) wireOf(elems int) int64 {
@@ -515,6 +697,10 @@ func orderedSum(dst []float32, list []contrib) {
 // the communicator's (ring and RHD, which are allreduce shapes, fall back
 // to the tree for a plain broadcast).
 func (ep *Endpoint) Broadcast(p *sim.Proc, round, root int, buf []float32) {
+	if d := ep.delegate(); d != nil {
+		d.Broadcast(p, round, ep.c.subRankOf(root), buf)
+		return
+	}
 	ep.c.checkBuf(buf)
 	ep.c.bcast(p, ep.rank, round, root, buf)
 }
@@ -522,6 +708,10 @@ func (ep *Endpoint) Broadcast(p *sim.Proc, round, root int, buf []float32) {
 // BroadcastSize walks the same message schedule moving no data — for
 // cost-only experiments at sizes too large to materialize.
 func (ep *Endpoint) BroadcastSize(p *sim.Proc, round, root int) {
+	if d := ep.delegate(); d != nil {
+		d.BroadcastSize(p, round, ep.c.subRankOf(root))
+		return
+	}
 	ep.c.bcast(p, ep.rank, round, root, nil)
 }
 
@@ -529,24 +719,40 @@ func (ep *Endpoint) BroadcastSize(p *sim.Proc, round, root int) {
 // becomes the rank-ordered elementwise sum (bit-identical to ReduceSum
 // over the parties in rank order); other parties' bufs are unchanged.
 func (ep *Endpoint) Reduce(p *sim.Proc, round, root int, buf []float32) {
+	if d := ep.delegate(); d != nil {
+		d.Reduce(p, round, ep.c.subRankOf(root), buf)
+		return
+	}
 	ep.c.checkBuf(buf)
 	ep.c.reduce(p, ep.rank, round, root, buf)
 }
 
 // ReduceSize is the size-only Reduce.
 func (ep *Endpoint) ReduceSize(p *sim.Proc, round, root int) {
+	if d := ep.delegate(); d != nil {
+		d.ReduceSize(p, round, ep.c.subRankOf(root))
+		return
+	}
 	ep.c.reduce(p, ep.rank, round, root, nil)
 }
 
 // AllReduce leaves every party's buf holding the rank-ordered sum of all
 // contributions, under the communicator's schedule.
 func (ep *Endpoint) AllReduce(p *sim.Proc, round int, buf []float32) {
+	if d := ep.delegate(); d != nil {
+		d.AllReduce(p, round, buf)
+		return
+	}
 	ep.c.checkBuf(buf)
 	ep.c.allReduce(p, ep.rank, round, buf)
 }
 
 // AllReduceSize is the size-only AllReduce.
 func (ep *Endpoint) AllReduceSize(p *sim.Proc, round int) {
+	if d := ep.delegate(); d != nil {
+		d.AllReduceSize(p, round)
+		return
+	}
 	ep.c.allReduce(p, ep.rank, round, nil)
 }
 
@@ -567,6 +773,10 @@ func (ep *Endpoint) AllReduceSize(p *sim.Proc, round int) {
 // rank-ordered sum of the range's contributions, bit-identical to the same
 // range of a monolithic AllReduce.
 func (ep *Endpoint) AllReduceRange(p *sim.Proc, round int, buf []float32, lo, hi int) {
+	if d := ep.delegate(); d != nil {
+		d.AllReduceRange(p, round, buf, lo, hi)
+		return
+	}
 	ep.c.checkRange(buf, lo, hi)
 	c := ep.c
 	if len(c.parties) == 1 {
@@ -579,6 +789,10 @@ func (ep *Endpoint) AllReduceRange(p *sim.Proc, round int, buf []float32, lo, hi
 // ReduceRange reduces buf[lo:hi] to root (rank-ordered sum at root, other
 // bufs unchanged).
 func (ep *Endpoint) ReduceRange(p *sim.Proc, round, root int, buf []float32, lo, hi int) {
+	if d := ep.delegate(); d != nil {
+		d.ReduceRange(p, round, ep.c.subRankOf(root), buf, lo, hi)
+		return
+	}
 	ep.c.checkRange(buf, lo, hi)
 	c := ep.c
 	if len(c.parties) == 1 {
@@ -590,6 +804,10 @@ func (ep *Endpoint) ReduceRange(p *sim.Proc, round, root int, buf []float32, lo,
 
 // BroadcastRange distributes root's buf[lo:hi] to every party.
 func (ep *Endpoint) BroadcastRange(p *sim.Proc, round, root int, buf []float32, lo, hi int) {
+	if d := ep.delegate(); d != nil {
+		d.BroadcastRange(p, round, ep.c.subRankOf(root), buf, lo, hi)
+		return
+	}
 	ep.c.checkRange(buf, lo, hi)
 	c := ep.c
 	if len(c.parties) == 1 {

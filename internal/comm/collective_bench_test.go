@@ -128,12 +128,18 @@ func BenchmarkAllReduceHier(b *testing.B) { benchmarkHierAllReduceSize(b, 4, 8, 
 // asks to make routine: a size-only hierarchical allreduce over 32 nodes ×
 // 32 GPUs = 1024 parties. ns/op here is the real CPU cost of one sweep
 // point; the BENCH_sim.json gate pins it so kernel regressions that would
-// turn a P=1024 scaling curve back into minutes can't land silently.
+// turn a P=1024 scaling curve back into minutes can't land silently. The
+// deterministic events/op metric doubles as the fault-free-overhead
+// contract of the chaos layer: with no Chaos installed a send must cost
+// the same wake-ups as before the fault tier existed, so the gate pins
+// the count exactly — ack round-trips or timers leaking into the fast
+// path would inflate it far past any tolerance.
 func BenchmarkAllReduceP1024(b *testing.B) { benchmarkHierAllReduceSize(b, 32, 32, 1<<20) }
 
 func benchmarkHierAllReduceSize(b *testing.B, nodes, gpus, elems int) {
 	b.Helper()
 	var simTime float64
+	var events int64
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		env := sim.NewEnv()
@@ -161,7 +167,9 @@ func benchmarkHierAllReduceSize(b *testing.B, nodes, gpus, elems int) {
 			})
 		}
 		simTime = env.Run()
+		events = env.Events()
 		env.Close()
 	}
 	b.ReportMetric(simTime*1e3, "sim_ms")
+	b.ReportMetric(float64(events), "events/op")
 }

@@ -12,6 +12,17 @@
 // property the collective tests pin), and diverge from them exactly where
 // the analytic model cannot follow: shared-segment contention, pipelined
 // chunk overlap, and per-message compressed wire sizes.
+//
+// The engine survives faults (chaos.go): when a Chaos plan is installed on
+// a Topology, every point-to-point send runs a guarded delivery protocol —
+// checksummed payloads, per-message acks, timeout/exponential-backoff
+// retries — that absorbs seeded message loss and corruption without
+// changing what arrives, and MarkDead lets collectives shrink their
+// membership around a fail-stopped rank mid-run (survivor-aware schedule
+// re-forming in collective.go and hier.go). Every fault outcome is a pure
+// function of the chaos seed and the message identity, never of event
+// arrival order, so faulty runs stay bit-reproducible; with no Chaos
+// installed, sends take the exact fault-free fast path.
 package comm
 
 import (

@@ -41,6 +41,15 @@ type HierConfig struct {
 	Groups [][]int
 	// Leader is the local rank of each group's fabric endpoint (default 0).
 	Leader int
+	// Leaders, when non-nil, overrides Leader with a per-group local rank —
+	// the survivor rebuild uses it to keep each original leader in place
+	// even as deaths shift local indices.
+	Leaders []int
+	// GroupTags, when non-nil, overrides the sequential global-rank
+	// contribution tags with explicit per-group tags (same shape as
+	// Groups). The survivor rebuild tags live members with their original
+	// global ranks, preserving the ascending-global-rank combine order.
+	GroupTags [][]int
 	// Plan is the shared message plan (same semantics as CommConfig.Plan).
 	Plan Plan
 	// Intra and Inter select the schedules of the two levels: Intra shapes
@@ -63,13 +72,21 @@ type HierConfig struct {
 // sequence with matching rounds, and distinct concurrent collectives
 // (e.g. overlapped buckets) use distinct rounds.
 type HierCommunicator struct {
-	plan    Plan
-	leader  int
-	intra   []*Communicator
-	inter   *Communicator
-	groupOf []int // global rank -> group index
-	localOf []int // global rank -> local rank within the group
-	rankOf  [][]int
+	topo     *Topology
+	cfg      HierConfig
+	plan     Plan
+	leaderOf []int // group index -> leader's local rank
+	intra    []*Communicator
+	inter    *Communicator
+	groupOf  []int // global rank -> group index
+	localOf  []int // global rank -> local rank within the group
+	rankOf   [][]int
+	// Survivor state (MarkDead): sub is a fresh two-level communicator over
+	// the live membership, rebuilt from the original config at each death
+	// (so sub itself never has a sub); liveOf remaps global ranks into it.
+	dead   map[int]bool
+	sub    *HierCommunicator
+	liveOf []int
 }
 
 // NewHierCommunicator composes intra-node communicators (one per group,
@@ -79,20 +96,34 @@ func NewHierCommunicator(t *Topology, cfg HierConfig) *HierCommunicator {
 	if len(cfg.Groups) < 1 {
 		panic("comm: hierarchical communicator needs at least one group")
 	}
-	hc := &HierCommunicator{plan: cfg.Plan, leader: cfg.Leader}
+	if cfg.Leaders != nil && len(cfg.Leaders) != len(cfg.Groups) {
+		panic(fmt.Sprintf("comm: %d leaders for %d groups", len(cfg.Leaders), len(cfg.Groups)))
+	}
+	if cfg.GroupTags != nil && len(cfg.GroupTags) != len(cfg.Groups) {
+		panic(fmt.Sprintf("comm: %d tag groups for %d groups", len(cfg.GroupTags), len(cfg.Groups)))
+	}
+	hc := &HierCommunicator{topo: t, cfg: cfg, plan: cfg.Plan}
 	var leaders, leaderTags []int
 	next := 0
 	for g, group := range cfg.Groups {
 		if len(group) < 1 {
 			panic(fmt.Sprintf("comm: group %d is empty", g))
 		}
-		if cfg.Leader < 0 || cfg.Leader >= len(group) {
-			panic(fmt.Sprintf("comm: leader rank %d outside group %d of %d", cfg.Leader, g, len(group)))
+		lead := cfg.Leader
+		if cfg.Leaders != nil {
+			lead = cfg.Leaders[g]
 		}
+		if lead < 0 || lead >= len(group) {
+			panic(fmt.Sprintf("comm: leader rank %d outside group %d of %d", lead, g, len(group)))
+		}
+		hc.leaderOf = append(hc.leaderOf, lead)
 		tags := make([]int, len(group))
 		ranks := make([]int, len(group))
 		for l := range group {
 			tags[l] = next
+			if cfg.GroupTags != nil {
+				tags[l] = cfg.GroupTags[g][l]
+			}
 			ranks[l] = next
 			hc.groupOf = append(hc.groupOf, g)
 			hc.localOf = append(hc.localOf, l)
@@ -108,8 +139,8 @@ func NewHierCommunicator(t *Topology, cfg HierConfig) *HierCommunicator {
 			Tag:        cfg.Tag + 1,
 			RankTags:   tags,
 		}))
-		leaders = append(leaders, group[cfg.Leader])
-		leaderTags = append(leaderTags, ranks[cfg.Leader])
+		leaders = append(leaders, group[lead])
+		leaderTags = append(leaderTags, tags[lead])
 	}
 	hc.inter = NewCommunicator(t, CommConfig{
 		Parties:    leaders,
@@ -121,6 +152,87 @@ func NewHierCommunicator(t *Topology, cfg HierConfig) *HierCommunicator {
 		RankTags:   leaderTags,
 	})
 	return hc
+}
+
+// Live returns the number of surviving parties.
+func (hc *HierCommunicator) Live() int { return hc.Size() - len(hc.dead) }
+
+// MarkDead declares global rank fail-stopped: the topology drops traffic
+// to its node and a fresh two-level communicator is rebuilt over the live
+// membership — live members keep their original local order and global-
+// rank contribution tags, groups emptied by death drop out, and each
+// group's original leader stays leader while it lives (its group falls
+// back to its first survivor). Subsequent collectives delegate into the
+// rebuild, so both levels' schedules re-form over the survivors. As with
+// the flat engine, every surviving party calls MarkDead (idempotent)
+// between rounds; root death is unsupported.
+func (hc *HierCommunicator) MarkDead(rank int) {
+	if rank < 0 || rank >= hc.Size() {
+		panic(fmt.Sprintf("comm: MarkDead rank %d of %d parties", rank, hc.Size()))
+	}
+	if hc.dead == nil {
+		hc.dead = map[int]bool{}
+	}
+	if hc.dead[rank] {
+		return
+	}
+	hc.dead[rank] = true
+	hc.topo.MarkDead(hc.cfg.Groups[hc.groupOf[rank]][hc.localOf[rank]])
+	if hc.Live() < 1 {
+		panic("comm: every party of the hierarchical communicator is dead")
+	}
+	var groups, groupTags [][]int
+	var leaders []int
+	liveOf := make([]int, hc.Size())
+	next := 0
+	for g, group := range hc.cfg.Groups {
+		var members, tags []int
+		lead := -1
+		for l, node := range group {
+			r := hc.rankOf[g][l]
+			if hc.dead[r] {
+				liveOf[r] = -1
+				continue
+			}
+			if l == hc.leaderOf[g] {
+				lead = len(members)
+			}
+			liveOf[r] = next + len(members)
+			members = append(members, node)
+			tags = append(tags, hc.intra[g].tagOf(l))
+		}
+		if len(members) == 0 {
+			continue
+		}
+		if lead < 0 {
+			lead = 0
+		}
+		next += len(members)
+		groups = append(groups, members)
+		groupTags = append(groupTags, tags)
+		leaders = append(leaders, lead)
+	}
+	hc.liveOf = liveOf
+	hc.sub = NewHierCommunicator(hc.topo, HierConfig{
+		Groups:     groups,
+		Leaders:    leaders,
+		GroupTags:  groupTags,
+		Plan:       hc.cfg.Plan,
+		Intra:      hc.cfg.Intra,
+		Inter:      hc.cfg.Inter,
+		ChunkElems: hc.cfg.ChunkElems,
+		Wire:       hc.cfg.Wire,
+		Tag:        hc.cfg.Tag, // rounds only move forward, so reuse is collision-free
+	})
+}
+
+// subRankOf maps an original global rank to its survivor-rebuild rank.
+func (hc *HierCommunicator) subRankOf(rank int) int {
+	sr := hc.liveOf[rank]
+	if sr < 0 {
+		panic(fmt.Sprintf("comm: dead rank %d used in a collective", rank))
+	}
+	return sr
 }
 
 // Size returns the total party count over all groups.
@@ -146,10 +258,12 @@ func (hc *HierCommunicator) GroupOf(rank int) int { return hc.groupOf[rank] }
 func (hc *HierCommunicator) LocalOf(rank int) int { return hc.localOf[rank] }
 
 // IsLeader reports whether the global rank is its group's fabric leader.
-func (hc *HierCommunicator) IsLeader(rank int) bool { return hc.localOf[rank] == hc.leader }
+func (hc *HierCommunicator) IsLeader(rank int) bool {
+	return hc.localOf[rank] == hc.leaderOf[hc.groupOf[rank]]
+}
 
 // LeaderRank returns the global rank of group g's leader.
-func (hc *HierCommunicator) LeaderRank(g int) int { return hc.rankOf[g][hc.leader] }
+func (hc *HierCommunicator) LeaderRank(g int) int { return hc.rankOf[g][hc.leaderOf[g]] }
 
 // BytesMoved reports the underlying topology's cumulative wire bytes.
 func (hc *HierCommunicator) BytesMoved() int64 { return hc.inter.topo.BytesMoved() }
@@ -173,6 +287,19 @@ type HierEndpoint struct {
 
 // Rank returns the global party rank.
 func (ep *HierEndpoint) Rank() int { return ep.rank }
+
+// MarkDead declares global rank dead on the endpoint's communicator (see
+// HierCommunicator.MarkDead); every surviving party must call it.
+func (ep *HierEndpoint) MarkDead(rank int) { ep.hc.MarkDead(rank) }
+
+// delegate returns the survivor rebuild's endpoint for this party, or nil
+// while every party is alive.
+func (ep *HierEndpoint) delegate() *HierEndpoint {
+	if ep.hc.sub == nil {
+		return nil
+	}
+	return ep.hc.sub.Endpoint(ep.hc.subRankOf(ep.rank))
+}
 
 // phHand is the extra phase of the hierarchical root hand-off hops (a
 // non-leader root passing its payload to — or receiving the gathered list
@@ -207,18 +334,30 @@ func (hc *HierCommunicator) checkRange(buf []float32, lo, hi int) {
 // parties' contributions — bit-identical to the flat engine's AllReduce
 // (and to ReduceSum in rank order) for every (intra, inter) schedule pair.
 func (ep *HierEndpoint) AllReduce(p *sim.Proc, round int, buf []float32) {
+	if d := ep.delegate(); d != nil {
+		d.AllReduce(p, round, buf)
+		return
+	}
 	ep.hc.checkBuf(buf)
 	ep.hc.allReduce(p, ep.rank, round, buf)
 }
 
 // AllReduceSize walks the same message schedule moving no data.
 func (ep *HierEndpoint) AllReduceSize(p *sim.Proc, round int) {
+	if d := ep.delegate(); d != nil {
+		d.AllReduceSize(p, round)
+		return
+	}
 	ep.hc.allReduce(p, ep.rank, round, nil)
 }
 
 // AllReduceRange allreduces buf[lo:hi] as one segment — the streaming
 // pipeline's bucketed collective, hierarchical for free.
 func (ep *HierEndpoint) AllReduceRange(p *sim.Proc, round int, buf []float32, lo, hi int) {
+	if d := ep.delegate(); d != nil {
+		d.AllReduceRange(p, round, buf, lo, hi)
+		return
+	}
 	ep.hc.checkRange(buf, lo, hi)
 	if ep.hc.Size() == 1 {
 		return
@@ -231,17 +370,29 @@ func (ep *HierEndpoint) AllReduceRange(p *sim.Proc, round int, buf []float32, lo
 // payload to its group leader (free when the root is a leader), leaders
 // broadcast over the fabric, and every group fans out locally.
 func (ep *HierEndpoint) Broadcast(p *sim.Proc, round, root int, buf []float32) {
+	if d := ep.delegate(); d != nil {
+		d.Broadcast(p, round, ep.hc.subRankOf(root), buf)
+		return
+	}
 	ep.hc.checkBuf(buf)
 	ep.hc.bcast(p, ep.rank, round, root, buf)
 }
 
 // BroadcastSize is the size-only Broadcast.
 func (ep *HierEndpoint) BroadcastSize(p *sim.Proc, round, root int) {
+	if d := ep.delegate(); d != nil {
+		d.BroadcastSize(p, round, ep.hc.subRankOf(root))
+		return
+	}
 	ep.hc.bcast(p, ep.rank, round, root, nil)
 }
 
 // BroadcastRange distributes root's buf[lo:hi] as one segment.
 func (ep *HierEndpoint) BroadcastRange(p *sim.Proc, round, root int, buf []float32, lo, hi int) {
+	if d := ep.delegate(); d != nil {
+		d.BroadcastRange(p, round, ep.hc.subRankOf(root), buf, lo, hi)
+		return
+	}
 	ep.hc.checkRange(buf, lo, hi)
 	if ep.hc.Size() == 1 {
 		return
@@ -255,17 +406,29 @@ func (ep *HierEndpoint) BroadcastRange(p *sim.Proc, round, root int, buf []float
 // leaders, leaders gather over the fabric to the root's leader, which hands
 // the assembled list to a non-leader root.
 func (ep *HierEndpoint) Reduce(p *sim.Proc, round, root int, buf []float32) {
+	if d := ep.delegate(); d != nil {
+		d.Reduce(p, round, ep.hc.subRankOf(root), buf)
+		return
+	}
 	ep.hc.checkBuf(buf)
 	ep.hc.reduce(p, ep.rank, round, root, buf)
 }
 
 // ReduceSize is the size-only Reduce.
 func (ep *HierEndpoint) ReduceSize(p *sim.Proc, round, root int) {
+	if d := ep.delegate(); d != nil {
+		d.ReduceSize(p, round, ep.hc.subRankOf(root))
+		return
+	}
 	ep.hc.reduce(p, ep.rank, round, root, nil)
 }
 
 // ReduceRange reduces buf[lo:hi] to root as one segment.
 func (ep *HierEndpoint) ReduceRange(p *sim.Proc, round, root int, buf []float32, lo, hi int) {
+	if d := ep.delegate(); d != nil {
+		d.ReduceRange(p, round, ep.hc.subRankOf(root), buf, lo, hi)
+		return
+	}
 	ep.hc.checkRange(buf, lo, hi)
 	if ep.hc.Size() == 1 {
 		return
@@ -291,13 +454,14 @@ func (hc *HierCommunicator) allReduce(p *sim.Proc, rank, round int, buf []float3
 // broadcast of the combined range.
 func (hc *HierCommunicator) allReduceSeg(p *sim.Proc, rank, round, si int, buf []float32, seg [2]int) {
 	g, local := hc.groupOf[rank], hc.localOf[rank]
+	lead := hc.leaderOf[g]
 	ic := hc.intra[g]
 	self := ic.selfContrib(local, buf, seg)
-	list := ic.gatherSeg(p, local, round, phReduce, si, hc.leader, self, seg)
-	if local == hc.leader {
+	list := ic.gatherSeg(p, local, round, phReduce, si, lead, self, seg)
+	if local == lead {
 		hc.inter.allReduceListSeg(p, g, round, si, list, buf, seg)
 	}
-	ic.bcastSeg(p, local, round, si, hc.leader, buf, seg)
+	ic.bcastSeg(p, local, round, si, lead, buf, seg)
 }
 
 func (hc *HierCommunicator) bcast(p *sim.Proc, rank, round, root int, buf []float32) {
@@ -312,6 +476,7 @@ func (hc *HierCommunicator) bcast(p *sim.Proc, rank, round, root int, buf []floa
 
 func (hc *HierCommunicator) bcastSeg(p *sim.Proc, rank, round, si, root int, buf []float32, seg [2]int) {
 	g, local := hc.groupOf[rank], hc.localOf[rank]
+	lead := hc.leaderOf[g]
 	rg := hc.groupOf[root]
 	ic := hc.intra[g]
 	elems := seg[1] - seg[0]
@@ -324,7 +489,7 @@ func (hc *HierCommunicator) bcastSeg(p *sim.Proc, rank, round, si, root int, buf
 			if buf != nil {
 				data = snapshot(buf[seg[0]:seg[1]])
 			}
-			ic.send(p, local, hc.leader, collMsg{key: key, data: data}, ic.wireOf(elems))
+			ic.send(p, local, lead, collMsg{key: key, data: data}, ic.wireOf(elems))
 		case hc.LeaderRank(rg):
 			m := ic.recv(p, local, hc.localOf[root], key)
 			if buf != nil {
@@ -333,11 +498,11 @@ func (hc *HierCommunicator) bcastSeg(p *sim.Proc, rank, round, si, root int, buf
 		}
 	}
 	// Leaders broadcast over the fabric from the root's group.
-	if local == hc.leader {
+	if local == lead {
 		hc.inter.bcastSeg(p, g, round, si, rg, buf, seg)
 	}
 	// Every group fans out locally from its leader.
-	ic.bcastSeg(p, local, round, si, hc.leader, buf, seg)
+	ic.bcastSeg(p, local, round, si, lead, buf, seg)
 }
 
 func (hc *HierCommunicator) reduce(p *sim.Proc, rank, round, root int, buf []float32) {
@@ -352,11 +517,12 @@ func (hc *HierCommunicator) reduce(p *sim.Proc, rank, round, root int, buf []flo
 
 func (hc *HierCommunicator) reduceSeg(p *sim.Proc, rank, round, si, root int, buf []float32, seg [2]int) {
 	g, local := hc.groupOf[rank], hc.localOf[rank]
+	lead := hc.leaderOf[g]
 	rg := hc.groupOf[root]
 	ic := hc.intra[g]
 	self := ic.selfContrib(local, buf, seg)
-	list := ic.gatherSeg(p, local, round, phReduce, si, hc.leader, self, seg)
-	if local == hc.leader {
+	list := ic.gatherSeg(p, local, round, phReduce, si, lead, self, seg)
+	if local == lead {
 		list = hc.inter.gatherSeg(p, g, round, phReduce, si, rg, list, seg)
 	}
 	// Hand-off: the root group's leader passes the assembled list to a
@@ -368,7 +534,7 @@ func (hc *HierCommunicator) reduceSeg(p *sim.Proc, rank, round, si, root int, bu
 		case hc.LeaderRank(rg):
 			ic.send(p, local, hc.localOf[root], collMsg{key: key, contribs: list}, ic.wireOf(seg[1]-seg[0]))
 		case root:
-			list = ic.recv(p, local, hc.leader, key).contribs
+			list = ic.recv(p, local, lead, key).contribs
 		}
 	}
 	if rank == root && buf != nil {

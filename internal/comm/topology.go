@@ -35,6 +35,17 @@ type Topology struct {
 	// value per message (the simulation is single-threaded by construction,
 	// so a plain free list suffices).
 	msgPool []*Message
+	// Semantic fault state (chaos.go). chaos == nil && !hasDead is the
+	// fault-free fast path: Send runs the exact pre-chaos code with no
+	// per-message overhead.
+	chaos     *Chaos
+	dice      *sim.Dice
+	sendSeq   int64
+	hasDead   bool
+	dead      []bool
+	deadSig   []*sim.Signal
+	retryWait []float64
+	stats     ChaosStats
 }
 
 // getMsg takes a Message box from the pool.
@@ -151,8 +162,17 @@ func (t *Topology) occupy(p *sim.Proc, src, dst int, wireBytes int64) {
 // Send transmits payload from src to dst: the calling process pays the
 // wire time (holding any shared segments), then the message is delivered
 // to dst's mailbox. Payloads are delivered by reference; senders that
-// mutate a buffer after sending must pass a snapshot.
+// mutate a buffer after sending must pass a snapshot. With chaos installed
+// or a dead node present, delivery runs the guarded protocol (chaos.go):
+// seeded loss/corruption, ack/timeout/retry, cancellation on destination
+// death.
 func (t *Topology) Send(p *sim.Proc, src, dst, tag int, payload any, wireBytes int64) {
+	if t.chaos != nil || t.hasDead {
+		t.checkNode(src)
+		t.checkNode(dst)
+		t.sendGuarded(p, src, dst, tag, payload, wireBytes)
+		return
+	}
 	t.occupy(p, src, dst, wireBytes)
 	m := t.getMsg()
 	*m = Message{Src: src, Tag: tag, Payload: payload}
@@ -161,32 +181,62 @@ func (t *Topology) Send(p *sim.Proc, src, dst, tag int, payload any, wireBytes i
 
 // Recv blocks until a message with the given source and tag arrives at
 // node `at` and returns its payload, leaving other queued messages intact
-// (selective receive).
+// (selective receive). Under chaos, payloads failing their checksum are
+// never matched — the sender's ack timeout resends them pristine.
 func (t *Topology) Recv(p *sim.Proc, at, src, tag int) any {
 	t.checkNode(at)
+	t.purgeCorrupt(at)
 	m := p.RecvMatch(t.inbox[at], func(v any) bool {
 		msg := v.(*Message)
-		return msg.Src == src && msg.Tag == tag
+		return msg.Src == src && msg.Tag == tag && !t.rejectCorrupt(msg.Payload)
 	}).(*Message)
 	payload := m.Payload
 	t.putMsg(m)
 	return payload
 }
 
-// RecvMatch blocks until a message at node `at` satisfies match.
+// RecvMatch blocks until a message at node `at` satisfies match. Corrupt
+// payloads are rejected before match sees them.
 func (t *Topology) RecvMatch(p *sim.Proc, at int, match func(Message) bool) Message {
 	t.checkNode(at)
-	m := p.RecvMatch(t.inbox[at], func(v any) bool { return match(*v.(*Message)) }).(*Message)
+	t.purgeCorrupt(at)
+	m := p.RecvMatch(t.inbox[at], func(v any) bool {
+		msg := v.(*Message)
+		return !t.rejectCorrupt(msg.Payload) && match(*msg)
+	}).(*Message)
 	out := *m
 	t.putMsg(m)
 	return out
 }
 
+// RecvMatchTimeout is RecvMatch with a deadline in simulated seconds: it
+// returns (message, true) when a match arrives in time, or (Message{},
+// false) once the deadline passes — the primitive behind partial
+// aggregation, where a coordinator stops waiting for stragglers.
+func (t *Topology) RecvMatchTimeout(p *sim.Proc, at int, timeout float64, match func(Message) bool) (Message, bool) {
+	t.checkNode(at)
+	t.purgeCorrupt(at)
+	v, ok := p.RecvMatchTimeout(t.inbox[at], timeout, func(v any) bool {
+		msg := v.(*Message)
+		return !t.rejectCorrupt(msg.Payload) && match(*msg)
+	})
+	if !ok {
+		return Message{}, false
+	}
+	m := v.(*Message)
+	out := *m
+	t.putMsg(m)
+	return out, true
+}
+
 // RecvAny blocks until any message arrives at node `at` and returns it in
 // arrival order — the first-come-first-served inbox of a parameter-server
-// master.
+// master. Corrupt payloads are skipped.
 func (t *Topology) RecvAny(p *sim.Proc, at int) Message {
 	t.checkNode(at)
+	if t.chaos != nil {
+		return t.RecvMatch(p, at, func(Message) bool { return true })
+	}
 	m := p.Recv(t.inbox[at]).(*Message)
 	out := *m
 	t.putMsg(m)

@@ -145,6 +145,11 @@ func newPSCodecs(cfg Config, n int, elastic bool) psCodecs {
 }
 
 func runAsync(cfg Config, name string, opt asyncOpts) (Result, error) {
+	// The parameter-server transfers ride SendModel/DelayModel, outside
+	// comm's guarded message path — semantic faults cannot be injected here.
+	if err := cfg.Faults.requireTimingOnly(name); err != nil {
+		return Result{}, err
+	}
 	rc, err := newRunContext(cfg)
 	if err != nil {
 		return Result{}, err

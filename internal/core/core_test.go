@@ -372,8 +372,8 @@ func TestBreakdownNegativePanics(t *testing.T) {
 }
 
 func TestCategoryStrings(t *testing.T) {
-	if len(Categories()) != 7 {
-		t.Fatalf("want 7 categories")
+	if len(Categories()) != 9 {
+		t.Fatalf("want 9 categories")
 	}
 	for _, c := range Categories() {
 		if c.String() == "" {

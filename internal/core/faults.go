@@ -3,20 +3,38 @@ package core
 import (
 	"fmt"
 
+	"scaledl/internal/comm"
 	"scaledl/internal/sim"
 )
 
 // FaultPlan opens the failure-scenario space around the paper's fault-free
-// runs: heterogeneous worker speeds, transient stragglers, degraded links
-// (Platform.LinkScale) and one fail-stop crash with checkpoint/restart
-// recovery. Every knob is timing-only — it scales simulated delays or
-// inserts stalls, never touches the gradient mathematics — so a faulty run
-// produces bit-identical losses, accuracies and curves to its fault-free
-// twin and differs exactly in where the simulated time goes. That is the
-// point: the four algorithm families (round-robin, asynchronous, tree-
-// synchronous, hierarchical) respond to the *same* fault with visibly
-// different wall-clock damage, which is the comparison the faults harness
-// experiment tabulates.
+// runs in two tiers.
+//
+// The timing-only knobs — heterogeneous worker speeds, transient
+// stragglers, degraded links (Platform.LinkScale) and one fail-stop crash
+// with checkpoint/restart recovery — scale simulated delays or insert
+// stalls and never touch the gradient mathematics, so such a run produces
+// bit-identical losses, accuracies and curves to its fault-free twin and
+// differs exactly in where the simulated time goes.
+//
+// The semantic knobs — LossRate, CorruptRate, BadLinks, FailMode
+// "continue", PartialK — change what happens: a message can vanish on the
+// wire or arrive garbled (detected by ack timeout or checksum and resent
+// by comm's guarded delivery), a failed worker's gradient permanently
+// leaves the sum, and a partial-aggregation deadline can drop a late
+// gradient from a step. The mathematics may then legitimately diverge from
+// the clean twin — but deterministically: every fault outcome is a pure
+// function of (FaultSeed, link endpoints, message id, attempt), never of
+// event order, so two runs with the same configuration and seed are
+// bit-identical in losses, drops and timing. The guarded delivery path is
+// only entered when a semantic knob is set; otherwise every message takes
+// the exact fault-free fast path.
+//
+// Semantic faults are supported by the collective-driven families —
+// sync-sgd and hier-sync-sgd (everything), the Sync EASGD versions and
+// hier-sync-easgd (loss/corruption only) — and rejected with an error by
+// the methods whose parameter traffic bypasses the guarded message path
+// (the asynchronous family, round-robin, the KNL cluster).
 //
 // Steps are counted per worker and 1-based: a worker's first iteration is
 // step 1. For synchronous families a step is a global round; for the
@@ -55,12 +73,90 @@ type FaultPlan struct {
 	// copy over the data link) after each CheckpointEvery-th step — the
 	// steady cost that buys a shorter replay after a crash.
 	CheckpointEvery int
+
+	// FailMode selects what a fail-stop means. Empty or FailRecover is the
+	// timing-only behavior above: the rank reloads the latest checkpoint and
+	// replays, the math is untouched. FailContinue is the semantic variant:
+	// the rank dies at the start of step FailAtStep with no checkpoint and
+	// no recovery, the survivors shrink the collective membership around it
+	// (comm's survivor-aware schedules) and finish the run with P−1
+	// contributions per step. It requires FailAtStep > 0, at least two
+	// workers, and FailRank != 0 (rank 0 coordinates), and is supported by
+	// sync-sgd and hier-sync-sgd.
+	FailMode string
+
+	// LossRate and CorruptRate are the topology-wide per-attempt
+	// probabilities that a message vanishes on the wire or arrives garbled.
+	// Either > 0 activates comm's guarded delivery on the run's topology:
+	// checksummed payloads, per-message acks, timeout/exponential-backoff
+	// retries (every attempt's bytes charged to the wire, so retry traffic
+	// inflates Breakdown.Bytes), with the coordinator's own retry time
+	// surfaced as CatRetry.
+	LossRate    float64
+	CorruptRate float64
+
+	// BadLinks adds extra loss/corruption on specific directed worker→worker
+	// links on top of the global rates — the "one bad cable" scenario. Flat
+	// topologies only (worker ranks are topology nodes there).
+	BadLinks []BadLink
+
+	// FaultSeed seeds the deterministic fault plan; 0 uses Config.Seed.
+	FaultSeed int64
+
+	// MaxSendAttempts bounds per-message delivery attempts (0 = comm's
+	// default of 8); exhausting them panics — an undeliverable message is a
+	// configuration error, not a scenario.
+	MaxSendAttempts int
+
+	// PartialK > 0 switches sync-sgd to partial aggregation: rank 0 gathers
+	// gradients and proceeds once K of the live ranks' contributions (its
+	// own included) have arrived and the deadline has passed for the rest.
+	// Ranks whose step-t gradient misses the window contribute zero to that
+	// step (the averaged step keeps the live-worker divisor); every dropped
+	// (step, rank) pair is recorded in Result.Dropped and the coordinator's
+	// deadline wait in CatDropped. Incompatible with Config.Overlap.
+	PartialK int
+
+	// PartialDeadline scales the partial-aggregation window: rank 0 waits
+	// PartialDeadline × (one gradient message's wire time into rank 0) past
+	// the quorum before dropping stragglers. 0 means 3.
+	PartialDeadline float64
 }
 
-// enabled reports whether any fault knob is active.
+// FailMode values.
+const (
+	// FailRecover reloads the latest checkpoint and replays (timing-only,
+	// the default).
+	FailRecover = "recover"
+	// FailContinue kills the rank for good; survivors shrink the
+	// collective membership and finish without it.
+	FailContinue = "continue"
+)
+
+// BadLink adds per-link loss/corruption on the directed link From→To
+// (worker ranks), on top of FaultPlan.LossRate/CorruptRate.
+type BadLink struct {
+	From, To      int
+	Loss, Corrupt float64
+}
+
+// enabled reports whether any timing fault knob is active (the gate on the
+// per-step fault hooks).
 func (f *FaultPlan) enabled() bool {
 	return len(f.Heterogeneity) > 0 || f.StragglerFactor != 0 ||
 		f.FailAtStep > 0 || f.CheckpointEvery > 0
+}
+
+// semantic reports whether any knob that injects message-level faults is
+// set — the condition under which a run's topology gets comm.Chaos
+// installed.
+func (f *FaultPlan) semantic() bool {
+	return f.LossRate > 0 || f.CorruptRate > 0 || len(f.BadLinks) > 0
+}
+
+// failContinue reports whether the plan kills a rank for good.
+func (f *FaultPlan) failContinue() bool {
+	return f.FailMode == FailContinue && f.FailAtStep > 0
 }
 
 // validate checks the plan against the run's worker count.
@@ -84,13 +180,128 @@ func (f *FaultPlan) validate(workers int) error {
 	if f.FailAtStep < 0 {
 		return fmt.Errorf("core: fail-at step must be >= 0, got %d", f.FailAtStep)
 	}
-	if f.FailAtStep > 0 && (f.FailRank < 0 || f.FailRank >= workers) {
+	// The rank bound holds whenever FailRank is set, not only when a fail
+	// step arms it: a plan naming a rank the run does not have is a mistake
+	// worth rejecting even while dormant.
+	if f.FailRank < 0 || f.FailRank >= workers {
 		return fmt.Errorf("core: fail rank %d outside 0..%d", f.FailRank, workers-1)
 	}
 	if f.CheckpointEvery < 0 {
 		return fmt.Errorf("core: checkpoint interval must be >= 0, got %d", f.CheckpointEvery)
 	}
+	switch f.FailMode {
+	case "", FailRecover:
+	case FailContinue:
+		if f.FailAtStep <= 0 {
+			return fmt.Errorf("core: fail mode %q needs FailAtStep > 0", f.FailMode)
+		}
+		if workers < 2 {
+			return fmt.Errorf("core: fail mode %q needs at least 2 workers", f.FailMode)
+		}
+		if f.FailRank == 0 {
+			return fmt.Errorf("core: fail mode %q cannot kill rank 0 (the coordinator)", f.FailMode)
+		}
+	default:
+		return fmt.Errorf("core: unknown fail mode %q (want %q or %q)", f.FailMode, FailRecover, FailContinue)
+	}
+	if f.LossRate < 0 || f.LossRate >= 1 {
+		return fmt.Errorf("core: loss rate must be in [0, 1), got %v", f.LossRate)
+	}
+	if f.CorruptRate < 0 || f.CorruptRate >= 1 {
+		return fmt.Errorf("core: corrupt rate must be in [0, 1), got %v", f.CorruptRate)
+	}
+	if f.LossRate+f.CorruptRate >= 1 {
+		return fmt.Errorf("core: loss + corrupt rates must leave delivery possible, got %v", f.LossRate+f.CorruptRate)
+	}
+	for i, bl := range f.BadLinks {
+		if bl.From < 0 || bl.From >= workers || bl.To < 0 || bl.To >= workers || bl.From == bl.To {
+			return fmt.Errorf("core: bad link %d: %d->%d is not a worker pair of 0..%d", i, bl.From, bl.To, workers-1)
+		}
+		if bl.Loss < 0 || bl.Corrupt < 0 {
+			return fmt.Errorf("core: bad link %d: negative rate", i)
+		}
+		if f.LossRate+bl.Loss+f.CorruptRate+bl.Corrupt >= 1 {
+			return fmt.Errorf("core: bad link %d: combined rates must leave delivery possible", i)
+		}
+	}
+	if f.MaxSendAttempts < 0 {
+		return fmt.Errorf("core: max send attempts must be >= 0, got %d", f.MaxSendAttempts)
+	}
+	if f.PartialK < 0 || f.PartialK > workers {
+		return fmt.Errorf("core: partial-aggregation K %d outside 1..%d", f.PartialK, workers)
+	}
+	if f.PartialDeadline < 0 {
+		return fmt.Errorf("core: partial deadline must be >= 0, got %v", f.PartialDeadline)
+	}
 	return nil
+}
+
+// requireTimingOnly rejects semantic-fault knobs for methods whose
+// parameter traffic bypasses comm's guarded message path (SendModel /
+// DelayModel transfers): the chaos layer could not protect them, so the
+// knobs are an error there rather than silently inert.
+func (f *FaultPlan) requireTimingOnly(method string) error {
+	if f.semantic() {
+		return fmt.Errorf("core: %s does not support message loss/corruption (its parameter traffic bypasses the guarded message path)", method)
+	}
+	return f.requireNoMembershipChange(method)
+}
+
+// requireNoMembershipChange rejects the knobs that shrink or gate
+// collective membership (fail-continue, partial aggregation) for methods
+// whose center mathematics assumes all P workers every round.
+func (f *FaultPlan) requireNoMembershipChange(method string) error {
+	if f.failContinue() {
+		return fmt.Errorf("core: %s does not support fail mode %q (its center update needs all %s workers); use sync-sgd or hier-sync-sgd", method, FailContinue, "P")
+	}
+	if f.PartialK > 0 {
+		return fmt.Errorf("core: %s does not support partial aggregation (PartialK); use sync-sgd", method)
+	}
+	return nil
+}
+
+// requireFlatLinks rejects BadLinks for methods running on a composed
+// hierarchical topology, where worker ranks are not topology node ids.
+func (f *FaultPlan) requireFlatLinks(method string) error {
+	if len(f.BadLinks) > 0 {
+		return fmt.Errorf("core: %s does not support per-link BadLinks (hierarchical node ids are not worker ranks); use the global rates", method)
+	}
+	return nil
+}
+
+// chaos converts the plan's semantic knobs into the comm-layer
+// configuration (nil when no semantic knob is set); seed is the run seed
+// used when FaultSeed is 0.
+func (f *FaultPlan) chaos(seed int64) *comm.Chaos {
+	if !f.semantic() {
+		return nil
+	}
+	s := f.FaultSeed
+	if s == 0 {
+		s = seed
+	}
+	return &comm.Chaos{
+		Seed:        s,
+		Loss:        f.LossRate,
+		Corrupt:     f.CorruptRate,
+		MaxAttempts: f.MaxSendAttempts,
+	}
+}
+
+// installChaos arms topo with the plan's semantic faults: the seeded
+// loss/corruption plan plus the per-link BadLinks wrappers. rankNode maps
+// worker ranks to topology node ids (identity on the flat topologies).
+// No-op when no semantic knob is set.
+func (rc *runContext) installChaos(topo *comm.Topology, rankNode func(int) int) {
+	f := &rc.cfg.Faults
+	ch := f.chaos(rc.cfg.Seed)
+	if ch == nil {
+		return
+	}
+	topo.SetChaos(ch)
+	for _, bl := range f.BadLinks {
+		topo.WrapLossy(rankNode(bl.From), rankNode(bl.To), bl.Loss, bl.Corrupt)
+	}
 }
 
 // hetScale returns worker id's steady speed factor from the heterogeneity
@@ -142,7 +353,7 @@ func (rc *runContext) faultStall(id, s int) float64 {
 	if f.CheckpointEvery > 0 && s > 1 && (s-1)%f.CheckpointEvery == 0 {
 		d += rc.ckptTime
 	}
-	if f.FailAtStep > 0 && s == f.FailAtStep && id == f.FailRank {
+	if f.FailAtStep > 0 && !f.failContinue() && s == f.FailAtStep && id == f.FailRank {
 		last := 0
 		if f.CheckpointEvery > 0 {
 			last = (s - 1) / f.CheckpointEvery * f.CheckpointEvery

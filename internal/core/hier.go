@@ -67,6 +67,15 @@ func HierSyncSGD(cfg Config) (Result, error) {
 	if err := checkHier(cfg, "hier-sync-sgd"); err != nil {
 		return Result{}, err
 	}
+	// Semantic loss/corruption and fail-continue ride the same guarded
+	// collective path as the flat run; only the flat-topology-keyed knobs
+	// are out of scope here.
+	if err := cfg.Faults.requireFlatLinks("hier-sync-sgd"); err != nil {
+		return Result{}, err
+	}
+	if cfg.Faults.PartialK > 0 {
+		return Result{}, fmt.Errorf("core: hier-sync-sgd does not support partial aggregation (PartialK); use sync-sgd")
+	}
 	rc, err := newRunContext(cfg)
 	if err != nil {
 		return Result{}, err
@@ -77,11 +86,15 @@ func HierSyncSGD(cfg Config) (Result, error) {
 
 	plan, wire, quantizers := rc.syncSGDWire()
 	ml, hc := hierSetup(rc, env, plan, wire, true)
+	topo := ml.Topology()
+	rc.installChaos(topo, nil) // BadLinks rejected above; no rank→node map needed
 	eps := make([]gradAllReducer, cfg.Workers)
 	for i := range eps {
 		eps[i] = hc.Endpoint(i)
 	}
-	end := rc.runSyncSGDWorkers(env, plan, eps, quantizers, ml.Topology().BytesMoved)
+	rootNode := ml.GlobalID(0, 0)
+	end := rc.runSyncSGDWorkers(env, plan, eps, quantizers, topo.BytesMoved,
+		func() float64 { return topo.RetryWait(rootNode) })
 	return rc.finish("hier-sync-sgd", end), nil
 }
 
@@ -103,6 +116,12 @@ func HierSyncEASGD(cfg Config) (Result, error) {
 	if err := checkHier(cfg, "hier-sync-easgd"); err != nil {
 		return Result{}, err
 	}
+	if err := cfg.Faults.requireNoMembershipChange("hier-sync-easgd"); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Faults.requireFlatLinks("hier-sync-easgd"); err != nil {
+		return Result{}, err
+	}
 	rc, err := newRunContext(cfg)
 	if err != nil {
 		return Result{}, err
@@ -115,6 +134,7 @@ func HierSyncEASGD(cfg Config) (Result, error) {
 	// mode); center syncs ride the fabric between leaders.
 	ml, hc := hierSetup(rc, env, rc.plan, nil, false)
 	topo := ml.Topology()
+	rc.installChaos(topo, nil)
 	n := len(rc.center)
 	nodes, perNode := cfg.Nodes, cfg.GPUsPerNode
 

@@ -30,6 +30,11 @@ type KNLClusterConfig struct {
 // reduces ΣW_j to it, every node applies Equation (1) and the master
 // applies Equation (2).
 func KNLClusterEASGD(kcfg KNLClusterConfig) (Result, error) {
+	// The chip-local partition sums bypass the guarded message path, so
+	// only timing faults are meaningful here.
+	if err := kcfg.Faults.requireTimingOnly("knl-cluster-easgd"); err != nil {
+		return Result{}, err
+	}
 	rc, err := newRunContext(kcfg.Config)
 	if err != nil {
 		return Result{}, err

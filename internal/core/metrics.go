@@ -9,13 +9,21 @@
 // platforms rather than this machine).
 //
 // Beyond the paper's fault-free runs, Config.Faults (FaultPlan) and
-// Platform.LinkScale open the failure-scenario space: per-worker compute
-// heterogeneity, straggler injection, degraded links on named segments,
-// and fail-stop with checkpoint/recovery. Every knob is timing-only — it
-// stretches delays or inserts stalls, never touches gradient math — so a
-// faulty run's losses, accuracies and curves are bit-identical to its
-// clean twin's for the deterministic schedules (pinned by faults_test.go),
-// and only the simulated clock and the breakdown (CatRecovery) move.
+// Platform.LinkScale open the failure-scenario space in two tiers. The
+// timing-only knobs — per-worker compute heterogeneity, straggler
+// injection, degraded links on named segments, fail-stop with
+// checkpoint/recovery — stretch delays or insert stalls and never touch
+// gradient math, so a faulty run's losses, accuracies and curves are
+// bit-identical to its clean twin's for the deterministic schedules
+// (pinned by faults_test.go) and only the simulated clock and the
+// breakdown (CatRecovery) move. The semantic knobs — LossRate,
+// CorruptRate, BadLinks, FailMode "continue", PartialK — change *what
+// happens*: messages vanish or arrive garbled and are retried (CatRetry),
+// a dead worker's gradient leaves the sum, a late gradient is dropped at
+// the partial-aggregation deadline (CatDropped, Result.Dropped). A
+// semantic-fault run may legitimately diverge from its clean twin, but the
+// divergence is a pure function of the fault seed: two runs with the same
+// configuration and FaultSeed are bit-identical (see faults.go).
 package core
 
 import "fmt"
@@ -45,6 +53,17 @@ const (
 	// stall reaches the coordinator as collective or barrier wait and lands
 	// in the category that wait is charged to.
 	CatRecovery
+	// CatRetry is the coordinating rank's time lost to semantic message
+	// faults as a sender: wasted wire time of lost or corrupted attempts
+	// plus the ack-timeout backoff before each resend (FaultPlan.LossRate,
+	// CorruptRate, BadLinks). Remote ranks' retry stalls reach the
+	// coordinator as collective wait, like every remote stall.
+	CatRetry
+	// CatDropped is the partial-aggregation coordinator's deadline time:
+	// what rank 0 spent waiting for gradients that never arrived in the
+	// window and were dropped from the step (FaultPlan.PartialK); the
+	// dropped ranks themselves are recorded in Result.Dropped.
+	CatDropped
 
 	numCategories
 )
@@ -66,6 +85,10 @@ func (c Category) String() string {
 		return "cpu update"
 	case CatRecovery:
 		return "recovery"
+	case CatRetry:
+		return "retry"
+	case CatDropped:
+		return "dropped"
 	default:
 		return fmt.Sprintf("Category(%d)", int(c))
 	}
@@ -180,6 +203,17 @@ type Result struct {
 	// MasterUpdates counts center-weight updates performed (global-center
 	// syncs for the hierarchical EASGD, master iterations elsewhere).
 	MasterUpdates int64
+	// Dropped records, per step that dropped anything, which ranks'
+	// gradients missed the partial-aggregation deadline and were excluded
+	// from that step's sum (FaultPlan.PartialK). Deterministic: the same
+	// configuration and fault seed drop the same ranks at the same steps.
+	Dropped []DropRecord
+}
+
+// DropRecord names the ranks whose gradients were dropped at one step.
+type DropRecord struct {
+	Step  int   // 1-based step whose aggregation excluded them
+	Ranks []int // ascending rank ids
 }
 
 // Updates returns the master-side update count.

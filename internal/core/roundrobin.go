@@ -57,6 +57,11 @@ type rrDone struct {
 const tagRRCenter = 3
 
 func runRoundRobin(cfg Config, name string, overlap bool) (Result, error) {
+	// The master's ordered pulls ride DelayModel, outside comm's guarded
+	// message path — semantic faults cannot be injected here.
+	if err := cfg.Faults.requireTimingOnly(name); err != nil {
+		return Result{}, err
+	}
 	rc, err := newRunContext(cfg)
 	if err != nil {
 		return Result{}, err

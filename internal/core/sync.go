@@ -71,6 +71,12 @@ type syncOpts struct {
 }
 
 func runSyncEASGD(cfg Config, name string, opt syncOpts) (Result, error) {
+	// Loss/corruption is supported — every parameter byte here moves through
+	// the guarded collective engine — but the center update needs all P
+	// contributions, so membership-shrinking knobs are not.
+	if err := cfg.Faults.requireNoMembershipChange(name); err != nil {
+		return Result{}, err
+	}
 	rc, err := newRunContext(cfg)
 	if err != nil {
 		return Result{}, err
@@ -87,6 +93,7 @@ func runSyncEASGD(cfg Config, name string, opt syncOpts) (Result, error) {
 		paramCat = CatCPUGPUParam
 	}
 	topo := cfg.Platform.topology(env, cfg.Workers, staged)
+	rc.installChaos(topo, func(r int) int { return r })
 	parties := comm.Ranks(cfg.Workers)
 	cm := comm.NewCommunicator(topo, comm.CommConfig{Parties: parties, Plan: rc.plan})
 	stream := rc.newStream(rc.plan)
@@ -221,12 +228,16 @@ func runSyncEASGD(cfg Config, name string, opt syncOpts) (Result, error) {
 }
 
 // gradAllReducer is the collective surface the data-parallel SGD loop
-// drives: a flat comm.Endpoint or a hierarchical comm.HierEndpoint — the
-// worker loop is identical either way, which is what makes the hierarchical
-// variant bit-identical to the flat one by construction.
+// drives: a flat comm.Endpoint, a hierarchical comm.HierEndpoint, or the
+// partial-aggregation endpoint — the worker loop is identical either way,
+// which is what makes the hierarchical variant bit-identical to the flat
+// one by construction. MarkDead declares a rank fail-stopped: subsequent
+// collectives re-form over the survivors (shrunken contribution lists,
+// rebuilt schedules) instead of deadlocking on the missing party.
 type gradAllReducer interface {
 	AllReduce(p *sim.Proc, round int, buf []float32)
 	AllReduceRange(p *sim.Proc, round int, buf []float32, lo, hi int)
+	MarkDead(rank int)
 }
 
 // syncSGDWire prepares the gradient message plan of a data-parallel run:
@@ -265,29 +276,46 @@ func SyncSGD(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	cfg = rc.cfg // validated copy with defaults applied
+	if cfg.Faults.PartialK > 0 && cfg.Overlap {
+		return Result{}, fmt.Errorf("core: partial aggregation (PartialK) is incompatible with Overlap streaming")
+	}
 	env := sim.NewEnv()
 	defer env.Close()
 
 	topo := cfg.Platform.topology(env, cfg.Workers, true)
+	// Ranks are topology nodes 0..P-1 on the flat PCIe tree.
+	rc.installChaos(topo, func(r int) int { return r })
 	plan, wire, quantizers := rc.syncSGDWire()
-	cm := comm.NewCommunicator(topo, comm.CommConfig{
-		Parties: comm.Ranks(cfg.Workers), Plan: plan, Schedule: cfg.Schedule, Wire: wire,
-	})
-	eps := make([]gradAllReducer, cfg.Workers)
-	for i := range eps {
-		eps[i] = cm.Endpoint(i)
+	var eps []gradAllReducer
+	if cfg.Faults.PartialK > 0 {
+		eps = newPartialAgg(rc, topo, wire).endpoints()
+	} else {
+		cm := comm.NewCommunicator(topo, comm.CommConfig{
+			Parties: comm.Ranks(cfg.Workers), Plan: plan, Schedule: cfg.Schedule, Wire: wire,
+		})
+		eps = make([]gradAllReducer, cfg.Workers)
+		for i := range eps {
+			eps[i] = cm.Endpoint(i)
+		}
 	}
-	end := rc.runSyncSGDWorkers(env, plan, eps, quantizers, topo.BytesMoved)
+	end := rc.runSyncSGDWorkers(env, plan, eps, quantizers, topo.BytesMoved,
+		func() float64 { return topo.RetryWait(0) })
 	return rc.finish("sync-sgd", end), nil
 }
 
 // runSyncSGDWorkers spawns the data-parallel worker processes and runs the
-// iteration loop over the given collective endpoints (flat or
-// hierarchical), returning the simulated end time.
-func (rc *runContext) runSyncSGDWorkers(env *sim.Env, plan comm.Plan, eps []gradAllReducer, quantizers []*quant.Quantizer, bytesMoved func() int64) float64 {
+// iteration loop over the given collective endpoints (flat, hierarchical
+// or partial-aggregation), returning the simulated end time. retryWait
+// reads the coordinating rank's cumulative sender-side retry time (nil
+// when the topology cannot retry); the loop samples its deltas so retry
+// time lands in CatRetry instead of the parameter-communication category.
+func (rc *runContext) runSyncSGDWorkers(env *sim.Env, plan comm.Plan, eps []gradAllReducer, quantizers []*quant.Quantizer, bytesMoved func() int64, retryWait func() float64) float64 {
 	cfg := rc.cfg
 	stream := rc.newStream(plan)
 	nb := stream.bz.NumBuckets()
+	if retryWait == nil {
+		retryWait = func() float64 { return 0 }
+	}
 
 	const root = 0
 	losses := make([]float64, cfg.Workers)
@@ -296,6 +324,28 @@ func (rc *runContext) runSyncSGDWorkers(env *sim.Env, plan comm.Plan, eps []grad
 		gbufs[i] = make([]float32, len(rc.center))
 	}
 	bar := sim.NewBarrier(env, "iteration", cfg.Workers)
+
+	// Fail-continue (FaultPlan.FailMode "continue"): worker failRank dies
+	// for good at the start of step failStep; the survivors mark it dead
+	// (the collectives re-form over P−1 live ranks), switch to a smaller
+	// barrier, and the averaged step divides by the live count from that
+	// step on. No checkpoint, no replay — the dead rank's data shard simply
+	// leaves the sample stream.
+	faults := &cfg.Faults
+	failStep := 0
+	if faults.failContinue() {
+		failStep = faults.FailAtStep
+	}
+	barLive := bar
+	if failStep > 0 {
+		barLive = sim.NewBarrier(env, "iteration-live", cfg.Workers-1)
+	}
+	liveAt := func(s int) int {
+		if failStep > 0 && s >= failStep {
+			return cfg.Workers - 1
+		}
+		return cfg.Workers
+	}
 
 	for i := 0; i < cfg.Workers; i++ {
 		i := i
@@ -307,7 +357,18 @@ func (rc *runContext) runSyncSGDWorkers(env *sim.Env, plan comm.Plan, eps []grad
 		}
 		env.Spawn(fmt.Sprintf("gpu%d", i), func(p *sim.Proc) {
 			for t := 0; t < cfg.Iterations; t++ {
-				rc.injectFaults(p, i, t+1)
+				s := t + 1
+				if failStep > 0 && s >= failStep {
+					if i == faults.FailRank {
+						// Fail-stop without checkpoint: this worker is gone.
+						rc.failedRank = i
+						return
+					}
+					if s == failStep {
+						ep.MarkDead(faults.FailRank) // idempotent across survivors
+					}
+				}
+				rc.injectFaults(p, i, s)
 				t0 := p.Now()
 				p.Delay(rc.dataXfer) // concurrent async DMAs to all workers
 
@@ -358,16 +419,30 @@ func (rc *runContext) runSyncSGDWorkers(env *sim.Env, plan comm.Plan, eps []grad
 					}
 					copy(gbufs[i], w.net.Grads)
 					tA := p.Now()
+					rw0, dw0 := retryWait(), rc.droppedWait
 					ep.AllReduce(p, t, gbufs[i])
 					if i == root {
 						rc.bd.Add(CatCPUGPUData, rc.dataXfer)
 						rc.bd.Add(CatForwardBackward, ct)
-						rc.bd.Add(CatCPUGPUParam, p.Now()-tA)
+						// The collective's wall time splits three ways: the
+						// root's own retry stalls (CatRetry), its partial-
+						// aggregation deadline waits (CatDropped), and the
+						// rest — the communication proper.
+						retryD := retryWait() - rw0
+						dropD := rc.droppedWait - dw0
+						commT := p.Now() - tA - retryD - dropD
+						if commT < 0 {
+							commT = 0
+						}
+						rc.bd.Add(CatCPUGPUParam, commT)
+						rc.bd.Add(CatRetry, retryD)
+						rc.bd.Add(CatDropped, dropD)
 					}
 				}
 
-				// Every replica takes the same averaged step.
-				step := cfg.LR / float32(cfg.Workers)
+				// Every live replica takes the same averaged step.
+				live := liveAt(s)
+				step := cfg.LR / float32(live)
 				for k, g := range gbufs[i] {
 					w.net.Params[k] -= step * g
 				}
@@ -376,19 +451,26 @@ func (rc *runContext) runSyncSGDWorkers(env *sim.Env, plan comm.Plan, eps []grad
 				if i == root {
 					copy(rc.center, w.net.Params)
 					rc.updates++
-					rc.samples += int64(cfg.Batch * cfg.Workers)
+					rc.samples += int64(cfg.Batch * live)
 					rc.bd.Add(CatGPUUpdate, rc.workerUpdate)
-					if cfg.EvalEvery > 0 && (t+1)%cfg.EvalEvery == 0 {
+					if cfg.EvalEvery > 0 && s%cfg.EvalEvery == 0 {
 						var roundLoss float64
-						for _, l := range losses {
+						for j, l := range losses {
+							if failStep > 0 && s >= failStep && j == faults.FailRank {
+								continue
+							}
 							roundLoss += l
 						}
-						roundLoss /= float64(cfg.Workers)
-						rc.recordPoint(t+1, p.Now(), roundLoss)
+						roundLoss /= float64(live)
+						rc.recordPoint(s, p.Now(), roundLoss)
 					}
 				}
 				tB := p.Now()
-				p.Wait(bar)
+				b := bar
+				if failStep > 0 && s >= failStep {
+					b = barLive
+				}
+				p.Wait(b)
 				if i == root {
 					// The root's barrier wait is the pipeline drain: under
 					// the eager chain schedule rank 0 finishes its hops

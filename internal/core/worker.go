@@ -68,6 +68,15 @@ type runContext struct {
 	stopped bool  // TargetAcc reached
 	curve   []Point
 	bd      Breakdown
+
+	// Semantic-fault bookkeeping. droppedWait accumulates rank 0's
+	// partial-aggregation deadline time (sampled into CatDropped by the
+	// worker loop so the comm category is not double-charged); dropped is
+	// the per-step drop log; failedRank is the rank killed by a
+	// FailContinue fail-stop, or -1.
+	droppedWait float64
+	dropped     []DropRecord
+	failedRank  int
 }
 
 // newRunContext validates cfg, builds P workers with private seeds, and
@@ -78,7 +87,7 @@ func newRunContext(cfg Config) (*runContext, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rc := &runContext{cfg: cfg}
+	rc := &runContext{cfg: cfg, failedRank: -1}
 	base := tensor.NewRNG(cfg.Seed)
 	// One shared initial model, copied to every worker (Algorithms 1-4:
 	// initialize W once, copy to all).
@@ -281,13 +290,20 @@ func (rc *runContext) evalCenter() float64 {
 	return rc.probe.Evaluate(rc.cfg.Test.Images, rc.cfg.Test.Labels, rc.cfg.EvalBatch)
 }
 
-// finish assembles the Result common to all algorithms.
+// finish assembles the Result common to all algorithms. A worker killed by
+// a FailContinue fail-stop is excluded from the final-loss average — its
+// last loss is frozen at the step before its death.
 func (rc *runContext) finish(method string, simTime float64) Result {
 	var lastLoss float64
+	live := 0
 	for _, w := range rc.workers {
+		if w.id == rc.failedRank {
+			continue
+		}
 		lastLoss += w.lastLoss
+		live++
 	}
-	lastLoss /= float64(len(rc.workers))
+	lastLoss /= float64(live)
 	return Result{
 		Method:        method,
 		Workers:       rc.cfg.Workers,
@@ -299,5 +315,6 @@ func (rc *runContext) finish(method string, simTime float64) Result {
 		Curve:         rc.curve,
 		Samples:       rc.samples,
 		MasterUpdates: rc.updates,
+		Dropped:       rc.dropped,
 	}
 }

@@ -1,0 +1,37 @@
+package sim
+
+// Dice is a seeded, order-independent random plan. Each Roll hashes the
+// seed together with the caller's identity keys (a splitmix64-style
+// finalizer per key) to a uniform value in [0, 1), so the outcome of a
+// decision — "is message #k from src to dst lost?" — depends only on the
+// seed and the keys, never on the order rolls happen to be made in. That
+// is what keeps injected chaos deterministic: two runs with the same seed
+// lose and garble exactly the same messages even if retries and
+// cancellations reorder every other event around them.
+type Dice struct {
+	seed uint64
+}
+
+// NewDice creates a dice plan from a seed. Equal seeds give identical
+// plans; any seed (including 0) is valid.
+func NewDice(seed int64) *Dice {
+	return &Dice{seed: mix64(uint64(seed) ^ 0x9e3779b97f4a7c15)}
+}
+
+// Roll returns the uniform [0, 1) value assigned to the given keys.
+func (d *Dice) Roll(keys ...int64) float64 {
+	x := d.seed
+	for _, k := range keys {
+		x = mix64(x ^ uint64(k))
+	}
+	// 53 high-quality bits -> [0, 1).
+	return float64(x>>11) / (1 << 53)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -89,6 +89,73 @@ func (p *Proc) RecvMatch(q *Queue, match func(v any) bool) any {
 	}
 }
 
+// RecvMatchTimeout is RecvMatch with a deadline: it blocks p until a queued
+// message satisfies match — returning (message, true) — or until timeout
+// simulated seconds have elapsed, returning (nil, false) with the queue
+// unchanged. While blocked the process holds both its waiter registration
+// and a deadline timer; whichever fires first wins and the generation stamp
+// invalidates the loser (see Proc.gen). On timeout the process removes
+// itself from the waiter list, so a later Send cannot wake it out of an
+// unrelated block.
+func (p *Proc) RecvMatchTimeout(q *Queue, timeout float64, match func(v any) bool) (any, bool) {
+	if timeout < 0 {
+		panic("sim: negative timeout in " + p.name)
+	}
+	deadline := p.env.now + timeout
+	for {
+		for i := q.head; i < len(q.items); i++ {
+			if match(q.items[i]) {
+				return q.take(i), true
+			}
+		}
+		if p.env.now >= deadline {
+			return nil, false
+		}
+		q.waiters = append(q.waiters, p)
+		p.env.schedule(deadline, p)
+		p.block()
+		q.removeWaiter(p)
+	}
+}
+
+// removeWaiter unregisters p if it is still waiting (a Send wake-up clears
+// the whole list, so p may already be gone).
+func (q *Queue) removeWaiter(p *Proc) {
+	for i, w := range q.waiters {
+		if w == p {
+			copy(q.waiters[i:], q.waiters[i+1:])
+			q.waiters[len(q.waiters)-1] = nil
+			q.waiters = q.waiters[:len(q.waiters)-1]
+			return
+		}
+	}
+}
+
+// Purge removes every queued message for which drop returns true,
+// preserving the order of the rest, and returns how many were removed. It
+// never blocks and wakes no one — the chaos layer uses it to discard
+// delivered-but-corrupt payloads a receiver's checksum has rejected.
+func (q *Queue) Purge(drop func(v any) bool) int {
+	w := q.head
+	for i := q.head; i < len(q.items); i++ {
+		if drop(q.items[i]) {
+			continue
+		}
+		q.items[w] = q.items[i]
+		w++
+	}
+	n := len(q.items) - w
+	for i := w; i < len(q.items); i++ {
+		q.items[i] = nil
+	}
+	q.items = q.items[:w]
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return n
+}
+
 // TryRecv returns (message, true) if one is queued, or (nil, false) without
 // blocking.
 func (q *Queue) TryRecv() (any, bool) {

@@ -1,0 +1,76 @@
+package sim
+
+// Signal is a one-shot broadcast flag, the simulated analogue of closing a
+// channel: it starts unfired, fires exactly once, and once fired it stays
+// fired forever. Processes observe it either by polling Fired or by
+// sleeping interruptibly against it — the cancellation primitive that lets
+// an in-flight transfer be cut short when its destination is declared dead.
+type Signal struct {
+	env     *Env
+	name    string
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal creates an unfired signal bound to env.
+func NewSignal(env *Env, name string) *Signal {
+	return &Signal{env: env, name: name}
+}
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire fires the signal and wakes every process sleeping against it at the
+// current instant. Firing twice is a no-op. Fire may be called from any
+// process (or from outside the simulation, before Run).
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		s.env.schedule(s.env.now, w)
+	}
+}
+
+// removeWaiter unregisters p if it is still waiting (Fire clears the whole
+// list, so p may already be gone).
+func (s *Signal) removeWaiter(p *Proc) {
+	for i, w := range s.waiters {
+		if w == p {
+			copy(s.waiters[i:], s.waiters[i+1:])
+			s.waiters[len(s.waiters)-1] = nil
+			s.waiters = s.waiters[:len(s.waiters)-1]
+			return
+		}
+	}
+}
+
+// SleepInterruptible advances p by up to d simulated seconds, returning
+// early if s fires first. It reports whether the sleep was interrupted
+// (true: s fired — possibly before the call — and less than d may have
+// elapsed; false: the full d elapsed with s unfired). A nil signal makes it
+// a plain Delay. The caller keeps responsibility for releasing anything it
+// holds — an interrupted transfer must still release its Resource segments.
+func (p *Proc) SleepInterruptible(d float64, s *Signal) bool {
+	if s == nil {
+		p.Delay(d)
+		return false
+	}
+	if s.fired {
+		return true
+	}
+	if d < 0 {
+		panic("sim: negative delay in " + p.name)
+	}
+	deadline := p.env.now + d
+	for !s.fired && p.env.now < deadline {
+		s.waiters = append(s.waiters, p)
+		p.env.schedule(deadline, p)
+		p.block()
+		s.removeWaiter(p)
+	}
+	return s.fired
+}

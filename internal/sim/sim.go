@@ -17,6 +17,15 @@
 // scheduled for the current instant bypass the heap through a FIFO ready
 // ring, and the heap stores concrete event values — the steady-state event
 // path performs no allocations (pinned by TestSteadyStateZeroAllocs).
+//
+// Blocking waits compose with failure handling without giving up
+// determinism: RecvMatchTimeout and Queue deadlines bound a wait by
+// virtual time, Signal plus SleepInterruptible let one process cut
+// another's sleep short (generation-stamped wake-ups keep a stale timer
+// from firing into a later wait), and Dice derives per-decision random
+// draws from a seed and explicit keys rather than from event order. These
+// are the primitives the comm layer's ack/retry delivery and
+// survivor-aware collectives are built on.
 package sim
 
 import (
@@ -38,6 +47,14 @@ type Proc struct {
 	err  any // non-nil if the process panicked with a real error
 
 	granted bool // a Resource unit was handed to this proc by Release
+
+	// gen numbers the process's wake-ups. Every scheduled wake-up is
+	// stamped with the gen current at schedule time and the gen advances
+	// each time the process resumes, so when a process holds several
+	// pending wake-ups at once — a deadline timer racing a queue delivery
+	// or a cancellation signal — the first to fire invalidates the rest
+	// and a process is never resumed twice for one block.
+	gen int64
 
 	// resume carries the execution token. Buffered so the holder can
 	// enqueue the token and park itself without a rendezvous.
@@ -68,16 +85,28 @@ type Env struct {
 
 	procs  []*Proc
 	closed bool
+
+	// fired counts executed wake-ups — every time a process is resumed by
+	// the scheduler. The count is a pure function of the simulation's
+	// inputs (it inherits the kernel's determinism), which makes it a
+	// machine-independent proxy for scheduler work: the benchmark gate
+	// pins the fault-free P=1024 collective's event count exactly, so any
+	// machinery leaking extra events into the fast path (ack round-trips,
+	// timeout timers) trips CI deterministically rather than hiding in
+	// wall-clock noise.
+	fired int64
 }
 
 type event struct {
 	at  float64
 	seq int64
+	gen int64
 	p   *Proc
 }
 
 type readyEntry struct {
 	seq int64
+	gen int64
 	p   *Proc
 }
 
@@ -143,6 +172,10 @@ func NewEnv() *Env {
 // Now returns the current simulated time in seconds.
 func (e *Env) Now() float64 { return e.now }
 
+// Events returns the number of wake-ups executed so far — the
+// deterministic measure of scheduler work (see the fired field).
+func (e *Env) Events() int64 { return e.fired }
+
 // worker is a pooled goroutine that runs process bodies. Short simulations
 // spawn thousands of processes (one per simulated rank); recycling the
 // goroutines across Env instances amortizes both the spawn cost and —
@@ -181,6 +214,7 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 	w := workerPool.Get().(*worker)
 	w.tasks <- func() {
 		<-p.resume
+		p.gen++
 		defer func() {
 			p.done = true
 			if r := recover(); r != nil {
@@ -205,14 +239,16 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 }
 
 // schedule enqueues a wake-up for p at time at. Wake-ups for the current
-// instant go to the ready ring; future ones to the heap.
+// instant go to the ready ring; future ones to the heap. Each wake-up is
+// stamped with p's current generation; it fires only if p has not resumed
+// in the meantime.
 func (e *Env) schedule(at float64, p *Proc) {
 	e.seq++
 	if at == e.now {
-		e.ready = append(e.ready, readyEntry{seq: e.seq, p: p})
+		e.ready = append(e.ready, readyEntry{seq: e.seq, gen: p.gen, p: p})
 		return
 	}
-	e.events.push(event{at: at, seq: e.seq, p: p})
+	e.events.push(event{at: at, seq: e.seq, gen: p.gen, p: p})
 }
 
 // next pops the earliest runnable wake-up in (at, seq) order, advancing the
@@ -233,9 +269,10 @@ func (e *Env) next() *Proc {
 					e.ready = e.ready[:0]
 					e.readyAt = 0
 				}
-				if re.p.done {
+				if re.p.done || re.gen != re.p.gen {
 					continue
 				}
+				e.fired++
 				return re.p
 			}
 		} else if len(e.events) == 0 {
@@ -246,13 +283,14 @@ func (e *Env) next() *Proc {
 			return nil
 		}
 		e.events.pop()
-		if ev.p.done {
+		if ev.p.done || ev.gen != ev.p.gen {
 			continue
 		}
 		if ev.at < e.now {
 			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, ev.at))
 		}
 		e.now = ev.at
+		e.fired++
 		return ev.p
 	}
 }
@@ -373,6 +411,7 @@ func (p *Proc) Now() float64 { return p.env.now }
 func (p *Proc) block() {
 	p.env.dispatch()
 	<-p.resume
+	p.gen++
 	if p.env.closed {
 		panic(abortSignal{})
 	}

@@ -1,0 +1,177 @@
+package sim
+
+import "testing"
+
+// TestRecvMatchTimeoutExpires pins that an unmatched receive returns after
+// exactly the timeout with the queue untouched and the process fully
+// unregistered — a later Send must not wake it out of an unrelated block.
+func TestRecvMatchTimeoutExpires(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue(env, "q")
+	var gotOK bool
+	var at, after float64
+	env.Spawn("rx", func(p *Proc) {
+		_, gotOK = p.RecvMatchTimeout(q, 5, func(any) bool { return true })
+		at = p.Now()
+		// The expired registration must be gone: this send happens at t=7
+		// (below) while we are mid-Delay, and must not cut the Delay short.
+		p.Delay(10)
+		after = p.Now()
+	})
+	env.Spawn("tx", func(p *Proc) {
+		p.Delay(7)
+		q.Send("late")
+	})
+	env.Run()
+	if gotOK {
+		t.Fatal("timeout receive reported a message")
+	}
+	if at != 5 {
+		t.Fatalf("timed out at %v, want 5", at)
+	}
+	if after != 15 {
+		t.Fatalf("post-timeout Delay ended at %v, want 15 (stale wake fired)", after)
+	}
+	if len(q.waiters) != 0 {
+		t.Fatalf("queue still holds %d waiters after timeout", len(q.waiters))
+	}
+	if q.Len() != 1 {
+		t.Fatalf("queue has %d messages, want the 1 late send", q.Len())
+	}
+}
+
+// TestRecvMatchTimeoutDelivery pins the happy path: a matching message that
+// arrives before the deadline is returned immediately, and the now-stale
+// deadline timer does not fire into the process's next block.
+func TestRecvMatchTimeoutDelivery(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue(env, "q")
+	var got any
+	var ok bool
+	var at, after float64
+	env.Spawn("rx", func(p *Proc) {
+		got, ok = p.RecvMatchTimeout(q, 100, func(v any) bool { return v == "yes" })
+		at = p.Now()
+		p.Delay(1)
+		after = p.Now()
+	})
+	env.Spawn("tx", func(p *Proc) {
+		p.Delay(2)
+		q.Send("no")
+		p.Delay(1)
+		q.Send("yes")
+	})
+	env.Run()
+	if !ok || got != "yes" {
+		t.Fatalf("got (%v, %v), want (yes, true)", got, ok)
+	}
+	if at != 3 {
+		t.Fatalf("received at %v, want 3", at)
+	}
+	if after != 4 {
+		t.Fatalf("post-receive Delay ended at %v, want 4 (stale deadline timer fired)", after)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("queue has %d messages, want the unmatched 1", q.Len())
+	}
+}
+
+// TestSignalInterruptsSleep pins SleepInterruptible against a firing and a
+// non-firing signal, and that a pre-fired signal returns instantly.
+func TestSignalInterruptsSleep(t *testing.T) {
+	env := NewEnv()
+	s := NewSignal(env, "dead")
+	var cut, full, instant bool
+	var cutAt, fullAt, instantAt float64
+	env.Spawn("sleeper", func(p *Proc) {
+		cut = p.SleepInterruptible(10, s)
+		cutAt = p.Now()
+		instant = p.SleepInterruptible(10, s)
+		instantAt = p.Now()
+	})
+	env.Spawn("quiet", func(p *Proc) {
+		full = p.SleepInterruptible(2, NewSignal(env, "never"))
+		fullAt = p.Now()
+	})
+	env.Spawn("killer", func(p *Proc) {
+		p.Delay(3)
+		s.Fire()
+	})
+	env.Run()
+	if !cut || cutAt != 3 {
+		t.Fatalf("interrupted sleep: (%v, t=%v), want (true, 3)", cut, cutAt)
+	}
+	if !instant || instantAt != 3 {
+		t.Fatalf("sleep on fired signal: (%v, t=%v), want (true, 3)", instant, instantAt)
+	}
+	if full || fullAt != 2 {
+		t.Fatalf("undisturbed sleep: (%v, t=%v), want (false, 2)", full, fullAt)
+	}
+}
+
+// TestCancelledTransferReleasesResource pins the cancellation contract a
+// transfer path relies on: a process holding Resource segments whose
+// occupancy sleep is interrupted mid-flight releases every held unit, so
+// a dead destination leaks no capacity and the next transfer admits
+// immediately.
+func TestCancelledTransferReleasesResource(t *testing.T) {
+	env := NewEnv()
+	seg := NewResource(env, "switch", 1)
+	dead := NewSignal(env, "dead")
+	var nextAt float64
+	env.Spawn("doomed", func(p *Proc) {
+		p.Acquire(seg)
+		if !p.SleepInterruptible(100, dead) {
+			t.Error("transfer was not cancelled")
+		}
+		seg.Release()
+	})
+	env.Spawn("killer", func(p *Proc) {
+		p.Delay(4)
+		dead.Fire()
+	})
+	env.Spawn("next", func(p *Proc) {
+		p.Delay(5)
+		p.Acquire(seg)
+		nextAt = p.Now()
+		seg.Release()
+	})
+	env.Run()
+	if seg.InUse() != 0 {
+		t.Fatalf("resource leaked: InUse=%d after cancellation", seg.InUse())
+	}
+	if nextAt != 5 {
+		t.Fatalf("next acquire at t=%v, want 5 (cancelled transfer held the segment)", nextAt)
+	}
+}
+
+// TestDiceDeterministic pins that the seeded plan is a pure function of
+// (seed, keys): equal seeds agree roll for roll in any order, distinct
+// seeds disagree, and every roll lands in [0, 1).
+func TestDiceDeterministic(t *testing.T) {
+	a, b := NewDice(42), NewDice(42)
+	other := NewDice(43)
+	type key struct{ src, dst, n int64 }
+	keys := []key{{0, 1, 0}, {0, 1, 1}, {1, 0, 0}, {5, 7, 900}, {7, 5, 900}}
+	want := make(map[key]float64)
+	for _, k := range keys {
+		v := a.Roll(k.src, k.dst, k.n)
+		if v < 0 || v >= 1 {
+			t.Fatalf("roll %v out of [0,1): %v", k, v)
+		}
+		want[k] = v
+	}
+	differs := false
+	for i := len(keys) - 1; i >= 0; i-- { // reversed order must not matter
+		k := keys[i]
+		if got := b.Roll(k.src, k.dst, k.n); got != want[k] {
+			t.Fatalf("same-seed roll %v = %v, want %v", k, got, want[k])
+		}
+		if other.Roll(k.src, k.dst, k.n) != want[k] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("seed 43 reproduced every seed-42 roll")
+	}
+}

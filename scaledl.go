@@ -35,6 +35,19 @@ type (
 	// structure Config.Overlap's bucketed communication pipeline keys on.
 	GradEvent = nn.GradEvent
 
+	// FaultPlan opens the failure-scenario space around the paper's
+	// fault-free runs (Config.Faults): timing-only knobs (stragglers,
+	// heterogeneity, fail-stop with checkpoint recovery) that never touch
+	// the math, and semantic knobs (message loss/corruption with guarded
+	// retries, fail-stop without recovery, partial aggregation) that may
+	// change it — deterministically under the fault seed.
+	FaultPlan = core.FaultPlan
+	// BadLink adds per-link loss/corruption on one directed worker link.
+	BadLink = core.BadLink
+	// DropRecord names the ranks whose gradient a partial-aggregation step
+	// dropped (Result.Dropped).
+	DropRecord = core.DropRecord
+
 	// NetDef is a reusable network definition; Shape a CHW activation shape.
 	NetDef = nn.NetDef
 	// LayerSpec declares one layer of a NetDef.
@@ -71,6 +84,16 @@ const (
 	CatForwardBackward = core.CatForwardBackward
 	CatGPUUpdate       = core.CatGPUUpdate
 	CatCPUUpdate       = core.CatCPUUpdate
+	CatRecovery        = core.CatRecovery
+	CatRetry           = core.CatRetry
+	CatDropped         = core.CatDropped
+)
+
+// FaultPlan.FailMode values: reload-and-replay recovery (timing-only, the
+// default) or kill-for-good with the survivors finishing at P−1.
+const (
+	FailRecover  = core.FailRecover
+	FailContinue = core.FailContinue
 )
 
 // DefaultBucketBytes is the streaming pipeline's default gradient-bucket
