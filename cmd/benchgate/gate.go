@@ -125,14 +125,30 @@ type gemmBaseline struct {
 	Notes       string         `json:"notes,omitempty"`
 }
 
+// gemmEntry's GFLOPS baselines are keyed by kernel tier ("avx512", "avx2",
+// "sse2", "neon", "generic"): the same benchmark legitimately runs 2× faster
+// or slower depending on which micro-kernel the host dispatches to, so a
+// single number would either mask an AVX-512 regression or fail every SSE2
+// host. The gate compares only against the running tier's key; a missing key
+// is reported as MISSING with instructions, never as a bogus regression.
 type gemmEntry struct {
-	Name      string  `json:"name"`
-	NsOp      int64   `json:"ns_op"`
-	GFLOPS    float64 `json:"gflops,omitempty"`
-	AllocsOp  *int64  `json:"allocs_op,omitempty"`
-	OldNsOp   int64   `json:"old_ns_op,omitempty"`
-	OldGFLOPS float64 `json:"old_gflops,omitempty"`
-	Speedup   float64 `json:"speedup,omitempty"`
+	Name         string             `json:"name"`
+	NsOp         int64              `json:"ns_op"`
+	GFLOPSByTier map[string]float64 `json:"gflops_by_tier,omitempty"`
+	AllocsOp     *int64             `json:"allocs_op,omitempty"`
+	OldNsOp      int64              `json:"old_ns_op,omitempty"`
+	OldGFLOPS    float64            `json:"old_gflops,omitempty"`
+	Speedup      float64            `json:"speedup,omitempty"`
+}
+
+// tierKeys lists an entry's recorded tiers for the MISSING note.
+func tierKeys(m map[string]float64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
 }
 
 // gemmBenchName maps a baseline entry name to its benchmark name: the part
@@ -146,10 +162,11 @@ func gemmBenchName(name string) string {
 }
 
 // gate compares fresh results against every baseline file present in dir
-// and returns the report rows, most severe first within each file. With
-// update set, the gated metrics (and ns/op) in the baselines are rewritten
-// from the fresh results instead.
-func gate(dir string, fresh map[string]benchResult, tol float64, update bool) ([]gateRow, error) {
+// and returns the report rows, most severe first within each file. tier
+// selects which gflops_by_tier key of BENCH_gemm.json to gate (and, with
+// update, to rewrite). With update set, the gated metrics (and ns/op) in the
+// baselines are rewritten from the fresh results instead.
+func gate(dir, tier string, fresh map[string]benchResult, tol float64, update bool) ([]gateRow, error) {
 	var rows []gateRow
 
 	for _, simFile := range []string{"BENCH_comm.json", "BENCH_overlap.json"} {
@@ -221,7 +238,9 @@ func gate(dir string, fresh map[string]benchResult, tol float64, update bool) ([
 		}
 		changed := false
 		for _, entry := range base.Benchmarks {
-			if entry.GFLOPS == 0 {
+			// A nil map marks an ns-only entry; an empty one ("gflops_by_tier":
+			// {}) is a gated entry awaiting its first -update.
+			if entry.GFLOPSByTier == nil {
 				// ns-only entries (MatMul, Im2col, Conv2D…) are host-speed
 				// measurements; reported for reference, never gated.
 				rows = append(rows, gateRow{File: "BENCH_gemm.json", Name: entry.Name,
@@ -232,17 +251,17 @@ func gate(dir string, fresh map[string]benchResult, tol float64, update bool) ([
 			got, ok := fresh[gemmBenchName(entry.Name)]
 			if !ok {
 				rows = append(rows, gateRow{File: "BENCH_gemm.json", Name: entry.Name,
-					Metric: "GFLOPS", Base: entry.GFLOPS, Status: statusMissing, Note: "benchmark did not run"})
+					Metric: "GFLOPS", Base: entry.GFLOPSByTier[tier], Status: statusMissing, Note: "benchmark did not run"})
 				continue
 			}
 			gflops, ok := got.Metrics["GFLOPS"]
 			if !ok {
 				rows = append(rows, gateRow{File: "BENCH_gemm.json", Name: entry.Name,
-					Metric: "GFLOPS", Base: entry.GFLOPS, Status: statusMissing, Note: "no GFLOPS metric reported"})
+					Metric: "GFLOPS", Base: entry.GFLOPSByTier[tier], Status: statusMissing, Note: "no GFLOPS metric reported"})
 				continue
 			}
 			if update {
-				entry.GFLOPS = gflops
+				entry.GFLOPSByTier[tier] = gflops
 				if ns, ok := got.Metrics["ns/op"]; ok {
 					entry.NsOp = int64(ns)
 				}
@@ -251,12 +270,28 @@ func gate(dir string, fresh map[string]benchResult, tol float64, update bool) ([
 					entry.AllocsOp = &v
 				}
 				if entry.OldGFLOPS > 0 {
-					entry.Speedup = gflops / entry.OldGFLOPS
+					// Speedup reports the widest recorded tier against the
+					// pre-engine scalar code.
+					best := 0.0
+					for _, v := range entry.GFLOPSByTier {
+						if v > best {
+							best = v
+						}
+					}
+					entry.Speedup = best / entry.OldGFLOPS
 				}
 				changed = true
 				continue
 			}
-			rows = append(rows, compare("BENCH_gemm.json", entry.Name, "GFLOPS", entry.GFLOPS, gflops, tol, true))
+			baseGF, ok := entry.GFLOPSByTier[tier]
+			if !ok {
+				rows = append(rows, gateRow{File: "BENCH_gemm.json", Name: entry.Name,
+					Metric: "GFLOPS", Status: statusMissing,
+					Note: fmt.Sprintf("no baseline for kernel tier %q (recorded: %s) — record one with -update on this host",
+						tier, tierKeys(entry.GFLOPSByTier))})
+				continue
+			}
+			rows = append(rows, compare("BENCH_gemm.json", entry.Name, "GFLOPS", baseGF, gflops, tol, true))
 		}
 		if update && changed {
 			out, err := json.MarshalIndent(base, "", "  ")
@@ -465,8 +500,8 @@ func printTable(w io.Writer, rows []gateRow) {
 }
 
 // writeMarkdown renders the rows as a GitHub job-summary table.
-func writeMarkdown(w io.Writer, rows []gateRow, tol float64) {
-	fmt.Fprintf(w, "## Benchmark gate (tolerance %.0f%%)\n\n", tol*100)
+func writeMarkdown(w io.Writer, rows []gateRow, tol float64, tier string) {
+	fmt.Fprintf(w, "## Benchmark gate (tolerance %.0f%%, kernel tier `%s`)\n\n", tol*100, tier)
 	fmt.Fprintln(w, "| status | baseline | benchmark | metric | base | fresh | delta |")
 	fmt.Fprintln(w, "|---|---|---|---|---|---|---|")
 	for _, r := range rows {

@@ -12,6 +12,10 @@
 //   - GFLOPS — the packed GEMM engine's throughput. Host-dependent, gated
 //     with the same tolerance to catch order-of-magnitude regressions (a
 //     dropped SIMD path, an accidental copy); raise -tol on noisy runners.
+//     Baselines are keyed by kernel tier (gflops_by_tier): the gate compares
+//     against the tier the host actually dispatches to (-tier overrides),
+//     reports MISSING when that tier has no recorded baseline, and -update
+//     records the current tier's key without touching the others.
 //
 // Raw ns/op is reported but never gated: it measures the CI container.
 //
@@ -29,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"scaledl/internal/tensor"
 )
 
 func main() {
@@ -37,14 +43,17 @@ func main() {
 		dir       = flag.String("dir", ".", "directory holding the BENCH_*.json baselines")
 		tol       = flag.Float64("tol", 0.15, "allowed fractional regression before failing")
 		update    = flag.Bool("update", false, "rewrite the baselines' gated metrics from the fresh results")
+		tier      = flag.String("tier", tensor.KernelTier(),
+			"kernel tier key for the BENCH_gemm.json GFLOPS baselines (default: the tier this host dispatches to, honoring GODEBUG cpu.* downgrades)")
 	)
 	flag.Parse()
 
+	fmt.Printf("benchgate: gating GFLOPS against kernel tier %q\n", *tier)
 	results, err := parseBenchFile(*benchPath)
 	if err != nil {
 		fatal(err)
 	}
-	rows, err := gate(*dir, results, *tol, *update)
+	rows, err := gate(*dir, *tier, results, *tol, *update)
 	if err != nil {
 		fatal(err)
 	}
@@ -52,7 +61,7 @@ func main() {
 	if summary := os.Getenv("GITHUB_STEP_SUMMARY"); summary != "" && !*update {
 		f, err := os.OpenFile(summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 		if err == nil {
-			writeMarkdown(f, rows, *tol)
+			writeMarkdown(f, rows, *tol, *tier)
 			f.Close()
 		}
 	}

@@ -30,7 +30,7 @@ func writeTestBaselines(t *testing.T, dir string) {
 		"BENCH_gemm.json": `{
   "description": "test",
   "benchmarks": [
-    { "name": "GEMM/20x500x576", "ns_op": 748799, "gflops": 15.0, "allocs_op": 0 },
+    { "name": "GEMM/20x500x576", "ns_op": 748799, "gflops_by_tier": { "avx512": 15.0 }, "allocs_op": 0 },
     { "name": "MatVec", "ns_op": 142653, "allocs_op": 0 },
     { "name": "Conv2DForward (LeNet conv2, batch 16)", "ns_op": 3219204 }
   ]
@@ -83,8 +83,13 @@ func benchTextSim(treeSimMS, hierSimMS, bucketSimMS, gflops float64, s simVals) 
 
 func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
-// runGate writes benchOut to a file and gates it against dir's baselines.
+// runGate writes benchOut to a file and gates it against dir's baselines
+// under the tier the test fixtures record.
 func runGate(t *testing.T, dir, benchOut string, update bool) []gateRow {
+	return runGateTier(t, dir, benchOut, "avx512", update)
+}
+
+func runGateTier(t *testing.T, dir, benchOut, tier string, update bool) []gateRow {
 	t.Helper()
 	path := filepath.Join(dir, "bench.txt")
 	if err := os.WriteFile(path, []byte(benchOut), 0o644); err != nil {
@@ -94,7 +99,7 @@ func runGate(t *testing.T, dir, benchOut string, update bool) []gateRow {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := gate(dir, results, 0.15, update)
+	rows, err := gate(dir, tier, results, 0.15, update)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,12 +274,57 @@ func TestGateCeilingIsAbsoluteAndSticky(t *testing.T) {
 	}
 }
 
+// GFLOPS baselines are tier-keyed: gating under a tier with no recorded
+// value reports MISSING (with the recorded tiers named), never a bogus
+// comparison against another tier's number; -update under that tier records
+// the new key without touching the existing ones.
+func TestGateTierKeyedGFLOPS(t *testing.T) {
+	dir := t.TempDir()
+	writeTestBaselines(t, dir)
+	// 7.5 GFLOPS would be a 50% "regression" against the avx512 baseline;
+	// under the neon tier it must surface as MISSING instead.
+	out := benchText(5.0, 3.4, 1.25, 7.5)
+	rows := runGateTier(t, dir, out, "neon", false)
+	found := false
+	for _, r := range rows {
+		if r.File == "BENCH_gemm.json" && r.Status == statusMissing {
+			found = true
+			if !strings.Contains(r.Note, `"neon"`) || !strings.Contains(r.Note, "avx512") {
+				t.Errorf("MISSING-tier note should name the missing and recorded tiers: %q", r.Note)
+			}
+		}
+		if r.File == "BENCH_gemm.json" && r.Status == statusFail {
+			t.Errorf("cross-tier comparison produced a bogus regression: %+v", r)
+		}
+	}
+	if !found {
+		t.Fatalf("missing tier baseline not flagged: %+v", rows)
+	}
+
+	runGateTier(t, dir, out, "neon", true)
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_gemm.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base gemmBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	got := base.Benchmarks[0].GFLOPSByTier
+	if got["neon"] != 7.5 || got["avx512"] != 15.0 {
+		t.Errorf("-update should add the neon key and keep avx512: %v", got)
+	}
+	if rows := runGateTier(t, dir, out, "neon", false); countStatus(rows, statusFail)+countStatus(rows, statusMissing) != 0 {
+		t.Errorf("gate still unhappy after recording the tier: %+v", rows)
+	}
+}
+
 // The real checked-in baselines parse and every gated entry has a matching
 // benchmark name shape (guards against renames drifting past the gate).
 func TestRealBaselinesParse(t *testing.T) {
 	root := filepath.Join("..", "..")
 	results := map[string]benchResult{}
-	rows, err := gate(root, results, 0.15, false)
+	rows, err := gate(root, "avx512", results, 0.15, false)
 	if err != nil {
 		t.Fatal(err)
 	}

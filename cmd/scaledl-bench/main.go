@@ -20,6 +20,7 @@ import (
 
 	"scaledl/internal/harness"
 	"scaledl/internal/par"
+	"scaledl/internal/tensor"
 )
 
 func main() {
@@ -33,6 +34,13 @@ func main() {
 	)
 	flag.Parse()
 	par.SetWidth(*width)
+
+	// The kernel tier decides which GEMM micro-kernel every experiment's real
+	// math runs through (and so its wall-clock); print it up front so bench
+	// logs are attributable to the hardware they ran on.
+	bl := tensor.KernelBlocking()
+	fmt.Printf("scaledl-bench: GEMM kernel tier %s (%d×%d tile), pool width %d\n",
+		tensor.KernelTier(), bl.MR, bl.NR, par.Width())
 
 	if *list {
 		fmt.Println("available experiments:")

@@ -56,6 +56,7 @@ func main() {
 		packed   = flag.Bool("packed", true, "use the §5.2 packed communication layout")
 		schedule = flag.String("schedule", "tree", "allreduce schedule for sync-sgd (tree|ring|rhd|chain|linear)")
 		compress = flag.String("compress", "", "wire compression: fp32 (default), 1-bit or uint8")
+		prec     = flag.String("precision", "", "GEMM compute storage precision: fp32 (default), bf16 or fp16 (fp32 accumulation)")
 		overlap  = flag.Bool("overlap", false, "stream gradients: per-bucket communication launches as backward emits layers")
 		bucket   = flag.Int64("bucket", 0, "gradient bucket size in bytes for the streaming pipeline (0 = 1 MiB default)")
 		nodes    = flag.Int("nodes", 0, "machine count for the hierarchical methods (hier-sync-sgd, hier-sync-easgd)")
@@ -175,6 +176,7 @@ func main() {
 		EvalEvery:    *every,
 		Schedule:     sched,
 		Compression:  scheme,
+		ComputePrec:  *prec,
 		Overlap:      *overlap,
 		BucketBytes:  *bucket,
 		Nodes:        *nodes,

@@ -9,6 +9,7 @@ import (
 	"scaledl/internal/nn"
 	"scaledl/internal/quant"
 	"scaledl/internal/sim"
+	"scaledl/internal/tensor"
 )
 
 // Platform is the simulated hardware a run executes on: the per-worker
@@ -185,6 +186,15 @@ type Config struct {
 	// Quantization error enters the real training mathematics; per-message
 	// wire sizes shrink accordingly in the simulated transfers.
 	Compression quant.Scheme
+	// ComputePrec selects the storage precision of the packed GEMM operand
+	// panels for the run's real training mathematics: "fp32" (default),
+	// "bf16" or "fp16" (tensor.ParsePrecision). Accumulation always stays
+	// fp32 — only the packed copies of the operands are narrowed — so this
+	// is the reduced-precision single-node compute lever the paper's KNL
+	// discussion motivates, composable with every method and with
+	// Compression (which narrows the wire instead). The setting is applied
+	// for the duration of the run and restored afterwards.
+	ComputePrec string
 	// Schedule selects the collective message pattern for the allreduce
 	// algorithms (SyncSGD, KNLClusterEASGD): tree (default), ring, rhd,
 	// chain or linear — see comm.ParseSchedule. The Sync EASGD family
@@ -297,6 +307,9 @@ func (c *Config) Validate() error {
 	}
 	if err := c.Faults.validate(c.Workers); err != nil {
 		return err
+	}
+	if _, err := tensor.ParsePrecision(c.ComputePrec); err != nil {
+		return fmt.Errorf("core: %v", err)
 	}
 	for name, f := range c.Platform.LinkScale {
 		if !linkScaleSegments[name] {

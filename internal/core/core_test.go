@@ -6,6 +6,7 @@ import (
 
 	"scaledl/internal/data"
 	"scaledl/internal/nn"
+	"scaledl/internal/tensor"
 )
 
 // testConfig builds a small but real training setup: 4 simulated GPUs on
@@ -393,5 +394,35 @@ func TestMethodRegistryComplete(t *testing.T) {
 		if Methods[n] == nil {
 			t.Errorf("method %q missing from registry", n)
 		}
+	}
+}
+
+// TestComputePrecKnob checks the GEMM storage-precision plumbing: a bf16 run
+// trains (and differs from the fp32 trajectory — the narrowing is real), the
+// process-wide setting is restored after the run, and an unknown name is
+// rejected by Validate.
+func TestComputePrecKnob(t *testing.T) {
+	before := tensor.ComputePrecision()
+	cfg := testConfig(t, 10, true)
+	full, err := SyncSGD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = testConfig(t, 10, true)
+	cfg.ComputePrec = "bf16"
+	res, err := SyncSGD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tensor.ComputePrecision(); got != before {
+		t.Fatalf("precision not restored after run: %v (was %v)", got, before)
+	}
+	if res.FinalLoss == full.FinalLoss {
+		t.Error("bf16 trajectory identical to fp32 — precision knob had no effect")
+	}
+	bad := testConfig(t, 10, true)
+	bad.ComputePrec = "int8"
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate must reject unknown precision")
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"scaledl/internal/comm"
 	"scaledl/internal/data"
 	"scaledl/internal/nn"
@@ -55,6 +57,10 @@ type runContext struct {
 	workerUpdate float64 // Eq. (1) on the worker device
 	masterUpdate float64 // Eq. (2) on the master device
 
+	// prevPrec is the GEMM compute precision that was active before this
+	// run set cfg.ComputePrec; finish restores it.
+	prevPrec tensor.Precision
+
 	// faultsOn gates the per-step fault hooks; ckptTime is the modeled cost
 	// of writing or reloading one model checkpoint over the data link.
 	// chargeRecovery (default true) lets rank 0's fault stalls be charged
@@ -88,6 +94,13 @@ func newRunContext(cfg Config) (*runContext, error) {
 		return nil, err
 	}
 	rc := &runContext{cfg: cfg, failedRank: -1}
+	// Apply the run's compute precision to the GEMM engine; finish restores
+	// the previous setting so runs do not leak it into each other.
+	prec, err := tensor.ParsePrecision(cfg.ComputePrec)
+	if err != nil {
+		return nil, fmt.Errorf("core: %v", err)
+	}
+	rc.prevPrec = tensor.SetComputePrecision(prec)
 	base := tensor.NewRNG(cfg.Seed)
 	// One shared initial model, copied to every worker (Algorithms 1-4:
 	// initialize W once, copy to all).
@@ -294,6 +307,7 @@ func (rc *runContext) evalCenter() float64 {
 // a FailContinue fail-stop is excluded from the final-loss average — its
 // last loss is frozen at the step before its death.
 func (rc *runContext) finish(method string, simTime float64) Result {
+	tensor.SetComputePrecision(rc.prevPrec)
 	var lastLoss float64
 	live := 0
 	for _, w := range rc.workers {

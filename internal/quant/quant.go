@@ -16,7 +16,11 @@
 // quantization error into the training mathematics.
 package quant
 
-import "fmt"
+import (
+	"fmt"
+
+	"scaledl/internal/tensor"
+)
 
 // Scheme selects a compression method.
 type Scheme int
@@ -120,7 +124,10 @@ func (q *Quantizer) oneBit(v, out []float32) int64 {
 	if len(v) != len(q.residual) {
 		panic(fmt.Sprintf("quant: vector length %d does not match quantizer length %d", len(v), len(q.residual)))
 	}
-	// Compensated gradient: g = v + residual.
+	// Compensated gradient: g = v + residual. The float64 level sums stay
+	// scalar deliberately: a vectorized reduction would change summation
+	// order, and the reconstruction levels feed error feedback — a chaotic
+	// training trajectory where any reordering shifts golden values.
 	var posSum, negSum float64
 	var posN, negN int
 	for i, x := range v {
@@ -154,16 +161,13 @@ func (q *Quantizer) oneBit(v, out []float32) int64 {
 	return WireBytes(OneBit, len(v))
 }
 
+// uniform8 rides the tensor package's vectorized helpers: the min/max
+// reduction and the quantize-reconstruct map run through the same
+// CPU-feature dispatch as the GEMM kernels, and both are bit-identical
+// across tiers (min/max is order-free, the map element-wise with a fixed
+// unfused op sequence) — so unlike OneBit there is no trajectory risk.
 func uniform8(v, out []float32) int64 {
-	lo, hi := v[0], v[0]
-	for _, x := range v {
-		if x < lo {
-			lo = x
-		}
-		if x > hi {
-			hi = x
-		}
-	}
+	lo, hi := tensor.MinMax(v)
 	scale := (hi - lo) / 255
 	if scale == 0 {
 		for i := range out {
@@ -171,16 +175,7 @@ func uniform8(v, out []float32) int64 {
 		}
 		return WireBytes(Uniform8, len(v))
 	}
-	inv := 1 / scale
-	for i, x := range v {
-		level := int32((x-lo)*inv + 0.5)
-		if level < 0 {
-			level = 0
-		} else if level > 255 {
-			level = 255
-		}
-		out[i] = lo + float32(level)*scale
-	}
+	tensor.QuantizeUniform8(v, out, lo, scale, 1/scale)
 	return WireBytes(Uniform8, len(v))
 }
 

@@ -1,0 +1,137 @@
+package tensor
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestKernelTierReported sanity-checks the accessor pair: the reported tier
+// is one of the known names and matches the head of the GODEBUG-filtered
+// availability list, and the blocking geometry is self-consistent.
+func TestKernelTierReported(t *testing.T) {
+	known := map[string]bool{"avx512": true, "avx2": true, "sse2": true, "neon": true, "generic": true}
+	if !known[KernelTier()] {
+		t.Fatalf("unknown tier %q", KernelTier())
+	}
+	bl := KernelBlocking()
+	if bl.MR < 1 || bl.NR < 1 || bl.MC%bl.MR != 0 || bl.NC%bl.NR != 0 || bl.KC < 1 {
+		t.Fatalf("inconsistent blocking %+v", bl)
+	}
+	if got := pickKernel(availableKernels, godebugCPUOff()).tier; got != KernelTier() {
+		t.Fatalf("KernelTier %q does not match selection %q", KernelTier(), got)
+	}
+}
+
+// TestKernelDisabledDependencies pins the architectural downgrade rules the
+// GODEBUG filter applies: hiding a lower tier hides everything above it.
+func TestKernelDisabledDependencies(t *testing.T) {
+	cases := []struct {
+		godebug string
+		dead    []string
+		alive   []string
+	}{
+		{"", nil, []string{"avx512", "avx2", "sse2", "neon", "generic"}},
+		{"cpu.avx512f=off", []string{"avx512"}, []string{"avx2", "sse2", "generic"}},
+		{"cpu.avx512=off", []string{"avx512"}, []string{"avx2", "sse2"}},
+		{"cpu.avx2=off", []string{"avx512", "avx2"}, []string{"sse2", "generic"}},
+		{"cpu.avx=off", []string{"avx512", "avx2"}, []string{"sse2"}},
+		{"cpu.fma=off", []string{"avx512", "avx2"}, []string{"sse2"}},
+		{"cpu.sse2=off", []string{"sse2"}, []string{"avx512", "avx2", "generic"}},
+		{"cpu.neon=off", []string{"neon"}, []string{"avx512", "generic"}},
+		{"cpu.all=off", []string{"avx512", "avx2", "sse2", "neon"}, []string{"generic"}},
+		{"http2client=0,cpu.avx2=off", []string{"avx2"}, []string{"sse2"}}, // unrelated GODEBUG noise
+	}
+	for _, c := range cases {
+		off := parseCPUOff(c.godebug)
+		for _, tier := range c.dead {
+			if !kernelDisabled(tier, off) {
+				t.Errorf("GODEBUG=%q: tier %s should be disabled", c.godebug, tier)
+			}
+		}
+		for _, tier := range c.alive {
+			if kernelDisabled(tier, off) {
+				t.Errorf("GODEBUG=%q: tier %s should survive", c.godebug, tier)
+			}
+		}
+	}
+}
+
+// TestKernelTierExpected is the subprocess half of TestDispatchMatrix: when
+// SCALEDL_EXPECT_TIER is set it asserts that init-time dispatch (under the
+// inherited GODEBUG) selected exactly that tier. Skipped in normal runs.
+func TestKernelTierExpected(t *testing.T) {
+	want := os.Getenv("SCALEDL_EXPECT_TIER")
+	if want == "" {
+		t.Skip("helper: driven by TestDispatchMatrix with SCALEDL_EXPECT_TIER set")
+	}
+	if got := KernelTier(); got != want {
+		t.Fatalf("GODEBUG=%q: dispatched to %q, want %q", os.Getenv("GODEBUG"), got, want)
+	}
+}
+
+// TestDispatchMatrix re-executes the test binary under each GODEBUG cpu.*
+// downgrade and asserts the tier selected at init — the end-to-end check
+// that the environment really steers process-startup dispatch, not just the
+// in-process filter the other tests exercise. The expectation for each
+// setting comes from the parent's own availability list, so the matrix
+// adapts to whatever CPU it runs on.
+func TestDispatchMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, godebug := range []string{
+		"",
+		"cpu.avx512f=off",
+		"cpu.avx2=off",
+		"cpu.fma=off",
+		"cpu.sse2=off",
+		"cpu.neon=off",
+		"cpu.all=off",
+	} {
+		want := pickKernel(availableKernels, parseCPUOff(godebug)).tier
+		cmd := exec.Command(exe, "-test.run", "^TestKernelTierExpected$", "-test.v")
+		env := os.Environ()[:0:0]
+		for _, kv := range os.Environ() {
+			if strings.HasPrefix(kv, "GODEBUG=") || strings.HasPrefix(kv, "SCALEDL_EXPECT_TIER=") {
+				continue
+			}
+			env = append(env, kv)
+		}
+		cmd.Env = append(env, "GODEBUG="+godebug, "SCALEDL_EXPECT_TIER="+want)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Errorf("GODEBUG=%q (want tier %s): %v\n%s", godebug, want, err, out)
+			continue
+		}
+		if !strings.Contains(string(out), "PASS") {
+			t.Errorf("GODEBUG=%q: subprocess did not pass:\n%s", godebug, out)
+		}
+	}
+}
+
+// TestForceKernelRefusesUnavailable pins forceKernel's guard: a tier the CPU
+// cannot execute must be refused, and the restore function must reinstate
+// the previous selection.
+func TestForceKernelRefusesUnavailable(t *testing.T) {
+	if _, err := forceKernel("no-such-tier"); err == nil {
+		t.Fatal("forcing an unknown tier must fail")
+	}
+	prev := KernelTier()
+	restore, err := forceKernel("generic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if KernelTier() != "generic" {
+		t.Fatalf("force generic: active is %q", KernelTier())
+	}
+	restore()
+	if KernelTier() != prev {
+		t.Fatalf("restore: active is %q, want %q", KernelTier(), prev)
+	}
+}

@@ -6,11 +6,17 @@ import (
 
 // This file is the packed, register-tiled GEMM engine. Every matrix-product
 // variant in the module — plain, accumulating, either-operand-transposed,
-// bias-fused — funnels into one blocked kernel (gemmRun) instead of five
-// ad-hoc loop nests: the transposed layouts are absorbed while packing the
-// operands (pack.go), so the gradient-path products run exactly as fast as
-// the forward one, and the bias add of the conv/dense layers rides along in
-// the store epilogue instead of a second pass over the output.
+// bias-fused — funnels into one blocked kernel instead of five ad-hoc loop
+// nests: the transposed layouts are absorbed while packing the operands
+// (pack.go), so the gradient-path products run exactly as fast as the
+// forward one, and the bias add of the conv/dense layers rides along in the
+// store epilogue instead of a second pass over the output.
+//
+// The blocked driver is generic over the packed-panel element type: float32
+// panels feed the active tier's fp32 micro-kernel, uint16 panels (bf16 or
+// IEEE-half storage, selected by SetComputePrecision) feed its low-precision
+// kernels with fp32 accumulation. Blocking parameters and the micro-kernel
+// come from the dispatch tier selected at init (microkernel.go).
 //
 // # Determinism
 //
@@ -21,7 +27,11 @@ import (
 // output element is produced entirely by one task with the same summation
 // order as a serial run — results are bit-identical across pool widths,
 // scheduling, and par.SetSerial, which is stronger than the per-width
-// contract the rest of the module needs.
+// contract the rest of the module needs. Across kernel tiers the contract is
+// weaker: KC is identical for every tier, so panel boundaries (and thus the
+// fp32 summation order) match, but the FMA tiers contract the multiply-add
+// rounding step the mul+add tiers keep — values agree to a few ULPs, not
+// bits (doc.go spells out the full contract).
 
 // gemmParallelFlops is the multiply-accumulate count above which a single
 // GEMM fans its row tiles out across the par pool. Below it (every per-image
@@ -29,9 +39,18 @@ import (
 // and the engine stays strictly allocation-free.
 const gemmParallelFlops = 1 << 21
 
-// gemmScratch recycles the packing buffers; see par.Arena. After warm-up the
-// hot path performs zero allocations per call (pinned by TestGEMMZeroAllocs).
-var gemmScratch par.Arena[float32]
+// gemmScratch and gemmScratch16 recycle the packing buffers for the fp32 and
+// low-precision paths; see par.Arena. After warm-up the hot path performs
+// zero allocations per call (pinned by TestGEMMZeroAllocs).
+var (
+	gemmScratch   par.Arena[float32]
+	gemmScratch16 par.Arena[uint16]
+	// gemmTileScratch recycles the micro-kernel output tiles (one per
+	// concurrent chunk). The kernel is reached through a func value, so a
+	// chunk-local tile array would defeat escape analysis and cost a heap
+	// allocation per chunk; arena slots keep the hot path allocation-free.
+	gemmTileScratch par.Arena[kernTile]
+)
 
 // gemmOp describes one C = α-less GEMM: C (m×n, row stride ldc) gains A·B
 // with A read through strides (rsA, csA) as a logical m×k matrix and B
@@ -135,20 +154,69 @@ func checkMatMul(c, a, b *Tensor, transA, transB bool) (m, n, k int) {
 	return m, n, k
 }
 
-// gemmRun drives the blocked loops: jc over N in NC slabs, pc over K in KC
-// panels (B packed once per slab×panel), then the M dimension — fanned out
-// over the pool in static row-tile chunks when the product is big enough —
-// packs A in MC blocks and sweeps the micro-kernel.
+// panelElem constrains the packed-panel element type: full-precision panels
+// are float32, low-precision panels are uint16 lanes (bf16 or IEEE half).
+type panelElem interface{ float32 | uint16 }
+
+// gemmEngine binds one GEMM execution to a panel element type: the active
+// tier's blocking and micro-kernel for that storage format, the matching
+// packers, and the scratch arena the packed panels come from. Values are
+// built on the gemmRun stack per call — only the arenas are shared state.
+type gemmEngine[E panelElem] struct {
+	bl    Blocking
+	kern  func(ap, bp []E, kc int, t *kernTile)
+	packA func(dst []E, a []float32, rs, cs, i0, p0, mc, kc, mr int)
+	packB func(dst []E, b []float32, rs, cs, p0, j0, nc, kc, nr int)
+	arena *par.Arena[E]
+}
+
+// Top-level packer adapters: fixing the encoder here (instead of closing
+// over it in gemmRun) keeps engine construction allocation-free.
+func packABF16(dst []uint16, a []float32, rs, cs, i0, p0, mc, kc, mr int) {
+	packA16(dst, a, rs, cs, i0, p0, mc, kc, mr, f32ToBF16)
+}
+func packBBF16(dst []uint16, b []float32, rs, cs, p0, j0, nc, kc, nr int) {
+	packB16(dst, b, rs, cs, p0, j0, nc, kc, nr, f32ToBF16)
+}
+func packAFP16(dst []uint16, a []float32, rs, cs, i0, p0, mc, kc, mr int) {
+	packA16(dst, a, rs, cs, i0, p0, mc, kc, mr, f32ToFP16)
+}
+func packBFP16(dst []uint16, b []float32, rs, cs, p0, j0, nc, kc, nr int) {
+	packB16(dst, b, rs, cs, p0, j0, nc, kc, nr, f32ToFP16)
+}
+
+// gemmRun snapshots the active tier and compute precision, then hands the op
+// to the engine instantiation for the selected panel storage.
 func gemmRun(op gemmOp) {
-	m, n, k := op.m, op.n, op.k
-	if m == 0 || n == 0 {
+	if op.m == 0 || op.n == 0 {
 		return
 	}
-	if k == 0 {
+	if op.k == 0 {
 		gemmEpilogueOnly(op)
 		return
 	}
-	mTiles := (m + MR - 1) / MR
+	kr := active
+	switch ComputePrecision() {
+	case BFloat16:
+		e := gemmEngine[uint16]{bl: kr.bl, kern: kr.kernBF16, packA: packABF16, packB: packBBF16, arena: &gemmScratch16}
+		e.run(op)
+	case Float16:
+		e := gemmEngine[uint16]{bl: kr.bl, kern: kr.kernFP16, packA: packAFP16, packB: packBFP16, arena: &gemmScratch16}
+		e.run(op)
+	default:
+		e := gemmEngine[float32]{bl: kr.bl, kern: kr.kern, packA: packA, packB: packB, arena: &gemmScratch}
+		e.run(op)
+	}
+}
+
+// run drives the blocked loops: jc over N in NC slabs, pc over K in KC
+// panels (B packed once per slab×panel), then the M dimension — fanned out
+// over the pool in static row-tile chunks when the product is big enough —
+// packs A in MC blocks and sweeps the micro-kernel.
+func (e gemmEngine[E]) run(op gemmOp) {
+	m, n, k := op.m, op.n, op.k
+	bl := e.bl
+	mTiles := (m + bl.MR - 1) / bl.MR
 	var chunks [][2]int
 	if par.Width() > 1 && mTiles >= 2 && m*n*k >= gemmParallelFlops {
 		chunks = par.ChunkRanges(mTiles)
@@ -158,97 +226,100 @@ func gemmRun(op gemmOp) {
 		nChunks = 1
 	}
 	kcMax := k
-	if kcMax > KC {
-		kcMax = KC
+	if kcMax > bl.KC {
+		kcMax = bl.KC
 	}
-	ncMax := (n + NR - 1) / NR * NR
-	if ncMax > NC {
-		ncMax = NC
+	ncMax := (n + bl.NR - 1) / bl.NR * bl.NR
+	if ncMax > bl.NC {
+		ncMax = bl.NC
 	}
-	aMax := mTiles * MR
-	if aMax > MC {
-		aMax = MC
+	aMax := mTiles * bl.MR
+	if aMax > bl.MC {
+		aMax = bl.MC
 	}
 	aMax *= kcMax
-	buf := gemmScratch.Get(ncMax*kcMax + nChunks*aMax)
+	buf := e.arena.Get(ncMax*kcMax + nChunks*aMax)
 	bBuf := buf[:ncMax*kcMax]
 	aBufs := buf[ncMax*kcMax:]
-	for jc := 0; jc < n; jc += NC {
+	tiles := gemmTileScratch.Get(nChunks)
+	for jc := 0; jc < n; jc += bl.NC {
 		nc := n - jc
-		if nc > NC {
-			nc = NC
+		if nc > bl.NC {
+			nc = bl.NC
 		}
-		for pc := 0; pc < k; pc += KC {
+		for pc := 0; pc < k; pc += bl.KC {
 			kc := k - pc
-			if kc > KC {
-				kc = KC
+			if kc > bl.KC {
+				kc = bl.KC
 			}
-			packB(bBuf, op.b, op.rsB, op.csB, pc, jc, nc, kc)
+			e.packB(bBuf, op.b, op.rsB, op.csB, pc, jc, nc, kc, bl.NR)
 			first := pc == 0
 			if len(chunks) <= 1 {
-				gemmChunk(op, aBufs[:aMax], bBuf, jc, pc, nc, kc, 0, mTiles, first)
+				e.chunk(op, aBufs[:aMax], bBuf, &tiles[0], jc, pc, nc, kc, 0, mTiles, first)
 			} else {
-				gemmFanOut(op, aBufs, aMax, bBuf, jc, pc, nc, kc, chunks, first)
+				e.fanOut(op, aBufs, aMax, bBuf, tiles, jc, pc, nc, kc, chunks, first)
 			}
 		}
 	}
-	gemmScratch.Put(buf)
+	gemmTileScratch.Put(tiles)
+	e.arena.Put(buf)
 }
 
-// gemmFanOut runs one (jc, pc) panel's row tiles across the pool. It lives
-// apart from gemmRun so the serial path never materializes the closure (that
-// would cost an allocation per call even when it isn't taken). Chunk
-// boundaries come from par.ChunkRanges, so tile ownership is static and each
-// chunk packs A into its own slice of the scratch buffer.
-func gemmFanOut(op gemmOp, aBufs []float32, aMax int, bBuf []float32, jc, pc, nc, kc int, chunks [][2]int, first bool) {
+// fanOut runs one (jc, pc) panel's row tiles across the pool. It lives apart
+// from run so the serial path never materializes the closure (that would
+// cost an allocation per call even when it isn't taken). Chunk boundaries
+// come from par.ChunkRanges, so tile ownership is static and each chunk
+// packs A into its own slice of the scratch buffer.
+func (e gemmEngine[E]) fanOut(op gemmOp, aBufs []E, aMax int, bBuf []E, tiles []kernTile, jc, pc, nc, kc int, chunks [][2]int, first bool) {
 	par.For(len(chunks), func(ci int) {
-		gemmChunk(op, aBufs[ci*aMax:][:aMax], bBuf, jc, pc, nc, kc, chunks[ci][0], chunks[ci][1], first)
+		e.chunk(op, aBufs[ci*aMax:][:aMax], bBuf, &tiles[ci], jc, pc, nc, kc, chunks[ci][0], chunks[ci][1], first)
 	})
 }
 
-// gemmChunk computes the row tiles [tileLo, tileHi) of one (jc, pc) panel:
-// for each MC block it packs A and sweeps the packed B panels with the
+// chunk computes the row tiles [tileLo, tileHi) of one (jc, pc) panel: for
+// each MC block it packs A and sweeps the packed B panels with the
 // micro-kernel, storing each MR×NR register tile through storeTile.
-func gemmChunk(op gemmOp, aBuf, bBuf []float32, jc, pc, nc, kc, tileLo, tileHi int, first bool) {
-	rowEnd := tileHi * MR
+func (e gemmEngine[E]) chunk(op gemmOp, aBuf, bBuf []E, tile *kernTile, jc, pc, nc, kc, tileLo, tileHi int, first bool) {
+	mr, nr := e.bl.MR, e.bl.NR
+	mcMax := e.bl.MC
+	rowEnd := tileHi * mr
 	if rowEnd > op.m {
 		rowEnd = op.m
 	}
-	var tile [MR * NR]float32
-	for i0 := tileLo * MR; i0 < rowEnd; i0 += MC {
+	for i0 := tileLo * mr; i0 < rowEnd; i0 += mcMax {
 		mc := rowEnd - i0
-		if mc > MC {
-			mc = MC
+		if mc > mcMax {
+			mc = mcMax
 		}
-		packA(aBuf, op.a, op.rsA, op.csA, i0, pc, mc, kc)
-		mcTiles := (mc + MR - 1) / MR
-		for jr := 0; jr < nc; jr += NR {
-			bp := bBuf[(jr/NR)*NR*kc:][:NR*kc]
+		e.packA(aBuf, op.a, op.rsA, op.csA, i0, pc, mc, kc, mr)
+		mcTiles := (mc + mr - 1) / mr
+		for jr := 0; jr < nc; jr += nr {
+			bp := bBuf[(jr/nr)*nr*kc:][: nr*kc : nr*kc]
 			nrv := nc - jr
-			if nrv > NR {
-				nrv = NR
+			if nrv > nr {
+				nrv = nr
 			}
 			for ti := 0; ti < mcTiles; ti++ {
-				microKernel(aBuf[ti*MR*kc:][:MR*kc], bp, kc, &tile)
-				row := i0 + ti*MR
+				e.kern(aBuf[ti*mr*kc:][:mr*kc], bp, kc, tile)
+				row := i0 + ti*mr
 				mrv := op.m - row
-				if mrv > MR {
-					mrv = MR
+				if mrv > mr {
+					mrv = mr
 				}
-				storeTile(op, row, jc+jr, mrv, nrv, &tile, first)
+				storeTile(op, row, jc+jr, mrv, nrv, nr, tile, first)
 			}
 		}
 	}
 }
 
-// storeTile writes the valid mr×nr region of a register tile into C. The
-// first K panel overwrites (or seeds with the fused bias); later panels and
-// accumulate-mode ops add.
-func storeTile(op gemmOp, row, col, mr, nr int, t *[MR * NR]float32, first bool) {
+// storeTile writes the valid mr×nr region of a register tile (row-major at
+// stride ts) into C. The first K panel overwrites (or seeds with the fused
+// bias); later panels and accumulate-mode ops add.
+func storeTile(op gemmOp, row, col, mr, nr, ts int, t *kernTile, first bool) {
 	acc := op.acc || !first
 	for i := 0; i < mr; i++ {
 		ci := op.c[(row+i)*op.ldc+col:][:nr]
-		ti := t[i*NR:][:nr]
+		ti := t[i*ts:][:nr]
 		switch {
 		case acc:
 			for j, v := range ti {
@@ -295,31 +366,26 @@ func gemmEpilogueOnly(op gemmOp) {
 	}
 }
 
-// MatVec computes y = A·x for a row-major m×n matrix A, using the shared
-// unrolled-accumulator dot product.
+// MatVec computes y = A·x for a row-major m×n matrix A, through the active
+// tier's dot product (deterministic per tier; see doc.go).
 func MatVec(y []float32, a *Tensor, x []float32) {
 	m, n := a.Shape[0], a.Shape[1]
 	if len(x) != n || len(y) != m {
 		panic("tensor: MatVec shape mismatch")
 	}
+	dot := active.dot
 	for i := 0; i < m; i++ {
-		y[i] = dotUnroll(a.Data[i*n:(i+1)*n], x)
+		y[i] = dot(a.Data[i*n:(i+1)*n], x)
 	}
 }
 
-// transposeBlock is the square tile edge of the cache-blocked Transpose:
-// source and destination tiles (64×64 float32 = 16 KiB each) stay
-// cache-resident together, so the stride-m writes stop thrashing on large
-// matrices.
-const transposeBlock = 64
-
-// Transpose writes Aᵀ into dst. A is m×n, dst must be n×m. Within each cache
-// block it moves a four-row strip of the source per sweep, so every strided
-// destination step retires four contiguous writes instead of one. The strip
-// height is its own constant (it must match the r0..r3 unroll below), not
-// the register-tile height MR.
+// Transpose writes Aᵀ into dst. A is m×n, dst must be n×m. Tiles are
+// transposeBlock-square (blocking.go) so source and destination stay
+// cache-resident together; within a tile it moves a transposeStrip-row strip
+// of the source per sweep, so every strided destination step retires four
+// contiguous writes instead of one.
 func Transpose(dst, a *Tensor) {
-	const strip = 4
+	const strip = transposeStrip
 	m, n := a.Shape[0], a.Shape[1]
 	if dst.Shape[0] != n || dst.Shape[1] != m {
 		panic("tensor: Transpose shape mismatch")

@@ -12,43 +12,61 @@ package tensor
 // in-bounds output range [oxLo, oxHi) is known up front (colRange), the
 // padding prefix/suffix are plain zero fills, and the stride-1 interior —
 // every conv in the model zoo — collapses to a single copy.
+//
+// When a channel plane outgrows the L1 source budget (blocking.go), the tap
+// sweep is blocked over output rows: each block's source rows are re-read
+// from L1 across all kh·kw taps instead of re-streamed from L2 per tap.
+// Small images (a single block) keep the original loop order exactly.
 func Im2col(dst []float32, src []float32, c, h, w, kh, kw, stride, pad int) {
 	oh := OutDim(h, kh, stride, pad)
 	ow := OutDim(w, kw, stride, pad)
 	if len(dst) != c*kh*kw*oh*ow {
 		panic("tensor: Im2col dst size mismatch")
 	}
-	idx := 0
+	ob := oh
+	if h*w > im2colSrcBudget {
+		ob = im2colRowBlock(w, kh, stride)
+	}
 	for ch := 0; ch < c; ch++ {
 		base := ch * h * w
-		for ky := 0; ky < kh; ky++ {
-			for kx := 0; kx < kw; kx++ {
-				oxLo, oxHi := colRange(ow, w, kx, stride, pad)
-				for oy := 0; oy < oh; oy++ {
-					row := dst[idx : idx+ow]
-					idx += ow
-					iy := oy*stride + ky - pad
-					if iy < 0 || iy >= h || oxLo == oxHi {
-						for ox := range row {
+		chIdx := ch * kh * kw * oh * ow
+		for oy0 := 0; oy0 < oh; oy0 += ob {
+			oy1 := oy0 + ob
+			if oy1 > oh {
+				oy1 = oh
+			}
+			idx := chIdx + oy0*ow // this block's rows in the first tap
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					oxLo, oxHi := colRange(ow, w, kx, stride, pad)
+					rowIdx := idx
+					idx += oh * ow // same block, next tap
+					for oy := oy0; oy < oy1; oy++ {
+						row := dst[rowIdx : rowIdx+ow]
+						rowIdx += ow
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= h || oxLo == oxHi {
+							for ox := range row {
+								row[ox] = 0
+							}
+							continue
+						}
+						rowBase := base + iy*w + kx - pad
+						for ox := 0; ox < oxLo; ox++ {
 							row[ox] = 0
 						}
-						continue
-					}
-					rowBase := base + iy*w + kx - pad
-					for ox := 0; ox < oxLo; ox++ {
-						row[ox] = 0
-					}
-					if stride == 1 {
-						copy(row[oxLo:oxHi], src[rowBase+oxLo:rowBase+oxHi])
-					} else {
-						ix := rowBase + oxLo*stride
-						for ox := oxLo; ox < oxHi; ox++ {
-							row[ox] = src[ix]
-							ix += stride
+						if stride == 1 {
+							copy(row[oxLo:oxHi], src[rowBase+oxLo:rowBase+oxHi])
+						} else {
+							ix := rowBase + oxLo*stride
+							for ox := oxLo; ox < oxHi; ox++ {
+								row[ox] = src[ix]
+								ix += stride
+							}
 						}
-					}
-					for ox := oxHi; ox < ow; ox++ {
-						row[ox] = 0
+						for ox := oxHi; ox < ow; ox++ {
+							row[ox] = 0
+						}
 					}
 				}
 			}
@@ -61,41 +79,56 @@ func Im2col(dst []float32, src []float32, c, h, w, kh, kw, stride, pad int) {
 // convolution. dst must be pre-zeroed by the caller when accumulation across
 // several images is not wanted. It uses the same hoisted [oxLo, oxHi) valid
 // range as Im2col; padding taps contribute nothing and are skipped outright.
+// The scatter destination is what gets re-read here (+=), so the same
+// output-row blocking keeps each block's destination rows L1-resident
+// across the kh·kw taps on large images.
 func Col2im(dst []float32, src []float32, c, h, w, kh, kw, stride, pad int) {
 	oh := OutDim(h, kh, stride, pad)
 	ow := OutDim(w, kw, stride, pad)
 	if len(src) != c*kh*kw*oh*ow {
 		panic("tensor: Col2im src size mismatch")
 	}
-	idx := 0
+	ob := oh
+	if h*w > im2colSrcBudget {
+		ob = im2colRowBlock(w, kh, stride)
+	}
 	for ch := 0; ch < c; ch++ {
 		base := ch * h * w
-		for ky := 0; ky < kh; ky++ {
-			for kx := 0; kx < kw; kx++ {
-				oxLo, oxHi := colRange(ow, w, kx, stride, pad)
-				if oxLo == oxHi {
+		chIdx := ch * kh * kw * oh * ow
+		for oy0 := 0; oy0 < oh; oy0 += ob {
+			oy1 := oy0 + ob
+			if oy1 > oh {
+				oy1 = oh
+			}
+			idx := chIdx + oy0*ow
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					oxLo, oxHi := colRange(ow, w, kx, stride, pad)
+					rowIdx := idx
 					idx += oh * ow
-					continue
-				}
-				for oy := 0; oy < oh; oy++ {
-					row := src[idx : idx+ow]
-					idx += ow
-					iy := oy*stride + ky - pad
-					if iy < 0 || iy >= h {
+					if oxLo == oxHi {
 						continue
 					}
-					rowBase := base + iy*w + kx - pad
-					if stride == 1 {
-						out := dst[rowBase+oxLo : rowBase+oxHi]
-						in := row[oxLo:oxHi]
-						for j, v := range in {
-							out[j] += v
+					for oy := oy0; oy < oy1; oy++ {
+						row := src[rowIdx : rowIdx+ow]
+						rowIdx += ow
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= h {
+							continue
 						}
-					} else {
-						ix := rowBase + oxLo*stride
-						for ox := oxLo; ox < oxHi; ox++ {
-							dst[ix] += row[ox]
-							ix += stride
+						rowBase := base + iy*w + kx - pad
+						if stride == 1 {
+							out := dst[rowBase+oxLo : rowBase+oxHi]
+							in := row[oxLo:oxHi]
+							for j, v := range in {
+								out[j] += v
+							}
+						} else {
+							ix := rowBase + oxLo*stride
+							for ox := oxLo; ox < oxHi; ox++ {
+								dst[ix] += row[ox]
+								ix += stride
+							}
 						}
 					}
 				}

@@ -191,6 +191,50 @@ func TestIm2colMatchesNaive(t *testing.T) {
 	}
 }
 
+// Large images cross the L1 source budget and take the tap-blocked path
+// (blocking.go); the layout contract and the adjoint identity must be
+// indistinguishable from the single-block path.
+func TestIm2colBlockedLargeImage(t *testing.T) {
+	for _, tc := range []struct {
+		c, h, w, kh, kw, stride, pad int
+	}{
+		{2, 80, 80, 3, 3, 1, 1}, // 6400 floats/plane > im2colSrcBudget
+		{1, 70, 96, 5, 5, 2, 2},
+		{3, 64, 72, 3, 3, 3, 1},
+		{1, 2, 4096, 3, 3, 1, 1}, // wider than the whole budget: 1-row blocks
+	} {
+		if tc.h*tc.w <= im2colSrcBudget {
+			t.Fatalf("case %+v does not engage blocking", tc)
+		}
+		g := NewRNG(71)
+		src := make([]float32, tc.c*tc.h*tc.w)
+		g.FillNormal(src, 0, 1)
+		n := tc.c * tc.kh * tc.kw * OutDim(tc.h, tc.kh, tc.stride, tc.pad) * OutDim(tc.w, tc.kw, tc.stride, tc.pad)
+		got := make([]float32, n)
+		want := make([]float32, n)
+		for i := range got {
+			got[i] = -999
+		}
+		Im2col(got, src, tc.c, tc.h, tc.w, tc.kh, tc.kw, tc.stride, tc.pad)
+		naiveIm2col(want, src, tc.c, tc.h, tc.w, tc.kh, tc.kw, tc.stride, tc.pad)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("case %+v: mismatch at %d: got %v want %v", tc, i, got[i], want[i])
+			}
+		}
+		// Adjoint identity through the blocked Col2im.
+		y := make([]float32, n)
+		g.FillNormal(y, 0, 1)
+		ay := make([]float32, len(src))
+		Col2im(ay, y, tc.c, tc.h, tc.w, tc.kh, tc.kw, tc.stride, tc.pad)
+		lhs := float64(Dot(got, y))
+		rhs := float64(Dot(src, ay))
+		if math.Abs(lhs-rhs) > 1e-2*(1+math.Abs(rhs)) {
+			t.Fatalf("case %+v: adjoint identity broken: %v vs %v", tc, lhs, rhs)
+		}
+	}
+}
+
 func TestIm2colZeroPadding(t *testing.T) {
 	// A 1x1 image with 3x3 kernel and pad 1: the center column holds the
 	// pixel, all others are zero-padding.

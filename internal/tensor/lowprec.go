@@ -1,0 +1,163 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Low-precision storage for the packed GEMM operand panels. The paper's
+// KNL/GPU clusters lean on reduced-precision arithmetic to stay
+// bandwidth-bound rather than compute-bound at scale; here the same idea is
+// applied to the pack buffers: A and B panels may be stored as bf16 or IEEE
+// half (uint16 lanes, half the pack-buffer footprint and memory traffic),
+// while the micro-kernels always accumulate in fp32. Output, bias and
+// residency formats are unchanged — precision is a property of the packed
+// copies only, so it composes with every entry point and epilogue.
+//
+// Conversions:
+//
+//	bf16 encode  round-to-nearest-even on the dropped 16 mantissa bits
+//	bf16 decode  exact (bf16 is truncated fp32: <<16)
+//	fp16 encode  round-to-nearest-even IEEE binary16, overflow to ±Inf
+//	fp16 decode  exact (every binary16 value is representable in fp32)
+
+// Precision selects the storage format of packed GEMM operand panels.
+type Precision uint32
+
+const (
+	// Float32 stores packed panels in full single precision (default).
+	Float32 Precision = iota
+	// BFloat16 stores packed panels as bfloat16 (8-bit exponent, 7-bit
+	// mantissa): fp32 range, ~2-3 decimal digits. Robust default for
+	// training-style workloads because no gradient over/underflows.
+	BFloat16
+	// Float16 stores packed panels as IEEE binary16 (5-bit exponent,
+	// 10-bit mantissa): 3 more mantissa bits than bf16 but narrow range
+	// (max ~65504); values beyond it saturate to ±Inf at pack time.
+	Float16
+)
+
+func (p Precision) String() string {
+	switch p {
+	case Float32:
+		return "fp32"
+	case BFloat16:
+		return "bf16"
+	case Float16:
+		return "fp16"
+	}
+	return fmt.Sprintf("Precision(%d)", uint32(p))
+}
+
+// ParsePrecision maps a config string to a Precision. Accepted names:
+// "fp32"/"float32"/"" (default), "bf16"/"bfloat16", "fp16"/"float16"/"half".
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "fp32", "float32":
+		return Float32, nil
+	case "bf16", "bfloat16":
+		return BFloat16, nil
+	case "fp16", "float16", "half":
+		return Float16, nil
+	}
+	return Float32, fmt.Errorf("tensor: unknown compute precision %q (want fp32, bf16 or fp16)", s)
+}
+
+// computePrec is the process-wide packed-panel storage precision, read once
+// per GEMM call. Atomic so harness code can flip it between runs while
+// background goroutines finish unrelated work; switching mid-GEMM is not
+// supported (each call snapshots it on entry).
+var computePrec atomic.Uint32
+
+// SetComputePrecision sets the packed-panel storage precision for subsequent
+// GEMM calls and returns the previous setting.
+func SetComputePrecision(p Precision) Precision {
+	return Precision(computePrec.Swap(uint32(p)))
+}
+
+// ComputePrecision reports the current packed-panel storage precision.
+func ComputePrecision() Precision { return Precision(computePrec.Load()) }
+
+// f32ToBF16 encodes an fp32 value as bfloat16 with round-to-nearest-even.
+// NaN payloads are squashed to a canonical quiet NaN so rounding can never
+// turn a NaN into Inf.
+func f32ToBF16(x float32) uint16 {
+	b := math.Float32bits(x)
+	if b&0x7fffffff > 0x7f800000 { // NaN
+		return uint16(b>>16) | 0x0040
+	}
+	// Round to nearest even on the 16 dropped bits.
+	b += 0x7fff + (b >> 16 & 1)
+	return uint16(b >> 16)
+}
+
+// bf16ToF32 decodes bfloat16 (exact).
+func bf16ToF32(h uint16) float32 {
+	return math.Float32frombits(uint32(h) << 16)
+}
+
+// f32ToFP16 encodes an fp32 value as IEEE binary16 with round-to-nearest-
+// even. Overflow goes to ±Inf, underflow denormalizes then flushes to ±0.
+func f32ToFP16(x float32) uint16 {
+	b := math.Float32bits(x)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23&0xff) - 127
+	man := b & 0x7fffff
+	switch {
+	case exp == 128: // Inf or NaN
+		if man != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00
+	case exp > 15: // overflow → Inf
+		return sign | 0x7c00
+	case exp >= -14: // normal
+		// 10-bit mantissa; round to nearest even on the 13 dropped bits.
+		v := uint32(exp+15)<<10 | man>>13
+		rem := man & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && v&1 == 1) {
+			v++ // may carry into the exponent; 0x7c00 (Inf) is then correct
+		}
+		return sign | uint16(v)
+	case exp >= -25: // subnormal (−25 covers rounding up into the min subnormal)
+		man |= 0x800000 // implicit leading 1
+		// Align so 10 mantissa bits remain: total shift = 13 + (−14 − exp).
+		s := uint32(13 + (-14 - exp))
+		v := man >> s
+		rem := man & (1<<s - 1)
+		half := uint32(1) << (s - 1)
+		if rem > half || (rem == half && v&1 == 1) {
+			v++
+		}
+		return sign | uint16(v)
+	default: // underflow → signed zero
+		return sign
+	}
+}
+
+// fp16ToF32 decodes IEEE binary16 (exact — every half value is an fp32).
+func fp16ToF32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	man := uint32(h & 0x3ff)
+	switch exp {
+	case 0:
+		if man == 0 {
+			return math.Float32frombits(sign) // ±0
+		}
+		// Subnormal: normalize into fp32.
+		e := uint32(127 - 15 + 1)
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		return math.Float32frombits(sign | e<<23 | (man&0x3ff)<<13)
+	case 31:
+		if man == 0 {
+			return math.Float32frombits(sign | 0x7f800000) // ±Inf
+		}
+		return math.Float32frombits(sign | 0x7fc00000 | man<<13) // NaN
+	}
+	return math.Float32frombits(sign | (exp+127-15)<<23 | man<<13)
+}

@@ -1,0 +1,272 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"scaledl/internal/par"
+)
+
+// TestBF16Conversions pins the bf16 encode/decode pair: decode is exact,
+// encode rounds to nearest even, and specials survive.
+func TestBF16Conversions(t *testing.T) {
+	// Exactly representable values round-trip bit-perfectly.
+	for _, v := range []float32{0, 1, -1, 0.5, -2.25, 128, 1e20, -1e-20} {
+		enc := f32ToBF16(v)
+		if got := bf16ToF32(enc); math.Float32bits(got) != math.Float32bits(f32ToBF16RefDecode(enc)) {
+			t.Fatalf("decode mismatch for %v", v)
+		}
+	}
+	if bf16ToF32(f32ToBF16(1)) != 1 {
+		t.Fatal("1.0 must be bf16-exact")
+	}
+	// Round to nearest even on the dropped 16 bits: the bf16 step above 1 is
+	// 2^-7 (7 mantissa bits), so 1 + 2^-8 is an exact tie and rounds to even
+	// (1.0), anything above the tie rounds up, and the tie above the odd
+	// neighbor 1 + 2^-7 rounds away to 1 + 2^-6.
+	tie := float32(1 + 1.0/256)
+	if got := bf16ToF32(f32ToBF16(tie)); got != 1 {
+		t.Fatalf("tie 1+2^-8: got %v want 1 (round to even)", got)
+	}
+	up := math.Float32frombits(math.Float32bits(tie) + 1)
+	if got := bf16ToF32(f32ToBF16(up)); got != 1+1.0/128 {
+		t.Fatalf("above tie: got %v want %v", got, 1+1.0/128)
+	}
+	if got := bf16ToF32(f32ToBF16(1 + 3.0/256)); got != 1+1.0/64 {
+		t.Fatalf("tie above odd: got %v want %v (round to even)", got, 1+1.0/64)
+	}
+	// Specials.
+	if got := bf16ToF32(f32ToBF16(float32(math.Inf(1)))); !math.IsInf(float64(got), 1) {
+		t.Fatalf("+Inf: got %v", got)
+	}
+	if got := bf16ToF32(f32ToBF16(float32(math.NaN()))); !math.IsNaN(float64(got)) {
+		t.Fatalf("NaN must stay NaN, got %v", got)
+	}
+	// Near-overflow values must not round past Inf.
+	big := math.Float32frombits(0x7f7fffff) // max finite fp32
+	if got := bf16ToF32(f32ToBF16(big)); math.IsNaN(float64(got)) {
+		t.Fatalf("max finite fp32: got NaN")
+	}
+}
+
+// f32ToBF16RefDecode mirrors the decode identity used in the test above.
+func f32ToBF16RefDecode(h uint16) float32 { return math.Float32frombits(uint32(h) << 16) }
+
+// TestFP16Exhaustive round-trips every IEEE binary16 bit pattern: decode to
+// fp32 (exact by construction) then re-encode must reproduce the original
+// pattern (NaNs may canonicalize but must stay NaN).
+func TestFP16Exhaustive(t *testing.T) {
+	for h := 0; h < 1<<16; h++ {
+		f := fp16ToF32(uint16(h))
+		back := f32ToFP16(f)
+		if math.IsNaN(float64(f)) {
+			if back&0x7c00 != 0x7c00 || back&0x3ff == 0 {
+				t.Fatalf("%#04x: NaN re-encoded as %#04x (not NaN)", h, back)
+			}
+			continue
+		}
+		if back != uint16(h) {
+			t.Fatalf("%#04x: decode %v re-encodes to %#04x", h, f, back)
+		}
+	}
+}
+
+// TestFP16Rounding pins encode rounding and range behavior.
+func TestFP16Rounding(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-2, 0xc000},
+		{65504, 0x7bff},        // max finite half
+		{65520, 0x7c00},        // rounds past max → +Inf
+		{100000, 0x7c00},       // overflow → +Inf
+		{-100000, 0xfc00},      // overflow → -Inf
+		{5.9604645e-8, 0x0001}, // min subnormal (2^-24)
+		{4.4e-8, 0x0001},       // in (2^-25, 2^-24): rounds up, not flushed
+		{2.9802322e-8, 0x0000}, // 2^-25: tie → even → +0
+		{1e-10, 0x0000},        // underflow → +0
+		{1 + 1.0/2048, 0x3c00}, // exact tie rounds to even
+		{1 + 3.0/2048, 0x3c02}, // tie above odd rounds up
+	}
+	for _, c := range cases {
+		if got := f32ToFP16(c.in); got != c.want {
+			t.Errorf("f32ToFP16(%v) = %#04x, want %#04x", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParsePrecision checks the config-string mapping.
+func TestParsePrecision(t *testing.T) {
+	for s, want := range map[string]Precision{
+		"": Float32, "fp32": Float32, "float32": Float32,
+		"bf16": BFloat16, "bfloat16": BFloat16,
+		"fp16": Float16, "float16": Float16, "half": Float16,
+	} {
+		got, err := ParsePrecision(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePrecision(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParsePrecision("int8"); err == nil {
+		t.Error("ParsePrecision(int8) must fail")
+	}
+}
+
+// lpRef computes the float64 reference for a low-precision product: the
+// operands narrowed through the storage format (exactly what packing does),
+// then a k-ordered float64 accumulation. The engine's fp32 accumulation of
+// those same decoded values must land within plain fp32 rounding of it.
+func lpRef(c, a, b *Tensor, enc func(float32) uint16, dec func(uint16) float32) {
+	m, n := c.Shape[0], c.Shape[1]
+	k := a.Shape[1]
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += float64(dec(enc(a.Data[i*k+p]))) * float64(dec(enc(b.Data[p*n+j])))
+			}
+			c.Data[i*n+j] = float32(s)
+		}
+	}
+}
+
+// TestLowPrecisionGEMMMatchesNarrowedRef validates the bf16 and fp16 compute
+// paths on every tier: the engine must match the narrow-then-accumulate
+// reference to fp32 rounding (the storage narrowing is the only semantic
+// difference from the fp32 path), which pins both the conversions inside the
+// packers and the low-precision micro-kernels, assembly and portable alike.
+func TestLowPrecisionGEMMMatchesNarrowedRef(t *testing.T) {
+	precs := []struct {
+		name string
+		p    Precision
+		enc  func(float32) uint16
+		dec  func(uint16) float32
+	}{
+		{"bf16", BFloat16, f32ToBF16, bf16ToF32},
+		{"fp16", Float16, f32ToFP16, fp16ToF32},
+	}
+	for _, pr := range precs {
+		pr := pr
+		t.Run(pr.name, func(t *testing.T) {
+			forEachTier(t, func(t *testing.T) {
+				prev := SetComputePrecision(pr.p)
+				defer SetComputePrecision(prev)
+				bl := KernelBlocking()
+				g := NewRNG(48)
+				shapes := [][3]int{
+					{1, 1, 1}, {3, 5, 4}, {bl.MR + 1, bl.NR + 3, bl.KC + 2},
+					{2*bl.MR + 3, 3*bl.NR + 5, 33}, {2, 3, 0},
+				}
+				for _, s := range shapes {
+					m, n, k := s[0], s[1], s[2]
+					a := randMat(g, m, k)
+					b := randMat(g, k, n)
+					got := randMat(g, m, n)
+					MatMul(got, a, b)
+					want := New(m, n)
+					lpRef(want, a, b, pr.enc, pr.dec)
+					tol := 1e-5 * math.Sqrt(float64(k)+1)
+					if d := maxAbsDiff(got.Data, want.Data); float64(d) > tol {
+						t.Errorf("%dx%dx%d: diff %v > %v", m, n, k, d, tol)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestLowPrecisionErrorBounds is the property test pinning the storage
+// formats' error against full precision: over random N(0,1) operands the
+// low-precision result must deviate from the fp32 result by more than zero
+// (the narrowing really happened) but stay within the format's analytic
+// bound — relative per-product error ≤ 2^-8 for bf16 (7 mantissa bits + RNE)
+// and ≤ 2^-11 for fp16, growing with √k for random-sign accumulation. A
+// regression that decodes garbage blows the upper bound; one that silently
+// computes in fp32 trips the lower.
+func TestLowPrecisionErrorBounds(t *testing.T) {
+	m, n, k := 24, 40, 200
+	g := NewRNG(49)
+	a := randMat(g, m, k)
+	b := randMat(g, k, n)
+	full := New(m, n)
+	MatMul(full, a, b)
+
+	for _, pr := range []struct {
+		name    string
+		p       Precision
+		relStep float64
+	}{
+		{"bf16", BFloat16, 1.0 / 256},
+		{"fp16", Float16, 1.0 / 2048},
+	} {
+		prev := SetComputePrecision(pr.p)
+		got := New(m, n)
+		MatMul(got, a, b)
+		SetComputePrecision(prev)
+		d := float64(maxAbsDiff(got.Data, full.Data))
+		// Each product of two narrowed N(0,1) values carries ≤ ~2·relStep
+		// relative error; k random-sign terms accumulate ~√k of it, with a
+		// generous 8× safety factor over the expectation.
+		bound := 8 * pr.relStep * math.Sqrt(float64(k))
+		if d == 0 {
+			t.Errorf("%s: result identical to fp32 — narrowing did not happen", pr.name)
+		}
+		if d > bound {
+			t.Errorf("%s: max diff %v exceeds bound %v", pr.name, d, bound)
+		}
+	}
+}
+
+// TestLowPrecisionDeterministic extends the width-invariance contract to the
+// low-precision path: the bf16 engine result is bit-identical across pool
+// widths and serial mode, same as fp32.
+func TestLowPrecisionDeterministic(t *testing.T) {
+	prev := SetComputePrecision(BFloat16)
+	defer SetComputePrecision(prev)
+	defer func() {
+		par.SetSerial(false)
+		par.SetWidth(0)
+	}()
+	m, n, k := 160, 200, 80
+	g := NewRNG(50)
+	a := randMat(g, m, k)
+	b := randMat(g, k, n)
+
+	par.SetWidth(4)
+	par.SetSerial(true)
+	serial := New(m, n)
+	MatMul(serial, a, b)
+	par.SetSerial(false)
+
+	for _, w := range []int{1, 2, 4} {
+		par.SetWidth(w)
+		c := New(m, n)
+		MatMul(c, a, b)
+		for i := range serial.Data {
+			if serial.Data[i] != c.Data[i] {
+				t.Fatalf("width %d differs from serial at %d", w, i)
+			}
+		}
+	}
+}
+
+// TestLowPrecisionZeroAllocs pins the zero-allocation contract on the
+// uint16-panel path too.
+func TestLowPrecisionZeroAllocs(t *testing.T) {
+	prev := SetComputePrecision(BFloat16)
+	defer SetComputePrecision(prev)
+	par.SetWidth(1)
+	defer par.SetWidth(0)
+	g := NewRNG(51)
+	a := randMat(g, 20, 576)
+	b := randMat(g, 576, 500)
+	c := New(20, 500)
+	run := func() { MatMul(c, a, b) }
+	run() // warm the arena
+	if allocs := testing.AllocsPerRun(5, run); allocs != 0 {
+		t.Errorf("bf16 MatMul: %v allocs/op in steady state, want 0", allocs)
+	}
+}

@@ -2,21 +2,115 @@
 
 package tensor
 
-// microKernelSSE is the SSE2 assembly register tile (microkernel_amd64.s).
-// Baseline SSE2 is architecturally guaranteed on amd64, so no feature
-// detection is needed.
+// Go-side wrappers of the amd64 assembly micro-kernels
+// (microkernel_amd64.s). Each kernel computes one register tile (stored
+// row-major at the tier's NR stride in the shared kernTile buffer) from
+// packed operand panels; the kc == 0 degenerate case is handled here so the
+// assembly loops can assume at least one k step.
+
+// microKernelSSE is the SSE2 4×8 register tile (stride 8). Baseline SSE2 is
+// architecturally guaranteed on amd64, so no feature detection is needed.
+// It performs the same unfused multiply-then-add per lane in the same k
+// order as microKernelGo, so the two are bit-identical
+// (TestMicroKernelMatchesPortable pins this).
 //
 //go:noescape
-func microKernelSSE(ap, bp *float32, kc int, t *[MR * NR]float32)
+func microKernelSSE(ap, bp *float32, kc int, t *kernTile)
 
-// microKernel computes one MR×NR tile t from packed panels ap/bp (kc depth).
-// The assembly kernel performs the same unfused multiply-then-add per lane in
-// the same k order as microKernelGo, so results are bit-identical across the
-// two paths (TestMicroKernelAsmMatchesGo pins this).
-func microKernel(ap, bp []float32, kc int, t *[MR * NR]float32) {
+// microKernelAVX2 is the AVX2+FMA 8×8 register tile (stride 8): eight YMM
+// accumulator rows, one fused multiply-add per row per k step.
+//
+//go:noescape
+func microKernelAVX2(ap, bp *float32, kc int, t *kernTile)
+
+// microKernelAVX512 is the AVX-512 14×16 register tile (stride 16):
+// fourteen ZMM accumulator rows fed by embedded-broadcast FMAs, the
+// register-pressure-tuned shape (14 accumulators + 1 B vector + 1 spare of
+// the 32-register file, double that tile's working set would spill).
+//
+//go:noescape
+func microKernelAVX512(ap, bp *float32, kc int, t *kernTile)
+
+// microKernelAVX512BF16 is the low-precision 14×16 tile over bf16-storage
+// panels: packed uint16 lanes are widened to fp32 by a 16-bit left shift
+// (exact — bf16 is truncated fp32) and accumulated with the same FMAs as
+// the fp32 kernel.
+//
+//go:noescape
+func microKernelAVX512BF16(ap, bp *uint16, kc int, t *kernTile)
+
+// microKernelAVX512FP16 is the low-precision 14×16 tile over IEEE-half
+// storage panels, decoded through VCVTPH2PS (exact) with fp32 accumulation.
+//
+//go:noescape
+func microKernelAVX512FP16(ap, bp *uint16, kc int, t *kernTile)
+
+// dotAVX2 and dotAVX512 are the vectorized dot products behind MatVec and
+// the quant codecs' reductions: fixed lane-split accumulation (4 vector
+// accumulators, deterministic reduction tree), FMA inside a lane.
+//
+//go:noescape
+func dotAVX2(a, b *float32, n int) float32
+
+//go:noescape
+func dotAVX512(a, b *float32, n int) float32
+
+func microKernelSSEWrap(ap, bp []float32, kc int, t *kernTile) {
 	if kc == 0 {
-		*t = [MR * NR]float32{}
+		zeroTile(t, 4*8)
 		return
 	}
 	microKernelSSE(&ap[0], &bp[0], kc, t)
+}
+
+func microKernelAVX2Wrap(ap, bp []float32, kc int, t *kernTile) {
+	if kc == 0 {
+		zeroTile(t, 8*8)
+		return
+	}
+	microKernelAVX2(&ap[0], &bp[0], kc, t)
+}
+
+func microKernelAVX512Wrap(ap, bp []float32, kc int, t *kernTile) {
+	if kc == 0 {
+		zeroTile(t, 14*16)
+		return
+	}
+	microKernelAVX512(&ap[0], &bp[0], kc, t)
+}
+
+func microKernelBF16Wrap(ap, bp []uint16, kc int, t *kernTile) {
+	if kc == 0 {
+		zeroTile(t, 14*16)
+		return
+	}
+	microKernelAVX512BF16(&ap[0], &bp[0], kc, t)
+}
+
+func microKernelFP16Wrap(ap, bp []uint16, kc int, t *kernTile) {
+	if kc == 0 {
+		zeroTile(t, 14*16)
+		return
+	}
+	microKernelAVX512FP16(&ap[0], &bp[0], kc, t)
+}
+
+func dotAVX2Wrap(a, b []float32) float32 {
+	if len(a) == 0 {
+		return 0
+	}
+	return dotAVX2(&a[0], &b[0], len(a))
+}
+
+func dotAVX512Wrap(a, b []float32) float32 {
+	if len(a) == 0 {
+		return 0
+	}
+	return dotAVX512(&a[0], &b[0], len(a))
+}
+
+func zeroTile(t *kernTile, n int) {
+	for i := range t[:n] {
+		t[i] = 0
+	}
 }

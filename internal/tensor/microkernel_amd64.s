@@ -2,21 +2,26 @@
 
 #include "textflag.h"
 
-// func microKernelSSE(ap, bp *float32, kc int, t *[32]float32)
+// Assembly micro-kernels of the packed GEMM engine, one per dispatch tier
+// (see microkernel.go for the tier table and pack.go for the panel
+// layouts). Every kernel computes
 //
-// One MR×NR = 4×8 register tile of the packed GEMM:
+//	t[i*NR+j] = Σ_p ap[p*MR+i] · bp[p*NR+j]
 //
-//	t[i*8+j] = Σ_p ap[p*4+i] · bp[p*8+j]
+// for its tier's MR×NR register tile, with p strictly in order — the
+// per-element summation order is what the engine's determinism contract
+// hangs off. Panels are zero-padded by pack.go, so kernels always run the
+// full tile; kc ≥ 1 is guaranteed by the Go wrappers.
+
+// func microKernelSSE(ap, bp *float32, kc int, t *kernTile)
 //
-// ap is a packed A panel (MR floats per k step), bp a packed B panel (NR
-// floats per k step); both are produced by pack.go with zero padding, so the
-// kernel always runs the full tile. The eight accumulator rows live in
-// X0–X7 (two 4-lane registers per C row); each k step broadcasts one A
-// element per row and multiplies it against the two B vectors. Only
-// baseline SSE2 instructions are used (MOVUPS/SHUFPS/MULPS/ADDPS), which
-// every amd64 (GOAMD64=v1) guarantees, and multiply and add are separate
-// instructions — the same unfused float32 arithmetic, in the same p order,
-// as the portable microKernelGo, so the two are bit-identical.
+// The 4×8 SSE2 tile (stride 8). The eight accumulator rows live in X0–X7
+// (two 4-lane registers per C row); each k step broadcasts one A element
+// per row and multiplies it against the two B vectors. Only baseline SSE2
+// instructions are used (MOVUPS/SHUFPS/MULPS/ADDPS), which every amd64
+// (GOAMD64=v1) guarantees, and multiply and add are separate instructions —
+// the same unfused float32 arithmetic, in the same p order, as the portable
+// microKernelGo, so the two are bit-identical.
 TEXT ·microKernelSSE(SB), NOSPLIT, $0-32
 	MOVQ ap+0(FP), AX
 	MOVQ bp+8(FP), BX
@@ -32,10 +37,7 @@ TEXT ·microKernelSSE(SB), NOSPLIT, $0-32
 	XORPS X6, X6
 	XORPS X7, X7
 
-	TESTQ CX, CX
-	JZ    store
-
-loop:
+sseLoop:
 	MOVUPS (BX), X8     // B[p][0:4]
 	MOVUPS 16(BX), X9   // B[p][4:8]
 
@@ -74,9 +76,8 @@ loop:
 	ADDQ $16, AX
 	ADDQ $32, BX
 	DECQ CX
-	JNZ  loop
+	JNZ  sseLoop
 
-store:
 	MOVUPS X0, (DX)
 	MOVUPS X1, 16(DX)
 	MOVUPS X2, 32(DX)
@@ -85,4 +86,598 @@ store:
 	MOVUPS X5, 80(DX)
 	MOVUPS X6, 96(DX)
 	MOVUPS X7, 112(DX)
+	RET
+
+// func microKernelAVX2(ap, bp *float32, kc int, t *kernTile)
+//
+// The 8×8 AVX2+FMA tile (stride 8): one YMM accumulator per C row (Y0–Y7),
+// one B-row load and eight broadcast+FMA pairs per k step. Fused multiply-
+// add changes the rounding versus mul+add — this tier is ULP-bounded
+// against the reference, not bit-identical to the SSE2/portable pair, but
+// bit-deterministic within itself.
+TEXT ·microKernelAVX2(SB), NOSPLIT, $0-32
+	MOVQ ap+0(FP), AX
+	MOVQ bp+8(FP), BX
+	MOVQ kc+16(FP), CX
+	MOVQ t+24(FP), DX
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+avx2Loop:
+	VMOVUPS (BX), Y8      // B[p][0:8]
+
+	VBROADCASTSS (AX), Y9
+	VFMADD231PS  Y8, Y9, Y0
+	VBROADCASTSS 4(AX), Y9
+	VFMADD231PS  Y8, Y9, Y1
+	VBROADCASTSS 8(AX), Y9
+	VFMADD231PS  Y8, Y9, Y2
+	VBROADCASTSS 12(AX), Y9
+	VFMADD231PS  Y8, Y9, Y3
+	VBROADCASTSS 16(AX), Y9
+	VFMADD231PS  Y8, Y9, Y4
+	VBROADCASTSS 20(AX), Y9
+	VFMADD231PS  Y8, Y9, Y5
+	VBROADCASTSS 24(AX), Y9
+	VFMADD231PS  Y8, Y9, Y6
+	VBROADCASTSS 28(AX), Y9
+	VFMADD231PS  Y8, Y9, Y7
+
+	ADDQ $32, AX
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  avx2Loop
+
+	VMOVUPS Y0, (DX)
+	VMOVUPS Y1, 32(DX)
+	VMOVUPS Y2, 64(DX)
+	VMOVUPS Y3, 96(DX)
+	VMOVUPS Y4, 128(DX)
+	VMOVUPS Y5, 160(DX)
+	VMOVUPS Y6, 192(DX)
+	VMOVUPS Y7, 224(DX)
+	VZEROUPPER
+	RET
+
+// func microKernelAVX512(ap, bp *float32, kc int, t *kernTile)
+//
+// The 14×16 AVX-512 tile (stride 16): fourteen ZMM accumulator rows
+// (Z0–Z13), one B-row load into Z14, and one embedded-broadcast FMA per row
+// per k step — the broadcast rides inside the FMA's memory operand, so the
+// load ports retire one vector load plus fourteen 4-byte broadcasts per 448
+// FLOPs. 14×16 is the register-pressure sweet spot: 14 accumulators + the
+// B vector leave one ZMM spare, while a 16-row tile would evict B.
+TEXT ·microKernelAVX512(SB), NOSPLIT, $0-32
+	MOVQ ap+0(FP), AX
+	MOVQ bp+8(FP), BX
+	MOVQ kc+16(FP), CX
+	MOVQ t+24(FP), DX
+
+	VXORPS Z0, Z0, Z0
+	VXORPS Z1, Z1, Z1
+	VXORPS Z2, Z2, Z2
+	VXORPS Z3, Z3, Z3
+	VXORPS Z4, Z4, Z4
+	VXORPS Z5, Z5, Z5
+	VXORPS Z6, Z6, Z6
+	VXORPS Z7, Z7, Z7
+	VXORPS Z8, Z8, Z8
+	VXORPS Z9, Z9, Z9
+	VXORPS Z10, Z10, Z10
+	VXORPS Z11, Z11, Z11
+	VXORPS Z12, Z12, Z12
+	VXORPS Z13, Z13, Z13
+
+avx512Loop:
+	VMOVUPS (BX), Z14     // B[p][0:16]
+
+	VFMADD231PS.BCST (AX), Z14, Z0
+	VFMADD231PS.BCST 4(AX), Z14, Z1
+	VFMADD231PS.BCST 8(AX), Z14, Z2
+	VFMADD231PS.BCST 12(AX), Z14, Z3
+	VFMADD231PS.BCST 16(AX), Z14, Z4
+	VFMADD231PS.BCST 20(AX), Z14, Z5
+	VFMADD231PS.BCST 24(AX), Z14, Z6
+	VFMADD231PS.BCST 28(AX), Z14, Z7
+	VFMADD231PS.BCST 32(AX), Z14, Z8
+	VFMADD231PS.BCST 36(AX), Z14, Z9
+	VFMADD231PS.BCST 40(AX), Z14, Z10
+	VFMADD231PS.BCST 44(AX), Z14, Z11
+	VFMADD231PS.BCST 48(AX), Z14, Z12
+	VFMADD231PS.BCST 52(AX), Z14, Z13
+
+	ADDQ $56, AX
+	ADDQ $64, BX
+	DECQ CX
+	JNZ  avx512Loop
+
+	VMOVUPS Z0, (DX)
+	VMOVUPS Z1, 64(DX)
+	VMOVUPS Z2, 128(DX)
+	VMOVUPS Z3, 192(DX)
+	VMOVUPS Z4, 256(DX)
+	VMOVUPS Z5, 320(DX)
+	VMOVUPS Z6, 384(DX)
+	VMOVUPS Z7, 448(DX)
+	VMOVUPS Z8, 512(DX)
+	VMOVUPS Z9, 576(DX)
+	VMOVUPS Z10, 640(DX)
+	VMOVUPS Z11, 704(DX)
+	VMOVUPS Z12, 768(DX)
+	VMOVUPS Z13, 832(DX)
+	VZEROUPPER
+	RET
+
+// func microKernelAVX512BF16(ap, bp *uint16, kc int, t *kernTile)
+//
+// The 14×16 tile over bf16-storage panels. B's sixteen uint16 lanes are
+// widened to fp32 by zero-extend + 16-bit left shift (exact: bf16 is the
+// upper half of an fp32), A's element rides through a GPR with the same
+// shift and a dword broadcast. Accumulation is fp32 FMA in the same order
+// as the fp32 kernel.
+TEXT ·microKernelAVX512BF16(SB), NOSPLIT, $0-32
+	MOVQ ap+0(FP), AX
+	MOVQ bp+8(FP), BX
+	MOVQ kc+16(FP), CX
+	MOVQ t+24(FP), DX
+
+	VXORPS Z0, Z0, Z0
+	VXORPS Z1, Z1, Z1
+	VXORPS Z2, Z2, Z2
+	VXORPS Z3, Z3, Z3
+	VXORPS Z4, Z4, Z4
+	VXORPS Z5, Z5, Z5
+	VXORPS Z6, Z6, Z6
+	VXORPS Z7, Z7, Z7
+	VXORPS Z8, Z8, Z8
+	VXORPS Z9, Z9, Z9
+	VXORPS Z10, Z10, Z10
+	VXORPS Z11, Z11, Z11
+	VXORPS Z12, Z12, Z12
+	VXORPS Z13, Z13, Z13
+
+bf16Loop:
+	VPMOVZXWD (BX), Z14   // B[p][0:16] as dwords
+	VPSLLD    $16, Z14, Z14 // to the fp32 bit positions (exact)
+
+#define BF16ROW(off, acc) \
+	MOVWLZX      off(AX), R8 \
+	SHLL         $16, R8     \
+	VPBROADCASTD R8, Z15     \
+	VFMADD231PS  Z14, Z15, acc
+
+	BF16ROW(0, Z0)
+	BF16ROW(2, Z1)
+	BF16ROW(4, Z2)
+	BF16ROW(6, Z3)
+	BF16ROW(8, Z4)
+	BF16ROW(10, Z5)
+	BF16ROW(12, Z6)
+	BF16ROW(14, Z7)
+	BF16ROW(16, Z8)
+	BF16ROW(18, Z9)
+	BF16ROW(20, Z10)
+	BF16ROW(22, Z11)
+	BF16ROW(24, Z12)
+	BF16ROW(26, Z13)
+
+#undef BF16ROW
+
+	ADDQ $28, AX
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  bf16Loop
+
+	VMOVUPS Z0, (DX)
+	VMOVUPS Z1, 64(DX)
+	VMOVUPS Z2, 128(DX)
+	VMOVUPS Z3, 192(DX)
+	VMOVUPS Z4, 256(DX)
+	VMOVUPS Z5, 320(DX)
+	VMOVUPS Z6, 384(DX)
+	VMOVUPS Z7, 448(DX)
+	VMOVUPS Z8, 512(DX)
+	VMOVUPS Z9, 576(DX)
+	VMOVUPS Z10, 640(DX)
+	VMOVUPS Z11, 704(DX)
+	VMOVUPS Z12, 768(DX)
+	VMOVUPS Z13, 832(DX)
+	VZEROUPPER
+	RET
+
+// func microKernelAVX512FP16(ap, bp *uint16, kc int, t *kernTile)
+//
+// The 14×16 tile over IEEE-half storage panels, decoded through VCVTPH2PS
+// (half→single is exact, subnormals included) with fp32 FMA accumulation.
+TEXT ·microKernelAVX512FP16(SB), NOSPLIT, $0-32
+	MOVQ ap+0(FP), AX
+	MOVQ bp+8(FP), BX
+	MOVQ kc+16(FP), CX
+	MOVQ t+24(FP), DX
+
+	VXORPS Z0, Z0, Z0
+	VXORPS Z1, Z1, Z1
+	VXORPS Z2, Z2, Z2
+	VXORPS Z3, Z3, Z3
+	VXORPS Z4, Z4, Z4
+	VXORPS Z5, Z5, Z5
+	VXORPS Z6, Z6, Z6
+	VXORPS Z7, Z7, Z7
+	VXORPS Z8, Z8, Z8
+	VXORPS Z9, Z9, Z9
+	VXORPS Z10, Z10, Z10
+	VXORPS Z11, Z11, Z11
+	VXORPS Z12, Z12, Z12
+	VXORPS Z13, Z13, Z13
+
+fp16Loop:
+	VCVTPH2PS (BX), Z14   // B[p][0:16] halves → fp32
+
+#define FP16ROW(off, acc) \
+	MOVWLZX      off(AX), R8 \
+	MOVQ         R8, X15     \
+	VCVTPH2PS    X15, X15    \
+	VBROADCASTSS X15, Z15    \
+	VFMADD231PS  Z14, Z15, acc
+
+	FP16ROW(0, Z0)
+	FP16ROW(2, Z1)
+	FP16ROW(4, Z2)
+	FP16ROW(6, Z3)
+	FP16ROW(8, Z4)
+	FP16ROW(10, Z5)
+	FP16ROW(12, Z6)
+	FP16ROW(14, Z7)
+	FP16ROW(16, Z8)
+	FP16ROW(18, Z9)
+	FP16ROW(20, Z10)
+	FP16ROW(22, Z11)
+	FP16ROW(24, Z12)
+	FP16ROW(26, Z13)
+
+#undef FP16ROW
+
+	ADDQ $28, AX
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  fp16Loop
+
+	VMOVUPS Z0, (DX)
+	VMOVUPS Z1, 64(DX)
+	VMOVUPS Z2, 128(DX)
+	VMOVUPS Z3, 192(DX)
+	VMOVUPS Z4, 256(DX)
+	VMOVUPS Z5, 320(DX)
+	VMOVUPS Z6, 384(DX)
+	VMOVUPS Z7, 448(DX)
+	VMOVUPS Z8, 512(DX)
+	VMOVUPS Z9, 576(DX)
+	VMOVUPS Z10, 640(DX)
+	VMOVUPS Z11, 704(DX)
+	VMOVUPS Z12, 768(DX)
+	VMOVUPS Z13, 832(DX)
+	VZEROUPPER
+	RET
+
+// func dotAVX2(a, b *float32, n int) float32
+//
+// Four independent YMM accumulator chains (32 elements per step), FMA
+// inside a lane, fixed reduction tree (0+1, 2+3, +, 8→4→1), scalar FMA
+// tail. The lane split is fixed, so the result is a deterministic function
+// of the input — different from the scalar dotUnroll order, which is fine:
+// dot consumers are tier-deterministic, not cross-tier-identical.
+TEXT ·dotAVX2(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), AX
+	MOVQ b+8(FP), BX
+	MOVQ n+16(FP), CX
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+
+	CMPQ CX, $32
+	JL   dotAVX2Blk8
+
+dotAVX2Loop32:
+	VMOVUPS     (AX), Y4
+	VFMADD231PS (BX), Y4, Y0
+	VMOVUPS     32(AX), Y5
+	VFMADD231PS 32(BX), Y5, Y1
+	VMOVUPS     64(AX), Y6
+	VFMADD231PS 64(BX), Y6, Y2
+	VMOVUPS     96(AX), Y7
+	VFMADD231PS 96(BX), Y7, Y3
+	ADDQ        $128, AX
+	ADDQ        $128, BX
+	SUBQ        $32, CX
+	CMPQ        CX, $32
+	JGE         dotAVX2Loop32
+
+dotAVX2Blk8:
+	CMPQ CX, $8
+	JL   dotAVX2Reduce
+	VMOVUPS     (AX), Y4
+	VFMADD231PS (BX), Y4, Y0
+	ADDQ        $32, AX
+	ADDQ        $32, BX
+	SUBQ        $8, CX
+	JMP         dotAVX2Blk8
+
+dotAVX2Reduce:
+	VADDPS       Y1, Y0, Y0
+	VADDPS       Y3, Y2, Y2
+	VADDPS       Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+
+	TESTQ CX, CX
+	JZ    dotAVX2Done
+
+dotAVX2Tail:
+	VMOVSS      (AX), X2
+	VFMADD231SS (BX), X2, X0
+	ADDQ        $4, AX
+	ADDQ        $4, BX
+	DECQ        CX
+	JNZ         dotAVX2Tail
+
+dotAVX2Done:
+	VMOVSS X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func dotAVX512(a, b *float32, n int) float32
+//
+// As dotAVX2 with four ZMM chains (64 elements per step) and a 16→8→4→1
+// reduction.
+TEXT ·dotAVX512(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), AX
+	MOVQ b+8(FP), BX
+	MOVQ n+16(FP), CX
+
+	VXORPS Z0, Z0, Z0
+	VXORPS Z1, Z1, Z1
+	VXORPS Z2, Z2, Z2
+	VXORPS Z3, Z3, Z3
+
+	CMPQ CX, $64
+	JL   dotAVX512Blk16
+
+dotAVX512Loop64:
+	VMOVUPS     (AX), Z4
+	VFMADD231PS (BX), Z4, Z0
+	VMOVUPS     64(AX), Z5
+	VFMADD231PS 64(BX), Z5, Z1
+	VMOVUPS     128(AX), Z6
+	VFMADD231PS 128(BX), Z6, Z2
+	VMOVUPS     192(AX), Z7
+	VFMADD231PS 192(BX), Z7, Z3
+	ADDQ        $256, AX
+	ADDQ        $256, BX
+	SUBQ        $64, CX
+	CMPQ        CX, $64
+	JGE         dotAVX512Loop64
+
+dotAVX512Blk16:
+	CMPQ CX, $16
+	JL   dotAVX512Reduce
+	VMOVUPS     (AX), Z4
+	VFMADD231PS (BX), Z4, Z0
+	ADDQ        $64, AX
+	ADDQ        $64, BX
+	SUBQ        $16, CX
+	JMP         dotAVX512Blk16
+
+dotAVX512Reduce:
+	VADDPS        Z1, Z0, Z0
+	VADDPS        Z3, Z2, Z2
+	VADDPS        Z2, Z0, Z0
+	VEXTRACTF64X4 $1, Z0, Y1
+	VADDPS        Y1, Y0, Y0
+	VEXTRACTF128  $1, Y0, X1
+	VADDPS        X1, X0, X0
+	VHADDPS       X0, X0, X0
+	VHADDPS       X0, X0, X0
+
+	TESTQ CX, CX
+	JZ    dotAVX512Done
+
+dotAVX512Tail:
+	VMOVSS      (AX), X2
+	VFMADD231SS (BX), X2, X0
+	ADDQ        $4, AX
+	ADDQ        $4, BX
+	DECQ        CX
+	JNZ         dotAVX512Tail
+
+dotAVX512Done:
+	VMOVSS X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func minMaxAVX2(x *float32, n int, out *[8]float32)
+//
+// One-pass vector min/max for n ≥ 8: 8-lane accumulators, the ragged tail
+// re-reads the last full 8-lane block (overlap is harmless — min/max are
+// idempotent). The 8 partial minima land in out[0:4]+out[4:8]-reduced form:
+// out[0:4] = 4-lane minima, out[4:8] = 4-lane maxima; the Go wrapper
+// finishes the scalar reduction. Exact: min/max are order-independent.
+TEXT ·minMaxAVX2(SB), NOSPLIT, $0-24
+	MOVQ x+0(FP), AX
+	MOVQ n+8(FP), CX
+	MOVQ out+16(FP), DX
+
+	VMOVUPS (AX), Y0      // running min
+	VMOVAPS Y0, Y1        // running max
+	LEAQ    -32(AX)(CX*4), BX // address of the last full 8-lane block
+	ADDQ    $32, AX
+	SUBQ    $8, CX
+
+minMaxAVX2Loop:
+	CMPQ CX, $8
+	JL   minMaxAVX2Tail
+	VMOVUPS (AX), Y2
+	VMINPS  Y2, Y0, Y0
+	VMAXPS  Y2, Y1, Y1
+	ADDQ    $32, AX
+	SUBQ    $8, CX
+	JMP     minMaxAVX2Loop
+
+minMaxAVX2Tail:
+	TESTQ CX, CX
+	JZ    minMaxAVX2Reduce
+	VMOVUPS (BX), Y2      // overlapped last block
+	VMINPS  Y2, Y0, Y0
+	VMAXPS  Y2, Y1, Y1
+
+minMaxAVX2Reduce:
+	VEXTRACTF128 $1, Y0, X2
+	VMINPS       X2, X0, X0
+	VEXTRACTF128 $1, Y1, X2
+	VMAXPS       X2, X1, X1
+	VMOVUPS      X0, (DX)
+	VMOVUPS      X1, 16(DX)
+	VZEROUPPER
+	RET
+
+// func minMaxAVX512(x *float32, n int, out *[8]float32)
+//
+// As minMaxAVX2 with 16-lane accumulators, for n ≥ 16.
+TEXT ·minMaxAVX512(SB), NOSPLIT, $0-24
+	MOVQ x+0(FP), AX
+	MOVQ n+8(FP), CX
+	MOVQ out+16(FP), DX
+
+	VMOVUPS (AX), Z0
+	VMOVAPS Z0, Z1
+	LEAQ    -64(AX)(CX*4), BX
+	ADDQ    $64, AX
+	SUBQ    $16, CX
+
+minMaxAVX512Loop:
+	CMPQ CX, $16
+	JL   minMaxAVX512Tail
+	VMOVUPS (AX), Z2
+	VMINPS  Z2, Z0, Z0
+	VMAXPS  Z2, Z1, Z1
+	ADDQ    $64, AX
+	SUBQ    $16, CX
+	JMP     minMaxAVX512Loop
+
+minMaxAVX512Tail:
+	TESTQ CX, CX
+	JZ    minMaxAVX512Reduce
+	VMOVUPS (BX), Z2
+	VMINPS  Z2, Z0, Z0
+	VMAXPS  Z2, Z1, Z1
+
+minMaxAVX512Reduce:
+	VEXTRACTF64X4 $1, Z0, Y2
+	VMINPS        Y2, Y0, Y0
+	VEXTRACTF64X4 $1, Z1, Y2
+	VMAXPS        Y2, Y1, Y1
+	VEXTRACTF128  $1, Y0, X2
+	VMINPS        X2, X0, X0
+	VEXTRACTF128  $1, Y1, X2
+	VMAXPS        X2, X1, X1
+	VMOVUPS       X0, (DX)
+	VMOVUPS       X1, 16(DX)
+	VZEROUPPER
+	RET
+
+// func quantize8AVX2(v, out *float32, n int, lo, scale, inv float32)
+//
+// The Uniform8 quantize-reconstruct map, 8 lanes at a time with the exact
+// unfused operation sequence of the scalar loop — subtract, multiply, add
+// 0.5, truncate to int32, clamp to [0,255], convert back, multiply, add —
+// so the vector path is bit-identical to the Go one. The ragged tail is
+// handled by the Go wrapper.
+TEXT ·quantize8AVX2(SB), NOSPLIT, $0-36
+	MOVQ v+0(FP), AX
+	MOVQ out+8(FP), BX
+	MOVQ n+16(FP), CX
+
+	VBROADCASTSS lo+24(FP), Y7
+	VBROADCASTSS scale+28(FP), Y6
+	VBROADCASTSS inv+32(FP), Y5
+	MOVL         $0x3F000000, R8 // 0.5f
+	MOVQ         R8, X4
+	VBROADCASTSS X4, Y4
+	MOVL         $255, R8
+	MOVQ         R8, X3
+	VPBROADCASTD X3, Y3
+	VPXOR        Y2, Y2, Y2
+
+quantize8AVX2Loop:
+	CMPQ CX, $8
+	JL   quantize8AVX2Done
+	VMOVUPS     (AX), Y0
+	VSUBPS      Y7, Y0, Y0    // x - lo
+	VMULPS      Y5, Y0, Y0    // · inv
+	VADDPS      Y4, Y0, Y0    // + 0.5
+	VCVTTPS2DQ  Y0, Y0        // truncate toward zero, as Go's int32()
+	VPMAXSD     Y2, Y0, Y0    // clamp low
+	VPMINSD     Y3, Y0, Y0    // clamp high
+	VCVTDQ2PS   Y0, Y0
+	VMULPS      Y6, Y0, Y0    // · scale
+	VADDPS      Y7, Y0, Y0    // + lo
+	VMOVUPS     Y0, (BX)
+	ADDQ        $32, AX
+	ADDQ        $32, BX
+	SUBQ        $8, CX
+	JMP         quantize8AVX2Loop
+
+quantize8AVX2Done:
+	VZEROUPPER
+	RET
+
+// func quantize8AVX512(v, out *float32, n int, lo, scale, inv float32)
+//
+// As quantize8AVX2 with 16 lanes.
+TEXT ·quantize8AVX512(SB), NOSPLIT, $0-36
+	MOVQ v+0(FP), AX
+	MOVQ out+8(FP), BX
+	MOVQ n+16(FP), CX
+
+	VBROADCASTSS lo+24(FP), Z7
+	VBROADCASTSS scale+28(FP), Z6
+	VBROADCASTSS inv+32(FP), Z5
+	MOVL         $0x3F000000, R8
+	MOVQ         R8, X4
+	VBROADCASTSS X4, Z4
+	MOVL         $255, R8
+	VPBROADCASTD R8, Z3
+	VPXORQ       Z2, Z2, Z2
+
+quantize8AVX512Loop:
+	CMPQ CX, $16
+	JL   quantize8AVX512Done
+	VMOVUPS     (AX), Z0
+	VSUBPS      Z7, Z0, Z0
+	VMULPS      Z5, Z0, Z0
+	VADDPS      Z4, Z0, Z0
+	VCVTTPS2DQ  Z0, Z0
+	VPMAXSD     Z2, Z0, Z0
+	VPMINSD     Z3, Z0, Z0
+	VCVTDQ2PS   Z0, Z0
+	VMULPS      Z6, Z0, Z0
+	VADDPS      Z7, Z0, Z0
+	VMOVUPS     Z0, (BX)
+	ADDQ        $64, AX
+	ADDQ        $64, BX
+	SUBQ        $16, CX
+	JMP         quantize8AVX512Loop
+
+quantize8AVX512Done:
+	VZEROUPPER
 	RET

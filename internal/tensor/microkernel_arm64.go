@@ -1,0 +1,27 @@
+//go:build arm64
+
+package tensor
+
+// Go-side wrapper of the arm64 NEON micro-kernel (microkernel_arm64.s).
+
+// microKernelNEON is the NEON 8×8 register tile (stride 8): sixteen 4-lane
+// V-register accumulators (two per output row), fed per k step by one
+// 8-float B row and eight lane-broadcast A elements through fused
+// multiply-adds (FMLA).
+//
+//go:noescape
+func microKernelNEON(ap, bp *float32, kc int, t *kernTile)
+
+func microKernelNEONWrap(ap, bp []float32, kc int, t *kernTile) {
+	if kc == 0 {
+		zeroTile(t, 8*8)
+		return
+	}
+	microKernelNEON(&ap[0], &bp[0], kc, t)
+}
+
+func zeroTile(t *kernTile, n int) {
+	for i := range t[:n] {
+		t[i] = 0
+	}
+}

@@ -1,0 +1,79 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// NEON 8×8 micro-kernel: t[0:8][0:8] = Σ_p ap[p*8+i]·bp[p*8+j], stored
+// row-major at stride 8 into the kernTile buffer.
+//
+// Register plan: V0–V15 hold the 8×8 accumulator tile, two 4-lane registers
+// per output row (row i = V(2i) | V(2i+1)). Each k step loads the 8-float B
+// row into V20:V21 and the 8-float A column into V22:V23, then broadcasts
+// each A element across a vector (VDUP by lane) and issues two FMLAs per
+// row. FMLA is a fused multiply-add, so this tier is ULP-bounded against the
+// portable mul+add reference rather than bit-identical (see doc.go).
+
+// func microKernelNEON(ap, bp *float32, kc int, t *kernTile)
+TEXT ·microKernelNEON(SB), NOSPLIT, $0-32
+	MOVD ap+0(FP), R0
+	MOVD bp+8(FP), R1
+	MOVD kc+16(FP), R2
+	MOVD t+24(FP), R3
+
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	VEOR V4.B16, V4.B16, V4.B16
+	VEOR V5.B16, V5.B16, V5.B16
+	VEOR V6.B16, V6.B16, V6.B16
+	VEOR V7.B16, V7.B16, V7.B16
+	VEOR V8.B16, V8.B16, V8.B16
+	VEOR V9.B16, V9.B16, V9.B16
+	VEOR V10.B16, V10.B16, V10.B16
+	VEOR V11.B16, V11.B16, V11.B16
+	VEOR V12.B16, V12.B16, V12.B16
+	VEOR V13.B16, V13.B16, V13.B16
+	VEOR V14.B16, V14.B16, V14.B16
+	VEOR V15.B16, V15.B16, V15.B16
+
+neonLoop:
+	VLD1.P 32(R1), [V20.S4, V21.S4] // B row: bp[p*8 .. p*8+7]
+	VLD1.P 32(R0), [V22.S4, V23.S4] // A col: ap[p*8 .. p*8+7]
+
+	VDUP  V22.S[0], V24.S4
+	VFMLA V20.S4, V24.S4, V0.S4
+	VFMLA V21.S4, V24.S4, V1.S4
+	VDUP  V22.S[1], V25.S4
+	VFMLA V20.S4, V25.S4, V2.S4
+	VFMLA V21.S4, V25.S4, V3.S4
+	VDUP  V22.S[2], V24.S4
+	VFMLA V20.S4, V24.S4, V4.S4
+	VFMLA V21.S4, V24.S4, V5.S4
+	VDUP  V22.S[3], V25.S4
+	VFMLA V20.S4, V25.S4, V6.S4
+	VFMLA V21.S4, V25.S4, V7.S4
+	VDUP  V23.S[0], V24.S4
+	VFMLA V20.S4, V24.S4, V8.S4
+	VFMLA V21.S4, V24.S4, V9.S4
+	VDUP  V23.S[1], V25.S4
+	VFMLA V20.S4, V25.S4, V10.S4
+	VFMLA V21.S4, V25.S4, V11.S4
+	VDUP  V23.S[2], V24.S4
+	VFMLA V20.S4, V24.S4, V12.S4
+	VFMLA V21.S4, V24.S4, V13.S4
+	VDUP  V23.S[3], V25.S4
+	VFMLA V20.S4, V25.S4, V14.S4
+	VFMLA V21.S4, V25.S4, V15.S4
+
+	SUBS $1, R2, R2
+	BNE  neonLoop
+
+	VST1.P [V0.S4, V1.S4], 32(R3)
+	VST1.P [V2.S4, V3.S4], 32(R3)
+	VST1.P [V4.S4, V5.S4], 32(R3)
+	VST1.P [V6.S4, V7.S4], 32(R3)
+	VST1.P [V8.S4, V9.S4], 32(R3)
+	VST1.P [V10.S4, V11.S4], 32(R3)
+	VST1.P [V12.S4, V13.S4], 32(R3)
+	VST1.P [V14.S4, V15.S4], 32(R3)
+	RET

@@ -1,13 +1,9 @@
-//go:build !amd64
+//go:build !amd64 && !arm64
 
 package tensor
 
-// microKernel falls back to the portable register-tiled kernel on
-// architectures without an assembly implementation.
-func microKernel(ap, bp []float32, kc int, t *[MR * NR]float32) {
-	if kc == 0 {
-		*t = [MR * NR]float32{}
-		return
-	}
-	microKernelGo(ap, bp, kc, t)
+// detectKernels on architectures without assembly micro-kernels: only the
+// portable generic tier exists, so dispatch collapses to it.
+func detectKernels() []*kernel {
+	return []*kernel{genericKernel()}
 }

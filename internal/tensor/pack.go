@@ -5,28 +5,33 @@ package tensor
 // nothing extra: MatMulTransA passes (1, m) instead of (k, 1) and the
 // transposition is absorbed while the panel is being laid out — the
 // micro-kernel only ever sees the one canonical panel format. Ragged edges
-// are zero-padded up to MR/NR so the micro-kernel always runs a full
-// register tile; the padding lanes contribute exact zeros and are simply not
-// stored back.
+// are zero-padded up to the tier's MR/NR so the micro-kernel always runs a
+// full register tile; the padding lanes contribute exact zeros and are
+// simply not stored back.
+//
+// The panel geometry (mr, nr) is a parameter — each kernel tier packs for
+// its own register tile — and each packer has a uint16 twin that encodes
+// elements to bf16 or IEEE half on the way in (lowprec.go), halving the
+// pack-buffer footprint for the low-precision compute path.
 
 // packA packs the mc×kc block of the logical m×k matrix A starting at
-// (i0, p0) into MR-row panels: dst[t*MR*kc + p*MR + i] holds logical
-// A[i0+t*MR+i][p0+p]. Element (i, p) of the logical matrix lives at
+// (i0, p0) into mr-row panels: dst[t*mr*kc + p*mr + i] holds logical
+// A[i0+t*mr+i][p0+p]. Element (i, p) of the logical matrix lives at
 // a[i*rs + p*cs]. Rows past mc are zero-filled.
-func packA(dst, a []float32, rs, cs, i0, p0, mc, kc int) {
-	for t := 0; t*MR < mc; t++ {
-		panel := dst[t*MR*kc:][: MR*kc : MR*kc]
-		rows := mc - t*MR
-		if rows > MR {
-			rows = MR
+func packA(dst, a []float32, rs, cs, i0, p0, mc, kc, mr int) {
+	for t := 0; t*mr < mc; t++ {
+		panel := dst[t*mr*kc:][: mr*kc : mr*kc]
+		rows := mc - t*mr
+		if rows > mr {
+			rows = mr
 		}
-		base := (i0+t*MR)*rs + p0*cs
+		base := (i0+t*mr)*rs + p0*cs
 		if cs == 1 {
 			// Row-major source: each logical row is contiguous in p.
 			for i := 0; i < rows; i++ {
 				src := a[base+i*rs:][:kc]
 				for p, v := range src {
-					panel[p*MR+i] = v
+					panel[p*mr+i] = v
 				}
 			}
 		} else {
@@ -34,41 +39,41 @@ func packA(dst, a []float32, rs, cs, i0, p0, mc, kc int) {
 			for p := 0; p < kc; p++ {
 				src := a[base+p*cs:][:rows]
 				for i, v := range src {
-					panel[p*MR+i] = v
+					panel[p*mr+i] = v
 				}
 			}
 		}
-		for i := rows; i < MR; i++ {
+		for i := rows; i < mr; i++ {
 			for p := 0; p < kc; p++ {
-				panel[p*MR+i] = 0
+				panel[p*mr+i] = 0
 			}
 		}
 	}
 }
 
 // packB packs the kc×nc block of the logical k×n matrix B starting at
-// (p0, j0) into NR-column panels: dst[u*NR*kc + p*NR + j] holds logical
-// B[p0+p][j0+u*NR+j]. Element (p, j) lives at b[p*rs + j*cs]. Columns past
+// (p0, j0) into nr-column panels: dst[u*nr*kc + p*nr + j] holds logical
+// B[p0+p][j0+u*nr+j]. Element (p, j) lives at b[p*rs + j*cs]. Columns past
 // nc are zero-filled.
-func packB(dst, b []float32, rs, cs, p0, j0, nc, kc int) {
-	for u := 0; u*NR < nc; u++ {
-		panel := dst[u*NR*kc:][: NR*kc : NR*kc]
-		cols := nc - u*NR
-		if cols > NR {
-			cols = NR
+func packB(dst, b []float32, rs, cs, p0, j0, nc, kc, nr int) {
+	for u := 0; u*nr < nc; u++ {
+		panel := dst[u*nr*kc:][: nr*kc : nr*kc]
+		cols := nc - u*nr
+		if cols > nr {
+			cols = nr
 		}
-		base := p0*rs + (j0+u*NR)*cs
+		base := p0*rs + (j0+u*nr)*cs
 		if cs == 1 {
-			// Row-major source: NR consecutive columns per k step.
-			if cols == NR {
+			// Row-major source: nr consecutive columns per k step.
+			if cols == nr {
 				for p := 0; p < kc; p++ {
-					copy(panel[p*NR:p*NR+NR], b[base+p*rs:][:NR])
+					copy(panel[p*nr:p*nr+nr], b[base+p*rs:][:nr])
 				}
 			} else {
 				for p := 0; p < kc; p++ {
-					row := panel[p*NR : p*NR+NR]
+					row := panel[p*nr : p*nr+nr]
 					n := copy(row, b[base+p*rs:][:cols])
-					for j := n; j < NR; j++ {
+					for j := n; j < nr; j++ {
 						row[j] = 0
 					}
 				}
@@ -78,12 +83,82 @@ func packB(dst, b []float32, rs, cs, p0, j0, nc, kc int) {
 			for j := 0; j < cols; j++ {
 				src := b[base+j*cs:][:kc]
 				for p, v := range src {
-					panel[p*NR+j] = v
+					panel[p*nr+j] = v
 				}
 			}
-			for j := cols; j < NR; j++ {
+			for j := cols; j < nr; j++ {
 				for p := 0; p < kc; p++ {
-					panel[p*NR+j] = 0
+					panel[p*nr+j] = 0
+				}
+			}
+		}
+	}
+}
+
+// packA16 is packA with on-the-fly narrowing: each element is encoded (bf16
+// or IEEE half via enc) as it is laid into the panel. Zero padding encodes
+// to bit pattern 0 in both formats, so the pad lanes stay exact zeros.
+func packA16(dst []uint16, a []float32, rs, cs, i0, p0, mc, kc, mr int, enc func(float32) uint16) {
+	for t := 0; t*mr < mc; t++ {
+		panel := dst[t*mr*kc:][: mr*kc : mr*kc]
+		rows := mc - t*mr
+		if rows > mr {
+			rows = mr
+		}
+		base := (i0+t*mr)*rs + p0*cs
+		if cs == 1 {
+			for i := 0; i < rows; i++ {
+				src := a[base+i*rs:][:kc]
+				for p, v := range src {
+					panel[p*mr+i] = enc(v)
+				}
+			}
+		} else {
+			for p := 0; p < kc; p++ {
+				src := a[base+p*cs:][:rows]
+				for i, v := range src {
+					panel[p*mr+i] = enc(v)
+				}
+			}
+		}
+		for i := rows; i < mr; i++ {
+			for p := 0; p < kc; p++ {
+				panel[p*mr+i] = 0
+			}
+		}
+	}
+}
+
+// packB16 is packB with on-the-fly narrowing via enc.
+func packB16(dst []uint16, b []float32, rs, cs, p0, j0, nc, kc, nr int, enc func(float32) uint16) {
+	for u := 0; u*nr < nc; u++ {
+		panel := dst[u*nr*kc:][: nr*kc : nr*kc]
+		cols := nc - u*nr
+		if cols > nr {
+			cols = nr
+		}
+		base := p0*rs + (j0+u*nr)*cs
+		if cs == 1 {
+			for p := 0; p < kc; p++ {
+				row := panel[p*nr : p*nr+nr]
+				src := b[base+p*rs:][:cols]
+				for j, v := range src {
+					row[j] = enc(v)
+				}
+				for j := cols; j < nr; j++ {
+					row[j] = 0
+				}
+			}
+		} else {
+			for j := 0; j < cols; j++ {
+				src := b[base+j*cs:][:kc]
+				for p, v := range src {
+					panel[p*nr+j] = enc(v)
+				}
+			}
+			for j := cols; j < nr; j++ {
+				for p := 0; p < kc; p++ {
+					panel[p*nr+j] = 0
 				}
 			}
 		}

@@ -1,14 +1,3 @@
-// Package tensor implements the dense float32 tensor and BLAS-like kernels
-// that every other package in this repository builds on. It is the stand-in
-// for the cuBLAS/cuDNN/MKL substrate used by the paper: shapes are dense and
-// row-major, and every matrix product funnels into one packed,
-// register-tiled GEMM engine (gemm.go, pack.go, microkernel.go) built on
-// the BLIS blocking hierarchy — MC/KC/NC cache blocks around an MR×NR
-// register tile, with operand transposition absorbed at pack time and an
-// SSE2 micro-kernel on amd64. The engine's fan-out partitions only output
-// rows, so every element keeps a fixed k-ordered summation and results are
-// bit-deterministic across pool widths, scheduling and serial mode —
-// distributed-training runs stay reproducible.
 package tensor
 
 import (

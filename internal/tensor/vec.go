@@ -1,0 +1,70 @@
+package tensor
+
+// Vectorized straggler kernels behind the same feature gate as the GEMM
+// tiers: the dot product driving MatVec and the reduction/map loops of
+// internal/quant's Uniform8 codec. Each has a portable Go form; the AVX2
+// and AVX-512 tiers substitute assembly (microkernel_amd64.s) that is
+// bit-identical where the operation is order-independent (min/max, the
+// element-wise quantize map) and tier-deterministic where it is not (dot).
+
+// Dot returns the dot product of equal-length vectors through the active
+// tier's kernel: a fixed lane-split accumulation, deterministic per tier
+// (the FMA tiers fuse multiply-add and split lanes wider than the portable
+// unroll, so values may differ across tiers within normal rounding).
+func Dot32(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("tensor: Dot32 length mismatch")
+	}
+	return active.dot(a, b)
+}
+
+// MinMax returns the minimum and maximum of x in one pass. Results are
+// bit-identical across tiers — min/max are order-independent — and x must
+// be non-empty.
+func MinMax(x []float32) (lo, hi float32) {
+	if len(x) == 0 {
+		panic("tensor: MinMax of empty vector")
+	}
+	return active.minMax(x)
+}
+
+// QuantizeUniform8 maps v onto the 256 uniform levels lo + k·scale,
+// k = clamp(round((v[i]-lo)·inv), 0, 255), writing reconstructions into
+// out (which may alias v). inv is the caller's precomputed 1/scale — the
+// quant codec derives it once per vector. The operation sequence is fixed
+// and element-wise, so every tier produces bit-identical output.
+func QuantizeUniform8(v, out []float32, lo, scale, inv float32) {
+	if len(out) != len(v) {
+		panic("tensor: QuantizeUniform8 length mismatch")
+	}
+	active.quant8(v, out, lo, scale, inv)
+}
+
+// minMaxGo is the scalar min/max reduction.
+func minMaxGo(x []float32) (lo, hi float32) {
+	lo, hi = x[0], x[0]
+	for _, v := range x {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// quantize8Go is the scalar quantize-reconstruct map and the bitwise
+// reference for the assembly forms: subtract, scale, +0.5, truncate, clamp,
+// rescale — all unfused.
+func quantize8Go(v, out []float32, lo, scale, inv float32) {
+	for i, x := range v {
+		level := int32((x-lo)*inv + 0.5)
+		if level < 0 {
+			level = 0
+		} else if level > 255 {
+			level = 255
+		}
+		out[i] = lo + float32(level)*scale
+	}
+}

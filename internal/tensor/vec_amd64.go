@@ -1,0 +1,73 @@
+//go:build amd64
+
+package tensor
+
+// Wrappers for the amd64 vector-helper assembly (microkernel_amd64.s): the
+// one-pass min/max reduction and the Uniform8 quantize map. Both asm forms
+// process full vector blocks only; short inputs and ragged tails fall back
+// to the scalar Go forms, which are bit-identical (min/max are order-free,
+// the quantize map is element-wise with the same unfused op sequence).
+
+// minMaxAVX2 reduces n ≥ 8 elements to 4-lane partial minima (out[0:4]) and
+// maxima (out[4:8]).
+//
+//go:noescape
+func minMaxAVX2(x *float32, n int, out *[8]float32)
+
+// minMaxAVX512 is minMaxAVX2 for n ≥ 16 with 16-lane accumulators.
+//
+//go:noescape
+func minMaxAVX512(x *float32, n int, out *[8]float32)
+
+//go:noescape
+func quantize8AVX2(v, out *float32, n int, lo, scale, inv float32)
+
+//go:noescape
+func quantize8AVX512(v, out *float32, n int, lo, scale, inv float32)
+
+func minMaxAVX2Wrap(x []float32) (lo, hi float32) {
+	if len(x) < 8 {
+		return minMaxGo(x)
+	}
+	var out [8]float32
+	minMaxAVX2(&x[0], len(x), &out)
+	return reduceMinMax4(&out)
+}
+
+func minMaxAVX512Wrap(x []float32) (lo, hi float32) {
+	if len(x) < 16 {
+		return minMaxGo(x)
+	}
+	var out [8]float32
+	minMaxAVX512(&x[0], len(x), &out)
+	return reduceMinMax4(&out)
+}
+
+func reduceMinMax4(out *[8]float32) (lo, hi float32) {
+	lo, hi = out[0], out[4]
+	for i := 1; i < 4; i++ {
+		if out[i] < lo {
+			lo = out[i]
+		}
+		if out[4+i] > hi {
+			hi = out[4+i]
+		}
+	}
+	return lo, hi
+}
+
+func quantize8AVX2Wrap(v, out []float32, lo, scale, inv float32) {
+	n := len(v) &^ 7
+	if n > 0 {
+		quantize8AVX2(&v[0], &out[0], n, lo, scale, inv)
+	}
+	quantize8Go(v[n:], out[n:], lo, scale, inv)
+}
+
+func quantize8AVX512Wrap(v, out []float32, lo, scale, inv float32) {
+	n := len(v) &^ 15
+	if n > 0 {
+		quantize8AVX512(&v[0], &out[0], n, lo, scale, inv)
+	}
+	quantize8Go(v[n:], out[n:], lo, scale, inv)
+}

@@ -1,0 +1,93 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMinMaxBitIdenticalAcrossTiers pins the cross-tier contract of the
+// vectorized reduction: min/max is order-independent, so every tier —
+// including the assembly forms with their overlapped ragged-tail reads —
+// must produce exactly the scalar answer, at every length around the vector
+// widths.
+func TestMinMaxBitIdenticalAcrossTiers(t *testing.T) {
+	g := NewRNG(52)
+	lengths := []int{1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 100, 1000, 1023}
+	for _, n := range lengths {
+		x := make([]float32, n)
+		g.FillNormal(x, 0, 1)
+		// Plant extremes off-lane to catch reduction mistakes.
+		x[g.Intn(n)] = -37.5
+		x[g.Intn(n)] = 41.25
+		wantLo, wantHi := minMaxGo(x)
+		forEachTier(t, func(t *testing.T) {
+			lo, hi := MinMax(x)
+			if lo != wantLo || hi != wantHi {
+				t.Errorf("n=%d: got (%v, %v) want (%v, %v)", n, lo, hi, wantLo, wantHi)
+			}
+		})
+	}
+}
+
+// TestQuantizeUniform8BitIdenticalAcrossTiers pins the element-wise map:
+// same unfused op sequence on every tier, so outputs are bit-identical to
+// the scalar reference, including clamp edges and the in-place (aliased)
+// form.
+func TestQuantizeUniform8BitIdenticalAcrossTiers(t *testing.T) {
+	g := NewRNG(53)
+	for _, n := range []int{1, 7, 8, 9, 16, 17, 33, 100, 1000} {
+		v := make([]float32, n)
+		g.FillNormal(v, 0, 2)
+		lo, hi := minMaxGo(v)
+		scale := (hi - lo) / 255
+		if scale == 0 {
+			continue
+		}
+		inv := 1 / scale
+		want := make([]float32, n)
+		quantize8Go(v, want, lo, scale, inv)
+		forEachTier(t, func(t *testing.T) {
+			out := make([]float32, n)
+			QuantizeUniform8(v, out, lo, scale, inv)
+			for i := range out {
+				if out[i] != want[i] {
+					t.Fatalf("n=%d elem %d: got %v want %v (in %v)", n, i, out[i], want[i], v[i])
+				}
+			}
+			// Aliased form: out == v.
+			vc := append([]float32(nil), v...)
+			QuantizeUniform8(vc, vc, lo, scale, inv)
+			for i := range vc {
+				if vc[i] != want[i] {
+					t.Fatalf("n=%d aliased elem %d: got %v want %v", n, i, vc[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDot32PerTier checks the dispatched dot product against a float64
+// reference on every tier (tier-deterministic, not cross-tier identical)
+// and pins within-tier determinism across repeated calls.
+func TestDot32PerTier(t *testing.T) {
+	g := NewRNG(54)
+	for _, n := range []int{0, 1, 3, 8, 16, 31, 32, 33, 64, 100, 1000} {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		g.FillNormal(a, 0, 1)
+		g.FillNormal(b, 0, 1)
+		var want float64
+		for i := range a {
+			want += float64(a[i]) * float64(b[i])
+		}
+		forEachTier(t, func(t *testing.T) {
+			got := Dot32(a, b)
+			if math.Abs(float64(got)-want) > 1e-4*math.Sqrt(float64(n)+1) {
+				t.Errorf("n=%d: got %v want %v", n, got, want)
+			}
+			if again := Dot32(a, b); again != got {
+				t.Errorf("n=%d: dot not deterministic within tier: %v vs %v", n, got, again)
+			}
+		})
+	}
+}

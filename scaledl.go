@@ -12,6 +12,7 @@ import (
 	"scaledl/internal/knl"
 	"scaledl/internal/nn"
 	"scaledl/internal/quant"
+	"scaledl/internal/tensor"
 )
 
 // Core distributed-training types, re-exported from the implementation.
@@ -239,6 +240,25 @@ const (
 	CompressNone   = quant.None
 	CompressOneBit = quant.OneBit
 	CompressUint8  = quant.Uniform8
+)
+
+// KernelTier reports the GEMM micro-kernel tier the process dispatched to at
+// startup from the CPU's feature set: "avx512", "avx2", "sse2", "neon" or
+// "generic". GODEBUG=cpu.<feature>=off downgrades it exactly like the Go
+// runtime's own dispatch. Benchmarks record this so numbers from different
+// tiers are never compared against each other.
+func KernelTier() string { return tensor.KernelTier() }
+
+// ComputePrecision selects the GEMM operand storage precision for
+// Config.ComputePrec: "fp32" (default), "bf16" or "fp16". Packed operand
+// panels are narrowed to the chosen format while accumulation stays fp32.
+type ComputePrecision = tensor.Precision
+
+// Compute precisions.
+const (
+	PrecFloat32  = tensor.Float32
+	PrecBFloat16 = tensor.BFloat16
+	PrecFloat16  = tensor.Float16
 )
 
 // KNLClusterConfig configures Algorithm 4 run as a real rank program over
