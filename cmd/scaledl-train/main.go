@@ -7,6 +7,7 @@
 //	scaledl-train -method sync-easgd3 -workers 4 -batch 32 -iters 100
 //	scaledl-train -method hogwild-easgd -dataset cifar -iters 200
 //	scaledl-train -method sync-sgd -overlap -bucket 8192 -schedule ring
+//	scaledl-train -method sync-sgd -comm-mode hybrid -verbose-comm
 //	scaledl-train -method hier-sync-sgd -nodes 4 -gpus-per-node 2 -hier-schedule rhd
 //	scaledl-train -method hier-sync-easgd -nodes 2 -gpus-per-node 4 -tau-local 2 -tau-global 8
 //	scaledl-train -method sync-easgd3 -straggler 1:4 -fail-at 50 -checkpoint-every 10
@@ -28,6 +29,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -58,6 +60,8 @@ func main() {
 		compress = flag.String("compress", "", "wire compression: fp32 (default), 1-bit or uint8")
 		prec     = flag.String("precision", "", "GEMM compute storage precision: fp32 (default), bf16 or fp16 (fp32 accumulation)")
 		overlap  = flag.Bool("overlap", false, "stream gradients: per-bucket communication launches as backward emits layers")
+		commMode = flag.String("comm-mode", "", "gradient transport for the allreduce methods: dense (default), sfb (sufficient-factor broadcasting) or hybrid (per-layer cost-model winner)")
+		verbComm = flag.Bool("verbose-comm", false, "print the comm selector's per-layer transport decisions (dense vs sfb cost-model verdicts) before running")
 		bucket   = flag.Int64("bucket", 0, "gradient bucket size in bytes for the streaming pipeline (0 = 1 MiB default)")
 		nodes    = flag.Int("nodes", 0, "machine count for the hierarchical methods (hier-sync-sgd, hier-sync-easgd)")
 		gpusPer  = flag.Int("gpus-per-node", 0, "GPUs per machine for the hierarchical methods (workers = nodes x gpus-per-node)")
@@ -124,6 +128,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cmode, err := core.ParseCommMode(*commMode)
+	if err != nil {
+		fatal(err)
+	}
 	if *nodes > 0 && *gpusPer > 0 {
 		// The hierarchical cluster fixes the worker count.
 		*workers = *nodes * *gpusPer
@@ -177,6 +185,7 @@ func main() {
 		Schedule:     sched,
 		Compression:  scheme,
 		ComputePrec:  *prec,
+		CommMode:     cmode,
 		Overlap:      *overlap,
 		BucketBytes:  *bucket,
 		Nodes:        *nodes,
@@ -185,6 +194,13 @@ func main() {
 		TauLocal:     *tauLocal,
 		TauGlobal:    *tauGlob,
 		Faults:       faults,
+	}
+	if *verbComm {
+		sel, err := core.SelectCommModes(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		printCommSelector(os.Stdout, sel)
 	}
 	res, err := run(cfg)
 	if err != nil {
@@ -205,6 +221,17 @@ func main() {
 	fmt.Printf("(comm ratio %.0f%%, param traffic %.2f MB, hidden comm %.5fs)\n",
 		res.Breakdown.CommRatio()*100, float64(res.Breakdown.ParamTraffic())/(1<<20),
 		res.Breakdown.HiddenComm)
+}
+
+// printCommSelector renders the hybrid comm selector's per-layer verdicts:
+// one cost-model row per parameter layer (dense vs sufficient-factor wire
+// bytes and analytic times) and a summary of how many layers ship factors.
+func printCommSelector(w io.Writer, sel *core.HybridSelector) {
+	fmt.Fprintf(w, "comm selector (%s mode, %d workers):\n", sel.Mode, sel.Workers)
+	for _, c := range sel.Choices {
+		fmt.Fprintf(w, "  %s\n", c)
+	}
+	fmt.Fprintf(w, "  %d of %d parameter layers ship sufficient factors\n", sel.NumSFB(), len(sel.Choices))
 }
 
 // splitRank peels an optional leading "rank:" off a fault spec; a bare

@@ -1,10 +1,69 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"scaledl/internal/core"
+)
 
 // The fault-spec parsers must reject malformed input with an error instead
 // of guessing: a float fail step used to be silently truncated to int, and
 // a zero straggler factor silently disabled the fault.
+
+// The -comm-mode flag is strict: exactly the lower-case mode names (or empty
+// for the dense default) are accepted; anything else errors with the valid
+// names instead of silently training in dense mode.
+func TestCommModeFlagStrict(t *testing.T) {
+	good := map[string]core.CommMode{
+		"":       core.CommDense,
+		"dense":  core.CommDense,
+		"sfb":    core.CommSFB,
+		"hybrid": core.CommHybrid,
+	}
+	for in, want := range good {
+		got, err := core.ParseCommMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseCommMode(%q) = (%v, %v), want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"Dense", "SFB", "Hybrid", "densee", "factors", "x"} {
+		if _, err := core.ParseCommMode(in); err == nil {
+			t.Errorf("ParseCommMode(%q) accepted", in)
+		} else if !strings.Contains(err.Error(), "dense") {
+			t.Errorf("ParseCommMode(%q) error %q does not name the valid modes", in, err)
+		}
+	}
+}
+
+// -verbose-comm prints one cost-model row per parameter layer plus the
+// factor-layer summary.
+func TestPrintCommSelector(t *testing.T) {
+	sel := &core.HybridSelector{
+		Mode:    core.CommHybrid,
+		Workers: 4,
+		Choices: []core.LayerCommChoice{
+			{Seg: 0, Layer: 0, Kind: "Conv2D", Elems: 520, DenseBytes: 12480, DenseTime: 1e-5},
+			{Seg: 1, Layer: 2, Kind: "Dense", Elems: 400500, B: 8, F: 500, D: 800,
+				SFBOK: true, UseSFB: true, DenseBytes: 9612000, SFBBytes: 499200,
+				DenseTime: 3e-4, SFBTime: 5e-5, ReconTime: 1e-5},
+		},
+	}
+	var sb strings.Builder
+	printCommSelector(&sb, sel)
+	out := sb.String()
+	for _, want := range []string{
+		"hybrid mode, 4 workers",
+		"dense (no factor form)",
+		"Dense",
+		"sfb",
+		"1 of 2 parameter layers ship sufficient factors",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("selector output missing %q:\n%s", want, out)
+		}
+	}
+}
 
 func TestParseStraggler(t *testing.T) {
 	good := []struct {

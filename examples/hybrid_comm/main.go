@@ -1,0 +1,76 @@
+// hybrid_comm demonstrates Poseidon-style hybrid communication: a dense
+// layer's gradient is the outer product dW = dYᵀ·X, so instead of
+// allreducing the full F·D+F gradient it can ship each party's B·(F+D)
+// sufficient factors and let every receiver reconstruct the sum locally.
+// The program first prints the per-layer cost-model verdicts
+// (scaledl.SelectCommModes) for LeNet — conv layers have no factor form and
+// stay dense; the big fc block crosses over to factors — then trains the
+// same Sync SGD run under all three transports (the -comm-mode knob of
+// cmd/scaledl-train) and shows the wire bytes fall while the training
+// mathematics stays bit-identical.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scaledl"
+)
+
+func main() {
+	train, test := scaledl.SyntheticMNIST(7, 2048, 512)
+	// LeNet: 431K parameters, 93% of them in one 500×800 dense block — the
+	// fc-heavy shape sufficient-factor broadcasting exists for.
+	def := scaledl.LeNet(scaledl.Shape{C: 1, H: 28, W: 28}, 10)
+
+	cfg := func(mode scaledl.CommMode) scaledl.Config {
+		return scaledl.Config{
+			Def:        def,
+			Train:      train,
+			Test:       test,
+			Workers:    4,
+			Batch:      32,
+			LR:         0.01,
+			Iterations: 10,
+			Seed:       1,
+			Platform:   scaledl.DefaultGPUPlatform(true),
+			CommMode:   mode,
+		}
+	}
+
+	sel, err := scaledl.SelectCommModes(cfg(scaledl.CommHybrid))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Per-layer transport verdicts of the hybrid selector (4 workers, batch 32):")
+	for _, c := range sel.Choices {
+		fmt.Println("  " + c.String())
+	}
+	fmt.Println()
+
+	fmt.Printf("%-8s %-12s %-18s %-12s %-10s\n", "mode", "sim time(s)", "param traffic(MB)", "sfb recon(s)", "final loss")
+	var base scaledl.Result
+	for _, mode := range []scaledl.CommMode{scaledl.CommDense, scaledl.CommSFB, scaledl.CommHybrid} {
+		res, err := scaledl.Train("sync-sgd", cfg(mode))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if mode == scaledl.CommDense {
+			base = res
+		} else if res.FinalLoss != base.FinalLoss {
+			log.Fatalf("%s changed the training math: %v vs %v", mode, res.FinalLoss, base.FinalLoss)
+		}
+		fmt.Printf("%-8s %-12.5f %-18.2f %-12.5f %-10.5f\n",
+			mode, res.SimTime,
+			float64(res.Breakdown.ParamTraffic())/(1<<20),
+			res.Breakdown.Times[scaledl.CatSFBRecon],
+			res.FinalLoss)
+	}
+	fmt.Println()
+	fmt.Println("Factors cut the fc block's wire from O(F·D) to O(B·(F+D)); the sfb recon")
+	fmt.Println("column is the receiver-side reconstruction compute the transport pays for it.")
+	fmt.Println("The final loss is bit-identical in every row: the transport changes where")
+	fmt.Println("bytes move, never what is summed.")
+	fmt.Println()
+	fmt.Println("Same knobs on the CLI:  scaledl-train -method sync-sgd -comm-mode hybrid -verbose-comm")
+}

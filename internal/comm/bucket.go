@@ -53,8 +53,22 @@ type Bucketizer struct {
 // NewBucketizer builds the bucket layout for a plan. The plan must have at
 // least one segment of whole float32s.
 func NewBucketizer(plan Plan, bucketBytes int64) *Bucketizer {
+	return NewBucketizerMasked(plan, bucketBytes, nil)
+}
+
+// NewBucketizerMasked builds the bucket layout with some plan segments
+// excluded: skip[seg] marks segments that travel outside the bucketed
+// allreduce stream (the hybrid comm mode's SFB layers, whose factors ride
+// their own collective). Skipped segments belong to no bucket, and a bucket
+// never spans a skipped segment — each contiguous run of unskipped segments
+// buckets independently, preserving the contiguity invariant. A nil skip is
+// the plain NewBucketizer.
+func NewBucketizerMasked(plan Plan, bucketBytes int64, skip []bool) *Bucketizer {
 	if len(plan.LayerBytes) == 0 {
 		panic("comm: bucketizer needs a plan with at least one segment")
+	}
+	if skip != nil && len(skip) != len(plan.LayerBytes) {
+		panic(fmt.Sprintf("comm: %d skip flags for %d plan segments", len(skip), len(plan.LayerBytes)))
 	}
 	// Element offsets of each segment.
 	offs := make([]int, len(plan.LayerBytes)+1)
@@ -65,27 +79,45 @@ func NewBucketizer(plan Plan, bucketBytes int64) *Bucketizer {
 		offs[i+1] = offs[i] + int(b/4)
 	}
 	bz := &Bucketizer{plan: plan, segOf: make([]int, len(plan.LayerBytes))}
+	for i := range bz.segOf {
+		bz.segOf[i] = -1
+	}
 	if bucketBytes <= 0 {
 		bucketBytes = plan.TotalBytes()
 	}
-	hiSeg := len(plan.LayerBytes) - 1
+	close := func(lo, hi int) {
+		id := len(bz.buckets)
+		bz.buckets = append(bz.buckets, Bucket{
+			ID: id, Lo: offs[lo], Hi: offs[hi+1], SegLo: lo, SegHi: hi,
+		})
+		for s := lo; s <= hi; s++ {
+			bz.segOf[s] = id
+		}
+	}
+	hiSeg := -1 // top segment of the open run, -1 when none
 	var acc int64
-	for seg := hiSeg; seg >= 0; seg-- {
+	for seg := len(plan.LayerBytes) - 1; seg >= 0; seg-- {
+		if skip != nil && skip[seg] {
+			if hiSeg >= 0 {
+				close(seg+1, hiSeg)
+				hiSeg, acc = -1, 0
+			}
+			continue
+		}
+		if hiSeg < 0 {
+			hiSeg = seg
+		}
 		acc += plan.LayerBytes[seg]
 		if acc >= bucketBytes || seg == 0 {
-			id := len(bz.buckets)
-			bz.buckets = append(bz.buckets, Bucket{
-				ID: id, Lo: offs[seg], Hi: offs[hiSeg+1], SegLo: seg, SegHi: hiSeg,
-			})
-			for s := seg; s <= hiSeg; s++ {
-				bz.segOf[s] = id
-			}
-			hiSeg = seg - 1
-			acc = 0
+			close(seg, hiSeg)
+			hiSeg, acc = -1, 0
 		}
 	}
 	return bz
 }
+
+// Skipped reports whether plan segment seg was excluded by the mask.
+func (bz *Bucketizer) Skipped(seg int) bool { return bz.segOf[seg] < 0 }
 
 // NumBuckets returns the bucket count.
 func (bz *Bucketizer) NumBuckets() int { return len(bz.buckets) }
@@ -93,8 +125,14 @@ func (bz *Bucketizer) NumBuckets() int { return len(bz.buckets) }
 // Buckets returns the buckets in emission (backward) order.
 func (bz *Bucketizer) Buckets() []Bucket { return bz.buckets }
 
-// BucketOf returns the bucket holding plan segment seg.
-func (bz *Bucketizer) BucketOf(seg int) Bucket { return bz.buckets[bz.segOf[seg]] }
+// BucketOf returns the bucket holding plan segment seg; it panics for a
+// segment the mask excluded (see Skipped).
+func (bz *Bucketizer) BucketOf(seg int) Bucket {
+	if bz.segOf[seg] < 0 {
+		panic(fmt.Sprintf("comm: plan segment %d is masked out of the bucket layout", seg))
+	}
+	return bz.buckets[bz.segOf[seg]]
+}
 
 // SubPlan returns the plan restricted to one bucket's segments, preserving
 // packing and the gather-staging bandwidth — the message plan of a

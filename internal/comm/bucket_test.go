@@ -303,3 +303,56 @@ func TestRangeValidation(t *testing.T) {
 		NewBucketizer(Plan{}, 4)
 	}()
 }
+
+// TestBucketizerMasked pins the hybrid mode's layout rule: skipped segments
+// belong to no bucket, buckets never span a skipped segment, and the
+// surviving ranges still tile exactly the unskipped elements.
+func TestBucketizerMasked(t *testing.T) {
+	plan := layeredPlan(100, 300, 50, 600) // offsets 0,100,400,450,1050
+	cases := []struct {
+		bucketBytes int64
+		skip        []bool
+		wantRanges  [][2]int
+	}{
+		// Middle segment skipped: the runs {3} and {1}, {0} bucket apart.
+		{4, []bool{false, false, true, false}, [][2]int{{450, 1050}, {100, 400}, {0, 100}}},
+		// Huge buckets cannot bridge the skipped segment.
+		{1 << 30, []bool{false, false, true, false}, [][2]int{{450, 1050}, {0, 400}}},
+		// Skipping the ends leaves the middle run.
+		{1 << 30, []bool{true, false, false, true}, [][2]int{{100, 450}}},
+		// nil mask is the plain bucketizer.
+		{1 << 30, nil, [][2]int{{0, 1050}}},
+	}
+	for _, c := range cases {
+		bz := NewBucketizerMasked(plan, c.bucketBytes, c.skip)
+		var got [][2]int
+		for _, b := range bz.Buckets() {
+			got = append(got, [2]int{b.Lo, b.Hi})
+		}
+		if !reflect.DeepEqual(got, c.wantRanges) {
+			t.Errorf("bucketBytes=%d skip=%v: ranges %v, want %v", c.bucketBytes, c.skip, got, c.wantRanges)
+		}
+		for seg := range plan.LayerBytes {
+			skipped := c.skip != nil && c.skip[seg]
+			if got := bz.Skipped(seg); got != skipped {
+				t.Errorf("skip=%v: Skipped(%d) = %v", c.skip, seg, got)
+			}
+			if !skipped {
+				if b := bz.BucketOf(seg); seg < b.SegLo || seg > b.SegHi {
+					t.Errorf("BucketOf(%d) bucket spans [%d,%d]", seg, b.SegLo, b.SegHi)
+				}
+			}
+		}
+	}
+	// All segments skipped: no buckets; BucketOf panics on a masked segment.
+	bz := NewBucketizerMasked(plan, 0, []bool{true, true, true, true})
+	if bz.NumBuckets() != 0 {
+		t.Errorf("all-skipped layout has %d buckets", bz.NumBuckets())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BucketOf on a masked segment did not panic")
+		}
+	}()
+	bz.BucketOf(1)
+}

@@ -394,6 +394,7 @@ type collMsg struct {
 	lo       int       // element offset of data within the segment (RHD allgather)
 	data     []float32 // broadcast / allgather payload (nil in size-only mode)
 	contribs []contrib // reduce payload, ascending rank order
+	factors  []Factors // sufficient-factor payload (sfb.go; nil elsewhere)
 	// Checksum state (chaos mode only; see the Sealed interface). sum is
 	// the sealed content hash; verdict memoizes Verify (0 unset, 1 ok,
 	// -1 bad); poison marks a payload with no flippable bits whose frame
@@ -424,6 +425,16 @@ func (m *collMsg) hash() uint64 {
 	for _, cb := range m.contribs {
 		mix(uint64(cb.rank))
 		for _, v := range cb.vals {
+			mix(uint64(math.Float32bits(v)))
+		}
+	}
+	for _, f := range m.factors {
+		mix(uint64(f.Rank))
+		mix(uint64(f.B))
+		for _, v := range f.DY {
+			mix(uint64(math.Float32bits(v)))
+		}
+		for _, v := range f.X {
 			mix(uint64(math.Float32bits(v)))
 		}
 	}
@@ -478,6 +489,17 @@ func (m *collMsg) Garble() any {
 				vals = append([]float32(nil), vals...)
 				vals[0] = flip(vals[0])
 				g.contribs[i].vals = vals
+				return g
+			}
+		}
+		g.poison = true
+	case len(m.factors) > 0:
+		g.factors = append([]Factors(nil), m.factors...)
+		for i := range g.factors {
+			if vals := g.factors[i].DY; len(vals) > 0 {
+				vals = append([]float32(nil), vals...)
+				vals[0] = flip(vals[0])
+				g.factors[i].DY = vals
 				return g
 			}
 		}

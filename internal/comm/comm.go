@@ -23,6 +23,16 @@
 // function of the chaos seed and the message identity, never of event
 // arrival order, so faulty runs stay bit-reproducible; with no Chaos
 // installed, sends take the exact fault-free fast path.
+//
+// Beyond the dense collectives, sfb.go carries Poseidon-style
+// sufficient-factor broadcasting: FactorAllGather moves each party's
+// B·(F+D)-element (dY, X) factor pair of a dense layer to every peer —
+// ring or recursive-doubling pattern over the same guarded transport,
+// with a leader relay on hierarchical topologies — and
+// ReconstructFactors rebuilds Σₚ dYₚᵀ·Xₚ in ascending rank order,
+// bit-identical to the dense allreduce of the same gradient. The α-β
+// oracles (AnalyticFactorAllGatherTime, FactorAllGatherBytes vs
+// DenseAllReduceBytes) feed core's per-layer hybrid transport selector.
 package comm
 
 import (

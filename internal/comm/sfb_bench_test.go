@@ -1,0 +1,76 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+
+	"scaledl/internal/hw"
+	"scaledl/internal/sim"
+)
+
+// Sufficient-factor versus dense microbenchmarks for the Poseidon operating
+// point: one fc 4096×4096 layer (16.8M gradient elements, 67 MB dense
+// payload) at batch 32 over 8 parties on FDR InfiniBand. The dense path
+// allreduces F·D+F elements; the SFB path allgathers each party's B·(F+D)
+// factor entries (1 MB each — a 16× wire cut at this shape). Both run
+// size-only (the traffic/clock machinery without payload math — the
+// reconstruction compute is charged by core, not here), so sim_ms is a pure
+// function of the cost models and BENCH_comm.json pins it: the gate fails CI
+// if either transport's simulated time drifts, i.e. if the crossover the
+// hybrid selector banks on moves silently. Bit-identity of the two paths is
+// pinned separately by core's TestSFBBitIdenticalToDenseAllReduce.
+const (
+	benchFCF = 4096 // fc units (F)
+	benchFCD = 4096 // fc input dim (D)
+	benchFCB = 32   // minibatch per party
+	benchFCP = 8    // parties
+)
+
+// BenchmarkFCDenseAllReduce is the dense transport: a tree allreduce of the
+// full F·D+F gradient.
+func BenchmarkFCDenseAllReduce(b *testing.B) {
+	elems := benchFCF*benchFCD + benchFCF
+	var simTime float64
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		env := sim.NewEnv()
+		topo := NewUniform(env, benchFCP, hw.MellanoxFDR)
+		c := NewCommunicator(topo, CommConfig{
+			Parties: Ranks(benchFCP), Plan: packedPlan(elems), Schedule: ScheduleTree,
+		})
+		for r := 0; r < benchFCP; r++ {
+			rank := r
+			env.Spawn(fmt.Sprintf("party%d", rank), func(p *sim.Proc) {
+				c.Endpoint(rank).AllReduceSize(p, 0)
+			})
+		}
+		simTime = env.Run()
+		env.Close()
+	}
+	b.ReportMetric(simTime*1e3, "sim_ms")
+}
+
+// BenchmarkFCSFBFactorAllGather is the factor transport for the same layer:
+// every party broadcasts its B·(F+D)-element factor pair to all peers
+// (recursive-doubling allgather at a power-of-two party count).
+func BenchmarkFCSFBFactorAllGather(b *testing.B) {
+	entry := benchFCB * (benchFCF + benchFCD)
+	var simTime float64
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		env := sim.NewEnv()
+		topo := NewUniform(env, benchFCP, hw.MellanoxFDR)
+		c := NewCommunicator(topo, CommConfig{
+			Parties: Ranks(benchFCP), Plan: packedPlan(entry), Schedule: ScheduleTree,
+		})
+		for r := 0; r < benchFCP; r++ {
+			rank := r
+			env.Spawn(fmt.Sprintf("party%d", rank), func(p *sim.Proc) {
+				c.Endpoint(rank).FactorAllGatherSize(p, 0, entry)
+			})
+		}
+		simTime = env.Run()
+		env.Close()
+	}
+	b.ReportMetric(simTime*1e3, "sim_ms")
+}

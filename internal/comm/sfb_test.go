@@ -1,0 +1,281 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+
+	"scaledl/internal/sim"
+	"scaledl/internal/tensor"
+)
+
+// randFactors builds P deterministic pseudo-random factor pairs of one
+// dense-layer shape (dY is b×f, X is b×d).
+func randFactors(parties, b, f, d int, seed int64) []Factors {
+	g := tensor.NewRNG(seed)
+	out := make([]Factors, parties)
+	for i := range out {
+		dy := make([]float32, b*f)
+		x := make([]float32, b*d)
+		g.FillNormal(dy, 0, 1)
+		g.FillNormal(x, 0, 1)
+		out[i] = Factors{DY: dy, X: x, B: b, F: f, D: d}
+	}
+	return out
+}
+
+// localDenseGrad computes one party's packed [W | b] gradient from its
+// factors exactly the way internal/nn's dense layer does: dW = dYᵀ·X via
+// the packed GEMM from a zero buffer, db = column sums of dY.
+func localDenseGrad(f Factors) []float32 {
+	g := make([]float32, f.F*f.D+f.F)
+	tensor.MatMulAddTransA(tensor.Wrap(g[:f.F*f.D], f.F, f.D),
+		tensor.Wrap(f.DY, f.B, f.F), tensor.Wrap(f.X, f.B, f.D))
+	db := g[f.F*f.D:]
+	for i := 0; i < f.B; i++ {
+		row := f.DY[i*f.F : (i+1)*f.F]
+		for j, v := range row {
+			db[j] += v
+		}
+	}
+	return g
+}
+
+// runFactorAllGather runs one factor allgather + reconstruction per party
+// and returns (end time, wire bytes, per-rank reconstructions, chaos stats).
+func runFactorAllGather(t *testing.T, ch *Chaos, sched Schedule, parties int, fs []Factors) (float64, int64, [][]float32, ChaosStats) {
+	t.Helper()
+	env := sim.NewEnv()
+	topo := NewUniform(env, parties, testLink)
+	if ch != nil {
+		topo.SetChaos(ch)
+	}
+	n := fs[0].F*fs[0].D + fs[0].F
+	c := NewCommunicator(topo, CommConfig{Parties: Ranks(parties), Plan: packedPlan(n), Schedule: sched})
+	recon := make([][]float32, parties)
+	end := runCollective(t, topo, c, func(p *sim.Proc, rank int) {
+		out := c.Endpoint(rank).FactorAllGather(p, 0, fs[rank], nil)
+		recon[rank] = make([]float32, n)
+		ReconstructFactors(recon[rank], out, nil)
+	})
+	return end, topo.BytesMoved(), recon, topo.ChaosStats()
+}
+
+// The tentpole invariant (comm half): reconstructing from the factor
+// allgather is bit-identical to the dense allreduce of the same parties'
+// gradients, for every schedule and party count — CommMode can never change
+// training mathematics.
+func TestFactorReconstructBitIdenticalToDenseAllReduce(t *testing.T) {
+	b, f, d := 3, 7, 5
+	for _, sched := range []Schedule{ScheduleTree, ScheduleRing, ScheduleRHD, ScheduleChain, ScheduleLinear} {
+		for _, p := range []int{2, 3, 4, 5, 8} {
+			fs := randFactors(p, b, f, d, int64(p)*13+int64(sched))
+			grads := make([][]float32, p)
+			for i := range grads {
+				grads[i] = localDenseGrad(fs[i])
+			}
+			_, denseBufs := simAllReduce(t, sched, p, f*d+f, grads)
+			_, _, recon, _ := runFactorAllGather(t, nil, sched, p, fs)
+			for rank := range recon {
+				for i := range recon[rank] {
+					if recon[rank][i] != denseBufs[rank][i] {
+						t.Fatalf("%v P=%d rank %d elem %d: sfb %v, dense allreduce %v (not bit-identical)",
+							sched, p, rank, i, recon[rank][i], denseBufs[rank][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Exact wire accounting: both allgather patterns move exactly P·(P−1)
+// factor payloads — the O(B·(F+D)) wire cut SFB exists for.
+func TestFactorAllGatherWireBytesExact(t *testing.T) {
+	b, f, d := 4, 9, 6
+	for _, tc := range []struct {
+		sched Schedule
+		p     int
+	}{
+		{ScheduleRing, 5}, {ScheduleRing, 8}, {ScheduleTree, 8},
+		{ScheduleTree, 5}, {ScheduleRHD, 4}, {ScheduleChain, 4},
+	} {
+		fs := randFactors(tc.p, b, f, d, 3)
+		_, bytes, _, _ := runFactorAllGather(t, nil, tc.sched, tc.p, fs)
+		if want := FactorAllGatherBytes(tc.p, b*(f+d)); bytes != want {
+			t.Errorf("%v P=%d: moved %d bytes, want exactly %d", tc.sched, tc.p, bytes, want)
+		}
+	}
+}
+
+// On a contention-free topology the factor allgather completes at exactly
+// its closed α-β form, for both patterns.
+func TestFactorAllGatherMatchesAnalytic(t *testing.T) {
+	b, f, d := 2, 33, 17
+	entry := int64(b*(f+d)) * 4
+	for _, tc := range []struct {
+		sched Schedule
+		p     int
+	}{
+		{ScheduleRing, 4}, {ScheduleRing, 7}, {ScheduleTree, 8},
+		{ScheduleTree, 5}, {ScheduleRHD, 16}, {ScheduleLinear, 3},
+	} {
+		fs := randFactors(tc.p, b, f, d, 9)
+		end, _, _, _ := runFactorAllGather(t, nil, tc.sched, tc.p, fs)
+		want := AnalyticFactorAllGatherTime(tc.sched, testLink, entry, tc.p)
+		if relErr(end, want) > 1e-9 {
+			t.Errorf("%v P=%d: simulated %v, closed-form %v", tc.sched, tc.p, end, want)
+		}
+	}
+}
+
+// Size-only walks the identical message schedule: same completion time and
+// same wire bytes as the data-carrying call, and it scales to party counts
+// too large to materialize (the P=1024 fast path).
+func TestFactorAllGatherSizeOnlyMatchesData(t *testing.T) {
+	b, f, d := 2, 10, 8
+	elems := b * (f + d)
+	for _, tc := range []struct {
+		sched Schedule
+		p     int
+	}{
+		{ScheduleTree, 8}, {ScheduleRing, 5},
+	} {
+		fs := randFactors(tc.p, b, f, d, 5)
+		dataEnd, dataBytes, _, _ := runFactorAllGather(t, nil, tc.sched, tc.p, fs)
+		env := sim.NewEnv()
+		topo := NewUniform(env, tc.p, testLink)
+		c := NewCommunicator(topo, CommConfig{Parties: Ranks(tc.p), Plan: packedPlan(f*d + f), Schedule: tc.sched})
+		sizeEnd := runCollective(t, topo, c, func(p *sim.Proc, rank int) {
+			c.Endpoint(rank).FactorAllGatherSize(p, 0, elems)
+		})
+		if sizeEnd != dataEnd || topo.BytesMoved() != dataBytes {
+			t.Errorf("%v P=%d: size-only (%v, %d B) vs data (%v, %d B)",
+				tc.sched, tc.p, sizeEnd, topo.BytesMoved(), dataEnd, dataBytes)
+		}
+	}
+
+	// P=1024: size-only at a scale the data path could never allocate.
+	p := 1024
+	env := sim.NewEnv()
+	topo := NewUniform(env, p, testLink)
+	c := NewCommunicator(topo, CommConfig{Parties: Ranks(p), Plan: packedPlan(64), Schedule: ScheduleTree})
+	end := runCollective(t, topo, c, func(pr *sim.Proc, rank int) {
+		c.Endpoint(rank).FactorAllGatherSize(pr, 0, elems)
+	})
+	if want := AnalyticFactorAllGatherTime(ScheduleTree, testLink, int64(elems)*4, p); relErr(end, want) > 1e-9 {
+		t.Errorf("P=1024 size-only %v, closed-form %v", end, want)
+	}
+	if want := FactorAllGatherBytes(p, elems); topo.BytesMoved() != want {
+		t.Errorf("P=1024 size-only moved %d bytes, want %d", topo.BytesMoved(), want)
+	}
+}
+
+// Factor payloads ride the chaos tier's guarded delivery: losses are
+// retried (and the retry wire charged), corruptions are checksum-detected
+// and resent, and the reconstruction still lands bit-identical.
+func TestFactorAllGatherUnderChaos(t *testing.T) {
+	b, f, d, p := 3, 6, 4, 4
+	fs := randFactors(p, b, f, d, 7)
+	grads := make([][]float32, p)
+	for i := range grads {
+		grads[i] = localDenseGrad(fs[i])
+	}
+	want := make([]float32, f*d+f)
+	ReduceSum(want, grads...)
+
+	_, cleanBytes, cleanRecon, _ := runFactorAllGather(t, &Chaos{Seed: 5}, ScheduleTree, p, fs)
+	_, lossyBytes, lossyRecon, lossyStats := runFactorAllGather(t, &Chaos{Seed: 5, Loss: 0.3}, ScheduleTree, p, fs)
+	if lossyStats.Losses == 0 {
+		t.Fatal("loss 0.3 injected no losses")
+	}
+	if lossyBytes <= cleanBytes {
+		t.Fatalf("lossy run moved %d bytes, clean run %d — factor retries not charged", lossyBytes, cleanBytes)
+	}
+	_, _, corruptRecon, corruptStats := runFactorAllGather(t, &Chaos{Seed: 9, Corrupt: 0.5, MaxAttempts: 16}, ScheduleRing, p, fs)
+	if corruptStats.Corruptions == 0 {
+		t.Fatal("corrupt 0.5 injected no corruptions")
+	}
+	for rank := 0; rank < p; rank++ {
+		for i := range want {
+			if cleanRecon[rank][i] != want[i] || lossyRecon[rank][i] != want[i] || corruptRecon[rank][i] != want[i] {
+				t.Fatalf("rank %d elem %d: clean %v lossy %v corrupt %v, want %v",
+					rank, i, cleanRecon[rank][i], lossyRecon[rank][i], corruptRecon[rank][i], want[i])
+			}
+		}
+	}
+}
+
+// The hierarchical factor allgather (intra gather → inter allgather →
+// intra broadcast) reconstructs bit-identically to the flat dense sum, for
+// mixed (intra, inter) schedule pairs.
+func TestHierFactorAllGatherBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		nodes, perNode int
+		intra, inter   Schedule
+	}{
+		{3, 2, ScheduleTree, ScheduleTree},
+		{4, 2, ScheduleTree, ScheduleRing},
+		{4, 3, ScheduleRing, ScheduleRHD},
+	} {
+		parties := tc.nodes * tc.perNode
+		b, f, d := 2, 5, 4
+		fs := randFactors(parties, b, f, d, int64(parties)*3)
+		ml := uniformCluster(sim.NewEnv(), tc.nodes, tc.perNode, 0)
+		hc := hierComm(ml, packedPlan(f*d+f), tc.intra, tc.inter)
+		env := ml.Topology().Env()
+		recon := make([][]float32, parties)
+		for r := 0; r < parties; r++ {
+			rank := r
+			env.Spawn(fmt.Sprintf("party%d", rank), func(p *sim.Proc) {
+				out := hc.Endpoint(rank).FactorAllGather(p, 0, fs[rank], nil)
+				recon[rank] = make([]float32, f*d+f)
+				ReconstructFactors(recon[rank], out, nil)
+			})
+		}
+		env.Run()
+		env.Close()
+		grads := make([][]float32, parties)
+		for i := range grads {
+			grads[i] = localDenseGrad(fs[i])
+		}
+		want := make([]float32, f*d+f)
+		ReduceSum(want, grads...)
+		for rank := range recon {
+			for i := range want {
+				if recon[rank][i] != want[i] {
+					t.Fatalf("%d×%d %v/%v rank %d elem %d: %v, want %v",
+						tc.nodes, tc.perNode, tc.intra, tc.inter, rank, i, recon[rank][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Degenerate single party: the allgather returns the party's own snapshot,
+// moves nothing, and reconstruction equals the local gradient.
+func TestFactorAllGatherSingleParty(t *testing.T) {
+	fs := randFactors(1, 2, 3, 4, 1)
+	end, bytes, recon, _ := runFactorAllGather(t, nil, ScheduleTree, 1, fs)
+	if end != 0 || bytes != 0 {
+		t.Fatalf("single-party allgather took %v and moved %d bytes", end, bytes)
+	}
+	want := localDenseGrad(fs[0])
+	for i := range want {
+		if recon[0][i] != want[i] {
+			t.Fatalf("elem %d: %v, want %v", i, recon[0][i], want[i])
+		}
+	}
+}
+
+// Malformed factor dimensions are rejected before any message moves.
+func TestFactorValidation(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	topo := NewUniform(env, 2, testLink)
+	c := NewCommunicator(topo, CommConfig{Parties: Ranks(2), Plan: packedPlan(8)})
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched factor dims did not panic")
+		}
+	}()
+	c.Endpoint(0).FactorAllGather(nil, 0, Factors{DY: make([]float32, 5), X: make([]float32, 4), B: 2, F: 3, D: 2}, nil)
+}

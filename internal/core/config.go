@@ -200,6 +200,20 @@ type Config struct {
 	// chain or linear — see comm.ParseSchedule. The Sync EASGD family
 	// always uses the paper's binomial tree.
 	Schedule comm.Schedule
+	// CommMode selects the gradient transport of the allreduce methods
+	// (sync-sgd, hier-sync-sgd): dense (every layer's gradient allreduces,
+	// the default), sfb (factorable — dense — layers broadcast sufficient
+	// factors, comm.FactorAllGather, and receivers reconstruct), or hybrid
+	// (per-layer winner of the analytic cost model, SelectCommModes).
+	// Reconstruction replays each party's exact gradient computation and
+	// combines in rank order, so the trained mathematics is bit-identical
+	// to dense mode for every schedule — only the wire bytes and the time
+	// breakdown (CatSFBRecon) move. Composes with Overlap/BucketBytes: SFB
+	// layers leave the bucket stream (their factors ride their own forked
+	// collectives) while the remaining layers bucket as usual. Incompatible
+	// with Compression, partial aggregation and fail-continue faults.
+	// Methods that do not allreduce gradients ignore it.
+	CommMode CommMode
 	// Overlap enables the layer-streaming communication pipeline: the
 	// backward pass emits per-layer gradient-ready events (nn.GradEvent),
 	// ready layers coalesce into ~BucketBytes buckets (comm.Bucketizer),
@@ -307,6 +321,25 @@ func (c *Config) Validate() error {
 	}
 	if err := c.Faults.validate(c.Workers); err != nil {
 		return err
+	}
+	switch c.CommMode {
+	case CommDense, CommSFB, CommHybrid:
+	default:
+		return fmt.Errorf("core: unknown comm mode %d (one of %v)", int(c.CommMode), CommModes())
+	}
+	if c.CommMode != CommDense {
+		// The factor transport carries rank-tagged (dY, X) views, not the
+		// quantizable gradient vector, and its allgather has no partial or
+		// shrinking-membership form here.
+		if c.Compression != quant.None {
+			return fmt.Errorf("core: comm mode %v is incompatible with gradient compression", c.CommMode)
+		}
+		if c.Faults.PartialK > 0 {
+			return fmt.Errorf("core: comm mode %v is incompatible with partial aggregation (PartialK)", c.CommMode)
+		}
+		if c.Faults.failContinue() {
+			return fmt.Errorf("core: comm mode %v is incompatible with fail-continue faults", c.CommMode)
+		}
 	}
 	if _, err := tensor.ParsePrecision(c.ComputePrec); err != nil {
 		return fmt.Errorf("core: %v", err)

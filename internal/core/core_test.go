@@ -373,8 +373,8 @@ func TestBreakdownNegativePanics(t *testing.T) {
 }
 
 func TestCategoryStrings(t *testing.T) {
-	if len(Categories()) != 9 {
-		t.Fatalf("want 9 categories")
+	if len(Categories()) != 10 {
+		t.Fatalf("want 10 categories")
 	}
 	for _, c := range Categories() {
 		if c.String() == "" {

@@ -24,6 +24,15 @@
 // semantic-fault run may legitimately diverge from its clean twin, but the
 // divergence is a pure function of the fault seed: two runs with the same
 // configuration and FaultSeed are bit-identical (see faults.go).
+//
+// Config.CommMode (hybrid.go) reroutes the allreduce methods' gradient
+// transport per layer: dense layers may ship B·(F+D) sufficient factors
+// (Poseidon's SFB, comm.FactorAllGather) instead of the F·D+F dense
+// payload, with each receiver reconstructing the summed gradient locally
+// (charged as CatSFBRecon). The "hybrid" mode picks per layer from an
+// analytic α-β cost model (SelectCommModes); whichever transport a layer
+// rides, the reconstructed sum is bit-identical to the dense allreduce,
+// monolithic or overlapped, flat or hierarchical.
 package core
 
 import "fmt"
@@ -64,6 +73,14 @@ const (
 	// window and were dropped from the step (FaultPlan.PartialK); the
 	// dropped ranks themselves are recorded in Result.Dropped.
 	CatDropped
+	// CatSFBRecon is the receiver-side reconstruction compute of
+	// sufficient-factor broadcasting (Config.CommMode sfb/hybrid): turning
+	// the gathered (dY, X) factor pairs back into the dense gradient
+	// Σₚ dYₚᵀ·Xₚ on the worker device. It is the compute SFB trades wire
+	// for, charged through the same exposed accounting so SFB runs still
+	// sum to wall time; its Bytes column stays zero (reconstruction moves
+	// no wire bytes — the factor traffic lands in the parameter category).
+	CatSFBRecon
 
 	numCategories
 )
@@ -89,6 +106,8 @@ func (c Category) String() string {
 		return "retry"
 	case CatDropped:
 		return "dropped"
+	case CatSFBRecon:
+		return "sfb recon"
 	default:
 		return fmt.Sprintf("Category(%d)", int(c))
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"scaledl/internal/comm"
+	"scaledl/internal/nn"
 	"scaledl/internal/sim"
 )
 
@@ -56,12 +57,21 @@ type streamPlan struct {
 
 // newStream builds the streaming plan for a communicator plan.
 func (rc *runContext) newStream(plan comm.Plan) *streamPlan {
+	return rc.newStreamMasked(plan, nil)
+}
+
+// newStreamMasked builds the streaming plan with some plan segments masked
+// out of the bucket stream — the hybrid comm mode's SFB layers, whose
+// factors ride their own collective and fire through walkHybrid's onFactor
+// instead of completing a bucket.
+func (rc *runContext) newStreamMasked(plan comm.Plan, skip []bool) *streamPlan {
 	if len(plan.LayerBytes) == 0 {
 		// A parameter-free model moves no gradients; stream one empty
 		// bucket so the pipeline shape (and round numbering) still holds.
 		plan.LayerBytes = []int64{0}
+		skip = nil
 	}
-	bz := comm.NewBucketizer(plan, rc.cfg.BucketBytes)
+	bz := comm.NewBucketizerMasked(plan, rc.cfg.BucketBytes, skip)
 	sp := &streamPlan{
 		bz:      bz,
 		buckets: bz.Buckets(),
@@ -103,6 +113,17 @@ func (rc *runContext) newStream(plan comm.Plan) *streamPlan {
 // fault model's heterogeneity and straggler factors slow forward and
 // backward alike, so bucket-ready instants shift proportionally.
 func (sp *streamPlan) walk(p *sim.Proc, w *worker, scale float64, onBucket func(b int, bk comm.Bucket)) float64 {
+	return sp.walkHybrid(p, w, scale, onBucket, nil)
+}
+
+// walkHybrid is walk with a second emission channel for masked segments:
+// a plan segment the bucketizer skipped (an SFB layer of the hybrid comm
+// mode) belongs to no bucket, so its gradient-ready event fires onFactor at
+// the layer's own ready instant — same clock formula as a bucket completion
+// — handing the caller the event (whose DY/X factor views are live) to
+// launch the factor collective. onFactor may be nil when no segment is
+// masked.
+func (sp *streamPlan) walkHybrid(p *sim.Proc, w *worker, scale float64, onBucket func(b int, bk comm.Bucket), onFactor func(seg int, e nn.GradEvent)) float64 {
 	compute := sp.compute * scale
 	fwd := sp.fwd * scale
 	w.recordEvents = !sp.wholeModel
@@ -131,12 +152,23 @@ func (sp *streamPlan) walk(p *sim.Proc, w *worker, scale float64, onBucket func(
 		if seg < 0 {
 			continue
 		}
+		// fwd + the backward shares of every layer emitted so far: the
+		// instant this layer's gradient (and factor views) are final.
+		at := compute * (1.0/3 + (2.0/3)*cum/sp.totalFlops)
+		if sp.bz.Skipped(seg) {
+			if onFactor != nil {
+				if at > now {
+					p.Delay(at - now)
+					now = at
+				}
+				onFactor(seg, e)
+			}
+			continue
+		}
 		b := sp.bz.BucketOf(seg).ID
 		pending[b]--
 		if pending[b] == 0 {
-			// This event completed bucket b: its gradients are final at
-			// fwd + the backward shares of every layer emitted so far.
-			at := compute * (1.0/3 + (2.0/3)*cum/sp.totalFlops)
+			// This event completed bucket b.
 			if at > now {
 				p.Delay(at - now)
 				now = at

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"scaledl/internal/comm"
+	"scaledl/internal/nn"
 	"scaledl/internal/quant"
 	"scaledl/internal/sim"
 )
@@ -240,6 +241,13 @@ type gradAllReducer interface {
 	MarkDead(rank int)
 }
 
+// factorAllGatherer is the additional collective surface the sfb/hybrid
+// comm modes need: the flat and hierarchical endpoints both provide it;
+// the partial-aggregation endpoint does not (Validate rejects that combo).
+type factorAllGatherer interface {
+	FactorAllGather(p *sim.Proc, round int, self comm.Factors, out []comm.Factors) []comm.Factors
+}
+
 // syncSGDWire prepares the gradient message plan of a data-parallel run:
 // the run plan, or the packed single-residual plan plus per-worker
 // error-feedback quantizers under Config.Compression.
@@ -311,8 +319,37 @@ func SyncSGD(cfg Config) (Result, error) {
 // time lands in CatRetry instead of the parameter-communication category.
 func (rc *runContext) runSyncSGDWorkers(env *sim.Env, plan comm.Plan, eps []gradAllReducer, quantizers []*quant.Quantizer, bytesMoved func() int64, retryWait func() float64) float64 {
 	cfg := rc.cfg
-	stream := rc.newStream(plan)
+	// The hybrid comm layout (nil in dense mode): SFB layers leave the
+	// bucketed allreduce stream and ride factor allgathers of their own;
+	// their reconstruction replays each rank's gradient computation in rank
+	// order, so every path below ends with gradients bit-identical to the
+	// dense allreduce.
+	hy := rc.hybridRun(plan)
+	var stream *streamPlan
+	var fgs []factorAllGatherer
+	if hy != nil {
+		stream = rc.newStreamMasked(plan, hy.skip)
+		fgs = make([]factorAllGatherer, len(eps))
+		for i, ep := range eps {
+			fg, ok := ep.(factorAllGatherer)
+			if !ok {
+				panic(fmt.Sprintf("core: comm mode %v endpoint %T cannot gather factors", cfg.CommMode, ep))
+			}
+			fgs[i] = fg
+		}
+	} else {
+		stream = rc.newStream(plan)
+	}
 	nb := stream.bz.NumBuckets()
+	// Collective rounds consumed per iteration, so round numbers never
+	// collide across an iteration's buckets, dense runs and factor
+	// allgathers.
+	perIterOverlap := nb
+	perIterMono := 1
+	if hy != nil {
+		perIterOverlap = nb + len(hy.segs)
+		perIterMono = len(hy.denseRuns) + len(hy.segs)
+	}
 	if retryWait == nil {
 		retryWait = func() float64 { return 0 }
 	}
@@ -382,7 +419,7 @@ func (rc *runContext) runSyncSGDWorkers(env *sim.Env, plan comm.Plan, eps []grad
 					// allreduce: same elements, same rank-ordered sums.
 					prepared := false
 					scale := rc.computeScale(i, t+1)
-					losses[i] = stream.walk(p, w, scale, func(b int, bk comm.Bucket) {
+					ready := func() {
 						if !prepared {
 							// First emission: the pool join has landed, the
 							// full gradient is final; quantize (error
@@ -394,16 +431,50 @@ func (rc *runContext) runSyncSGDWorkers(env *sim.Env, plan comm.Plan, eps []grad
 							copy(gbufs[i], w.net.Grads)
 							prepared = true
 						}
+					}
+					var onFactor func(seg int, e nn.GradEvent)
+					if hy != nil {
+						onFactor = func(seg int, e nn.GradEvent) {
+							// An SFB layer's gradient-ready instant: its
+							// factor views are live; the forked allgather
+							// snapshots them at send time, so the collective
+							// streams beneath the remaining backward exactly
+							// like a bucket's allreduce.
+							ready()
+							k := hy.bySeg[seg]
+							self := comm.Factors{DY: e.DY, X: e.X, B: e.B, F: e.F, D: e.D}
+							crew.fork(fmt.Sprintf("fg%d.%d.%d", i, t, k), func(bp *sim.Proc) {
+								hy.outs[i][k] = fgs[i].FactorAllGather(bp, t*perIterOverlap+nb+k, self, hy.outs[i][k])
+							})
+						}
+					}
+					losses[i] = stream.walkHybrid(p, w, scale, func(b int, bk comm.Bucket) {
+						ready()
 						crew.fork(fmt.Sprintf("ar%d.%d.%d", i, t, b), func(bp *sim.Proc) {
-							ep.AllReduceRange(bp, t*nb+b, gbufs[i], bk.Lo, bk.Hi)
+							ep.AllReduceRange(bp, t*perIterOverlap+b, gbufs[i], bk.Lo, bk.Hi)
 						})
-					})
+					}, onFactor)
 					hidden := crew.wait(p)
+					if hy != nil {
+						// Every factor list is in; reconstruction is
+						// receiver-side compute after the joins (it needs
+						// all P pairs), charged to the virtual clock here
+						// and attributed to CatSFBRecon at the root.
+						for k, sg := range hy.segs {
+							hy.scratch[i] = comm.ReconstructFactors(gbufs[i][sg.lo:sg.hi], hy.outs[i][k], hy.scratch[i])
+						}
+						p.Delay(hy.reconTime)
+					}
 					if i == root {
 						ct := w.computeTime * scale
 						rc.bd.Add(CatCPUGPUData, rc.dataXfer)
 						rc.bd.Add(CatForwardBackward, ct)
-						rc.chargeOverlap(CatCPUGPUParam, p.Now()-t0, rc.dataXfer+ct, hidden)
+						busy := rc.dataXfer + ct
+						if hy != nil {
+							rc.bd.Add(CatSFBRecon, hy.reconTime)
+							busy += hy.reconTime
+						}
+						rc.chargeOverlap(CatCPUGPUParam, p.Now()-t0, busy, hidden)
 					}
 				} else {
 					join := w.beginGradient()
@@ -420,23 +491,50 @@ func (rc *runContext) runSyncSGDWorkers(env *sim.Env, plan comm.Plan, eps []grad
 					copy(gbufs[i], w.net.Grads)
 					tA := p.Now()
 					rw0, dw0 := retryWait(), rc.droppedWait
-					ep.AllReduce(p, t, gbufs[i])
+					if hy == nil {
+						ep.AllReduce(p, t*perIterMono, gbufs[i])
+					} else {
+						// Hybrid monolithic: each contiguous run of dense
+						// segments allreduces as a range, each SFB layer's
+						// factors allgather and reconstruct in place — the
+						// concatenation covers the model exactly once, in
+						// rank order everywhere, so the result matches the
+						// whole-model allreduce bit for bit.
+						base := t * perIterMono
+						for j, dr := range hy.denseRuns {
+							ep.AllReduceRange(p, base+j, gbufs[i], dr.lo, dr.hi)
+						}
+						nd := len(hy.denseRuns)
+						for k, sg := range hy.segs {
+							dy, x, fb, ff, fd := w.net.Layers[sg.layer].(nn.FactorLayer).BackwardFactors()
+							self := comm.Factors{DY: dy, X: x, B: fb, F: ff, D: fd}
+							hy.outs[i][k] = fgs[i].FactorAllGather(p, base+nd+k, self, hy.outs[i][k])
+							hy.scratch[i] = comm.ReconstructFactors(gbufs[i][sg.lo:sg.hi], hy.outs[i][k], hy.scratch[i])
+						}
+						p.Delay(hy.reconTime)
+					}
 					if i == root {
 						rc.bd.Add(CatCPUGPUData, rc.dataXfer)
 						rc.bd.Add(CatForwardBackward, ct)
-						// The collective's wall time splits three ways: the
+						// The collective's wall time splits four ways: the
 						// root's own retry stalls (CatRetry), its partial-
-						// aggregation deadline waits (CatDropped), and the
+						// aggregation deadline waits (CatDropped), the SFB
+						// reconstruction compute (CatSFBRecon), and the
 						// rest — the communication proper.
 						retryD := retryWait() - rw0
 						dropD := rc.droppedWait - dw0
-						commT := p.Now() - tA - retryD - dropD
+						reconD := 0.0
+						if hy != nil {
+							reconD = hy.reconTime
+						}
+						commT := p.Now() - tA - retryD - dropD - reconD
 						if commT < 0 {
 							commT = 0
 						}
 						rc.bd.Add(CatCPUGPUParam, commT)
 						rc.bd.Add(CatRetry, retryD)
 						rc.bd.Add(CatDropped, dropD)
+						rc.bd.Add(CatSFBRecon, reconD)
 					}
 				}
 

@@ -43,6 +43,11 @@ type runContext struct {
 	plan    comm.Plan
 
 	paramBytes int64
+	// commSel holds the hybrid-communication selector's per-layer transport
+	// decisions when cfg.CommMode is sfb or hybrid (nil in dense mode); the
+	// allreduce methods route each plan segment by it (see hybrid.go and
+	// runSyncSGDWorkers).
+	commSel *HybridSelector
 	// layerFlops holds the per-layer forward FLOP counts of the model and
 	// paramLayers the nn layer index of each plan segment (the parameter
 	// layers, in order) — the inputs of the streaming pipeline's
@@ -114,6 +119,9 @@ func newRunContext(cfg Config) (*runContext, error) {
 		if l.ParamCount() > 0 {
 			rc.paramLayers = append(rc.paramLayers, i)
 		}
+	}
+	if cfg.CommMode != CommDense {
+		rc.commSel = selectCommModes(cfg, init.Layers)
 	}
 
 	flopsPerBatch := init.TrainFLOPsPerSample() * int64(cfg.Batch)

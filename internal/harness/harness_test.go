@@ -12,7 +12,7 @@ import (
 func TestRegistryCompleteAndSorted(t *testing.T) {
 	want := []string{"ablation", "batch", "chaos", "faults", "fig10", "fig11",
 		"fig12", "fig13", "fig6.1", "fig6.2", "fig6.3", "fig6.4", "fig8", "hier",
-		"knlmodes", "lowprec", "overlap", "scale", "table2", "table3", "table4"}
+		"hybrid", "knlmodes", "lowprec", "overlap", "scale", "table2", "table3", "table4"}
 	got := List()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -403,6 +403,81 @@ func TestHierExperimentShape(t *testing.T) {
 	last, _ := strconv.ParseFloat(tb.Cell(len(tb.Rows)-1, 3), 64)
 	if last > first {
 		t.Errorf("τ_global pacing did not cut step time: first %v µs, last %v µs", first, last)
+	}
+}
+
+// The hybrid experiment's acceptance claims: on the fc-heavy net the sfb and
+// hybrid transports cut wire bytes at small batch, hybrid never runs slower
+// than dense, the big-batch rows cross back over (sfb wire overtakes dense),
+// and no row's mathematics diverges from the dense baseline.
+func TestHybridExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	r, err := RunHybrid(Options{Seed: 1, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 3 {
+		t.Fatalf("hybrid experiment produced %d tables, want 3", len(r.Tables))
+	}
+	// Selector table: at least one sfb row (the fc block) and at least one
+	// conv row pinned dense with no factor form.
+	sfb, noFactor := false, false
+	for ri := range r.Tables[0].Rows {
+		switch r.Tables[0].Cell(ri, 3) {
+		case "sfb":
+			sfb = true
+		case "dense (no factor form)":
+			noFactor = true
+		}
+	}
+	if !sfb || !noFactor {
+		t.Errorf("selector table lacks an sfb row (%v) or a no-factor-form conv row (%v)", sfb, noFactor)
+	}
+	wire := func(tb *Table, ri int) int64 {
+		v, err := strconv.ParseInt(tb.Cell(ri, 3), 10, 64)
+		if err != nil {
+			t.Fatalf("bad wire cell %q", tb.Cell(ri, 3))
+		}
+		return v
+	}
+	step := func(tb *Table, ri int) float64 {
+		v, err := strconv.ParseFloat(tb.Cell(ri, 4), 64)
+		if err != nil {
+			t.Fatalf("bad step cell %q", tb.Cell(ri, 4))
+		}
+		return v
+	}
+	for _, tb := range r.Tables[1:] {
+		for ri := range tb.Rows {
+			if tb.Cell(ri, 6) != "ok" {
+				t.Errorf("%s row %d: math diverged from the dense baseline", tb.Title, ri)
+			}
+		}
+	}
+	// fc-heavy table, rows in (B,P)-groups of three: dense, sfb, hybrid.
+	fc := r.Tables[1]
+	if fc.Cell(0, 2) != "dense" || fc.Cell(1, 2) != "sfb" || fc.Cell(2, 2) != "hybrid" {
+		t.Fatalf("unexpected fc-heavy row order: %v", fc.Rows)
+	}
+	// Small batch (B=8): factors cut wire, and hybrid is never slower.
+	if wire(fc, 1) >= wire(fc, 0) {
+		t.Errorf("B=8: sfb wire %d not below dense %d", wire(fc, 1), wire(fc, 0))
+	}
+	if wire(fc, 2) >= wire(fc, 0) {
+		t.Errorf("B=8: hybrid wire %d not below dense %d", wire(fc, 2), wire(fc, 0))
+	}
+	for g := 0; g+2 < len(fc.Rows); g += 3 {
+		if s := step(fc, g+2); s > step(fc, g)*1.0001 {
+			t.Errorf("rows %d-%d: hybrid step %.4f ms slower than dense %.4f ms", g, g+2, s, step(fc, g))
+		}
+	}
+	// Big batch (B=64, P=8, last group): the factor payload overtakes the
+	// dense gradient — the crossover the selector exists to catch.
+	last := len(fc.Rows) - 3
+	if wire(fc, last+1) <= wire(fc, last) {
+		t.Errorf("B=64: sfb wire %d did not overtake dense %d (no crossover to show)", wire(fc, last+1), wire(fc, last))
 	}
 }
 

@@ -42,6 +42,7 @@ func init() {
 	register(Experiment{ID: "knlmodes", Title: "MCDRAM and cluster-mode ablation", PaperRef: "Sections 2.1, 6.2", Run: RunKNLModes})
 	register(Experiment{ID: "hier", Title: "Hierarchical two-level clusters (node-local + fabric collectives)", PaperRef: "Sections 6.2, 7.1; FireCaffe/Poseidon", Run: RunHier})
 	register(Experiment{ID: "scale", Title: "Thousand-node sweeps: collectives and weak scaling to P=1024", PaperRef: "Sections 6.2, 7.1; Table 4 (cluster scale)", Run: RunScale})
+	register(Experiment{ID: "hybrid", Title: "Hybrid communication: sufficient-factor broadcasting vs dense allreduce", PaperRef: "Section 5.1 (communication); Poseidon (Zhang et al.)", Run: RunHybrid})
 	register(Experiment{ID: "faults", Title: "Failure scenarios: stragglers, degraded links, fail-stop recovery", PaperRef: "Section 7 (robustness discussion); model extension", Run: RunFaults})
 	register(Experiment{ID: "chaos", Title: "Survivable collectives: loss, corruption, fail-stop without checkpoint", PaperRef: "Section 7 (robustness discussion); model extension", Run: RunChaos})
 }

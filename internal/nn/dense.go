@@ -17,6 +17,7 @@ type Dense struct {
 	outBuf []float32
 	dxBuf  []float32
 	lastX  []float32
+	lastDY []float32
 	lastB  int
 }
 
@@ -72,6 +73,7 @@ func (l *Dense) Backward(dy []float32, b int) []float32 {
 	if l.lastB != b {
 		panic("nn: dense Backward batch mismatch with Forward")
 	}
+	l.lastDY = dy
 	dym := tensor.Wrap(dy, b, l.units)
 	xm := tensor.Wrap(l.lastX, b, l.inDim)
 	// dW += dYᵀ·X (F×D), accumulated in-place by the engine — no temporary.
@@ -95,3 +97,17 @@ func (l *Dense) Backward(dy []float32, b int) []float32 {
 func (l *Dense) FwdFLOPsPerSample() int64 {
 	return 2 * int64(l.units) * int64(l.inDim)
 }
+
+// BackwardFactors exposes the sufficient factors of the last Backward: the
+// (dY, X) views whose outer product dYᵀ·X is exactly the weight-gradient
+// contribution the call accumulated (plus the column sums of dY for the
+// bias). Both are live views into existing buffers — no copy — valid until
+// the next Forward/Backward on this layer. This is what sufficient-factor
+// broadcasting (Poseidon) sends over the wire instead of the F×D gradient.
+func (l *Dense) BackwardFactors() (dy, x []float32, b, f, d int) {
+	return l.lastDY, l.lastX, l.lastB, l.units, l.inDim
+}
+
+// FactorShape reports the factor dimensions (F, D) without needing a
+// Backward first — the static input of the hybrid comm selector's cost model.
+func (l *Dense) FactorShape() (f, d int) { return l.units, l.inDim }

@@ -56,6 +56,24 @@ type Layer interface {
 	FwdFLOPsPerSample() int64
 }
 
+// FactorLayer is implemented by layers whose weight gradient is a low-rank
+// outer product of two backward-pass activations — dW = dYᵀ·X for a dense
+// layer with batch b: dY is b×F, X is b×D, dW is F×D. Communicating the
+// factors costs O(b·(F+D)) wire instead of O(F·D), the sufficient-factor
+// observation of Poseidon; the comm tier reconstructs the dense gradient on
+// the receiver through the same GEMM the layer itself used, so the result is
+// bit-identical to shipping dW.
+type FactorLayer interface {
+	// BackwardFactors returns zero-copy views of the factors from the most
+	// recent Backward call: dy (b×F), x (b×D), plus their dimensions. Valid
+	// until the layer's next Forward/Backward.
+	BackwardFactors() (dy, x []float32, b, f, d int)
+	// FactorShape returns the static factor dimensions (F, D) — available
+	// before any Backward, for cost models sizing the factor payload
+	// b·(F+D) against the dense gradient F·D+F.
+	FactorShape() (f, d int)
+}
+
 // buf grows a scratch slice to n elements, reusing capacity.
 func buf(p *[]float32, n int) []float32 {
 	if cap(*p) < n {

@@ -167,6 +167,15 @@ func (n *Net) Forward(x []float32, b int, train bool) []float32 {
 type GradEvent struct {
 	Layer  int // index into Net.Layers; events fire in descending order
 	Lo, Hi int // the layer's element range within Grads ([Lo,Hi) = Offsets[Layer], Offsets[Layer+1])
+
+	// Sufficient factors, filled for layers implementing FactorLayer (dense
+	// layers): zero-copy views of the backward activations whose outer
+	// product dYᵀ·X is the layer's weight gradient. DY is B×F, X is B×D; nil
+	// for layers without factors. The views alias live net buffers — valid
+	// until the net's next forward/backward — so consumers that need them
+	// past this iteration must snapshot.
+	DY, X   []float32
+	B, F, D int
 }
 
 // LossAndGradStream computes gradients for one minibatch exactly like
@@ -183,7 +192,11 @@ func (n *Net) LossAndGradStream(x []float32, labels []int, b int, emit func(Grad
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		dy = n.Layers[i].Backward(dy, b)
 		if emit != nil {
-			emit(GradEvent{Layer: i, Lo: n.Offsets[i], Hi: n.Offsets[i+1]})
+			e := GradEvent{Layer: i, Lo: n.Offsets[i], Hi: n.Offsets[i+1]}
+			if fl, ok := n.Layers[i].(FactorLayer); ok {
+				e.DY, e.X, e.B, e.F, e.D = fl.BackwardFactors()
+			}
+			emit(e)
 		}
 	}
 	return loss, correct

@@ -70,6 +70,86 @@ func TestStreamingBackwardBitIdenticalToMonolithic(t *testing.T) {
 	}
 }
 
+// Dense-layer events carry the sufficient factors (dY, X) whose outer
+// product is the layer's weight gradient. Reconstructing dW from the views
+// after the full walk must match the packed gradient bit-for-bit — which
+// both pins the factor math and proves the views are not mutated by the
+// remainder of the backward walk.
+func TestGradEventFactorsReconstructDenseGradient(t *testing.T) {
+	def := LeNet(Shape{C: 1, H: 28, W: 28}, 10)
+	n := def.Build(42)
+	x, labels := streamBatch(def, 5, 9)
+	n.ZeroGrad()
+	var factorEvents []GradEvent
+	n.LossAndGradStream(x, labels, 5, func(e GradEvent) {
+		if e.DY != nil {
+			factorEvents = append(factorEvents, e)
+		}
+	})
+	if len(factorEvents) == 0 {
+		t.Fatal("LeNet has dense layers but no event carried factors")
+	}
+	for _, e := range factorEvents {
+		if len(e.DY) != e.B*e.F || len(e.X) != e.B*e.D {
+			t.Fatalf("layer %d factor dims: |dY|=%d want %d·%d, |X|=%d want %d·%d",
+				e.Layer, len(e.DY), e.B, e.F, len(e.X), e.B, e.D)
+		}
+		if e.Hi-e.Lo != e.F*e.D+e.F {
+			t.Fatalf("layer %d param range %d does not match F·D+F = %d·%d+%d",
+				e.Layer, e.Hi-e.Lo, e.F, e.D, e.F)
+		}
+		// dW via the same packed GEMM the layer used, from a zero buffer.
+		scratch := make([]float32, e.F*e.D)
+		tensor.MatMulAddTransA(tensor.Wrap(scratch, e.F, e.D),
+			tensor.Wrap(e.DY, e.B, e.F), tensor.Wrap(e.X, e.B, e.D))
+		for i, v := range scratch {
+			if got := n.Grads[e.Lo+i]; got != v {
+				t.Fatalf("layer %d dW[%d]: reconstructed %v, packed %v", e.Layer, i, v, got)
+			}
+		}
+		// db = column sums of dY, in the layer's own accumulation order.
+		db := make([]float32, e.F)
+		for i := 0; i < e.B; i++ {
+			row := e.DY[i*e.F : (i+1)*e.F]
+			for j, v := range row {
+				db[j] += v
+			}
+		}
+		for j, v := range db {
+			if got := n.Grads[e.Lo+e.F*e.D+j]; got != v {
+				t.Fatalf("layer %d db[%d]: reconstructed %v, packed %v", e.Layer, j, v, got)
+			}
+		}
+	}
+}
+
+// Hoisting the factor views into GradEvent must not copy: the streaming walk
+// allocates nothing beyond what the factor-free walk does.
+func TestFactorEmissionZeroExtraAllocs(t *testing.T) {
+	def := LeNet(Shape{C: 1, H: 28, W: 28}, 10)
+	n := def.Build(1)
+	x, labels := streamBatch(def, 4, 2)
+	// Warm every scratch buffer in the net and the loss head.
+	n.ZeroGrad()
+	n.LossAndGrad(x, labels, 4)
+
+	base := testing.AllocsPerRun(10, func() {
+		n.ZeroGrad()
+		n.LossAndGradStream(x, labels, 4, nil)
+	})
+	events := make([]GradEvent, len(n.Layers))
+	k := 0
+	emit := func(e GradEvent) { events[k] = e; k++ }
+	withFactors := testing.AllocsPerRun(10, func() {
+		k = 0
+		n.ZeroGrad()
+		n.LossAndGradStream(x, labels, 4, emit)
+	})
+	if withFactors > base {
+		t.Fatalf("factor emission allocates: %v allocs/run vs %v without emit", withFactors, base)
+	}
+}
+
 // A layer's gradient slice is final at emission time: capturing the slice
 // contents inside the callback and comparing after the full walk must show
 // no later mutation (layers own disjoint views of the packed buffer).

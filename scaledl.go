@@ -88,6 +88,7 @@ const (
 	CatRecovery        = core.CatRecovery
 	CatRetry           = core.CatRetry
 	CatDropped         = core.CatDropped
+	CatSFBRecon        = core.CatSFBRecon
 )
 
 // FaultPlan.FailMode values: reload-and-replay recovery (timing-only, the
@@ -271,6 +272,45 @@ type KNLClusterConfig = core.KNLClusterConfig
 func TrainKNLCluster(cfg KNLClusterConfig) (Result, error) {
 	return core.KNLClusterEASGD(cfg)
 }
+
+// CommMode selects the gradient transport of the allreduce methods for
+// Config.CommMode: dense (every layer allreduces its full gradient, the
+// default), sfb (every dense layer ships B·(F+D) sufficient factors —
+// Poseidon's sufficient-factor broadcasting — and receivers reconstruct
+// Σₚ dYₚᵀ·Xₚ locally), or hybrid (the per-layer winner of the analytic
+// α-β cost model). The transport changes where bytes move, never what is
+// summed: reconstruction is bit-identical to the dense allreduce.
+type CommMode = core.CommMode
+
+// Gradient transports for Config.CommMode.
+const (
+	CommDense  = core.CommDense
+	CommSFB    = core.CommSFB
+	CommHybrid = core.CommHybrid
+)
+
+// ParseCommMode converts a transport name ("dense", "sfb", "hybrid"; empty
+// means dense) for Config.CommMode.
+func ParseCommMode(name string) (CommMode, error) { return core.ParseCommMode(name) }
+
+// CommModes lists the transport names ParseCommMode accepts.
+func CommModes() []string { return core.CommModes() }
+
+// HybridSelector holds the per-layer transport verdicts of one run
+// configuration; LayerCommChoice is one layer's cost-model row (dense vs
+// factor wire bytes and analytic times, and the transport the run uses).
+type (
+	HybridSelector  = core.HybridSelector
+	LayerCommChoice = core.LayerCommChoice
+)
+
+// SelectCommModes runs the hybrid communication selector for a
+// configuration without training: per parameter layer, the analytic cost of
+// the dense allreduce versus the sufficient-factor allgather plus
+// reconstruction, and the transport Config.CommMode routes it to — the
+// cost-model entry point behind scaledl-train's -verbose-comm and the
+// "hybrid" experiment.
+func SelectCommModes(cfg Config) (*HybridSelector, error) { return core.SelectCommModes(cfg) }
 
 // CollectiveSchedule selects the message pattern of the simulated
 // allreduce collectives for Config.Schedule: tree (default), ring,

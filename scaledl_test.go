@@ -239,8 +239,8 @@ func TestHierFacade(t *testing.T) {
 }
 
 func TestExperimentFacade(t *testing.T) {
-	if len(Experiments()) != 21 {
-		t.Errorf("want 21 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 22 {
+		t.Errorf("want 22 experiments, got %d", len(Experiments()))
 	}
 	rep, err := RunExperiment("table2", Options{Seed: 1})
 	if err != nil {
