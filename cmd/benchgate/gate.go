@@ -116,6 +116,30 @@ type simKernelEntry struct {
 	MaxNsPerOp   int64    `json:"max_ns_per_op,omitempty"`
 }
 
+// serveBaseline mirrors BENCH_serve.json: the inference-serving baselines.
+// Two metrics are gated per entry:
+//
+//   - req_per_sec — serving throughput through the batcher, higher-better,
+//     gated with the shared tolerance (host-dependent but order-of-magnitude
+//     stable: a lost coalescing path halves it);
+//   - allocs_per_op — gated exactly: the batching hot path (admission →
+//     coalesce → PredictInto → fan-out) is allocation-free in steady state
+//     by contract, so any increase fails outright.
+//
+// mean_batch is recorded by -update for reference (it shows coalescing is
+// actually happening) but not gated: it depends on sender scheduling.
+type serveBaseline struct {
+	Description string                 `json:"description"`
+	Benchmarks  map[string]*serveEntry `json:"benchmarks"`
+}
+
+type serveEntry struct {
+	NsPerOp     int64    `json:"ns_per_op"`
+	ReqPerSec   float64  `json:"req_per_sec"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	MeanBatch   float64  `json:"mean_batch,omitempty"`
+}
+
 // gemmBaseline mirrors BENCH_gemm.json.
 type gemmBaseline struct {
 	Description string         `json:"description"`
@@ -228,6 +252,12 @@ func gate(dir, tier string, fresh map[string]benchResult, tol float64, update bo
 		return nil, err
 	}
 	rows = append(rows, simRows...)
+
+	serveRows, err := gateServe(dir, fresh, tol, update)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, serveRows...)
 
 	path := filepath.Join(dir, "BENCH_gemm.json")
 	raw, err := os.ReadFile(path)
@@ -429,6 +459,94 @@ func gateSimKernel(dir string, fresh map[string]benchResult, tol float64, update
 				}
 				return row
 			})
+		}
+	}
+	if update && changed {
+		out, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// gateServe gates BENCH_serve.json: req/s with the shared tolerance
+// (higher-better), allocs/op exactly.
+func gateServe(dir string, fresh map[string]benchResult, tol float64, update bool) ([]gateRow, error) {
+	const serveFile = "BENCH_serve.json"
+	path := filepath.Join(dir, serveFile)
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	} else if err != nil {
+		return nil, err
+	}
+	var base serveBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", serveFile, err)
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var rows []gateRow
+	changed := false
+	for _, name := range names {
+		entry := base.Benchmarks[name]
+		short := strings.TrimPrefix(name, "Benchmark")
+		got, ok := fresh[short]
+		if !ok {
+			rows = append(rows, gateRow{File: serveFile, Name: short, Metric: "req/s",
+				Base: entry.ReqPerSec, Status: statusMissing, Note: "benchmark did not run"})
+			continue
+		}
+		if update {
+			if ns, ok := got.Metrics["ns/op"]; ok {
+				entry.NsPerOp = int64(ns)
+			}
+			if rs, ok := got.Metrics["req/s"]; ok {
+				entry.ReqPerSec = rs
+			}
+			if al, ok := got.Metrics["allocs/op"]; ok && entry.AllocsPerOp != nil {
+				entry.AllocsPerOp = &al
+			}
+			if mb, ok := got.Metrics["mean-batch"]; ok {
+				entry.MeanBatch = mb
+			}
+			changed = true
+			continue
+		}
+		if rs, ok := got.Metrics["req/s"]; ok {
+			rows = append(rows, compare(serveFile, short, "req/s", entry.ReqPerSec, rs, tol, true))
+		} else {
+			rows = append(rows, gateRow{File: serveFile, Name: short, Metric: "req/s",
+				Base: entry.ReqPerSec, Status: statusMissing, Note: "no req/s metric reported"})
+		}
+		if entry.AllocsPerOp != nil {
+			al, ok := got.Metrics["allocs/op"]
+			if !ok {
+				rows = append(rows, gateRow{File: serveFile, Name: short, Metric: "allocs/op",
+					Base: *entry.AllocsPerOp, Status: statusMissing, Note: "no allocs/op metric reported"})
+				continue
+			}
+			row := gateRow{File: serveFile, Name: short, Metric: "allocs/op",
+				Base: *entry.AllocsPerOp, Fresh: al}
+			switch {
+			case al > *entry.AllocsPerOp:
+				row.Status = statusFail
+				row.Note = fmt.Sprintf("serving hot path allocates: %.0f allocs/op (baseline %.0f, gated exactly)",
+					al, *entry.AllocsPerOp)
+			case al < *entry.AllocsPerOp:
+				row.Status = statusImproved
+				row.Note = "fewer allocations than baseline — consider regenerating with -update"
+			default:
+				row.Status = statusOK
+			}
+			rows = append(rows, row)
 		}
 	}
 	if update && changed {

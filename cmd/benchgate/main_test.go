@@ -321,6 +321,86 @@ func TestGateTierKeyedGFLOPS(t *testing.T) {
 
 // The real checked-in baselines parse and every gated entry has a matching
 // benchmark name shape (guards against renames drifting past the gate).
+// BENCH_serve.json gates req/s higher-better with the tolerance and
+// allocs/op exactly; -update records mean_batch without gating it.
+func TestGateServe(t *testing.T) {
+	dir := t.TempDir()
+	baseline := `{
+  "description": "test",
+  "benchmarks": {
+    "BenchmarkServeSolo":      { "ns_per_op": 32000, "req_per_sec": 31000, "allocs_per_op": 0 },
+    "BenchmarkServeCoalesced": { "ns_per_op": 25000, "req_per_sec": 39000, "allocs_per_op": 0, "mean_batch": 8.0 }
+  }
+}`
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_serve.json"), []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bench := func(soloRPS, coalRPS, coalAllocs float64) string {
+		return "BenchmarkServeSolo-1 \t 10\t 32000 ns/op\t " + f(soloRPS) + " req/s\t 0 B/op\t 0 allocs/op\n" +
+			"BenchmarkServeCoalesced-1 \t 10\t 25000 ns/op\t 7.9 mean-batch\t " + f(coalRPS) +
+			" req/s\t 0 B/op\t " + f(coalAllocs) + " allocs/op\n"
+	}
+
+	// At baseline everything passes: 2 req/s gates + 2 allocs gates.
+	rows := runGate(t, dir, bench(31000, 39000, 0), false)
+	serveOK := 0
+	for _, r := range rows {
+		if r.File == "BENCH_serve.json" {
+			if r.Status != statusOK {
+				t.Errorf("at baseline: %+v", r)
+			}
+			serveOK++
+		}
+	}
+	if serveOK != 4 {
+		t.Errorf("gated %d serve rows, want 4", serveOK)
+	}
+
+	// Throughput is higher-better: a drop beyond tolerance fails, a gain
+	// reports improved.
+	rows = runGate(t, dir, bench(31000, 20000, 0), false)
+	if !hasRow(rows, "ServeCoalesced", "req/s", statusFail) {
+		t.Errorf("throughput collapse not failed: %+v", rows)
+	}
+	rows = runGate(t, dir, bench(31000, 60000, 0), false)
+	if !hasRow(rows, "ServeCoalesced", "req/s", statusImproved) {
+		t.Errorf("throughput gain not improved: %+v", rows)
+	}
+
+	// One allocation in the hot path fails regardless of tolerance.
+	rows = runGate(t, dir, bench(31000, 39000, 1), false)
+	if !hasRow(rows, "ServeCoalesced", "allocs/op", statusFail) {
+		t.Errorf("alloc regression not failed: %+v", rows)
+	}
+
+	// -update rewrites req/s and mean_batch from the fresh run.
+	runGate(t, dir, bench(35000, 41000, 0), true)
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_serve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var updated serveBaseline
+	if err := json.Unmarshal(raw, &updated); err != nil {
+		t.Fatal(err)
+	}
+	coal := updated.Benchmarks["BenchmarkServeCoalesced"]
+	if coal.ReqPerSec != 41000 || coal.MeanBatch != 7.9 {
+		t.Errorf("update wrote req_per_sec=%v mean_batch=%v", coal.ReqPerSec, coal.MeanBatch)
+	}
+	if updated.Benchmarks["BenchmarkServeSolo"].ReqPerSec != 35000 {
+		t.Errorf("update wrote solo req_per_sec=%v", updated.Benchmarks["BenchmarkServeSolo"].ReqPerSec)
+	}
+}
+
+func hasRow(rows []gateRow, name, metric, status string) bool {
+	for _, r := range rows {
+		if r.Name == name && r.Metric == metric && r.Status == status {
+			return true
+		}
+	}
+	return false
+}
+
 func TestRealBaselinesParse(t *testing.T) {
 	root := filepath.Join("..", "..")
 	results := map[string]benchResult{}

@@ -1,0 +1,281 @@
+// Command scaledl-serve serves a trained model snapshot over HTTP with
+// dynamic micro-batching: concurrent /v1/predict requests are coalesced
+// into batched forwards through the packed GEMM engine (internal/serve).
+//
+// Usage:
+//
+//	scaledl-serve -model lenet.bin                        # serve a snapshot
+//	scaledl-serve -model lenet.bin -int8                  # quantize, then serve
+//	scaledl-serve -train-iters 60 -save demo.bin          # train a demo model, snapshot, exit
+//	scaledl-serve -model demo.bin -loadtest -rate 2000    # open-loop load test
+//	scaledl-serve -loadtest -assert-p99-ms 250 -assert-max-shed 0   # CI smoke
+//
+// Without -model the server trains a small demo TinyCNN on synthetic
+// MNIST-shaped data in-process, so every mode works from a bare checkout.
+// On SIGTERM/SIGINT the server drains: admission stops (healthz flips to
+// 503), every admitted request is answered, then the process exits.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"scaledl/internal/data"
+	"scaledl/internal/nn"
+	"scaledl/internal/serve"
+	"scaledl/internal/serve/loadgen"
+	"scaledl/internal/tensor"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "model snapshot to serve (empty = train a demo model in-process)")
+		savePath  = flag.String("save", "", "write the (possibly quantized) model snapshot here and exit")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
+		maxBatch  = flag.Int("max-batch", 32, "batch coalescing limit")
+		maxDelay  = flag.Duration("max-delay", 2*time.Millisecond, "max wait for a batch to fill before it launches")
+		queue     = flag.Int("queue-bound", 0, "admission queue bound; overflow is shed with 429 (0 = 4x max-batch)")
+		deadline  = flag.Duration("deadline", 0, "default per-request deadline when X-Deadline-Ms is absent (0 = none)")
+		int8Flag  = flag.Bool("int8", false, "int8 post-training quantization of dense/conv weights before serving")
+		prec      = flag.String("precision", "", "GEMM compute storage precision: fp32 (default), bf16 or fp16 (fp32 accumulation)")
+		iters     = flag.Int("train-iters", 40, "training iterations for the in-process demo model")
+
+		loadtest  = flag.Bool("loadtest", false, "boot the server, generate load against it, print the latency report and exit")
+		rate      = flag.Float64("rate", 0, "loadtest offered load in requests/second (0 = closed loop at -concurrency)")
+		duration  = flag.Duration("duration", 2*time.Second, "loadtest duration")
+		conc      = flag.Int("concurrency", 8, "loadtest workers (closed loop) or outstanding-request cap (open loop)")
+		assertP99 = flag.Float64("assert-p99-ms", 0, "loadtest: exit nonzero unless p99 latency is below this many milliseconds (0 = off)")
+		assertShd = flag.Float64("assert-max-shed", -1, "loadtest: exit nonzero if the shed rate exceeds this fraction (negative = off)")
+	)
+	flag.Parse()
+
+	p, err := tensor.ParsePrecision(*prec)
+	if err != nil {
+		fatal(err)
+	}
+	tensor.SetComputePrecision(p)
+
+	model, err := loadOrTrainModel(*modelPath, *iters)
+	if err != nil {
+		fatal(err)
+	}
+	if *int8Flag {
+		n := model.QuantizeInt8()
+		fmt.Fprintf(os.Stderr, "quantized %d layers to int8 (%d params)\n", n, model.ParamCount())
+	}
+	if *savePath != "" {
+		if err := saveModel(model, *savePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved %s snapshot to %s\n", model.Def().Name, *savePath)
+		return
+	}
+
+	s, err := serve.NewServer(model, serve.Config{
+		Batch: serve.BatchConfig{
+			MaxBatch:   *maxBatch,
+			MaxDelay:   *maxDelay,
+			QueueBound: *queue,
+		},
+		DefaultDeadline: *deadline,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *loadtest {
+		res := runLoadTest(ln, s, loadgen.Options{
+			Dim:         model.InputDim(),
+			Classes:     model.Classes(),
+			Duration:    *duration,
+			Rate:        *rate,
+			Concurrency: *conc,
+			Deadline:    *deadline,
+			Seed:        1,
+		})
+		printLoadResult(os.Stdout, res, s.Batcher().Stats(), *rate > 0)
+		if err := checkAsserts(res, *assertP99, *assertShd); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	hs := &http.Server{Handler: s.Handler()}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+		<-sig
+		fmt.Fprintln(os.Stderr, "draining: admission stopped, finishing admitted requests")
+		s.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+	}()
+	fmt.Fprintf(os.Stderr, "serving %s (%d params%s) on http://%s  max-batch=%d max-delay=%v\n",
+		model.Def().Name, model.ParamCount(), quantSuffix(model), ln.Addr(), *maxBatch, *maxDelay)
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	st := s.Batcher().Stats()
+	fmt.Fprintf(os.Stderr, "served %d requests in %d batches (mean batch %.2f), shed %d, expired %d\n",
+		st.Served, st.Batches, st.MeanBatch, st.Shed, st.Expired)
+}
+
+func quantSuffix(m *nn.Model) string {
+	if m.Quantized() {
+		return ", int8"
+	}
+	return ""
+}
+
+// loadOrTrainModel opens a snapshot, or trains the in-process demo model (a
+// TinyCNN on synthetic MNIST-shaped data) when path is empty.
+func loadOrTrainModel(path string, iters int) (*nn.Model, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return nn.LoadModel(f)
+	}
+	fmt.Fprintf(os.Stderr, "no -model: training a demo TinyCNN for %d iterations\n", iters)
+	spec := data.Spec{Name: "mnist-syn", Channels: 1, Height: 28, Width: 28, Classes: 10}
+	train, _ := data.Synthetic(data.Config{Spec: spec, Seed: 31, TrainN: 1024, TestN: 16, Noise: 0.8})
+	train.Normalize()
+	net := nn.TinyCNN(nn.Shape{C: 1, H: 28, W: 28}, 10).Build(1)
+	s := data.NewSampler(train, 7)
+	var batch *data.Batch
+	for i := 0; i < iters; i++ {
+		batch = s.Next(32, batch)
+		net.ZeroGrad()
+		net.LossAndGrad(batch.X, batch.Labels, 32)
+		net.SGDStep(0.05)
+	}
+	return nn.NewModel(net), nil
+}
+
+func saveModel(m *nn.Model, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runLoadTest serves on ln in the background and drives the load generator
+// through the real HTTP stack.
+func runLoadTest(ln net.Listener, s *serve.Server, o loadgen.Options) loadgen.Result {
+	hs := &http.Server{Handler: s.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	url := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2 * o.Concurrency}}
+	return loadgen.Run(httpTarget(url, client), o)
+}
+
+// httpTarget adapts a running server into a loadgen.Target: statuses map
+// back onto the batcher's sentinel errors so the recorder partitions
+// outcomes identically to a direct-batcher run.
+func httpTarget(url string, client *http.Client) loadgen.Target {
+	return func(in, out []float32, deadline time.Time) error {
+		body, err := json.Marshal(struct {
+			Input []float32 `json:"input"`
+		}{in})
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequest(http.MethodPost, url+"/v1/predict", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if !deadline.IsZero() {
+			ms := time.Until(deadline).Milliseconds()
+			if ms <= 0 {
+				return serve.ErrDeadline
+			}
+			req.Header.Set("X-Deadline-Ms", strconv.FormatInt(ms, 10))
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var pr struct {
+				Logits []float32 `json:"logits"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+				return err
+			}
+			copy(out, pr.Logits)
+			return nil
+		case http.StatusTooManyRequests:
+			return serve.ErrShed
+		case http.StatusGatewayTimeout:
+			return serve.ErrDeadline
+		case http.StatusServiceUnavailable:
+			return serve.ErrDraining
+		default:
+			return fmt.Errorf("predict: status %d", resp.StatusCode)
+		}
+	}
+}
+
+func printLoadResult(w io.Writer, r loadgen.Result, st serve.Stats, open bool) {
+	loop := "closed"
+	if open {
+		loop = "open"
+	}
+	fmt.Fprintf(w, "loadtest (%s loop): offered %.0f req/s, achieved %.0f req/s\n", loop, r.Offered, r.Achieved)
+	fmt.Fprintf(w, "  outcomes: ok=%d shed=%d expired=%d errors=%d (shed rate %.1f%%)\n",
+		r.OK, r.Shed, r.Expired, r.Errors, r.ShedRate()*100)
+	fmt.Fprintf(w, "  latency: p50=%.2fms p90=%.2fms p99=%.2fms p99.9=%.2fms max=%.2fms\n",
+		ms(r.P50), ms(r.P90), ms(r.P99), ms(r.P999), ms(r.Max))
+	fmt.Fprintf(w, "  batching: %d batches, mean batch %.2f\n", st.Batches, st.MeanBatch)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// checkAsserts applies the CI smoke bounds to a loadtest result.
+func checkAsserts(r loadgen.Result, p99Ms, maxShed float64) error {
+	if r.OK == 0 {
+		return errors.New("loadtest: no successful requests")
+	}
+	if p99Ms > 0 && ms(r.P99) >= p99Ms {
+		return fmt.Errorf("loadtest: p99 %.2fms breaches the %.0fms bound", ms(r.P99), p99Ms)
+	}
+	if maxShed >= 0 && r.ShedRate() > maxShed {
+		return fmt.Errorf("loadtest: shed rate %.3f exceeds the %.3f bound", r.ShedRate(), maxShed)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scaledl-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"scaledl/internal/parse"
+	"scaledl/internal/serve"
+	"scaledl/internal/serve/loadgen"
+	"scaledl/internal/tensor"
+)
+
+// The -precision flag is strict and its error names the allowed set in the
+// unified ParseError format every facade parser shares.
+func TestPrecisionFlagStrict(t *testing.T) {
+	for _, in := range []string{"", "fp32", "bf16", "fp16"} {
+		if _, err := tensor.ParsePrecision(in); err != nil {
+			t.Errorf("ParsePrecision(%q): %v", in, err)
+		}
+	}
+	_, err := tensor.ParsePrecision("int8")
+	if err == nil {
+		t.Fatal("ParsePrecision accepted int8")
+	}
+	var pe *parse.Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("precision error %T is not a parse.Error", err)
+	}
+	for _, want := range []string{"fp32", "bf16", "fp16", `"int8"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+}
+
+// Snapshot round trip through the files the -save flag writes: the demo
+// model reloads and serves, and the int8 snapshot is smaller.
+func TestSaveAndReloadSnapshot(t *testing.T) {
+	m, err := loadOrTrainModel("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	fp32Path := filepath.Join(dir, "m.bin")
+	if err := saveModel(m, fp32Path); err != nil {
+		t.Fatal(err)
+	}
+	m.QuantizeInt8()
+	int8Path := filepath.Join(dir, "m8.bin")
+	if err := saveModel(m, int8Path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadOrTrainModel(int8Path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Quantized() || got.InputDim() != m.InputDim() {
+		t.Fatalf("reloaded model: quantized=%v dim=%d", got.Quantized(), got.InputDim())
+	}
+}
+
+// httpTarget maps the server's status codes back onto the batcher's
+// sentinel errors, so loadgen's outcome partition matches a direct run.
+func TestHTTPTargetStatusMapping(t *testing.T) {
+	var status int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(status)
+		if status == http.StatusOK {
+			w.Write([]byte(`{"argmax":1,"logits":[0.5,2.5]}`))
+		}
+	}))
+	defer ts.Close()
+	target := httpTarget(ts.URL, ts.Client())
+	in, out := make([]float32, 4), make([]float32, 2)
+
+	status = http.StatusOK
+	if err := target(in, out, time.Time{}); err != nil || out[1] != 2.5 {
+		t.Errorf("200: err=%v out=%v", err, out)
+	}
+	for _, c := range []struct {
+		code int
+		want error
+	}{
+		{http.StatusTooManyRequests, serve.ErrShed},
+		{http.StatusGatewayTimeout, serve.ErrDeadline},
+		{http.StatusServiceUnavailable, serve.ErrDraining},
+	} {
+		status = c.code
+		if err := target(in, out, time.Time{}); !errors.Is(err, c.want) {
+			t.Errorf("status %d mapped to %v, want %v", c.code, err, c.want)
+		}
+	}
+	// An already-expired deadline is settled client-side, no request sent.
+	if err := target(in, out, time.Now().Add(-time.Second)); !errors.Is(err, serve.ErrDeadline) {
+		t.Errorf("expired deadline got %v, want ErrDeadline", err)
+	}
+}
+
+func TestCheckAsserts(t *testing.T) {
+	r := loadgen.Result{OK: 90, Shed: 10, P99: 80 * time.Millisecond}
+	if err := checkAsserts(r, 0, -1); err != nil {
+		t.Errorf("no bounds: %v", err)
+	}
+	if err := checkAsserts(r, 100, 0.2); err != nil {
+		t.Errorf("inside bounds: %v", err)
+	}
+	if err := checkAsserts(r, 50, -1); err == nil {
+		t.Error("p99 breach passed")
+	}
+	if err := checkAsserts(r, 0, 0.05); err == nil {
+		t.Error("shed breach passed")
+	}
+	if err := checkAsserts(loadgen.Result{}, 0, -1); err == nil {
+		t.Error("zero successes passed")
+	}
+}

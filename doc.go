@@ -97,11 +97,21 @@
 //     ablation of the streaming pipeline, and a hierarchical-versus-flat
 //     collective and training sweep on composed PCIe+fabric clusters (the
 //     "hier" experiment);
+//   - a batched inference server (internal/serve, cmd/scaledl-serve)
+//     behind the public Model API: training's Result.Model() saves to a
+//     versioned snapshot (optionally int8 post-training quantized),
+//     LoadModel reloads it, and the HTTP server coalesces concurrent
+//     /v1/predict requests into batched forwards with deadline-bounded
+//     admission, load shedding (429 + Retry-After) and graceful drain.
+//     Two contracts are pinned by tests: batching is bit-identical (a
+//     batch-of-N forward equals N batch-of-1 forwards at fp32) and the
+//     steady-state batching hot path is allocation-free;
 //   - a CI benchmark-regression gate (cmd/benchgate) comparing fresh
 //     microbenchmark runs against the checked-in BENCH_*.json baselines:
-//     deterministic simulated collective times (sim_ms) and GEMM GFLOPS
-//     are gated at 15%, so performance drift fails the pull request
-//     instead of landing silently.
+//     deterministic simulated collective times (sim_ms), GEMM GFLOPS and
+//     serving req/s are gated at 15% (serving allocs/op exactly), so
+//     performance drift fails the pull request instead of landing
+//     silently.
 //
 // # Execution model
 //
@@ -157,6 +167,14 @@
 //	}
 //	res, err := scaledl.Train("sync-easgd3", cfg)
 //
-// See the examples/ directory for runnable programs and cmd/scaledl-bench
-// for the experiment runner.
+// The trained model then rides the serving path:
+//
+//	var snap bytes.Buffer
+//	res.Model().Save(&snap)               // versioned snapshot
+//	m, err := scaledl.LoadModel(&snap)    // reload anywhere
+//	logits, err := m.Predict(input, 1)    // or serve it: cmd/scaledl-serve
+//
+// See the examples/ directory for runnable programs, cmd/scaledl-bench
+// for the experiment runner and cmd/scaledl-serve for the inference
+// server.
 package scaledl

@@ -1,9 +1,11 @@
 // Quickstart: train one model with the paper's best method (Sync EASGD3,
-// the "Communication-Efficient EASGD") on four simulated GPUs, and print
-// the accuracy trajectory and the §6.1.1 time breakdown.
+// the "Communication-Efficient EASGD") on four simulated GPUs, print the
+// accuracy trajectory and the §6.1.1 time breakdown, then round-trip the
+// trained model through the public Model API (Save → LoadModel → Predict).
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 
@@ -42,4 +44,30 @@ func main() {
 		res.FinalAcc, res.SimTime, res.Samples)
 	fmt.Printf("communication share of iteration time: %.0f%% (paper: 14%% for Sync EASGD3)\n",
 		res.Breakdown.CommRatio()*100)
+
+	// The trained model is a first-class artifact: snapshot it, reload it,
+	// and predict — the same path cmd/scaledl-serve serves over HTTP.
+	model := res.Model()
+	var snap bytes.Buffer
+	if err := model.Save(&snap); err != nil {
+		log.Fatal(err)
+	}
+	snapBytes := snap.Len()
+	reloaded, err := scaledl.LoadModel(&snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dim := reloaded.InputDim()
+	logits, err := reloaded.Predict(test.Images[:dim], 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	argmax := 0
+	for i, v := range logits {
+		if v > logits[argmax] {
+			argmax = i
+		}
+	}
+	fmt.Printf("\nmodel snapshot: %d bytes; reloaded and predicted class %d (label %d) for the first test image\n",
+		snapBytes, argmax, test.Labels[0])
 }

@@ -1,0 +1,122 @@
+// serve_quickstart: the full train → snapshot → serve loop in one file.
+// A LeNet-scale model is trained on synthetic MNIST-shaped data, saved and
+// reloaded through the public Model API, then put behind the micro-batching
+// HTTP server (the same stack cmd/scaledl-serve runs). One hundred
+// concurrent clients fire at once; the batcher coalesces them into a
+// handful of batched forwards, and every response is checked against the
+// model's own single-request answer.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"scaledl"
+	"scaledl/internal/serve"
+)
+
+func main() {
+	// 1. Train. TinyCNN keeps the example fast; swap in scaledl.LeNet for
+	// the paper's full 431k-parameter network.
+	train, test := scaledl.SyntheticMNIST(11, 2048, 256)
+	res, err := scaledl.Train("sync-easgd3", scaledl.Config{
+		Def:        scaledl.TinyCNN(scaledl.Shape{C: 1, H: 28, W: 28}, 10),
+		Train:      train,
+		Test:       test,
+		Workers:    4,
+		Batch:      32,
+		LR:         0.05,
+		Iterations: 60,
+		Seed:       1,
+		Platform:   scaledl.DefaultGPUPlatform(true),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained to %.3f accuracy in %.3f simulated seconds\n", res.FinalAcc, res.SimTime)
+
+	// 2. Snapshot and reload — the artifact boundary between training and
+	// serving. In production the bytes go to disk (see scaledl-serve -save).
+	var snap bytes.Buffer
+	if err := res.Model().Save(&snap); err != nil {
+		log.Fatal(err)
+	}
+	model, err := scaledl.LoadModel(&snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Serve with dynamic micro-batching: up to 16 concurrent requests
+	// coalesce into one batched forward, waiting at most 2ms for company.
+	s, err := serve.NewServer(model, serve.Config{
+		Batch: serve.BatchConfig{MaxBatch: 16, MaxDelay: 2 * time.Millisecond, QueueBound: 128},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// 4. One hundred concurrent clients, answers checked against the model.
+	// Expected argmaxes are computed up front: a Model is not
+	// concurrency-safe, so it must not be called while the batcher serves.
+	dim := model.InputDim()
+	const n = 100
+	want := make([]int, n)
+	for i := range want {
+		input := test.Images[(i%test.Len())*dim : (i%test.Len()+1)*dim]
+		logits, err := model.Predict(input, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for j, v := range logits {
+			if v > logits[want[i]] {
+				want[i] = j
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	agree := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			input := test.Images[(i%test.Len())*dim : (i%test.Len()+1)*dim]
+			body, _ := json.Marshal(struct {
+				Input []float32 `json:"input"`
+			}{input})
+			resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				log.Fatalf("request %d: status %d", i, resp.StatusCode)
+			}
+			var pr struct {
+				Argmax int `json:"argmax"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+				log.Fatal(err)
+			}
+			if pr.Argmax == want[i] {
+				mu.Lock()
+				agree++
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	st := s.Batcher().Stats()
+	fmt.Printf("served %d concurrent requests in %d batches (mean batch %.2f), %d/%d match the model exactly\n",
+		n, st.Batches, st.MeanBatch, agree, n)
+	s.Drain()
+}

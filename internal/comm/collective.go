@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"scaledl/internal/parse"
 	"scaledl/internal/sim"
 	"scaledl/internal/tensor"
 )
@@ -141,7 +142,7 @@ func ParseSchedule(name string) (Schedule, error) {
 	case "linear":
 		return ScheduleLinear, nil
 	default:
-		return 0, fmt.Errorf("comm: unknown schedule %q (one of %v)", name, Schedules())
+		return 0, parse.Errorf("collective schedule", name, Schedules())
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"scaledl/internal/comm"
+	"scaledl/internal/parse"
 	"scaledl/internal/sim"
 )
 
@@ -133,6 +134,23 @@ const (
 	FailContinue = "continue"
 )
 
+// FailModes lists every mode name accepted by ParseFailMode.
+func FailModes() []string { return []string{FailRecover, FailContinue} }
+
+// ParseFailMode validates a fail-mode name ("recover", "continue"); the
+// empty string means recover. It is the strict-parser twin of
+// ParseCommMode for the -fail-mode style flags.
+func ParseFailMode(name string) (string, error) {
+	switch name {
+	case "":
+		return FailRecover, nil
+	case FailRecover, FailContinue:
+		return name, nil
+	default:
+		return "", parse.Errorf("fail mode", name, FailModes())
+	}
+}
+
 // BadLink adds per-link loss/corruption on the directed link From→To
 // (worker ranks), on top of FaultPlan.LossRate/CorruptRate.
 type BadLink struct {
@@ -202,7 +220,7 @@ func (f *FaultPlan) validate(workers int) error {
 			return fmt.Errorf("core: fail mode %q cannot kill rank 0 (the coordinator)", f.FailMode)
 		}
 	default:
-		return fmt.Errorf("core: unknown fail mode %q (want %q or %q)", f.FailMode, FailRecover, FailContinue)
+		return parse.Errorf("fail mode", f.FailMode, FailModes())
 	}
 	if f.LossRate < 0 || f.LossRate >= 1 {
 		return fmt.Errorf("core: loss rate must be in [0, 1), got %v", f.LossRate)

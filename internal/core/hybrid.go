@@ -6,6 +6,7 @@ import (
 	"scaledl/internal/comm"
 	"scaledl/internal/hw"
 	"scaledl/internal/nn"
+	"scaledl/internal/parse"
 )
 
 // This file is the hybrid communication selector — Poseidon's observation
@@ -67,7 +68,7 @@ func ParseCommMode(name string) (CommMode, error) {
 	case "hybrid":
 		return CommHybrid, nil
 	default:
-		return 0, fmt.Errorf("core: unknown comm mode %q (one of %v)", name, CommModes())
+		return 0, parse.Errorf("comm mode", name, CommModes())
 	}
 }
 

@@ -35,7 +35,11 @@
 // monolithic or overlapped, flat or hierarchical.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"scaledl/internal/nn"
+)
 
 // Category is one of the time-consuming parts of §6.1.1 of the paper
 // (parts 1-2, data I/O and initialization, are ignored there and here).
@@ -227,6 +231,21 @@ type Result struct {
 	// from that step's sum (FaultPlan.PartialK). Deterministic: the same
 	// configuration and fault seed drop the same ranks at the same steps.
 	Dropped []DropRecord
+
+	// net is the trained network at the final center weights, behind the
+	// Model accessor so Train → serve composes through the facade without
+	// exposing internals.
+	net *nn.Net
+}
+
+// Model returns the trained model (the network at the final center
+// weights) — the handle the serving path loads, saves and predicts with.
+// Nil for zero-value Results.
+func (r Result) Model() *nn.Model {
+	if r.net == nil {
+		return nil
+	}
+	return nn.NewModel(r.net)
 }
 
 // DropRecord names the ranks whose gradients were dropped at one step.

@@ -326,6 +326,8 @@ func (rc *runContext) finish(method string, simTime float64) Result {
 		live++
 	}
 	lastLoss /= float64(live)
+	trained := rc.cfg.Def.Build(0)
+	copy(trained.Params, rc.center)
 	return Result{
 		Method:        method,
 		Workers:       rc.cfg.Workers,
@@ -338,5 +340,6 @@ func (rc *runContext) finish(method string, simTime float64) Result {
 		Samples:       rc.samples,
 		MasterUpdates: rc.updates,
 		Dropped:       rc.dropped,
+		net:           trained,
 	}
 }

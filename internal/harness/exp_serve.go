@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"scaledl/internal/data"
+	"scaledl/internal/nn"
+	"scaledl/internal/serve"
+	"scaledl/internal/serve/loadgen"
+)
+
+// RunServing measures the inference side of the system: a trained model
+// behind the micro-batching admission queue (internal/serve), driven by
+// the open-loop load generator across a sweep of offered rates. The sweep
+// is calibrated from the measured forward times, so the table always
+// brackets the batching knee: below saturation the batcher coalesces just
+// enough to keep p50 near one MaxDelay; past saturation the queue fills,
+// the shed rate climbs and p99 pins at the queue's drain time. The closing
+// row is the closed-loop capacity at the same concurrency for contrast.
+func RunServing(o Options) (*Report, error) {
+	o = o.withDefaults()
+	train, test, def := mnistWorkload(o)
+	model := trainServingModel(o, train, def)
+
+	const (
+		maxBatch = 16
+		maxDelay = 2 * time.Millisecond
+	)
+	cfg := serve.BatchConfig{MaxBatch: maxBatch, MaxDelay: maxDelay}
+	b, err := serve.NewBatcher(model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer b.Drain()
+
+	// Calibrate the sweep: a full batch amortizes one forward over
+	// maxBatch requests, so saturation sits near maxBatch/t(batch).
+	soloT, batchT := forwardTimes(model, maxBatch)
+	capacity := float64(maxBatch) / batchT.Seconds()
+
+	r := &Report{
+		ID:       "serving",
+		Title:    "Batched inference serving: latency and shed rate vs offered load",
+		PaperRef: "ROADMAP serving leg; Poseidon (system boundary incl. serving)",
+	}
+	r.AddNote("model %s (%d params), batch-1 forward %.3fms, batch-%d forward %.3fms (%.1fx amortization), calibrated capacity %.0f req/s",
+		def.Name, model.ParamCount(), ms(soloT), maxBatch, ms(batchT),
+		float64(maxBatch)*soloT.Seconds()/batchT.Seconds(), capacity)
+
+	t := r.NewTable(
+		fmt.Sprintf("open loop, MaxBatch=%d MaxDelay=%v QueueBound=%d", maxBatch, maxDelay, b.Config().QueueBound),
+		"offered(req/s)", "achieved", "p50(ms)", "p99(ms)", "p99.9(ms)", "mean batch", "shed%")
+
+	dur := time.Duration(float64(400*time.Millisecond) * o.Scale)
+	if dur < 100*time.Millisecond {
+		dur = 100 * time.Millisecond
+	}
+	for _, mult := range []float64{0.25, 0.5, 1, 1.5, 2} {
+		before := b.Stats()
+		res := loadgen.Run(b.Do, loadgen.Options{
+			Dim:         model.InputDim(),
+			Classes:     model.Classes(),
+			Duration:    dur,
+			Rate:        mult * capacity,
+			Concurrency: 4 * maxBatch,
+			Seed:        o.Seed,
+		})
+		after := b.Stats()
+		t.AddRow(
+			fmt.Sprintf("%.0f (%.2fx)", res.Offered, mult),
+			fmt.Sprintf("%.0f", res.Achieved),
+			fmt.Sprintf("%.2f", ms(res.P50)),
+			fmt.Sprintf("%.2f", ms(res.P99)),
+			fmt.Sprintf("%.2f", ms(res.P999)),
+			meanBatch(before, after),
+			fmt.Sprintf("%.1f", res.ShedRate()*100),
+		)
+	}
+
+	closed := loadgen.Run(b.Do, loadgen.Options{
+		Dim:         model.InputDim(),
+		Classes:     model.Classes(),
+		Duration:    dur,
+		Concurrency: 4 * maxBatch,
+		Seed:        o.Seed,
+	})
+	t.AddRow(
+		fmt.Sprintf("%.0f (closed)", closed.Offered),
+		fmt.Sprintf("%.0f", closed.Achieved),
+		fmt.Sprintf("%.2f", ms(closed.P50)),
+		fmt.Sprintf("%.2f", ms(closed.P99)),
+		fmt.Sprintf("%.2f", ms(closed.P999)),
+		"-",
+		fmt.Sprintf("%.1f", closed.ShedRate()*100),
+	)
+
+	quantNote(r, model, test)
+	r.AddNote("the knee: below capacity the batcher trades one MaxDelay of waiting for amortized forwards and sheds nothing; past it the queue saturates and backpressure (shed%%) absorbs the overload instead of latency growing without bound")
+	return r, nil
+}
+
+// trainServingModel trains the workload model just far enough that logits
+// are meaningful; serving timing does not depend on accuracy.
+func trainServingModel(o Options, train *data.Dataset, def nn.NetDef) *nn.Model {
+	net := def.Build(o.Seed)
+	s := data.NewSampler(train, o.Seed+1)
+	var batch *data.Batch
+	for i := 0; i < o.scaled(30); i++ {
+		batch = s.Next(32, batch)
+		net.ZeroGrad()
+		net.LossAndGrad(batch.X, batch.Labels, 32)
+		net.SGDStep(0.05)
+	}
+	return nn.NewModel(net)
+}
+
+// forwardTimes measures the model's batch-1 and batch-n forward times.
+func forwardTimes(m *nn.Model, n int) (solo, batch time.Duration) {
+	in := make([]float32, n*m.InputDim())
+	out := make([]float32, n*m.Classes())
+	_ = m.PredictInto(in, n, out)
+	_ = m.PredictInto(in[:m.InputDim()], 1, out[:m.Classes()])
+	const reps = 10
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		_ = m.PredictInto(in[:m.InputDim()], 1, out[:m.Classes()])
+	}
+	solo = time.Since(t0) / reps
+	t0 = time.Now()
+	for i := 0; i < reps; i++ {
+		_ = m.PredictInto(in, n, out)
+	}
+	batch = time.Since(t0) / reps
+	return solo, batch
+}
+
+// meanBatch reports the mean coalesced batch size between two stat
+// snapshots.
+func meanBatch(before, after serve.Stats) string {
+	db := after.Batches - before.Batches
+	ds := after.Served - before.Served
+	if db == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(ds)/float64(db))
+}
+
+// quantNote appends the int8 footprint/accuracy comparison to the report.
+func quantNote(r *Report, m *nn.Model, test *data.Dataset) {
+	evalN := len(test.Labels)
+	if evalN > 256 {
+		evalN = 256
+	}
+	if evalN == 0 {
+		return
+	}
+	dim := m.InputDim()
+	fp32Acc := m.Evaluate(test.Images[:evalN*dim], test.Labels[:evalN], 64)
+	m.QuantizeInt8()
+	int8Acc := m.Evaluate(test.Images[:evalN*dim], test.Labels[:evalN], 64)
+	r.AddNote("int8 post-training quantization: accuracy %.3f -> %.3f on %d held-out samples, snapshot ~4x smaller (weights 1 byte each)",
+		fp32Acc, int8Acc, evalN)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -12,7 +12,8 @@ import (
 func TestRegistryCompleteAndSorted(t *testing.T) {
 	want := []string{"ablation", "batch", "chaos", "faults", "fig10", "fig11",
 		"fig12", "fig13", "fig6.1", "fig6.2", "fig6.3", "fig6.4", "fig8", "hier",
-		"hybrid", "knlmodes", "lowprec", "overlap", "scale", "table2", "table3", "table4"}
+		"hybrid", "knlmodes", "lowprec", "overlap", "scale", "serving", "table2",
+		"table3", "table4"}
 	got := List()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))

@@ -45,6 +45,7 @@ func init() {
 	register(Experiment{ID: "hybrid", Title: "Hybrid communication: sufficient-factor broadcasting vs dense allreduce", PaperRef: "Section 5.1 (communication); Poseidon (Zhang et al.)", Run: RunHybrid})
 	register(Experiment{ID: "faults", Title: "Failure scenarios: stragglers, degraded links, fail-stop recovery", PaperRef: "Section 7 (robustness discussion); model extension", Run: RunFaults})
 	register(Experiment{ID: "chaos", Title: "Survivable collectives: loss, corruption, fail-stop without checkpoint", PaperRef: "Section 7 (robustness discussion); model extension", Run: RunChaos})
+	register(Experiment{ID: "serving", Title: "Batched inference serving: latency and shed rate vs offered load", PaperRef: "ROADMAP serving leg; Poseidon (system boundary incl. serving)", Run: RunServing})
 }
 
 // List returns all experiments ordered by ID.

@@ -26,11 +26,25 @@ type Conv2D struct {
 	dxBuf  []float32
 	lastX  []float32
 	lastB  int
+	chunks [][2]int // batch chunk assignment, reused across calls
 
 	// per-chunk backward scratch, reused across calls
 	partialDW [][]float32
 	partialDB [][]float32
 	dcolsBuf  [][]float32
+
+	// Hot-path reuse: tensor.Wrap and a fresh par.For closure would each
+	// allocate per call, which the serving batcher's zero-alloc contract
+	// forbids. The chunk workers instead run cached method closures that
+	// read the call's inputs from fwdX/bwdDY and wrap matrices through
+	// per-chunk view slots (fwdV, bwdV) plus the shared weight view wV.
+	wV    tensor.Tensor
+	fwdV  [][2]tensor.Tensor // per-chunk {cols, out} views
+	bwdV  [][4]tensor.Tensor // per-chunk {dy, cols, dcols, partialDW} views
+	fwdX  []float32
+	bwdDY []float32
+	fwdFn func(int)
+	bwdFn func(int)
 }
 
 // NewConv2D creates a convolution with the given filter count, square kernel,
@@ -87,83 +101,117 @@ func (l *Conv2D) Forward(x []float32, b int, train bool) []float32 {
 		panic(fmt.Sprintf("nn: %s forward input %d for batch %d×%d", l.name, len(x), b, inDim))
 	}
 	cs := l.colSize()
-	cols := buf(&l.cols, b*cs)
+	buf(&l.cols, b*cs)
 	out := buf(&l.outBuf, b*outDim)
 	kcc := l.in.C * l.kernel * l.kernel
-	spatial := l.out.H * l.out.W
-	chunks := par.ChunkRanges(b)
-	par.For(len(chunks), func(c int) {
-		lo, hi := chunks[c][0], chunks[c][1]
-		wMat := tensor.Wrap(l.w, l.filters, kcc)
-		for i := lo; i < hi; i++ {
-			ci := cols[i*cs : (i+1)*cs]
-			tensor.Im2col(ci, x[i*inDim:(i+1)*inDim], l.in.C, l.in.H, l.in.W, l.kernel, l.kernel, l.stride, l.pad)
-			cm := tensor.Wrap(ci, kcc, spatial)
-			om := tensor.Wrap(out[i*outDim:(i+1)*outDim], l.filters, spatial)
-			// Per-filter bias rides in the GEMM store epilogue instead of a
-			// second pass over the output.
-			tensor.MatMulBiasRow(om, wMat, cm, l.b)
-		}
-	})
+	l.chunks = par.AppendChunkRanges(l.chunks[:0], b)
+	l.ensureViews(len(l.chunks))
+	view(&l.wV, l.w, l.filters, kcc)
+	l.fwdX = x
+	if l.fwdFn == nil {
+		l.fwdFn = l.forwardChunk
+	}
+	par.For(len(l.chunks), l.fwdFn)
 	if train {
 		l.lastX, l.lastB = x, b
 	}
 	return out
 }
 
+// forwardChunk runs the im2col + GEMM forward for one batch chunk; the
+// call's input rides in l.fwdX (set before par.For fans out).
+func (l *Conv2D) forwardChunk(c int) {
+	inDim, outDim := l.in.Dim(), l.out.Dim()
+	cs := l.colSize()
+	kcc := l.in.C * l.kernel * l.kernel
+	spatial := l.out.H * l.out.W
+	lo, hi := l.chunks[c][0], l.chunks[c][1]
+	v := &l.fwdV[c]
+	for i := lo; i < hi; i++ {
+		ci := l.cols[i*cs : (i+1)*cs]
+		tensor.Im2col(ci, l.fwdX[i*inDim:(i+1)*inDim], l.in.C, l.in.H, l.in.W, l.kernel, l.kernel, l.stride, l.pad)
+		cm := view(&v[0], ci, kcc, spatial)
+		om := view(&v[1], l.outBuf[i*outDim:(i+1)*outDim], l.filters, spatial)
+		// Per-filter bias rides in the GEMM store epilogue instead of a
+		// second pass over the output.
+		tensor.MatMulBiasRow(om, &l.wV, cm, l.b)
+	}
+}
+
 func (l *Conv2D) Backward(dy []float32, b int) []float32 {
 	if l.lastB != b {
 		panic("nn: conv Backward batch mismatch with Forward")
 	}
-	inDim, outDim := l.in.Dim(), l.out.Dim()
+	inDim := l.in.Dim()
 	cs := l.colSize()
-	spatial := l.out.H * l.out.W
 	kcc := l.in.C * l.kernel * l.kernel
 	dx := buf(&l.dxBuf, b*inDim)
 	for i := range dx {
 		dx[i] = 0
 	}
-	chunks := par.ChunkRanges(b)
-	l.ensureScratch(len(chunks), kcc, cs)
-	par.For(len(chunks), func(w int) {
-		lo, hi := chunks[w][0], chunks[w][1]
-		pdw := l.partialDW[w]
-		pdb := l.partialDB[w]
-		for i := range pdw {
-			pdw[i] = 0
-		}
-		for i := range pdb {
-			pdb[i] = 0
-		}
-		dcols := l.dcolsBuf[w]
-		wMat := tensor.Wrap(l.w, l.filters, kcc)
-		pdwMat := tensor.Wrap(pdw, l.filters, kcc)
-		for i := lo; i < hi; i++ {
-			dyi := tensor.Wrap(dy[i*outDim:(i+1)*outDim], l.filters, spatial)
-			ci := tensor.Wrap(l.cols[i*cs:(i+1)*cs], kcc, spatial)
-			// dW_chunk += dy · colsᵀ
-			tensor.MatMulAdd2TransB(pdwMat, dyi, ci)
-			// db_chunk += row sums of dy
-			for f := 0; f < l.filters; f++ {
-				var s float32
-				row := dyi.Data[f*spatial : (f+1)*spatial]
-				for _, v := range row {
-					s += v
-				}
-				pdb[f] += s
-			}
-			// dcols = Wᵀ · dy ; dx += col2im(dcols)
-			dcm := tensor.Wrap(dcols, kcc, spatial)
-			tensor.MatMulTransA(dcm, wMat, dyi)
-			tensor.Col2im(dx[i*inDim:(i+1)*inDim], dcols, l.in.C, l.in.H, l.in.W, l.kernel, l.kernel, l.stride, l.pad)
-		}
-	})
+	l.chunks = par.AppendChunkRanges(l.chunks[:0], b)
+	l.ensureScratch(len(l.chunks), kcc, cs)
+	l.ensureViews(len(l.chunks))
+	view(&l.wV, l.w, l.filters, kcc)
+	l.bwdDY = dy
+	if l.bwdFn == nil {
+		l.bwdFn = l.backwardChunk
+	}
+	par.For(len(l.chunks), l.bwdFn)
 	// Merge partials in fixed chunk order: deterministic accumulation.
-	for w := range chunks {
+	for w := range l.chunks {
 		tensor.AXPY(1, l.partialDW[w], l.dw)
 		tensor.AXPY(1, l.partialDB[w], l.db)
 	}
 	return dx
+}
+
+// backwardChunk accumulates one batch chunk's weight/bias partials and its
+// slice of dX; the upstream gradient rides in l.bwdDY.
+func (l *Conv2D) backwardChunk(w int) {
+	inDim, outDim := l.in.Dim(), l.out.Dim()
+	cs := l.colSize()
+	kcc := l.in.C * l.kernel * l.kernel
+	spatial := l.out.H * l.out.W
+	lo, hi := l.chunks[w][0], l.chunks[w][1]
+	pdw := l.partialDW[w]
+	pdb := l.partialDB[w]
+	for i := range pdw {
+		pdw[i] = 0
+	}
+	for i := range pdb {
+		pdb[i] = 0
+	}
+	dcols := l.dcolsBuf[w]
+	v := &l.bwdV[w]
+	pdwMat := view(&v[3], pdw, l.filters, kcc)
+	for i := lo; i < hi; i++ {
+		dyi := view(&v[0], l.bwdDY[i*outDim:(i+1)*outDim], l.filters, spatial)
+		ci := view(&v[1], l.cols[i*cs:(i+1)*cs], kcc, spatial)
+		// dW_chunk += dy · colsᵀ
+		tensor.MatMulAdd2TransB(pdwMat, dyi, ci)
+		// db_chunk += row sums of dy
+		for f := 0; f < l.filters; f++ {
+			var s float32
+			row := dyi.Data[f*spatial : (f+1)*spatial]
+			for _, vv := range row {
+				s += vv
+			}
+			pdb[f] += s
+		}
+		// dcols = Wᵀ · dy ; dx += col2im(dcols)
+		dcm := view(&v[2], dcols[:cs], kcc, spatial)
+		tensor.MatMulTransA(dcm, &l.wV, dyi)
+		tensor.Col2im(l.dxBuf[i*inDim:(i+1)*inDim], dcols, l.in.C, l.in.H, l.in.W, l.kernel, l.kernel, l.stride, l.pad)
+	}
+}
+
+// ensureViews grows the per-chunk view slots to nChunks.
+func (l *Conv2D) ensureViews(nChunks int) {
+	for len(l.fwdV) < nChunks {
+		l.fwdV = append(l.fwdV, [2]tensor.Tensor{})
+		l.bwdV = append(l.bwdV, [4]tensor.Tensor{})
+	}
 }
 
 func (l *Conv2D) ensureScratch(nChunks, kcc, cs int) {
@@ -178,6 +226,11 @@ func (l *Conv2D) ensureScratch(nChunks, kcc, cs int) {
 		}
 	}
 }
+
+// WeightCount reports the weight-matrix element count at the front of the
+// layer's packed parameter view (QuantizableLayer); the F biases behind it
+// stay fp32 under int8 quantization.
+func (l *Conv2D) WeightCount() int { return l.filters * l.in.C * l.kernel * l.kernel }
 
 func (l *Conv2D) FwdFLOPsPerSample() int64 {
 	macs := int64(l.filters) * int64(l.in.C) * int64(l.kernel) * int64(l.kernel) * int64(l.out.H) * int64(l.out.W)

@@ -19,6 +19,7 @@ type Dense struct {
 	lastX  []float32
 	lastDY []float32
 	lastB  int
+	views  [5]tensor.Tensor // reusable matrix views; see view()
 }
 
 // NewDense creates a fully connected layer with the given output units. The
@@ -58,9 +59,9 @@ func (l *Dense) Forward(x []float32, b int, train bool) []float32 {
 		panic(fmt.Sprintf("nn: %s forward input %d for batch %d×%d", l.name, len(x), b, l.inDim))
 	}
 	out := buf(&l.outBuf, b*l.units)
-	xm := tensor.Wrap(x, b, l.inDim)
-	wm := tensor.Wrap(l.w, l.units, l.inDim)
-	om := tensor.Wrap(out, b, l.units)
+	xm := view(&l.views[0], x, b, l.inDim)
+	wm := view(&l.views[1], l.w, l.units, l.inDim)
+	om := view(&l.views[2], out, b, l.units)
 	// (b×D)·(F×D)ᵀ = b×F, with the per-unit bias fused into the GEMM store.
 	tensor.MatMulTransBBiasCol(om, xm, wm, l.b)
 	if train {
@@ -74,10 +75,10 @@ func (l *Dense) Backward(dy []float32, b int) []float32 {
 		panic("nn: dense Backward batch mismatch with Forward")
 	}
 	l.lastDY = dy
-	dym := tensor.Wrap(dy, b, l.units)
-	xm := tensor.Wrap(l.lastX, b, l.inDim)
+	dym := view(&l.views[0], dy, b, l.units)
+	xm := view(&l.views[1], l.lastX, b, l.inDim)
 	// dW += dYᵀ·X (F×D), accumulated in-place by the engine — no temporary.
-	dwm := tensor.Wrap(l.dw, l.units, l.inDim)
+	dwm := view(&l.views[2], l.dw, l.units, l.inDim)
 	tensor.MatMulAddTransA(dwm, dym, xm)
 	// db += column sums of dY
 	for i := 0; i < b; i++ {
@@ -88,11 +89,16 @@ func (l *Dense) Backward(dy []float32, b int) []float32 {
 	}
 	// dX = dY·W (b×D)
 	dx := buf(&l.dxBuf, b*l.inDim)
-	dxm := tensor.Wrap(dx, b, l.inDim)
-	wm := tensor.Wrap(l.w, l.units, l.inDim)
+	dxm := view(&l.views[3], dx, b, l.inDim)
+	wm := view(&l.views[4], l.w, l.units, l.inDim)
 	tensor.MatMul(dxm, dym, wm)
 	return dx
 }
+
+// WeightCount reports the weight-matrix element count at the front of the
+// layer's packed parameter view (QuantizableLayer); the F biases behind it
+// stay fp32 under int8 quantization.
+func (l *Dense) WeightCount() int { return l.units * l.inDim }
 
 func (l *Dense) FwdFLOPsPerSample() int64 {
 	return 2 * int64(l.units) * int64(l.inDim)

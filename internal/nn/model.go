@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+)
+
+// Model is the opaque inference-side handle on a trained network — the
+// type the facade exports so training output composes with the serving
+// path without external importers ever naming *Net. It owns the net's
+// forward buffers: Predict and PredictInto are cheap (no per-call
+// allocation once the layer buffers have warmed to the largest batch
+// seen), but NOT safe for concurrent use — the serving batcher serializes
+// all inference through one dispatcher goroutine for exactly this reason.
+type Model struct {
+	net *Net
+}
+
+// NewModel wraps an instantiated network. The model aliases the net (no
+// copy): training code that keeps mutating the net mutates what the model
+// serves.
+func NewModel(n *Net) *Model {
+	if n == nil {
+		panic("nn: NewModel on nil net")
+	}
+	return &Model{net: n}
+}
+
+// LoadModel restores a model from a snapshot written by Save (either the
+// fp32 or the int8 format).
+func LoadModel(r io.Reader) (*Model, error) {
+	n, err := Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{net: n}, nil
+}
+
+// Save writes the model to w: the fp32 snapshot format, or the int8
+// format after QuantizeInt8. Both round-trip through LoadModel exactly.
+func (m *Model) Save(w io.Writer) error { return m.net.Save(w) }
+
+// Net exposes the underlying network for in-module plumbing (the facade
+// does not re-export it).
+func (m *Model) Net() *Net { return m.net }
+
+// Def returns the architecture definition.
+func (m *Model) Def() NetDef { return m.net.Def }
+
+// InputDim is the flattened per-sample input length Predict expects.
+func (m *Model) InputDim() int { return m.net.Def.In.Dim() }
+
+// Classes is the per-sample output length (logits per prediction).
+func (m *Model) Classes() int { return m.net.Def.Classes }
+
+// ParamCount is the total trainable-parameter count.
+func (m *Model) ParamCount() int { return m.net.ParamCount() }
+
+// Quantized reports whether QuantizeInt8 has run.
+func (m *Model) Quantized() bool { return m.net.Quantized() }
+
+// QuantizeInt8 applies post-training int8 quantization to the model's
+// dense and conv weight matrices in place (per-layer 256-level uniform
+// grids, biases kept fp32, inference still fp32-accumulate on the
+// dequantized values) and returns the number of layers quantized. A
+// second call is a no-op.
+func (m *Model) QuantizeInt8() int { return m.net.QuantizeInt8() }
+
+// Predict runs a batched forward pass over b samples packed row-major in
+// x (len b×InputDim) and returns a fresh b×Classes logit slice. The
+// batch is a pure throughput lever: at fp32 a batch-of-N forward is
+// bit-identical to N batch-of-1 forwards (per-sample rows never mix —
+// pinned by TestBatchForwardBitIdentical), so callers can coalesce freely.
+func (m *Model) Predict(x []float32, b int) ([]float32, error) {
+	out := make([]float32, b*m.Classes())
+	if err := m.PredictInto(x, b, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictInto is Predict writing the logits into out (len b×Classes) —
+// the allocation-free form the serving batcher's hot path uses.
+func (m *Model) PredictInto(x []float32, b int, out []float32) error {
+	if b <= 0 {
+		return fmt.Errorf("nn: predict batch %d", b)
+	}
+	if len(x) != b*m.InputDim() {
+		return fmt.Errorf("nn: predict input %d, want %d×%d", len(x), b, m.InputDim())
+	}
+	if len(out) != b*m.Classes() {
+		return fmt.Errorf("nn: predict output %d, want %d×%d", len(out), b, m.Classes())
+	}
+	copy(out, m.net.Forward(x, b, false))
+	return nil
+}
+
+// Evaluate computes classification accuracy over the given samples in
+// batches of evalBatch.
+func (m *Model) Evaluate(images []float32, labels []int, evalBatch int) float64 {
+	return m.net.Evaluate(images, labels, evalBatch)
+}

@@ -1,0 +1,226 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"scaledl/internal/data"
+	"scaledl/internal/par"
+	"scaledl/internal/tensor"
+)
+
+// trainToy trains a TinyCNN on separable synthetic data and returns the
+// model plus the test set — the fixture for quantization and serving
+// tests.
+func trainToy(t *testing.T, iters int) (*Model, *data.Dataset) {
+	t.Helper()
+	spec := data.Spec{Name: "toy", Channels: 1, Height: 12, Width: 12, Classes: 4}
+	train, test := data.Synthetic(data.Config{Spec: spec, TrainN: 512, TestN: 256, Seed: 21})
+	train.Normalize()
+	test.Normalize()
+	net := TinyCNN(Shape{C: 1, H: 12, W: 12}, 4).Build(3)
+	s := data.NewSampler(train, 11)
+	var batch *data.Batch
+	for i := 0; i < iters; i++ {
+		batch = s.Next(16, batch)
+		net.ZeroGrad()
+		net.LossAndGrad(batch.X, batch.Labels, 16)
+		net.SGDStep(0.05)
+	}
+	return NewModel(net), test
+}
+
+// A coalesced batch-of-N forward must equal N independent batch-of-1
+// forwards bit for bit at fp32 — the contract that makes the serving
+// batcher's coalescing invisible to callers. Checked at par widths 1 and
+// 4: the batch dimension is split across workers at width 4, so this also
+// pins that the chunked conv path never mixes rows.
+func TestBatchForwardBitIdentical(t *testing.T) {
+	for _, width := range []int{1, 4} {
+		par.SetWidth(width)
+		m, test := trainToy(t, 20)
+		const n = 13 // not a multiple of the chunk width, exercises ragged chunks
+		dim, classes := m.InputDim(), m.Classes()
+		batched, err := m.Predict(test.Images[:n*dim], n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			single, err := m.Predict(test.Images[i*dim:(i+1)*dim], 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, v := range single {
+				if batched[i*classes+j] != v {
+					t.Fatalf("width %d sample %d logit %d: batched %v != single %v",
+						width, i, j, batched[i*classes+j], v)
+				}
+			}
+		}
+	}
+	par.SetWidth(0)
+}
+
+func TestPredictValidatesShapes(t *testing.T) {
+	m, _ := trainToy(t, 1)
+	if _, err := m.Predict(make([]float32, 10), 1); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := m.Predict(nil, 0); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if err := m.PredictInto(make([]float32, m.InputDim()), 1, make([]float32, 1)); err == nil {
+		t.Error("short output accepted")
+	}
+}
+
+// An fp32 model snapshot must be byte-identical to what the version-1
+// writer always produced — old snapshots load, new snapshots open under
+// old readers. The expected bytes are built here from the documented v1
+// layout rather than by calling Save.
+func TestSaveV1ByteCompatible(t *testing.T) {
+	def := TinyCNN(Shape{C: 1, H: 8, W: 8}, 3)
+	net := def.Build(5)
+	// The v1 format: uint32 LE header length, JSON {magic, version, def,
+	// params}, then each param as LE float32.
+	hdr := struct {
+		Magic   string `json:"magic"`
+		Version int    `json:"version"`
+		Def     NetDef `json:"def"`
+		Params  int    `json:"params"`
+	}{Magic: "scaledl-net", Version: 1, Def: def, Params: len(net.Params)}
+	hj, err := json.Marshal(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	binary.Write(&want, binary.LittleEndian, uint32(len(hj)))
+	want.Write(hj)
+	for _, v := range net.Params {
+		binary.Write(&want, binary.LittleEndian, math.Float32bits(v))
+	}
+
+	var got bytes.Buffer
+	if err := net.Save(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("fp32 snapshot not byte-identical to the v1 format (%d vs %d bytes)",
+			got.Len(), want.Len())
+	}
+	if _, err := Load(bytes.NewReader(want.Bytes())); err != nil {
+		t.Fatalf("v1 bytes rejected: %v", err)
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	m, test := trainToy(t, 30)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.Predict(test.Images[:m.InputDim()], 1)
+	b, _ := got.Predict(test.Images[:m.InputDim()], 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("logit %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Quantized weights must land exactly on the grid the Uniform8 gradient
+// codec produces — the "reuses the uniform8 machinery" claim, pinned
+// against tensor.QuantizeUniform8 directly.
+func TestQuantizeMatchesUniform8Codec(t *testing.T) {
+	m, _ := trainToy(t, 20)
+	net := m.Net()
+	// Reference grids from the raw codec, before quantizing.
+	refs := make(map[int][]float32)
+	for i, l := range net.Layers {
+		ql, ok := l.(QuantizableLayer)
+		if !ok {
+			continue
+		}
+		w := net.Params[net.Offsets[i] : net.Offsets[i]+ql.WeightCount()]
+		ref := make([]float32, len(w))
+		lo, hi := tensor.MinMax(w)
+		scale := (hi - lo) / 255
+		tensor.QuantizeUniform8(w, ref, lo, scale, 1/scale)
+		refs[i] = ref
+	}
+	if n := m.QuantizeInt8(); n != len(refs) || n == 0 {
+		t.Fatalf("quantized %d layers, want %d", n, len(refs))
+	}
+	for i, ref := range refs {
+		w := net.Params[net.Offsets[i] : net.Offsets[i]+len(ref)]
+		for j := range ref {
+			if w[j] != ref[j] {
+				t.Fatalf("layer %d weight %d: %v != codec %v", i, j, w[j], ref[j])
+			}
+		}
+	}
+	if m.QuantizeInt8() != len(refs) {
+		t.Error("second QuantizeInt8 not a no-op")
+	}
+}
+
+// An int8 snapshot stores one byte per weight and reconstructs the exact
+// float values the quantized model was serving.
+func TestInt8SnapshotRoundTrip(t *testing.T) {
+	m, test := trainToy(t, 30)
+	var fp32Buf bytes.Buffer
+	if err := m.Save(&fp32Buf); err != nil {
+		t.Fatal(err)
+	}
+	m.QuantizeInt8()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// ~4× smaller than fp32 on the weight-dominated payload.
+	if buf.Len() >= fp32Buf.Len()*2/3 {
+		t.Errorf("int8 snapshot %d bytes vs fp32 %d — not compressed", buf.Len(), fp32Buf.Len())
+	}
+	got, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Quantized() {
+		t.Fatal("loaded model lost its quantized state")
+	}
+	net, gotNet := m.Net(), got.Net()
+	for i := range net.Params {
+		if net.Params[i] != gotNet.Params[i] {
+			t.Fatalf("param %d: %v != %v", i, net.Params[i], gotNet.Params[i])
+		}
+	}
+	a, _ := m.Predict(test.Images[:m.InputDim()], 1)
+	b, _ := got.Predict(test.Images[:m.InputDim()], 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("logit %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+// The accuracy envelope: int8 post-training quantization on a trained
+// synthetic-MNIST-style model must stay within 3 points of fp32.
+func TestInt8AccuracyEnvelope(t *testing.T) {
+	m, test := trainToy(t, 150)
+	fp32Acc := m.Evaluate(test.Images, test.Labels, 64)
+	if fp32Acc < 0.8 {
+		t.Fatalf("fp32 baseline %.3f too weak for an envelope test", fp32Acc)
+	}
+	m.QuantizeInt8()
+	int8Acc := m.Evaluate(test.Images, test.Labels, 64)
+	if int8Acc < fp32Acc-0.03 {
+		t.Errorf("int8 accuracy %.3f fell more than 3 points below fp32 %.3f", int8Acc, fp32Acc)
+	}
+}

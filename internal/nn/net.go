@@ -43,7 +43,11 @@ type Net struct {
 	Params  []float32
 	Grads   []float32
 	Offsets []int // Offsets[i] is the start of layer i's parameters; len = len(Layers)+1
-	loss    SoftmaxXent
+	// Quant holds the per-layer int8 weight grids after QuantizeInt8; empty
+	// for fp32 nets. Params always hold the values inference runs on —
+	// quantized nets store the dequantized grid values there.
+	Quant []LayerQuant
+	loss  SoftmaxXent
 }
 
 // Build instantiates a network from its definition with Xavier-initialized

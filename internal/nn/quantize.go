@@ -1,0 +1,66 @@
+package nn
+
+import "scaledl/internal/quant"
+
+// Post-training int8 quantization for the serving path: each weight matrix
+// is snapped onto its own 256-level uniform grid (quant.Uniform8Grid — the
+// same codec the gradient-compression extension ships over the wire), the
+// level codes are kept so snapshots store one byte per weight, and
+// inference keeps running through the packed fp32 GEMM engine on the
+// dequantized grid values — dequant-on-pack with fp32 accumulation, so no
+// kernel changes and no new numeric paths. Biases stay fp32: they are a
+// vanishing fraction of the parameters and disproportionately
+// accuracy-sensitive.
+
+// QuantizableLayer marks a layer whose packed parameter view starts with a
+// dense weight matrix eligible for int8 post-training quantization.
+// WeightCount is the element count of that matrix; anything behind it
+// (biases) stays fp32. Dense and Conv2D implement it; composite layers
+// (Parallel) do not — their branch parameters stay fp32.
+type QuantizableLayer interface {
+	WeightCount() int
+}
+
+// LayerQuant records one layer's int8 weight grid: the grid origin and
+// step, and the per-weight level codes. Params already hold the
+// reconstructed grid values; Codes exist so Save can write one byte per
+// weight and Load can rebuild those values bitwise.
+type LayerQuant struct {
+	Layer     int // index into Net.Layers
+	Lo, Scale float32
+	Codes     []uint8
+}
+
+// Quantized reports whether QuantizeInt8 has run on this net.
+func (n *Net) Quantized() bool { return len(n.Quant) > 0 }
+
+// QuantizeInt8 snaps every quantizable layer's weights onto a per-layer
+// 256-level uniform grid in place, returning the number of layers
+// quantized. Idempotent: a second call is a no-op (re-deriving a grid
+// from grid values would wobble at the last ulp). Gradients and biases
+// are untouched — this is a serving-time transform, not a training
+// scheme.
+func (n *Net) QuantizeInt8() int {
+	if n.Quantized() {
+		return len(n.Quant)
+	}
+	for i, l := range n.Layers {
+		ql, ok := l.(QuantizableLayer)
+		if !ok {
+			continue
+		}
+		wc := ql.WeightCount()
+		if wc == 0 {
+			continue
+		}
+		w := n.Params[n.Offsets[i] : n.Offsets[i]+wc]
+		lq := LayerQuant{Layer: i, Codes: make([]uint8, wc)}
+		lq.Lo, lq.Scale = quant.Uniform8Grid(w, w)
+		quant.Uniform8Codes(w, lq.Codes, lq.Lo, lq.Scale)
+		// Re-dequantize from the codes so the params are exactly what a
+		// snapshot round trip reconstructs.
+		quant.Dequant8(lq.Codes, w, lq.Lo, lq.Scale)
+		n.Quant = append(n.Quant, lq)
+	}
+	return len(n.Quant)
+}

@@ -7,27 +7,56 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"scaledl/internal/quant"
 )
 
 // Serialization: a Net is stored as a JSON header (its NetDef, so the
-// architecture travels with the weights) followed by the packed float32
-// parameter buffer in little-endian order. The packed §5.2 layout makes
-// the payload a single contiguous write.
+// architecture travels with the weights) followed by the packed parameter
+// payload. Version 1 is the fp32 format: every parameter as a
+// little-endian float32, one contiguous write thanks to the packed §5.2
+// layout. Version 2 is the int8 format written for quantized nets
+// (QuantizeInt8): quantized layers store one byte per weight (the grid
+// level codes) plus fp32 biases, everything else stays fp32, and the
+// per-layer grid (lo, scale) rides in the header — load reconstructs the
+// exact same float values the quantized net was serving (Dequant8 is
+// bitwise deterministic), so a round trip changes nothing. Version 1
+// files are written byte-identically to what this package always wrote.
 
-// serializedHeader is the on-disk header.
+// serializedHeader is the on-disk header. The quantization fields are
+// empty (and omitted from the JSON) for version-1 fp32 snapshots, keeping
+// those files byte-compatible with earlier writers.
 type serializedHeader struct {
 	Magic   string `json:"magic"`
 	Version int    `json:"version"`
 	Def     NetDef `json:"def"`
 	Params  int    `json:"params"`
+	// Codec names the payload encoding for version 2 ("int8"); Quant holds
+	// the per-layer grids, in layer order.
+	Codec string       `json:"codec,omitempty"`
+	Quant []quantEntry `json:"quant,omitempty"`
+}
+
+// quantEntry is one quantized layer's grid in the header: the layer index,
+// the grid origin and step, and the weight count (= byte count of its code
+// block in the payload).
+type quantEntry struct {
+	Layer   int     `json:"layer"`
+	Lo      float32 `json:"lo"`
+	Scale   float32 `json:"scale"`
+	Weights int     `json:"weights"`
 }
 
 const (
-	serializeMagic   = "scaledl-net"
-	serializeVersion = 1
+	serializeMagic       = "scaledl-net"
+	serializeVersion     = 1
+	serializeVersionInt8 = 2
+	serializeCodecInt8   = "int8"
 )
 
-// Save writes the network definition and parameters to w.
+// Save writes the network definition and parameters to w: version 1 for
+// fp32 nets (byte-compatible with every earlier snapshot), version 2 with
+// the int8 codec for quantized nets.
 func (n *Net) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	hdr := serializedHeader{
@@ -35,6 +64,15 @@ func (n *Net) Save(w io.Writer) error {
 		Version: serializeVersion,
 		Def:     n.Def,
 		Params:  len(n.Params),
+	}
+	if n.Quantized() {
+		hdr.Version = serializeVersionInt8
+		hdr.Codec = serializeCodecInt8
+		for _, lq := range n.Quant {
+			hdr.Quant = append(hdr.Quant, quantEntry{
+				Layer: lq.Layer, Lo: lq.Lo, Scale: lq.Scale, Weights: len(lq.Codes),
+			})
+		}
 	}
 	hj, err := json.Marshal(hdr)
 	if err != nil {
@@ -46,18 +84,47 @@ func (n *Net) Save(w io.Writer) error {
 	if _, err := bw.Write(hj); err != nil {
 		return err
 	}
-	buf := make([]byte, 4)
-	for _, v := range n.Params {
-		binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
-		if _, err := bw.Write(buf); err != nil {
+	if !n.Quantized() {
+		if err := writeF32(bw, n.Params); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	// Version 2: walk layers in order; quantized layers write their code
+	// block then their fp32 tail (biases), others write fp32 params.
+	qi := 0
+	for i := range n.Layers {
+		lo, hi := n.Offsets[i], n.Offsets[i+1]
+		if qi < len(n.Quant) && n.Quant[qi].Layer == i {
+			codes := n.Quant[qi].Codes
+			if _, err := bw.Write(codes); err != nil {
+				return err
+			}
+			lo += len(codes)
+			qi++
+		}
+		if err := writeF32(bw, n.Params[lo:hi]); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
+func writeF32(bw *bufio.Writer, vs []float32) error {
+	var buf [4]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Load reads a network saved with Save, rebuilding the architecture from
-// the stored definition and restoring the parameters.
+// the stored definition and restoring the parameters. Version-2 int8
+// snapshots reconstruct the exact dequantized values (and the net's Quant
+// state) the saved net was serving.
 func Load(r io.Reader) (*Net, error) {
 	br := bufio.NewReader(r)
 	var hlen uint32
@@ -78,19 +145,56 @@ func Load(r io.Reader) (*Net, error) {
 	if hdr.Magic != serializeMagic {
 		return nil, fmt.Errorf("nn: bad magic %q", hdr.Magic)
 	}
-	if hdr.Version != serializeVersion {
-		return nil, fmt.Errorf("nn: unsupported version %d", hdr.Version)
-	}
 	net := hdr.Def.Build(0)
 	if len(net.Params) != hdr.Params {
 		return nil, fmt.Errorf("nn: definition rebuilds to %d params, file has %d", len(net.Params), hdr.Params)
 	}
-	buf := make([]byte, 4)
-	for i := range net.Params {
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("nn: read param %d: %w", i, err)
+	switch hdr.Version {
+	case serializeVersion:
+		if err := readF32(br, net.Params, 0); err != nil {
+			return nil, err
 		}
-		net.Params[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+	case serializeVersionInt8:
+		if hdr.Codec != serializeCodecInt8 {
+			return nil, fmt.Errorf("nn: version %d with unknown codec %q", hdr.Version, hdr.Codec)
+		}
+		qi := 0
+		for i := range net.Layers {
+			lo, hi := net.Offsets[i], net.Offsets[i+1]
+			if qi < len(hdr.Quant) && hdr.Quant[qi].Layer == i {
+				q := hdr.Quant[qi]
+				if q.Weights < 0 || lo+q.Weights > hi {
+					return nil, fmt.Errorf("nn: layer %d quant block %d exceeds its %d params", i, q.Weights, hi-lo)
+				}
+				lq := LayerQuant{Layer: i, Lo: q.Lo, Scale: q.Scale, Codes: make([]uint8, q.Weights)}
+				if _, err := io.ReadFull(br, lq.Codes); err != nil {
+					return nil, fmt.Errorf("nn: read layer %d codes: %w", i, err)
+				}
+				quant.Dequant8(lq.Codes, net.Params[lo:lo+q.Weights], q.Lo, q.Scale)
+				net.Quant = append(net.Quant, lq)
+				lo += q.Weights
+				qi++
+			}
+			if err := readF32(br, net.Params[lo:hi], lo); err != nil {
+				return nil, err
+			}
+		}
+		if qi != len(hdr.Quant) {
+			return nil, fmt.Errorf("nn: %d quant entries reference missing layers", len(hdr.Quant)-qi)
+		}
+	default:
+		return nil, fmt.Errorf("nn: unsupported version %d", hdr.Version)
 	}
 	return net, nil
+}
+
+func readF32(br *bufio.Reader, dst []float32, base int) error {
+	var buf [4]byte
+	for i := range dst {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return fmt.Errorf("nn: read param %d: %w", base+i, err)
+		}
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))
+	}
+	return nil
 }

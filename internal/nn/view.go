@@ -1,0 +1,21 @@
+package nn
+
+import "scaledl/internal/tensor"
+
+// view reshapes t in place as an r×c matrix over data and returns it — the
+// layers' replacement for tensor.Wrap on their forward/backward hot paths.
+// Wrap allocates the Tensor and its shape per call; view reuses a Tensor the
+// layer owns, which is what keeps the serving batcher's request path
+// allocation-free in steady state. The returned pointer must not outlive the
+// next view call on the same Tensor.
+func view(t *tensor.Tensor, data []float32, r, c int) *tensor.Tensor {
+	if len(data) != r*c {
+		panic("nn: view dimensions do not cover the buffer")
+	}
+	if len(t.Shape) != 2 {
+		t.Shape = make([]int, 2)
+	}
+	t.Shape[0], t.Shape[1] = r, c
+	t.Data = data
+	return t
+}

@@ -159,6 +159,14 @@ func For(n int, fn func(i int)) {
 // per-chunk state (partial-gradient buffers, scratch) can size and merge it
 // reproducibly.
 func ChunkRanges(n int) [][2]int {
+	return AppendChunkRanges(nil, n)
+}
+
+// AppendChunkRanges is ChunkRanges appending into dst — steady-state
+// alloc-free once dst's capacity has grown to Width() chunks, for hot
+// paths (the serving batcher's per-batch conv forwards) that must not
+// allocate per call.
+func AppendChunkRanges(dst [][2]int, n int) [][2]int {
 	w := Width()
 	if w > n {
 		w = n
@@ -167,15 +175,14 @@ func ChunkRanges(n int) [][2]int {
 		w = 1
 	}
 	chunk := (n + w - 1) / w
-	var out [][2]int
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		out = append(out, [2]int{lo, hi})
+		dst = append(dst, [2]int{lo, hi})
 	}
-	return out
+	return dst
 }
 
 // Ranges partitions [0, n) into the fixed ChunkRanges chunks and runs

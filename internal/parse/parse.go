@@ -1,0 +1,32 @@
+// Package parse holds the one error type shared by every strict
+// name-to-enum parser in the module (comm modes, collective schedules,
+// compute precisions, compression schemes, fail modes). Each parser used
+// to invent its own error text; routing them all through Error means
+// scaledl-train and scaledl-serve print flag mistakes the same way, and
+// callers can recover the allowed set programmatically instead of
+// scraping the message.
+package parse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error reports a value that is not in a parser's allowed set. It is
+// exported through the facade as scaledl.ParseError; flag-parsing code
+// can errors.As into it to retrieve the allowed names.
+type Error struct {
+	Field   string   // what was being parsed, e.g. "comm mode"
+	Value   string   // the rejected input
+	Allowed []string // the complete set of accepted names
+}
+
+// Errorf builds an *Error for the given field, rejected value and
+// allowed names.
+func Errorf(field, value string, allowed []string) *Error {
+	return &Error{Field: field, Value: value, Allowed: allowed}
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("unknown %s %q (one of %s)", e.Field, e.Value, strings.Join(e.Allowed, ", "))
+}

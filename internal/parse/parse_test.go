@@ -1,0 +1,26 @@
+package parse
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestErrorText(t *testing.T) {
+	err := Errorf("comm mode", "warp", []string{"dense", "sfb", "hybrid"})
+	want := `unknown comm mode "warp" (one of dense, sfb, hybrid)`
+	if err.Error() != want {
+		t.Errorf("got %q, want %q", err.Error(), want)
+	}
+}
+
+func TestErrorsAs(t *testing.T) {
+	var wrapped error = fmt.Errorf("flag -mode: %w", Errorf("mode", "x", []string{"a", "b"}))
+	var pe *Error
+	if !errors.As(wrapped, &pe) {
+		t.Fatal("errors.As failed through wrapping")
+	}
+	if pe.Field != "mode" || pe.Value != "x" || len(pe.Allowed) != 2 {
+		t.Errorf("fields lost through wrapping: %+v", pe)
+	}
+}

@@ -19,6 +19,7 @@ package quant
 import (
 	"fmt"
 
+	"scaledl/internal/parse"
 	"scaledl/internal/tensor"
 )
 
@@ -49,6 +50,10 @@ func (s Scheme) String() string {
 	}
 }
 
+// Schemes lists the canonical compression-scheme names accepted by
+// ParseScheme.
+func Schemes() []string { return []string{"fp32", "1-bit", "uint8"} }
+
 // ParseScheme converts a name to a Scheme.
 func ParseScheme(name string) (Scheme, error) {
 	switch name {
@@ -59,7 +64,7 @@ func ParseScheme(name string) (Scheme, error) {
 	case "uint8", "uniform8":
 		return Uniform8, nil
 	default:
-		return None, fmt.Errorf("quant: unknown scheme %q", name)
+		return None, parse.Errorf("compression scheme", name, Schemes())
 	}
 }
 
@@ -177,6 +182,66 @@ func uniform8(v, out []float32) int64 {
 	}
 	tensor.QuantizeUniform8(v, out, lo, scale, 1/scale)
 	return WireBytes(Uniform8, len(v))
+}
+
+// Uniform8Grid snaps v onto its 256-level uniform grid into out (out may
+// alias v), returning the grid's (lo, scale). It is the Uniform8 gradient
+// codec applied as a one-shot transform — post-training int8 weight
+// quantization for the serving path rides exactly the gradient-compression
+// machinery (tensor.MinMax + tensor.QuantizeUniform8), so the grid values
+// are bit-identical across kernel tiers. A zero scale (constant vector)
+// maps every element to lo.
+func Uniform8Grid(v, out []float32) (lo, scale float32) {
+	var hi float32
+	lo, hi = tensor.MinMax(v)
+	scale = (hi - lo) / 255
+	if scale == 0 {
+		for i := range out {
+			out[i] = lo
+		}
+		return lo, 0
+	}
+	tensor.QuantizeUniform8(v, out, lo, scale, 1/scale)
+	return lo, scale
+}
+
+// Uniform8Codes extracts the one-byte level indices of v on the (lo, scale)
+// grid — the snapshot form whose reconstruction (Dequant8) rebuilds exactly
+// the values Uniform8Grid produced. The level rule mirrors
+// tensor.QuantizeUniform8's unfused op sequence bit for bit: subtract,
+// scale, +0.5, truncate, clamp.
+func Uniform8Codes(v []float32, codes []uint8, lo, scale float32) {
+	if len(codes) != len(v) {
+		panic("quant: Uniform8Codes length mismatch")
+	}
+	if scale == 0 {
+		for i := range codes {
+			codes[i] = 0
+		}
+		return
+	}
+	inv := 1 / scale
+	for i, x := range v {
+		level := int32((x-lo)*inv + 0.5)
+		if level < 0 {
+			level = 0
+		} else if level > 255 {
+			level = 255
+		}
+		codes[i] = uint8(level)
+	}
+}
+
+// Dequant8 reconstructs grid values from codes: out[i] = lo + code·scale,
+// the same unfused expression QuantizeUniform8 stores, so a code round
+// trip is bitwise exact.
+func Dequant8(codes []uint8, out []float32, lo, scale float32) {
+	if len(out) != len(codes) {
+		panic("quant: Dequant8 length mismatch")
+	}
+	for i, c := range codes {
+		out[i] = lo + float32(c)*scale
+	}
 }
 
 // CompressionRatio returns the float32-to-wire size ratio for n elements.

@@ -1,0 +1,382 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"scaledl/internal/data"
+	"scaledl/internal/nn"
+	"scaledl/internal/par"
+)
+
+// toyModel trains a small TinyCNN for a few steps so logits are
+// non-trivial, and returns it with its test set.
+func toyModel(t testing.TB, iters int) (*nn.Model, *data.Dataset) {
+	t.Helper()
+	spec := data.Spec{Name: "toy", Channels: 1, Height: 12, Width: 12, Classes: 4}
+	train, test := data.Synthetic(data.Config{Spec: spec, TrainN: 256, TestN: 128, Seed: 9})
+	train.Normalize()
+	test.Normalize()
+	net := nn.TinyCNN(nn.Shape{C: 1, H: 12, W: 12}, 4).Build(3)
+	s := data.NewSampler(train, 11)
+	var batch *data.Batch
+	for i := 0; i < iters; i++ {
+		batch = s.Next(16, batch)
+		net.ZeroGrad()
+		net.LossAndGrad(batch.X, batch.Labels, 16)
+		net.SGDStep(0.05)
+	}
+	return nn.NewModel(net), test
+}
+
+// slowModel is LeNet at MNIST scale: one forward takes long enough that a
+// flood of concurrent requests reliably overflows a small queue.
+func slowModel(t testing.TB) *nn.Model {
+	t.Helper()
+	return nn.NewModel(nn.LeNet(nn.Shape{C: 1, H: 28, W: 28}, 10).Build(1))
+}
+
+// Coalescing must be invisible: whatever batches the dispatcher happens to
+// form under concurrency, every reply equals the model's own batch-of-1
+// answer bit for bit.
+func TestBatcherBitIdenticalUnderConcurrency(t *testing.T) {
+	m, test := toyModel(t, 20)
+	dim, classes := m.InputDim(), m.Classes()
+	const n = 96
+	// Reference answers first (the batcher owns the model afterwards).
+	want := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		out, err := m.Predict(test.Images[i*dim:(i+1)*dim], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+	b, err := NewBatcher(m, BatchConfig{MaxBatch: 8, MaxDelay: 500 * time.Microsecond, QueueBound: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Drain()
+	var wg sync.WaitGroup
+	outs := make([][]float32, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = make([]float32, classes)
+			errs[i] = b.Do(test.Images[i*dim:(i+1)*dim], outs[i], time.Time{})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		for j := range want[i] {
+			if outs[i][j] != want[i][j] {
+				t.Fatalf("request %d logit %d: coalesced %v != solo %v", i, j, outs[i][j], want[i][j])
+			}
+		}
+	}
+	st := b.Stats()
+	if st.Served != n || st.Batches == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.MeanBatch <= 1 {
+		t.Errorf("no coalescing happened under %d concurrent requests (mean batch %.2f)", n, st.MeanBatch)
+	}
+}
+
+// A lone request under idle load must be served as a batch of 1 after
+// MaxDelay, not wait for company that never comes.
+func TestBatchOfOneUnderIdleLoad(t *testing.T) {
+	m, test := toyModel(t, 5)
+	b, err := NewBatcher(m, BatchConfig{MaxBatch: 32, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Drain()
+	out := make([]float32, m.Classes())
+	start := time.Now()
+	if err := b.Do(test.Images[:m.InputDim()], out, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Errorf("idle batch-of-1 took %v", waited)
+	}
+	st := b.Stats()
+	if st.Batches != 1 || st.Served != 1 || st.BatchHist[0] != 1 {
+		t.Errorf("stats after one idle request: %+v", st)
+	}
+}
+
+// Requests paced right at the flush cadence — each arriving around the
+// moment the previous batch's MaxDelay timer fires — must all be answered
+// exactly once, whether they land in the closing batch or open the next.
+func TestRequestAtFlushDeadline(t *testing.T) {
+	m, test := toyModel(t, 5)
+	const delay = time.Millisecond
+	b, err := NewBatcher(m, BatchConfig{MaxBatch: 32, MaxDelay: delay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Drain()
+	const n = 40
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := make([]float32, m.Classes())
+			errs[i] = b.Do(test.Images[:m.InputDim()], out, time.Time{})
+		}(i)
+		time.Sleep(delay) // next request lands at the previous flush boundary
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d lost at flush boundary: %v", i, err)
+		}
+	}
+	if st := b.Stats(); st.Served != n {
+		t.Errorf("served %d of %d", st.Served, n)
+	}
+}
+
+// parkDispatcher installs the onBatchStart test seam on b: the dispatcher
+// blocks at the top of its first batch until release is closed (later
+// batches pass straight through). It returns a channel closed once the
+// dispatcher has parked. Must be called before the first request.
+func parkDispatcher(b *Batcher, release chan struct{}) chan struct{} {
+	entered := make(chan struct{})
+	var once sync.Once
+	b.onBatchStart = func() {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+	return entered
+}
+
+// waitQueueDepth polls until the admission queue holds want requests.
+func waitQueueDepth(t *testing.T, b *Batcher, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().QueueDepth != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth %d never reached %d", b.Stats().QueueDepth, want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Queue overflow must shed with ErrShed — and never lose a request: every
+// Do returns either logits or a sentinel. The dispatcher is parked inside
+// its first batch so "one batch in flight, queue full" is a pinned state,
+// not a race against the forward pass.
+func TestQueueOverflowShed(t *testing.T) {
+	m, test := toyModel(t, 1)
+	b, err := NewBatcher(m, BatchConfig{MaxBatch: 1, MaxDelay: time.Millisecond, QueueBound: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Drain()
+	release := make(chan struct{})
+	entered := parkDispatcher(b, release)
+	in := test.Images[:m.InputDim()]
+	const admitted = 3 // 1 in flight + QueueBound queued
+	var wg sync.WaitGroup
+	errs := make([]error, admitted)
+	outs := make([][]float32, admitted)
+	submit := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs[i] = make([]float32, m.Classes())
+			errs[i] = b.Do(in, outs[i], time.Time{})
+		}()
+	}
+	submit(0)
+	<-entered // dispatcher is now stuck inside request 0's batch
+	submit(1)
+	submit(2)
+	waitQueueDepth(t, b, 2)
+	// The queue is provably full: every further arrival sheds, synchronously.
+	const floods = 8
+	for i := 0; i < floods; i++ {
+		if err := b.Do(in, make([]float32, m.Classes()), time.Time{}); !errors.Is(err, ErrShed) {
+			t.Fatalf("flood %d with a full queue got %v, want ErrShed", i, err)
+		}
+	}
+	close(release)
+	wg.Wait()
+	want, err := m.Predict(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < admitted; i++ {
+		if errs[i] != nil {
+			t.Fatalf("admitted request %d: %v", i, errs[i])
+		}
+		for j := range want {
+			if outs[i][j] != want[j] {
+				t.Fatalf("admitted request %d logit %d: %v != %v", i, j, outs[i][j], want[j])
+			}
+		}
+	}
+	st := b.Stats()
+	if st.Shed != floods || st.Served != admitted {
+		t.Errorf("stats: %+v, want shed=%d served=%d", st, floods, admitted)
+	}
+}
+
+// Drain during an in-flight batch: everything admitted before Drain is
+// answered with real logits, everything after gets ErrDraining, and Drain
+// itself returns only once the queue is empty.
+func TestDrainDuringInflightBatch(t *testing.T) {
+	m := slowModel(t)
+	b, err := NewBatcher(m, BatchConfig{MaxBatch: 4, MaxDelay: time.Millisecond, QueueBound: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	in := make([]float32, m.InputDim())
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := make([]float32, m.Classes())
+			errs[i] = b.Do(in, out, time.Time{})
+		}(i)
+	}
+	time.Sleep(2 * time.Millisecond) // let batches get in flight
+	b.Drain()
+	// After Drain returns, every admitted request has its answer.
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, ErrShed) && !errors.Is(err, ErrDraining) {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if err := b.Do(in, make([]float32, m.Classes()), time.Time{}); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-drain request got %v, want ErrDraining", err)
+	}
+	if !b.Draining() {
+		t.Error("Draining() false after Drain")
+	}
+	b.Drain() // idempotent, returns immediately
+}
+
+// Deadlines propagate: an already-expired request is rejected at
+// admission, and one that expires while queued is dropped at batch
+// launch without spending a forward on it.
+func TestDeadlinePropagation(t *testing.T) {
+	m, test := toyModel(t, 5)
+	b, err := NewBatcher(m, BatchConfig{MaxBatch: 32, MaxDelay: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Drain()
+	in := test.Images[:m.InputDim()]
+	out := make([]float32, m.Classes())
+	if err := b.Do(in, out, time.Now().Add(-time.Second)); !errors.Is(err, ErrDeadline) {
+		t.Errorf("expired-at-admission got %v", err)
+	}
+	// Deadline (1ms) shorter than the flush delay (50ms): the request dies
+	// in the queue.
+	start := time.Now()
+	if err := b.Do(in, out, time.Now().Add(time.Millisecond)); !errors.Is(err, ErrDeadline) {
+		t.Errorf("expired-in-queue got %v", err)
+	}
+	if waited := time.Since(start); waited < time.Millisecond {
+		t.Errorf("in-queue expiry answered after %v, before the deadline", waited)
+	}
+	batchesBefore := b.Stats().Batches
+	if batchesBefore != 0 {
+		t.Errorf("expired requests consumed %d forwards", batchesBefore)
+	}
+}
+
+func TestDoValidatesShapes(t *testing.T) {
+	m, _ := toyModel(t, 1)
+	b, err := NewBatcher(m, BatchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Drain()
+	if err := b.Do(make([]float32, 3), make([]float32, m.Classes()), time.Time{}); err == nil {
+		t.Error("short input accepted")
+	}
+	if err := b.Do(make([]float32, m.InputDim()), nil, time.Time{}); err == nil {
+		t.Error("nil output accepted")
+	}
+}
+
+// The zero-alloc contract: once warmed, the full request path — admission,
+// dispatch, batched forward, reply — allocates nothing, at par width 1
+// (wider settings spawn helper goroutines by design; the GEMM engine
+// already guards its chunking the same way).
+func TestBatcherAllocFree(t *testing.T) {
+	par.SetWidth(1)
+	defer par.SetWidth(0)
+	m, test := toyModel(t, 5)
+	b, err := NewBatcher(m, BatchConfig{MaxBatch: 1, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Drain()
+	in := test.Images[:m.InputDim()]
+	out := make([]float32, m.Classes())
+	for i := 0; i < 50; i++ { // warm every buffer and the free list
+		if err := b.Do(in, out, time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := b.Do(in, out, time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("batching hot path allocates %.2f objects per request, want 0", allocs)
+	}
+}
+
+// Quantized models serve through the same batcher; answers match the
+// quantized model's own forwards.
+func TestBatcherServesQuantizedModel(t *testing.T) {
+	m, test := toyModel(t, 30)
+	m.QuantizeInt8()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := nn.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := loaded.Predict(test.Images[:m.InputDim()], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBatcher(loaded, BatchConfig{MaxBatch: 8, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Drain()
+	out := make([]float32, m.Classes())
+	if err := b.Do(test.Images[:m.InputDim()], out, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("logit %d: %v != %v", i, out[i], want[i])
+		}
+	}
+}

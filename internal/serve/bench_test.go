@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"scaledl/internal/par"
+)
+
+// benchBatcher builds a lightly trained TinyCNN batcher for benchmarking.
+func benchBatcher(b *testing.B, cfg BatchConfig) (*Batcher, []float32) {
+	m, test := toyModel(b, 5)
+	bt, err := NewBatcher(m, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(bt.Drain)
+	return bt, test.Images[:m.InputDim()]
+}
+
+// BenchmarkServeSolo measures the sequential request path — one request at
+// a time through admission, dispatch, a batch-of-1 forward and the reply —
+// at par width 1. Its req/s and allocs/op feed BENCH_serve.json: allocs/op
+// is gated exact at 0 (the zero-alloc contract as a benchmark number).
+func BenchmarkServeSolo(b *testing.B) {
+	par.SetWidth(1)
+	defer par.SetWidth(0)
+	bt, in := benchBatcher(b, BatchConfig{MaxBatch: 1, MaxDelay: time.Millisecond})
+	out := make([]float32, len(bt.batchOut))
+	for i := 0; i < 50; i++ { // warm buffers and the free list
+		if err := bt.Do(in, out, time.Time{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bt.Do(in, out, time.Time{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServeCoalesced measures throughput with 16 concurrent senders
+// feeding an 8-wide batcher — the coalescing win over Solo is the point of
+// the micro-batching design.
+func BenchmarkServeCoalesced(b *testing.B) {
+	bt, in := benchBatcher(b, BatchConfig{MaxBatch: 8, MaxDelay: 500 * time.Microsecond})
+	const senders = 16
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / senders
+	for w := 0; w < senders; w++ {
+		n := per
+		if w == 0 {
+			n += b.N % senders
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			out := make([]float32, bt.classes)
+			for i := 0; i < n; i++ {
+				if err := bt.Do(in, out, time.Time{}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	if st := bt.Stats(); st.Batches > 0 {
+		b.ReportMetric(st.MeanBatch, "mean-batch")
+	}
+}

@@ -1,0 +1,255 @@
+// Package loadgen generates synthetic inference load against a serving
+// target and reports the latency distribution, achieved throughput, batch
+// coalescing and shed rate — the measurement side of the serving
+// experiment and of scaledl-serve -loadtest.
+//
+// Two generator shapes, selected by Options.Rate:
+//
+//   - Closed loop (Rate == 0): Concurrency workers fire back-to-back, each
+//     sending its next request the moment the previous answer lands. This
+//     measures the system's capacity at a fixed concurrency — offered
+//     load adapts to service time, so it never sheds a well-sized queue.
+//   - Open loop (Rate > 0): arrivals are paced at Rate requests/second
+//     regardless of completions — the shape real traffic has, and the one
+//     that exposes the batching knee: below the knee p50 sits near one
+//     MaxDelay, past it the queue fills and the shed rate climbs. At most
+//     Concurrency requests are outstanding; an arrival finding all slots
+//     busy is counted as shed without being sent (the client-side image
+//     of the server's own backpressure).
+package loadgen
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scaledl/internal/serve"
+)
+
+// Target submits one sample and blocks until logits land in out (the
+// Batcher.Do signature): the experiment drives a Batcher directly, while
+// scaledl-serve -loadtest wraps an HTTP client in one of these.
+type Target func(in, out []float32, deadline time.Time) error
+
+// Options shapes one load-generation run.
+type Options struct {
+	// Dim and Classes are the target model's input/output widths.
+	Dim, Classes int
+	// Duration bounds the run (default 1s).
+	Duration time.Duration
+	// Rate is the open-loop offered load in requests/second; 0 selects the
+	// closed loop.
+	Rate float64
+	// Concurrency is the closed loop's worker count, and the open loop's
+	// outstanding-request cap (default 4; open-loop default 256).
+	Concurrency int
+	// Deadline is the per-request deadline (0 = none).
+	Deadline time.Duration
+	// Seed draws the synthetic sample contents.
+	Seed int64
+}
+
+// Result aggregates one run.
+type Result struct {
+	Offered  float64 // requests/second offered (open loop: Rate; closed loop: achieved)
+	Achieved float64 // successful answers per second
+	Sent     int64   // requests submitted to the target
+	OK       int64
+	Shed     int64 // ErrShed answers plus open-loop arrivals dropped at the outstanding cap
+	Expired  int64 // ErrDeadline answers
+	Errors   int64 // anything else
+	// Latency quantiles over successful answers.
+	P50, P90, P99, P999, Max time.Duration
+}
+
+// ShedRate is the shed fraction of all request outcomes (every offered
+// request ends as exactly one of OK, Shed, Expired or Errors).
+func (r Result) ShedRate() float64 {
+	total := r.OK + r.Shed + r.Expired + r.Errors
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(total)
+}
+
+// Run drives the target under the given options.
+func Run(target Target, o Options) Result {
+	if o.Duration <= 0 {
+		o.Duration = time.Second
+	}
+	if o.Concurrency <= 0 {
+		if o.Rate > 0 {
+			o.Concurrency = 256
+		} else {
+			o.Concurrency = 4
+		}
+	}
+	if o.Rate > 0 {
+		return runOpen(target, o)
+	}
+	return runClosed(target, o)
+}
+
+// recorder accumulates per-request outcomes from many workers.
+type recorder struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	ok        atomic.Int64
+	shed      atomic.Int64
+	expired   atomic.Int64
+	errs      atomic.Int64
+	sent      atomic.Int64
+}
+
+func (rec *recorder) observe(err error, d time.Duration) {
+	switch {
+	case err == nil:
+		rec.ok.Add(1)
+		rec.mu.Lock()
+		rec.latencies = append(rec.latencies, d)
+		rec.mu.Unlock()
+	case errors.Is(err, serve.ErrShed):
+		rec.shed.Add(1)
+	case errors.Is(err, serve.ErrDeadline):
+		rec.expired.Add(1)
+	default:
+		rec.errs.Add(1)
+	}
+}
+
+func (rec *recorder) result(elapsed time.Duration, offered float64) Result {
+	r := Result{
+		Offered: offered,
+		Sent:    rec.sent.Load(),
+		OK:      rec.ok.Load(),
+		Shed:    rec.shed.Load(),
+		Expired: rec.expired.Load(),
+		Errors:  rec.errs.Load(),
+	}
+	if elapsed > 0 {
+		r.Achieved = float64(r.OK) / elapsed.Seconds()
+		if offered <= 0 {
+			r.Offered = float64(r.Sent) / elapsed.Seconds()
+		}
+	}
+	ls := rec.latencies
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	if n := len(ls); n > 0 {
+		r.P50 = ls[quantileIdx(n, 0.50)]
+		r.P90 = ls[quantileIdx(n, 0.90)]
+		r.P99 = ls[quantileIdx(n, 0.99)]
+		r.P999 = ls[quantileIdx(n, 0.999)]
+		r.Max = ls[n-1]
+	}
+	return r
+}
+
+func quantileIdx(n int, q float64) int {
+	i := int(q * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// sample fills in with deterministic noise — content is irrelevant to
+// timing, but keep it non-constant so nothing short-circuits.
+func sample(in []float32, rng *rand.Rand) {
+	for i := range in {
+		in[i] = rng.Float32()*2 - 1
+	}
+}
+
+func runClosed(target Target, o Options) Result {
+	rec := &recorder{latencies: make([]time.Duration, 0, 1<<16)}
+	stop := time.Now().Add(o.Duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + int64(w)))
+			in := make([]float32, o.Dim)
+			out := make([]float32, o.Classes)
+			for time.Now().Before(stop) {
+				sample(in, rng)
+				var deadline time.Time
+				if o.Deadline > 0 {
+					deadline = time.Now().Add(o.Deadline)
+				}
+				t0 := time.Now()
+				err := target(in, out, deadline)
+				rec.sent.Add(1)
+				rec.observe(err, time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	return rec.result(time.Since(start), 0)
+}
+
+func runOpen(target Target, o Options) Result {
+	rec := &recorder{latencies: make([]time.Duration, 0, 1<<16)}
+	interval := time.Duration(float64(time.Second) / o.Rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	slots := make(chan int, o.Concurrency)
+	type slot struct {
+		in  []float32
+		out []float32
+		rng *rand.Rand
+	}
+	pool := make([]slot, o.Concurrency)
+	for i := range pool {
+		pool[i] = slot{
+			in:  make([]float32, o.Dim),
+			out: make([]float32, o.Classes),
+			rng: rand.New(rand.NewSource(o.Seed + int64(i))),
+		}
+		slots <- i
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	stop := start.Add(o.Duration)
+	next := start
+	for {
+		now := time.Now()
+		if !now.Before(stop) {
+			break
+		}
+		if now.Before(next) {
+			time.Sleep(next.Sub(now))
+			continue
+		}
+		next = next.Add(interval)
+		select {
+		case i := <-slots:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				s := &pool[i]
+				sample(s.in, s.rng)
+				var deadline time.Time
+				if o.Deadline > 0 {
+					deadline = time.Now().Add(o.Deadline)
+				}
+				t0 := time.Now()
+				err := target(s.in, s.out, deadline)
+				rec.sent.Add(1)
+				rec.observe(err, time.Since(t0))
+				slots <- i
+			}(i)
+		default:
+			// All outstanding slots busy: the arrival is dropped client-side,
+			// the open-loop mirror of the server shedding.
+			rec.shed.Add(1)
+		}
+	}
+	wg.Wait()
+	return rec.result(time.Since(start), o.Rate)
+}

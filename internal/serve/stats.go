@@ -1,0 +1,66 @@
+package serve
+
+import "sync/atomic"
+
+// stats holds the batcher's hot-path counters: plain atomics, updated
+// without locks or allocation.
+type stats struct {
+	accepted atomic.Int64 // Do calls past the shape check
+	shed     atomic.Int64 // rejected on a full queue
+	expired  atomic.Int64 // rejected on a passed deadline (at admission or in-batch)
+	served   atomic.Int64 // answered with logits
+	batches  atomic.Int64 // forward passes run
+	hist     []atomic.Int64
+}
+
+func (s *stats) init(maxBatch int) {
+	s.hist = make([]atomic.Int64, maxBatch)
+}
+
+func (s *stats) record(n int) {
+	s.batches.Add(1)
+	s.served.Add(int64(n))
+	s.hist[n-1].Add(1)
+}
+
+// Stats is a consistent-enough snapshot of the batching counters (each
+// counter is read atomically; the set is not fenced against in-flight
+// requests).
+type Stats struct {
+	// Requests counts everything submitted; Shed, Expired and Served
+	// partition the finished ones (in-flight requests are the gap).
+	Requests int64 `json:"requests"`
+	Shed     int64 `json:"shed"`
+	Expired  int64 `json:"expired"`
+	Served   int64 `json:"served"`
+	// Batches counts forward passes; MeanBatch is Served/Batches — the
+	// coalescing the load level actually achieved.
+	Batches   int64   `json:"batches"`
+	MeanBatch float64 `json:"mean_batch"`
+	// BatchHist[i] counts batches of size i+1 (len = MaxBatch).
+	BatchHist []int64 `json:"batch_hist"`
+	// QueueDepth is the admission-queue occupancy at snapshot time.
+	QueueDepth int  `json:"queue_depth"`
+	Draining   bool `json:"draining"`
+}
+
+// Stats snapshots the batcher's counters.
+func (b *Batcher) Stats() Stats {
+	s := Stats{
+		Requests:   b.stats.accepted.Load(),
+		Shed:       b.stats.shed.Load(),
+		Expired:    b.stats.expired.Load(),
+		Served:     b.stats.served.Load(),
+		Batches:    b.stats.batches.Load(),
+		BatchHist:  make([]int64, len(b.stats.hist)),
+		QueueDepth: len(b.queue),
+		Draining:   b.Draining(),
+	}
+	for i := range b.stats.hist {
+		s.BatchHist[i] = b.stats.hist[i].Load()
+	}
+	if s.Batches > 0 {
+		s.MeanBatch = float64(s.Served) / float64(s.Batches)
+	}
+	return s
+}

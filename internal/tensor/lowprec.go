@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+
+	"scaledl/internal/parse"
 )
 
 // Low-precision storage for the packed GEMM operand panels. The paper's
@@ -50,6 +52,10 @@ func (p Precision) String() string {
 	return fmt.Sprintf("Precision(%d)", uint32(p))
 }
 
+// Precisions lists the canonical compute-precision names accepted by
+// ParsePrecision.
+func Precisions() []string { return []string{"fp32", "bf16", "fp16"} }
+
 // ParsePrecision maps a config string to a Precision. Accepted names:
 // "fp32"/"float32"/"" (default), "bf16"/"bfloat16", "fp16"/"float16"/"half".
 func ParsePrecision(s string) (Precision, error) {
@@ -61,7 +67,7 @@ func ParsePrecision(s string) (Precision, error) {
 	case "fp16", "float16", "half":
 		return Float16, nil
 	}
-	return Float32, fmt.Errorf("tensor: unknown compute precision %q (want fp32, bf16 or fp16)", s)
+	return Float32, parse.Errorf("compute precision", s, Precisions())
 }
 
 // computePrec is the process-wide packed-panel storage precision, read once

@@ -11,6 +11,7 @@ import (
 	"scaledl/internal/hw"
 	"scaledl/internal/knl"
 	"scaledl/internal/nn"
+	"scaledl/internal/parse"
 	"scaledl/internal/quant"
 	"scaledl/internal/tensor"
 )
@@ -231,6 +232,16 @@ func WeakScalingEfficiency(model string, nodes int) (float64, error) {
 
 // Extensions beyond the paper's evaluation.
 
+// ParseError is what every facade name parser returns for an unrecognized
+// name: the flag-ish field being parsed, the offending value, and the full
+// allowed set, rendered uniformly as
+//
+//	unknown <field> "<value>" (one of a, b, c)
+//
+// so scaledl-train and scaledl-serve print consistent flag errors.
+// Retrieve it with errors.As to list the allowed values programmatically.
+type ParseError = parse.Error
+
 // CompressionScheme selects low-precision gradient transmission for
 // Config.Compression (§3.4's future-work direction): quant.None,
 // quant.OneBit (1-bit SGD with error feedback) or quant.Uniform8.
@@ -242,6 +253,15 @@ const (
 	CompressOneBit = quant.OneBit
 	CompressUint8  = quant.Uniform8
 )
+
+// ParseCompressionScheme converts a scheme name ("none", "onebit",
+// "uniform8"; empty means none) for Config.Compression.
+func ParseCompressionScheme(name string) (CompressionScheme, error) {
+	return quant.ParseScheme(name)
+}
+
+// CompressionSchemes lists the scheme names ParseCompressionScheme accepts.
+func CompressionSchemes() []string { return quant.Schemes() }
 
 // KernelTier reports the GEMM micro-kernel tier the process dispatched to at
 // startup from the CPU's feature set: "avx512", "avx2", "sse2", "neon" or
@@ -261,6 +281,21 @@ const (
 	PrecBFloat16 = tensor.BFloat16
 	PrecFloat16  = tensor.Float16
 )
+
+// ParseComputePrecision converts a precision name ("fp32", "bf16", "fp16";
+// empty means fp32) for Config.ComputePrec.
+func ParseComputePrecision(s string) (ComputePrecision, error) { return tensor.ParsePrecision(s) }
+
+// ComputePrecisions lists the precision names ParseComputePrecision
+// accepts.
+func ComputePrecisions() []string { return tensor.Precisions() }
+
+// ParseFailMode validates a FaultPlan.FailMode name ("recover",
+// "continue"; empty means recover).
+func ParseFailMode(name string) (string, error) { return core.ParseFailMode(name) }
+
+// FailModes lists the names ParseFailMode accepts.
+func FailModes() []string { return core.FailModes() }
 
 // KNLClusterConfig configures Algorithm 4 run as a real rank program over
 // the message-level collective engine (internal/comm).
@@ -377,10 +412,34 @@ func AnalyticHierAllReduceTime(intraSchedule, interSchedule string, nBytes int64
 	return t, nil
 }
 
+// Model is the trained-network handle the facade hands out: an opaque wrap
+// of the underlying net with snapshot (Save/LoadModel), batched inference
+// (Predict/PredictInto) and int8 post-training quantization (QuantizeInt8).
+// Train results expose one through Result.Model, so train → snapshot →
+// serve composes without naming any internal type. Models are not
+// concurrency-safe; the serving batcher (internal/serve, cmd/scaledl-serve)
+// is the concurrent front end.
+type Model = nn.Model
+
+// BuildModel instantiates a model from an architecture definition with
+// seeded parameter initialization (an untrained Model; Train is the usual
+// source of trained ones).
+func BuildModel(def NetDef, seed int64) *Model { return nn.NewModel(def.Build(seed)) }
+
+// LoadModel restores a model saved with Model.Save (either the fp32 v1
+// format SaveNet always wrote or the int8 v2 format quantized models
+// write).
+func LoadModel(r io.Reader) (*Model, error) { return nn.LoadModel(r) }
+
 // SaveNet serializes a trained network (architecture + packed parameters).
+//
+// Deprecated: use Model.Save via Result.Model or NewModel; SaveNet leaks
+// the internal net type. The bytes written are identical.
 func SaveNet(n *nn.Net, w io.Writer) error { return n.Save(w) }
 
 // LoadNet restores a network saved with SaveNet.
+//
+// Deprecated: use LoadModel; it accepts the same snapshots.
 func LoadNet(r io.Reader) (*nn.Net, error) { return nn.Load(r) }
 
 // LRSchedule and the schedule types support the §7.2 retuning rules.

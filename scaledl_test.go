@@ -1,6 +1,8 @@
 package scaledl
 
 import (
+	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -190,6 +192,95 @@ func TestExtensionsFacade(t *testing.T) {
 	}
 }
 
+// The Model facade and the deprecated SaveNet/LoadNet wrappers share one
+// snapshot format: the bytes are identical, so existing snapshots keep
+// loading through either door.
+func TestModelFacade(t *testing.T) {
+	def := TinyCNN(Shape{C: 1, H: 8, W: 8}, 3)
+	var old bytes.Buffer
+	if err := SaveNet(def.Build(5), &old); err != nil {
+		t.Fatal(err)
+	}
+	m := BuildModel(def, 5)
+	var snap bytes.Buffer
+	if err := m.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(old.Bytes(), snap.Bytes()) {
+		t.Errorf("Model.Save bytes differ from SaveNet (%d vs %d bytes)", snap.Len(), old.Len())
+	}
+
+	reloaded, err := LoadModel(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float32, reloaded.InputDim())
+	for i := range in {
+		in[i] = float32(i%7) / 7
+	}
+	want, err := m.Predict(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reloaded.Predict(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reloaded logit %d: %v != %v", i, got[i], want[i])
+		}
+	}
+
+	// Int8 quantization through the facade survives its own round trip.
+	if n := reloaded.QuantizeInt8(); n == 0 {
+		t.Error("QuantizeInt8 touched no layers")
+	}
+	var q bytes.Buffer
+	if err := reloaded.Save(&q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() >= snap.Len() {
+		t.Errorf("int8 snapshot not smaller: %d vs %d bytes", q.Len(), snap.Len())
+	}
+	qm, err := LoadModel(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qm.Quantized() {
+		t.Error("reloaded int8 snapshot not quantized")
+	}
+}
+
+// Every strict parser the facade exposes fails through the one ParseError
+// type, so callers branch on it uniformly.
+func TestParseErrorUnified(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"comm mode", func() error { _, err := ParseCommMode("bogus"); return err }()},
+		{"collective schedule", func() error { _, err := ParseCollectiveSchedule("bogus"); return err }()},
+		{"compression scheme", func() error { _, err := ParseCompressionScheme("bogus"); return err }()},
+		{"compute precision", func() error { _, err := ParseComputePrecision("bogus"); return err }()},
+		{"fail mode", func() error { _, err := ParseFailMode("bogus"); return err }()},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: accepted %q", c.name, "bogus")
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(c.err, &pe) {
+			t.Errorf("%s: %T is not a ParseError", c.name, c.err)
+			continue
+		}
+		if !strings.Contains(c.err.Error(), `"bogus"`) || !strings.Contains(c.err.Error(), "one of") {
+			t.Errorf("%s: error %q lacks the unified format", c.name, c.err)
+		}
+	}
+}
+
 func TestHierFacade(t *testing.T) {
 	// Composed two-level oracle: tree/tree = intra reduce + inter allreduce
 	// + intra broadcast, assembled from the flat oracles.
@@ -239,8 +330,8 @@ func TestHierFacade(t *testing.T) {
 }
 
 func TestExperimentFacade(t *testing.T) {
-	if len(Experiments()) != 22 {
-		t.Errorf("want 22 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 23 {
+		t.Errorf("want 23 experiments, got %d", len(Experiments()))
 	}
 	rep, err := RunExperiment("table2", Options{Seed: 1})
 	if err != nil {
